@@ -1,0 +1,113 @@
+//! A1 — ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **Preparation walk on/off** — §3.2's redistribution step exists to
+//!    balance packet load across virtual nodes; without it, adversarially
+//!    clustered sources overload their parts.
+//! 2. **Emulation pricing** — exact store-and-forward vs the paper's
+//!    sequential full-round factoring (upper bound): how conservative is
+//!    the factored model?
+//! 3. **Walk execution** — phase-based accounting (Lemma 2.5) vs actual
+//!    CONGEST protocol execution with per-edge queues.
+
+use amt_bench::{expander, header, row, scaled_levels};
+use amt_core::prelude::*;
+use amt_core::routing::{EmulationMode, HierarchicalRouter, RouterConfig};
+use amt_core::walks::congest_exec::run_walks_in_congest;
+use amt_core::walks::parallel::{degree_proportional_specs, run_parallel_walks};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 128usize;
+    let g = expander(n, 6, 1);
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(scaled_levels(g.volume(), 4))
+        .build()
+        .expect("expander");
+
+    println!("# A1.1 — preparation walk ablation (adversarially clustered sources)\n");
+    // All packets originate in one small neighborhood and target spread-out
+    // destinations: without redistribution their part is overloaded.
+    let cluster: Vec<u32> = (0..8u32).collect();
+    let mut reqs = Vec::new();
+    for (i, &s) in cluster.iter().enumerate() {
+        for j in 0..8u32 {
+            reqs.push((NodeId(s), NodeId((17 * (i as u32 + 1) + 13 * j) % n as u32)));
+        }
+    }
+    header(&["prepare", "rounds (exact)", "delivered"]);
+    for prepare in [true, false] {
+        let router = HierarchicalRouter::with_config(
+            sys.hierarchy(),
+            RouterConfig {
+                prepare,
+                emulation: EmulationMode::Exact,
+                ..RouterConfig::for_n(n)
+            },
+        );
+        let out = router.route(&reqs, 3).expect("routable");
+        row(&[
+            prepare.to_string(),
+            out.total_base_rounds.to_string(),
+            format!("{}/{}", out.delivered, reqs.len()),
+        ]);
+    }
+    println!("\n(the preparation walk spreads the clustered packets across parts;");
+    println!(" without it they funnel through a single part's portals and pay the");
+    println!(" congestion — prep wins despite its own τ_mix cost, which is the");
+    println!(" paper's reason for the redistribution step)\n");
+
+    println!("# A1.2 — emulation pricing: exact vs sequential factoring\n");
+    header(&["n", "exact rounds", "factored rounds", "factored/exact"]);
+    for &nn in &[64usize, 128] {
+        let g2 = expander(nn, 6, 1);
+        let sys2 = System::builder(&g2)
+            .seed(1)
+            .beta(4)
+            .levels(scaled_levels(g2.volume(), 4))
+            .build()
+            .expect("expander");
+        let reqs2: Vec<_> =
+            (0..nn as u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % nn as u32))).collect();
+        let exact = HierarchicalRouter::with_config(
+            sys2.hierarchy(),
+            RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(nn) },
+        )
+        .route(&reqs2, 2)
+        .expect("routable");
+        let factored = sys2.route(&reqs2, 2).expect("routable");
+        row(&[
+            nn.to_string(),
+            exact.total_base_rounds.to_string(),
+            factored.total_base_rounds.to_string(),
+            format!(
+                "{:.1}×",
+                factored.total_base_rounds as f64 / exact.total_base_rounds as f64
+            ),
+        ]);
+    }
+    println!("\n(the factored model — each schedule round priced as a full overlay");
+    println!(" round, the paper's own emulation argument — is a valid but loose");
+    println!(" upper bound; exact expansion shows the real store-and-forward cost)\n");
+
+    println!("# A1.3 — walk accounting vs real protocol execution\n");
+    header(&["k", "scheduler rounds", "CONGEST protocol rounds", "ratio"]);
+    for &k in &[1usize, 4] {
+        let specs = degree_proportional_specs(&g, k, 20);
+        let sched =
+            run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        let proto = run_walks_in_congest(&g, WalkKind::Lazy, &specs, 5).expect("fits budget");
+        row(&[
+            k.to_string(),
+            sched.stats.rounds.to_string(),
+            proto.metrics.rounds.to_string(),
+            format!("{:.2}", proto.metrics.rounds as f64 / sched.stats.rounds as f64),
+        ]);
+    }
+    println!("\n(the phase-based accounting used throughout the experiments agrees");
+    println!(" with a real message-passing execution within a small constant — the");
+    println!(" queue-based protocol can even be faster because it pipelines across");
+    println!(" walk steps instead of synchronizing phases)");
+}

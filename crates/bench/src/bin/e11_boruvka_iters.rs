@@ -1,0 +1,51 @@
+//! E11 — §4 coin-flip merging: the component count shrinks by a constant
+//! factor per iteration in expectation, so O(log n) iterations suffice.
+
+use amt_bench::{expander, header, row};
+use amt_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("# E11 — component trajectory of the coin-flip Boruvka (3 seeds each)\n");
+    header(&["graph", "seed", "iterations", "4·log₂n budget", "trajectory"]);
+    let mut all_ratios: Vec<f64> = Vec::new();
+    let cases: Vec<(&str, Graph)> = vec![
+        ("expander n=96 d=6", expander(96, 6, 1)),
+        ("expander n=192 d=6", expander(192, 6, 2)),
+        ("hypercube d=7", generators::hypercube(7)),
+    ];
+    for (name, g) in &cases {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let wg = WeightedGraph::with_random_weights(g.clone(), 1_000_000, &mut rng);
+            let sys = System::builder(g).seed(seed).beta(4).levels(1).build().expect("connected");
+            let out = sys.mst(&wg, seed).expect("connected");
+            assert!(reference::verify_mst(&wg, &out.tree_edges));
+            let mut traj: Vec<usize> = vec![out.per_iteration[0].components_before];
+            for it in &out.per_iteration {
+                traj.push(it.components_after);
+            }
+            for w in traj.windows(2) {
+                if w[0] > 1 {
+                    all_ratios.push(w[1] as f64 / w[0] as f64);
+                }
+            }
+            let budget = 4 * (g.len() as f64).log2().ceil() as u32;
+            assert!(out.iterations <= budget, "{name} seed {seed}: too many iterations");
+            row(&[
+                name.to_string(),
+                seed.to_string(),
+                out.iterations.to_string(),
+                budget.to_string(),
+                traj.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("→"),
+            ]);
+        }
+    }
+    let avg = all_ratios.iter().sum::<f64>() / all_ratios.len() as f64;
+    println!("\naverage per-iteration shrink factor: {avg:.3}");
+    println!("(paper: tail→head merges remove a constant expected fraction of");
+    println!(" components per iteration; the classical analysis gives factor ≤ 3/4");
+    println!(" in expectation, and the measured average sits well below 1)");
+    assert!(avg < 0.85, "shrink factor {avg} too weak");
+}

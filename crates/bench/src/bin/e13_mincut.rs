@@ -1,0 +1,115 @@
+//! E13 — §4 application: min cut via the MST black box.
+//!
+//! Tree-packing approximation (see DESIGN.md substitution 1) against exact
+//! Stoer–Wagner across graph families, with the trees-packed sweep and the
+//! measured distributed cost.
+
+use amt_bench::{expander, header, row};
+use amt_core::mincut::{stoer_wagner, tree_packing_min_cut, MstOracle};
+use amt_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("# E13 — min cut: tree packing vs exact (centralized oracle)\n");
+    header(&["graph", "exact", "packed (8 trees)", "ratio", "side ok"]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let cases: Vec<(&str, Graph)> = vec![
+        ("ring n=24", generators::ring(24)),
+        ("hypercube d=5", generators::hypercube(5)),
+        ("expander n=64 d=6", expander(64, 6, 1)),
+        (
+            "dumbbell 2×32, 3 bridges",
+            generators::dumbbell_expanders(32, 4, 3, &mut rng).unwrap(),
+        ),
+        (
+            "barbell 2×K12 + path 4",
+            generators::barbell(12, 4).unwrap(),
+        ),
+        (
+            "pref. attachment n=80",
+            generators::preferential_attachment(80, 3, &mut rng).unwrap(),
+        ),
+    ];
+    for (name, g) in &cases {
+        let caps = vec![1u64; g.edge_count()];
+        let (exact, _) = stoer_wagner(g, &caps).expect("n ≥ 2");
+        let r = tree_packing_min_cut(g, &caps, 8, &MstOracle::Centralized).expect("connected");
+        let mut in_s = vec![false; g.len()];
+        for v in &r.side {
+            in_s[v.index()] = true;
+        }
+        let realized: u64 = g
+            .edges()
+            .filter(|&(_, u, v)| in_s[u.index()] != in_s[v.index()])
+            .map(|(e, _, _)| caps[e.index()])
+            .sum();
+        assert!(r.value >= exact, "{name}: approximation below exact");
+        assert!(r.value <= 2 * exact.max(1), "{name}: beyond the 2-approx guarantee");
+        row(&[
+            name.to_string(),
+            exact.to_string(),
+            r.value.to_string(),
+            format!("{:.2}", r.value as f64 / exact.max(1) as f64),
+            (realized == r.value).to_string(),
+        ]);
+    }
+    println!("\n(paper claims (1+ε) with its full-version machinery; our");
+    println!(" 1-respecting evaluation guarantees (2+ε) and measures near-exact on");
+    println!(" every family — the bottleneck cuts are found exactly)\n");
+
+    println!("## trees sweep on the dumbbell (how fast the packing converges)\n");
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = generators::dumbbell_expanders(32, 4, 3, &mut rng).unwrap();
+    let caps = vec![1u64; g.edge_count()];
+    let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
+    header(&["trees", "cut found", "ratio"]);
+    for &t in &[1u32, 2, 4, 8, 16] {
+        let r = tree_packing_min_cut(&g, &caps, t, &MstOracle::Centralized).expect("connected");
+        row(&[
+            t.to_string(),
+            r.value.to_string(),
+            format!("{:.2}", r.value as f64 / exact as f64),
+        ]);
+    }
+
+    println!("\n## distributed oracle cost (one row, n = 48)\n");
+    let g = expander(48, 4, 2);
+    let caps = vec![1u64; g.edge_count()];
+    let sys = System::builder(&g).seed(2).beta(4).levels(1).build().expect("expander");
+    let r = sys.min_cut(&caps, 3, 7).expect("packable");
+    let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
+    header(&["trees", "cut", "exact", "measured rounds", "rounds/tree"]);
+    row(&[
+        r.trees_packed.to_string(),
+        r.value.to_string(),
+        exact.to_string(),
+        r.rounds.to_string(),
+        format!("{}", r.rounds / u64::from(r.trees_packed)),
+    ]);
+    println!("\n(each packed tree = one distributed-MST invocation; total cost is");
+    println!(" trees × the Theorem 1.1 bound, exactly the paper's black-box claim)\n");
+
+    println!("## Karger skeleton sampling (the [32, 57] sparsification step)\n");
+    header(&["graph", "exact λ", "estimate", "p accepted", "skeleton m / m"]);
+    let mut rng = StdRng::seed_from_u64(9);
+    for (name, g) in [
+        ("complete K96", generators::complete(96)),
+        ("hypercube d=7", generators::hypercube(7)),
+        ("regular n=96 d=16", expander(96, 16, 3)),
+    ] {
+        let caps = vec![1u64; g.edge_count()];
+        let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
+        let r = amt_core::mincut::karger_estimate(&g, 0.4, &mut rng).expect("connected");
+        row(&[
+            name.to_string(),
+            exact.to_string(),
+            format!("{:.1}", r.estimate),
+            format!("{:.3}", r.p),
+            format!("{}/{}", r.skeleton_edges, g.edge_count()),
+        ]);
+    }
+    println!("\n(sampling with p = Θ(log n/(ε²λ)) preserves the min cut within");
+    println!(" (1±ε) — the estimates bracket the exact values while examining a");
+    println!(" fraction of the edges on dense inputs)");
+}

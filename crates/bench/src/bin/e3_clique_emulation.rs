@@ -1,0 +1,67 @@
+//! E3 — Theorem 1.3 and its Erdős–Rényi corollary: clique emulation.
+//!
+//! All-to-all routing on `G(n, p)` for a `p` sweep at fixed `n`, comparing
+//! the measured rounds with the `Ω(n/h(G))` cut lower bound, the corollary
+//! shape `O(1/p + log n)`, and the Balliu et al. bound `O(min{1/p², np})`
+//! that the paper improves on.
+
+use amt_bench::{header, row};
+use amt_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 48usize;
+    println!("# E3 — clique emulation on G(n = {n}, p): one message per ordered pair\n");
+    header(&[
+        "p", "m", "phases", "rounds", "n/h lower bnd", "1/p+log n", "Balliu min(1/p²,np)",
+        "rounds-vs-p trend",
+    ]);
+    let mut prev: Option<u64> = None;
+    for &p in &[0.15f64, 0.25, 0.4, 0.6, 0.8] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::connected_erdos_renyi(n, p, 100, &mut rng).expect("above threshold");
+        let sys = System::builder(&g).seed(11).beta(4).levels(1).build().expect("dense ER");
+        let out = sys.emulate_clique(3).expect("routable");
+        assert_eq!(out.messages, n * (n - 1));
+        let shape = 1.0 / p + (n as f64).log2();
+        let balliu = (1.0 / (p * p)).min(n as f64 * p);
+        let trend = match prev {
+            Some(pr) if out.routing.total_base_rounds < pr => "↓ (improves with p)",
+            Some(_) => "↑",
+            None => "-",
+        };
+        row(&[
+            format!("{p:.2}"),
+            g.edge_count().to_string(),
+            out.routing.phases.to_string(),
+            out.routing.total_base_rounds.to_string(),
+            format!("{:.1}", out.cut_lower_bound),
+            format!("{shape:.1}"),
+            format!("{balliu:.1}"),
+            trend.to_string(),
+        ]);
+        prev = Some(out.routing.total_base_rounds);
+    }
+    println!("\n(paper shape: rounds fall as p grows, tracking 1/p + log n up to the");
+    println!(" generic router's polylog overhead; the cut bound n/h is the floor.");
+    println!(" Balliu et al.'s 1/p² grows much faster as p shrinks — the paper's");
+    println!(" improvement is exactly that gap.)");
+
+    println!("\n## n sweep at p = 0.4\n");
+    header(&["n", "rounds", "rounds/n", "n/h lower bnd"]);
+    for &n in &[24usize, 32, 48, 64] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generators::connected_erdos_renyi(n, 0.4, 100, &mut rng).expect("dense");
+        let sys = System::builder(&g).seed(13).beta(4).levels(1).build().expect("dense ER");
+        let out = sys.emulate_clique(5).expect("routable");
+        row(&[
+            n.to_string(),
+            out.routing.total_base_rounds.to_string(),
+            format!("{:.1}", out.routing.total_base_rounds as f64 / n as f64),
+            format!("{:.1}", out.cut_lower_bound),
+        ]);
+    }
+    println!("\n(all-to-all is Θ(n) messages per node, so rounds/n normalizes the");
+    println!(" workload growth; the paper's bound is Õ(n/h) = Õ(1/p) per clique round)");
+}

@@ -1,0 +1,87 @@
+//! E5 — Lemmas 2.4/2.5: parallel random walks.
+//!
+//! With `k·d(v)` walks of length `T` started per node: per-node token peaks
+//! must stay `O(k·d(v) + log n)` (Lemma 2.4) and measured scheduling rounds
+//! must stay `O((k + log n)·T)` (Lemma 2.5).
+
+use amt_bench::{expander, header, row};
+use amt_core::prelude::*;
+use amt_core::walks::parallel::{degree_proportional_specs, run_parallel_walks};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256usize;
+    let d = 6usize;
+    let g = expander(n, d, 1);
+    let logn = (n as f64).log2();
+    println!("# E5 — parallel walks on a random {d}-regular graph, n = {n}\n");
+
+    println!("## k sweep at T = 30 (Lemma 2.4 + 2.5)\n");
+    header(&[
+        "k", "walks", "rounds", "rounds/((k+log n)T)", "max tokens@node", "peak/(k·d+log n)",
+    ]);
+    let t_len = 30u32;
+    for &k in &[1usize, 2, 4, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let specs = degree_proportional_specs(&g, k, t_len);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng);
+        let bound25 = (k as f64 + logn) * f64::from(t_len);
+        let bound24 = k as f64 * d as f64 + logn;
+        let peak = run.stats.max_node_tokens() as f64;
+        assert!(run.stats.rounds as f64 <= 4.0 * bound25, "Lemma 2.5 constant blown");
+        assert!(peak <= 5.0 * bound24, "Lemma 2.4 constant blown");
+        row(&[
+            k.to_string(),
+            specs.len().to_string(),
+            run.stats.rounds.to_string(),
+            format!("{:.2}", run.stats.rounds as f64 / bound25),
+            format!("{peak}"),
+            format!("{:.2}", peak / bound24),
+        ]);
+    }
+    println!("\n(both normalized columns must stay O(1) across the k sweep — the");
+    println!(" Lemma 2.4/2.5 constants; rounds/((k+log n)T) should *fall* towards");
+    println!(" the kT lower bound as k passes log n)\n");
+
+    println!("## T sweep at k = 4 (cost linear in walk length)\n");
+    header(&["T", "rounds", "rounds/T"]);
+    for &t_len in &[10u32, 20, 40, 80] {
+        let mut rng = StdRng::seed_from_u64(8);
+        let specs = degree_proportional_specs(&g, 4, t_len);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng);
+        row(&[
+            t_len.to_string(),
+            run.stats.rounds.to_string(),
+            format!("{:.2}", run.stats.rounds as f64 / f64::from(t_len)),
+        ]);
+    }
+    println!("\n(rounds/T flat ⇒ the scheduler's per-step cost is independent of T,");
+    println!(" exactly the phase structure of Lemma 2.5)\n");
+
+    println!("## correlated walks (the paper's end-of-§2 optimization for k = o(log n))\n");
+    header(&["k", "independent rounds", "correlated rounds", "speedup", "corr/(2kT)"]);
+    let t_len = 30u32;
+    for &k in &[1usize, 2, 4, 8] {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let specs = degree_proportional_specs(&g, k, t_len);
+        let ind = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let cor =
+            amt_core::walks::parallel::run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng2);
+        // With laziness only ~half the tokens move per step, so the
+        // round-robin load is ≈ ⌈k/2⌉ per direction; 2kT normalizes.
+        row(&[
+            k.to_string(),
+            ind.stats.rounds.to_string(),
+            cor.stats.rounds.to_string(),
+            format!("{:.1}×", ind.stats.rounds as f64 / cor.stats.rounds as f64),
+            format!("{:.2}", cor.stats.rounds as f64 / (2.0 * k as f64 * f64::from(t_len))),
+        ]);
+    }
+    println!("\n(independent walks pay the additive log n of Lemma 2.5; correlating");
+    println!(" the edge assignment — round-robin over a random permutation, which");
+    println!(" preserves each token's marginal kernel — removes it, reaching the");
+    println!(" k·T lower bound. The speedup is largest at k = 1 and fades once");
+    println!(" k ≳ log n, exactly as the paper's remark predicts.)");
+}

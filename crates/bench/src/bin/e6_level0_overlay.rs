@@ -1,0 +1,67 @@
+//! E6 — §3.1.1: the level-0 overlay `G₀`.
+//!
+//! Validates that the walk-built overlay behaves like an Erdős–Rényi
+//! random graph on the `2m` virtual nodes (degree concentration, connected,
+//! expander) and measures the cost of emulating one `G₀` round in base
+//! rounds (the paper claims `τ_mix · poly log n`).
+
+use amt_bench::{expander, header, row, scaled_levels, tau_estimate};
+use amt_core::prelude::*;
+use amt_core::graphs::expansion;
+
+fn main() {
+    println!("# E6 — level-0 overlay G₀ (walk-embedded ER graph on 2m virtual nodes)\n");
+    header(&[
+        "n", "vnodes", "G0 edges", "deg min/avg/max", "connected", "G0 spectral gap",
+        "full-round cost", "cost/(τ·log²n)",
+    ]);
+    for &n in &[32usize, 64, 128, 256] {
+        let g = expander(n, 6, 1);
+        let tau = tau_estimate(&g);
+        let sys = System::builder(&g).seed(1).beta(4).levels(scaled_levels(g.volume(), 4)).build().expect("expander");
+        let h = sys.hierarchy();
+        let ov = h.overlay(0);
+        let og = ov.graph();
+        let degs: Vec<usize> = og.nodes().map(|v| og.degree(v)).collect();
+        let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        let gap = expansion::spectral_gap_lazy(og, 400).unwrap_or(0.0);
+        let logn = (n as f64).log2();
+        let norm = h.full_round_cost(0) as f64 / (f64::from(tau) * logn * logn);
+        row(&[
+            n.to_string(),
+            h.vnodes().to_string(),
+            og.edge_count().to_string(),
+            format!(
+                "{}/{avg:.1}/{}",
+                degs.iter().min().unwrap(),
+                degs.iter().max().unwrap()
+            ),
+            og.is_connected().to_string(),
+            format!("{gap:.3}"),
+            h.full_round_cost(0).to_string(),
+            format!("{norm:.2}"),
+        ]);
+    }
+    println!("\n(paper: G₀ is an ER-like expander — degrees concentrate near");
+    println!(" 2·overlay_degree, the overlay is connected with a constant spectral");
+    println!(" gap, and one G₀ round costs τ_mix·polylog base rounds: the last");
+    println!(" normalized column must stay O(1) as n grows)\n");
+
+    println!("## walk-path statistics (the embedded edges)\n");
+    header(&["n", "τ est.", "path len avg", "path len max", "avg/τ"]);
+    for &n in &[32usize, 64, 128, 256] {
+        let g = expander(n, 6, 1);
+        let tau = tau_estimate(&g);
+        let sys = System::builder(&g).seed(1).beta(4).levels(scaled_levels(g.volume(), 4)).build().expect("expander");
+        let (avg, max) = sys.hierarchy().overlay(0).path_length_stats();
+        row(&[
+            n.to_string(),
+            tau.to_string(),
+            format!("{avg:.1}"),
+            max.to_string(),
+            format!("{:.2}", avg / f64::from(tau)),
+        ]);
+    }
+    println!("\n(every overlay edge is a τ_mix-step lazy walk; about half the steps");
+    println!(" are lazy stays, so avg/τ ≈ 0.5)");
+}

@@ -1,0 +1,82 @@
+//! E7 — Lemmas 3.1/3.2: per-level emulation factors and the β trade-off.
+//!
+//! (a) Each round of `G_p` must emulate in `O(log² n)` rounds of `G_{p−1}`
+//!     — we report the measured factor per level.
+//! (b) Construction cost vs β: the paper picks β = 2^Θ(√(log n log log n))
+//!     to balance per-level cost (∝ β) against depth (∝ log n / log β); we
+//!     sweep β and locate the crossover.
+
+use amt_bench::{expander, header, row};
+use amt_core::prelude::*;
+use amt_core::routing::{EmulationMode, HierarchicalRouter, RouterConfig};
+
+fn main() {
+    let n = 128usize;
+    let g = expander(n, 6, 1);
+    let logn = (n as f64).log2();
+
+    println!("# E7a — per-level emulation factors (n = {n}, β = 4, depth = 2)\n");
+    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let h = sys.hierarchy();
+    header(&["level", "edges", "full-round base cost", "factor vs level below", "factor/log²n"]);
+    for level in 0..=h.depth() {
+        let cost = h.full_round_cost(level);
+        let factor = if level == 0 {
+            cost as f64
+        } else {
+            cost as f64 / h.full_round_cost(level - 1) as f64
+        };
+        row(&[
+            level.to_string(),
+            h.overlay(level).graph().edge_count().to_string(),
+            cost.to_string(),
+            format!("{factor:.1}"),
+            format!("{:.2}", factor / (logn * logn)),
+        ]);
+    }
+    println!("\n(Lemma 3.1: each factor-vs-below is the measured 'one round of G_p in");
+    println!(" rounds of G_(p−1)' — the factor/log²n column must stay O(1))\n");
+
+    println!("# E7b — β sweep at n = {n}: construction cost vs routing cost\n");
+    header(&[
+        "β", "depth", "build rounds", "route rounds (exact)", "build+32×route",
+    ]);
+    let reqs: Vec<_> = (0..n as u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32))).collect();
+    let mut best: Option<(u32, u64)> = None;
+    for &beta in &[2u32, 4, 8, 16] {
+        // Depth chosen so bottom parts stay near log n.
+        let vn = g.volume() as f64;
+        let levels = ((vn / logn).log2() / f64::from(beta).log2()).round().max(1.0) as u32;
+        let levels = levels.min(3);
+        let sys = match System::builder(&g).seed(1).beta(beta).levels(levels).build() {
+            Ok(s) => s,
+            Err(e) => {
+                row(&[beta.to_string(), levels.to_string(), format!("infeasible: {e}"),
+                      "-".into(), "-".into()]);
+                continue;
+            }
+        };
+        let router = HierarchicalRouter::with_config(
+            sys.hierarchy(),
+            RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+        );
+        let out = router.route(&reqs, 2).expect("routable");
+        let amortized = sys.build_rounds() + 32 * out.total_base_rounds;
+        row(&[
+            beta.to_string(),
+            levels.to_string(),
+            sys.build_rounds().to_string(),
+            out.total_base_rounds.to_string(),
+            amortized.to_string(),
+        ]);
+        if best.map_or(true, |(_, b)| amortized < b) {
+            best = Some((beta, amortized));
+        }
+    }
+    if let Some((beta, _)) = best {
+        println!("\nbest amortized β at this n: {beta}");
+    }
+    println!("\n(paper: larger β means fewer levels (cheaper routing stretch) but");
+    println!(" more walks per level (costlier construction); the optimum sits at");
+    println!(" β = 2^Θ(√(log n log log n)) — a small power of two at this n)");
+}

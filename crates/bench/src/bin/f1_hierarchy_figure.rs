@@ -1,0 +1,86 @@
+//! F1 — the Figure 1 analog: a structural rendering of a built hierarchy.
+//!
+//! The paper's only figure sketches the nested balls `A_i ⊃ B_{ji} ⊃ …`
+//! with one random graph per ball. This binary prints the same picture for
+//! an actual built structure: the partition tree with per-part sizes, the
+//! per-level random graphs, and the emulation factors between levels.
+
+use amt_bench::{expander, header, row};
+use amt_core::embedding::VirtualId;
+use amt_core::prelude::*;
+
+fn main() {
+    let n = 96usize;
+    let g = expander(n, 6, 1);
+    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let h = sys.hierarchy();
+    let beta = h.cfg().beta;
+
+    println!("# F1 — hierarchy structure (n = {n}, 2m = {} virtual nodes, β = {beta}, depth = {})\n",
+        h.vnodes(), h.depth());
+
+    println!("## the nested partition (sizes per ball)\n");
+    for part in 0..h.parts_at(1) {
+        let a = h.members(1, part);
+        println!("A_{part}  [{} virtual nodes]", a.len());
+        for child in 0..u64::from(beta) {
+            let b_idx = part * u64::from(beta) + child;
+            let b = h.members(2, b_idx);
+            if !b.is_empty() {
+                let bar = "█".repeat((b.len() / 2).max(1));
+                println!("  ├─ B_{child}{part}  {:>3} nodes  {bar}", b.len());
+            }
+        }
+    }
+
+    println!("\n## one random graph per ball (per-level overlays)\n");
+    header(&[
+        "level", "graph on", "edges", "deg min/max", "embedded path avg/max",
+        "1 round costs (base)",
+    ]);
+    for level in 0..=h.depth() {
+        let ov = h.overlay(level);
+        let og = ov.graph();
+        let degs: Vec<usize> =
+            og.nodes().map(|v| og.degree(v)).filter(|&d| d > 0).collect();
+        let (avg, max) = ov.path_length_stats();
+        let what = match level {
+            0 => "all 2m virtual nodes".to_string(),
+            l if l == h.depth() => format!("{} bottom cliques", h.parts_at(l)),
+            l => format!("{} balls at depth {l}", h.parts_at(l)),
+        };
+        row(&[
+            level.to_string(),
+            what,
+            og.edge_count().to_string(),
+            format!(
+                "{}/{}",
+                degs.iter().min().copied().unwrap_or(0),
+                degs.iter().max().copied().unwrap_or(0)
+            ),
+            format!("{avg:.1}/{max}"),
+            h.full_round_cost(level).to_string(),
+        ]);
+    }
+
+    println!("\n## portals (the arrows between sibling balls)\n");
+    header(&["depth", "portal entries", "fallbacks used"]);
+    for p in 1..=h.depth() {
+        let mut filled = 0u64;
+        for vid in 0..h.vnodes() as u32 {
+            for j in 0..beta {
+                if h.portal(p, VirtualId(vid), j).is_some() {
+                    filled += 1;
+                }
+            }
+        }
+        row(&[
+            p.to_string(),
+            filled.to_string(),
+            h.stats.portal_fallbacks.to_string(),
+        ]);
+    }
+    println!("\nshared randomness: {} hash-seed bits, broadcast in {} measured rounds",
+        h.partition().seed_bits(), h.stats.seed_broadcast_rounds);
+    println!("total construction: {} measured base rounds", h.stats.total_base_rounds);
+}

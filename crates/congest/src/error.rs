@@ -1,0 +1,81 @@
+//! Error type for simulator violations.
+
+use amt_graphs::NodeId;
+use std::fmt;
+
+/// Violations of the CONGEST model or simulator limits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CongestError {
+    /// A node attempted to send two messages over the same port in one round.
+    DuplicateSend {
+        /// The offending node.
+        node: NodeId,
+        /// The port (index into the node's adjacency list).
+        port: usize,
+    },
+    /// A node attempted to send on a port `>= degree`.
+    PortOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The requested port.
+        port: usize,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// A message exceeded the per-message bit budget.
+    MessageTooWide {
+        /// Encoded width of the message in bits.
+        bits: usize,
+        /// The configured budget in bits.
+        budget: usize,
+    },
+    /// The protocol did not terminate within the configured round cap.
+    RoundLimitExceeded {
+        /// The configured cap.
+        max_rounds: u64,
+    },
+    /// The protocol vector length did not match the number of graph nodes.
+    NodeCountMismatch {
+        /// Nodes in the graph.
+        graph: usize,
+        /// Protocol instances supplied.
+        protocols: usize,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::DuplicateSend { node, port } => {
+                write!(f, "node {node} sent twice on port {port} in one round")
+            }
+            CongestError::PortOutOfRange { node, port, degree } => {
+                write!(f, "node {node} sent on port {port} but has degree {degree}")
+            }
+            CongestError::MessageTooWide { bits, budget } => {
+                write!(f, "message of {bits} bits exceeds the {budget}-bit CONGEST budget")
+            }
+            CongestError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "protocol did not terminate within {max_rounds} rounds")
+            }
+            CongestError::NodeCountMismatch { graph, protocols } => {
+                write!(f, "{protocols} protocol instances supplied for {graph} graph nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = CongestError::MessageTooWide { bits: 99, budget: 64 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("64"));
+    }
+}

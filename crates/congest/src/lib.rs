@@ -1,0 +1,39 @@
+//! Synchronous CONGEST-model simulator.
+//!
+//! The CONGEST model (the model of the paper) abstracts the network as an
+//! `n`-node graph; computation proceeds in synchronous rounds and per round
+//! each node may send one `O(log n)`-bit message over each incident edge.
+//!
+//! This crate provides:
+//!
+//! * [`Simulator`] — executes a [`Protocol`] (one state machine per node)
+//!   round by round, enforcing **one message per directed edge per round**
+//!   and a **bit budget** on every message (`O(log n)` with an explicit,
+//!   configurable constant), and recording [`Metrics`] (rounds, messages,
+//!   bits).
+//! * [`primitives`] — classic building blocks implemented *as protocols*,
+//!   with honest round counts: flooding broadcast, distributed BFS-tree
+//!   construction, convergecast aggregation over a tree, leader election by
+//!   max-id flooding, and a pipelined upcast used by the
+//!   Garay–Kutten–Peleg-style baseline.
+//!
+//! Determinism: the simulator owns a seeded RNG handed to protocols through
+//! [`Ctx::rng`], so every run is reproducible from `(graph, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod message;
+mod metrics;
+mod sim;
+
+pub mod primitives;
+
+pub use error::CongestError;
+pub use message::{bits_for_count, bits_for_value, CongestMessage};
+pub use metrics::Metrics;
+pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
+
+/// Result alias for simulator operations.
+pub type Result<T> = std::result::Result<T, CongestError>;

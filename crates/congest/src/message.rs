@@ -1,0 +1,106 @@
+//! Bit-width accounting for CONGEST messages.
+
+/// A message that can cross one edge in one CONGEST round.
+///
+/// Implementors report their encoded width in bits; the [`crate::Simulator`]
+/// checks every sent message against the per-round budget
+/// (`budget_factor · ⌈log₂ n⌉` bits). The width should reflect a reasonable
+/// wire encoding — e.g. a node id costs `⌈log₂ n⌉` bits, a tag costs
+/// `⌈log₂ #variants⌉` bits — not Rust's in-memory layout.
+pub trait CongestMessage: Clone + std::fmt::Debug {
+    /// Encoded width in bits.
+    fn bit_width(&self) -> usize;
+}
+
+/// Bits needed to address one of `count` distinct values (at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use amt_congest::bits_for_count;
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(2), 1);
+/// assert_eq!(bits_for_count(1024), 10);
+/// assert_eq!(bits_for_count(1025), 11);
+/// ```
+pub fn bits_for_count(count: usize) -> usize {
+    if count <= 2 {
+        1
+    } else {
+        (usize::BITS - (count - 1).leading_zeros()) as usize
+    }
+}
+
+/// Bits needed to write the value `v` in binary (at least 1).
+pub fn bits_for_value(v: u64) -> usize {
+    if v < 2 {
+        1
+    } else {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+}
+
+impl CongestMessage for u32 {
+    fn bit_width(&self) -> usize {
+        bits_for_value(u64::from(*self))
+    }
+}
+
+impl CongestMessage for u64 {
+    fn bit_width(&self) -> usize {
+        bits_for_value(*self)
+    }
+}
+
+impl CongestMessage for () {
+    fn bit_width(&self) -> usize {
+        1
+    }
+}
+
+impl CongestMessage for bool {
+    fn bit_width(&self) -> usize {
+        1
+    }
+}
+
+impl<A: CongestMessage, B: CongestMessage> CongestMessage for (A, B) {
+    fn bit_width(&self) -> usize {
+        self.0.bit_width() + self.1.bit_width()
+    }
+}
+
+impl<A: CongestMessage, B: CongestMessage, C: CongestMessage> CongestMessage for (A, B, C) {
+    fn bit_width(&self) -> usize {
+        self.0.bit_width() + self.1.bit_width() + self.2.bit_width()
+    }
+}
+
+impl<M: CongestMessage> CongestMessage for Option<M> {
+    fn bit_width(&self) -> usize {
+        1 + self.as_ref().map_or(0, CongestMessage::bit_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_value_edge_cases() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(255), 8);
+        assert_eq!(bits_for_value(256), 9);
+    }
+
+    #[test]
+    fn composite_widths_add() {
+        let m = (3u32, 5u64);
+        assert_eq!(m.bit_width(), 2 + 3);
+        assert_eq!(Some(7u32).bit_width(), 1 + 3);
+        assert_eq!(None::<u32>.bit_width(), 1);
+        assert_eq!((true, (), 2u32).bit_width(), 1 + 1 + 2);
+    }
+}

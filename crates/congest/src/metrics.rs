@@ -1,0 +1,63 @@
+//! Round and traffic metrics recorded by the simulator.
+
+/// Communication metrics of one simulated protocol execution.
+///
+/// All experiment tables in `amt-bench` report the `rounds` field of either
+/// this struct or the analogous scheduler statistics in `amt-walks`; rounds
+/// are always *measured* from the executed schedule, never derived from a
+/// formula.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Synchronous rounds elapsed until termination.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered (sum of encoded message widths).
+    pub bits: u64,
+    /// Maximum number of messages delivered in any single round.
+    pub peak_messages_per_round: u64,
+}
+
+impl Metrics {
+    /// Merges metrics of two *sequential* executions (rounds add, peaks max).
+    pub fn then(self, later: Metrics) -> Metrics {
+        Metrics {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            bits: self.bits + later.bits,
+            peak_messages_per_round: self.peak_messages_per_round.max(later.peak_messages_per_round),
+        }
+    }
+
+    /// Average messages per round (0 when no rounds elapsed).
+    pub fn avg_messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_merge_adds_rounds() {
+        let a = Metrics { rounds: 3, messages: 10, bits: 100, peak_messages_per_round: 6 };
+        let b = Metrics { rounds: 2, messages: 4, bits: 40, peak_messages_per_round: 8 };
+        let c = a.then(b);
+        assert_eq!(c.rounds, 5);
+        assert_eq!(c.messages, 14);
+        assert_eq!(c.bits, 140);
+        assert_eq!(c.peak_messages_per_round, 8);
+    }
+
+    #[test]
+    fn averages_handle_zero_rounds() {
+        assert_eq!(Metrics::default().avg_messages_per_round(), 0.0);
+        let m = Metrics { rounds: 4, messages: 10, ..Default::default() };
+        assert!((m.avg_messages_per_round() - 2.5).abs() < 1e-12);
+    }
+}

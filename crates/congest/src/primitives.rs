@@ -1,0 +1,638 @@
+//! Classic CONGEST building blocks, implemented as [`Protocol`]s and wrapped
+//! in driver functions that return structured results plus measured
+//! [`Metrics`].
+//!
+//! These are the standard tools the distributed-MST literature builds on
+//! (flooding, BFS trees, convergecast, leader election, pipelined upcast);
+//! the baselines in `amt-mst` and the seed dissemination of the hierarchical
+//! construction are assembled from them.
+
+use crate::{bits_for_value, Ctx, Metrics, Protocol, Result, RunConfig, Simulator};
+use amt_graphs::{Graph, NodeId};
+
+// ---------------------------------------------------------------------------
+// Flooding broadcast
+// ---------------------------------------------------------------------------
+
+/// Flooding protocol: the source's value reaches every node.
+struct Flood {
+    value: Option<u64>,
+    fresh: bool,
+}
+
+impl Protocol for Flood {
+    type Message = u64;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let (Some(v), true) = (self.value, self.fresh) {
+            ctx.send_all(v);
+            self.fresh = false;
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+        for &(_, v) in inbox {
+            if self.value.is_none() {
+                self.value = Some(v);
+                self.fresh = true;
+            }
+        }
+        if self.fresh {
+            ctx.send_all(self.value.expect("fresh implies value"));
+            self.fresh = false;
+        }
+    }
+}
+
+/// Floods `value` from `source` to all nodes.
+///
+/// Returns the per-node learned values (all equal to `value` on a connected
+/// graph) and the measured metrics; round count is the eccentricity of the
+/// source plus one quiescence-detection round.
+pub fn broadcast(g: &Graph, source: NodeId, value: u64, seed: u64) -> Result<(Vec<Option<u64>>, Metrics)> {
+    let nodes = g
+        .nodes()
+        .map(|v| Flood { value: (v == source).then_some(value), fresh: v == source })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Distributed BFS tree
+// ---------------------------------------------------------------------------
+
+/// Result of distributed BFS-tree construction.
+#[derive(Clone, Debug)]
+pub struct DistBfsTree {
+    /// The root the tree was grown from.
+    pub root: NodeId,
+    /// Parent of each node (`None` at the root / unreached nodes).
+    pub parent: Vec<Option<NodeId>>,
+    /// Port towards the parent, per node.
+    pub parent_port: Vec<Option<usize>>,
+    /// Ports towards children, per node.
+    pub child_ports: Vec<Vec<usize>>,
+    /// BFS depth (root = 0); `u32::MAX` when unreached.
+    pub depth: Vec<u32>,
+}
+
+impl DistBfsTree {
+    /// Height of the tree (max finite depth).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BfsMsg {
+    /// "I am at depth d; join me."
+    Announce(u32),
+    /// "You are my parent."
+    Child,
+}
+
+impl crate::CongestMessage for BfsMsg {
+    fn bit_width(&self) -> usize {
+        match self {
+            BfsMsg::Announce(d) => 1 + bits_for_value(u64::from(*d)),
+            BfsMsg::Child => 1,
+        }
+    }
+}
+
+struct BfsNode {
+    is_root: bool,
+    depth: Option<u32>,
+    parent_port: Option<usize>,
+    child_ports: Vec<usize>,
+    fresh: bool,
+}
+
+impl Protocol for BfsNode {
+    type Message = BfsMsg;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, BfsMsg>) {
+        if self.is_root {
+            self.depth = Some(0);
+            ctx.send_all(BfsMsg::Announce(0));
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, BfsMsg>, inbox: &[(usize, BfsMsg)]) {
+        for &(port, msg) in inbox {
+            match msg {
+                BfsMsg::Announce(d) => {
+                    if self.depth.is_none() {
+                        self.depth = Some(d + 1);
+                        self.parent_port = Some(port);
+                        self.fresh = true;
+                    }
+                }
+                BfsMsg::Child => self.child_ports.push(port),
+            }
+        }
+        if self.fresh {
+            self.fresh = false;
+            let d = self.depth.expect("fresh implies depth");
+            let parent = self.parent_port.expect("non-root joined via a port");
+            for port in 0..ctx.degree() {
+                if port == parent {
+                    ctx.send(port, BfsMsg::Child);
+                } else {
+                    ctx.send(port, BfsMsg::Announce(d));
+                }
+            }
+        }
+    }
+}
+
+/// Builds a BFS tree from `root` distributedly (≈ eccentricity + 1 rounds).
+pub fn build_bfs_tree(g: &Graph, root: NodeId, seed: u64) -> Result<(DistBfsTree, Metrics)> {
+    let nodes = g
+        .nodes()
+        .map(|v| BfsNode {
+            is_root: v == root,
+            depth: None,
+            parent_port: None,
+            child_ports: Vec::new(),
+            fresh: false,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    let parent: Vec<Option<NodeId>> = sim
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(v, p)| p.parent_port.map(|port| g.neighbor_at(NodeId::from(v), port).0))
+        .collect();
+    let tree = DistBfsTree {
+        root,
+        parent,
+        parent_port: sim.nodes().iter().map(|p| p.parent_port).collect(),
+        child_ports: sim.nodes().iter().map(|p| p.child_ports.clone()).collect(),
+        depth: sim.nodes().iter().map(|p| p.depth.unwrap_or(u32::MAX)).collect(),
+    };
+    Ok((tree, metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Convergecast (associative aggregation towards the root of a tree)
+// ---------------------------------------------------------------------------
+
+struct CastNode {
+    parent_port: Option<usize>,
+    pending_children: usize,
+    acc: u64,
+    combine: fn(u64, u64) -> u64,
+    sent: bool,
+}
+
+impl Protocol for CastNode {
+    type Message = u64;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        self.try_report(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+        for &(_, v) in inbox {
+            self.acc = (self.combine)(self.acc, v);
+            self.pending_children -= 1;
+        }
+        self.try_report(ctx);
+    }
+}
+
+impl CastNode {
+    fn try_report(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.pending_children == 0 && !self.sent {
+            if let Some(port) = self.parent_port {
+                ctx.send(port, self.acc);
+            }
+            self.sent = true;
+        }
+    }
+}
+
+/// Aggregates `values` towards `tree.root` with the associative `combine`
+/// (e.g. `u64::min`, `u64::wrapping_add`); returns the root's aggregate.
+/// Takes height-of-tree rounds.
+pub fn convergecast(
+    g: &Graph,
+    tree: &DistBfsTree,
+    values: &[u64],
+    combine: fn(u64, u64) -> u64,
+    seed: u64,
+) -> Result<(u64, Metrics)> {
+    let nodes = g
+        .nodes()
+        .map(|v| CastNode {
+            parent_port: tree.parent_port[v.index()],
+            pending_children: tree.child_ports[v.index()].len(),
+            acc: values[v.index()],
+            combine,
+            sent: false,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    Ok((sim.nodes()[tree.root.index()].acc, metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Leader election by max-id flooding
+// ---------------------------------------------------------------------------
+
+/// Elects the maximum-id node by flooding; every node learns the leader.
+/// Takes ≈ diameter rounds.
+pub fn elect_leader(g: &Graph, seed: u64) -> Result<(NodeId, Metrics)> {
+    struct Elect {
+        best: u64,
+        fresh: bool,
+    }
+    impl Protocol for Elect {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send_all(self.best);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+            for &(_, v) in inbox {
+                if v > self.best {
+                    self.best = v;
+                    self.fresh = true;
+                }
+            }
+            if self.fresh {
+                self.fresh = false;
+                ctx.send_all(self.best);
+            }
+        }
+    }
+    let nodes = g.nodes().map(|v| Elect { best: v.0 as u64, fresh: false }).collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    let leader = NodeId::from(sim.nodes()[0].best as usize);
+    debug_assert!(sim.nodes().iter().all(|p| p.best == leader.0 as u64));
+    Ok((leader, metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined upcast over a tree
+// ---------------------------------------------------------------------------
+
+struct PipeNode {
+    parent_port: Option<usize>,
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    collected: Vec<u64>,
+}
+
+impl Protocol for PipeNode {
+    type Message = u64;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        self.step(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+        for &(_, v) in inbox {
+            if self.parent_port.is_some() {
+                self.queue.push(std::cmp::Reverse(v));
+            } else {
+                self.collected.push(v);
+            }
+        }
+        self.step(ctx);
+    }
+}
+
+impl PipeNode {
+    fn step(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let Some(port) = self.parent_port {
+            if let Some(std::cmp::Reverse(v)) = self.queue.pop() {
+                ctx.send(port, v);
+            }
+        }
+    }
+}
+
+/// Streams every item to the root of `tree`, one item per edge per round,
+/// smallest-first (the classic pipelining used by `O(D + √n)` MST
+/// algorithms). Returns all items collected at the root, sorted.
+///
+/// Round count is ≈ height + (maximum number of items funnelled through a
+/// single edge) — measured, not assumed.
+pub fn pipelined_upcast(
+    g: &Graph,
+    tree: &DistBfsTree,
+    items: Vec<Vec<u64>>,
+    seed: u64,
+) -> Result<(Vec<u64>, Metrics)> {
+    let nodes = g
+        .nodes()
+        .map(|v| {
+            let is_root = v == tree.root;
+            PipeNode {
+                parent_port: tree.parent_port[v.index()],
+                queue: if is_root {
+                    Default::default()
+                } else {
+                    items[v.index()].iter().map(|&x| std::cmp::Reverse(x)).collect()
+                },
+                collected: if is_root { items[v.index()].clone() } else { Vec::new() },
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    let mut collected = sim.nodes()[tree.root.index()].collected.clone();
+    collected.sort_unstable();
+    Ok((collected, metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast over a tree (downcast)
+// ---------------------------------------------------------------------------
+
+struct DownNode {
+    child_ports: Vec<usize>,
+    value: Option<u64>,
+    fresh: bool,
+}
+
+impl Protocol for DownNode {
+    type Message = u64;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        self.push(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+        for &(_, v) in inbox {
+            if self.value.is_none() {
+                self.value = Some(v);
+                self.fresh = true;
+            }
+        }
+        self.push(ctx);
+    }
+}
+
+impl DownNode {
+    fn push(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.fresh {
+            self.fresh = false;
+            let v = self.value.expect("fresh implies value");
+            for port in self.child_ports.clone() {
+                ctx.send(port, v);
+            }
+        }
+    }
+}
+
+/// Pushes `value` from the root down `tree` to every node (height rounds).
+pub fn tree_downcast(
+    g: &Graph,
+    tree: &DistBfsTree,
+    value: u64,
+    seed: u64,
+) -> Result<(Vec<Option<u64>>, Metrics)> {
+    let nodes = g
+        .nodes()
+        .map(|v| DownNode {
+            child_ports: tree.child_ports[v.index()].clone(),
+            value: (v == tree.root).then_some(value),
+            fresh: v == tree.root,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Composite primitives
+// ---------------------------------------------------------------------------
+
+/// Aggregates `values` with `combine` and informs **every** node of the
+/// result: convergecast to the root of `tree`, then downcast. The classic
+/// "global aggregate" building block (2·height rounds).
+pub fn aggregate_to_all(
+    g: &Graph,
+    tree: &DistBfsTree,
+    values: &[u64],
+    combine: fn(u64, u64) -> u64,
+    seed: u64,
+) -> Result<(u64, Metrics)> {
+    let (agg, m1) = convergecast(g, tree, values, combine, seed)?;
+    let (learned, m2) = tree_downcast(g, tree, agg, seed ^ 0xA66)?;
+    debug_assert!(learned.iter().all(|&v| v == Some(agg)));
+    Ok((agg, m1.then(m2)))
+}
+
+/// Counts the nodes of the graph distributedly (leader election + BFS +
+/// sum aggregation) — the standard way nodes learn `n` when it is not
+/// given, priced honestly.
+pub fn count_nodes(g: &Graph, seed: u64) -> Result<(u64, Metrics)> {
+    let (leader, m1) = elect_leader(g, seed)?;
+    let (tree, m2) = build_bfs_tree(g, leader, seed ^ 0xC0)?;
+    let ones = vec![1u64; g.len()];
+    let (n, m3) = aggregate_to_all(g, &tree, &ones, u64::wrapping_add, seed ^ 0xC1)?;
+    Ok((n, m1.then(m2).then(m3)))
+}
+
+/// Informs every node of the maximum degree Δ (needed before running
+/// 2Δ-regular walks when Δ is not globally known).
+pub fn discover_max_degree(g: &Graph, seed: u64) -> Result<(u64, Metrics)> {
+    let (leader, m1) = elect_leader(g, seed)?;
+    let (tree, m2) = build_bfs_tree(g, leader, seed ^ 0xD0)?;
+    let degrees: Vec<u64> = g.nodes().map(|v| g.degree(v) as u64).collect();
+    let (delta, m3) = aggregate_to_all(g, &tree, &degrees, u64::max, seed ^ 0xD1)?;
+    Ok((delta, m1.then(m2).then(m3)))
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined downcast over a tree
+// ---------------------------------------------------------------------------
+
+struct PipeDownNode {
+    child_ports: Vec<usize>,
+    queue: std::collections::VecDeque<u64>,
+    received: Vec<u64>,
+}
+
+impl Protocol for PipeDownNode {
+    type Message = u64;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        self.step(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+        for &(_, v) in inbox {
+            self.received.push(v);
+            self.queue.push_back(v);
+        }
+        self.step(ctx);
+    }
+}
+
+impl PipeDownNode {
+    fn step(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let Some(v) = self.queue.pop_front() {
+            for port in self.child_ports.clone() {
+                ctx.send(port, v);
+            }
+        }
+    }
+}
+
+/// Streams `items` from the root down `tree` to every node, one item per
+/// edge per round (the pipelined broadcast used after a centralized merge
+/// decision). Returns the items received per node (root excluded) and the
+/// measured metrics (≈ height + #items rounds).
+pub fn pipelined_downcast(
+    g: &Graph,
+    tree: &DistBfsTree,
+    items: Vec<u64>,
+    seed: u64,
+) -> Result<(Vec<Vec<u64>>, Metrics)> {
+    let nodes = g
+        .nodes()
+        .map(|v| PipeDownNode {
+            child_ports: tree.child_ports[v.index()].clone(),
+            queue: if v == tree.root { items.iter().copied().collect() } else { Default::default() },
+            received: Vec::new(),
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    let metrics = sim.run(&RunConfig::default())?;
+    Ok((sim.nodes().iter().map(|p| p.received.clone()).collect(), metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_in_ecc_rounds() {
+        let g = path(8);
+        let (vals, m) = broadcast(&g, NodeId(0), 99, 1).unwrap();
+        assert!(vals.iter().all(|&v| v == Some(99)));
+        assert_eq!(m.rounds, 8); // ecc 7 + 1 quiescence round
+    }
+
+    #[test]
+    fn bfs_tree_matches_centralized_depths() {
+        let g = generators::hypercube(4);
+        let (tree, m) = build_bfs_tree(&g, NodeId(0), 2).unwrap();
+        let dist = amt_graphs::traversal::bfs_distances(&g, NodeId(0));
+        for v in 0..16 {
+            assert_eq!(tree.depth[v], dist[v]);
+        }
+        assert_eq!(tree.height(), 4);
+        assert!(m.rounds <= 7);
+        // Parent/child consistency.
+        for v in g.nodes() {
+            if let Some(p) = tree.parent[v.index()] {
+                let port_back = tree.child_ports[p.index()]
+                    .iter()
+                    .any(|&cp| g.neighbor_at(p, cp).0 == v);
+                assert!(port_back, "parent {p:?} must list {v:?} as child");
+            }
+        }
+    }
+
+    #[test]
+    fn convergecast_computes_min_and_sum() {
+        let g = path(6);
+        let (tree, _) = build_bfs_tree(&g, NodeId(2), 3).unwrap();
+        let values: Vec<u64> = vec![9, 4, 7, 3, 8, 5];
+        let (min, m) = convergecast(&g, &tree, &values, u64::min, 3).unwrap();
+        assert_eq!(min, 3);
+        assert!(m.rounds as u32 >= tree.height());
+        let (sum, _) = convergecast(&g, &tree, &values, u64::wrapping_add, 3).unwrap();
+        assert_eq!(sum, 36);
+    }
+
+    #[test]
+    fn leader_is_max_id() {
+        let g = generators::ring(9);
+        let (leader, m) = elect_leader(&g, 4).unwrap();
+        assert_eq!(leader, NodeId(8));
+        assert!(m.rounds >= 4); // at least the diameter
+    }
+
+    #[test]
+    fn pipelined_upcast_collects_everything() {
+        let g = path(5);
+        let (tree, _) = build_bfs_tree(&g, NodeId(0), 5).unwrap();
+        let items = vec![vec![], vec![10, 11], vec![20], vec![], vec![30, 31, 32]];
+        let (collected, m) = pipelined_upcast(&g, &tree, items, 5).unwrap();
+        assert_eq!(collected, vec![10, 11, 20, 30, 31, 32]);
+        // 6 items over the edge into the root, pipelined behind depth 4.
+        assert!(m.rounds >= 6 && m.rounds <= 12, "rounds = {}", m.rounds);
+    }
+
+    #[test]
+    fn downcast_informs_all() {
+        let g = generators::torus_2d(4, 4);
+        let (tree, _) = build_bfs_tree(&g, NodeId(5), 6).unwrap();
+        let (vals, m) = tree_downcast(&g, &tree, 1234, 6).unwrap();
+        assert!(vals.iter().all(|&v| v == Some(1234)));
+        assert!(m.rounds as u32 >= tree.height());
+    }
+
+    #[test]
+    fn aggregate_to_all_informs_everyone() {
+        let g = generators::hypercube(4);
+        let (tree, _) = build_bfs_tree(&g, NodeId(2), 9).unwrap();
+        let values: Vec<u64> = (0..16).map(|i| 100 - i).collect();
+        let (min, m) = aggregate_to_all(&g, &tree, &values, u64::min, 9).unwrap();
+        assert_eq!(min, 85);
+        assert!(m.rounds as u32 >= 2 * tree.height());
+    }
+
+    #[test]
+    fn count_nodes_and_max_degree_discovery() {
+        let g = generators::lollipop(6, 5).unwrap();
+        let (n, m) = count_nodes(&g, 3).unwrap();
+        assert_eq!(n, 11);
+        assert!(m.rounds > 0);
+        let (delta, _) = discover_max_degree(&g, 4).unwrap();
+        assert_eq!(delta as usize, g.max_degree());
+    }
+
+    #[test]
+    fn pipelined_downcast_reaches_everyone() {
+        let g = path(5);
+        let (tree, _) = build_bfs_tree(&g, NodeId(0), 8).unwrap();
+        let items = vec![7, 8, 9];
+        let (recv, m) = pipelined_downcast(&g, &tree, items.clone(), 8).unwrap();
+        for v in 1..5 {
+            assert_eq!(recv[v], items, "node {v}");
+        }
+        // 3 items pipelined down a depth-4 path: ≈ 4 + 3 − 1 rounds.
+        assert!(m.rounds >= 6 && m.rounds <= 10, "rounds = {}", m.rounds);
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_on_wide_trees() {
+        // Star: all leaves stream to the center concurrently.
+        let n = 20;
+        let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let (tree, _) = build_bfs_tree(&g, NodeId(0), 7).unwrap();
+        let items: Vec<Vec<u64>> = (0..n).map(|i| if i == 0 { vec![] } else { vec![i as u64] }).collect();
+        let (collected, m) = pipelined_upcast(&g, &tree, items, 7).unwrap();
+        assert_eq!(collected.len(), n - 1);
+        assert!(m.rounds <= 4, "star upcast should parallelize, rounds = {}", m.rounds);
+    }
+}

@@ -1,0 +1,472 @@
+//! The synchronous round executor.
+
+use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
+use amt_graphs::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A per-node state machine executed by the [`Simulator`].
+///
+/// One instance exists per node. On round 0 the simulator calls
+/// [`Protocol::init`]; on every subsequent round it calls
+/// [`Protocol::round`] with the messages delivered this round (sent by
+/// neighbors in the previous round), tagged with the receiving port.
+pub trait Protocol {
+    /// The message type this protocol sends over edges.
+    type Message: CongestMessage;
+
+    /// Called once before the first communication round; may send messages.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// Called once per round with this round's inbox; may send messages
+    /// that will be delivered next round.
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: &[(usize, Self::Message)]);
+
+    /// Local termination flag, consulted by [`StopCondition::AllDone`].
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// When the simulator considers an execution finished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop when every node reports [`Protocol::is_done`] and no messages
+    /// are in flight.
+    AllDone,
+    /// Stop when a round passes with no messages sent and none in flight
+    /// (useful for flooding-style protocols without explicit termination).
+    #[default]
+    Quiescence,
+}
+
+/// Execution limits and model constants.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Hard cap on rounds; exceeding it is an error (runaway protocol).
+    pub max_rounds: u64,
+    /// Per-message budget is `budget_factor · ⌈log₂ n⌉` bits — the explicit
+    /// constant behind the model's `O(log n)`. The default of 8 fits a
+    /// message tag, two node ids, and an edge weight of `O(log n)` bits.
+    pub budget_factor: usize,
+    /// Termination rule.
+    pub stop: StopCondition,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { max_rounds: 1_000_000, budget_factor: 8, stop: StopCondition::Quiescence }
+    }
+}
+
+impl RunConfig {
+    /// Config with the [`StopCondition::AllDone`] termination rule.
+    pub fn all_done() -> Self {
+        RunConfig { stop: StopCondition::AllDone, ..Default::default() }
+    }
+}
+
+/// Per-round, per-node context handed to [`Protocol`] callbacks.
+///
+/// Provides the node's identity, its local view of the graph (degree,
+/// neighbor ids — learnable in one round and conventionally assumed), the
+/// send operation, and the shared deterministic RNG.
+pub struct Ctx<'a, M> {
+    node: NodeId,
+    degree: usize,
+    neighbors: &'a [(u32, u32)],
+    round: u64,
+    budget_bits: usize,
+    staged: &'a mut Vec<Option<M>>,
+    rng: &'a mut StdRng,
+    violation: &'a mut Option<CongestError>,
+}
+
+impl<M: CongestMessage> Ctx<'_, M> {
+    /// The id of the node being executed.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Degree of this node (number of ports).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The neighbor reached through `port`.
+    pub fn neighbor(&self, port: usize) -> NodeId {
+        NodeId(self.neighbors[port].0)
+    }
+
+    /// The current round number (0 during `init`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends `msg` over `port`, to be delivered next round.
+    ///
+    /// Records a model violation (duplicate send on a port, port out of
+    /// range, over-wide message) which aborts the run; the violation is
+    /// returned from [`Simulator::run`].
+    pub fn send(&mut self, port: usize, msg: M) {
+        if self.violation.is_some() {
+            return;
+        }
+        if port >= self.degree {
+            *self.violation = Some(CongestError::PortOutOfRange {
+                node: self.node,
+                port,
+                degree: self.degree,
+            });
+            return;
+        }
+        let bits = msg.bit_width();
+        if bits > self.budget_bits {
+            *self.violation =
+                Some(CongestError::MessageTooWide { bits, budget: self.budget_bits });
+            return;
+        }
+        if self.staged[port].is_some() {
+            *self.violation = Some(CongestError::DuplicateSend { node: self.node, port });
+            return;
+        }
+        self.staged[port] = Some(msg);
+    }
+
+    /// Sends `msg` to every port (standard "broadcast to neighbors").
+    pub fn send_all(&mut self, msg: M) {
+        for port in 0..self.degree {
+            self.send(port, msg.clone());
+        }
+    }
+
+    /// The shared deterministic RNG (seeded at simulator construction).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Executes one [`Protocol`] instance per node of a [`Graph`], enforcing the
+/// CONGEST constraints, until the configured [`StopCondition`].
+///
+/// # Examples
+///
+/// ```
+/// use amt_congest::{Ctx, Protocol, RunConfig, Simulator};
+/// use amt_graphs::Graph;
+///
+/// /// Every node learns the maximum id (flooding).
+/// struct MaxId { best: u32, dirty: bool }
+/// impl Protocol for MaxId {
+///     type Message = u32;
+///     fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+///         ctx.send_all(self.best);
+///     }
+///     fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+///         for &(_, v) in inbox {
+///             if v > self.best { self.best = v; self.dirty = true; }
+///         }
+///         if self.dirty { ctx.send_all(self.best); self.dirty = false; }
+///     }
+/// }
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let nodes = (0..3).map(|i| MaxId { best: i as u32, dirty: false }).collect();
+/// let mut sim = Simulator::new(&g, nodes, 1).unwrap();
+/// let metrics = sim.run(&RunConfig::default()).unwrap();
+/// assert!(sim.nodes().iter().all(|n| n.best == 2));
+/// assert!(metrics.rounds >= 2);
+/// ```
+pub struct Simulator<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    /// `peer_port[v][p]` is the port index at the neighbor through which the
+    /// edge behind `(v, p)` is seen from the other side.
+    peer_port: Vec<Vec<u32>>,
+    adjacency: Vec<Vec<(u32, u32)>>,
+    rng: StdRng,
+}
+
+impl<'g, P: Protocol> Simulator<'g, P> {
+    /// Creates a simulator over `graph` with one protocol instance per node.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::NodeCountMismatch`] if `nodes.len() != graph.len()`.
+    pub fn new(graph: &'g Graph, nodes: Vec<P>, seed: u64) -> Result<Self> {
+        if nodes.len() != graph.len() {
+            return Err(CongestError::NodeCountMismatch {
+                graph: graph.len(),
+                protocols: nodes.len(),
+            });
+        }
+        let adjacency: Vec<Vec<(u32, u32)>> =
+            graph.nodes().map(|v| graph.neighbors(v).map(|(w, e)| (w.0, e.0)).collect()).collect();
+        // Map each (node, port) to the matching port on the other side of
+        // the edge. For self-loops the two adjacency occurrences pair up.
+        let mut port_of_edge: Vec<Vec<(u32, u32)>> = vec![Vec::new(); graph.edge_count()];
+        for (v, adj) in adjacency.iter().enumerate() {
+            for (p, &(_, e)) in adj.iter().enumerate() {
+                port_of_edge[e as usize].push((v as u32, p as u32));
+            }
+        }
+        let mut peer_port: Vec<Vec<u32>> =
+            adjacency.iter().map(|adj| vec![0u32; adj.len()]).collect();
+        for ends in &port_of_edge {
+            debug_assert_eq!(ends.len(), 2);
+            let (v0, p0) = ends[0];
+            let (v1, p1) = ends[1];
+            peer_port[v0 as usize][p0 as usize] = p1;
+            peer_port[v1 as usize][p1 as usize] = p0;
+        }
+        Ok(Simulator { graph, nodes, peer_port, adjacency, rng: StdRng::seed_from_u64(seed) })
+    }
+
+    /// The protocol instances (for extracting results after a run).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable access to the protocol instances.
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// Runs until the stop condition, returning measured [`Metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Any CONGEST violation recorded during execution, or
+    /// [`CongestError::RoundLimitExceeded`].
+    pub fn run(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+        let n = self.graph.len();
+        let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
+        let mut metrics = Metrics::default();
+        // inbox[v] = (receiving port, message) pairs for this round.
+        let mut inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+        let mut staged: Vec<Option<P::Message>> = Vec::new();
+        let mut violation: Option<CongestError> = None;
+        let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+
+        for round in 0..=cfg.max_rounds {
+            let mut sent_this_round = 0u64;
+            for v in 0..n {
+                let degree = self.adjacency[v].len();
+                staged.clear();
+                staged.resize_with(degree, || None);
+                {
+                    let mut ctx = Ctx {
+                        node: NodeId::from(v),
+                        degree,
+                        neighbors: &self.adjacency[v],
+                        round,
+                        budget_bits,
+                        staged: &mut staged,
+                        rng: &mut self.rng,
+                        violation: &mut violation,
+                    };
+                    if round == 0 {
+                        self.nodes[v].init(&mut ctx);
+                    } else {
+                        self.nodes[v].round(&mut ctx, &inbox[v]);
+                    }
+                }
+                if let Some(err) = violation.take() {
+                    return Err(err);
+                }
+                for (port, slot) in staged.iter_mut().enumerate() {
+                    if let Some(msg) = slot.take() {
+                        let dst = self.adjacency[v][port].0 as usize;
+                        let dst_port = self.peer_port[v][port] as usize;
+                        metrics.bits += msg.bit_width() as u64;
+                        next_inbox[dst].push((dst_port, msg));
+                        sent_this_round += 1;
+                    }
+                }
+            }
+            metrics.messages += sent_this_round;
+            metrics.peak_messages_per_round =
+                metrics.peak_messages_per_round.max(sent_this_round);
+            for v in 0..n {
+                inbox[v].clear();
+            }
+            std::mem::swap(&mut inbox, &mut next_inbox);
+            let in_flight = sent_this_round > 0;
+            metrics.rounds = round;
+            let stop = match cfg.stop {
+                StopCondition::AllDone => !in_flight && self.nodes.iter().all(Protocol::is_done),
+                StopCondition::Quiescence => !in_flight && round > 0,
+            };
+            if stop {
+                return Ok(metrics);
+            }
+        }
+        Err(CongestError::RoundLimitExceeded { max_rounds: cfg.max_rounds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Protocol that floods the max of initial values.
+    struct MaxFlood {
+        best: u64,
+        dirty: bool,
+    }
+
+    impl Protocol for MaxFlood {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send_all(self.best);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+            for &(_, v) in inbox {
+                if v > self.best {
+                    self.best = v;
+                    self.dirty = true;
+                }
+            }
+            if self.dirty {
+                ctx.send_all(self.best);
+                self.dirty = false;
+            }
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flooding_takes_eccentricity_rounds() {
+        let n = 10;
+        let g = path(n);
+        let nodes = (0..n).map(|i| MaxFlood { best: i as u64, dirty: false }).collect();
+        let mut sim = Simulator::new(&g, nodes, 0).unwrap();
+        let m = sim.run(&RunConfig::default()).unwrap();
+        assert!(sim.nodes().iter().all(|p| p.best == (n - 1) as u64));
+        // Value at node n-1 must travel n-1 hops; +1 quiescent round.
+        assert_eq!(m.rounds, n as u64);
+        assert!(m.messages > 0);
+        assert!(m.bits >= m.messages);
+    }
+
+    #[test]
+    fn node_count_mismatch_is_rejected() {
+        let g = path(3);
+        let err = Simulator::new(&g, vec![MaxFlood { best: 0, dirty: false }], 0).err().unwrap();
+        assert_eq!(err, CongestError::NodeCountMismatch { graph: 3, protocols: 1 });
+    }
+
+    struct DoubleSender;
+    impl Protocol for DoubleSender {
+        type Message = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(0, 1);
+            ctx.send(0, 2);
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(usize, u32)]) {}
+    }
+
+    #[test]
+    fn duplicate_send_detected() {
+        let g = path(2);
+        let mut sim = Simulator::new(&g, vec![DoubleSender, DoubleSender], 0).unwrap();
+        let err = sim.run(&RunConfig::default()).unwrap_err();
+        assert!(matches!(err, CongestError::DuplicateSend { port: 0, .. }));
+    }
+
+    struct WideSender;
+    impl Protocol for WideSender {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(0, u64::MAX);
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(usize, u64)]) {}
+    }
+
+    #[test]
+    fn over_budget_message_detected() {
+        let g = path(2);
+        let mut sim = Simulator::new(&g, vec![WideSender, WideSender], 0).unwrap();
+        // n = 2 → ⌈log₂ 2⌉ = 1 bit, factor 8 → budget 8 bits; u64::MAX is 64.
+        let err = sim.run(&RunConfig::default()).unwrap_err();
+        assert_eq!(err, CongestError::MessageTooWide { bits: 64, budget: 8 });
+    }
+
+    struct PortAbuser;
+    impl Protocol for PortAbuser {
+        type Message = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            let d = ctx.degree();
+            ctx.send(d, 0);
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(usize, u32)]) {}
+    }
+
+    #[test]
+    fn port_out_of_range_detected() {
+        let g = path(2);
+        let mut sim = Simulator::new(&g, vec![PortAbuser, PortAbuser], 0).unwrap();
+        let err = sim.run(&RunConfig::default()).unwrap_err();
+        assert!(matches!(err, CongestError::PortOutOfRange { port: 1, degree: 1, .. }));
+    }
+
+    /// Echoes forever — must trip the round cap.
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Message = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send_all(0);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u32>, _: &[(usize, u32)]) {
+            ctx.send_all(0);
+        }
+    }
+
+    #[test]
+    fn round_cap_enforced() {
+        let g = path(2);
+        let mut sim = Simulator::new(&g, vec![Chatter, Chatter], 0).unwrap();
+        let cfg = RunConfig { max_rounds: 50, ..Default::default() };
+        let err = sim.run(&cfg).unwrap_err();
+        assert_eq!(err, CongestError::RoundLimitExceeded { max_rounds: 50 });
+    }
+
+    /// Ping-pong over a self-loop: port pairing must route a self-loop send
+    /// to the *other* occurrence of the loop at the same node.
+    struct LoopPing {
+        got: Vec<usize>,
+    }
+    impl Protocol for LoopPing {
+        type Message = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.degree() >= 2 {
+                ctx.send(0, 7);
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+            for &(p, _) in inbox {
+                self.got.push(p);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_delivery_crosses_ports() {
+        let g = Graph::from_edges(1, &[(0, 0)]).unwrap();
+        let mut sim = Simulator::new(&g, vec![LoopPing { got: vec![] }], 0).unwrap();
+        sim.run(&RunConfig::default()).unwrap();
+        assert_eq!(sim.nodes()[0].got, vec![1]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let g = amt_graphs::generators::hypercube(4);
+        let mk = || (0..16).map(|i| MaxFlood { best: i as u64, dirty: false }).collect();
+        let m1 = Simulator::new(&g, mk(), 42).unwrap().run(&RunConfig::default()).unwrap();
+        let m2 = Simulator::new(&g, mk(), 42).unwrap().run(&RunConfig::default()).unwrap();
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration tests of simulator semantics: exact message timing, metric
+//! accounting, stop conditions, and composed primitive pipelines.
+
+use amt_congest::{
+    primitives, Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition,
+};
+use amt_graphs::{generators, Graph, NodeId};
+
+/// Ping-pong for a fixed number of volleys: exact round/message accounting.
+struct PingPong {
+    is_server: bool,
+    volleys_left: u32,
+}
+
+impl Protocol for PingPong {
+    type Message = u32;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.is_server && self.volleys_left > 0 {
+            ctx.send(0, self.volleys_left);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        for &(port, v) in inbox {
+            if v > 1 {
+                ctx.send(port, v - 1);
+            }
+            self.volleys_left = v.saturating_sub(1);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.volleys_left == 0
+    }
+}
+
+#[test]
+fn ping_pong_message_accounting_is_exact() {
+    let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    let volleys = 9;
+    let nodes = vec![
+        PingPong { is_server: true, volleys_left: volleys },
+        PingPong { is_server: false, volleys_left: volleys },
+    ];
+    let mut sim = Simulator::new(&g, nodes, 0).unwrap();
+    let m = sim.run(&RunConfig::default()).unwrap();
+    // Exactly `volleys` messages cross the single edge, one per round.
+    assert_eq!(m.messages, u64::from(volleys));
+    assert_eq!(m.peak_messages_per_round, 1);
+    assert!(m.rounds >= u64::from(volleys));
+}
+
+/// A protocol that is "done" immediately but keeps a message in flight on
+/// round 0 — AllDone must wait for delivery.
+struct FireAndClaimDone {
+    got: bool,
+}
+
+impl Protocol for FireAndClaimDone {
+    type Message = u32;
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if ctx.node() == NodeId(0) {
+            ctx.send(0, 7);
+        }
+    }
+    fn round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        if !inbox.is_empty() {
+            self.got = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn all_done_waits_for_in_flight_messages() {
+    let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    let nodes = vec![FireAndClaimDone { got: false }, FireAndClaimDone { got: false }];
+    let mut sim = Simulator::new(&g, nodes, 0).unwrap();
+    let cfg = RunConfig { stop: StopCondition::AllDone, ..RunConfig::default() };
+    sim.run(&cfg).unwrap();
+    assert!(sim.nodes()[1].got, "message must be delivered before AllDone stops");
+}
+
+#[test]
+fn metrics_then_composes_pipelines() {
+    let g = generators::torus_2d(4, 4);
+    let (tree, m1) = primitives::build_bfs_tree(&g, NodeId(0), 1).unwrap();
+    let values: Vec<u64> = (0..16).collect();
+    let (min, m2) = primitives::convergecast(&g, &tree, &values, u64::min, 2).unwrap();
+    let (_, m3) = primitives::tree_downcast(&g, &tree, min, 3).unwrap();
+    let total = m1.then(m2).then(m3);
+    assert_eq!(total.rounds, m1.rounds + m2.rounds + m3.rounds);
+    assert_eq!(total.messages, m1.messages + m2.messages + m3.messages);
+    assert_eq!(min, 0);
+}
+
+#[test]
+fn broadcast_then_elect_pipeline_on_families() {
+    for g in [generators::hypercube(4), generators::ring(12), generators::complete(9)] {
+        let (vals, _) = primitives::broadcast(&g, NodeId(0), 42, 1).unwrap();
+        assert!(vals.iter().all(|&v| v == Some(42)));
+        let (leader, _) = primitives::elect_leader(&g, 2).unwrap();
+        assert_eq!(leader, NodeId(g.len() as u32 - 1));
+    }
+}
+
+#[test]
+fn upcast_roundtrip_preserves_multisets() {
+    let g = generators::hypercube(4);
+    let (tree, _) = primitives::build_bfs_tree(&g, NodeId(3), 5).unwrap();
+    let items: Vec<Vec<u64>> =
+        (0..16).map(|i| (0..(i % 4) as u64).map(|j| i as u64 * 10 + j).collect()).collect();
+    let mut expect: Vec<u64> = items.iter().flatten().copied().collect();
+    // The root's own items are included.
+    expect.sort_unstable();
+    let (collected, m) = primitives::pipelined_upcast(&g, &tree, items, 6).unwrap();
+    assert_eq!(collected, expect);
+    assert!(m.rounds > 0);
+    // Now push them all back down.
+    let (recv, _) = primitives::pipelined_downcast(&g, &tree, collected.clone(), 7).unwrap();
+    for v in g.nodes() {
+        if v != tree.root {
+            assert_eq!(recv[v.index()], collected, "node {v:?}");
+        }
+    }
+}
+
+#[test]
+fn quiescence_and_all_done_agree_on_self_terminating_protocols() {
+    struct Silent;
+    impl Protocol for Silent {
+        type Message = u32;
+        fn init(&mut self, _: &mut Ctx<'_, u32>) {}
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(usize, u32)]) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let g = generators::ring(5);
+    let mk = || (0..5).map(|_| Silent).collect::<Vec<_>>();
+    let mut s1 = Simulator::new(&g, mk(), 0).unwrap();
+    let q = s1.run(&RunConfig::default()).unwrap();
+    let mut s2 = Simulator::new(&g, mk(), 0).unwrap();
+    let a = s2.run(&RunConfig::all_done()).unwrap();
+    assert_eq!(q.messages, 0);
+    assert_eq!(a.messages, 0);
+    assert!(q.rounds <= 2 && a.rounds <= 2);
+    let _: Metrics = q;
+}

@@ -1,0 +1,72 @@
+//! # Distributed MST and Routing in Almost Mixing Time
+//!
+//! A full reproduction of **Ghaffari, Kuhn, Su — PODC 2017**: a CONGEST
+//! algorithm computing a minimum spanning tree in
+//! `τ_mix(G) · 2^O(√(log n log log n))` rounds, built on a distributed
+//! permutation-routing scheme over a *hierarchical embedding of random
+//! graphs*.
+//!
+//! This crate is the user-facing entry point. It re-exports every
+//! subsystem and offers the one-stop [`System`] API:
+//!
+//! ```
+//! use amt_core::{System, graphs::generators, graphs::{NodeId, WeightedGraph}};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A 48-node expander network.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = generators::random_regular(48, 4, &mut rng).unwrap();
+//!
+//! // Build the hierarchical routing structure once…
+//! let system = System::builder(&g).seed(7).beta(4).levels(1).build().unwrap();
+//!
+//! // …then route a permutation,
+//! let reqs: Vec<_> = (0..48).map(|i| (NodeId(i), NodeId((i + 1) % 48))).collect();
+//! let routed = system.route(&reqs, 1).unwrap();
+//! assert_eq!(routed.delivered, 48);
+//!
+//! // …and compute an MST with measured round costs.
+//! let wg = WeightedGraph::with_random_weights(g.clone(), 1000, &mut rng);
+//! let mst = system.mst(&wg, 2).unwrap();
+//! assert!(amt_mst::reference::verify_mst(&wg, &mst.tree_edges));
+//! ```
+//!
+//! ## Subsystems
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`graphs`] | CSR multigraphs, generators, expansion/spectral toolkit |
+//! | [`congest`] | synchronous CONGEST simulator + classic primitives |
+//! | [`walks`] | lazy/2Δ-regular walks, mixing times, parallel scheduling |
+//! | [`kwise`] | Θ(log n)-wise hash partitions |
+//! | [`embedding`] | the §3.1 hierarchical embedding (G₀…G_k, portals) |
+//! | [`routing`] | the §3.2 permutation router, clique emulation, baselines |
+//! | [`mst`] | the §4 MST algorithm and CONGEST baselines |
+//! | [`mincut`] | tree-packing min cut with the MST black box |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use amt_congest as congest;
+pub use amt_embedding as embedding;
+pub use amt_graphs as graphs;
+pub use amt_kwise as kwise;
+pub use amt_mincut as mincut;
+pub use amt_mst as mst;
+pub use amt_routing as routing;
+pub use amt_walks as walks;
+
+mod system;
+
+pub use system::{Error, System, SystemBuilder};
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use crate::{Error, System, SystemBuilder};
+    pub use amt_embedding::{Hierarchy, HierarchyConfig};
+    pub use amt_graphs::{generators, EdgeId, Graph, GraphBuilder, NodeId, WeightedGraph};
+    pub use amt_mincut::{karger_estimate, stoer_wagner, tree_packing_min_cut, MstOracle};
+    pub use amt_mst::{reference, AlmostMixingMst};
+    pub use amt_routing::{EmulationMode, HierarchicalRouter, RouterConfig, RoutingOutcome};
+    pub use amt_walks::{mixing, WalkKind};
+}

@@ -1,0 +1,282 @@
+//! The one-stop [`System`] API: build the hierarchy once, then route,
+//! compute MSTs, emulate the clique, and approximate min cuts.
+
+use amt_embedding::{Hierarchy, HierarchyConfig};
+use amt_graphs::{Graph, NodeId, WeightedGraph};
+use amt_mincut::{MinCutResult, MstOracle};
+use amt_mst::{AlmostMixingMst, AmtMstOutcome};
+use amt_routing::{clique::CliqueOutcome, HierarchicalRouter, RoutingOutcome};
+use amt_walks::{mixing, WalkKind};
+use std::fmt;
+
+/// Unified error of the top-level API.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The base graph or configuration was unsuitable for embedding.
+    Embed(amt_embedding::EmbedError),
+    /// Routing failed.
+    Route(amt_routing::RouteError),
+    /// MST computation failed.
+    Mst(String),
+    /// Min-cut computation failed.
+    MinCut(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Embed(e) => write!(f, "{e}"),
+            Error::Route(e) => write!(f, "{e}"),
+            Error::Mst(e) => write!(f, "MST failed: {e}"),
+            Error::MinCut(e) => write!(f, "min cut failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<amt_embedding::EmbedError> for Error {
+    fn from(e: amt_embedding::EmbedError) -> Self {
+        Error::Embed(e)
+    }
+}
+
+impl From<amt_routing::RouteError> for Error {
+    fn from(e: amt_routing::RouteError) -> Self {
+        Error::Route(e)
+    }
+}
+
+/// Builder for [`System`]: pick a seed and optionally override the
+/// hierarchy parameters chosen by [`HierarchyConfig::auto`].
+#[derive(Clone, Debug)]
+pub struct SystemBuilder<'g> {
+    graph: &'g Graph,
+    seed: u64,
+    tau_mix: Option<u32>,
+    beta: Option<u32>,
+    levels: Option<u32>,
+    overlay_degree: Option<usize>,
+    config: Option<HierarchyConfig>,
+}
+
+impl<'g> SystemBuilder<'g> {
+    /// Starts a builder for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        SystemBuilder {
+            graph,
+            seed: 0,
+            tau_mix: None,
+            beta: None,
+            levels: None,
+            overlay_degree: None,
+            config: None,
+        }
+    }
+
+    /// RNG seed (everything downstream is deterministic given it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the mixing-time estimate used for the level-0 walks
+    /// (default: spectral estimate of Definition 2.1, clamped to `4n`).
+    pub fn tau_mix(mut self, tau: u32) -> Self {
+        self.tau_mix = Some(tau);
+        self
+    }
+
+    /// Overrides the branching factor β.
+    pub fn beta(mut self, beta: u32) -> Self {
+        self.beta = Some(beta);
+        self
+    }
+
+    /// Overrides the partition depth.
+    pub fn levels(mut self, levels: u32) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// Overrides the per-level overlay degree.
+    pub fn overlay_degree(mut self, d: usize) -> Self {
+        self.overlay_degree = Some(d);
+        self
+    }
+
+    /// Supplies a complete [`HierarchyConfig`], bypassing all other knobs.
+    pub fn config(mut self, cfg: HierarchyConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Builds the hierarchical structure (the expensive, once-per-network
+    /// step).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Embed`] when the graph is disconnected or the configuration
+    /// is infeasible.
+    pub fn build(self) -> Result<System<'g>, Error> {
+        let cfg = match self.config {
+            Some(cfg) => cfg,
+            None => {
+                let tau = self.tau_mix.unwrap_or_else(|| {
+                    let cap = (4 * self.graph.len().max(2)) as u32;
+                    mixing::mixing_time_spectral(self.graph, WalkKind::Lazy, 400)
+                        .map_or(cap, |t| t.min(cap))
+                });
+                let mut cfg = HierarchyConfig::auto(self.graph, tau.max(1), self.seed);
+                if let Some(b) = self.beta {
+                    cfg.beta = b;
+                }
+                if let Some(l) = self.levels {
+                    cfg.levels = l;
+                }
+                if let Some(d) = self.overlay_degree {
+                    cfg.overlay_degree = d;
+                    cfg.level0_walks = cfg.level0_walks.max(2 * d);
+                }
+                cfg
+            }
+        };
+        let hierarchy = Hierarchy::build(self.graph, cfg)?;
+        Ok(System { hierarchy })
+    }
+}
+
+/// A ready-to-use almost-mixing-time system: the built hierarchy plus
+/// convenience entry points for every application in the paper.
+pub struct System<'g> {
+    hierarchy: Hierarchy<'g>,
+}
+
+impl<'g> System<'g> {
+    /// Starts building a system for `graph`.
+    pub fn builder(graph: &'g Graph) -> SystemBuilder<'g> {
+        SystemBuilder::new(graph)
+    }
+
+    /// The underlying hierarchical embedding (construction statistics
+    /// included).
+    pub fn hierarchy(&self) -> &Hierarchy<'g> {
+        &self.hierarchy
+    }
+
+    /// Measured base rounds spent building the hierarchy.
+    pub fn build_rounds(&self) -> u64 {
+        self.hierarchy.stats.total_base_rounds
+    }
+
+    /// Routes one packet per `(source, destination)` pair (Theorem 1.2).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Route`] on invalid requests or undeliverable instances.
+    pub fn route(&self, requests: &[(NodeId, NodeId)], seed: u64) -> Result<RoutingOutcome, Error> {
+        Ok(HierarchicalRouter::new(&self.hierarchy).route(requests, seed)?)
+    }
+
+    /// Computes the MST of `wg` (which must share this system's base
+    /// graph) with measured round costs (Theorem 1.1).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Mst`] on mismatched graphs or routing failures.
+    pub fn mst(&self, wg: &WeightedGraph, seed: u64) -> Result<AmtMstOutcome, Error> {
+        AlmostMixingMst::new(&self.hierarchy)
+            .run(wg, seed)
+            .map_err(|e| Error::Mst(e.to_string()))
+    }
+
+    /// Emulates one congested-clique round (every ordered pair exchanges a
+    /// message; Theorem 1.3 flavor).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Route`] when the all-to-all instance cannot be phased.
+    pub fn emulate_clique(&self, seed: u64) -> Result<CliqueOutcome, Error> {
+        Ok(amt_routing::clique::emulate_clique(&self.hierarchy, seed)?)
+    }
+
+    /// Approximates the min cut by tree packing with the distributed MST
+    /// black box (`trees` invocations; §4 application).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MinCut`] on parameter or oracle failures.
+    pub fn min_cut(&self, capacities: &[u64], trees: u32, seed: u64) -> Result<MinCutResult, Error> {
+        amt_mincut::tree_packing_min_cut(
+            self.hierarchy.base(),
+            capacities,
+            trees,
+            &MstOracle::AlmostMixing(&self.hierarchy, seed),
+        )
+        .map_err(|e| Error::MinCut(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn expander(n: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_regular(n, 4, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn builder_auto_works_end_to_end() {
+        let g = expander(48, 1);
+        let sys = System::builder(&g).seed(3).beta(4).levels(1).build().unwrap();
+        assert!(sys.build_rounds() > 0);
+        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId((i + 7) % 48))).collect();
+        let out = sys.route(&reqs, 5).unwrap();
+        assert_eq!(out.delivered, 48);
+    }
+
+    #[test]
+    fn mst_and_mincut_through_the_facade() {
+        let g = expander(40, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let wg = WeightedGraph::with_random_weights(g.clone(), 500, &mut rng);
+        let sys = System::builder(&g)
+            .seed(4)
+            .beta(4)
+            .levels(1)
+            .overlay_degree(5)
+            .build()
+            .unwrap();
+        let mst = sys.mst(&wg, 9).unwrap();
+        assert!(amt_mst::reference::verify_mst(&wg, &mst.tree_edges));
+        let caps = vec![1u64; g.edge_count()];
+        let cut = sys.min_cut(&caps, 2, 13).unwrap();
+        let exact = amt_mincut::stoer_wagner(&g, &caps).unwrap().0;
+        assert!(cut.value >= exact);
+        assert!(cut.rounds > 0);
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected_at_build() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let err = System::builder(&g).build().map(|_| ()).unwrap_err();
+        assert!(matches!(err, Error::Embed(_)));
+        assert!(err.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn explicit_config_is_honored() {
+        let g = expander(48, 5);
+        let mut cfg = HierarchyConfig::auto(&g, 20, 5);
+        cfg.beta = 4;
+        cfg.levels = 2;
+        let sys = System::builder(&g).config(cfg.clone()).build().unwrap();
+        assert_eq!(sys.hierarchy().cfg(), &cfg);
+        assert_eq!(sys.hierarchy().depth(), 2);
+    }
+}

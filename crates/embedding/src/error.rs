@@ -1,0 +1,68 @@
+//! Error type for hierarchy construction.
+
+use std::fmt;
+
+/// Errors produced while building or using the hierarchical embedding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmbedError {
+    /// The base graph failed a structural requirement.
+    Graph(amt_graphs::GraphError),
+    /// A configuration field was out of range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The overlay at some level lacked the expansion needed to connect a
+    /// part or find a portal, even after fallbacks. Raising
+    /// `overlay_degree` or lowering `levels` resolves this.
+    InsufficientExpansion {
+        /// Hierarchy level at which construction failed.
+        level: u32,
+        /// What could not be constructed.
+        what: String,
+    },
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::Graph(e) => write!(f, "base graph unsuitable: {e}"),
+            EmbedError::InvalidConfig { reason } => write!(f, "invalid hierarchy config: {reason}"),
+            EmbedError::InsufficientExpansion { level, what } => write!(
+                f,
+                "insufficient expansion at level {level}: {what} \
+                 (raise overlay_degree or lower levels)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<amt_graphs::GraphError> for EmbedError {
+    fn from(e: amt_graphs::GraphError) -> Self {
+        EmbedError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EmbedError::from(amt_graphs::GraphError::Disconnected);
+        assert!(e.to_string().contains("not connected"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EmbedError::InsufficientExpansion { level: 2, what: "portal 3→5".into() };
+        assert!(e.to_string().contains("level 2"));
+    }
+}

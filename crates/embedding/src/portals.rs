@@ -1,0 +1,102 @@
+//! Portal tables (Lemma 3.3): for each virtual node and each sibling part,
+//! a uniformly random boundary node through which messages hop.
+
+use crate::VirtualId;
+use amt_graphs::EdgeId;
+
+/// One portal assignment: route to `portal` inside your own part, then
+/// cross `edge` (an edge of the *parent-level* overlay) to land on `target`
+/// in the sibling part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortalEntry {
+    /// The boundary node `t'` within the source's part.
+    pub portal: VirtualId,
+    /// The parent-level overlay edge crossing into the sibling part.
+    pub edge: EdgeId,
+    /// Direction of `edge`: `true` when `portal` is `endpoints(edge).0`.
+    pub forward: bool,
+    /// The landing node `s'` in the sibling part.
+    pub target: VirtualId,
+}
+
+/// Portals for one partition depth `p`: entry `(vid, j)` is the portal of
+/// `vid` towards the sibling part with level-`p` label `j` (under the same
+/// depth-`(p−1)` parent).
+///
+/// `None` entries mean no boundary exists (possible for tiny parts at
+/// simulation scale); the router falls back to an explicit BFS path and
+/// counts the miss.
+#[derive(Clone, Debug)]
+pub struct PortalTable {
+    depth: u32,
+    beta: u32,
+    entries: Vec<Option<PortalEntry>>,
+}
+
+impl PortalTable {
+    /// Creates a table for `vnodes` virtual nodes at partition depth
+    /// `depth` with branching `beta`, initially empty.
+    pub fn new(depth: u32, beta: u32, vnodes: usize) -> Self {
+        PortalTable { depth, beta, entries: vec![None; vnodes * beta as usize] }
+    }
+
+    /// The partition depth this table serves.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The portal of `vid` towards sibling label `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= beta`.
+    pub fn get(&self, vid: VirtualId, j: u32) -> Option<&PortalEntry> {
+        assert!(j < self.beta, "sibling label {j} out of range");
+        self.entries[vid.index() * self.beta as usize + j as usize].as_ref()
+    }
+
+    /// Sets the portal of `vid` towards sibling label `j`.
+    pub fn set(&mut self, vid: VirtualId, j: u32, entry: PortalEntry) {
+        assert!(j < self.beta, "sibling label {j} out of range");
+        self.entries[vid.index() * self.beta as usize + j as usize] = Some(entry);
+    }
+
+    /// Number of filled entries.
+    pub fn filled(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Total entry slots (`vnodes × beta`).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = PortalTable::new(1, 4, 3);
+        assert_eq!(t.filled(), 0);
+        assert_eq!(t.capacity(), 12);
+        let e = PortalEntry {
+            portal: VirtualId(2),
+            edge: EdgeId(5),
+            forward: false,
+            target: VirtualId(9),
+        };
+        t.set(VirtualId(1), 3, e);
+        assert_eq!(t.get(VirtualId(1), 3), Some(&e));
+        assert_eq!(t.get(VirtualId(1), 2), None);
+        assert_eq!(t.filled(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_bound_checked() {
+        let t = PortalTable::new(1, 4, 2);
+        let _ = t.get(VirtualId(0), 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Measured construction statistics.
+
+/// Per-level construction measurements.
+#[derive(Clone, Debug, Default)]
+pub struct LevelStats {
+    /// Level index.
+    pub level: u32,
+    /// Overlay edges created.
+    pub edges: usize,
+    /// Edges created by connectivity fallbacks (BFS-embedded) rather than
+    /// successful walks.
+    pub fallback_edges: usize,
+    /// Average embedded path length (in lower-level edges).
+    pub avg_path_len: f64,
+    /// Maximum embedded path length.
+    pub max_path_len: usize,
+    /// Rounds spent by the construction walks, in *lower-level* rounds
+    /// (level 0: base rounds; level p: rounds of `G_{p−1}`).
+    pub walk_rounds_lower: u64,
+    /// Measured base rounds to emulate one *full* round of this level
+    /// (every edge carrying one message in each direction), used to convert
+    /// level rounds to base rounds.
+    pub full_round_base_cost: u64,
+    /// Construction cost converted to base-graph rounds.
+    pub build_base_rounds: u64,
+    /// Minimum / maximum overlay degree over virtual nodes with any edges.
+    pub min_degree: usize,
+    /// Maximum overlay degree.
+    pub max_degree: usize,
+}
+
+/// Aggregate construction measurements of a [`crate::Hierarchy`].
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// One entry per overlay level (0 ..= levels).
+    pub levels: Vec<LevelStats>,
+    /// Base rounds for portal discovery, per partition depth (1 ..= levels).
+    pub portal_base_rounds: Vec<u64>,
+    /// Portal entries filled by the uniform-boundary fallback instead of a
+    /// successful walk.
+    pub portal_fallbacks: u64,
+    /// Base rounds to broadcast the shared hash seed (`O(D · log n)` model,
+    /// measured as diameter × seed words).
+    pub seed_broadcast_rounds: u64,
+    /// Grand total of measured base rounds for the whole construction.
+    pub total_base_rounds: u64,
+}
+
+impl BuildStats {
+    /// Sum of per-level build costs plus portals plus seed broadcast.
+    pub fn recompute_total(&mut self) {
+        self.total_base_rounds = self
+            .levels
+            .iter()
+            .map(|l| l.build_base_rounds)
+            .chain(self.portal_base_rounds.iter().copied())
+            .sum::<u64>()
+            + self.seed_broadcast_rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = BuildStats {
+            levels: vec![
+                LevelStats { build_base_rounds: 10, ..Default::default() },
+                LevelStats { build_base_rounds: 5, ..Default::default() },
+            ],
+            portal_base_rounds: vec![3, 2],
+            seed_broadcast_rounds: 4,
+            ..Default::default()
+        };
+        s.recompute_total();
+        assert_eq!(s.total_base_rounds, 24);
+    }
+}

@@ -1,0 +1,142 @@
+//! Virtual nodes: each base node `v` simulates `d_G(v)` of them (§3.1.1).
+
+use amt_graphs::{Graph, NodeId};
+use std::ops::Range;
+
+/// Identifier of a virtual node, dense in `0..2m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualId(pub u32);
+
+impl VirtualId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for VirtualId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for VirtualId {
+    fn from(v: usize) -> Self {
+        VirtualId(u32::try_from(v).expect("virtual index exceeds u32::MAX"))
+    }
+}
+
+/// The assignment of virtual nodes to base nodes: node `v` owns the
+/// contiguous slot range `offsets[v] .. offsets[v] + d_G(v)`.
+///
+/// Virtual-node communication within one owner is free (local memory); all
+/// costs arise when messages cross base edges.
+///
+/// # Examples
+///
+/// ```
+/// use amt_embedding::VirtualMap;
+/// use amt_graphs::{Graph, NodeId};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let vm = VirtualMap::new(&g);
+/// assert_eq!(vm.count(), 4);                       // 2m slots
+/// assert_eq!(vm.slot_count(NodeId(1)), 2);         // node 1 has degree 2
+/// assert_eq!(vm.owner(vm.vid(NodeId(1), 0)), NodeId(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualMap {
+    offsets: Vec<u32>,
+    owner: Vec<u32>,
+}
+
+impl VirtualMap {
+    /// Builds the map for `g`: `d_G(v)` virtual nodes per node `v`.
+    pub fn new(g: &Graph) -> Self {
+        let mut offsets = Vec::with_capacity(g.len() + 1);
+        let mut owner = Vec::with_capacity(g.volume());
+        let mut acc = 0u32;
+        offsets.push(0);
+        for v in g.nodes() {
+            let d = g.degree(v) as u32;
+            for _ in 0..d {
+                owner.push(v.0);
+            }
+            acc += d;
+            offsets.push(acc);
+        }
+        VirtualMap { offsets, owner }
+    }
+
+    /// Total number of virtual nodes (`2m`).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The base node simulating `vid`.
+    #[inline]
+    pub fn owner(&self, vid: VirtualId) -> NodeId {
+        NodeId(self.owner[vid.index()])
+    }
+
+    /// The virtual ids owned by base node `v`.
+    #[inline]
+    pub fn slots(&self, v: NodeId) -> Range<u32> {
+        self.offsets[v.index()]..self.offsets[v.index() + 1]
+    }
+
+    /// Number of virtual nodes owned by `v` (its degree).
+    #[inline]
+    pub fn slot_count(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The `slot`-th virtual node of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slot_count(v)`.
+    #[inline]
+    pub fn vid(&self, v: NodeId, slot: usize) -> VirtualId {
+        let r = self.slots(v);
+        let id = r.start as usize + slot;
+        assert!(id < r.end as usize, "slot {slot} out of range for {v:?}");
+        VirtualId(id as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_covers_two_m_slots() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let vm = VirtualMap::new(&g);
+        assert_eq!(vm.count(), 2 * g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(vm.slot_count(v), g.degree(v));
+            for (i, vid) in vm.slots(v).enumerate() {
+                assert_eq!(vm.owner(VirtualId(vid)), v);
+                assert_eq!(vm.vid(v, i), VirtualId(vid));
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_contiguous_and_disjoint() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let vm = VirtualMap::new(&g);
+        let all: Vec<u32> = g.nodes().flat_map(|v| vm.slots(v)).collect();
+        assert_eq!(all, (0..vm.count() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let vm = VirtualMap::new(&g);
+        let _ = vm.vid(NodeId(0), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for graph construction and queries.
+
+use std::fmt;
+
+/// Errors produced by graph construction and by algorithms that place
+/// requirements on their input graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint referenced a node id outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// The operation requires a connected graph but the input is not.
+    Disconnected,
+    /// The operation requires a non-empty graph.
+    Empty,
+    /// A generator was asked for an impossible parameter combination
+    /// (for example, a d-regular graph with `n * d` odd).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A weighted-graph constructor received a weight list whose length
+    /// differs from the number of edges.
+    WeightCountMismatch {
+        /// Number of edges in the graph.
+        edges: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+            GraphError::WeightCountMismatch { edges, weights } => {
+                write!(f, "weight count {weights} does not match edge count {edges}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        let e = GraphError::InvalidParameters { reason: "n*d odd".into() };
+        assert!(e.to_string().contains("n*d odd"));
+    }
+}

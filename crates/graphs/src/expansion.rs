@@ -1,0 +1,334 @@
+//! Edge expansion, conductance, and the spectral toolkit.
+//!
+//! The paper's bounds are phrased in terms of the edge expansion `h(G)`
+//! (§2), the conductance `φ(G)` (proof of Lemma 2.3) and the mixing time.
+//! Exact `h`/`φ` require enumerating all cuts and are provided for tiny
+//! graphs (used by tests and to validate the spectral estimates); for
+//! experiment-scale graphs we use the spectral machinery:
+//!
+//! * [`lambda2_lazy`] — second-largest eigenvalue of the *lazy* random-walk
+//!   transition matrix `W = ½(I + D⁻¹A)` via power iteration on the
+//!   symmetrized form.
+//! * [`lambda2_regularized`] — second-largest eigenvalue of the 2Δ-regular
+//!   walk matrix `M = I − L/(2Δ)` (Definition 2.2), which is already
+//!   symmetric.
+//! * Cheeger-inequality conversions between spectral gap and conductance.
+
+use crate::{Graph, NodeId};
+
+/// Number of edges crossing the cut `(S, V∖S)`, where `in_s[v]` marks
+/// membership of `v` in `S`. Self-loops never cross.
+pub fn cut_size(g: &Graph, in_s: &[bool]) -> usize {
+    g.edges().filter(|&(_, u, v)| in_s[u.index()] != in_s[v.index()]).count()
+}
+
+/// Volume of `S`: the sum of degrees of its members.
+pub fn side_volume(g: &Graph, in_s: &[bool]) -> usize {
+    g.nodes().filter(|v| in_s[v.index()]).map(|v| g.degree(v)).sum()
+}
+
+/// Exact edge expansion `h(G) = min_{1 ≤ |S| ≤ n/2} e(S, V∖S)/|S|` by
+/// enumerating all `2^(n−1)` cuts. Returns `None` for `n < 2` or `n > 24`.
+pub fn edge_expansion_exact(g: &Graph) -> Option<f64> {
+    let n = g.len();
+    if !(2..=24).contains(&n) {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    let mut in_s = vec![false; n];
+    // Fix node 0 out of S to halve the enumeration; every nontrivial cut has
+    // a side not containing node 0.
+    for mask in 1u64..(1u64 << (n - 1)) {
+        let size = mask.count_ones() as usize;
+        if size > n / 2 {
+            continue;
+        }
+        for (i, flag) in in_s.iter_mut().enumerate().take(n).skip(1) {
+            *flag = (mask >> (i - 1)) & 1 == 1;
+        }
+        in_s[0] = false;
+        let cut = cut_size(g, &in_s);
+        best = best.min(cut as f64 / size as f64);
+    }
+    Some(best)
+}
+
+/// Exact conductance `φ(G) = min_{vol(S) ≤ m} e(S, V∖S)/vol(S)` by cut
+/// enumeration. Returns `None` for `n < 2` or `n > 24`.
+pub fn conductance_exact(g: &Graph) -> Option<f64> {
+    let n = g.len();
+    if !(2..=24).contains(&n) {
+        return None;
+    }
+    let m = g.edge_count();
+    let mut best = f64::INFINITY;
+    let mut in_s = vec![false; n];
+    for mask in 1u64..(1u64 << n) - 1 {
+        for (i, flag) in in_s.iter_mut().enumerate().take(n) {
+            *flag = (mask >> i) & 1 == 1;
+        }
+        let vol = side_volume(g, &in_s);
+        if vol == 0 || vol > m {
+            continue;
+        }
+        let cut = cut_size(g, &in_s);
+        best = best.min(cut as f64 / vol as f64);
+    }
+    if best.is_finite() {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+fn project_out(x: &mut [f64], dir: &[f64]) {
+    let dot: f64 = x.iter().zip(dir).map(|(a, b)| a * b).sum();
+    for (v, d) in x.iter_mut().zip(dir) {
+        *v -= dot * d;
+    }
+}
+
+/// Second-largest eigenvalue of the lazy walk matrix `W = ½(I + D⁻¹A)`,
+/// computed on the symmetric similarity `½(I + D^{-1/2} A D^{-1/2})` by
+/// power iteration with deflation of the known top eigenvector `D^{1/2}𝟙`.
+///
+/// `iters` power steps are performed (200 is plenty for experiment-scale
+/// graphs). Returns `None` for empty graphs or graphs with isolated nodes.
+pub fn lambda2_lazy(g: &Graph, iters: usize) -> Option<f64> {
+    let n = g.len();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(0.0);
+    }
+    let sqrt_deg: Vec<f64> = g.nodes().map(|v| (g.degree(v) as f64).sqrt()).collect();
+    if sqrt_deg.iter().any(|&d| d == 0.0) {
+        return None;
+    }
+    let mut top: Vec<f64> = sqrt_deg.clone();
+    normalize(&mut top);
+    // Deterministic pseudo-random start vector orthogonalized against top.
+    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.754_877_666 + 0.1).sin()).collect();
+    project_out(&mut x, &top);
+    normalize(&mut x);
+    let mut lambda = 0.0f64;
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iters {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for (_, u, v) in g.edges() {
+            let (ui, vi) = (u.index(), v.index());
+            if ui == vi {
+                // Self-loop contributes 2 endpoints on the same node.
+                y[ui] += 2.0 * x[ui] / (sqrt_deg[ui] * sqrt_deg[ui]);
+            } else {
+                y[ui] += x[vi] / (sqrt_deg[ui] * sqrt_deg[vi]);
+                y[vi] += x[ui] / (sqrt_deg[ui] * sqrt_deg[vi]);
+            }
+        }
+        // Lazy: S_lazy = ½(I + S).
+        for i in 0..n {
+            y[i] = 0.5 * (x[i] + y[i]);
+        }
+        project_out(&mut y, &top);
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return Some(0.0);
+        }
+        lambda = norm;
+        for v in y.iter_mut() {
+            *v /= norm;
+        }
+        std::mem::swap(&mut x, &mut y);
+    }
+    Some(lambda.min(1.0))
+}
+
+/// Second-largest eigenvalue of the 2Δ-regular walk matrix
+/// `M = I − L/(2Δ)` of Definition 2.2, by power iteration with deflation of
+/// the uniform vector (the matrix is symmetric, its top eigenvector).
+pub fn lambda2_regularized(g: &Graph, iters: usize) -> Option<f64> {
+    let n = g.len();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(0.0);
+    }
+    let delta = g.max_degree() as f64;
+    if delta == 0.0 {
+        return None;
+    }
+    let top = vec![1.0 / (n as f64).sqrt(); n];
+    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.324_717_957 + 0.2).cos()).collect();
+    project_out(&mut x, &top);
+    normalize(&mut x);
+    let mut lambda = 0.0f64;
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iters {
+        // y = x - (D x - A x) / (2Δ)
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for (_, u, v) in g.edges() {
+            let (ui, vi) = (u.index(), v.index());
+            if ui != vi {
+                y[ui] += x[vi];
+                y[vi] += x[ui];
+            } else {
+                y[ui] += 2.0 * x[ui];
+            }
+        }
+        for (i, yi) in y.iter_mut().enumerate() {
+            let d = g.degree(NodeId::from(i)) as f64;
+            *yi = x[i] - (d * x[i] - *yi) / (2.0 * delta);
+        }
+        project_out(&mut y, &top);
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return Some(0.0);
+        }
+        lambda = norm;
+        for v in y.iter_mut() {
+            *v /= norm;
+        }
+        std::mem::swap(&mut x, &mut y);
+    }
+    Some(lambda.min(1.0))
+}
+
+/// Spectral gap `1 − λ₂` of the lazy walk; `None` under the same conditions
+/// as [`lambda2_lazy`].
+pub fn spectral_gap_lazy(g: &Graph, iters: usize) -> Option<f64> {
+    lambda2_lazy(g, iters).map(|l| 1.0 - l)
+}
+
+/// Cheeger-inequality bracket for the conductance from the lazy spectral
+/// gap: `gap ≤ φ ≤ √(2·gap)` (for the lazy chain, `gap = (1−λ₂)` relates to
+/// the non-lazy gap by a factor 2, folded in here).
+pub fn conductance_spectral_bounds(g: &Graph, iters: usize) -> Option<(f64, f64)> {
+    let gap = spectral_gap_lazy(g, iters)?;
+    let nonlazy_gap = 2.0 * gap;
+    Some((nonlazy_gap / 2.0, (2.0 * nonlazy_gap).sqrt()))
+}
+
+/// The Cheeger-based upper bound of Lemma 2.3 on the 2Δ-regular mixing
+/// time: `τ̄_mix ≤ 8·Δ²/h² · ln n`.
+pub fn cheeger_mixing_bound(g: &Graph, edge_expansion: f64) -> f64 {
+    let delta = g.max_degree() as f64;
+    let n = g.len() as f64;
+    8.0 * delta * delta / (edge_expansion * edge_expansion) * n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cut_and_volume_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let in_s = vec![true, true, false, false];
+        assert_eq!(cut_size(&g, &in_s), 1);
+        assert_eq!(side_volume(&g, &in_s), 3);
+    }
+
+    #[test]
+    fn expansion_of_complete_graph() {
+        // h(K_n) = ceil(n/2); for K_4, min over |S|∈{1,2}: |S|=2 gives 4/2=2.
+        let g = generators::complete(4);
+        assert_eq!(edge_expansion_exact(&g), Some(2.0));
+    }
+
+    #[test]
+    fn expansion_of_path_is_cut_in_middle() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let h = edge_expansion_exact(&g).unwrap();
+        assert!((h - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_dumbbell_is_bridge_limited() {
+        // Two triangles joined by one edge: φ = 1/7 (cut the bridge).
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 1.0 / 7.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn exact_measures_bail_on_large_graphs() {
+        let g = generators::ring(30);
+        assert_eq!(edge_expansion_exact(&g), None);
+        assert_eq!(conductance_exact(&g), None);
+    }
+
+    #[test]
+    fn lambda2_of_complete_graph_matches_theory() {
+        // Non-lazy K_n walk: λ₂ = −1/(n−1); lazy: ½(1 − 1/(n−1)).
+        let n = 8;
+        let g = generators::complete(n);
+        let l2 = lambda2_lazy(&g, 300).unwrap();
+        let expect = 0.5 * (1.0 - 1.0 / (n as f64 - 1.0));
+        assert!((l2 - expect).abs() < 1e-6, "got {l2}, expected {expect}");
+    }
+
+    #[test]
+    fn lambda2_of_cycle_matches_theory() {
+        // Cycle C_n: λ₂(walk) = cos(2π/n); lazy: ½(1 + cos(2π/n)).
+        let n = 12;
+        let g = generators::ring(n);
+        let l2 = lambda2_lazy(&g, 2000).unwrap();
+        let expect = 0.5 * (1.0 + (2.0 * std::f64::consts::PI / n as f64).cos());
+        assert!((l2 - expect).abs() < 1e-6, "got {l2}, expected {expect}");
+    }
+
+    #[test]
+    fn regularized_lambda2_on_regular_graph_matches_lazy() {
+        // On a d-regular graph the 2Δ-regular walk *is* the lazy walk.
+        let g = generators::hypercube(4);
+        let a = lambda2_lazy(&g, 500).unwrap();
+        let b = lambda2_regularized(&g, 500).unwrap();
+        assert!((a - b).abs() < 1e-6, "lazy {a} vs regularized {b}");
+    }
+
+    #[test]
+    fn expander_has_large_gap_ring_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let exp = generators::random_regular(128, 6, &mut rng).unwrap();
+        let ring = generators::ring(128);
+        let g_exp = spectral_gap_lazy(&exp, 400).unwrap();
+        let g_ring = spectral_gap_lazy(&ring, 400).unwrap();
+        assert!(g_exp > 0.05, "expander gap {g_exp}");
+        assert!(g_ring < 0.01, "ring gap {g_ring}");
+        assert!(g_exp > 10.0 * g_ring);
+    }
+
+    #[test]
+    fn cheeger_bracket_contains_exact_conductance() {
+        let g = generators::hypercube(3);
+        let phi = conductance_exact(&g).unwrap();
+        let (lo, hi) = conductance_spectral_bounds(&g, 500).unwrap();
+        assert!(lo <= phi + 1e-9 && phi <= hi + 1e-9, "{lo} <= {phi} <= {hi}");
+    }
+
+    #[test]
+    fn cheeger_mixing_bound_scales_with_expansion() {
+        let g = generators::complete(8);
+        let h = edge_expansion_exact(&g).unwrap();
+        let bound = cheeger_mixing_bound(&g, h);
+        assert!(bound > 0.0 && bound < 100.0);
+    }
+}

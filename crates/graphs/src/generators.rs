@@ -1,0 +1,642 @@
+//! Graph-family generators used by the experiments.
+//!
+//! Fast-mixing families (random regular, Erdős–Rényi above the connectivity
+//! threshold, hypercubes) exercise the paper's headline regime
+//! `τ_mix = poly log n`; slow-mixing controls (barbell, lollipop, ring,
+//! dumbbell expanders) exercise the `τ_mix`-dependence of every bound.
+//!
+//! Every generator takes an explicit [`Rng`] and is deterministic given the
+//! RNG state, so experiments are reproducible from a seed.
+
+use crate::{Graph, GraphBuilder, GraphError, Result};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Erdős–Rényi graph `G(n, p)`: each of the `n·(n−1)/2` pairs is an edge
+/// independently with probability `p`.
+///
+/// Uses the standard geometric-skipping sampler, `O(n + m)` expected time.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameters { reason: format!("p = {p} not in [0, 1]") });
+    }
+    let mut b = GraphBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return Ok(b.build());
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        return Ok(b.build());
+    }
+    // Iterate pair index k over the upper triangle with geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let total = n * (n - 1) / 2;
+    let mut k: usize = 0;
+    loop {
+        let r: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log_q).floor() as usize;
+        k = k.saturating_add(skip);
+        if k >= total {
+            break;
+        }
+        let (u, v) = pair_from_index(n, k);
+        b.add_edge(u, v);
+        k += 1;
+        if k >= total {
+            break;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Maps a linear index `k` in `0..n(n-1)/2` to the `k`-th pair `(u, v)` with
+/// `u < v`, in row-major upper-triangle order.
+fn pair_from_index(n: usize, mut k: usize) -> (usize, usize) {
+    let mut u = 0usize;
+    let mut row = n - 1;
+    while k >= row {
+        k -= row;
+        u += 1;
+        row -= 1;
+    }
+    (u, u + 1 + k)
+}
+
+/// Keeps resampling `G(n, p)` until it is connected (at most `tries` times).
+///
+/// # Errors
+///
+/// [`GraphError::Disconnected`] if no connected sample was found.
+pub fn connected_erdos_renyi<R: Rng>(n: usize, p: f64, tries: usize, rng: &mut R) -> Result<Graph> {
+    for _ in 0..tries {
+        let g = erdos_renyi(n, p, rng)?;
+        if g.is_connected() {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::Disconnected)
+}
+
+/// Exact `d`-regular simple random graph via the configuration model with
+/// switch-based repair of self-loops and parallel edges.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n·d` is odd, `d >= n`, or repair
+/// fails to converge (practically impossible for `d ≤ n/4`).
+pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Result<Graph> {
+    if n == 0 || d == 0 {
+        return Ok(GraphBuilder::new(n).build());
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameters { reason: format!("d = {d} must be < n = {n}") });
+    }
+    if (n * d) % 2 != 0 {
+        return Err(GraphError::InvalidParameters { reason: format!("n*d = {} is odd", n * d) });
+    }
+    // Pairing: each node contributes d stubs; shuffle and pair consecutive.
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for v in 0..n {
+        for _ in 0..d {
+            stubs.push(v as u32);
+        }
+    }
+    stubs.shuffle(rng);
+    let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| norm(c[0], c[1])).collect();
+    // Repair self-loops / parallels by random switches. Each switch picks a
+    // bad edge (u,v) and a good partner (x,y) and rewires to (u,x),(v,y)
+    // when the result is simple; this preserves the degree sequence. Passes
+    // recompute the bad set from scratch; the bad set is O(d²) in
+    // expectation, so a handful of passes suffice.
+    let mut passes = 64;
+    loop {
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &e) in edges.iter().enumerate() {
+            if e.0 == e.1 || !seen.insert(e) {
+                bad.push(i);
+            }
+        }
+        if bad.is_empty() {
+            break;
+        }
+        if passes == 0 {
+            return Err(GraphError::InvalidParameters {
+                reason: "regular-graph repair did not converge".into(),
+            });
+        }
+        passes -= 1;
+        let bad_set: HashSet<usize> = bad.iter().copied().collect();
+        for &i in &bad {
+            // A bounded number of random partner attempts per bad edge;
+            // unfixed edges are retried on the next pass.
+            for _ in 0..64 {
+                let j = rng.random_range(0..edges.len());
+                if j == i || bad_set.contains(&j) {
+                    continue;
+                }
+                let (u, v) = edges[i];
+                let (mut x, mut y) = edges[j];
+                if rng.random_bool(0.5) {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                let e1 = norm(u, x);
+                let e2 = norm(v, y);
+                if u == x || v == y || e1 == e2 || seen.contains(&e1) || seen.contains(&e2) {
+                    continue;
+                }
+                // edges[i] was a self-loop (never in `seen`) or a duplicate
+                // (its primary copy stays valid), so only the partner edge
+                // needs removing from the simple-edge set.
+                seen.remove(&norm(edges[j].0, edges[j].1));
+                seen.insert(e1);
+                seen.insert(e2);
+                edges[i] = e1;
+                edges[j] = e2;
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u as usize, v as usize);
+    }
+    let g = b.build();
+    debug_assert!(g.nodes().all(|v| g.degree(v) == d));
+    Ok(g)
+}
+
+fn norm(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Near-regular random graph where every node picks `k` distinct uniform
+/// out-neighbors and edge directions are forgotten (duplicate undirected
+/// edges collapsed).
+///
+/// This matches the overlay-construction style of the paper's level-0 graph
+/// `G₀` (§3.1.1): degrees are `k + Binomial(n−1, k/(n−1)) ≈ 2k`, an
+/// excellent expander for `k = Ω(log n)`.
+pub fn random_out_union<R: Rng>(n: usize, k: usize, rng: &mut R) -> Result<Graph> {
+    if k >= n && n > 1 {
+        return Err(GraphError::InvalidParameters { reason: format!("k = {k} must be < n = {n}") });
+    }
+    let mut set: HashSet<(u32, u32)> = HashSet::new();
+    for u in 0..n {
+        let mut chosen = HashSet::with_capacity(k);
+        while chosen.len() < k {
+            let v = rng.random_range(0..n);
+            if v != u {
+                chosen.insert(v);
+            }
+        }
+        for v in chosen {
+            set.insert(norm(u as u32, v as u32));
+        }
+    }
+    let mut edges: Vec<_> = set.into_iter().collect();
+    edges.sort_unstable();
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u as usize, v as usize);
+    }
+    Ok(b.build())
+}
+
+/// The `d`-dimensional hypercube on `2^d` nodes.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if w > v {
+                b.add_edge(v, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` 2-D torus (wrap-around grid). Each node has degree 4
+/// when both dimensions exceed 2.
+pub fn torus_2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 {
+                b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            }
+            if rows > 1 {
+                b.add_edge(id(r, c), id((r + 1) % rows, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The cycle on `n` nodes (the classic `D = Ω(n)`, `τ_mix = Θ(n²)` control).
+pub fn ring(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    if n == 2 {
+        b.add_edge(0, 1);
+        return b.build();
+    }
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n);
+    }
+    b.build()
+}
+
+/// The complete graph `K_n` (the congested-clique topology).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barbell graph: two `K_k` cliques joined by a path of `bridge` extra nodes
+/// (`bridge = 0` joins them by a single edge). Mixing time `Θ(k³)`-ish — the
+/// classic slow-mixing control.
+pub fn barbell(k: usize, bridge: usize) -> Result<Graph> {
+    if k < 2 {
+        return Err(GraphError::InvalidParameters { reason: "barbell needs k >= 2".into() });
+    }
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v);
+        }
+    }
+    let off = k + bridge;
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(off + u, off + v);
+        }
+    }
+    // Path: node k-1 — k — k+1 — … — k+bridge-1 — off.
+    let mut prev = k - 1;
+    for i in 0..bridge {
+        b.add_edge(prev, k + i);
+        prev = k + i;
+    }
+    b.add_edge(prev, off);
+    Ok(b.build())
+}
+
+/// Lollipop graph: a `K_k` clique with a path of `tail` nodes attached.
+pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
+    if k < 2 {
+        return Err(GraphError::InvalidParameters { reason: "lollipop needs k >= 2".into() });
+    }
+    let n = k + tail;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v);
+        }
+    }
+    let mut prev = k - 1;
+    for i in 0..tail {
+        b.add_edge(prev, k + i);
+        prev = k + i;
+    }
+    Ok(b.build())
+}
+
+/// Dumbbell of expanders: two `d`-regular random graphs on `k` nodes each,
+/// connected by `bridges` random edges. With few bridges this has large
+/// mixing time but small diameter — it separates `τ_mix` from `D` in the
+/// experiments.
+pub fn dumbbell_expanders<R: Rng>(
+    k: usize,
+    d: usize,
+    bridges: usize,
+    rng: &mut R,
+) -> Result<Graph> {
+    if bridges == 0 {
+        return Err(GraphError::InvalidParameters { reason: "need at least one bridge".into() });
+    }
+    let g1 = random_regular(k, d, rng)?;
+    let g2 = random_regular(k, d, rng)?;
+    let mut b = GraphBuilder::new(2 * k);
+    for (_, u, v) in g1.edges() {
+        b.add_edge(u.index(), v.index());
+    }
+    for (_, u, v) in g2.edges() {
+        b.add_edge(k + u.index(), k + v.index());
+    }
+    for _ in 0..bridges {
+        let u = rng.random_range(0..k);
+        let v = rng.random_range(0..k);
+        b.add_edge(u, k + v);
+    }
+    Ok(b.build())
+}
+
+/// The Margulis–Gabber–Galil expander on `m² ` nodes: node `(x, y)` of
+/// `Z_m × Z_m` connects to `(x±y, y)`, `(x±y+1, y)`, `(x, y±x)` and
+/// `(x, y±x+1)` (all mod `m`). A *deterministic* constant-degree expander
+/// (spectral gap bounded away from 0 for every `m`) — the classical
+/// explicit construction, useful as a derandomized control next to the
+/// random families.
+///
+/// The result is an 8-regular multigraph (self-loops/parallels occur for
+/// small `m`, consistent with the usual definition).
+pub fn margulis_expander(m: usize) -> Result<Graph> {
+    if m < 2 {
+        return Err(GraphError::InvalidParameters { reason: "margulis needs m >= 2".into() });
+    }
+    let n = m * m;
+    let id = |x: usize, y: usize| (x % m) * m + (y % m);
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    for x in 0..m {
+        for y in 0..m {
+            let v = id(x, y);
+            // Undirected edges added once per generator (4 per node).
+            b.add_edge(v, id(x + y, y));
+            b.add_edge(v, id(x + y + 1, y));
+            b.add_edge(v, id(x, y + x));
+            b.add_edge(v, id(x, y + x + 1));
+        }
+    }
+    Ok(b.build())
+}
+
+/// Chung–Lu random graph with the given expected degree sequence: pair
+/// `(u, v)` is an edge with probability `min(1, w_u·w_v / Σw)`.
+///
+/// Degrees concentrate around `w_v`; used to generate heterogeneous-degree
+/// networks with a prescribed shape (e.g. heavy-tailed) for the
+/// degree-proportional load experiments.
+pub fn chung_lu<R: Rng>(weights: &[f64], rng: &mut R) -> Result<Graph> {
+    let n = weights.len();
+    if weights.iter().any(|&w| !(w >= 0.0) || !w.is_finite()) {
+        return Err(GraphError::InvalidParameters {
+            reason: "Chung-Lu weights must be finite and non-negative".into(),
+        });
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Ok(GraphBuilder::new(n).build());
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if p > 0.0 && rng.random_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` nodes; each new node attaches to `attach` distinct existing
+/// nodes chosen proportionally to degree.
+pub fn preferential_attachment<R: Rng>(n: usize, attach: usize, rng: &mut R) -> Result<Graph> {
+    if attach == 0 || n < attach + 1 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("need n >= attach + 1 > 1, got n = {n}, attach = {attach}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoints urn: sampling a uniform element of `urn` samples a
+    // node proportionally to its degree.
+    let mut urn: Vec<u32> = Vec::new();
+    for u in 0..=attach {
+        for v in (u + 1)..=attach {
+            b.add_edge(u, v);
+            urn.push(u as u32);
+            urn.push(v as u32);
+        }
+    }
+    for v in (attach + 1)..n {
+        let mut targets = HashSet::with_capacity(attach);
+        while targets.len() < attach {
+            let t = urn[rng.random_range(0..urn.len())];
+            targets.insert(t);
+        }
+        for t in targets {
+            b.add_edge(v, t as usize);
+            urn.push(v as u32);
+            urn.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA17)
+    }
+
+    #[test]
+    fn pair_index_enumerates_upper_triangle() {
+        let n = 5;
+        let mut seen = Vec::new();
+        for k in 0..(n * (n - 1) / 2) {
+            seen.push(pair_from_index(n, k));
+        }
+        let expect: Vec<_> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_concentrates() {
+        let mut r = rng();
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &mut r).unwrap();
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let got = g.edge_count() as f64;
+        assert!((got - expect).abs() < 0.2 * expect, "got {got}, expected ~{expect}");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut r = rng();
+        assert_eq!(erdos_renyi(10, 0.0, &mut r).unwrap().edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut r).unwrap().edge_count(), 45);
+        assert!(erdos_renyi(10, 1.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn connected_er_is_connected() {
+        let mut r = rng();
+        let g = connected_erdos_renyi(100, 0.08, 50, &mut r).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_regular_degrees_exact() {
+        let mut r = rng();
+        for &(n, d) in &[(10, 3), (50, 4), (64, 8), (101, 4)] {
+            let g = random_regular(n, d, &mut r).unwrap();
+            assert_eq!(g.edge_count(), n * d / 2);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "n={n} d={d} v={v:?}");
+            }
+            // Simple: no self-loops, no parallel edges.
+            let mut set = std::collections::HashSet::new();
+            for (_, u, v) in g.edges() {
+                assert_ne!(u, v);
+                assert!(set.insert((u.min(v), u.max(v))));
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_parameters() {
+        let mut r = rng();
+        assert!(random_regular(5, 3, &mut r).is_err()); // odd n*d
+        assert!(random_regular(4, 4, &mut r).is_err()); // d >= n
+        assert_eq!(random_regular(5, 0, &mut r).unwrap().edge_count(), 0);
+    }
+
+    #[test]
+    fn random_out_union_degree_bounds() {
+        let mut r = rng();
+        let (n, k) = (200, 5);
+        let g = random_out_union(n, k, &mut r).unwrap();
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 1, "isolated node");
+        }
+        // Average degree close to 2k (minus collision loss).
+        let avg = g.volume() as f64 / n as f64;
+        assert!(avg > 1.5 * k as f64 && avg < 2.2 * k as f64, "avg = {avg}");
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(crate::traversal::diameter_exact(&g), Some(4));
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus_2d(4, 5);
+        assert_eq!(g.len(), 20);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(crate::traversal::diameter_exact(&g), Some(3));
+        assert_eq!(ring(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(crate::traversal::diameter_exact(&g), Some(1));
+    }
+
+    #[test]
+    fn barbell_and_lollipop_shapes() {
+        let g = barbell(5, 3).unwrap();
+        assert_eq!(g.len(), 13);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 2 * 10 + 4);
+        let l = lollipop(4, 6).unwrap();
+        assert_eq!(l.len(), 10);
+        assert!(l.is_connected());
+        assert_eq!(crate::traversal::diameter_exact(&l), Some(7));
+    }
+
+    #[test]
+    fn dumbbell_is_connected_with_small_diameter() {
+        let mut r = rng();
+        let g = dumbbell_expanders(64, 6, 2, &mut r).unwrap();
+        assert_eq!(g.len(), 128);
+        assert!(g.is_connected());
+        let d = crate::traversal::diameter_exact(&g).unwrap();
+        assert!(d < 20, "expander dumbbell should have small diameter, got {d}");
+    }
+
+    #[test]
+    fn preferential_attachment_degrees() {
+        let mut r = rng();
+        let g = preferential_attachment(300, 3, &mut r).unwrap();
+        assert!(g.is_connected());
+        // Every non-seed node has degree >= attach.
+        for v in 4usize..300 {
+            assert!(g.degree(NodeId::from(v)) >= 3);
+        }
+        // Hubs exist: max degree well above attach.
+        assert!(g.max_degree() > 12);
+    }
+
+    #[test]
+    fn margulis_is_8_regular_and_expanding() {
+        let g = margulis_expander(8).unwrap();
+        assert_eq!(g.len(), 64);
+        // 8-regular counting self-loops twice and parallels.
+        assert!(g.nodes().all(|v| g.degree(v) == 8));
+        assert!(g.is_connected());
+        let gap = crate::expansion::spectral_gap_lazy(&g, 600).unwrap();
+        assert!(gap > 0.02, "Margulis gap {gap} too small");
+        // Deterministic: no RNG involved.
+        assert_eq!(g, margulis_expander(8).unwrap());
+        assert!(margulis_expander(1).is_err());
+    }
+
+    #[test]
+    fn chung_lu_matches_expected_degrees() {
+        let mut r = rng();
+        let n = 300;
+        let weights: Vec<f64> =
+            (0..n).map(|i| if i < 10 { 30.0 } else { 5.0 }).collect();
+        let g = chung_lu(&weights, &mut r).unwrap();
+        let hub_avg: f64 =
+            (0..10usize).map(|i| g.degree(NodeId::from(i)) as f64).sum::<f64>() / 10.0;
+        let leaf_avg: f64 =
+            (10..n as usize).map(|i| g.degree(NodeId::from(i)) as f64).sum::<f64>() / (n - 10) as f64;
+        assert!((hub_avg - 30.0).abs() < 10.0, "hub avg {hub_avg}");
+        assert!((leaf_avg - 5.0).abs() < 2.0, "leaf avg {leaf_avg}");
+        assert!(chung_lu(&[1.0, f64::NAN], &mut r).is_err());
+        assert_eq!(chung_lu(&[0.0; 4], &mut r).unwrap().edge_count(), 0);
+    }
+
+    #[test]
+    fn generators_deterministic_given_seed() {
+        let g1 = random_regular(40, 4, &mut StdRng::seed_from_u64(9)).unwrap();
+        let g2 = random_regular(40, 4, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1, g2);
+        let e1 = erdos_renyi(60, 0.1, &mut StdRng::seed_from_u64(5)).unwrap();
+        let e2 = erdos_renyi(60, 0.1, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Strongly typed node and edge identifiers.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`. The newtype
+/// prevents accidental mixing of node ids, edge ids and raw indices, which
+/// the simulator crates rely on heavily.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected edge in a [`crate::Graph`].
+///
+/// Edge ids are dense (`0..m`) and stable across the lifetime of the graph;
+/// both endpoints observe the same id, which lets the CONGEST simulator
+/// account per-edge congestion and lets weighted graphs break weight ties
+/// canonically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId(u32::try_from(v).expect("edge index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from(17usize);
+        assert_eq!(id.index(), 17);
+        assert_eq!(format!("{id:?}"), "n17");
+        assert_eq!(format!("{id}"), "17");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::from(3u32);
+        assert_eq!(id.index(), 3);
+        assert_eq!(format!("{id:?}"), "e3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+}

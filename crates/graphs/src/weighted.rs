@@ -1,0 +1,193 @@
+//! Weighted graphs with a canonical unique-weight order.
+
+use crate::{EdgeId, Graph, GraphError, NodeId, Result};
+use rand::{Rng, RngExt};
+
+/// The weight of an edge together with its id.
+///
+/// The paper (like most of the MST literature) assumes distinct edge weights
+/// so that the MST is unique. Rather than requiring callers to provide
+/// distinct weights, we compare `(weight, EdgeId)` lexicographically; since
+/// edge ids are unique, so is the induced total order, and the MST under
+/// this order is the canonical MST of the weighted graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeWeight {
+    /// The raw weight.
+    pub weight: u64,
+    /// Tie-breaking edge id.
+    pub edge: EdgeId,
+}
+
+impl EdgeWeight {
+    /// Creates the canonical `(weight, edge)` pair.
+    pub fn new(weight: u64, edge: EdgeId) -> Self {
+        EdgeWeight { weight, edge }
+    }
+}
+
+/// An undirected weighted (multi)graph: a [`Graph`] plus one `u64` weight
+/// per edge.
+///
+/// # Examples
+///
+/// ```
+/// use amt_graphs::{Graph, WeightedGraph};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+/// let wg = WeightedGraph::new(g, vec![5, 3, 9]).unwrap();
+/// assert_eq!(wg.weight(1u32.into()), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Wraps a graph with one weight per edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::WeightCountMismatch`] if `weights.len()`
+    /// differs from `graph.edge_count()`.
+    pub fn new(graph: Graph, weights: Vec<u64>) -> Result<Self> {
+        if weights.len() != graph.edge_count() {
+            return Err(GraphError::WeightCountMismatch {
+                edges: graph.edge_count(),
+                weights: weights.len(),
+            });
+        }
+        Ok(WeightedGraph { graph, weights })
+    }
+
+    /// Assigns independent uniform weights in `1..=max_weight` to every edge.
+    pub fn with_random_weights<R: Rng>(graph: Graph, max_weight: u64, rng: &mut R) -> Self {
+        let weights = (0..graph.edge_count()).map(|_| rng.random_range(1..=max_weight)).collect();
+        WeightedGraph { graph, weights }
+    }
+
+    /// The underlying unweighted graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The raw weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e.index()]
+    }
+
+    /// The canonical totally ordered weight of edge `e` (ties broken by id).
+    #[inline]
+    pub fn canonical_weight(&self, e: EdgeId) -> EdgeWeight {
+        EdgeWeight::new(self.weights[e.index()], e)
+    }
+
+    /// All raw weights, indexed by edge id.
+    #[inline]
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Sum of the weights of the given edge set (e.g. a spanning tree).
+    pub fn total_weight(&self, edges: &[EdgeId]) -> u64 {
+        edges.iter().map(|e| self.weight(*e)).sum()
+    }
+
+    /// The minimum-canonical-weight edge incident to `v` whose other
+    /// endpoint satisfies `pred`, if any. Used pervasively by Boruvka-style
+    /// algorithms ("lightest outgoing edge").
+    pub fn min_incident_edge<F>(&self, v: NodeId, mut pred: F) -> Option<(EdgeId, NodeId)>
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        let mut best: Option<(EdgeWeight, NodeId)> = None;
+        for (w, e) in self.graph.neighbors(v) {
+            if w != v && pred(w) {
+                let cw = self.canonical_weight(e);
+                if best.map_or(true, |(b, _)| cw < b) {
+                    best = Some((cw, w));
+                }
+            }
+        }
+        best.map(|(cw, w)| (cw.edge, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        WeightedGraph::new(g, vec![5, 3, 9]).unwrap()
+    }
+
+    #[test]
+    fn weights_by_edge_id() {
+        let wg = triangle();
+        assert_eq!(wg.weight(EdgeId(0)), 5);
+        assert_eq!(wg.weight(EdgeId(2)), 9);
+        assert_eq!(wg.total_weight(&[EdgeId(0), EdgeId(1)]), 8);
+    }
+
+    #[test]
+    fn mismatched_weight_count_rejected() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let err = WeightedGraph::new(g, vec![1, 2]).unwrap_err();
+        assert_eq!(err, GraphError::WeightCountMismatch { edges: 1, weights: 2 });
+    }
+
+    #[test]
+    fn canonical_weights_break_ties_by_id() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        let wg = WeightedGraph::new(g, vec![7, 7]).unwrap();
+        assert!(wg.canonical_weight(EdgeId(0)) < wg.canonical_weight(EdgeId(1)));
+    }
+
+    #[test]
+    fn min_incident_edge_respects_predicate() {
+        let wg = triangle();
+        // From node 0: edge 0 (w=5) to node 1, edge 2 (w=9) to node 2.
+        let (e, w) = wg.min_incident_edge(NodeId(0), |_| true).unwrap();
+        assert_eq!((e, w), (EdgeId(0), NodeId(1)));
+        let (e, w) = wg.min_incident_edge(NodeId(0), |x| x == NodeId(2)).unwrap();
+        assert_eq!((e, w), (EdgeId(2), NodeId(2)));
+        assert!(wg.min_incident_edge(NodeId(0), |_| false).is_none());
+    }
+
+    #[test]
+    fn min_incident_edge_ignores_self_loops() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        let wg = WeightedGraph::new(g, vec![1, 100]).unwrap();
+        let (e, _) = wg.min_incident_edge(NodeId(0), |_| true).unwrap();
+        assert_eq!(e, EdgeId(1));
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 10, &mut rng);
+        assert!(wg.weights().iter().all(|&w| (1..=10).contains(&w)));
+    }
+}

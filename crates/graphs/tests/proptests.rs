@@ -1,0 +1,146 @@
+//! Property-based tests for the graph substrate.
+
+use amt_graphs::{expansion, generators, traversal, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary (possibly disconnected) graph as `(n, edges)`.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..60)
+            .prop_map(move |edges| Graph::from_edges(n, &edges).expect("endpoints in range"))
+    })
+}
+
+/// Strategy: a connected graph (random tree + extras).
+fn arb_connected() -> impl Strategy<Value = Graph> {
+    (3usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(v, rng.random_range(0..v));
+        }
+        for _ in 0..n / 2 {
+            b.add_edge(rng.random_range(0..n), rng.random_range(0..n));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_degree_sum_is_twice_edges(g in arb_graph()) {
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+        prop_assert_eq!(total, g.volume());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph()) {
+        for (e, u, v) in g.edges() {
+            prop_assert!(g.neighbors(u).any(|(w, f)| f == e && w == v));
+            prop_assert!(g.neighbors(v).any(|(w, f)| f == e && w == u));
+        }
+    }
+
+    #[test]
+    fn neighbor_at_matches_iterator(g in arb_graph()) {
+        for v in g.nodes() {
+            for (i, pair) in g.neighbors(v).enumerate() {
+                prop_assert_eq!(g.neighbor_at(v, i), pair);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_edge_relaxation(g in arb_connected()) {
+        let dist = traversal::bfs_distances(&g, NodeId(0));
+        for (_, u, v) in g.edges() {
+            let (du, dv) = (dist[u.index()], dist[v.index()]);
+            prop_assert!(du.abs_diff(dv) <= 1, "edge endpoints differ by > 1");
+        }
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_exact_diameter(g in arb_connected()) {
+        let exact = traversal::diameter_exact(&g).expect("connected");
+        let sweep = traversal::diameter_double_sweep(&g, NodeId(0)).expect("connected");
+        prop_assert!(sweep <= exact);
+        prop_assert!(2 * sweep >= exact, "double sweep is a 2-approximation");
+    }
+
+    #[test]
+    fn bfs_tree_depths_equal_distances(g in arb_connected()) {
+        let tree = traversal::bfs_tree(&g, NodeId(0));
+        let dist = traversal::bfs_distances(&g, NodeId(0));
+        for v in g.nodes() {
+            prop_assert_eq!(tree.depth[v.index()], dist[v.index()]);
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes(g in arb_graph()) {
+        let (comp, k) = traversal::connected_components(&g);
+        prop_assert!(k >= 1);
+        prop_assert!(comp.iter().all(|&c| (c as usize) < k));
+        // Edges never cross components.
+        for (_, u, v) in g.edges() {
+            prop_assert_eq!(comp[u.index()], comp[v.index()]);
+        }
+    }
+
+    #[test]
+    fn spectral_gap_within_unit_interval(g in arb_connected()) {
+        let gap = expansion::spectral_gap_lazy(&g, 300).expect("connected, no isolated");
+        prop_assert!((-1e-9..=1.0).contains(&gap), "gap = {gap}");
+    }
+
+    #[test]
+    fn cheeger_bracket_brackets_exact_conductance(g in arb_connected()) {
+        if g.len() <= 16 {
+            if let Some(phi) = expansion::conductance_exact(&g) {
+                let (lo, hi) = expansion::conductance_spectral_bounds(&g, 600).expect("connected");
+                prop_assert!(lo <= phi + 1e-6, "lower {lo} > phi {phi}");
+                prop_assert!(phi <= hi + 1e-6, "phi {phi} > upper {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_generator_always_regular(n in 6usize..40, d in 2usize..5, seed in any::<u64>()) {
+        prop_assume!((n * d) % 2 == 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_regular(n, d, &mut rng).expect("feasible");
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), d);
+        }
+        // Simple: no loops, no parallels.
+        let mut seen = std::collections::HashSet::new();
+        for (_, u, v) in g.edges() {
+            prop_assert!(u != v);
+            prop_assert!(seen.insert((u.min(v), u.max(v))));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_respects_p_bounds(n in 2usize..50, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let empty = generators::erdos_renyi(n, 0.0, &mut rng).expect("valid p");
+        prop_assert_eq!(empty.edge_count(), 0);
+        let full = generators::erdos_renyi(n, 1.0, &mut rng).expect("valid p");
+        prop_assert_eq!(full.edge_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn cut_size_is_symmetric_in_complement(g in arb_graph(), mask in any::<u32>()) {
+        let in_s: Vec<bool> = (0..g.len()).map(|i| (mask >> (i % 32)) & 1 == 1).collect();
+        let flipped: Vec<bool> = in_s.iter().map(|&b| !b).collect();
+        prop_assert_eq!(expansion::cut_size(&g, &in_s), expansion::cut_size(&g, &flipped));
+        prop_assert_eq!(
+            expansion::side_volume(&g, &in_s) + expansion::side_volume(&g, &flipped),
+            g.volume()
+        );
+    }
+}

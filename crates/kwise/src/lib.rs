@@ -1,0 +1,374 @@
+//! Θ(log n)-wise independent hashing and the β-ary partition labeling.
+//!
+//! §3.1.2 of the paper partitions the virtual nodes recursively into β parts
+//! per level, using a Θ(log n)-wise independent hash function shared by all
+//! nodes (its `Θ(log² n)` seed bits are broadcast once). This gives both
+//! properties the construction needs:
+//!
+//! * **(P1) near-uniformity** — limited-independence Chernoff bounds
+//!   (Schmidt–Siegel–Srinivasan) give `Θ(m/β^p)` nodes per depth-`p` part;
+//! * **(P2) locality** — any node can compute any other node's full label
+//!   sequence from its id alone.
+//!
+//! [`KWiseHash`] implements the textbook construction: a random polynomial
+//! of degree `k−1` over the prime field `GF(2⁶¹−1)`, evaluated at the key.
+//! Any `k` distinct keys receive exactly uniform, independent values.
+//! [`PartitionHash`] maps hash values to leaves of the β-ary tree of depth
+//! `k_levels` and exposes per-level labels and part indices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tabulation;
+
+pub use tabulation::TabulationHash;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// The Mersenne prime `2⁶¹ − 1` used as the hash field modulus.
+pub const FIELD_PRIME: u64 = (1 << 61) - 1;
+
+/// Multiplication in `GF(2⁶¹−1)`.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let prod = u128::from(a) * u128::from(b);
+    // Fast Mersenne reduction: split at bit 61.
+    let lo = (prod & u128::from(FIELD_PRIME)) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= FIELD_PRIME {
+        s -= FIELD_PRIME;
+    }
+    s
+}
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let s = a + b; // both < 2^61, no overflow
+    if s >= FIELD_PRIME {
+        s - FIELD_PRIME
+    } else {
+        s
+    }
+}
+
+/// A `k`-wise independent hash function: a uniformly random polynomial of
+/// degree `k − 1` over `GF(2⁶¹−1)`.
+///
+/// For any `k` distinct keys, the tuple of hash values is exactly uniform
+/// over the field — the classical polynomial construction cited by the
+/// paper (Alon–Spencer). The seed costs `k·61 = Θ(k log n)` shared random
+/// bits, matching the paper's `Θ(log² n)` for `k = Θ(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use amt_kwise::KWiseHash;
+/// let h = KWiseHash::from_seed(8, 42);
+/// assert_eq!(h.eval(17), h.eval(17));
+/// assert_eq!(h.independence(), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KWiseHash {
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a random degree-`(k−1)` polynomial from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn from_seed(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "independence parameter k must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::from_rng(k, &mut rng)
+    }
+
+    /// Draws a random degree-`(k−1)` polynomial from an existing RNG.
+    pub fn from_rng<R: Rng>(k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "independence parameter k must be positive");
+        let coeffs = (0..k).map(|_| rng.random_range(0..FIELD_PRIME)).collect();
+        KWiseHash { coeffs }
+    }
+
+    /// The independence parameter `k`.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of shared random bits the seed represents (`k · 61`).
+    pub fn seed_bits(&self) -> usize {
+        self.coeffs.len() * 61
+    }
+
+    /// Evaluates the polynomial at `x` (reduced into the field first).
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % FIELD_PRIME;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+}
+
+/// The β-ary partition labeling of §3.1.2: maps ids to leaves of a β-ary
+/// tree of depth `levels`, via a shared [`KWiseHash`].
+///
+/// Level-`p` labels (`1 ≤ p ≤ levels`) are the base-β digits of the leaf
+/// index, most significant first, so label prefixes identify the nested
+/// parts `A_i ⊃ B_{ji} ⊃ …` of the hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use amt_kwise::PartitionHash;
+/// let p = PartitionHash::new(4, 3, 8, 42);
+/// let leaf = p.leaf(17);
+/// assert!(leaf < 64);
+/// // Labels are the base-4 digits of the leaf, most significant first.
+/// let rebuilt = p.labels(17).iter().fold(0, |acc, &l| acc * 4 + u64::from(l));
+/// assert_eq!(rebuilt, leaf);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartitionHash {
+    hash: KWiseHash,
+    beta: u32,
+    levels: u32,
+    leaf_count: u64,
+}
+
+impl PartitionHash {
+    /// Creates a partition hash with branching `beta`, depth `levels`, and
+    /// `independence`-wise independent placement, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta < 2`, `levels == 0`, or `beta^levels` overflows `u64`
+    /// or is not far below the field size (`≥ 2⁵⁰`), which would make the
+    /// modulo bias non-negligible.
+    pub fn new(beta: u32, levels: u32, independence: usize, seed: u64) -> Self {
+        assert!(beta >= 2, "beta must be at least 2");
+        assert!(levels >= 1, "levels must be at least 1");
+        let leaf_count = (0..levels).try_fold(1u64, |acc, _| acc.checked_mul(u64::from(beta)));
+        let leaf_count = leaf_count.expect("beta^levels overflows u64");
+        assert!(leaf_count < (1 << 50), "beta^levels too close to field size");
+        PartitionHash { hash: KWiseHash::from_seed(independence, seed), beta, levels, leaf_count }
+    }
+
+    /// Branching factor β.
+    pub fn beta(&self) -> u32 {
+        self.beta
+    }
+
+    /// Depth of the partition tree.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total number of leaves `β^levels`.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    /// Number of shared random bits behind this partition.
+    pub fn seed_bits(&self) -> usize {
+        self.hash.seed_bits()
+    }
+
+    /// The leaf index of `id`, in `0..leaf_count`.
+    pub fn leaf(&self, id: u64) -> u64 {
+        self.hash.eval(id) % self.leaf_count
+    }
+
+    /// The level-`p` label of `id` (`p` in `1..=levels`), in `0..beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds `levels`.
+    pub fn label_at(&self, id: u64, level: u32) -> u32 {
+        assert!((1..=self.levels).contains(&level), "level {level} out of range");
+        let leaf = self.leaf(id);
+        let shift = self.levels - level;
+        let mut v = leaf;
+        for _ in 0..shift {
+            v /= u64::from(self.beta);
+        }
+        (v % u64::from(self.beta)) as u32
+    }
+
+    /// The full label sequence `(ℓ₁, …, ℓ_levels)` of `id`.
+    pub fn labels(&self, id: u64) -> Vec<u32> {
+        (1..=self.levels).map(|p| self.label_at(id, p)).collect()
+    }
+
+    /// The index of the depth-`p` part containing `id`: the integer formed
+    /// by the first `p` labels (0 at depth 0, i.e. the whole set).
+    pub fn part_at(&self, id: u64, depth: u32) -> u64 {
+        assert!(depth <= self.levels, "depth {depth} out of range");
+        let mut v = self.leaf(id);
+        for _ in 0..(self.levels - depth) {
+            v /= u64::from(self.beta);
+        }
+        v
+    }
+
+    /// Number of parts at `depth`: `β^depth`.
+    pub fn parts_at(&self, depth: u32) -> u64 {
+        (0..depth).fold(1u64, |acc, _| acc * u64::from(self.beta))
+    }
+}
+
+/// Chooses the paper's parameters for `n` elements: `β` as the power of two
+/// nearest `2^√(log n · log log n)` (clamped to `[2, 2¹⁶]`) and depth
+/// `⌈log_β(n / log n)⌉` so bottom parts have `Θ(log n)` elements.
+///
+/// Returns `(beta, levels)`; `levels ≥ 1` always.
+pub fn paper_parameters(n: usize) -> (u32, u32) {
+    let n = n.max(4) as f64;
+    let log_n = n.log2();
+    let beta_exp = (log_n * log_n.log2().max(1.0)).sqrt().round().clamp(1.0, 16.0);
+    let mut beta = 2f64.powf(beta_exp) as u32;
+    // Keep a single level meaningful on small inputs: β at most n/8.
+    while beta > 2 && f64::from(beta) > n / 8.0 {
+        beta /= 2;
+    }
+    let beta = beta.max(2);
+    let target = (n / log_n).max(2.0);
+    let mut levels = (target.log2() / f64::from(beta).log2()).round().max(1.0) as u32;
+    // Clamp so expected bottom parts keep at least ~4 elements.
+    while levels > 1 && f64::from(beta).powi(levels as i32) > n / 4.0 {
+        levels -= 1;
+    }
+    (beta, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn field_arithmetic_sane() {
+        assert_eq!(mul_mod(FIELD_PRIME - 1, 1), FIELD_PRIME - 1);
+        assert_eq!(mul_mod(FIELD_PRIME - 1, FIELD_PRIME - 1), 1); // (-1)² = 1
+        assert_eq!(add_mod(FIELD_PRIME - 1, 1), 0);
+        assert_eq!(mul_mod(0, 12345), 0);
+        // Associativity spot check.
+        let (a, b, c) = (0x1234_5678_9abc_u64, 0x0fed_cba9_8765_u64, 0x1111_2222_3333_u64);
+        assert_eq!(mul_mod(mul_mod(a, b), c), mul_mod(a, mul_mod(b, c)));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        let h1 = KWiseHash::from_seed(6, 1);
+        let h2 = KWiseHash::from_seed(6, 1);
+        let h3 = KWiseHash::from_seed(6, 2);
+        assert_eq!(h1.eval(999), h2.eval(999));
+        assert_ne!(
+            (0..32).map(|x| h1.eval(x)).collect::<Vec<_>>(),
+            (0..32).map(|x| h3.eval(x)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn degree_one_is_constant() {
+        let h = KWiseHash::from_seed(1, 5);
+        assert_eq!(h.eval(0), h.eval(1_000_000));
+    }
+
+    #[test]
+    fn pairwise_independence_empirically() {
+        // Over many seeds, P[h(a) mod 2 = h(b) mod 2] ≈ 1/2 for fixed a ≠ b.
+        let mut agree = 0u64;
+        let trials = 4000;
+        for seed in 0..trials {
+            let h = KWiseHash::from_seed(2, seed);
+            if (h.eval(3) % 2) == (h.eval(77) % 2) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "agreement fraction {frac}");
+    }
+
+    #[test]
+    fn partition_labels_consistent_with_leaf() {
+        let p = PartitionHash::new(8, 4, 8, 99);
+        for id in 0..200u64 {
+            let leaf = p.leaf(id);
+            let labels = p.labels(id);
+            let rebuilt = labels.iter().fold(0u64, |acc, &l| acc * 8 + u64::from(l));
+            assert_eq!(rebuilt, leaf, "id {id}");
+            assert!(labels.iter().all(|&l| l < 8));
+            // part_at is the label prefix.
+            assert_eq!(p.part_at(id, 0), 0);
+            assert_eq!(p.part_at(id, 2), labels[0] as u64 * 8 + labels[1] as u64);
+            assert_eq!(p.part_at(id, 4), leaf);
+        }
+    }
+
+    #[test]
+    fn partition_near_uniform_p1() {
+        // (P1): with k = Θ(log n) independence, all parts at every level
+        // are within a constant factor of m/β^p.
+        let p = PartitionHash::new(4, 3, 16, 7);
+        let m = 64 * 100u64;
+        for depth in 1..=3u32 {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for id in 0..m {
+                *counts.entry(p.part_at(id, depth)).or_insert(0) += 1;
+            }
+            let parts = p.parts_at(depth);
+            assert_eq!(counts.len() as u64, parts, "every part non-empty at depth {depth}");
+            let expect = m as f64 / parts as f64;
+            for (&part, &c) in &counts {
+                assert!(
+                    (c as f64) > 0.5 * expect && (c as f64) < 1.6 * expect,
+                    "depth {depth} part {part}: {c} vs expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_rules_are_sane() {
+        for &n in &[16usize, 256, 4096, 1 << 16, 1 << 20] {
+            let (beta, levels) = paper_parameters(n);
+            assert!(beta >= 2);
+            assert!(levels >= 1);
+            // Bottom parts should hold around log n elements.
+            let leaf_count = (0..levels).fold(1u64, |a, _| a * u64::from(beta));
+            let per_leaf = n as f64 / leaf_count as f64;
+            assert!(
+                per_leaf < 64.0 * (n as f64).log2(),
+                "n={n}: β={beta}, levels={levels}, per-leaf {per_leaf}"
+            );
+        }
+        // β grows with n (the 2^√(log n log log n) shape).
+        let (b_small, _) = paper_parameters(256);
+        let (b_big, _) = paper_parameters(1 << 20);
+        assert!(b_big >= b_small);
+    }
+
+    #[test]
+    fn seed_bits_match_theta_log_squared() {
+        let p = PartitionHash::new(16, 3, 32, 0);
+        assert_eq!(p.seed_bits(), 32 * 61);
+    }
+
+    #[test]
+    #[should_panic(expected = "level 0 out of range")]
+    fn label_level_zero_panics() {
+        let p = PartitionHash::new(4, 2, 4, 0);
+        let _ = p.label_at(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be at least 2")]
+    fn beta_one_rejected() {
+        let _ = PartitionHash::new(1, 2, 4, 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Greedy tree packing + 1-respecting cut evaluation.
+
+use crate::{MinCutError, Result};
+use amt_embedding::Hierarchy;
+use amt_graphs::{EdgeId, Graph, NodeId, WeightedGraph};
+use amt_mst::{reference, AlmostMixingMst};
+
+/// How spanning trees are produced during the packing.
+pub enum MstOracle<'h, 'g> {
+    /// Centralized Kruskal (no round accounting) — for correctness studies.
+    Centralized,
+    /// The paper's distributed MST on a pre-built hierarchy; every packed
+    /// tree charges its measured base rounds.
+    AlmostMixing(&'h Hierarchy<'g>, u64),
+}
+
+/// Result of [`tree_packing_min_cut`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCutResult {
+    /// The best 1-respecting cut value found.
+    pub value: u64,
+    /// One side of that cut.
+    pub side: Vec<NodeId>,
+    /// Trees packed (= MST black-box invocations).
+    pub trees_packed: u32,
+    /// Measured base rounds (0 with the centralized oracle).
+    pub rounds: u64,
+}
+
+/// Packs `trees` spanning trees greedily (each an MST under the current
+/// edge loads) and returns the best 1-respecting cut across all of them,
+/// evaluated with the given per-edge `capacities`.
+///
+/// With `trees = Θ(log n / ε²)` this is the classical Karger/Thorup
+/// approximation; see the crate docs for the guarantee discussion.
+///
+/// # Examples
+///
+/// ```
+/// use amt_graphs::generators;
+/// use amt_mincut::{tree_packing_min_cut, MstOracle};
+/// let g = generators::ring(10);
+/// let r = tree_packing_min_cut(&g, &vec![1; 10], 4, &MstOracle::Centralized).unwrap();
+/// assert_eq!(r.value, 2); // a cycle's min cut
+/// ```
+///
+/// # Errors
+///
+/// * [`MinCutError::Graph`] on disconnected/empty input;
+/// * [`MinCutError::InvalidParameters`] if `trees == 0` or capacity count
+///   mismatches;
+/// * [`MinCutError::Mst`] if the distributed oracle fails.
+pub fn tree_packing_min_cut(
+    g: &Graph,
+    capacities: &[u64],
+    trees: u32,
+    oracle: &MstOracle<'_, '_>,
+) -> Result<MinCutResult> {
+    g.require_connected()?;
+    if trees == 0 {
+        return Err(MinCutError::InvalidParameters { reason: "trees must be ≥ 1".into() });
+    }
+    if capacities.len() != g.edge_count() {
+        return Err(MinCutError::InvalidParameters {
+            reason: format!(
+                "{} capacities for {} edges",
+                capacities.len(),
+                g.edge_count()
+            ),
+        });
+    }
+    let mut load = vec![0u64; g.edge_count()];
+    let mut best: Option<(u64, Vec<NodeId>)> = None;
+    let mut rounds = 0u64;
+    for t in 0..trees {
+        // Packing weight: load normalized by capacity (scaled to integers).
+        let weights: Vec<u64> = load
+            .iter()
+            .zip(capacities)
+            .map(|(&l, &c)| if c == 0 { u64::MAX >> 1 } else { (l << 16) / c })
+            .collect();
+        let wg = WeightedGraph::new(g.clone(), weights).expect("validated length");
+        let tree = match oracle {
+            MstOracle::Centralized => {
+                reference::kruskal(&wg).ok_or(MinCutError::Graph(
+                    amt_graphs::GraphError::Disconnected,
+                ))?
+            }
+            MstOracle::AlmostMixing(h, seed) => {
+                let out = AlmostMixingMst::new(h)
+                    .run(&wg, seed ^ u64::from(t))
+                    .map_err(|e| MinCutError::Mst(e.to_string()))?;
+                rounds += out.rounds;
+                out.tree_edges
+            }
+        };
+        for &e in &tree {
+            load[e.index()] += 1;
+        }
+        let (val, side) = best_one_respecting_cut(g, capacities, &tree);
+        if best.as_ref().map_or(true, |(b, _)| val < *b) {
+            best = Some((val, side));
+        }
+    }
+    let (value, side) = best.expect("trees ≥ 1");
+    Ok(MinCutResult { value, side, trees_packed: trees, rounds })
+}
+
+/// The minimum 1-respecting cut of spanning tree `tree`: for every tree
+/// edge, the capacity of the cut separating the subtree below it.
+///
+/// Evaluated by rooting the tree and noting that a graph edge `(u, v)`
+/// crosses the cut of tree edge `e` iff `e` lies on the tree path `u…v`;
+/// path increments with LCA subtraction and a subtree-sum sweep price all
+/// cuts in `O(m·h + n)`.
+fn best_one_respecting_cut(
+    g: &Graph,
+    capacities: &[u64],
+    tree: &[EdgeId],
+) -> (u64, Vec<NodeId>) {
+    let n = g.len();
+    // Children/parent structure of the tree, rooted at 0.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (peer, edge)
+    for &e in tree {
+        let (u, v) = g.endpoints(e);
+        adj[u.index()].push((v.0, e.0));
+        adj[v.index()].push((u.0, e.0));
+    }
+    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut depth = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![0u32];
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &(w, e) in &adj[v as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                parent[w as usize] = Some((v, e));
+                depth[w as usize] = depth[v as usize] + 1;
+                stack.push(w);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "tree must span the graph");
+
+    // diff[v] accumulates path endpoints; LCA gets −2·w.
+    let mut diff = vec![0i64; n];
+    let mut in_tree = vec![false; g.edge_count()];
+    for &e in tree {
+        in_tree[e.index()] = true;
+    }
+    for (e, u, v) in g.edges() {
+        if u == v || in_tree[e.index()] {
+            continue;
+        }
+        let w = capacities[e.index()] as i64;
+        diff[u.index()] += w;
+        diff[v.index()] += w;
+        let l = lca(&parent, &depth, u.0, v.0);
+        diff[l as usize] -= 2 * w;
+    }
+    // Subtree sums in reverse DFS order.
+    let mut cover = diff;
+    for &v in order.iter().rev() {
+        if let Some((p, _)) = parent[v as usize] {
+            cover[p as usize] += cover[v as usize];
+        }
+    }
+    // Cut of tree edge above v = cover[v] + capacity of the tree edge.
+    let mut best_v = None;
+    let mut best_val = u64::MAX;
+    for v in 1..n {
+        if let Some((_, e)) = parent[v] {
+            let val = cover[v].max(0) as u64 + capacities[e as usize];
+            if val < best_val {
+                best_val = val;
+                best_v = Some(v as u32);
+            }
+        }
+    }
+    let root_of_side = best_v.expect("n ≥ 2 trees have at least one edge");
+    // Collect the subtree below the best edge.
+    let mut side = Vec::new();
+    let mut stack = vec![root_of_side];
+    let mut mark = vec![false; n];
+    mark[root_of_side as usize] = true;
+    while let Some(v) = stack.pop() {
+        side.push(NodeId(v));
+        for &(w, _) in &adj[v as usize] {
+            if !mark[w as usize] && parent[w as usize].map(|(p, _)| p) == Some(v) {
+                mark[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    (best_val, side)
+}
+
+fn lca(parent: &[Option<(u32, u32)>], depth: &[u32], mut a: u32, mut b: u32) -> u32 {
+    while depth[a as usize] > depth[b as usize] {
+        a = parent[a as usize].expect("deeper node has parent").0;
+    }
+    while depth[b as usize] > depth[a as usize] {
+        b = parent[b as usize].expect("deeper node has parent").0;
+    }
+    while a != b {
+        a = parent[a as usize].expect("walking to root").0;
+        b = parent[b as usize].expect("walking to root").0;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stoer_wagner;
+    use amt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit(g: &Graph) -> Vec<u64> {
+        vec![1; g.edge_count()]
+    }
+
+    #[test]
+    fn finds_the_bridge() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
+        let caps = unit(&g);
+        let r = tree_packing_min_cut(&g, &caps, 4, &MstOracle::Centralized).unwrap();
+        assert_eq!(r.value, 1);
+        assert_eq!(r.trees_packed, 4);
+        let mut ids: Vec<u32> = r.side.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        assert!(ids == vec![0, 1, 2] || ids == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn one_respecting_never_beats_exact_and_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..8 {
+            let g = generators::connected_erdos_renyi(24, 0.2, 50, &mut rng).unwrap();
+            let caps = unit(&g);
+            let exact = stoer_wagner(&g, &caps).unwrap().0;
+            let r = tree_packing_min_cut(&g, &caps, 12, &MstOracle::Centralized).unwrap();
+            assert!(r.value >= exact, "case {i}: {} < exact {exact}", r.value);
+            assert!(
+                r.value <= 3 * exact.max(1),
+                "case {i}: {} far above exact {exact}",
+                r.value
+            );
+            // The reported side must actually realize the reported value.
+            let mut in_s = vec![false; g.len()];
+            for v in &r.side {
+                in_s[v.index()] = true;
+            }
+            let real: u64 = g
+                .edges()
+                .filter(|&(_, u, v)| in_s[u.index()] != in_s[v.index()])
+                .map(|(e, _, _)| caps[e.index()])
+                .sum();
+            assert_eq!(real, r.value, "case {i}: side does not match value");
+        }
+    }
+
+    #[test]
+    fn ring_cut_found_exactly() {
+        let g = generators::ring(12);
+        let caps = unit(&g);
+        let r = tree_packing_min_cut(&g, &caps, 6, &MstOracle::Centralized).unwrap();
+        assert_eq!(r.value, 2);
+    }
+
+    #[test]
+    fn capacities_steer_the_cut() {
+        // Triangle with one cheap corner.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let caps = vec![1, 1, 10];
+        let r = tree_packing_min_cut(&g, &caps, 4, &MstOracle::Centralized).unwrap();
+        let exact = stoer_wagner(&g, &caps).unwrap().0;
+        assert_eq!(r.value, exact);
+        assert_eq!(exact, 2);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let g = generators::ring(6);
+        assert!(matches!(
+            tree_packing_min_cut(&g, &unit(&g), 0, &MstOracle::Centralized),
+            Err(MinCutError::InvalidParameters { .. })
+        ));
+        assert!(matches!(
+            tree_packing_min_cut(&g, &[1, 2], 3, &MstOracle::Centralized),
+            Err(MinCutError::InvalidParameters { .. })
+        ));
+        let disc = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            tree_packing_min_cut(&disc, &[1, 1], 3, &MstOracle::Centralized),
+            Err(MinCutError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn distributed_oracle_charges_rounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::random_regular(32, 4, &mut rng).unwrap();
+        let mut cfg = amt_embedding::HierarchyConfig::auto(&g, 20, 9);
+        cfg.beta = 4;
+        cfg.levels = 1;
+        cfg.overlay_degree = 5;
+        cfg.level0_walks = 10;
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let caps = unit(&g);
+        let exact = stoer_wagner(&g, &caps).unwrap().0;
+        let r =
+            tree_packing_min_cut(&g, &caps, 3, &MstOracle::AlmostMixing(&h, 7)).unwrap();
+        assert!(r.rounds > 0, "distributed packing must cost rounds");
+        assert!(r.value >= exact);
+        assert!(r.value <= 3 * exact.max(1));
+    }
+}

@@ -1,0 +1,169 @@
+//! Karger's skeleton sampling: estimate the min cut from a sparse random
+//! subgraph.
+//!
+//! The min-cut routines the paper builds on (Ghaffari–Kuhn [32],
+//! Nanongkai–Su [57]) rest on Karger's sampling theorem: if every edge is
+//! kept independently with probability `p ≥ c·ln n / (ε²·λ)` (where `λ` is
+//! the min cut), then **every** cut of the skeleton has value within
+//! `(1 ± ε)` of `p` times its original value, w.h.p. Sampling with a
+//! doubling guess for `λ` therefore estimates the min cut from a much
+//! sparser graph — the sparsification step a distributed algorithm runs
+//! before the expensive exact computation.
+//!
+//! [`karger_estimate`] implements the guess-and-double loop; tests validate
+//! the `(1 ± ε)` bracket against exact Stoer–Wagner across families.
+
+use crate::{stoer_wagner, MinCutError, Result};
+use amt_graphs::{Graph, GraphBuilder};
+use rand::{Rng, RngExt};
+
+/// Result of a sampling-based min-cut estimation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledCut {
+    /// The estimate `min_cut(skeleton) / p`.
+    pub estimate: f64,
+    /// The sampling probability that was accepted.
+    pub p: f64,
+    /// Edges in the accepted skeleton.
+    pub skeleton_edges: usize,
+    /// Doubling iterations used.
+    pub guesses: u32,
+}
+
+/// Estimates the (unit-capacity) min cut by Karger sampling with a
+/// *downward* guess: starting from the upper bound `λ ≤ min degree`, the
+/// guess is refined toward the skeleton's rescaled min cut. Each guess
+/// samples with `p = min(1, c·ln n/(ε²·λ_guess))`, `c = 3`; if the rescaled
+/// estimate is consistent with the guess (at least half of it), `p` was
+/// large enough for Karger concentration and the estimate is returned;
+/// otherwise the guess drops and `p` grows, bottoming out at `p = 1`
+/// (exact).
+///
+/// # Errors
+///
+/// [`MinCutError::Graph`] for graphs with fewer than 2 nodes or
+/// disconnected input; [`MinCutError::InvalidParameters`] for
+/// `epsilon ∉ (0, 1)`.
+pub fn karger_estimate<R: Rng>(g: &Graph, epsilon: f64, rng: &mut R) -> Result<SampledCut> {
+    if !(0.0..1.0).contains(&epsilon) || epsilon == 0.0 {
+        return Err(MinCutError::InvalidParameters {
+            reason: format!("epsilon = {epsilon} not in (0, 1)"),
+        });
+    }
+    g.require_connected()?;
+    let n = g.len() as f64;
+    let c = 3.0;
+    let mut guess = (g.min_degree() as f64).max(1.0); // λ ≤ min degree
+    let mut guesses = 0u32;
+    loop {
+        guesses += 1;
+        let p = (c * n.ln() / (epsilon * epsilon * guess)).min(1.0);
+        let skeleton = sample_skeleton(g, p, rng);
+        let caps = vec![1u64; skeleton.edge_count()];
+        let sk_cut = match stoer_wagner(&skeleton, &caps) {
+            Some((v, _)) => v as f64,
+            None => 0.0,
+        };
+        let estimate = sk_cut / p;
+        // Accept when the skeleton is exact (p = 1) or the estimate is
+        // consistent with the guess (λ really is around the guess, so the
+        // sampling density was sufficient); otherwise λ is smaller than
+        // guessed — drop the guess and densify.
+        if p >= 1.0 || estimate >= 0.5 * guess {
+            return Ok(SampledCut { estimate, p, skeleton_edges: skeleton.edge_count(), guesses });
+        }
+        guess = (guess / 2.0).max(estimate).max(1.0);
+    }
+}
+
+/// Keeps each edge independently with probability `p` (node set unchanged).
+fn sample_skeleton<R: Rng>(g: &Graph, p: f64, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::new(g.len());
+    for (_, u, v) in g.edges() {
+        if rng.random_bool(p.clamp(0.0, 1.0)) {
+            b.add_edge(u.index(), v.index());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_when_p_hits_one() {
+        // Sparse graph: p stays 1 and the estimate is exact.
+        let g = generators::ring(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = karger_estimate(&g, 0.5, &mut rng).unwrap();
+        assert_eq!(r.estimate, 2.0);
+        assert_eq!(r.p, 1.0);
+    }
+
+    #[test]
+    fn dense_graphs_get_sparsified_within_epsilon() {
+        let eps = 0.3;
+        for (g, seed) in [
+            (generators::complete(48), 2u64),
+            (generators::hypercube(7), 3u64),
+            (generators::random_regular(96, 16, &mut StdRng::seed_from_u64(9)).unwrap(), 4u64),
+        ] {
+            let caps = vec![1u64; g.edge_count()];
+            let exact = stoer_wagner(&g, &caps).unwrap().0 as f64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = karger_estimate(&g, eps, &mut rng).unwrap();
+            assert!(
+                r.estimate >= (1.0 - 2.0 * eps) * exact
+                    && r.estimate <= (1.0 + 2.0 * eps) * exact,
+                "estimate {} vs exact {exact} (n = {})",
+                r.estimate,
+                g.len()
+            );
+        }
+    }
+
+    #[test]
+    fn skeleton_is_actually_sparser_on_dense_inputs() {
+        // Sparsification needs ε²·λ > c·ln n: K128 (λ = 127) at ε = 0.5.
+        let g = generators::complete(128);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = karger_estimate(&g, 0.5, &mut rng).unwrap();
+        assert!(r.p < 1.0, "dense input must be sampled, p = {}", r.p);
+        assert!(
+            r.skeleton_edges < g.edge_count(),
+            "skeleton {} vs original {}",
+            r.skeleton_edges,
+            g.edge_count()
+        );
+        let exact = 127.0;
+        assert!((r.estimate - exact).abs() <= 1.0 * exact, "estimate {}", r.estimate);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let g = generators::ring(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(karger_estimate(&g, 0.0, &mut rng).is_err());
+        assert!(karger_estimate(&g, 1.5, &mut rng).is_err());
+        let disc = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            karger_estimate(&disc, 0.3, &mut rng),
+            Err(MinCutError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_probability_reflects_epsilon() {
+        // Tighter ε ⇒ denser skeleton.
+        let g = generators::complete(128);
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let loose = karger_estimate(&g, 0.5, &mut rng1).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let tight = karger_estimate(&g, 0.15, &mut rng2).unwrap();
+        assert!(tight.p >= loose.p, "tight {} vs loose {}", tight.p, loose.p);
+    }
+}

@@ -1,0 +1,196 @@
+//! Exact global minimum cut (Stoer–Wagner), the centralized reference.
+
+use amt_graphs::{Graph, NodeId};
+
+/// Exact global min cut of `g` with per-edge capacities (parallel edges and
+/// their capacities merge; self-loops are ignored).
+///
+/// Returns `(cut value, one side of the cut)`, or `None` when `n < 2` or
+/// the graph is disconnected (infinite families of zero cuts are not
+/// interesting — callers get the honest `(0, component)` answer instead
+/// when disconnected? No: disconnected graphs return the zero cut with one
+/// component as the side).
+///
+/// # Examples
+///
+/// ```
+/// use amt_graphs::Graph;
+/// use amt_mincut::stoer_wagner;
+/// // Two triangles joined by one bridge: min cut = 1.
+/// let g = Graph::from_edges(6, &[(0,1),(1,2),(0,2),(3,4),(4,5),(3,5),(2,3)]).unwrap();
+/// let (value, side) = stoer_wagner(&g, &vec![1; 7]).unwrap();
+/// assert_eq!(value, 1);
+/// assert_eq!(side.len(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `capacities.len() != g.edge_count()`.
+pub fn stoer_wagner(g: &Graph, capacities: &[u64]) -> Option<(u64, Vec<NodeId>)> {
+    assert_eq!(capacities.len(), g.edge_count(), "one capacity per edge");
+    let n = g.len();
+    if n < 2 {
+        return None;
+    }
+    // Dense capacity matrix with parallel edges merged.
+    let mut w = vec![vec![0u64; n]; n];
+    for (e, u, v) in g.edges() {
+        if u != v {
+            w[u.index()][v.index()] += capacities[e.index()];
+            w[v.index()][u.index()] += capacities[e.index()];
+        }
+    }
+    // `groups[i]` = original nodes currently contracted into supernode i.
+    let mut groups: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best: Option<(u64, Vec<NodeId>)> = None;
+
+    while active.len() > 1 {
+        // Maximum-adjacency (minimum-cut-phase) order.
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0u64; n];
+        let first = active[0];
+        in_a[first] = true;
+        for &x in &active {
+            if x != first {
+                weight_to_a[x] = w[first][x];
+            }
+        }
+        let mut order = vec![first];
+        while order.len() < active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&x| !in_a[x])
+                .max_by_key(|&&x| (weight_to_a[x], std::cmp::Reverse(x)))
+                .expect("active nodes remain");
+            in_a[next] = true;
+            order.push(next);
+            for &x in &active {
+                if !in_a[x] {
+                    weight_to_a[x] += w[next][x];
+                }
+            }
+        }
+        let t = *order.last().expect("order nonempty");
+        let s = order[order.len() - 2];
+        let cut_of_phase = weight_to_a[t];
+        let side: Vec<NodeId> = groups[t].iter().map(|&v| NodeId(v)).collect();
+        if best.as_ref().map_or(true, |(b, _)| cut_of_phase < *b) {
+            best = Some((cut_of_phase, side));
+        }
+        // Contract t into s.
+        let t_group = std::mem::take(&mut groups[t]);
+        groups[s].extend(t_group);
+        for &x in &active {
+            if x != s && x != t {
+                w[s][x] += w[t][x];
+                w[x][s] = w[s][x];
+            }
+        }
+        active.retain(|&x| x != t);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+
+    fn unit_caps(g: &Graph) -> Vec<u64> {
+        vec![1; g.edge_count()]
+    }
+
+    #[test]
+    fn bridge_graph_has_cut_one() {
+        // Two triangles joined by one edge.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
+        let (val, side) = stoer_wagner(&g, &unit_caps(&g)).unwrap();
+        assert_eq!(val, 1);
+        let mut ids: Vec<u32> = side.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        assert!(ids == vec![0, 1, 2] || ids == vec![3, 4, 5], "side = {ids:?}");
+    }
+
+    #[test]
+    fn cycle_has_cut_two() {
+        let g = generators::ring(9);
+        let (val, _) = stoer_wagner(&g, &unit_caps(&g)).unwrap();
+        assert_eq!(val, 2);
+    }
+
+    #[test]
+    fn complete_graph_cut_is_n_minus_one() {
+        let g = generators::complete(7);
+        let (val, side) = stoer_wagner(&g, &unit_caps(&g)).unwrap();
+        assert_eq!(val, 6);
+        assert_eq!(side.len(), 1);
+    }
+
+    #[test]
+    fn hypercube_cut_is_dimension() {
+        let g = generators::hypercube(4);
+        let (val, _) = stoer_wagner(&g, &unit_caps(&g)).unwrap();
+        assert_eq!(val, 4);
+    }
+
+    #[test]
+    fn capacities_are_respected() {
+        // Path 0-1-2 with capacities 5 and 3: min cut = 3.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let (val, side) = stoer_wagner(&g, &[5, 3]).unwrap();
+        assert_eq!(val, 3);
+        assert_eq!(side.len(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let (val, _) = stoer_wagner(&g, &[1, 1, 1]).unwrap();
+        assert_eq!(val, 3);
+    }
+
+    #[test]
+    fn self_loops_ignored_and_small_graphs_rejected() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        let (val, _) = stoer_wagner(&g, &[100, 2]).unwrap();
+        assert_eq!(val, 2);
+        let single = amt_graphs::GraphBuilder::new(1).build();
+        assert!(stoer_wagner(&single, &[]).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let (val, _) = stoer_wagner(&g, &[1, 1]).unwrap();
+        assert_eq!(val, 0);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..10 {
+            let g = generators::connected_erdos_renyi(10, 0.4, 50, &mut rng).unwrap();
+            let caps = unit_caps(&g);
+            let (val, _) = stoer_wagner(&g, &caps).unwrap();
+            // Brute force over all cuts.
+            let n = g.len();
+            let mut best = u64::MAX;
+            for mask in 1u32..(1 << (n - 1)) {
+                let mut in_s = vec![false; n];
+                for (b, flag) in in_s.iter_mut().enumerate().take(n).skip(1) {
+                    *flag = (mask >> (b - 1)) & 1 == 1;
+                }
+                let cut = g
+                    .edges()
+                    .filter(|&(_, u, v)| in_s[u.index()] != in_s[v.index()])
+                    .count() as u64;
+                best = best.min(cut);
+            }
+            assert_eq!(val, best, "case {i}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! MST integration tests: all three distributed algorithms across graph
+//! families and weight edge cases.
+
+use amt_embedding::{Hierarchy, HierarchyConfig};
+use amt_graphs::{generators, Graph, WeightedGraph};
+use amt_mst::{congest_boruvka, gkp, reference, AlmostMixingMst};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hierarchy_cfg(g: &Graph, seed: u64) -> HierarchyConfig {
+    let mut cfg = HierarchyConfig::auto(g, 25, seed);
+    cfg.beta = 4;
+    cfg.levels = 1;
+    cfg.overlay_degree = 5;
+    cfg.level0_walks = 10;
+    cfg
+}
+
+#[test]
+fn all_three_algorithms_agree_across_families() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let families: Vec<(&str, Graph)> = vec![
+        ("regular", generators::random_regular(40, 4, &mut rng).unwrap()),
+        ("hypercube", generators::hypercube(5)),
+        ("torus", generators::torus_2d(6, 6)),
+        ("barbell", generators::barbell(8, 3).unwrap()),
+    ];
+    for (name, g) in &families {
+        let wg = WeightedGraph::with_random_weights(g.clone(), 100_000, &mut rng);
+        let canonical = reference::kruskal(&wg).unwrap();
+        let bo = congest_boruvka::run(&wg, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(bo.tree_edges, canonical, "{name}: boruvka");
+        let gk = gkp::run(&wg, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(gk.tree_edges, canonical, "{name}: gkp");
+        let h = Hierarchy::build(g, hierarchy_cfg(g, 2)).unwrap();
+        let amt = AlmostMixingMst::new(&h).run(&wg, 3).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(amt.tree_edges, canonical, "{name}: amt");
+        assert_eq!(amt.total_weight, wg.total_weight(&canonical), "{name}");
+    }
+}
+
+#[test]
+fn equal_weights_resolve_by_canonical_tie_break() {
+    // Every edge has the same weight: the canonical MST is determined by
+    // edge ids alone, and all algorithms must agree on it.
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = generators::random_regular(32, 4, &mut rng).unwrap();
+    let wg = WeightedGraph::new(g.clone(), vec![42; g.edge_count()]).unwrap();
+    let canonical = reference::kruskal(&wg).unwrap();
+    assert_eq!(congest_boruvka::run(&wg, 2).unwrap().tree_edges, canonical);
+    assert_eq!(gkp::run(&wg, 2).unwrap().tree_edges, canonical);
+    let h = Hierarchy::build(&g, hierarchy_cfg(&g, 3)).unwrap();
+    assert_eq!(AlmostMixingMst::new(&h).run(&wg, 4).unwrap().tree_edges, canonical);
+}
+
+#[test]
+fn tiny_graphs_work_for_congest_baselines() {
+    // n = 2: a single edge is the MST.
+    let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    let wg = WeightedGraph::new(g, vec![7]).unwrap();
+    let bo = congest_boruvka::run(&wg, 0).unwrap();
+    assert_eq!(bo.tree_edges.len(), 1);
+    assert_eq!(bo.total_weight, 7);
+    let gk = gkp::run(&wg, 0).unwrap();
+    assert_eq!(gk.tree_edges.len(), 1);
+    // Triangle with parallel edge.
+    let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2), (0, 2)]).unwrap();
+    let wg = WeightedGraph::new(g, vec![5, 3, 2, 9]).unwrap();
+    let bo = congest_boruvka::run(&wg, 1).unwrap();
+    assert_eq!(bo.tree_edges, reference::kruskal(&wg).unwrap());
+}
+
+#[test]
+fn per_iteration_stats_are_coherent() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = generators::random_regular(48, 6, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g.clone(), 1000, &mut rng);
+    let h = Hierarchy::build(&g, hierarchy_cfg(&g, 5)).unwrap();
+    let out = AlmostMixingMst::new(&h).run(&wg, 6).unwrap();
+    assert_eq!(out.per_iteration.len(), out.iterations as usize);
+    let total_instances: u32 = out.per_iteration.iter().map(|it| it.routing_instances).sum();
+    assert_eq!(total_instances, out.routing_instances);
+    // Chained component counts: after(i) == before(i+1).
+    for w in out.per_iteration.windows(2) {
+        assert_eq!(w[0].components_after, w[1].components_before);
+    }
+    assert_eq!(out.per_iteration.first().unwrap().components_before, 48);
+    assert_eq!(out.per_iteration.last().unwrap().components_after, 1);
+    // Rounds decompose into per-iteration routing plus 1 exchange round each.
+    let per_iter: u64 =
+        out.per_iteration.iter().map(|it| it.routing_rounds).sum::<u64>()
+            + u64::from(out.iterations);
+    assert_eq!(out.rounds, per_iter);
+}
+
+#[test]
+fn gkp_phase_split_is_reported() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let g = generators::random_regular(64, 4, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g, 1000, &mut rng);
+    let out = gkp::run(&wg, 3).unwrap();
+    assert_eq!(out.rounds, out.phase1_rounds + out.phase2_rounds);
+    assert!(out.phase1_rounds > 0);
+    assert!(out.phase2_rounds > 0);
+    assert!(out.bfs_height > 0);
+}
+
+#[test]
+fn boruvka_message_totals_scale_with_edges() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let small = generators::random_regular(32, 4, &mut rng).unwrap();
+    let big = generators::random_regular(128, 4, &mut rng).unwrap();
+    let ws = WeightedGraph::with_random_weights(small, 1000, &mut rng);
+    let wb = WeightedGraph::with_random_weights(big, 1000, &mut rng);
+    let ms = congest_boruvka::run(&ws, 1).unwrap().messages;
+    let mb = congest_boruvka::run(&wb, 1).unwrap().messages;
+    assert!(mb > ms, "bigger graphs move more messages ({mb} vs {ms})");
+}

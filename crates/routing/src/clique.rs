@@ -1,0 +1,118 @@
+//! Congested-clique emulation on a general graph (the Theorem 1.3 problem).
+//!
+//! Every node must deliver one `O(log n)`-bit message to every other node —
+//! `n(n−1)` messages in total. A simple cut argument gives the lower bound
+//! `Ω(n / h(G))`: the smaller side of the sparsest cut must push
+//! `Ω(n·|S|)` messages through `h(G)·|S|` edges.
+//!
+//! The paper's specialized dense-routing algorithm is deferred to its full
+//! version; per DESIGN.md (substitution 5), we emulate the clique by
+//! phase-splitting the all-to-all instance through the hierarchical router,
+//! and the experiments compare the measured rounds with the paper's upper
+//! bound shape and the cut lower bound.
+
+use crate::{HierarchicalRouter, Result, RouterConfig, RoutingOutcome};
+use amt_embedding::Hierarchy;
+use amt_graphs::{expansion, Graph, NodeId};
+
+/// Outcome of a clique emulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliqueOutcome {
+    /// The routing measurement (all phases).
+    pub routing: RoutingOutcome,
+    /// Messages delivered (`n·(n−1)` on success).
+    pub messages: usize,
+    /// The `n / h(G)` cut lower bound (with `h` estimated spectrally when
+    /// exact enumeration is infeasible).
+    pub cut_lower_bound: f64,
+}
+
+/// Emulates one round of the congested clique: every ordered pair `(u, v)`,
+/// `u ≠ v`, exchanges one message, routed through `hierarchy`.
+///
+/// # Errors
+///
+/// Propagates router errors; [`crate::RouteError::LoadTooHigh`] if the
+/// all-to-all instance exceeds the router's phase cap.
+pub fn emulate_clique(hierarchy: &Hierarchy<'_>, seed: u64) -> Result<CliqueOutcome> {
+    let g = hierarchy.base();
+    let n = g.len();
+    let mut requests = Vec::with_capacity(n * (n - 1));
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                requests.push((NodeId(u), NodeId(v)));
+            }
+        }
+    }
+    let router = HierarchicalRouter::with_config(
+        hierarchy,
+        RouterConfig { max_phases: 1 << 20, ..RouterConfig::for_n(n) },
+    );
+    let routing = router.route(&requests, seed)?;
+    Ok(CliqueOutcome {
+        messages: routing.delivered,
+        routing,
+        cut_lower_bound: cut_lower_bound(g),
+    })
+}
+
+/// The `n / h(G)` clique-emulation lower bound. Uses exact edge expansion
+/// for graphs up to 24 nodes and the spectral Cheeger lower bound
+/// `h ≥ vol-normalized gap · δ` beyond.
+pub fn cut_lower_bound(g: &Graph) -> f64 {
+    let n = g.len() as f64;
+    let h = expansion::edge_expansion_exact(g).or_else(|| {
+        // φ ≥ gap ⇒ h ≥ φ·δ ≥ gap·δ (h(S) = e(S,V∖S)/|S| ≥ φ·vol(S)/|S| ≥ φ·δ).
+        let (lo, _) = expansion::conductance_spectral_bounds(g, 400)?;
+        Some(lo * g.min_degree() as f64)
+    });
+    match h {
+        Some(h) if h > 0.0 => n / h,
+        _ => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_embedding::HierarchyConfig;
+    use amt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clique_emulation_delivers_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::random_regular(24, 4, &mut rng).unwrap();
+        let mut cfg = HierarchyConfig::auto(&g, 25, 5);
+        cfg.beta = 4;
+        cfg.levels = 1;
+        cfg.overlay_degree = 5;
+        cfg.level0_walks = 10;
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let out = emulate_clique(&h, 17).unwrap();
+        assert_eq!(out.messages, 24 * 23);
+        assert!(out.routing.phases > 1, "all-to-all should need phases");
+        assert!(out.routing.total_base_rounds > 0);
+        assert!(out.cut_lower_bound.is_finite());
+    }
+
+    #[test]
+    fn lower_bound_matches_exact_small_graphs() {
+        let g = generators::complete(8);
+        // h(K_8) = 4 ⇒ bound = 2.
+        assert!((cut_lower_bound(&g) - 2.0).abs() < 1e-9);
+        let ring = generators::ring(16);
+        // h(ring) = 2/8 = 0.25 ⇒ bound = 64.
+        assert!((cut_lower_bound(&ring) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_spectral_fallback_is_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::random_regular(64, 6, &mut rng).unwrap();
+        let b = cut_lower_bound(&g);
+        assert!(b.is_finite() && b > 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for routing operations.
+
+use std::fmt;
+
+/// Errors produced by the routers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// A request referenced a node outside the graph.
+    BadRequest {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// The instance needs more phases than allowed to satisfy the per-node
+    /// load promise.
+    LoadTooHigh {
+        /// Phases required.
+        needed: u32,
+        /// Configured cap.
+        allowed: u32,
+    },
+    /// Some packets could not be delivered (disconnected overlay part with
+    /// no fallback path) — indicates the hierarchy was built with too little
+    /// expansion for this instance.
+    Undelivered {
+        /// Number of undelivered packets.
+        count: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::BadRequest { node, n } => {
+                write!(f, "request names node {node}, but the graph has {n} nodes")
+            }
+            RouteError::LoadTooHigh { needed, allowed } => {
+                write!(f, "instance needs {needed} phases but only {allowed} are allowed")
+            }
+            RouteError::Undelivered { count } => {
+                write!(f, "{count} packets undeliverable on this hierarchy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = RouteError::LoadTooHigh { needed: 9, allowed: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,490 @@
+//! The recursive routing algorithm of §3.2.
+
+use crate::{Result, RouteError, RoutingOutcome};
+use amt_embedding::{Hierarchy, VirtualId};
+use amt_graphs::{EdgeId, NodeId};
+use amt_walks::{parallel, WalkKind, WalkSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// How overlay emulation is priced during routing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EmulationMode {
+    /// Each schedule round at level `p` is charged one full level-`p` round
+    /// (the paper's sequential emulation model; cheap to simulate,
+    /// conservative).
+    #[default]
+    Factored,
+    /// Each schedule round is expanded recursively into the actual
+    /// lower-level traffic and priced by store-and-forward scheduling down
+    /// to base edges (tight, slower to simulate).
+    Exact,
+}
+
+/// Knobs of the hierarchical router.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterConfig {
+    /// Per-phase load promise: each node may be the source or destination of
+    /// at most `load_per_degree · d_G(v)` packets per phase (the paper's
+    /// `O(log n)` factor; defaults to `⌈log₂ n⌉`).
+    pub load_per_degree: f64,
+    /// Maximum number of phases the router may split an instance into.
+    pub max_phases: u32,
+    /// Run the preparation walk (the paper always does; disabling is useful
+    /// for ablation experiments).
+    pub prepare: bool,
+    /// Emulation pricing model.
+    pub emulation: EmulationMode,
+}
+
+impl RouterConfig {
+    /// Defaults for a graph with `n` nodes.
+    pub fn for_n(n: usize) -> Self {
+        RouterConfig {
+            load_per_degree: (n.max(2) as f64).log2().ceil(),
+            max_phases: 4096,
+            prepare: true,
+            emulation: EmulationMode::Factored,
+        }
+    }
+}
+
+/// In-flight packet: its identity, current virtual node, and current goal.
+#[derive(Clone, Copy, Debug)]
+struct Pkt {
+    id: u32,
+    cur: u32,
+    goal: u32,
+}
+
+/// Rounds accumulated during one phase's recursion.
+#[derive(Default)]
+struct Accum {
+    hop_rounds: Vec<u64>,
+    bottom_rounds: u64,
+    portal_misses: u64,
+    hop_crossings: u64,
+    bottom_crossings: u64,
+}
+
+/// The paper's permutation router (Theorem 1.2), operating on a built
+/// [`Hierarchy`].
+///
+/// # Examples
+///
+/// ```
+/// use amt_embedding::{Hierarchy, HierarchyConfig};
+/// use amt_graphs::{generators, NodeId};
+/// use amt_routing::HierarchicalRouter;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let g = generators::random_regular(48, 4, &mut rng).unwrap();
+/// let mut cfg = HierarchyConfig::auto(&g, 25, 5);
+/// cfg.beta = 4;
+/// cfg.levels = 1;
+/// let h = Hierarchy::build(&g, cfg).unwrap();
+/// let router = HierarchicalRouter::new(&h);
+/// // A cyclic-shift permutation: node i sends to node i+1.
+/// let reqs: Vec<_> = (0..48).map(|i| (NodeId(i), NodeId((i + 1) % 48))).collect();
+/// let out = router.route(&reqs, 99).unwrap();
+/// assert_eq!(out.delivered, 48);
+/// assert_eq!(out.undelivered, 0);
+/// assert!(out.total_base_rounds > 0);
+/// ```
+pub struct HierarchicalRouter<'h, 'g> {
+    h: &'h Hierarchy<'g>,
+    cfg: RouterConfig,
+}
+
+impl<'h, 'g> HierarchicalRouter<'h, 'g> {
+    /// Creates a router with default config for the hierarchy's base graph.
+    pub fn new(h: &'h Hierarchy<'g>) -> Self {
+        HierarchicalRouter { h, cfg: RouterConfig::for_n(h.base().len()) }
+    }
+
+    /// Creates a router with an explicit config.
+    pub fn with_config(h: &'h Hierarchy<'g>, cfg: RouterConfig) -> Self {
+        HierarchicalRouter { h, cfg }
+    }
+
+    /// The hierarchy this router operates on.
+    pub fn hierarchy(&self) -> &Hierarchy<'g> {
+        self.h
+    }
+
+    /// Prices a batch of level-`d` edge paths under the configured
+    /// emulation mode.
+    fn emulate(&self, d: u32, paths: &[Vec<(EdgeId, bool)>]) -> u64 {
+        match self.cfg.emulation {
+            EmulationMode::Factored => self.h.emulate_paths(d, paths),
+            EmulationMode::Exact => self.h.emulate_paths_exact(d, paths),
+        }
+    }
+
+    /// Routes one packet per `(source, destination)` request, in parallel,
+    /// and returns the measured outcome.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::BadRequest`] for out-of-range node ids;
+    /// * [`RouteError::LoadTooHigh`] if satisfying the load promise would
+    ///   need more than `max_phases` phases;
+    /// * [`RouteError::Undelivered`] if any packet could not be delivered.
+    pub fn route(&self, requests: &[(NodeId, NodeId)], seed: u64) -> Result<RoutingOutcome> {
+        let g = self.h.base();
+        let n = g.len();
+        for &(s, t) in requests {
+            for x in [s, t] {
+                if x.index() >= n {
+                    return Err(RouteError::BadRequest { node: x.index(), n });
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases = self.phases_needed(requests);
+        if phases > self.cfg.max_phases {
+            return Err(RouteError::LoadTooHigh { needed: phases, allowed: self.cfg.max_phases });
+        }
+        let mut phase_of: Vec<u32> = Vec::with_capacity(requests.len());
+        for _ in requests {
+            phase_of.push(rng.random_range(0..phases));
+        }
+        let mut outcome = RoutingOutcome { phases, ..Default::default() };
+        for phase in 0..phases {
+            let batch: Vec<(NodeId, NodeId)> = requests
+                .iter()
+                .zip(&phase_of)
+                .filter(|&(_, &p)| p == phase)
+                .map(|(&r, _)| r)
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            let phase_out = self.route_one_phase(&batch, &mut rng);
+            outcome.absorb(&phase_out);
+        }
+        if outcome.undelivered > 0 {
+            return Err(RouteError::Undelivered { count: outcome.undelivered });
+        }
+        Ok(outcome)
+    }
+
+    /// Number of phases needed so that per phase each node's expected
+    /// source+destination load stays within the promise.
+    fn phases_needed(&self, requests: &[(NodeId, NodeId)]) -> u32 {
+        let g = self.h.base();
+        let mut load = vec![0u64; g.len()];
+        for &(s, t) in requests {
+            load[s.index()] += 1;
+            load[t.index()] += 1;
+        }
+        let mut phases = 1u64;
+        for v in g.nodes() {
+            let cap = (self.cfg.load_per_degree * g.degree(v) as f64).max(1.0);
+            let need = (load[v.index()] as f64 / cap).ceil() as u64;
+            phases = phases.max(need.max(1));
+        }
+        phases.min(u64::from(u32::MAX)) as u32
+    }
+
+    fn route_one_phase(&self, batch: &[(NodeId, NodeId)], rng: &mut StdRng) -> RoutingOutcome {
+        let g = self.h.base();
+        let vmap = self.h.vmap();
+
+        // Destination virtual slots: chosen by shared randomness (see
+        // DESIGN.md substitution 2).
+        let goals: Vec<u32> = batch
+            .iter()
+            .map(|&(_, t)| vmap.vid(t, rng.random_range(0..vmap.slot_count(t))).0)
+            .collect();
+
+        // Preparation step: each packet walks τ_mix steps from its source,
+        // then lands on a random virtual slot of wherever it stopped.
+        let (starts, prep_rounds): (Vec<u32>, u64) = if self.cfg.prepare {
+            let specs: Vec<WalkSpec> = batch
+                .iter()
+                .map(|&(s, _)| WalkSpec { start: s, steps: self.h.cfg().tau_mix })
+                .collect();
+            let run = parallel::run_parallel_walks(g, WalkKind::Lazy, &specs, rng);
+            let starts = run
+                .trajectories
+                .iter()
+                .map(|t| {
+                    let node = t.end();
+                    vmap.vid(node, rng.random_range(0..vmap.slot_count(node))).0
+                })
+                .collect();
+            (starts, run.stats.rounds)
+        } else {
+            let starts = batch
+                .iter()
+                .map(|&(s, _)| vmap.vid(s, rng.random_range(0..vmap.slot_count(s))).0)
+                .collect();
+            (starts, 0)
+        };
+
+        let pkts: Vec<Pkt> = starts
+            .iter()
+            .zip(&goals)
+            .enumerate()
+            .map(|(id, (&cur, &goal))| Pkt { id: id as u32, cur, goal })
+            .collect();
+        let mut acc = Accum {
+            hop_rounds: vec![0; self.h.depth() as usize],
+            ..Default::default()
+        };
+        let finals = self.recurse(0, pkts, &mut acc);
+        debug_assert_eq!(finals.len(), batch.len());
+        let mut final_pos = vec![u32::MAX; batch.len()];
+        for (id, pos) in finals {
+            final_pos[id as usize] = pos;
+        }
+        let delivered = final_pos.iter().zip(&goals).filter(|&(&p, &g0)| p == g0).count();
+        RoutingOutcome {
+            phases: 1,
+            total_base_rounds: prep_rounds
+                + acc.hop_rounds.iter().sum::<u64>()
+                + acc.bottom_rounds,
+            prep_rounds,
+            hop_rounds_per_depth: acc.hop_rounds,
+            bottom_rounds: acc.bottom_rounds,
+            delivered,
+            undelivered: batch.len() - delivered,
+            portal_misses: acc.portal_misses,
+            hop_crossings: acc.hop_crossings,
+            bottom_crossings: acc.bottom_crossings,
+        }
+    }
+
+    /// Routes packets whose `cur` and `goal` share a depth-`d` part.
+    /// Returns `(id, final position)` for every packet given; a packet whose
+    /// final position differs from its goal could not be delivered.
+    fn recurse(&self, d: u32, msgs: Vec<Pkt>, acc: &mut Accum) -> Vec<(u32, u32)> {
+        let mut results: Vec<(u32, u32)> = Vec::with_capacity(msgs.len());
+        let mut live: Vec<Pkt> = Vec::with_capacity(msgs.len());
+        for p in msgs {
+            if p.cur == p.goal {
+                results.push((p.id, p.cur));
+            } else {
+                live.push(p);
+            }
+        }
+        if live.is_empty() {
+            return results;
+        }
+
+        if d == self.h.depth() {
+            // Bottom: deliver over the complete graph of each bottom part.
+            let bottom = self.h.overlay(d);
+            let mut paths: Vec<Vec<(EdgeId, bool)>> = Vec::new();
+            for p in &live {
+                match bottom.edge_between(VirtualId(p.cur), VirtualId(p.goal)) {
+                    Some((e, fwd)) => {
+                        paths.push(vec![(e, fwd)]);
+                        results.push((p.id, p.goal));
+                    }
+                    None => results.push((p.id, p.cur)),
+                }
+            }
+            acc.bottom_crossings += paths.len() as u64;
+            acc.bottom_rounds += self.emulate(d, &paths);
+            return results;
+        }
+
+        let child = d + 1;
+        let mut leg1: Vec<Pkt> = Vec::new();
+        // Packets awaiting a portal hop: id → (portal entry, final goal).
+        let mut pend: HashMap<u32, (amt_embedding::PortalEntry, u32)> = HashMap::new();
+        let mut fallback_paths: Vec<Vec<(EdgeId, bool)>> = Vec::new();
+        for p in live {
+            let src_part = self.h.part_of(VirtualId(p.cur), child);
+            let dst_part = self.h.part_of(VirtualId(p.goal), child);
+            if src_part == dst_part {
+                leg1.push(p);
+                continue;
+            }
+            let j = self.h.label_at(VirtualId(p.goal), child);
+            match self.h.portal(child, VirtualId(p.cur), j) {
+                Some(&entry) => {
+                    leg1.push(Pkt { id: p.id, cur: p.cur, goal: entry.portal.0 });
+                    pend.insert(p.id, (entry, p.goal));
+                }
+                None => {
+                    // No portal: deliver the whole journey by a BFS path on
+                    // this depth's overlay (counted as a miss).
+                    acc.portal_misses += 1;
+                    match self.h.bfs_overlay_path(d, VirtualId(p.cur), VirtualId(p.goal)) {
+                        Some(path) => {
+                            fallback_paths.push(path);
+                            results.push((p.id, p.goal));
+                        }
+                        None => results.push((p.id, p.cur)),
+                    }
+                }
+            }
+        }
+
+        // Leg 1: intra-part packets go all the way; cross-part packets go to
+        // their portals. All children recurse together (they are disjoint,
+        // so their traffic batches in parallel).
+        let leg1_results = self.recurse(child, leg1, acc);
+
+        // Hop: cross one level-`d` edge per pending packet that reached its
+        // portal, plus any BFS fallback journeys, all batched.
+        let mut hop_paths: Vec<Vec<(EdgeId, bool)>> = fallback_paths;
+        let mut leg2: Vec<Pkt> = Vec::new();
+        for (id, pos) in leg1_results {
+            match pend.remove(&id) {
+                None => results.push((id, pos)),
+                Some((entry, goal)) => {
+                    if pos == entry.portal.0 {
+                        hop_paths.push(vec![(entry.edge, entry.forward)]);
+                        leg2.push(Pkt { id, cur: entry.target.0, goal });
+                    } else {
+                        // Failed to reach the portal; report where it ended.
+                        results.push((id, pos));
+                    }
+                }
+            }
+        }
+        acc.hop_crossings += hop_paths.iter().map(|p| p.len() as u64).sum::<u64>();
+        acc.hop_rounds[d as usize] += self.emulate(d, &hop_paths);
+
+        // Leg 2: from the landing nodes to the final goals.
+        results.extend(self.recurse(child, leg2, acc));
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_embedding::HierarchyConfig;
+    use amt_graphs::generators;
+
+    fn build_case(
+        n: usize,
+        deg: usize,
+        beta: u32,
+        levels: u32,
+        seed: u64,
+    ) -> (amt_graphs::Graph, HierarchyConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_regular(n, deg, &mut rng).unwrap();
+        let mut cfg = HierarchyConfig::auto(&g, 30, seed);
+        cfg.beta = beta;
+        cfg.levels = levels;
+        cfg.overlay_degree = 5;
+        cfg.level0_walks = 10;
+        cfg.walk_surplus = 2.0;
+        (g, cfg)
+    }
+
+    #[test]
+    fn permutation_is_fully_delivered() {
+        let (g, cfg) = build_case(64, 6, 4, 2, 41);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let router = HierarchicalRouter::new(&h);
+        let n = g.len() as u32;
+        // A random-looking permutation: i → 5i + 3 mod n (n=64, gcd(5,64)=1).
+        let reqs: Vec<_> =
+            (0..n).map(|i| (NodeId(i), NodeId((5 * i + 3) % n))).collect();
+        let out = router.route(&reqs, 7).unwrap();
+        assert_eq!(out.delivered, 64);
+        assert_eq!(out.undelivered, 0);
+        assert_eq!(out.phases, 1);
+        assert!(out.total_base_rounds > 0);
+        assert!(out.prep_rounds > 0);
+    }
+
+    #[test]
+    fn self_requests_are_free_of_failures() {
+        let (g, cfg) = build_case(48, 4, 4, 1, 43);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let router = HierarchicalRouter::new(&h);
+        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId(i))).collect();
+        let out = router.route(&reqs, 1).unwrap();
+        assert_eq!(out.delivered, 48);
+    }
+
+    #[test]
+    fn heavy_instances_split_into_phases() {
+        let (g, cfg) = build_case(48, 4, 4, 1, 47);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let mut rc = RouterConfig::for_n(48);
+        rc.load_per_degree = 1.0; // tight promise to force phase splitting
+        let router = HierarchicalRouter::with_config(&h, rc);
+        // Everyone sends 10 packets to node 0: node 0 receives 480 ≫ d·1.
+        let mut reqs = Vec::new();
+        for i in 0..48u32 {
+            for _ in 0..10 {
+                reqs.push((NodeId(i), NodeId(0)));
+            }
+        }
+        let out = router.route(&reqs, 3).unwrap();
+        assert!(out.phases > 1, "expected phase splitting, got {}", out.phases);
+        assert_eq!(out.delivered, reqs.len());
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let (g, cfg) = build_case(48, 4, 4, 1, 53);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let router = HierarchicalRouter::new(&h);
+        let err = router.route(&[(NodeId(0), NodeId(99))], 0).unwrap_err();
+        assert_eq!(err, RouteError::BadRequest { node: 99, n: 48 });
+    }
+
+    #[test]
+    fn phase_cap_enforced() {
+        let (g, cfg) = build_case(48, 4, 4, 1, 59);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let rc = RouterConfig { load_per_degree: 0.1, max_phases: 2, ..RouterConfig::for_n(48) };
+        let router = HierarchicalRouter::with_config(&h, rc);
+        let mut reqs = Vec::new();
+        for i in 0..48u32 {
+            for _ in 0..20 {
+                reqs.push((NodeId(i), NodeId(0)));
+            }
+        }
+        assert!(matches!(router.route(&reqs, 0), Err(RouteError::LoadTooHigh { .. })));
+    }
+
+    #[test]
+    fn deeper_hierarchies_still_deliver() {
+        let (g, cfg) = build_case(96, 6, 4, 2, 61);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let router = HierarchicalRouter::new(&h);
+        let n = g.len() as u32;
+        let reqs: Vec<_> = (0..n).map(|i| (NodeId(i), NodeId((i + 17) % n))).collect();
+        let out = router.route(&reqs, 11).unwrap();
+        assert_eq!(out.delivered as u32, n);
+        // Hop rounds were recorded for at least one depth.
+        assert!(out.hop_rounds() > 0);
+    }
+
+    #[test]
+    fn routing_without_preparation_still_works() {
+        let (g, cfg) = build_case(48, 4, 4, 1, 67);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let rc = RouterConfig { prepare: false, ..RouterConfig::for_n(48) };
+        let router = HierarchicalRouter::with_config(&h, rc);
+        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId(47 - i))).collect();
+        let out = router.route(&reqs, 13).unwrap();
+        assert_eq!(out.delivered, 48);
+        assert_eq!(out.prep_rounds, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, cfg) = build_case(48, 4, 4, 1, 71);
+        let h = Hierarchy::build(&g, cfg).unwrap();
+        let router = HierarchicalRouter::new(&h);
+        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId((i + 5) % 48))).collect();
+        let a = router.route(&reqs, 5).unwrap();
+        let b = router.route(&reqs, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

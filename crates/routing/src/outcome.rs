@@ -1,0 +1,107 @@
+//! Measured routing outcomes.
+
+/// Measured result of one [`crate::HierarchicalRouter::route`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingOutcome {
+    /// Phases the instance was split into (1 unless the load promise was
+    /// exceeded; footnote 3 of the paper).
+    pub phases: u32,
+    /// Total measured base-graph rounds (preparation + hops + bottom
+    /// deliveries across all phases).
+    pub total_base_rounds: u64,
+    /// Rounds spent on the preparation walks.
+    pub prep_rounds: u64,
+    /// Rounds spent hopping between sibling parts, per partition depth
+    /// `d = 0..levels` (hop at depth `d` crosses a level-`d` edge).
+    pub hop_rounds_per_depth: Vec<u64>,
+    /// Rounds spent on bottom-part clique deliveries.
+    pub bottom_rounds: u64,
+    /// Packets delivered to the correct destination.
+    pub delivered: usize,
+    /// Packets the router could not deliver (0 on healthy hierarchies).
+    pub undelivered: usize,
+    /// Cross-part packets that had no portal and used a BFS fallback.
+    pub portal_misses: u64,
+    /// Total overlay-edge crossings performed by hop phases (one per
+    /// cross-part transition plus fallback path hops).
+    pub hop_crossings: u64,
+    /// Total bottom-clique edge crossings (final deliveries).
+    pub bottom_crossings: u64,
+}
+
+impl RoutingOutcome {
+    /// Sum of hop rounds over all depths.
+    pub fn hop_rounds(&self) -> u64 {
+        self.hop_rounds_per_depth.iter().sum()
+    }
+
+    /// Average overlay crossings per delivered packet — the measured
+    /// journey length (stretch) through the hierarchy.
+    pub fn avg_crossings_per_packet(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            (self.hop_crossings + self.bottom_crossings) as f64 / self.delivered as f64
+        }
+    }
+
+    /// Merges the outcome of a later phase into this one.
+    pub fn absorb(&mut self, later: &RoutingOutcome) {
+        self.total_base_rounds += later.total_base_rounds;
+        self.prep_rounds += later.prep_rounds;
+        if self.hop_rounds_per_depth.len() < later.hop_rounds_per_depth.len() {
+            self.hop_rounds_per_depth.resize(later.hop_rounds_per_depth.len(), 0);
+        }
+        for (a, b) in self.hop_rounds_per_depth.iter_mut().zip(&later.hop_rounds_per_depth) {
+            *a += *b;
+        }
+        self.bottom_rounds += later.bottom_rounds;
+        self.delivered += later.delivered;
+        self.undelivered += later.undelivered;
+        self.portal_misses += later.portal_misses;
+        self.hop_crossings += later.hop_crossings;
+        self.bottom_crossings += later.bottom_crossings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RoutingOutcome {
+            phases: 2,
+            total_base_rounds: 10,
+            prep_rounds: 3,
+            hop_rounds_per_depth: vec![2, 1],
+            bottom_rounds: 4,
+            delivered: 5,
+            undelivered: 0,
+            portal_misses: 1,
+            hop_crossings: 7,
+            bottom_crossings: 5,
+        };
+        let b = RoutingOutcome {
+            phases: 2,
+            total_base_rounds: 7,
+            prep_rounds: 2,
+            hop_rounds_per_depth: vec![1, 1, 1],
+            bottom_rounds: 2,
+            delivered: 3,
+            undelivered: 1,
+            portal_misses: 0,
+            hop_crossings: 2,
+            bottom_crossings: 3,
+        };
+        a.absorb(&b);
+        assert_eq!(a.total_base_rounds, 17);
+        assert_eq!(a.hop_rounds_per_depth, vec![3, 2, 1]);
+        assert_eq!(a.delivered, 8);
+        assert_eq!(a.undelivered, 1);
+        assert_eq!(a.hop_rounds(), 6);
+        assert_eq!(a.hop_crossings, 9);
+        assert_eq!(a.bottom_crossings, 8);
+        assert!((a.avg_crossings_per_packet() - 17.0 / 8.0).abs() < 1e-12);
+    }
+}

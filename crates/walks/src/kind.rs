@@ -1,0 +1,188 @@
+//! Walk kinds: lazy (Definition 2.1) and 2Δ-regular (Definition 2.2).
+
+use amt_graphs::{EdgeId, Graph, NodeId};
+use rand::{Rng, RngExt};
+
+/// The two random-walk variants used by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WalkKind {
+    /// Lazy walk: stay with probability ½, otherwise move along a uniformly
+    /// random incident half-edge. Stationary distribution `d(v)/2m`.
+    Lazy,
+    /// 2Δ-regular walk (Definition 2.2): stay with probability
+    /// `1 − d(v)/(2Δ)`, otherwise move along a uniformly random incident
+    /// edge. Equivalent to the lazy walk on the Δ-regularized multigraph;
+    /// stationary distribution uniform `1/n`.
+    DeltaRegular,
+}
+
+impl WalkKind {
+    /// Samples one transition from `v`. Returns `None` to stay put, or the
+    /// traversed `(next, edge)` pair.
+    ///
+    /// `delta` must be `graph.max_degree()` for [`WalkKind::DeltaRegular`]
+    /// (ignored for lazy walks); it is passed in so callers hoist the
+    /// computation out of their step loops.
+    #[inline]
+    pub fn step<R: Rng>(
+        self,
+        g: &Graph,
+        v: NodeId,
+        delta: usize,
+        rng: &mut R,
+    ) -> Option<(NodeId, EdgeId)> {
+        let d = g.degree(v);
+        if d == 0 {
+            return None;
+        }
+        match self {
+            WalkKind::Lazy => {
+                if rng.random_bool(0.5) {
+                    None
+                } else {
+                    Some(g.neighbor_at(v, rng.random_range(0..d)))
+                }
+            }
+            WalkKind::DeltaRegular => {
+                debug_assert!(delta >= d);
+                // Move along each incident half-edge w.p. 1/(2Δ): total move
+                // probability d/(2Δ).
+                let pick = rng.random_range(0..2 * delta);
+                if pick < d {
+                    Some(g.neighbor_at(v, pick))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The stationary probability of node `v` under this walk.
+    pub fn stationary(self, g: &Graph, v: NodeId) -> f64 {
+        match self {
+            WalkKind::Lazy => g.degree(v) as f64 / g.volume() as f64,
+            WalkKind::DeltaRegular => 1.0 / g.len() as f64,
+        }
+    }
+
+    /// One step of the transition operator applied to a distribution:
+    /// `out = x · W`. Used by the exact mixing-time computation.
+    pub fn evolve(self, g: &Graph, delta: usize, x: &[f64], out: &mut [f64]) {
+        let n = g.len();
+        debug_assert_eq!(x.len(), n);
+        debug_assert_eq!(out.len(), n);
+        match self {
+            WalkKind::Lazy => {
+                for (u, o) in out.iter_mut().enumerate() {
+                    *o = 0.5 * x[u];
+                }
+                for w in g.nodes() {
+                    let d = g.degree(w);
+                    if d == 0 {
+                        continue;
+                    }
+                    let share = 0.5 * x[w.index()] / d as f64;
+                    for (u, _) in g.neighbors(w) {
+                        out[u.index()] += share;
+                    }
+                }
+            }
+            WalkKind::DeltaRegular => {
+                let two_delta = 2.0 * delta as f64;
+                for w in g.nodes() {
+                    let d = g.degree(w);
+                    out[w.index()] += (1.0 - d as f64 / two_delta) * x[w.index()];
+                    let share = x[w.index()] / two_delta;
+                    for (u, _) in g.neighbors(w) {
+                        out[u.index()] += share;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lazy_step_stays_half_the_time() {
+        let g = generators::ring(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let stays = (0..trials)
+            .filter(|_| WalkKind::Lazy.step(&g, NodeId(0), g.max_degree(), &mut rng).is_none())
+            .count();
+        let frac = stays as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.02, "stay fraction {frac}");
+    }
+
+    #[test]
+    fn delta_regular_step_move_probability_matches_degree() {
+        // Star: center degree n-1, leaves degree 1, Δ = n-1.
+        let n = 5;
+        let edges: Vec<_> = (1..n).map(|i| (0usize, i)).collect();
+        let g = amt_graphs::Graph::from_edges(n, &edges).unwrap();
+        let delta = g.max_degree();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40_000;
+        let leaf_moves = (0..trials)
+            .filter(|_| WalkKind::DeltaRegular.step(&g, NodeId(1), delta, &mut rng).is_some())
+            .count();
+        // Leaf moves w.p. d/(2Δ) = 1/8.
+        let frac = leaf_moves as f64 / trials as f64;
+        assert!((frac - 0.125).abs() < 0.01, "leaf move fraction {frac}");
+    }
+
+    #[test]
+    fn stationary_distributions_sum_to_one() {
+        let g = generators::lollipop(5, 4).unwrap();
+        for kind in [WalkKind::Lazy, WalkKind::DeltaRegular] {
+            let total: f64 = g.nodes().map(|v| kind.stationary(&g, v)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{kind:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn evolve_preserves_mass_and_fixes_stationary() {
+        let g = generators::lollipop(4, 3).unwrap();
+        let n = g.len();
+        let delta = g.max_degree();
+        for kind in [WalkKind::Lazy, WalkKind::DeltaRegular] {
+            // Mass preservation from a point mass.
+            let mut x = vec![0.0; n];
+            x[0] = 1.0;
+            let mut y = vec![0.0; n];
+            kind.evolve(&g, delta, &x, &mut y);
+            let total: f64 = y.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            // The stationary distribution is a fixed point.
+            let pi: Vec<f64> = g.nodes().map(|v| kind.stationary(&g, v)).collect();
+            let mut out = vec![0.0; n];
+            kind.evolve(&g, delta, &pi, &mut out);
+            for (a, b) in pi.iter().zip(&out) {
+                assert!((a - b).abs() < 1e-12, "stationary not fixed: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_handles_self_loops() {
+        let g = amt_graphs::Graph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        let mut x = vec![1.0, 0.0];
+        let mut y = vec![0.0, 0.0];
+        WalkKind::Lazy.evolve(&g, g.max_degree(), &x, &mut y);
+        // From node 0 (degree 3: two loop half-edges + one edge):
+        // stay 0.5 + 0.5·(2/3); move to 1 w.p. 0.5·(1/3).
+        assert!((y[0] - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12);
+        assert!((y[1] - 0.5 / 3.0).abs() < 1e-12);
+        x = y.clone();
+        let mut z = vec![0.0, 0.0];
+        WalkKind::Lazy.evolve(&g, g.max_degree(), &x, &mut z);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

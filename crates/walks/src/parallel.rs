@@ -1,0 +1,557 @@
+//! Parallel random walks with measured CONGEST round costs (Lemmas 2.4/2.5).
+//!
+//! All walks advance step-synchronously. In the distributed execution each
+//! step is a *phase*: every token that moves must cross one edge, and each
+//! edge carries one token per direction per round, so a phase costs
+//! `max(1, max directed-edge load)` rounds. Lemma 2.5 proves this is
+//! `O(k + log n)` w.h.p. when each node starts `k·d(v)` walks; here the cost
+//! is **measured** from the actual token loads, never assumed.
+
+use crate::WalkKind;
+use amt_graphs::{EdgeId, Graph, NodeId};
+use rand::{Rng, RngExt};
+
+/// Specification of one walk: where it starts and how many steps it takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkSpec {
+    /// Starting node.
+    pub start: NodeId,
+    /// Number of steps (lazy steps that stay put still count).
+    pub steps: u32,
+}
+
+/// The recorded trajectory of one walk.
+///
+/// `nodes` has `steps + 1` entries (positions after each step, including the
+/// start); `edges[s]` is the edge traversed at step `s`, or `None` if the
+/// walk stayed put. Trajectories are what the paper's constructions "run
+/// backwards": the reverse traversal visits the same edges in reverse order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Node positions, length `steps + 1`.
+    pub nodes: Vec<u32>,
+    /// Traversed edge per step (`None` = stayed), length `steps`.
+    pub edges: Vec<Option<u32>>,
+}
+
+impl Trajectory {
+    /// The walk's starting node.
+    pub fn start(&self) -> NodeId {
+        NodeId(self.nodes[0])
+    }
+
+    /// The walk's final node.
+    pub fn end(&self) -> NodeId {
+        NodeId(*self.nodes.last().expect("trajectory has at least the start"))
+    }
+
+    /// The sequence of `(edge, from, to)` traversals, skipping stay-steps.
+    pub fn edge_path(&self) -> Vec<(EdgeId, NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (s, e) in self.edges.iter().enumerate() {
+            if let Some(eid) = e {
+                out.push((EdgeId(*eid), NodeId(self.nodes[s]), NodeId(self.nodes[s + 1])));
+            }
+        }
+        out
+    }
+}
+
+/// Measured statistics of a parallel-walk execution.
+#[derive(Clone, Debug, Default)]
+pub struct WalkStats {
+    /// Number of synchronous walk steps performed (the longest spec).
+    pub steps: u32,
+    /// Measured CONGEST rounds: `Σ_s max(1, max directed-edge load at s)`.
+    pub rounds: u64,
+    /// Per-step phase costs (each `max(1, max directed-edge load)`).
+    pub per_step_rounds: Vec<u32>,
+    /// Peak number of tokens resident at each node over all steps
+    /// (the quantity bounded by Lemma 2.4 as `O(k·d(v) + log n)`).
+    pub node_token_peaks: Vec<u32>,
+    /// Total edge traversals (excludes stay-steps).
+    pub traversals: u64,
+}
+
+impl WalkStats {
+    /// Largest per-node token peak.
+    pub fn max_node_tokens(&self) -> u32 {
+        self.node_token_peaks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A completed parallel-walk execution: all trajectories plus measured costs.
+#[derive(Clone, Debug)]
+pub struct ParallelWalkRun {
+    /// One trajectory per input spec, in order.
+    pub trajectories: Vec<Trajectory>,
+    /// Measured scheduling statistics.
+    pub stats: WalkStats,
+}
+
+impl ParallelWalkRun {
+    /// Round cost of running all the walks backwards to their sources
+    /// (identical loads traversed in reverse order, hence identical cost).
+    pub fn reverse_rounds(&self) -> u64 {
+        self.stats.rounds
+    }
+
+    /// Measured round cost of re-running only `subset` of the walks
+    /// (forward or backward): per step, the max directed-edge load induced
+    /// by the chosen trajectories; idle steps cost nothing.
+    pub fn replay_rounds(&self, subset: &[usize]) -> u64 {
+        let steps = self.stats.steps as usize;
+        let mut rounds = 0u64;
+        let mut loads: std::collections::HashMap<(u32, bool), u32> = Default::default();
+        for s in 0..steps {
+            loads.clear();
+            let mut max_load = 0u32;
+            for &i in subset {
+                let t = &self.trajectories[i];
+                if let Some(e) = t.edges[s] {
+                    let fwd = t.nodes[s] <= t.nodes[s + 1];
+                    let c = loads.entry((e, fwd)).or_insert(0);
+                    *c += 1;
+                    max_load = max_load.max(*c);
+                }
+            }
+            rounds += u64::from(max_load.max(1));
+        }
+        rounds
+    }
+}
+
+/// Runs all `specs` as independent walks of kind `kind`, step-synchronously,
+/// recording trajectories and measured round costs.
+///
+/// # Panics
+///
+/// Panics if a spec starts at an isolated node with `steps > 0` under
+/// [`WalkKind::Lazy`] semantics that would require moving (isolated nodes
+/// simply stay put, so this does not panic in practice; the caller should
+/// still avoid isolated starts).
+pub fn run_parallel_walks<R: Rng>(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    rng: &mut R,
+) -> ParallelWalkRun {
+    let delta = g.max_degree();
+    let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
+    let mut trajectories: Vec<Trajectory> = specs
+        .iter()
+        .map(|s| Trajectory {
+            nodes: {
+                let mut v = Vec::with_capacity(s.steps as usize + 1);
+                v.push(s.start.0);
+                v
+            },
+            edges: Vec::with_capacity(s.steps as usize),
+        })
+        .collect();
+
+    // Directed-edge loads for the current step: key = edge·2 + direction.
+    let mut loads = vec![0u32; 2 * g.edge_count()];
+    let mut touched: Vec<usize> = Vec::new();
+    // Tokens per node, tracked incrementally.
+    let mut node_tokens = vec![0u32; g.len()];
+    for t in &trajectories {
+        node_tokens[t.start().index()] += 1;
+    }
+    let mut node_peaks = node_tokens.clone();
+
+    let mut per_step_rounds = Vec::with_capacity(steps as usize);
+    let mut traversals = 0u64;
+    for s in 0..steps {
+        let mut max_load = 0u32;
+        for (i, spec) in specs.iter().enumerate() {
+            if s >= spec.steps {
+                continue;
+            }
+            let t = &mut trajectories[i];
+            let here = NodeId(*t.nodes.last().expect("nonempty"));
+            match kind.step(g, here, delta, rng) {
+                Some((next, edge)) => {
+                    let (a, _) = g.endpoints(edge);
+                    let dir = usize::from(a != here); // 0 = from endpoint .0
+                    let key = edge.index() * 2 + dir;
+                    if loads[key] == 0 {
+                        touched.push(key);
+                    }
+                    loads[key] += 1;
+                    max_load = max_load.max(loads[key]);
+                    t.nodes.push(next.0);
+                    t.edges.push(Some(edge.0));
+                    node_tokens[here.index()] -= 1;
+                    node_tokens[next.index()] += 1;
+                    node_peaks[next.index()] = node_peaks[next.index()].max(node_tokens[next.index()]);
+                    traversals += 1;
+                }
+                None => {
+                    t.nodes.push(here.0);
+                    t.edges.push(None);
+                }
+            }
+        }
+        for &k in &touched {
+            loads[k] = 0;
+        }
+        touched.clear();
+        per_step_rounds.push(max_load.max(1));
+    }
+
+    let rounds = per_step_rounds.iter().map(|&r| u64::from(r)).sum();
+    ParallelWalkRun {
+        trajectories,
+        stats: WalkStats {
+            steps,
+            rounds,
+            per_step_rounds,
+            node_token_peaks: node_peaks,
+            traversals,
+        },
+    }
+}
+
+/// Runs all `specs` as **correlated** walks: the paper's end-of-§2
+/// optimization for `k = o(log n)` (deferred there to the full version).
+///
+/// Independent walks suffer an additive `log n` in the per-edge load (balls
+/// in bins), making Lemma 2.5's bound `O((k + log n)·T)` instead of the
+/// `k·T` lower bound. Correlation removes it: per step, the tokens moving
+/// out of a node are matched to edges *round-robin over a random
+/// permutation*, so each directed edge carries at most `⌈movers/d(v)⌉`
+/// tokens — while each token's marginal transition stays exactly the lazy
+/// (or 2Δ-regular) kernel, because the assignment is symmetric over edges.
+/// Tokens are no longer independent, which is fine for every use in the
+/// paper's constructions (they only need per-token marginals plus load
+/// bounds).
+///
+/// Returned statistics and trajectories have the same shape as
+/// [`run_parallel_walks`].
+pub fn run_correlated_walks<R: Rng>(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    rng: &mut R,
+) -> ParallelWalkRun {
+    use rand::seq::SliceRandom;
+    let delta = g.max_degree();
+    let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
+    let mut trajectories: Vec<Trajectory> = specs
+        .iter()
+        .map(|s| Trajectory {
+            nodes: {
+                let mut v = Vec::with_capacity(s.steps as usize + 1);
+                v.push(s.start.0);
+                v
+            },
+            edges: Vec::with_capacity(s.steps as usize),
+        })
+        .collect();
+    let mut node_tokens = vec![0u32; g.len()];
+    for t in &trajectories {
+        node_tokens[t.start().index()] += 1;
+    }
+    let mut node_peaks = node_tokens.clone();
+    let mut per_step_rounds = Vec::with_capacity(steps as usize);
+    let mut traversals = 0u64;
+    // movers[v] = indices of tokens leaving v this step.
+    let mut movers: Vec<Vec<u32>> = vec![Vec::new(); g.len()];
+    let mut touched_nodes: Vec<usize> = Vec::new();
+    for s in 0..steps {
+        // Phase 1: each active token decides to stay or move (marginal
+        // stay-probability of its kind), independently.
+        for (i, spec) in specs.iter().enumerate() {
+            if s >= spec.steps {
+                continue;
+            }
+            let here = trajectories[i].nodes[s as usize] as usize;
+            let d = g.degree(NodeId(here as u32));
+            let move_prob = match kind {
+                WalkKind::Lazy => {
+                    if d == 0 {
+                        0.0
+                    } else {
+                        0.5
+                    }
+                }
+                WalkKind::DeltaRegular => d as f64 / (2.0 * delta.max(1) as f64),
+            };
+            if move_prob > 0.0 && rng.random_bool(move_prob) {
+                if movers[here].is_empty() {
+                    touched_nodes.push(here);
+                }
+                movers[here].push(i as u32);
+            } else {
+                let t = &mut trajectories[i];
+                t.nodes.push(here as u32);
+                t.edges.push(None);
+            }
+        }
+        // Phase 2: per node, movers are shuffled and dealt round-robin over
+        // the incident edges (symmetric ⇒ uniform marginal per token), so
+        // the per-edge load is ⌈movers/d⌉.
+        let mut max_load = 0u32;
+        for &v in &touched_nodes {
+            let list = &mut movers[v];
+            list.shuffle(rng);
+            let d = g.degree(NodeId(v as u32));
+            // Randomize which edges take the remainder tokens.
+            let offset = rng.random_range(0..d);
+            for (slot, &tok) in list.iter().enumerate() {
+                let port = (slot + offset) % d;
+                let (next, edge) = g.neighbor_at(NodeId(v as u32), port);
+                let t = &mut trajectories[tok as usize];
+                t.nodes.push(next.0);
+                t.edges.push(Some(edge.0));
+                node_tokens[v] -= 1;
+                node_tokens[next.index()] += 1;
+                node_peaks[next.index()] =
+                    node_peaks[next.index()].max(node_tokens[next.index()]);
+                traversals += 1;
+            }
+            max_load = max_load.max(list.len().div_ceil(d) as u32);
+            list.clear();
+        }
+        touched_nodes.clear();
+        per_step_rounds.push(max_load.max(1));
+    }
+    let rounds = per_step_rounds.iter().map(|&r| u64::from(r)).sum();
+    ParallelWalkRun {
+        trajectories,
+        stats: WalkStats {
+            steps,
+            rounds,
+            per_step_rounds,
+            node_token_peaks: node_peaks,
+            traversals,
+        },
+    }
+}
+
+/// Builds the standard spec set of Lemma 2.5: `k · d(v)` walks of `steps`
+/// steps starting at every node `v`.
+pub fn degree_proportional_specs(g: &Graph, k: usize, steps: u32) -> Vec<WalkSpec> {
+    let mut specs = Vec::with_capacity(k * g.volume() / 2);
+    for v in g.nodes() {
+        for _ in 0..(k * g.degree(v)) {
+            specs.push(WalkSpec { start: v, steps });
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn trajectories_have_declared_lengths() {
+        let g = generators::hypercube(3);
+        let specs =
+            vec![WalkSpec { start: NodeId(0), steps: 5 }, WalkSpec { start: NodeId(3), steps: 2 }];
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        assert_eq!(run.trajectories[0].nodes.len(), 6);
+        assert_eq!(run.trajectories[0].edges.len(), 5);
+        assert_eq!(run.trajectories[1].nodes.len(), 3);
+        assert_eq!(run.stats.steps, 5);
+    }
+
+    #[test]
+    fn trajectories_are_walks_on_the_graph() {
+        let g = generators::torus_2d(4, 4);
+        let specs = degree_proportional_specs(&g, 1, 8);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        for t in &run.trajectories {
+            for s in 0..t.edges.len() {
+                match t.edges[s] {
+                    Some(e) => {
+                        let (a, b) = g.endpoints(EdgeId(e));
+                        let (x, y) = (NodeId(t.nodes[s]), NodeId(t.nodes[s + 1]));
+                        assert!((a, b) == (x, y) || (a, b) == (y, x));
+                    }
+                    None => assert_eq!(t.nodes[s], t.nodes[s + 1]),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn token_conservation() {
+        let g = generators::ring(12);
+        let specs = degree_proportional_specs(&g, 2, 10);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        assert_eq!(run.trajectories.len(), specs.len());
+        // Every trajectory ends somewhere on the graph.
+        for t in &run.trajectories {
+            assert!((t.end().index()) < g.len());
+        }
+    }
+
+    #[test]
+    fn rounds_at_least_steps_and_bounded_by_lemma() {
+        // Lemma 2.5: O((k + log n)·T) rounds for k·d(v) walks of length T.
+        let g = generators::random_regular(128, 6, &mut rng()).unwrap();
+        let k = 4;
+        let t_len = 20u32;
+        let specs = degree_proportional_specs(&g, k, t_len);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        assert!(run.stats.rounds >= u64::from(t_len));
+        let n = g.len() as f64;
+        let bound = 4.0 * (k as f64 + n.log2()) * f64::from(t_len);
+        assert!(
+            (run.stats.rounds as f64) < bound,
+            "rounds {} above Lemma 2.5 bound {bound}",
+            run.stats.rounds
+        );
+    }
+
+    #[test]
+    fn node_token_peaks_match_lemma_2_4() {
+        // Peak tokens per node should be O(k·d(v) + log n).
+        let g = generators::random_regular(256, 4, &mut rng()).unwrap();
+        let k = 3;
+        let specs = degree_proportional_specs(&g, k, 15);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        let logn = (g.len() as f64).log2();
+        for v in g.nodes() {
+            let peak = run.stats.node_token_peaks[v.index()] as f64;
+            let bound = 5.0 * (k as f64 * g.degree(v) as f64 + logn);
+            assert!(peak <= bound, "node {v:?} peak {peak} above {bound}");
+        }
+    }
+
+    #[test]
+    fn delta_regular_walks_uniformize_endpoints() {
+        // On a star, lazy-walk endpoints pile on the center; 2Δ-regular
+        // endpoints approach uniform.
+        let n = 16;
+        let edges: Vec<_> = (1..n).map(|i| (0usize, i)).collect();
+        let g = amt_graphs::Graph::from_edges(n, &edges).unwrap();
+        let specs: Vec<_> =
+            (0..2000).map(|i| WalkSpec { start: NodeId((i % n) as u32), steps: 120 }).collect();
+        let run = run_parallel_walks(&g, WalkKind::DeltaRegular, &specs, &mut rng());
+        let mut counts = vec![0usize; n];
+        for t in &run.trajectories {
+            counts[t.end().index()] += 1;
+        }
+        let expect = 2000.0 / n as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.4 * expect && (c as f64) < 2.5 * expect,
+                "node {v} got {c}, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_cost_of_subset_is_cheaper() {
+        let g = generators::hypercube(5);
+        let specs = degree_proportional_specs(&g, 2, 12);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        let all: Vec<usize> = (0..specs.len()).collect();
+        let some: Vec<usize> = (0..specs.len()).step_by(10).collect();
+        assert!(run.replay_rounds(&some) <= run.replay_rounds(&all));
+        assert_eq!(run.reverse_rounds(), run.stats.rounds);
+    }
+
+    #[test]
+    fn correlated_walks_are_valid_graph_walks() {
+        let g = generators::torus_2d(5, 5);
+        let specs = degree_proportional_specs(&g, 2, 10);
+        let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        for t in &run.trajectories {
+            assert_eq!(t.nodes.len(), 11);
+            for s in 0..t.edges.len() {
+                match t.edges[s] {
+                    Some(e) => {
+                        let (a, b) = g.endpoints(EdgeId(e));
+                        let (x, y) = (NodeId(t.nodes[s]), NodeId(t.nodes[s + 1]));
+                        assert!((a, b) == (x, y) || (a, b) == (y, x));
+                    }
+                    None => assert_eq!(t.nodes[s], t.nodes[s + 1]),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_walks_remove_the_additive_log_term() {
+        // k = 1: independent walks pay Θ(log n) per step on some edge;
+        // correlated walks pay ⌈movers/d⌉ ≤ small constant.
+        let g = generators::random_regular(512, 6, &mut rng()).unwrap();
+        let t_len = 25u32;
+        let specs = degree_proportional_specs(&g, 1, t_len);
+        let ind = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        let cor = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        assert!(
+            cor.stats.rounds * 2 <= ind.stats.rounds,
+            "correlated {} should be well below independent {}",
+            cor.stats.rounds,
+            ind.stats.rounds
+        );
+        // And close to the k·T lower bound (k = 1 ⇒ ≈ 2T with laziness).
+        assert!(cor.stats.rounds <= 3 * u64::from(t_len));
+    }
+
+    #[test]
+    fn correlated_marginals_match_the_lazy_kernel() {
+        // Endpoint distribution of correlated walks ≈ stationary (degree-
+        // proportional), same as independent walks.
+        let g = generators::random_regular(64, 4, &mut rng()).unwrap();
+        let specs = degree_proportional_specs(&g, 8, 60);
+        let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        let mut counts = vec![0usize; g.len()];
+        for t in &run.trajectories {
+            counts[t.end().index()] += 1;
+        }
+        let expect = specs.len() as f64 / g.len() as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.4 * expect && (c as f64) < 2.0 * expect,
+                "node {v}: {c} endpoints, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_stay_fraction_is_marginal() {
+        let g = generators::ring(32);
+        let specs = degree_proportional_specs(&g, 4, 40);
+        let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        let stays: usize = run
+            .trajectories
+            .iter()
+            .map(|t| t.edges.iter().filter(|e| e.is_none()).count())
+            .sum();
+        let total: usize = run.trajectories.iter().map(|t| t.edges.len()).sum();
+        let frac = stays as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.03, "lazy stay fraction {frac}");
+    }
+
+    #[test]
+    fn empty_specs_are_free() {
+        let g = generators::ring(4);
+        let run = run_parallel_walks(&g, WalkKind::Lazy, &[], &mut rng());
+        assert_eq!(run.stats.rounds, 0);
+        assert!(run.trajectories.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 6);
+        let a = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        let b = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.trajectories, b.trajectories);
+        assert_eq!(a.stats.rounds, b.stats.rounds);
+    }
+}

@@ -1,0 +1,93 @@
+//! A peer-to-peer overlay scenario — the class of networks the paper's
+//! introduction motivates (Chord-like overlays, expander-based P2P
+//! systems).
+//!
+//! Each peer must push a state update to a handful of random other peers
+//! (e.g. replica sets in a DHT). We compare three routers on the same
+//! instance:
+//!
+//! * the paper's hierarchical router (distributed, local knowledge only);
+//! * a centralized shortest-path router (global-knowledge reference:
+//!   congestion + dilation);
+//! * the naive random-walk router (distributed strawman).
+//!
+//! Run with: `cargo run --release --example p2p_overlay_aggregation`
+
+use amt_core::prelude::*;
+use amt_core::routing::{baseline, EmulationMode, HierarchicalRouter, RouterConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let n = 256usize;
+    let replicas = 3usize;
+    let seed = 7;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // An overlay built the way P2P systems do it: every peer links to a few
+    // random others (Law–Siu style), giving an expander.
+    let g = generators::random_out_union(n, 4, &mut rng).expect("valid parameters");
+    assert!(g.is_connected(), "random out-union overlays are connected w.h.p.");
+    let tau = mixing::mixing_time_spectral(&g, WalkKind::Lazy, 400).expect("connected");
+    println!(
+        "overlay: n = {n}, m = {}, Δ = {}, τ_mix ≈ {tau}",
+        g.edge_count(),
+        g.max_degree()
+    );
+
+    // Each peer sends one update to `replicas` random peers.
+    let mut requests = Vec::with_capacity(n * replicas);
+    for src in 0..n as u32 {
+        for _ in 0..replicas {
+            let mut dst = rng.random_range(0..n as u32);
+            while dst == src {
+                dst = rng.random_range(0..n as u32);
+            }
+            requests.push((NodeId(src), NodeId(dst)));
+        }
+    }
+    println!("workload: {} replica-update packets ({replicas} per peer)\n", requests.len());
+
+    // --- Paper router ---
+    let system = System::builder(&g).seed(seed).beta(4).levels(2).build().expect("expander");
+    let hier = system.route(&requests, 3).expect("routable");
+    println!(
+        "hierarchical router (sequential-emulation pricing): {:>8} rounds  ({} phases)",
+        hier.total_base_rounds, hier.phases,
+    );
+    let exact_router = HierarchicalRouter::with_config(
+        system.hierarchy(),
+        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+    );
+    let tight = exact_router.route(&requests, 3).expect("routable");
+    println!(
+        "hierarchical router (exact store-and-forward)     : {:>8} rounds  (one-time build: {})",
+        tight.total_base_rounds,
+        system.build_rounds()
+    );
+
+    // --- Centralized shortest-path reference ---
+    let sp = baseline::shortest_path_route(&g, &requests);
+    println!(
+        "shortest-path (ref) : {:>8} rounds  (congestion {}, dilation ≤ {})",
+        sp.rounds, sp.max_key_congestion, sp.dilation
+    );
+
+    // --- Naive random-walk router ---
+    let walk = baseline::random_walk_route(&g, &requests, 50_000, &mut rng);
+    println!(
+        "random-walk router  : {:>8} rounds  (delivered {}/{})",
+        walk.rounds,
+        walk.delivered,
+        requests.len()
+    );
+
+    println!(
+        "\nAt this small scale the hierarchy's polylogarithmic emulation \
+         factors dominate — the paper's advantage is asymptotic (see \
+         EXPERIMENTS.md, E2): its rounds grow like τ_mix·2^O(√(log n log log n)) \
+         with a per-node load guarantee, while the shortest-path reference \
+         needs global topology knowledge and the naive walk router scales \
+         like Θ̃(m/d) per batch."
+    );
+}

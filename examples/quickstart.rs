@@ -1,0 +1,81 @@
+//! Quickstart: build the hierarchical routing structure on an expander
+//! network, route a permutation, and compute an MST — all with measured
+//! CONGEST round costs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use amt_core::prelude::*;
+use amt_core::routing::{EmulationMode, HierarchicalRouter, RouterConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 128;
+    let seed = 42;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. The network: a random 6-regular graph — a good expander, the
+    //    paper's headline regime (τ_mix = O(log n)).
+    let g = generators::random_regular(n, 6, &mut rng).expect("valid parameters");
+    let tau = mixing::mixing_time_spectral(&g, WalkKind::Lazy, 400).expect("connected");
+    println!("network: n = {n}, m = {}, τ_mix (spectral est.) = {tau}", g.edge_count());
+
+    // 2. Build the hierarchical embedding once (§3.1 of the paper).
+    let system = System::builder(&g)
+        .seed(seed)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander embeds fine");
+    let h = system.hierarchy();
+    println!(
+        "hierarchy: {} virtual nodes, β = {}, depth = {}, built in {} measured base rounds",
+        h.vnodes(),
+        h.cfg().beta,
+        h.depth(),
+        system.build_rounds()
+    );
+    for level in 0..=h.depth() {
+        let ov = h.overlay(level);
+        let (avg, max) = ov.path_length_stats();
+        println!(
+            "  level {level}: {} edges, path len avg {avg:.1} / max {max}, full-round cost {}",
+            ov.graph().edge_count(),
+            h.full_round_cost(level)
+        );
+    }
+
+    // 3. Permutation routing (Theorem 1.2): node i sends to node 5i+3 mod n.
+    let reqs: Vec<_> = (0..n as u32)
+        .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+        .collect();
+    let router = HierarchicalRouter::with_config(
+        system.hierarchy(),
+        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+    );
+    let routed = router.route(&reqs, 1).expect("routable");
+    println!(
+        "routing: delivered {}/{} packets in {} measured rounds \
+         (prep {}, hops {}, bottom {}; {:.1} overlay crossings/packet)",
+        routed.delivered,
+        reqs.len(),
+        routed.total_base_rounds,
+        routed.prep_rounds,
+        routed.hop_rounds(),
+        routed.bottom_rounds,
+        routed.avg_crossings_per_packet()
+    );
+
+    // 4. MST (Theorem 1.1), verified against Kruskal.
+    let wg = WeightedGraph::with_random_weights(g.clone(), 100_000, &mut rng);
+    let mst = system.mst(&wg, 2).expect("connected");
+    assert!(reference::verify_mst(&wg, &mst.tree_edges), "must match Kruskal");
+    println!(
+        "mst: weight {} over {} edges, {} Boruvka iterations, {} measured rounds \
+         (verified against Kruskal)",
+        mst.total_weight,
+        mst.tree_edges.len(),
+        mst.iterations,
+        mst.rounds
+    );
+}

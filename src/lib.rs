@@ -1,0 +1,1 @@
+pub use amt_core::*;

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full pipeline (hierarchy → routing →
+//! MST → min cut) on several graph families, plus determinism and failure
+//! injection.
+
+use amt_core::mst::{congest_boruvka, gkp};
+use amt_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("random-regular", generators::random_regular(64, 6, &mut rng).unwrap()),
+        ("hypercube", generators::hypercube(6)),
+        ("erdos-renyi", generators::connected_erdos_renyi(64, 0.12, 100, &mut rng).unwrap()),
+        ("pref-attach", generators::preferential_attachment(64, 3, &mut rng).unwrap()),
+        ("torus", generators::torus_2d(8, 8)),
+    ]
+}
+
+#[test]
+fn full_pipeline_on_every_family() {
+    for (name, g) in families(1) {
+        let sys = System::builder(&g)
+            .seed(7)
+            .beta(4)
+            .levels(1)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        assert!(sys.build_rounds() > 0, "{name}");
+
+        // Routing: a cyclic permutation.
+        let n = g.len() as u32;
+        let reqs: Vec<_> = (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect();
+        let routed = sys.route(&reqs, 3).unwrap_or_else(|e| panic!("{name}: route: {e}"));
+        assert_eq!(routed.delivered as u32, n, "{name}");
+        assert_eq!(routed.undelivered, 0, "{name}");
+
+        // MST, checked against Kruskal and both baselines.
+        let mut rng = StdRng::seed_from_u64(11);
+        let wg = WeightedGraph::with_random_weights(g.clone(), 100_000, &mut rng);
+        let mst = sys.mst(&wg, 5).unwrap_or_else(|e| panic!("{name}: mst: {e}"));
+        let kruskal = reference::kruskal(&wg).unwrap();
+        assert_eq!(mst.tree_edges, kruskal, "{name}: AMT-MST must be canonical");
+        let bo = congest_boruvka::run(&wg, 5).unwrap();
+        assert_eq!(bo.tree_edges, kruskal, "{name}: Boruvka baseline");
+        let gk = gkp::run(&wg, 5).unwrap();
+        assert_eq!(gk.tree_edges, kruskal, "{name}: GKP baseline");
+    }
+}
+
+#[test]
+fn min_cut_pipeline_on_bottleneck_graph() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::dumbbell_expanders(24, 4, 2, &mut rng).unwrap();
+    let caps = vec![1u64; g.edge_count()];
+    let exact = stoer_wagner(&g, &caps).unwrap().0;
+    assert_eq!(exact, 2, "two bridges");
+    let sys = System::builder(&g).seed(3).beta(4).levels(1).build().unwrap();
+    let cut = sys.min_cut(&caps, 2, 9).unwrap();
+    assert!(cut.value >= exact);
+    assert!(cut.value <= 2 * exact, "1-respecting is a 2-approximation here");
+    assert!(cut.rounds > 0);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let g = amt_bench_free_expander(48, 4, 5);
+    let run = |seed_sys: u64, seed_ops: u64| {
+        let sys = System::builder(&g).seed(seed_sys).beta(4).levels(1).build().unwrap();
+        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId((i + 13) % 48))).collect();
+        let routed = sys.route(&reqs, seed_ops).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed_ops);
+        let wg = WeightedGraph::with_random_weights(g.clone(), 1000, &mut rng);
+        let mst = sys.mst(&wg, seed_ops).unwrap();
+        (sys.build_rounds(), routed.total_base_rounds, mst.rounds, mst.tree_edges)
+    };
+    assert_eq!(run(1, 2), run(1, 2));
+    // Different seeds give different schedules (but still correct trees).
+    let (a_build, ..) = run(1, 2);
+    let (b_build, ..) = run(9, 2);
+    assert_ne!(a_build, b_build, "different system seeds should differ");
+}
+
+#[test]
+fn oversubscribed_instances_split_not_fail() {
+    let g = amt_bench_free_expander(32, 4, 6);
+    let sys = System::builder(&g).seed(1).beta(4).levels(1).build().unwrap();
+    // Every node sends 20 packets to node 0.
+    let mut reqs = Vec::new();
+    for i in 0..32u32 {
+        for _ in 0..20 {
+            reqs.push((NodeId(i), NodeId(0)));
+        }
+    }
+    let out = sys.route(&reqs, 4).unwrap();
+    assert!(out.phases > 1, "hot-spot load must split into phases");
+    assert_eq!(out.delivered, reqs.len());
+}
+
+#[test]
+fn failure_injection_surfaces_clean_errors() {
+    // Disconnected base graph.
+    let disc = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+    let err = System::builder(&disc).build().map(|_| ()).unwrap_err();
+    assert!(err.to_string().contains("not connected"), "{err}");
+
+    // Bad request on a healthy system.
+    let g = amt_bench_free_expander(32, 4, 7);
+    let sys = System::builder(&g).seed(1).beta(4).levels(1).build().unwrap();
+    let err = sys.route(&[(NodeId(0), NodeId(200))], 0).map(|_| ()).unwrap_err();
+    assert!(err.to_string().contains("200"), "{err}");
+
+    // MST on a graph that does not match the system's base graph.
+    let other = generators::ring(32);
+    let wg = WeightedGraph::with_random_weights(other, 10, &mut StdRng::seed_from_u64(1));
+    let err = sys.mst(&wg, 0).map(|_| ()).unwrap_err();
+    assert!(err.to_string().contains("does not match"), "{err}");
+}
+
+#[test]
+fn clique_emulation_end_to_end() {
+    let g = amt_bench_free_expander(24, 4, 8);
+    let sys = System::builder(&g).seed(2).beta(4).levels(1).build().unwrap();
+    let out = sys.emulate_clique(6).unwrap();
+    assert_eq!(out.messages, 24 * 23);
+    assert!(out.cut_lower_bound > 0.0);
+    assert!(out.routing.total_base_rounds as f64 >= out.cut_lower_bound * 0.5);
+}
+
+/// Local copy of the expander helper (tests at workspace root cannot depend
+/// on the bench crate).
+fn amt_bench_free_expander(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_regular(n, d, &mut rng).unwrap()
+}

@@ -1,0 +1,82 @@
+//! Randomized end-to-end battery: many random configurations through the
+//! whole stack, checking only *invariants* (delivery, canonicity, bounds),
+//! never specific values — a cheap fuzz layer on top of the unit suites.
+
+use amt_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_connected_graph(rng: &mut StdRng) -> Graph {
+    match rng.random_range(0..4u32) {
+        0 => {
+            let n = 8 * rng.random_range(4..9usize);
+            generators::random_regular(n, 2 * rng.random_range(2..4usize), rng).unwrap()
+        }
+        1 => generators::hypercube(rng.random_range(4..7u32)),
+        2 => {
+            let n = rng.random_range(32..72usize);
+            generators::connected_erdos_renyi(n, 0.15, 200, rng).unwrap()
+        }
+        _ => {
+            let n = rng.random_range(40..80usize);
+            generators::preferential_attachment(n, 3, rng).unwrap()
+        }
+    }
+}
+
+#[test]
+fn battery_of_random_configurations() {
+    for trial in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + trial);
+        let g = random_connected_graph(&mut rng);
+        let n = g.len();
+        let beta = [2u32, 4][rng.random_range(0..2usize)];
+        let sys = match System::builder(&g)
+            .seed(trial)
+            .beta(beta)
+            .levels(1)
+            .build()
+        {
+            Ok(s) => s,
+            Err(e) => panic!("trial {trial} (n = {n}, β = {beta}): build failed: {e}"),
+        };
+
+        // Random assignment routing.
+        let reqs: Vec<_> = (0..n as u32)
+            .map(|i| (NodeId(i), NodeId(rng.random_range(0..n as u32))))
+            .collect();
+        let out = sys.route(&reqs, trial ^ 0xAB).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        assert_eq!(out.delivered, n, "trial {trial}");
+        assert_eq!(
+            out.total_base_rounds,
+            out.prep_rounds + out.hop_rounds() + out.bottom_rounds,
+            "trial {trial}: bookkeeping"
+        );
+
+        // MST with random weights (possibly with heavy ties).
+        let max_w = [3u64, 1000][rng.random_range(0..2usize)];
+        let wg = WeightedGraph::with_random_weights(g.clone(), max_w, &mut rng);
+        let mst = sys.mst(&wg, trial ^ 0xCD).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        assert!(
+            reference::verify_mst(&wg, &mst.tree_edges),
+            "trial {trial}: non-canonical tree"
+        );
+        for it in &mst.per_iteration {
+            let logn = (n as f64).log2();
+            assert!(
+                f64::from(it.max_tree_depth) <= 4.0 * logn * logn,
+                "trial {trial}: Lemma 4.1 depth"
+            );
+            assert!(it.max_degree_ratio <= 4.0 * logn, "trial {trial}: Lemma 4.1 degree");
+        }
+
+        // Min cut brackets exact.
+        let caps = vec![1u64; g.edge_count()];
+        if let Some((exact, _)) = stoer_wagner(&g, &caps) {
+            let r = tree_packing_min_cut(&g, &caps, 4, &MstOracle::Centralized)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert!(r.value >= exact, "trial {trial}");
+            assert!(r.value <= 2 * exact.max(1), "trial {trial}");
+        }
+    }
+}
