@@ -31,7 +31,9 @@ fn bench_walks(c: &mut Criterion) {
     c.bench_function("walks/parallel_3k_walks_20_steps", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(7);
-            run_parallel_walks(&g, WalkKind::Lazy, black_box(&specs), &mut rng).stats.rounds
+            run_parallel_walks(&g, WalkKind::Lazy, black_box(&specs), &mut rng)
+                .stats
+                .rounds
         })
     });
 }
@@ -54,7 +56,10 @@ fn bench_level0(c: &mut Criterion) {
             let mut cfg = HierarchyConfig::auto(&g, tau, 1);
             cfg.beta = 4;
             cfg.levels = 1;
-            Hierarchy::build(black_box(&g), cfg).unwrap().stats.total_base_rounds
+            Hierarchy::build(black_box(&g), cfg)
+                .unwrap()
+                .stats
+                .total_base_rounds
         })
     });
 }
@@ -65,10 +70,15 @@ fn bench_routing(c: &mut Criterion) {
     cfg.beta = 4;
     cfg.levels = 1;
     let h = Hierarchy::build(&g, cfg).unwrap();
-    let reqs: Vec<_> = (0..64u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % 64))).collect();
+    let reqs: Vec<_> = (0..64u32)
+        .map(|i| (NodeId(i), NodeId((5 * i + 3) % 64)))
+        .collect();
     c.bench_function("routing/permutation_n64", |b| {
         b.iter(|| {
-            HierarchicalRouter::new(&h).route(black_box(&reqs), 2).unwrap().total_base_rounds
+            HierarchicalRouter::new(&h)
+                .route(black_box(&reqs), 2)
+                .unwrap()
+                .total_base_rounds
         })
     });
 }
@@ -84,7 +94,12 @@ fn bench_mst(c: &mut Criterion) {
     let mut group = c.benchmark_group("mst");
     group.sample_size(10);
     group.bench_function("almost_mixing_n64", |b| {
-        b.iter(|| AlmostMixingMst::new(&h).run(black_box(&wg), 3).unwrap().rounds)
+        b.iter(|| {
+            AlmostMixingMst::new(&h)
+                .run(black_box(&wg), 3)
+                .unwrap()
+                .rounds
+        })
     });
     group.bench_function("kruskal_n64", |b| {
         b.iter(|| reference::kruskal(black_box(&wg)).unwrap().len())

@@ -69,11 +69,15 @@ fn main() {
             .levels(scaled_levels(g2.volume(), 4))
             .build()
             .expect("expander");
-        let reqs2: Vec<_> =
-            (0..nn as u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % nn as u32))).collect();
+        let reqs2: Vec<_> = (0..nn as u32)
+            .map(|i| (NodeId(i), NodeId((5 * i + 3) % nn as u32)))
+            .collect();
         let exact = HierarchicalRouter::with_config(
             sys2.hierarchy(),
-            RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(nn) },
+            RouterConfig {
+                emulation: EmulationMode::Exact,
+                ..RouterConfig::for_n(nn)
+            },
         )
         .route(&reqs2, 2)
         .expect("routable");
@@ -96,14 +100,16 @@ fn main() {
     header(&["k", "scheduler rounds", "CONGEST protocol rounds", "ratio"]);
     for &k in &[1usize, 4] {
         let specs = degree_proportional_specs(&g, k, 20);
-        let sched =
-            run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        let sched = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
         let proto = run_walks_in_congest(&g, WalkKind::Lazy, &specs, 5).expect("fits budget");
         row(&[
             k.to_string(),
             sched.stats.rounds.to_string(),
             proto.metrics.rounds.to_string(),
-            format!("{:.2}", proto.metrics.rounds as f64 / sched.stats.rounds as f64),
+            format!(
+                "{:.2}",
+                proto.metrics.rounds as f64 / sched.stats.rounds as f64
+            ),
         ]);
     }
     println!("\n(the phase-based accounting used throughout the experiments agrees");

@@ -17,16 +17,25 @@ use rand::{RngExt, SeedableRng};
 fn main() {
     let n = 128usize;
     let g = expander(n, 6, 1);
-    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     let h = sys.hierarchy();
     let beta = h.cfg().beta;
 
     println!("# E10a — hop rounds per recursion depth (n = {n}, β = {beta})\n");
-    let reqs: Vec<_> =
-        (0..n as u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32))).collect();
+    let reqs: Vec<_> = (0..n as u32)
+        .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+        .collect();
     let router = HierarchicalRouter::with_config(
         h,
-        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+        RouterConfig {
+            emulation: EmulationMode::Exact,
+            ..RouterConfig::for_n(n)
+        },
     );
     let out = router.route(&reqs, 2).expect("routable");
     header(&["component", "measured rounds"]);
@@ -44,8 +53,13 @@ fn main() {
     // Replicate the preparation step to see where packets sit, then count
     // A_i→A_j demand vs available edges.
     let mut rng = StdRng::seed_from_u64(9);
-    let specs: Vec<WalkSpec> =
-        reqs.iter().map(|&(s, _)| WalkSpec { start: s, steps: h.cfg().tau_mix }).collect();
+    let specs: Vec<WalkSpec> = reqs
+        .iter()
+        .map(|&(s, _)| WalkSpec {
+            start: s,
+            steps: h.cfg().tau_mix,
+        })
+        .collect();
     let run = run_parallel_walks(g_ref(&sys), WalkKind::Lazy, &specs, &mut rng);
     let vmap = h.vmap();
     let starts: Vec<u32> = run

@@ -8,7 +8,13 @@ use rand::SeedableRng;
 
 fn main() {
     println!("# E11 — component trajectory of the coin-flip Boruvka (3 seeds each)\n");
-    header(&["graph", "seed", "iterations", "4·log₂n budget", "trajectory"]);
+    header(&[
+        "graph",
+        "seed",
+        "iterations",
+        "4·log₂n budget",
+        "trajectory",
+    ]);
     let mut all_ratios: Vec<f64> = Vec::new();
     let cases: Vec<(&str, Graph)> = vec![
         ("expander n=96 d=6", expander(96, 6, 1)),
@@ -19,7 +25,12 @@ fn main() {
         for seed in 0..3u64 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
             let wg = WeightedGraph::with_random_weights(g.clone(), 1_000_000, &mut rng);
-            let sys = System::builder(g).seed(seed).beta(4).levels(1).build().expect("connected");
+            let sys = System::builder(g)
+                .seed(seed)
+                .beta(4)
+                .levels(1)
+                .build()
+                .expect("connected");
             let out = sys.mst(&wg, seed).expect("connected");
             assert!(reference::verify_mst(&wg, &out.tree_edges));
             let mut traj: Vec<usize> = vec![out.per_iteration[0].components_before];
@@ -32,13 +43,19 @@ fn main() {
                 }
             }
             let budget = 4 * (g.len() as f64).log2().ceil() as u32;
-            assert!(out.iterations <= budget, "{name} seed {seed}: too many iterations");
+            assert!(
+                out.iterations <= budget,
+                "{name} seed {seed}: too many iterations"
+            );
             row(&[
                 name.to_string(),
                 seed.to_string(),
                 out.iterations.to_string(),
                 budget.to_string(),
-                traj.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("→"),
+                traj.iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join("→"),
             ]);
         }
     }

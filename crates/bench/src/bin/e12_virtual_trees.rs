@@ -15,12 +15,25 @@ fn main() {
         let logn = (n as f64).log2();
         let mut rng = StdRng::seed_from_u64(7);
         let wg = WeightedGraph::with_random_weights(g.clone(), 1_000_000, &mut rng);
-        let sys = System::builder(&g).seed(3).beta(4).levels(1).build().expect("expander");
+        let sys = System::builder(&g)
+            .seed(3)
+            .beta(4)
+            .levels(1)
+            .build()
+            .expect("expander");
         let out = sys.mst(&wg, 11).expect("connected");
         assert!(reference::verify_mst(&wg, &out.tree_edges));
-        println!("## n = {n} (log²n = {:.0}, log n = {logn:.1})\n", logn * logn);
+        println!(
+            "## n = {n} (log²n = {:.0}, log n = {logn:.1})\n",
+            logn * logn
+        );
         header(&[
-            "iter", "comps", "max tree depth", "depth/log²n", "max deg ratio", "ratio/log n",
+            "iter",
+            "comps",
+            "max tree depth",
+            "depth/log²n",
+            "max deg ratio",
+            "ratio/log n",
         ]);
         for (i, it) in out.per_iteration.iter().enumerate() {
             assert!(

@@ -45,7 +45,10 @@ fn main() {
             .map(|(e, _, _)| caps[e.index()])
             .sum();
         assert!(r.value >= exact, "{name}: approximation below exact");
-        assert!(r.value <= 2 * exact.max(1), "{name}: beyond the 2-approx guarantee");
+        assert!(
+            r.value <= 2 * exact.max(1),
+            "{name}: beyond the 2-approx guarantee"
+        );
         row(&[
             name.to_string(),
             exact.to_string(),
@@ -76,7 +79,12 @@ fn main() {
     println!("\n## distributed oracle cost (one row, n = 48)\n");
     let g = expander(48, 4, 2);
     let caps = vec![1u64; g.edge_count()];
-    let sys = System::builder(&g).seed(2).beta(4).levels(1).build().expect("expander");
+    let sys = System::builder(&g)
+        .seed(2)
+        .beta(4)
+        .levels(1)
+        .build()
+        .expect("expander");
     let r = sys.min_cut(&caps, 3, 7).expect("packable");
     let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
     header(&["trees", "cut", "exact", "measured rounds", "rounds/tree"]);
@@ -91,7 +99,13 @@ fn main() {
     println!(" trees × the Theorem 1.1 bound, exactly the paper's black-box claim)\n");
 
     println!("## Karger skeleton sampling (the [32, 57] sparsification step)\n");
-    header(&["graph", "exact λ", "estimate", "p accepted", "skeleton m / m"]);
+    header(&[
+        "graph",
+        "exact λ",
+        "estimate",
+        "p accepted",
+        "skeleton m / m",
+    ]);
     let mut rng = StdRng::seed_from_u64(9);
     for (name, g) in [
         ("complete K96", generators::complete(96)),

@@ -13,7 +13,11 @@ use rand::SeedableRng;
 fn main() {
     println!("# E14 — walk-router cost vs hitting time across families\n");
     header(&[
-        "graph", "τ est.", "mean hit time", "walk-router rounds/packet", "delivered",
+        "graph",
+        "τ est.",
+        "mean hit time",
+        "walk-router rounds/packet",
+        "delivered",
     ]);
     let mut rng = StdRng::seed_from_u64(7);
     let cases: Vec<(&str, Graph)> = vec![
@@ -44,7 +48,9 @@ fn main() {
             );
         }
         hit /= f64::from(pairs);
-        let reqs: Vec<_> = (0..n).map(|i| (NodeId(i), NodeId((i + n / 2) % n))).collect();
+        let reqs: Vec<_> = (0..n)
+            .map(|i| (NodeId(i), NodeId((i + n / 2) % n)))
+            .collect();
         let out = baseline::random_walk_route(g, &reqs, 2_000_000, &mut rng);
         row(&[
             name.to_string(),

@@ -15,7 +15,12 @@ fn main() {
     let m = 12_000u64; // ids to place
     let buckets = 64u64;
     println!("# E15 — hash families: {m} ids into {buckets} buckets, 3 seeds each\n");
-    header(&["family", "seed", "max/avg bucket load", "eval ns/id (approx)"]);
+    header(&[
+        "family",
+        "seed",
+        "max/avg bucket load",
+        "eval ns/id (approx)",
+    ]);
     for seed in 0..3u64 {
         // Polynomial k-wise (k = 16), the paper's construction.
         let h = KWiseHash::from_seed(16, seed);

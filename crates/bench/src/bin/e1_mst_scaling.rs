@@ -15,8 +15,17 @@ fn main() {
     println!("# E1 — MST rounds vs n (random 6-regular expanders, seed 1)\n");
     println!("constants: β=4, depth=1–2, overlay_degree=log n, level0_walks=2·log n\n");
     header(&[
-        "n", "depth", "tau", "amt_rounds", "instances", "rnds/inst/tau", "gkp", "boruvka",
-        "D+sqrt(n)", "2^sqrt_ref", "ok",
+        "n",
+        "depth",
+        "tau",
+        "amt_rounds",
+        "instances",
+        "rnds/inst/tau",
+        "gkp",
+        "boruvka",
+        "D+sqrt(n)",
+        "2^sqrt_ref",
+        "ok",
     ]);
     let mut prev: Option<(usize, f64)> = None;
     let mut slopes = Vec::new();
@@ -26,14 +35,17 @@ fn main() {
         let wg = WeightedGraph::with_random_weights(g.clone(), 1_000_000, &mut rng);
         let tau = tau_estimate(&g);
         let levels = scaled_levels(g.volume(), 4);
-        let sys = System::builder(&g).seed(1).beta(4).levels(levels).build().expect("expander");
+        let sys = System::builder(&g)
+            .seed(1)
+            .beta(4)
+            .levels(levels)
+            .build()
+            .expect("expander");
         let amt = sys.mst(&wg, 3).expect("connected");
         let ok_amt = reference::verify_mst(&wg, &amt.tree_edges);
         let gk = gkp::run(&wg, 3).expect("connected");
         let bo = congest_boruvka::run(&wg, 3).expect("connected");
-        let ok = ok_amt
-            && gk.tree_edges == amt.tree_edges
-            && bo.tree_edges == amt.tree_edges;
+        let ok = ok_amt && gk.tree_edges == amt.tree_edges && bo.tree_edges == amt.tree_edges;
         let d = amt_core::graphs::traversal::diameter_double_sweep(&g, NodeId(0)).unwrap();
         // Per-instance cost normalized by τ: the Theorem 1.2 quantity the
         // MST multiplies by its polylog number of routing instances.
@@ -83,7 +95,12 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(5);
         let wg = WeightedGraph::with_random_weights(g.clone(), 1_000_000, &mut rng);
         let levels = scaled_levels(g.volume(), 4);
-        let sys = System::builder(&g).seed(2).beta(4).levels(levels).build().expect("connected");
+        let sys = System::builder(&g)
+            .seed(2)
+            .beta(4)
+            .levels(levels)
+            .build()
+            .expect("connected");
         let amt = sys.mst(&wg, 6).expect("connected");
         let ok = reference::verify_mst(&wg, &amt.tree_edges);
         row(&[

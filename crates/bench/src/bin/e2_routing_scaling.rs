@@ -13,14 +13,24 @@ use rand::SeedableRng;
 
 fn permutation(n: usize) -> Vec<(NodeId, NodeId)> {
     // i → 5i + 3 mod n is a permutation whenever gcd(5, n) = 1.
-    (0..n as u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32))).collect()
+    (0..n as u32)
+        .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+        .collect()
 }
 
 fn main() {
     println!("# E2 — permutation routing rounds vs n (random 6-regular, seed 1)\n");
     header(&[
-        "n", "depth", "tau", "exact_rounds", "exact/tau", "factored", "sp_ref", "walk_ref",
-        "2^sqrt_ref", "delivered",
+        "n",
+        "depth",
+        "tau",
+        "exact_rounds",
+        "exact/tau",
+        "factored",
+        "sp_ref",
+        "walk_ref",
+        "2^sqrt_ref",
+        "delivered",
     ]);
     let mut prev: Option<(usize, f64)> = None;
     let mut slopes = Vec::new();
@@ -28,12 +38,20 @@ fn main() {
         let g = expander(n, 6, 1);
         let tau = tau_estimate(&g);
         let levels = scaled_levels(g.volume(), 4);
-        let sys = System::builder(&g).seed(1).beta(4).levels(levels).build().expect("expander");
+        let sys = System::builder(&g)
+            .seed(1)
+            .beta(4)
+            .levels(levels)
+            .build()
+            .expect("expander");
         let reqs = permutation(n);
         let factored = sys.route(&reqs, 2).expect("routable");
         let exact_router = HierarchicalRouter::with_config(
             sys.hierarchy(),
-            RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+            RouterConfig {
+                emulation: EmulationMode::Exact,
+                ..RouterConfig::for_n(n)
+            },
         );
         let exact = exact_router.route(&reqs, 2).expect("routable");
         let sp = baseline::shortest_path_route(&g, &reqs);
@@ -67,10 +85,21 @@ fn main() {
     println!(" fixed depth the slopes stay far below the 0.5 of a √n algorithm.)\n");
 
     println!("## load sweep at n = 128 (footnote 3: K packets per node split into phases)\n");
-    header(&["packets/node", "phases", "exact_rounds", "rounds/packet", "delivered"]);
+    header(&[
+        "packets/node",
+        "phases",
+        "exact_rounds",
+        "rounds/packet",
+        "delivered",
+    ]);
     let n = 128usize;
     let g = expander(n, 6, 1);
-    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     for &per_node in &[1usize, 2, 4, 8] {
         let mut reqs = Vec::new();
         for r in 0..per_node {

@@ -14,14 +14,25 @@ fn main() {
     let n = 48usize;
     println!("# E3 — clique emulation on G(n = {n}, p): one message per ordered pair\n");
     header(&[
-        "p", "m", "phases", "rounds", "n/h lower bnd", "1/p+log n", "Balliu min(1/p²,np)",
+        "p",
+        "m",
+        "phases",
+        "rounds",
+        "n/h lower bnd",
+        "1/p+log n",
+        "Balliu min(1/p²,np)",
         "rounds-vs-p trend",
     ]);
     let mut prev: Option<u64> = None;
     for &p in &[0.15f64, 0.25, 0.4, 0.6, 0.8] {
         let mut rng = StdRng::seed_from_u64(11);
         let g = generators::connected_erdos_renyi(n, p, 100, &mut rng).expect("above threshold");
-        let sys = System::builder(&g).seed(11).beta(4).levels(1).build().expect("dense ER");
+        let sys = System::builder(&g)
+            .seed(11)
+            .beta(4)
+            .levels(1)
+            .build()
+            .expect("dense ER");
         let out = sys.emulate_clique(3).expect("routable");
         assert_eq!(out.messages, n * (n - 1));
         let shape = 1.0 / p + (n as f64).log2();
@@ -53,7 +64,12 @@ fn main() {
     for &n in &[24usize, 32, 48, 64] {
         let mut rng = StdRng::seed_from_u64(13);
         let g = generators::connected_erdos_renyi(n, 0.4, 100, &mut rng).expect("dense");
-        let sys = System::builder(&g).seed(13).beta(4).levels(1).build().expect("dense ER");
+        let sys = System::builder(&g)
+            .seed(13)
+            .beta(4)
+            .levels(1)
+            .build()
+            .expect("dense ER");
         let out = sys.emulate_clique(5).expect("routable");
         row(&[
             n.to_string(),

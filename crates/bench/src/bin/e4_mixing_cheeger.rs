@@ -2,22 +2,33 @@
 //! spectral mixing-time estimate against the exact Definition 2.1 value.
 
 use amt_bench::{header, row};
-use amt_core::prelude::*;
 use amt_core::graphs::expansion;
+use amt_core::prelude::*;
 use amt_core::walks::mixing::{cheeger_bound, mixing_time_exact, mixing_time_spectral};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     println!("# E4 — Lemma 2.3 Cheeger bound (2Δ-regular walk, exact h by enumeration)\n");
-    header(&["graph", "n", "Δ", "h(G)", "exact τ̄_mix", "Cheeger bound", "bound/exact"]);
+    header(&[
+        "graph",
+        "n",
+        "Δ",
+        "h(G)",
+        "exact τ̄_mix",
+        "Cheeger bound",
+        "bound/exact",
+    ]);
     let mut rng = StdRng::seed_from_u64(5);
     let cases: Vec<(&str, Graph)> = vec![
         ("complete K12", generators::complete(12)),
         ("hypercube d=4", generators::hypercube(4)),
         ("ring n=16", generators::ring(16)),
         ("torus 4×4", generators::torus_2d(4, 4)),
-        ("random 4-regular", generators::random_regular(16, 4, &mut rng).unwrap()),
+        (
+            "random 4-regular",
+            generators::random_regular(16, 4, &mut rng).unwrap(),
+        ),
         ("barbell 2×K6", generators::barbell(6, 0).unwrap()),
         ("lollipop K8+tail8", generators::lollipop(8, 8).unwrap()),
     ];
@@ -46,8 +57,14 @@ fn main() {
     header(&["graph", "exact τ_mix", "spectral est.", "est./exact"]);
     let mut rng = StdRng::seed_from_u64(6);
     let cases: Vec<(&str, Graph)> = vec![
-        ("random 4-regular n=64", generators::random_regular(64, 4, &mut rng).unwrap()),
-        ("random 6-regular n=128", generators::random_regular(128, 6, &mut rng).unwrap()),
+        (
+            "random 4-regular n=64",
+            generators::random_regular(64, 4, &mut rng).unwrap(),
+        ),
+        (
+            "random 6-regular n=128",
+            generators::random_regular(128, 6, &mut rng).unwrap(),
+        ),
         ("hypercube d=6", generators::hypercube(6)),
         ("ring n=64", generators::ring(64)),
         ("torus 8×8", generators::torus_2d(8, 8)),
@@ -55,7 +72,10 @@ fn main() {
     for (name, g) in &cases {
         let exact = mixing_time_exact(g, WalkKind::Lazy, 200_000).expect("connected");
         let est = mixing_time_spectral(g, WalkKind::Lazy, 800).expect("connected");
-        assert!(est >= exact, "{name}: spectral estimate must upper-bound exact");
+        assert!(
+            est >= exact,
+            "{name}: spectral estimate must upper-bound exact"
+        );
         row(&[
             name.to_string(),
             exact.to_string(),

@@ -19,7 +19,12 @@ fn main() {
 
     println!("## k sweep at T = 30 (Lemma 2.4 + 2.5)\n");
     header(&[
-        "k", "walks", "rounds", "rounds/((k+log n)T)", "max tokens@node", "peak/(k·d+log n)",
+        "k",
+        "walks",
+        "rounds",
+        "rounds/((k+log n)T)",
+        "max tokens@node",
+        "peak/(k·d+log n)",
     ]);
     let t_len = 30u32;
     for &k in &[1usize, 2, 4, 8, 16] {
@@ -29,7 +34,10 @@ fn main() {
         let bound25 = (k as f64 + logn) * f64::from(t_len);
         let bound24 = k as f64 * d as f64 + logn;
         let peak = run.stats.max_node_tokens() as f64;
-        assert!(run.stats.rounds as f64 <= 4.0 * bound25, "Lemma 2.5 constant blown");
+        assert!(
+            run.stats.rounds as f64 <= 4.0 * bound25,
+            "Lemma 2.5 constant blown"
+        );
         assert!(peak <= 5.0 * bound24, "Lemma 2.4 constant blown");
         row(&[
             k.to_string(),
@@ -60,7 +68,13 @@ fn main() {
     println!(" exactly the phase structure of Lemma 2.5)\n");
 
     println!("## correlated walks (the paper's end-of-§2 optimization for k = o(log n))\n");
-    header(&["k", "independent rounds", "correlated rounds", "speedup", "corr/(2kT)"]);
+    header(&[
+        "k",
+        "independent rounds",
+        "correlated rounds",
+        "speedup",
+        "corr/(2kT)",
+    ]);
     let t_len = 30u32;
     for &k in &[1usize, 2, 4, 8] {
         let mut rng1 = StdRng::seed_from_u64(9);
@@ -76,7 +90,10 @@ fn main() {
             ind.stats.rounds.to_string(),
             cor.stats.rounds.to_string(),
             format!("{:.1}×", ind.stats.rounds as f64 / cor.stats.rounds as f64),
-            format!("{:.2}", cor.stats.rounds as f64 / (2.0 * k as f64 * f64::from(t_len))),
+            format!(
+                "{:.2}",
+                cor.stats.rounds as f64 / (2.0 * k as f64 * f64::from(t_len))
+            ),
         ]);
     }
     println!("\n(independent walks pay the additive log n of Lemma 2.5; correlating");

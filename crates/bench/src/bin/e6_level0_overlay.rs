@@ -6,19 +6,30 @@
 //! rounds (the paper claims `τ_mix · poly log n`).
 
 use amt_bench::{expander, header, row, scaled_levels, tau_estimate};
-use amt_core::prelude::*;
 use amt_core::graphs::expansion;
+use amt_core::prelude::*;
 
 fn main() {
     println!("# E6 — level-0 overlay G₀ (walk-embedded ER graph on 2m virtual nodes)\n");
     header(&[
-        "n", "vnodes", "G0 edges", "deg min/avg/max", "connected", "G0 spectral gap",
-        "full-round cost", "cost/(τ·log²n)",
+        "n",
+        "vnodes",
+        "G0 edges",
+        "deg min/avg/max",
+        "connected",
+        "G0 spectral gap",
+        "full-round cost",
+        "cost/(τ·log²n)",
     ]);
     for &n in &[32usize, 64, 128, 256] {
         let g = expander(n, 6, 1);
         let tau = tau_estimate(&g);
-        let sys = System::builder(&g).seed(1).beta(4).levels(scaled_levels(g.volume(), 4)).build().expect("expander");
+        let sys = System::builder(&g)
+            .seed(1)
+            .beta(4)
+            .levels(scaled_levels(g.volume(), 4))
+            .build()
+            .expect("expander");
         let h = sys.hierarchy();
         let ov = h.overlay(0);
         let og = ov.graph();
@@ -52,7 +63,12 @@ fn main() {
     for &n in &[32usize, 64, 128, 256] {
         let g = expander(n, 6, 1);
         let tau = tau_estimate(&g);
-        let sys = System::builder(&g).seed(1).beta(4).levels(scaled_levels(g.volume(), 4)).build().expect("expander");
+        let sys = System::builder(&g)
+            .seed(1)
+            .beta(4)
+            .levels(scaled_levels(g.volume(), 4))
+            .build()
+            .expect("expander");
         let (avg, max) = sys.hierarchy().overlay(0).path_length_stats();
         row(&[
             n.to_string(),

@@ -16,9 +16,20 @@ fn main() {
     let logn = (n as f64).log2();
 
     println!("# E7a — per-level emulation factors (n = {n}, β = 4, depth = 2)\n");
-    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     let h = sys.hierarchy();
-    header(&["level", "edges", "full-round base cost", "factor vs level below", "factor/log²n"]);
+    header(&[
+        "level",
+        "edges",
+        "full-round base cost",
+        "factor vs level below",
+        "factor/log²n",
+    ]);
     for level in 0..=h.depth() {
         let cost = h.full_round_cost(level);
         let factor = if level == 0 {
@@ -39,26 +50,47 @@ fn main() {
 
     println!("# E7b — β sweep at n = {n}: construction cost vs routing cost\n");
     header(&[
-        "β", "depth", "build rounds", "route rounds (exact)", "build+32×route",
+        "β",
+        "depth",
+        "build rounds",
+        "route rounds (exact)",
+        "build+32×route",
     ]);
-    let reqs: Vec<_> = (0..n as u32).map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32))).collect();
+    let reqs: Vec<_> = (0..n as u32)
+        .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+        .collect();
     let mut best: Option<(u32, u64)> = None;
     for &beta in &[2u32, 4, 8, 16] {
         // Depth chosen so bottom parts stay near log n.
         let vn = g.volume() as f64;
-        let levels = ((vn / logn).log2() / f64::from(beta).log2()).round().max(1.0) as u32;
+        let levels = ((vn / logn).log2() / f64::from(beta).log2())
+            .round()
+            .max(1.0) as u32;
         let levels = levels.min(3);
-        let sys = match System::builder(&g).seed(1).beta(beta).levels(levels).build() {
+        let sys = match System::builder(&g)
+            .seed(1)
+            .beta(beta)
+            .levels(levels)
+            .build()
+        {
             Ok(s) => s,
             Err(e) => {
-                row(&[beta.to_string(), levels.to_string(), format!("infeasible: {e}"),
-                      "-".into(), "-".into()]);
+                row(&[
+                    beta.to_string(),
+                    levels.to_string(),
+                    format!("infeasible: {e}"),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };
         let router = HierarchicalRouter::with_config(
             sys.hierarchy(),
-            RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+            RouterConfig {
+                emulation: EmulationMode::Exact,
+                ..RouterConfig::for_n(n)
+            },
         );
         let out = router.route(&reqs, 2).expect("routable");
         let amortized = sys.build_rounds() + 32 * out.total_base_rounds;
@@ -69,7 +101,7 @@ fn main() {
             out.total_base_rounds.to_string(),
             amortized.to_string(),
         ]);
-        if best.map_or(true, |(_, b)| amortized < b) {
+        if best.is_none_or(|(_, b)| amortized < b) {
             best = Some((beta, amortized));
         }
     }

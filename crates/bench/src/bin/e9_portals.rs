@@ -13,13 +13,27 @@ use std::collections::HashMap;
 fn main() {
     let n = 128usize;
     let g = expander(n, 6, 1);
-    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     let h = sys.hierarchy();
     let beta = h.cfg().beta;
 
-    println!("# E9 — portals on n = {n}, β = {beta}, depth = {}\n", h.depth());
+    println!(
+        "# E9 — portals on n = {n}, β = {beta}, depth = {}\n",
+        h.depth()
+    );
     println!("## coverage and construction cost\n");
-    header(&["depth", "entries needed", "filled", "fill %", "construction base rounds"]);
+    header(&[
+        "depth",
+        "entries needed",
+        "filled",
+        "fill %",
+        "construction base rounds",
+    ]);
     for p in 1..=h.depth() {
         let mut needed = 0u64;
         let mut filled = 0u64;
@@ -66,7 +80,13 @@ fn main() {
             }
         }
     }
-    header(&["part→label", "sources", "distinct portals", "max share", "uniform share"]);
+    header(&[
+        "part→label",
+        "sources",
+        "distinct portals",
+        "max share",
+        "uniform share",
+    ]);
     let mut pairs: Vec<_> = by_pair.iter().collect();
     pairs.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
     for (&(part, j), portals) in pairs.into_iter().take(6) {

@@ -12,12 +12,20 @@ use amt_core::prelude::*;
 fn main() {
     let n = 96usize;
     let g = expander(n, 6, 1);
-    let sys = System::builder(&g).seed(1).beta(4).levels(2).build().expect("expander");
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     let h = sys.hierarchy();
     let beta = h.cfg().beta;
 
-    println!("# F1 — hierarchy structure (n = {n}, 2m = {} virtual nodes, β = {beta}, depth = {})\n",
-        h.vnodes(), h.depth());
+    println!(
+        "# F1 — hierarchy structure (n = {n}, 2m = {} virtual nodes, β = {beta}, depth = {})\n",
+        h.vnodes(),
+        h.depth()
+    );
 
     println!("## the nested partition (sizes per ball)\n");
     for part in 0..h.parts_at(1) {
@@ -35,14 +43,21 @@ fn main() {
 
     println!("\n## one random graph per ball (per-level overlays)\n");
     header(&[
-        "level", "graph on", "edges", "deg min/max", "embedded path avg/max",
+        "level",
+        "graph on",
+        "edges",
+        "deg min/max",
+        "embedded path avg/max",
         "1 round costs (base)",
     ]);
     for level in 0..=h.depth() {
         let ov = h.overlay(level);
         let og = ov.graph();
-        let degs: Vec<usize> =
-            og.nodes().map(|v| og.degree(v)).filter(|&d| d > 0).collect();
+        let degs: Vec<usize> = og
+            .nodes()
+            .map(|v| og.degree(v))
+            .filter(|&d| d > 0)
+            .collect();
         let (avg, max) = ov.path_length_stats();
         let what = match level {
             0 => "all 2m virtual nodes".to_string(),
@@ -80,7 +95,13 @@ fn main() {
             h.stats.portal_fallbacks.to_string(),
         ]);
     }
-    println!("\nshared randomness: {} hash-seed bits, broadcast in {} measured rounds",
-        h.partition().seed_bits(), h.stats.seed_broadcast_rounds);
-    println!("total construction: {} measured base rounds", h.stats.total_base_rounds);
+    println!(
+        "\nshared randomness: {} hash-seed bits, broadcast in {} measured rounds",
+        h.partition().seed_bits(),
+        h.stats.seed_broadcast_rounds
+    );
+    println!(
+        "total construction: {} measured base rounds",
+        h.stats.total_base_rounds
+    );
 }

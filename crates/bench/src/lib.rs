@@ -20,7 +20,10 @@ pub fn row(cells: &[String]) {
 /// Prints a markdown-style header plus separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Standard expander family used across experiments: a random `d`-regular
@@ -58,7 +61,9 @@ pub fn scaled_beta_levels(n_virtual: usize) -> (u32, u32) {
 /// the virtual-node count exactly as the paper's `k = log_β(m / log m)`.
 pub fn scaled_levels(vnodes: usize, beta: u32) -> u32 {
     let target = (vnodes as f64 / 16.0).max(2.0);
-    (target.log2() / f64::from(beta).log2()).round().clamp(1.0, 4.0) as u32
+    (target.log2() / f64::from(beta).log2())
+        .round()
+        .clamp(1.0, 4.0) as u32
 }
 
 /// The `2^√(log n · log log n)` reference curve of the paper's bounds.

@@ -42,6 +42,33 @@ pub enum CongestError {
         /// Protocol instances supplied.
         protocols: usize,
     },
+    /// A protocol required a node that the fault plan crash-stopped.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// The round in which the crash was injected.
+        round: u64,
+        /// The fault-plan seed, for replay.
+        seed: u64,
+    },
+    /// A reliable link exhausted its retransmission budget on one port.
+    RetryExhausted {
+        /// The sending node.
+        node: NodeId,
+        /// The port whose peer never acknowledged.
+        port: usize,
+        /// Transmission attempts made (including the original send).
+        attempts: u32,
+        /// The round in which the sender gave up.
+        round: u64,
+        /// The fault-plan seed, for replay.
+        seed: u64,
+    },
+    /// A [`crate::faults::FaultPlan`] failed validation.
+    FaultPlanInvalid {
+        /// Human-readable description of the offending field.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -54,13 +81,41 @@ impl fmt::Display for CongestError {
                 write!(f, "node {node} sent on port {port} but has degree {degree}")
             }
             CongestError::MessageTooWide { bits, budget } => {
-                write!(f, "message of {bits} bits exceeds the {budget}-bit CONGEST budget")
+                write!(
+                    f,
+                    "message of {bits} bits exceeds the {budget}-bit CONGEST budget"
+                )
             }
             CongestError::RoundLimitExceeded { max_rounds } => {
                 write!(f, "protocol did not terminate within {max_rounds} rounds")
             }
             CongestError::NodeCountMismatch { graph, protocols } => {
-                write!(f, "{protocols} protocol instances supplied for {graph} graph nodes")
+                write!(
+                    f,
+                    "{protocols} protocol instances supplied for {graph} graph nodes"
+                )
+            }
+            CongestError::NodeCrashed { node, round, seed } => {
+                write!(
+                    f,
+                    "node {node} crash-stopped in round {round} (fault seed {seed})"
+                )
+            }
+            CongestError::RetryExhausted {
+                node,
+                port,
+                attempts,
+                round,
+                seed,
+            } => {
+                write!(
+                    f,
+                    "node {node} gave up on port {port} after {attempts} attempts \
+                     in round {round} (fault seed {seed})"
+                )
+            }
+            CongestError::FaultPlanInvalid { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }
@@ -74,8 +129,31 @@ mod tests {
 
     #[test]
     fn display_mentions_specifics() {
-        let e = CongestError::MessageTooWide { bits: 99, budget: 64 };
+        let e = CongestError::MessageTooWide {
+            bits: 99,
+            budget: 64,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn fault_errors_name_round_and_seed() {
+        let e = CongestError::NodeCrashed {
+            node: NodeId(3),
+            round: 17,
+            seed: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("round 17") && s.contains("seed 42"));
+        let e = CongestError::RetryExhausted {
+            node: NodeId(1),
+            port: 2,
+            attempts: 8,
+            round: 30,
+            seed: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("8 attempts") && s.contains("round 30") && s.contains("seed 7"));
     }
 }

@@ -1,0 +1,344 @@
+//! Deterministic, seed-driven fault injection for the simulator.
+//!
+//! A [`FaultPlan`] declares *what can go wrong* in one execution: per-message
+//! drop/corruption/delay probabilities and a schedule of crash-stop node
+//! failures. All randomness is drawn from a dedicated `StdRng` seeded by
+//! [`FaultPlan::seed`] — **independent of the protocol RNG** — so
+//!
+//! * a zero-fault plan leaves every run bit-for-bit identical to a run with
+//!   no plan at all (the protocol RNG stream is untouched), and
+//! * the same `(graph, protocol seed, fault seed)` triple replays the same
+//!   faulty execution, message for message.
+//!
+//! Fault semantics (applied between staging and delivery, per message):
+//!
+//! * **drop** — the message silently vanishes;
+//! * **corrupt** — exactly one bit of the message's canonical encoding
+//!   ([`crate::CongestMessage::encode_bits`]) is flipped; messages without a
+//!   canonical encoding, or whose corrupted bits no longer decode, are
+//!   dropped instead (a garbled frame the receiver cannot parse);
+//! * **delay** — delivery is postponed by a bounded number of extra rounds
+//!   drawn uniformly from `1..=max_delay` (adversarial but bounded
+//!   asynchrony);
+//! * **crash** — from its scheduled round on, the node executes no protocol
+//!   steps; messages to and from it are discarded.
+//!
+//! The paper assumes none of these (pristine synchronous CONGEST); the
+//! experiment harness uses this module to measure how far each protocol's
+//! guarantees degrade once the assumption is dropped.
+
+use amt_graphs::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{CongestError, Metrics, Result};
+
+/// One scheduled crash-stop failure: `node` stops participating at the
+/// start of `round` (it executes no step in that round or later).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node that fails.
+    pub node: NodeId,
+    /// The first round in which the node no longer participates.
+    pub round: u64,
+}
+
+/// Declarative fault configuration for one simulator run.
+///
+/// Constructed with [`FaultPlan::none`] plus the `with_*` builders; an
+/// all-zero plan is treated exactly like no plan at all.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the dedicated fault RNG (independent of the protocol RNG).
+    pub seed: u64,
+    /// Per-message probability of a silent drop.
+    pub drop_prob: f64,
+    /// Per-message probability of a single-bit corruption.
+    pub corrupt_prob: f64,
+    /// Per-message probability of a bounded delivery delay.
+    pub delay_prob: f64,
+    /// Maximum extra rounds a delayed message may wait (delay is uniform in
+    /// `1..=max_delay`).
+    pub max_delay: u64,
+    /// Scheduled crash-stop failures.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, costs nothing observable.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Sets the fault RNG seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the per-message single-bit-corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Sets the per-message delay probability and the delay bound.
+    pub fn with_delays(mut self, p: f64, max_delay: u64) -> Self {
+        self.delay_prob = p;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Schedules a crash-stop failure of `node` at `round`.
+    pub fn with_crash(mut self, node: NodeId, round: u64) -> Self {
+        self.crashes.push(CrashEvent { node, round });
+        self
+    }
+
+    /// `true` when the plan can never produce a fault (treated as no plan).
+    pub fn is_trivial(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && (self.delay_prob == 0.0 || self.max_delay == 0)
+            && self.crashes.is_empty()
+    }
+
+    /// Checks probabilities and crash targets against an `n`-node graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::FaultPlanInvalid`] naming the offending field.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("delay_prob", self.delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CongestError::FaultPlanInvalid {
+                    reason: format!("{name} = {p} is not a probability"),
+                });
+            }
+        }
+        if self.delay_prob > 0.0 && self.max_delay == 0 {
+            return Err(CongestError::FaultPlanInvalid {
+                reason: "delay_prob > 0 requires max_delay >= 1".into(),
+            });
+        }
+        if let Some(c) = self.crashes.iter().find(|c| c.node.index() >= n) {
+            return Err(CongestError::FaultPlanInvalid {
+                reason: format!("crash target {} out of range for {n} nodes", c.node),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What a single injected fault did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message was silently discarded.
+    Dropped,
+    /// One bit of the message's encoding was flipped; `delivered` records
+    /// whether the corrupted bits still decoded (and were delivered) or the
+    /// frame was unparseable (and was discarded).
+    Corrupted {
+        /// Whether the corrupted message was still delivered.
+        delivered: bool,
+    },
+    /// Delivery was postponed by `by` extra rounds.
+    Delayed {
+        /// Extra rounds waited beyond the normal one-round latency.
+        by: u64,
+    },
+    /// The node crash-stopped.
+    Crashed,
+}
+
+/// One injected fault, for the experiment harness's degradation curves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round in which the fault was injected.
+    pub round: u64,
+    /// For message faults, the *sender*; for crashes, the crashed node.
+    pub node: NodeId,
+    /// Sending port for message faults (0 for crashes).
+    pub port: usize,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Fate of one staged message after fault sampling.
+pub(crate) enum Fate {
+    Deliver,
+    Drop,
+    Corrupt,
+    Delay(u64),
+}
+
+/// Runtime fault state owned by one `Simulator::run` invocation.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    pub(crate) crashed: Vec<bool>,
+    pub(crate) events: Vec<FaultEvent>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, n: usize) -> Result<Self> {
+        plan.validate(n)?;
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Ok(FaultState {
+            plan,
+            rng,
+            crashed: vec![false; n],
+            events: Vec::new(),
+        })
+    }
+
+    /// Marks nodes whose crash round has arrived; updates `metrics.crashed`.
+    pub(crate) fn apply_crashes(&mut self, round: u64, metrics: &mut Metrics) {
+        for i in 0..self.plan.crashes.len() {
+            let c = self.plan.crashes[i];
+            if c.round == round && !self.crashed[c.node.index()] {
+                self.crashed[c.node.index()] = true;
+                metrics.crashed += 1;
+                self.events.push(FaultEvent {
+                    round,
+                    node: c.node,
+                    port: 0,
+                    kind: FaultKind::Crashed,
+                });
+            }
+        }
+    }
+
+    pub(crate) fn is_crashed(&self, v: usize) -> bool {
+        self.crashed[v]
+    }
+
+    /// Samples the fate of one staged message (drop, then corrupt, then
+    /// delay, in that fixed order).
+    pub(crate) fn fate(&mut self) -> Fate {
+        if self.plan.drop_prob > 0.0 && self.rng.random_bool(self.plan.drop_prob) {
+            return Fate::Drop;
+        }
+        if self.plan.corrupt_prob > 0.0 && self.rng.random_bool(self.plan.corrupt_prob) {
+            return Fate::Corrupt;
+        }
+        if self.plan.delay_prob > 0.0
+            && self.plan.max_delay > 0
+            && self.rng.random_bool(self.plan.delay_prob)
+        {
+            return Fate::Delay(self.rng.random_range(1..=self.plan.max_delay));
+        }
+        Fate::Deliver
+    }
+
+    /// A single-bit flip mask within `width` encoded bits.
+    pub(crate) fn flip_mask(&mut self, width: usize) -> u64 {
+        let w = width.clamp(1, 64);
+        1u64 << self.rng.random_range(0..w as u64)
+    }
+
+    pub(crate) fn record(&mut self, round: u64, node: usize, port: usize, kind: FaultKind) {
+        self.events.push(FaultEvent {
+            round,
+            node: NodeId::from(node),
+            port,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan_detection() {
+        assert!(FaultPlan::none().is_trivial());
+        assert!(FaultPlan::none().seeded(42).is_trivial());
+        // A delay probability without a delay budget cannot fire.
+        assert!(FaultPlan::none().with_delays(0.5, 0).is_trivial());
+        assert!(!FaultPlan::none().with_drops(0.1).is_trivial());
+        assert!(!FaultPlan::none().with_corruption(0.1).is_trivial());
+        assert!(!FaultPlan::none().with_delays(0.1, 3).is_trivial());
+        assert!(!FaultPlan::none().with_crash(NodeId(0), 5).is_trivial());
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let e = FaultPlan::none().with_drops(1.5).validate(4).unwrap_err();
+        assert!(e.to_string().contains("drop_prob"));
+        let e = FaultPlan::none()
+            .with_crash(NodeId(9), 0)
+            .validate(4)
+            .unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+        let mut p = FaultPlan::none();
+        p.delay_prob = 0.5;
+        assert!(p.validate(4).is_err());
+        assert!(FaultPlan::none().with_delays(0.5, 2).validate(4).is_ok());
+    }
+
+    #[test]
+    fn fate_sampling_is_deterministic_in_the_seed() {
+        let plan = FaultPlan::none()
+            .seeded(7)
+            .with_drops(0.3)
+            .with_delays(0.3, 4);
+        let mut a = FaultState::new(plan.clone(), 8).unwrap();
+        let mut b = FaultState::new(plan, 8).unwrap();
+        for _ in 0..500 {
+            let (fa, fb) = (a.fate(), b.fate());
+            let key = |f: &Fate| match f {
+                Fate::Deliver => 0u64,
+                Fate::Drop => 1,
+                Fate::Corrupt => 2,
+                Fate::Delay(d) => 3 + d,
+            };
+            assert_eq!(key(&fa), key(&fb));
+        }
+    }
+
+    #[test]
+    fn flip_masks_stay_in_width() {
+        let mut fs = FaultState::new(FaultPlan::none().with_corruption(1.0), 2).unwrap();
+        for w in 1..=64 {
+            for _ in 0..20 {
+                let m = fs.flip_mask(w);
+                assert_eq!(m.count_ones(), 1);
+                assert!(m.trailing_zeros() < w as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_fire_once_at_their_round() {
+        let plan = FaultPlan::none()
+            .with_crash(NodeId(2), 3)
+            .with_crash(NodeId(2), 3);
+        let mut fs = FaultState::new(plan, 4).unwrap();
+        let mut m = Metrics::default();
+        for r in 0..6 {
+            fs.apply_crashes(r, &mut m);
+        }
+        assert_eq!(m.crashed, 1, "duplicate schedule entries fire once");
+        assert!(fs.is_crashed(2));
+        assert!(!fs.is_crashed(0));
+    }
+}

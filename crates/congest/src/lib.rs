@@ -16,6 +16,10 @@
 //!   construction, convergecast aggregation over a tree, leader election by
 //!   max-id flooding, and a pipelined upcast used by the
 //!   Garay–Kutten–Peleg-style baseline.
+//! * [`faults`] — deterministic, seed-driven fault injection (message drop,
+//!   single-bit corruption, bounded delay, crash-stop failures) applied by
+//!   the simulator between staging and delivery, plus the
+//!   [`ReliableLink`] ack/retransmit sublayer protocols use to survive it.
 //!
 //! Determinism: the simulator owns a seeded RNG handed to protocols through
 //! [`Ctx::rng`], so every run is reproducible from `(graph, seed)`.
@@ -28,11 +32,14 @@ mod message;
 mod metrics;
 mod sim;
 
+pub mod faults;
 pub mod primitives;
 
 pub use error::CongestError;
+pub use faults::{CrashEvent, FaultEvent, FaultKind, FaultPlan};
 pub use message::{bits_for_count, bits_for_value, CongestMessage};
 pub use metrics::Metrics;
+pub use primitives::reliable::{reliable_broadcast, Reliable, ReliableLink};
 pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
 
 /// Result alias for simulator operations.

@@ -16,6 +16,15 @@ pub struct Metrics {
     pub bits: u64,
     /// Maximum number of messages delivered in any single round.
     pub peak_messages_per_round: u64,
+    /// Messages discarded by injected drop faults.
+    pub dropped: u64,
+    /// Messages whose encoding had a bit flipped by an injected fault
+    /// (whether or not the corrupted frame was still deliverable).
+    pub corrupted: u64,
+    /// Messages whose delivery an injected fault postponed.
+    pub delayed: u64,
+    /// Nodes crash-stopped by the fault plan.
+    pub crashed: u64,
 }
 
 impl Metrics {
@@ -25,8 +34,19 @@ impl Metrics {
             rounds: self.rounds + later.rounds,
             messages: self.messages + later.messages,
             bits: self.bits + later.bits,
-            peak_messages_per_round: self.peak_messages_per_round.max(later.peak_messages_per_round),
+            peak_messages_per_round: self
+                .peak_messages_per_round
+                .max(later.peak_messages_per_round),
+            dropped: self.dropped + later.dropped,
+            corrupted: self.corrupted + later.corrupted,
+            delayed: self.delayed + later.delayed,
+            crashed: self.crashed + later.crashed,
         }
+    }
+
+    /// Total injected message faults (drops + corruptions + delays).
+    pub fn message_faults(&self) -> u64 {
+        self.dropped + self.corrupted + self.delayed
     }
 
     /// Average messages per round (0 when no rounds elapsed).
@@ -45,19 +65,44 @@ mod tests {
 
     #[test]
     fn sequential_merge_adds_rounds() {
-        let a = Metrics { rounds: 3, messages: 10, bits: 100, peak_messages_per_round: 6 };
-        let b = Metrics { rounds: 2, messages: 4, bits: 40, peak_messages_per_round: 8 };
+        let a = Metrics {
+            rounds: 3,
+            messages: 10,
+            bits: 100,
+            peak_messages_per_round: 6,
+            dropped: 1,
+            ..Default::default()
+        };
+        let b = Metrics {
+            rounds: 2,
+            messages: 4,
+            bits: 40,
+            peak_messages_per_round: 8,
+            dropped: 2,
+            corrupted: 1,
+            delayed: 3,
+            crashed: 1,
+        };
         let c = a.then(b);
         assert_eq!(c.rounds, 5);
         assert_eq!(c.messages, 14);
         assert_eq!(c.bits, 140);
         assert_eq!(c.peak_messages_per_round, 8);
+        assert_eq!(c.dropped, 3);
+        assert_eq!(c.corrupted, 1);
+        assert_eq!(c.delayed, 3);
+        assert_eq!(c.crashed, 1);
+        assert_eq!(c.message_faults(), 7);
     }
 
     #[test]
     fn averages_handle_zero_rounds() {
         assert_eq!(Metrics::default().avg_messages_per_round(), 0.0);
-        let m = Metrics { rounds: 4, messages: 10, ..Default::default() };
+        let m = Metrics {
+            rounds: 4,
+            messages: 10,
+            ..Default::default()
+        };
         assert!((m.avg_messages_per_round() - 2.5).abs() < 1e-12);
     }
 }

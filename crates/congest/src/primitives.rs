@@ -49,10 +49,18 @@ impl Protocol for Flood {
 /// Returns the per-node learned values (all equal to `value` on a connected
 /// graph) and the measured metrics; round count is the eccentricity of the
 /// source plus one quiescence-detection round.
-pub fn broadcast(g: &Graph, source: NodeId, value: u64, seed: u64) -> Result<(Vec<Option<u64>>, Metrics)> {
+pub fn broadcast(
+    g: &Graph,
+    source: NodeId,
+    value: u64,
+    seed: u64,
+) -> Result<(Vec<Option<u64>>, Metrics)> {
     let nodes = g
         .nodes()
-        .map(|v| Flood { value: (v == source).then_some(value), fresh: v == source })
+        .map(|v| Flood {
+            value: (v == source).then_some(value),
+            fresh: v == source,
+        })
         .collect();
     let mut sim = Simulator::new(g, nodes, seed)?;
     let metrics = sim.run(&RunConfig::default())?;
@@ -81,7 +89,12 @@ pub struct DistBfsTree {
 impl DistBfsTree {
     /// Height of the tree (max finite depth).
     pub fn height(&self) -> u32 {
-        self.depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -166,14 +179,21 @@ pub fn build_bfs_tree(g: &Graph, root: NodeId, seed: u64) -> Result<(DistBfsTree
         .nodes()
         .iter()
         .enumerate()
-        .map(|(v, p)| p.parent_port.map(|port| g.neighbor_at(NodeId::from(v), port).0))
+        .map(|(v, p)| {
+            p.parent_port
+                .map(|port| g.neighbor_at(NodeId::from(v), port).0)
+        })
         .collect();
     let tree = DistBfsTree {
         root,
         parent,
         parent_port: sim.nodes().iter().map(|p| p.parent_port).collect(),
         child_ports: sim.nodes().iter().map(|p| p.child_ports.clone()).collect(),
-        depth: sim.nodes().iter().map(|p| p.depth.unwrap_or(u32::MAX)).collect(),
+        depth: sim
+            .nodes()
+            .iter()
+            .map(|p| p.depth.unwrap_or(u32::MAX))
+            .collect(),
     };
     Ok((tree, metrics))
 }
@@ -271,7 +291,13 @@ pub fn elect_leader(g: &Graph, seed: u64) -> Result<(NodeId, Metrics)> {
             }
         }
     }
-    let nodes = g.nodes().map(|v| Elect { best: v.0 as u64, fresh: false }).collect();
+    let nodes = g
+        .nodes()
+        .map(|v| Elect {
+            best: v.0 as u64,
+            fresh: false,
+        })
+        .collect();
     let mut sim = Simulator::new(g, nodes, seed)?;
     let metrics = sim.run(&RunConfig::default())?;
     let leader = NodeId::from(sim.nodes()[0].best as usize);
@@ -339,9 +365,16 @@ pub fn pipelined_upcast(
                 queue: if is_root {
                     Default::default()
                 } else {
-                    items[v.index()].iter().map(|&x| std::cmp::Reverse(x)).collect()
+                    items[v.index()]
+                        .iter()
+                        .map(|&x| std::cmp::Reverse(x))
+                        .collect()
                 },
-                collected: if is_root { items[v.index()].clone() } else { Vec::new() },
+                collected: if is_root {
+                    items[v.index()].clone()
+                } else {
+                    Vec::new()
+                },
             }
         })
         .collect();
@@ -503,13 +536,401 @@ pub fn pipelined_downcast(
         .nodes()
         .map(|v| PipeDownNode {
             child_ports: tree.child_ports[v.index()].clone(),
-            queue: if v == tree.root { items.iter().copied().collect() } else { Default::default() },
+            queue: if v == tree.root {
+                items.iter().copied().collect()
+            } else {
+                Default::default()
+            },
             received: Vec::new(),
         })
         .collect();
     let mut sim = Simulator::new(g, nodes, seed)?;
     let metrics = sim.run(&RunConfig::default())?;
-    Ok((sim.nodes().iter().map(|p| p.received.clone()).collect(), metrics))
+    Ok((
+        sim.nodes().iter().map(|p| p.received.clone()).collect(),
+        metrics,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Reliability sublayer (ack/retransmit over faulty links)
+// ---------------------------------------------------------------------------
+
+pub mod reliable {
+    //! Stop-and-wait ARQ over the fault-injected simulator.
+    //!
+    //! [`ReliableLink`] wraps a protocol's per-port traffic in
+    //! sequence-numbered, checksummed [`Reliable`] frames: every data frame
+    //! is retransmitted with exponential backoff until acknowledged (acks
+    //! piggyback on reverse data traffic when possible), duplicates are
+    //! filtered by sequence number, and a 4-bit XOR-fold checksum over the
+    //! whole frame turns any single-bit corruption into a detected loss —
+    //! which the retransmission then repairs.
+    //!
+    //! The overhead is accounted honestly: every frame pays the
+    //! tag/seq/checksum/ack header bits on the wire, retransmissions and
+    //! bare acks count as messages, and the round cost of timeouts shows up
+    //! in the measured [`Metrics`].
+
+    use super::{Ctx, Graph, Metrics, NodeId, Protocol, Result, RunConfig, Simulator};
+    use crate::faults::FaultPlan;
+    use crate::CongestMessage;
+    use std::collections::VecDeque;
+
+    /// On-wire sequence numbers are 12 bits.
+    const SEQ_BITS: u32 = 12;
+    const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+    /// Payload field of a data frame (the rest of a 64-bit codeword after
+    /// the header).
+    const PAYLOAD_BITS: u32 = 34;
+
+    /// XOR-fold of all nibbles of `x` (4-bit checksum): flipping any single
+    /// bit of `x` flips exactly one bit of the fold.
+    fn fold4(mut x: u64) -> u64 {
+        x ^= x >> 32;
+        x ^= x >> 16;
+        x ^= x >> 8;
+        x ^= x >> 4;
+        x & 0xF
+    }
+
+    /// One ARQ frame.
+    ///
+    /// Wire layout (low bits first): `[tag:1][seq:12][check:4]`, then for
+    /// data frames `[ack?:1][ack:12][payload:≤34]`. The checksum covers the
+    /// entire frame (with the checksum field zeroed), so any single-bit
+    /// flip is detected and the frame discarded — recovered by
+    /// retransmission rather than delivered corrupt.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum Reliable<M> {
+        /// Payload frame, optionally piggybacking an ack of reverse traffic.
+        Data {
+            /// Sequence number of this frame (mod 2¹²).
+            seq: u32,
+            /// Piggybacked acknowledgement of the peer's data frame.
+            ack: Option<u32>,
+            /// The wrapped protocol message.
+            payload: M,
+        },
+        /// Bare acknowledgement (when there is no reverse data to ride on).
+        Ack {
+            /// Sequence number being acknowledged.
+            seq: u32,
+        },
+    }
+
+    impl<M: CongestMessage> CongestMessage for Reliable<M> {
+        fn bit_width(&self) -> usize {
+            match self {
+                // tag + seq + check.
+                Reliable::Ack { .. } => 17,
+                // tag + seq + check + ack-flag + ack field + payload.
+                Reliable::Data { payload, .. } => 30 + payload.bit_width(),
+            }
+        }
+
+        fn encode_bits(&self) -> Option<u64> {
+            let mut bits = match self {
+                Reliable::Ack { seq } => 1 | ((u64::from(*seq) & SEQ_MASK) << 1),
+                Reliable::Data { seq, ack, payload } => {
+                    let p = payload.encode_bits()?;
+                    if p >= 1 << PAYLOAD_BITS {
+                        return None;
+                    }
+                    let mut bits = (u64::from(*seq) & SEQ_MASK) << 1;
+                    if let Some(a) = ack {
+                        bits |= 1 << 17;
+                        bits |= (u64::from(*a) & SEQ_MASK) << 18;
+                    }
+                    bits | (p << 30)
+                }
+            };
+            bits |= fold4(bits) << 13;
+            Some(bits)
+        }
+
+        fn decode_bits(bits: u64) -> Option<Self> {
+            let check = (bits >> 13) & 0xF;
+            let cleared = bits & !(0xFu64 << 13);
+            if fold4(cleared) != check {
+                return None;
+            }
+            let seq = ((bits >> 1) & SEQ_MASK) as u32;
+            if bits & 1 == 1 {
+                // Ack frames carry nothing above the checksum.
+                (bits >> 17 == 0).then_some(Reliable::Ack { seq })
+            } else {
+                let payload = M::decode_bits(bits >> 30)?;
+                let ack_field = ((bits >> 18) & SEQ_MASK) as u32;
+                let ack = if (bits >> 17) & 1 == 1 {
+                    Some(ack_field)
+                } else if ack_field != 0 {
+                    return None;
+                } else {
+                    None
+                };
+                Some(Reliable::Data { seq, ack, payload })
+            }
+        }
+    }
+
+    struct Inflight<M> {
+        seq: u32,
+        msg: M,
+        next_retry: u64,
+        attempts: u32,
+    }
+
+    struct PortState<M> {
+        queue: VecDeque<M>,
+        inflight: Option<Inflight<M>>,
+        next_seq: u32,
+        want: u32,
+        pending_ack: Option<u32>,
+        failed_after: Option<u32>,
+    }
+
+    impl<M> PortState<M> {
+        fn new() -> Self {
+            PortState {
+                queue: VecDeque::new(),
+                inflight: None,
+                next_seq: 0,
+                want: 0,
+                pending_ack: None,
+                failed_after: None,
+            }
+        }
+    }
+
+    /// Per-node stop-and-wait ARQ state over every port.
+    ///
+    /// A protocol owns one link, calls [`ReliableLink::send`] instead of
+    /// `ctx.send`, feeds its inbox through [`ReliableLink::deliver`], and
+    /// calls [`ReliableLink::pump`] once per round to emit (re)transmissions
+    /// and acks. [`ReliableLink::idle`] is the local termination signal.
+    pub struct ReliableLink<M> {
+        ports: Vec<PortState<M>>,
+        /// Base retransmission timeout in rounds (doubles per attempt).
+        timeout: u64,
+        /// Transmissions per frame before the port is declared failed.
+        max_attempts: u32,
+    }
+
+    impl<M: CongestMessage> ReliableLink<M> {
+        /// A link over `degree` ports with the given base `timeout` (rounds
+        /// before the first retransmission; doubles each attempt) and
+        /// `max_attempts` transmission budget per frame.
+        pub fn new(degree: usize, timeout: u64, max_attempts: u32) -> Self {
+            ReliableLink {
+                ports: (0..degree).map(|_| PortState::new()).collect(),
+                timeout: timeout.max(1),
+                max_attempts: max_attempts.max(1),
+            }
+        }
+
+        /// Queues `msg` for reliable delivery over `port`.
+        pub fn send(&mut self, port: usize, msg: M) {
+            self.ports[port].queue.push_back(msg);
+        }
+
+        /// Queues `msg` on every port.
+        pub fn send_all(&mut self, msg: M) {
+            for port in 0..self.ports.len() {
+                self.ports[port].queue.push_back(msg.clone());
+            }
+        }
+
+        /// Processes one round's inbox: consumes acks, filters duplicates,
+        /// schedules acks for received data, and returns the fresh payloads
+        /// in arrival order as `(port, message)`.
+        pub fn deliver(&mut self, inbox: &[(usize, Reliable<M>)]) -> Vec<(usize, M)> {
+            let mut fresh = Vec::new();
+            for (port, frame) in inbox {
+                let st = &mut self.ports[*port];
+                match frame {
+                    Reliable::Ack { seq } => {
+                        if st.inflight.as_ref().is_some_and(|f| f.seq == *seq) {
+                            st.inflight = None;
+                        }
+                    }
+                    Reliable::Data { seq, ack, payload } => {
+                        if let Some(a) = ack {
+                            if st.inflight.as_ref().is_some_and(|f| f.seq == *a) {
+                                st.inflight = None;
+                            }
+                        }
+                        // Always (re-)ack: a duplicate means our previous
+                        // ack was lost.
+                        st.pending_ack = Some(*seq);
+                        if *seq == st.want {
+                            st.want = (st.want + 1) & SEQ_MASK as u32;
+                            fresh.push((*port, payload.clone()));
+                        }
+                    }
+                }
+            }
+            fresh
+        }
+
+        /// Emits at most one frame per port this round: a due
+        /// retransmission, a new data frame, or a bare ack — data frames
+        /// piggyback any pending ack.
+        pub fn pump(&mut self, ctx: &mut Ctx<'_, Reliable<M>>) {
+            let round = ctx.round();
+            for port in 0..self.ports.len() {
+                let timeout = self.timeout;
+                let max_attempts = self.max_attempts;
+                let st = &mut self.ports[port];
+                // Give up on a frame that exhausted its budget; the
+                // protocol observes this through `failures`.
+                if st
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|f| f.next_retry <= round && f.attempts >= max_attempts)
+                {
+                    let f = st.inflight.take().expect("checked above");
+                    st.failed_after = Some(f.attempts);
+                }
+                if let Some(f) = &mut st.inflight {
+                    if f.next_retry <= round {
+                        f.attempts += 1;
+                        // Exponential backoff, capped at 16× the base
+                        // timeout so give-up latency stays bounded.
+                        f.next_retry = round + (timeout << (f.attempts - 1).min(4));
+                        let frame = Reliable::Data {
+                            seq: f.seq,
+                            ack: st.pending_ack.take(),
+                            payload: f.msg.clone(),
+                        };
+                        ctx.send(port, frame);
+                        continue;
+                    }
+                } else if let Some(msg) = st.queue.pop_front() {
+                    let seq = st.next_seq;
+                    st.next_seq = (st.next_seq + 1) & SEQ_MASK as u32;
+                    st.inflight = Some(Inflight {
+                        seq,
+                        msg: msg.clone(),
+                        next_retry: round + timeout,
+                        attempts: 1,
+                    });
+                    let frame = Reliable::Data {
+                        seq,
+                        ack: st.pending_ack.take(),
+                        payload: msg,
+                    };
+                    ctx.send(port, frame);
+                    continue;
+                }
+                if let Some(seq) = st.pending_ack.take() {
+                    ctx.send(port, Reliable::Ack { seq });
+                }
+            }
+        }
+
+        /// `true` when nothing is queued, in flight, or awaiting an ack —
+        /// the local "all my traffic is settled" signal.
+        pub fn idle(&self) -> bool {
+            self.ports
+                .iter()
+                .all(|st| st.queue.is_empty() && st.inflight.is_none() && st.pending_ack.is_none())
+        }
+
+        /// Ports whose peer never acknowledged within the attempt budget,
+        /// as `(port, attempts made)` — the detection signal for crashed
+        /// neighbors.
+        pub fn failures(&self) -> Vec<(usize, u32)> {
+            self.ports
+                .iter()
+                .enumerate()
+                .filter_map(|(p, st)| st.failed_after.map(|a| (p, a)))
+                .collect()
+        }
+
+        /// `true` when `port` has exhausted its retransmission budget.
+        pub fn port_failed(&self, port: usize) -> bool {
+            self.ports[port].failed_after.is_some()
+        }
+    }
+
+    /// Flooding broadcast over [`ReliableLink`]s: completes on any connected
+    /// set of live nodes despite drops, corruption, delays, and crashes
+    /// allowed by `plan`.
+    struct ReliableFlood {
+        value: Option<u64>,
+        link: ReliableLink<u64>,
+        spread: bool,
+    }
+
+    impl ReliableFlood {
+        fn spread_if_fresh(&mut self) {
+            if let (Some(v), false) = (self.value, self.spread) {
+                self.spread = true;
+                self.link.send_all(v);
+            }
+        }
+    }
+
+    impl Protocol for ReliableFlood {
+        type Message = Reliable<u64>;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, Reliable<u64>>) {
+            self.spread_if_fresh();
+            self.link.pump(ctx);
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, Reliable<u64>>, inbox: &[(usize, Reliable<u64>)]) {
+            for (_, v) in self.link.deliver(inbox) {
+                if self.value.is_none() {
+                    self.value = Some(v);
+                }
+            }
+            self.spread_if_fresh();
+            self.link.pump(ctx);
+        }
+
+        fn is_done(&self) -> bool {
+            self.value.is_some() && self.link.idle()
+        }
+    }
+
+    /// Floods `value` (< 2³⁴) from `source` to every live node, surviving
+    /// the faults of `plan` via per-edge ARQ.
+    ///
+    /// Returns the per-node learned values (crashed or partitioned nodes
+    /// hold `None`) and the measured metrics — retransmissions, acks, and
+    /// timeout rounds included.
+    pub fn reliable_broadcast(
+        g: &Graph,
+        source: NodeId,
+        value: u64,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Result<(Vec<Option<u64>>, Metrics)> {
+        assert!(
+            value < 1 << PAYLOAD_BITS,
+            "payload must fit the 34-bit data field"
+        );
+        // First retry after the worst-case fault delay has passed.
+        let timeout = 4 + 2 * plan.max_delay;
+        let nodes = g
+            .nodes()
+            .map(|v| ReliableFlood {
+                value: (v == source).then_some(value),
+                link: ReliableLink::new(g.degree(v), timeout, 12),
+                spread: false,
+            })
+            .collect();
+        let mut sim = Simulator::new(g, nodes, seed)?.with_fault_plan(plan);
+        let cfg = RunConfig {
+            budget_factor: 32,
+            stop: crate::StopCondition::AllDone,
+            max_rounds: 200_000,
+        };
+        let metrics = sim.run(&cfg)?;
+        Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))
+    }
 }
 
 #[cfg(test)]
@@ -534,8 +955,8 @@ mod tests {
         let g = generators::hypercube(4);
         let (tree, m) = build_bfs_tree(&g, NodeId(0), 2).unwrap();
         let dist = amt_graphs::traversal::bfs_distances(&g, NodeId(0));
-        for v in 0..16 {
-            assert_eq!(tree.depth[v], dist[v]);
+        for (td, d) in tree.depth.iter().zip(&dist) {
+            assert_eq!(td, d);
         }
         assert_eq!(tree.height(), 4);
         assert!(m.rounds <= 7);
@@ -616,8 +1037,8 @@ mod tests {
         let (tree, _) = build_bfs_tree(&g, NodeId(0), 8).unwrap();
         let items = vec![7, 8, 9];
         let (recv, m) = pipelined_downcast(&g, &tree, items.clone(), 8).unwrap();
-        for v in 1..5 {
-            assert_eq!(recv[v], items, "node {v}");
+        for (v, r) in recv.iter().enumerate().skip(1) {
+            assert_eq!(*r, items, "node {v}");
         }
         // 3 items pipelined down a depth-4 path: ≈ 4 + 3 − 1 rounds.
         assert!(m.rounds >= 6 && m.rounds <= 10, "rounds = {}", m.rounds);
@@ -630,9 +1051,15 @@ mod tests {
         let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
         let g = Graph::from_edges(n, &edges).unwrap();
         let (tree, _) = build_bfs_tree(&g, NodeId(0), 7).unwrap();
-        let items: Vec<Vec<u64>> = (0..n).map(|i| if i == 0 { vec![] } else { vec![i as u64] }).collect();
+        let items: Vec<Vec<u64>> = (0..n)
+            .map(|i| if i == 0 { vec![] } else { vec![i as u64] })
+            .collect();
         let (collected, m) = pipelined_upcast(&g, &tree, items, 7).unwrap();
         assert_eq!(collected.len(), n - 1);
-        assert!(m.rounds <= 4, "star upcast should parallelize, rounds = {}", m.rounds);
+        assert!(
+            m.rounds <= 4,
+            "star upcast should parallelize, rounds = {}",
+            m.rounds
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! The synchronous round executor.
 
+use crate::faults::{Fate, FaultEvent, FaultKind, FaultPlan, FaultState};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -55,14 +56,21 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { max_rounds: 1_000_000, budget_factor: 8, stop: StopCondition::Quiescence }
+        RunConfig {
+            max_rounds: 1_000_000,
+            budget_factor: 8,
+            stop: StopCondition::Quiescence,
+        }
     }
 }
 
 impl RunConfig {
     /// Config with the [`StopCondition::AllDone`] termination rule.
     pub fn all_done() -> Self {
-        RunConfig { stop: StopCondition::AllDone, ..Default::default() }
+        RunConfig {
+            stop: StopCondition::AllDone,
+            ..Default::default()
+        }
     }
 }
 
@@ -122,12 +130,17 @@ impl<M: CongestMessage> Ctx<'_, M> {
         }
         let bits = msg.bit_width();
         if bits > self.budget_bits {
-            *self.violation =
-                Some(CongestError::MessageTooWide { bits, budget: self.budget_bits });
+            *self.violation = Some(CongestError::MessageTooWide {
+                bits,
+                budget: self.budget_bits,
+            });
             return;
         }
         if self.staged[port].is_some() {
-            *self.violation = Some(CongestError::DuplicateSend { node: self.node, port });
+            *self.violation = Some(CongestError::DuplicateSend {
+                node: self.node,
+                port,
+            });
             return;
         }
         self.staged[port] = Some(msg);
@@ -185,6 +198,11 @@ pub struct Simulator<'g, P: Protocol> {
     peer_port: Vec<Vec<u32>>,
     adjacency: Vec<Vec<(u32, u32)>>,
     rng: StdRng,
+    /// Optional fault injection; `None` (or a trivial plan) takes the exact
+    /// fault-free execution path.
+    fault_plan: Option<FaultPlan>,
+    fault_events: Vec<FaultEvent>,
+    crashed: Vec<bool>,
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -200,8 +218,10 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 protocols: nodes.len(),
             });
         }
-        let adjacency: Vec<Vec<(u32, u32)>> =
-            graph.nodes().map(|v| graph.neighbors(v).map(|(w, e)| (w.0, e.0)).collect()).collect();
+        let adjacency: Vec<Vec<(u32, u32)>> = graph
+            .nodes()
+            .map(|v| graph.neighbors(v).map(|(w, e)| (w.0, e.0)).collect())
+            .collect();
         // Map each (node, port) to the matching port on the other side of
         // the edge. For self-loops the two adjacency occurrences pair up.
         let mut port_of_edge: Vec<Vec<(u32, u32)>> = vec![Vec::new(); graph.edge_count()];
@@ -219,7 +239,41 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             peer_port[v0 as usize][p0 as usize] = p1;
             peer_port[v1 as usize][p1 as usize] = p0;
         }
-        Ok(Simulator { graph, nodes, peer_port, adjacency, rng: StdRng::seed_from_u64(seed) })
+        let n = nodes.len();
+        Ok(Simulator {
+            graph,
+            nodes,
+            peer_port,
+            adjacency,
+            rng: StdRng::seed_from_u64(seed),
+            fault_plan: None,
+            fault_events: Vec::new(),
+            crashed: vec![false; n],
+        })
+    }
+
+    /// Attaches a [`FaultPlan`] to apply on every subsequent [`Self::run`].
+    ///
+    /// A trivial plan (see [`FaultPlan::is_trivial`]) is equivalent to no
+    /// plan at all: the run is bit-for-bit identical to the fault-free path.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The faults injected by the most recent [`Self::run`], in order.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    /// Nodes crash-stopped during the most recent [`Self::run`].
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter(|&(_v, &c)| c)
+            .map(|(v, &_c)| NodeId::from(v))
+            .collect()
     }
 
     /// The protocol instances (for extracting results after a run).
@@ -234,11 +288,24 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     /// Runs until the stop condition, returning measured [`Metrics`].
     ///
+    /// With a non-trivial [`FaultPlan`] attached, faults are sampled from
+    /// the plan's dedicated RNG between staging and delivery; without one
+    /// the execution is exactly the fault-free simulator.
+    ///
     /// # Errors
     ///
-    /// Any CONGEST violation recorded during execution, or
-    /// [`CongestError::RoundLimitExceeded`].
+    /// Any CONGEST violation recorded during execution,
+    /// [`CongestError::RoundLimitExceeded`], or
+    /// [`CongestError::FaultPlanInvalid`].
     pub fn run(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+        match self.fault_plan.clone() {
+            Some(plan) if !plan.is_trivial() => self.run_faulty(cfg, plan),
+            _ => self.run_clean(cfg),
+        }
+    }
+
+    /// The pristine synchronous CONGEST execution (no fault sampling at all).
+    fn run_clean(&mut self, cfg: &RunConfig) -> Result<Metrics> {
         let n = self.graph.len();
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
         let mut metrics = Metrics::default();
@@ -250,7 +317,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
         for round in 0..=cfg.max_rounds {
             let mut sent_this_round = 0u64;
-            for v in 0..n {
+            for (v, ib) in inbox.iter().enumerate() {
                 let degree = self.adjacency[v].len();
                 staged.clear();
                 staged.resize_with(degree, || None);
@@ -268,7 +335,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     if round == 0 {
                         self.nodes[v].init(&mut ctx);
                     } else {
-                        self.nodes[v].round(&mut ctx, &inbox[v]);
+                        self.nodes[v].round(&mut ctx, ib);
                     }
                 }
                 if let Some(err) = violation.take() {
@@ -285,10 +352,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 }
             }
             metrics.messages += sent_this_round;
-            metrics.peak_messages_per_round =
-                metrics.peak_messages_per_round.max(sent_this_round);
-            for v in 0..n {
-                inbox[v].clear();
+            metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(sent_this_round);
+            for ib in &mut inbox {
+                ib.clear();
             }
             std::mem::swap(&mut inbox, &mut next_inbox);
             let in_flight = sent_this_round > 0;
@@ -301,7 +367,167 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 return Ok(metrics);
             }
         }
-        Err(CongestError::RoundLimitExceeded { max_rounds: cfg.max_rounds })
+        Err(CongestError::RoundLimitExceeded {
+            max_rounds: cfg.max_rounds,
+        })
+    }
+
+    fn run_faulty(&mut self, cfg: &RunConfig, plan: FaultPlan) -> Result<Metrics> {
+        let mut fs = FaultState::new(plan, self.graph.len())?;
+        let result = self.faulty_loop(cfg, &mut fs);
+        self.fault_events = std::mem::take(&mut fs.events);
+        self.crashed = std::mem::take(&mut fs.crashed);
+        result
+    }
+
+    /// The executor with fault sampling between staging and delivery.
+    ///
+    /// Differences from [`Self::run_clean`], all driven by `fs`:
+    /// crash-stopped nodes execute no steps and their inboxes are discarded;
+    /// each staged message is dropped, corrupted (one flipped bit; an
+    /// undecodable frame is discarded), delayed (delivered `by` rounds
+    /// late), or delivered intact; `messages`/`bits` count *deliveries*, so
+    /// lost traffic never inflates the totals.
+    fn faulty_loop(&mut self, cfg: &RunConfig, fs: &mut FaultState) -> Result<Metrics> {
+        let n = self.graph.len();
+        let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
+        let mut metrics = Metrics::default();
+        let mut inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+        let mut staged: Vec<Option<P::Message>> = Vec::new();
+        let mut violation: Option<CongestError> = None;
+        let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+        // Messages an injected delay is holding back: delivered into
+        // `next_inbox` during the round stored in `.0`.
+        let mut held: Vec<(u64, usize, usize, P::Message)> = Vec::new();
+
+        for round in 0..=cfg.max_rounds {
+            fs.apply_crashes(round, &mut metrics);
+            let mut delivered_this_round = 0u64;
+            for (v, ib) in inbox.iter_mut().enumerate() {
+                if fs.is_crashed(v) {
+                    ib.clear();
+                    continue;
+                }
+                let degree = self.adjacency[v].len();
+                staged.clear();
+                staged.resize_with(degree, || None);
+                {
+                    let mut ctx = Ctx {
+                        node: NodeId::from(v),
+                        degree,
+                        neighbors: &self.adjacency[v],
+                        round,
+                        budget_bits,
+                        staged: &mut staged,
+                        rng: &mut self.rng,
+                        violation: &mut violation,
+                    };
+                    if round == 0 {
+                        self.nodes[v].init(&mut ctx);
+                    } else {
+                        self.nodes[v].round(&mut ctx, ib);
+                    }
+                }
+                if let Some(err) = violation.take() {
+                    return Err(err);
+                }
+                for (port, slot) in staged.iter_mut().enumerate() {
+                    let Some(msg) = slot.take() else { continue };
+                    let dst = self.adjacency[v][port].0 as usize;
+                    let dst_port = self.peer_port[v][port] as usize;
+                    if fs.is_crashed(dst) {
+                        // Lost to the crash; the Crashed event already
+                        // records the cause, so this is not a drop fault.
+                        continue;
+                    }
+                    match fs.fate() {
+                        Fate::Deliver => {
+                            metrics.bits += msg.bit_width() as u64;
+                            next_inbox[dst].push((dst_port, msg));
+                            delivered_this_round += 1;
+                        }
+                        Fate::Drop => {
+                            metrics.dropped += 1;
+                            fs.record(round, v, port, FaultKind::Dropped);
+                        }
+                        Fate::Corrupt => {
+                            metrics.corrupted += 1;
+                            let mask = fs.flip_mask(msg.bit_width());
+                            match msg.corrupted(mask) {
+                                Some(garbled) => {
+                                    fs.record(
+                                        round,
+                                        v,
+                                        port,
+                                        FaultKind::Corrupted { delivered: true },
+                                    );
+                                    metrics.bits += garbled.bit_width() as u64;
+                                    next_inbox[dst].push((dst_port, garbled));
+                                    delivered_this_round += 1;
+                                }
+                                None => {
+                                    // No canonical encoding, or the flipped
+                                    // frame no longer parses: the receiver
+                                    // sees nothing.
+                                    fs.record(
+                                        round,
+                                        v,
+                                        port,
+                                        FaultKind::Corrupted { delivered: false },
+                                    );
+                                }
+                            }
+                        }
+                        Fate::Delay(by) => {
+                            metrics.delayed += 1;
+                            fs.record(round, v, port, FaultKind::Delayed { by });
+                            held.push((round + by, dst, dst_port, msg));
+                        }
+                    }
+                }
+            }
+            // Release held messages whose extra wait has elapsed (crash of
+            // the destination in the meantime loses them).
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].0 <= round {
+                    let (_, dst, dst_port, msg) = held.swap_remove(i);
+                    if !fs.is_crashed(dst) {
+                        metrics.bits += msg.bit_width() as u64;
+                        next_inbox[dst].push((dst_port, msg));
+                        delivered_this_round += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            metrics.messages += delivered_this_round;
+            metrics.peak_messages_per_round =
+                metrics.peak_messages_per_round.max(delivered_this_round);
+            for ib in &mut inbox {
+                ib.clear();
+            }
+            std::mem::swap(&mut inbox, &mut next_inbox);
+            let in_flight = delivered_this_round > 0 || !held.is_empty();
+            metrics.rounds = round;
+            let stop = match cfg.stop {
+                StopCondition::AllDone => {
+                    !in_flight
+                        && self
+                            .nodes
+                            .iter()
+                            .enumerate()
+                            .all(|(v, node)| fs.is_crashed(v) || node.is_done())
+                }
+                StopCondition::Quiescence => !in_flight && round > 0,
+            };
+            if stop {
+                return Ok(metrics);
+            }
+        }
+        Err(CongestError::RoundLimitExceeded {
+            max_rounds: cfg.max_rounds,
+        })
     }
 }
 
@@ -342,7 +568,12 @@ mod tests {
     fn flooding_takes_eccentricity_rounds() {
         let n = 10;
         let g = path(n);
-        let nodes = (0..n).map(|i| MaxFlood { best: i as u64, dirty: false }).collect();
+        let nodes = (0..n)
+            .map(|i| MaxFlood {
+                best: i as u64,
+                dirty: false,
+            })
+            .collect();
         let mut sim = Simulator::new(&g, nodes, 0).unwrap();
         let m = sim.run(&RunConfig::default()).unwrap();
         assert!(sim.nodes().iter().all(|p| p.best == (n - 1) as u64));
@@ -355,8 +586,23 @@ mod tests {
     #[test]
     fn node_count_mismatch_is_rejected() {
         let g = path(3);
-        let err = Simulator::new(&g, vec![MaxFlood { best: 0, dirty: false }], 0).err().unwrap();
-        assert_eq!(err, CongestError::NodeCountMismatch { graph: 3, protocols: 1 });
+        let err = Simulator::new(
+            &g,
+            vec![MaxFlood {
+                best: 0,
+                dirty: false,
+            }],
+            0,
+        )
+        .err()
+        .unwrap();
+        assert_eq!(
+            err,
+            CongestError::NodeCountMismatch {
+                graph: 3,
+                protocols: 1
+            }
+        );
     }
 
     struct DoubleSender;
@@ -392,7 +638,13 @@ mod tests {
         let mut sim = Simulator::new(&g, vec![WideSender, WideSender], 0).unwrap();
         // n = 2 → ⌈log₂ 2⌉ = 1 bit, factor 8 → budget 8 bits; u64::MAX is 64.
         let err = sim.run(&RunConfig::default()).unwrap_err();
-        assert_eq!(err, CongestError::MessageTooWide { bits: 64, budget: 8 });
+        assert_eq!(
+            err,
+            CongestError::MessageTooWide {
+                bits: 64,
+                budget: 8
+            }
+        );
     }
 
     struct PortAbuser;
@@ -410,7 +662,14 @@ mod tests {
         let g = path(2);
         let mut sim = Simulator::new(&g, vec![PortAbuser, PortAbuser], 0).unwrap();
         let err = sim.run(&RunConfig::default()).unwrap_err();
-        assert!(matches!(err, CongestError::PortOutOfRange { port: 1, degree: 1, .. }));
+        assert!(matches!(
+            err,
+            CongestError::PortOutOfRange {
+                port: 1,
+                degree: 1,
+                ..
+            }
+        ));
     }
 
     /// Echoes forever — must trip the round cap.
@@ -429,7 +688,10 @@ mod tests {
     fn round_cap_enforced() {
         let g = path(2);
         let mut sim = Simulator::new(&g, vec![Chatter, Chatter], 0).unwrap();
-        let cfg = RunConfig { max_rounds: 50, ..Default::default() };
+        let cfg = RunConfig {
+            max_rounds: 50,
+            ..Default::default()
+        };
         let err = sim.run(&cfg).unwrap_err();
         assert_eq!(err, CongestError::RoundLimitExceeded { max_rounds: 50 });
     }
@@ -464,9 +726,22 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_metrics() {
         let g = amt_graphs::generators::hypercube(4);
-        let mk = || (0..16).map(|i| MaxFlood { best: i as u64, dirty: false }).collect();
-        let m1 = Simulator::new(&g, mk(), 42).unwrap().run(&RunConfig::default()).unwrap();
-        let m2 = Simulator::new(&g, mk(), 42).unwrap().run(&RunConfig::default()).unwrap();
+        let mk = || {
+            (0..16)
+                .map(|i| MaxFlood {
+                    best: i as u64,
+                    dirty: false,
+                })
+                .collect()
+        };
+        let m1 = Simulator::new(&g, mk(), 42)
+            .unwrap()
+            .run(&RunConfig::default())
+            .unwrap();
+        let m2 = Simulator::new(&g, mk(), 42)
+            .unwrap()
+            .run(&RunConfig::default())
+            .unwrap();
         assert_eq!(m1, m2);
     }
 }

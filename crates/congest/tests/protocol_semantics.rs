@@ -1,9 +1,7 @@
 //! Integration tests of simulator semantics: exact message timing, metric
 //! accounting, stop conditions, and composed primitive pipelines.
 
-use amt_congest::{
-    primitives, Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition,
-};
+use amt_congest::{primitives, Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition};
 use amt_graphs::{generators, Graph, NodeId};
 
 /// Ping-pong for a fixed number of volleys: exact round/message accounting.
@@ -40,8 +38,14 @@ fn ping_pong_message_accounting_is_exact() {
     let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
     let volleys = 9;
     let nodes = vec![
-        PingPong { is_server: true, volleys_left: volleys },
-        PingPong { is_server: false, volleys_left: volleys },
+        PingPong {
+            is_server: true,
+            volleys_left: volleys,
+        },
+        PingPong {
+            is_server: false,
+            volleys_left: volleys,
+        },
     ];
     let mut sim = Simulator::new(&g, nodes, 0).unwrap();
     let m = sim.run(&RunConfig::default()).unwrap();
@@ -77,11 +81,20 @@ impl Protocol for FireAndClaimDone {
 #[test]
 fn all_done_waits_for_in_flight_messages() {
     let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
-    let nodes = vec![FireAndClaimDone { got: false }, FireAndClaimDone { got: false }];
+    let nodes = vec![
+        FireAndClaimDone { got: false },
+        FireAndClaimDone { got: false },
+    ];
     let mut sim = Simulator::new(&g, nodes, 0).unwrap();
-    let cfg = RunConfig { stop: StopCondition::AllDone, ..RunConfig::default() };
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    };
     sim.run(&cfg).unwrap();
-    assert!(sim.nodes()[1].got, "message must be delivered before AllDone stops");
+    assert!(
+        sim.nodes()[1].got,
+        "message must be delivered before AllDone stops"
+    );
 }
 
 #[test]
@@ -99,7 +112,11 @@ fn metrics_then_composes_pipelines() {
 
 #[test]
 fn broadcast_then_elect_pipeline_on_families() {
-    for g in [generators::hypercube(4), generators::ring(12), generators::complete(9)] {
+    for g in [
+        generators::hypercube(4),
+        generators::ring(12),
+        generators::complete(9),
+    ] {
         let (vals, _) = primitives::broadcast(&g, NodeId(0), 42, 1).unwrap();
         assert!(vals.iter().all(|&v| v == Some(42)));
         let (leader, _) = primitives::elect_leader(&g, 2).unwrap();
@@ -111,8 +128,9 @@ fn broadcast_then_elect_pipeline_on_families() {
 fn upcast_roundtrip_preserves_multisets() {
     let g = generators::hypercube(4);
     let (tree, _) = primitives::build_bfs_tree(&g, NodeId(3), 5).unwrap();
-    let items: Vec<Vec<u64>> =
-        (0..16).map(|i| (0..(i % 4) as u64).map(|j| i as u64 * 10 + j).collect()).collect();
+    let items: Vec<Vec<u64>> = (0..16)
+        .map(|i| (0..(i % 4) as u64).map(|j| i as u64 * 10 + j).collect())
+        .collect();
     let mut expect: Vec<u64> = items.iter().flatten().copied().collect();
     // The root's own items are included.
     expect.sort_unstable();

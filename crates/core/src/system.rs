@@ -207,7 +207,12 @@ impl<'g> System<'g> {
     /// # Errors
     ///
     /// [`Error::MinCut`] on parameter or oracle failures.
-    pub fn min_cut(&self, capacities: &[u64], trees: u32, seed: u64) -> Result<MinCutResult, Error> {
+    pub fn min_cut(
+        &self,
+        capacities: &[u64],
+        trees: u32,
+        seed: u64,
+    ) -> Result<MinCutResult, Error> {
         amt_mincut::tree_packing_min_cut(
             self.hierarchy.base(),
             capacities,
@@ -233,9 +238,16 @@ mod tests {
     #[test]
     fn builder_auto_works_end_to_end() {
         let g = expander(48, 1);
-        let sys = System::builder(&g).seed(3).beta(4).levels(1).build().unwrap();
+        let sys = System::builder(&g)
+            .seed(3)
+            .beta(4)
+            .levels(1)
+            .build()
+            .unwrap();
         assert!(sys.build_rounds() > 0);
-        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId((i + 7) % 48))).collect();
+        let reqs: Vec<_> = (0..48u32)
+            .map(|i| (NodeId(i), NodeId((i + 7) % 48)))
+            .collect();
         let out = sys.route(&reqs, 5).unwrap();
         assert_eq!(out.delivered, 48);
     }

@@ -81,7 +81,9 @@ impl HierarchyConfig {
 
     /// Walk length used when embedding level `p` (walks run on level `p−1`).
     pub fn level_walk_len(&self, vnodes: usize, p: u32) -> u32 {
-        let s = self.expected_part_size(vnodes, p.saturating_sub(1)).max(2.0);
+        let s = self
+            .expected_part_size(vnodes, p.saturating_sub(1))
+            .max(2.0);
         self.level_walk_factor * (s.log2().ceil() as u32 + 1)
     }
 
@@ -116,7 +118,7 @@ impl HierarchyConfig {
         if self.tau_mix == 0 {
             return fail("tau_mix must be ≥ 1".into());
         }
-        if !(self.walk_surplus >= 1.0) {
+        if self.walk_surplus.is_nan() || self.walk_surplus < 1.0 {
             return fail(format!("walk_surplus = {} must be ≥ 1", self.walk_surplus));
         }
         if self.independence == 0 {

@@ -62,7 +62,10 @@ mod tests {
         let e = EmbedError::from(amt_graphs::GraphError::Disconnected);
         assert!(e.to_string().contains("not connected"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = EmbedError::InsufficientExpansion { level: 2, what: "portal 3→5".into() };
+        let e = EmbedError::InsufficientExpansion {
+            level: 2,
+            what: "portal 3→5".into(),
+        };
         assert!(e.to_string().contains("level 2"));
     }
 }

@@ -86,9 +86,8 @@ impl<'g> Hierarchy<'g> {
         let part_of = |vid: u32, depth: u32| -> u64 {
             leaf_of[vid as usize] / pow_beta[(levels - depth) as usize]
         };
-        let label_at = |vid: u32, depth: u32| -> u32 {
-            (part_of(vid, depth) % u64::from(cfg.beta)) as u32
-        };
+        let label_at =
+            |vid: u32, depth: u32| -> u32 { (part_of(vid, depth) % u64::from(cfg.beta)) as u32 };
         let mut members: Vec<Vec<Vec<u32>>> = Vec::with_capacity(levels as usize + 1);
         for d in 0..=levels {
             let mut m = vec![Vec::new(); pow_beta[d as usize] as usize];
@@ -100,9 +99,8 @@ impl<'g> Hierarchy<'g> {
 
         // Shared-randomness dissemination: diameter + pipelined seed words.
         let diam = traversal::diameter_double_sweep(base, NodeId(0)).unwrap_or(0) as u64;
-        let budget_bits = 8 * usize::BITS.saturating_sub(
-            (base.len().max(2) - 1).leading_zeros(),
-        ) as usize;
+        let budget_bits =
+            8 * usize::BITS.saturating_sub((base.len().max(2) - 1).leading_zeros()) as usize;
         let seed_words = partition.seed_bits().div_ceil(budget_bits.max(1)) as u64;
         let seed_broadcast_rounds = diam + seed_words;
 
@@ -226,7 +224,10 @@ impl<'g> Hierarchy<'g> {
         let mut specs = Vec::with_capacity(vnodes * wpv);
         for vid in 0..vnodes as u32 {
             for _ in 0..wpv {
-                specs.push(WalkSpec { start: NodeId(vid), steps: walk_len });
+                specs.push(WalkSpec {
+                    start: NodeId(vid),
+                    steps: walk_len,
+                });
             }
         }
         let run = parallel::run_parallel_walks(gp, WalkKind::DeltaRegular, &specs, rng);
@@ -285,7 +286,11 @@ impl<'g> Hierarchy<'g> {
             let total: usize = edge_paths.iter().map(Vec::len).sum();
             let max = edge_paths.iter().map(Vec::len).max().unwrap_or(0);
             (
-                if edge_paths.is_empty() { 0.0 } else { total as f64 / edge_paths.len() as f64 },
+                if edge_paths.is_empty() {
+                    0.0
+                } else {
+                    total as f64 / edge_paths.len() as f64
+                },
                 max,
             )
         };
@@ -336,7 +341,11 @@ impl<'g> Hierarchy<'g> {
             let total: usize = edge_paths.iter().map(Vec::len).sum();
             let max = edge_paths.iter().map(Vec::len).max().unwrap_or(0);
             (
-                if edge_paths.is_empty() { 0.0 } else { total as f64 / edge_paths.len() as f64 },
+                if edge_paths.is_empty() {
+                    0.0
+                } else {
+                    total as f64 / edge_paths.len() as f64
+                },
                 max,
             )
         };
@@ -391,7 +400,10 @@ impl<'g> Hierarchy<'g> {
         let mut specs = Vec::with_capacity(vnodes * wpv);
         for vid in 0..vnodes as u32 {
             for _ in 0..wpv {
-                specs.push(WalkSpec { start: NodeId(vid), steps: walk_len });
+                specs.push(WalkSpec {
+                    start: NodeId(vid),
+                    steps: walk_len,
+                });
             }
         }
         let run = parallel::run_parallel_walks(gp, WalkKind::DeltaRegular, &specs, rng);
@@ -573,8 +585,10 @@ impl<'g> Hierarchy<'g> {
         schedule
             .iter()
             .map(|keys| {
-                let batch: Vec<(EdgeId, bool)> =
-                    keys.iter().map(|&k| (key_edge(k), key_is_forward(k))).collect();
+                let batch: Vec<(EdgeId, bool)> = keys
+                    .iter()
+                    .map(|&k| (key_edge(k), key_is_forward(k)))
+                    .collect();
                 self.emulate_batch(level, &batch)
             })
             .sum()
@@ -596,8 +610,10 @@ impl<'g> Hierarchy<'g> {
         schedule
             .iter()
             .map(|keys| {
-                let batch: Vec<(EdgeId, bool)> =
-                    keys.iter().map(|&k| (key_edge(k), key_is_forward(k))).collect();
+                let batch: Vec<(EdgeId, bool)> = keys
+                    .iter()
+                    .map(|&k| (key_edge(k), key_is_forward(k)))
+                    .collect();
                 self.emulate_batch_exact(level, &batch)
             })
             .sum()
@@ -621,8 +637,10 @@ impl<'g> Hierarchy<'g> {
         schedule
             .iter()
             .map(|keys| {
-                let sub: Vec<(EdgeId, bool)> =
-                    keys.iter().map(|&k| (key_edge(k), key_is_forward(k))).collect();
+                let sub: Vec<(EdgeId, bool)> = keys
+                    .iter()
+                    .map(|&k| (key_edge(k), key_is_forward(k)))
+                    .collect();
                 self.emulate_batch_exact(level - 1, &sub)
             })
             .sum()
@@ -638,7 +656,9 @@ impl<'g> Hierarchy<'g> {
     ) -> Option<Vec<(EdgeId, bool)>> {
         let g = self.overlays[level as usize].graph();
         bfs_edge_path(g, NodeId(from.0), NodeId(to.0)).map(|keys| {
-            keys.into_iter().map(|k| (key_edge(k), key_is_forward(k))).collect()
+            keys.into_iter()
+                .map(|k| (key_edge(k), key_is_forward(k)))
+                .collect()
         })
     }
 }
@@ -718,7 +738,10 @@ mod tests {
         assert_eq!(h.depth(), 2);
         // Overlays 0, 1, 2 (bottom) exist.
         for level in 0..=2u32 {
-            assert!(h.overlay(level).graph().edge_count() > 0, "level {level} empty");
+            assert!(
+                h.overlay(level).graph().edge_count() > 0,
+                "level {level} empty"
+            );
         }
         assert!(h.stats.total_base_rounds > 0);
         assert!(h.full_round_cost(1) >= h.full_round_cost(0));
@@ -770,7 +793,9 @@ mod tests {
             for (i, &a) in mem.iter().enumerate() {
                 for &b in mem.iter().skip(i + 1) {
                     assert!(
-                        h.overlay(h.depth()).edge_between(VirtualId(a), VirtualId(b)).is_some(),
+                        h.overlay(h.depth())
+                            .edge_between(VirtualId(a), VirtualId(b))
+                            .is_some(),
                         "missing clique edge ({a},{b}) in part {part}"
                     );
                 }
@@ -790,12 +815,17 @@ mod tests {
                 let my = h.part_of(VirtualId(vid), p);
                 let parent = my / u64::from(beta);
                 for j in 0..beta {
-                    let Some(e) = h.portal(p, VirtualId(vid), j) else { continue };
+                    let Some(e) = h.portal(p, VirtualId(vid), j) else {
+                        continue;
+                    };
                     present += 1;
                     // Portal sits in the source part.
                     assert_eq!(h.part_of(e.portal, p), my);
                     // Target lands in the sibling with label j, same parent.
-                    assert_eq!(h.part_of(e.target, p), parent * u64::from(beta) + u64::from(j));
+                    assert_eq!(
+                        h.part_of(e.target, p),
+                        parent * u64::from(beta) + u64::from(j)
+                    );
                     // The stored edge actually connects portal and target in
                     // the level below.
                     let below = h.overlay(p - 1).graph();
@@ -833,9 +863,21 @@ mod tests {
         let h = Hierarchy::build(&g, cfg).unwrap();
         // One edge crossing at level p should cost at least as much as the
         // cheapest crossing at level 0 (paths expand through lower levels).
-        let e0 = h.overlay(0).graph().edges().next().map(|(e, _, _)| (e, true)).unwrap();
+        let e0 = h
+            .overlay(0)
+            .graph()
+            .edges()
+            .next()
+            .map(|(e, _, _)| (e, true))
+            .unwrap();
         let c0 = h.emulate_batch_exact(0, &[e0]);
-        let e2 = h.overlay(2).graph().edges().next().map(|(e, _, _)| (e, true)).unwrap();
+        let e2 = h
+            .overlay(2)
+            .graph()
+            .edges()
+            .next()
+            .map(|(e, _, _)| (e, true))
+            .unwrap();
         let c2 = h.emulate_batch_exact(2, &[e2]);
         assert!(c2 >= c0.min(1), "c2 = {c2}, c0 = {c0}");
     }
@@ -844,7 +886,10 @@ mod tests {
     fn disconnected_base_rejected() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let cfg = HierarchyConfig::auto(&g, 5, 0);
-        assert!(matches!(Hierarchy::build(&g, cfg), Err(EmbedError::Graph(_))));
+        assert!(matches!(
+            Hierarchy::build(&g, cfg),
+            Err(EmbedError::Graph(_))
+        ));
     }
 
     #[test]

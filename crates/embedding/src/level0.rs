@@ -29,7 +29,10 @@ pub fn build<R: Rng>(
     for vid in 0..vnodes {
         let owner = vmap.owner(VirtualId(vid as u32));
         for _ in 0..walks {
-            specs.push(WalkSpec { start: owner, steps: cfg.tau_mix });
+            specs.push(WalkSpec {
+                start: owner,
+                steps: cfg.tau_mix,
+            });
         }
     }
     let run = parallel::run_parallel_walks(g, WalkKind::Lazy, &specs, rng);
@@ -57,10 +60,13 @@ pub fn build<R: Rng>(
             chosen.push(target);
             builder.add_edge(vid, target as usize);
             edge_paths.push(
-                t.edge_path().iter().map(|&(e, from, _)| {
-                    let (a, _) = g.endpoints(e);
-                    dir_key(e, a == from)
-                }).collect(),
+                t.edge_path()
+                    .iter()
+                    .map(|&(e, from, _)| {
+                        let (a, _) = g.endpoints(e);
+                        dir_key(e, a == from)
+                    })
+                    .collect(),
             );
             kept_walks.push(idx);
         }
@@ -74,7 +80,14 @@ pub fn build<R: Rng>(
     let (avg_path_len, max_path_len) = {
         let total: usize = edge_paths.iter().map(Vec::len).sum();
         let max = edge_paths.iter().map(Vec::len).max().unwrap_or(0);
-        (if edge_paths.is_empty() { 0.0 } else { total as f64 / edge_paths.len() as f64 }, max)
+        (
+            if edge_paths.is_empty() {
+                0.0
+            } else {
+                total as f64 / edge_paths.len() as f64
+            },
+            max,
+        )
     };
     let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
     let stats = LevelStats {
@@ -118,7 +131,11 @@ mod tests {
         // Every virtual node kept at least one out-edge (so min degree ≥ 1).
         assert!(stats.min_degree >= 1, "min degree {}", stats.min_degree);
         // Degrees concentrate around 2·overlay_degree.
-        assert!(stats.max_degree <= 8 * cfg.overlay_degree, "max {}", stats.max_degree);
+        assert!(
+            stats.max_degree <= 8 * cfg.overlay_degree,
+            "max {}",
+            stats.max_degree
+        );
         assert!(stats.edges >= vmap.count() * 2);
     }
 
@@ -129,18 +146,24 @@ mod tests {
         let (ov, _) = build(&g, &vmap, &cfg, &mut rng);
         for (e, a, b) in ov.graph().edges() {
             let path = ov.key_path(e, true);
-            let (src, dst) =
-                (vmap.owner(VirtualId(a.0)), vmap.owner(VirtualId(b.0)));
+            let (src, dst) = (vmap.owner(VirtualId(a.0)), vmap.owner(VirtualId(b.0)));
             // Follow the base-graph path from src; it must end at dst.
             let mut here = src;
             for key in &path {
                 let edge = crate::key_edge(*key);
                 let (x, y) = g.endpoints(edge);
-                let (from, to) = if crate::key_is_forward(*key) { (x, y) } else { (y, x) };
+                let (from, to) = if crate::key_is_forward(*key) {
+                    (x, y)
+                } else {
+                    (y, x)
+                };
                 assert_eq!(from, here, "path discontinuity on {e:?}");
                 here = to;
             }
-            assert_eq!(here, dst, "path of {e:?} ends at {here:?}, expected {dst:?}");
+            assert_eq!(
+                here, dst,
+                "path of {e:?} ends at {here:?}, expected {dst:?}"
+            );
         }
     }
 

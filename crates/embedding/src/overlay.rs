@@ -1,8 +1,8 @@
 //! One level of the hierarchy: a virtual-node graph whose edges are
 //! embedded as paths in the level below.
 
-use amt_graphs::{EdgeId, Graph};
 use crate::VirtualId;
+use amt_graphs::{EdgeId, Graph};
 
 /// Directed capacity key of an overlay (or base) edge: `edge·2 + direction`.
 ///
@@ -54,7 +54,12 @@ impl Overlay {
             graph.edge_count(),
             "one embedded path required per overlay edge"
         );
-        Overlay { level, graph, edge_paths, fallback_edges }
+        Overlay {
+            level,
+            graph,
+            edge_paths,
+            fallback_edges,
+        }
     }
 
     /// This overlay's level index (0 = `G₀`).
@@ -128,7 +133,12 @@ mod tests {
     fn tiny_overlay() -> Overlay {
         // Two virtual nodes joined by one edge embedded as keys [k0, k1].
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
-        Overlay::new(1, g, vec![vec![dir_key(EdgeId(7), true), dir_key(EdgeId(9), false)]], 0)
+        Overlay::new(
+            1,
+            g,
+            vec![vec![dir_key(EdgeId(7), true), dir_key(EdgeId(9), false)]],
+            0,
+        )
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl PortalTable {
     /// Creates a table for `vnodes` virtual nodes at partition depth
     /// `depth` with branching `beta`, initially empty.
     pub fn new(depth: u32, beta: u32, vnodes: usize) -> Self {
-        PortalTable { depth, beta, entries: vec![None; vnodes * beta as usize] }
+        PortalTable {
+            depth,
+            beta,
+            entries: vec![None; vnodes * beta as usize],
+        }
     }
 
     /// The partition depth this table serves.

@@ -67,8 +67,14 @@ mod tests {
     fn totals_add_up() {
         let mut s = BuildStats {
             levels: vec![
-                LevelStats { build_base_rounds: 10, ..Default::default() },
-                LevelStats { build_base_rounds: 5, ..Default::default() },
+                LevelStats {
+                    build_base_rounds: 10,
+                    ..Default::default()
+                },
+                LevelStats {
+                    build_base_rounds: 5,
+                    ..Default::default()
+                },
             ],
             portal_base_rounds: vec![3, 2],
             seed_broadcast_rounds: 4,

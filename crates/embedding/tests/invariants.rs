@@ -19,18 +19,27 @@ fn cfg_for(g: &Graph, beta: u32, levels: u32, seed: u64) -> HierarchyConfig {
 fn families(seed: u64) -> Vec<(&'static str, Graph)> {
     let mut rng = StdRng::seed_from_u64(seed);
     vec![
-        ("regular", generators::random_regular(48, 6, &mut rng).unwrap()),
+        (
+            "regular",
+            generators::random_regular(48, 6, &mut rng).unwrap(),
+        ),
         ("hypercube", generators::hypercube(6)),
-        ("er", generators::connected_erdos_renyi(48, 0.15, 100, &mut rng).unwrap()),
-        ("pref-attach", generators::preferential_attachment(48, 3, &mut rng).unwrap()),
+        (
+            "er",
+            generators::connected_erdos_renyi(48, 0.15, 100, &mut rng).unwrap(),
+        ),
+        (
+            "pref-attach",
+            generators::preferential_attachment(48, 3, &mut rng).unwrap(),
+        ),
     ]
 }
 
 #[test]
 fn hierarchy_builds_on_every_family() {
     for (name, g) in families(1) {
-        let h = Hierarchy::build(&g, cfg_for(&g, 4, 2, 5))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let h =
+            Hierarchy::build(&g, cfg_for(&g, 4, 2, 5)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(h.vnodes(), g.volume(), "{name}");
         assert!(h.stats.total_base_rounds > 0, "{name}");
         // Every virtual node appears in exactly one part per depth.
@@ -122,7 +131,9 @@ fn bfs_overlay_paths_connect_what_they_claim() {
     let (_, g) = families(7).remove(3);
     let h = Hierarchy::build(&g, cfg_for(&g, 4, 1, 19)).unwrap();
     let og = h.overlay(0).graph();
-    let path = h.bfs_overlay_path(0, VirtualId(0), VirtualId(17)).expect("G0 connected");
+    let path = h
+        .bfs_overlay_path(0, VirtualId(0), VirtualId(17))
+        .expect("G0 connected");
     let mut here = NodeId(0);
     for (e, fwd) in path {
         let (a, b) = og.endpoints(e);

@@ -46,7 +46,10 @@ impl fmt::Display for GraphError {
                 write!(f, "invalid generator parameters: {reason}")
             }
             GraphError::WeightCountMismatch { edges, weights } => {
-                write!(f, "weight count {weights} does not match edge count {edges}")
+                write!(
+                    f,
+                    "weight count {weights} does not match edge count {edges}"
+                )
             }
         }
     }
@@ -63,7 +66,9 @@ mod tests {
         let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
-        let e = GraphError::InvalidParameters { reason: "n*d odd".into() };
+        let e = GraphError::InvalidParameters {
+            reason: "n*d odd".into(),
+        };
         assert!(e.to_string().contains("n*d odd"));
     }
 }

@@ -19,12 +19,17 @@ use crate::{Graph, NodeId};
 /// Number of edges crossing the cut `(S, V∖S)`, where `in_s[v]` marks
 /// membership of `v` in `S`. Self-loops never cross.
 pub fn cut_size(g: &Graph, in_s: &[bool]) -> usize {
-    g.edges().filter(|&(_, u, v)| in_s[u.index()] != in_s[v.index()]).count()
+    g.edges()
+        .filter(|&(_, u, v)| in_s[u.index()] != in_s[v.index()])
+        .count()
 }
 
 /// Volume of `S`: the sum of degrees of its members.
 pub fn side_volume(g: &Graph, in_s: &[bool]) -> usize {
-    g.nodes().filter(|v| in_s[v.index()]).map(|v| g.degree(v)).sum()
+    g.nodes()
+        .filter(|v| in_s[v.index()])
+        .map(|v| g.degree(v))
+        .sum()
 }
 
 /// Exact edge expansion `h(G) = min_{1 ≤ |S| ≤ n/2} e(S, V∖S)/|S|` by
@@ -112,13 +117,15 @@ pub fn lambda2_lazy(g: &Graph, iters: usize) -> Option<f64> {
         return Some(0.0);
     }
     let sqrt_deg: Vec<f64> = g.nodes().map(|v| (g.degree(v) as f64).sqrt()).collect();
-    if sqrt_deg.iter().any(|&d| d == 0.0) {
+    if sqrt_deg.contains(&0.0) {
         return None;
     }
     let mut top: Vec<f64> = sqrt_deg.clone();
     normalize(&mut top);
     // Deterministic pseudo-random start vector orthogonalized against top.
-    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.754_877_666 + 0.1).sin()).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.754_877_666 + 0.1).sin())
+        .collect();
     project_out(&mut x, &top);
     normalize(&mut x);
     let mut lambda = 0.0f64;
@@ -169,7 +176,9 @@ pub fn lambda2_regularized(g: &Graph, iters: usize) -> Option<f64> {
         return None;
     }
     let top = vec![1.0 / (n as f64).sqrt(); n];
-    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.324_717_957 + 0.2).cos()).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 1.324_717_957 + 0.2).cos())
+        .collect();
     project_out(&mut x, &top);
     normalize(&mut x);
     let mut lambda = 0.0f64;
@@ -259,11 +268,8 @@ mod tests {
     #[test]
     fn conductance_of_dumbbell_is_bridge_limited() {
         // Two triangles joined by one edge: φ = 1/7 (cut the bridge).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
         let phi = conductance_exact(&g).unwrap();
         assert!((phi - 1.0 / 7.0).abs() < 1e-12, "phi = {phi}");
     }
@@ -321,7 +327,10 @@ mod tests {
         let g = generators::hypercube(3);
         let phi = conductance_exact(&g).unwrap();
         let (lo, hi) = conductance_spectral_bounds(&g, 500).unwrap();
-        assert!(lo <= phi + 1e-9 && phi <= hi + 1e-9, "{lo} <= {phi} <= {hi}");
+        assert!(
+            lo <= phi + 1e-9 && phi <= hi + 1e-9,
+            "{lo} <= {phi} <= {hi}"
+        );
     }
 
     #[test]

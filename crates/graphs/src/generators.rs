@@ -19,7 +19,9 @@ use std::collections::HashSet;
 /// Uses the standard geometric-skipping sampler, `O(n + m)` expected time.
 pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameters { reason: format!("p = {p} not in [0, 1]") });
+        return Err(GraphError::InvalidParameters {
+            reason: format!("p = {p} not in [0, 1]"),
+        });
     }
     let mut b = GraphBuilder::new(n);
     if p <= 0.0 || n < 2 {
@@ -94,10 +96,14 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Result<Graph> 
         return Ok(GraphBuilder::new(n).build());
     }
     if d >= n {
-        return Err(GraphError::InvalidParameters { reason: format!("d = {d} must be < n = {n}") });
+        return Err(GraphError::InvalidParameters {
+            reason: format!("d = {d} must be < n = {n}"),
+        });
     }
-    if (n * d) % 2 != 0 {
-        return Err(GraphError::InvalidParameters { reason: format!("n*d = {} is odd", n * d) });
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("n*d = {} is odd", n * d),
+        });
     }
     // Pairing: each node contributes d stubs; shuffle and pair consecutive.
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
@@ -188,7 +194,9 @@ fn norm(a: u32, b: u32) -> (u32, u32) {
 /// excellent expander for `k = Ω(log n)`.
 pub fn random_out_union<R: Rng>(n: usize, k: usize, rng: &mut R) -> Result<Graph> {
     if k >= n && n > 1 {
-        return Err(GraphError::InvalidParameters { reason: format!("k = {k} must be < n = {n}") });
+        return Err(GraphError::InvalidParameters {
+            reason: format!("k = {k} must be < n = {n}"),
+        });
     }
     let mut set: HashSet<(u32, u32)> = HashSet::new();
     for u in 0..n {
@@ -275,7 +283,9 @@ pub fn complete(n: usize) -> Graph {
 /// classic slow-mixing control.
 pub fn barbell(k: usize, bridge: usize) -> Result<Graph> {
     if k < 2 {
-        return Err(GraphError::InvalidParameters { reason: "barbell needs k >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "barbell needs k >= 2".into(),
+        });
     }
     let n = 2 * k + bridge;
     let mut b = GraphBuilder::new(n);
@@ -303,7 +313,9 @@ pub fn barbell(k: usize, bridge: usize) -> Result<Graph> {
 /// Lollipop graph: a `K_k` clique with a path of `tail` nodes attached.
 pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
     if k < 2 {
-        return Err(GraphError::InvalidParameters { reason: "lollipop needs k >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "lollipop needs k >= 2".into(),
+        });
     }
     let n = k + tail;
     let mut b = GraphBuilder::new(n);
@@ -331,7 +343,9 @@ pub fn dumbbell_expanders<R: Rng>(
     rng: &mut R,
 ) -> Result<Graph> {
     if bridges == 0 {
-        return Err(GraphError::InvalidParameters { reason: "need at least one bridge".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "need at least one bridge".into(),
+        });
     }
     let g1 = random_regular(k, d, rng)?;
     let g2 = random_regular(k, d, rng)?;
@@ -361,7 +375,9 @@ pub fn dumbbell_expanders<R: Rng>(
 /// small `m`, consistent with the usual definition).
 pub fn margulis_expander(m: usize) -> Result<Graph> {
     if m < 2 {
-        return Err(GraphError::InvalidParameters { reason: "margulis needs m >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "margulis needs m >= 2".into(),
+        });
     }
     let n = m * m;
     let id = |x: usize, y: usize| (x % m) * m + (y % m);
@@ -387,7 +403,7 @@ pub fn margulis_expander(m: usize) -> Result<Graph> {
 /// degree-proportional load experiments.
 pub fn chung_lu<R: Rng>(weights: &[f64], rng: &mut R) -> Result<Graph> {
     let n = weights.len();
-    if weights.iter().any(|&w| !(w >= 0.0) || !w.is_finite()) {
+    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
         return Err(GraphError::InvalidParameters {
             reason: "Chung-Lu weights must be finite and non-negative".into(),
         });
@@ -461,8 +477,9 @@ mod tests {
         for k in 0..(n * (n - 1) / 2) {
             seen.push(pair_from_index(n, k));
         }
-        let expect: Vec<_> =
-            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        let expect: Vec<_> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
         assert_eq!(seen, expect);
     }
 
@@ -474,7 +491,10 @@ mod tests {
         let g = erdos_renyi(n, p, &mut r).unwrap();
         let expect = (n * (n - 1) / 2) as f64 * p;
         let got = g.edge_count() as f64;
-        assert!((got - expect).abs() < 0.2 * expect, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() < 0.2 * expect,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]
@@ -583,7 +603,10 @@ mod tests {
         assert_eq!(g.len(), 128);
         assert!(g.is_connected());
         let d = crate::traversal::diameter_exact(&g).unwrap();
-        assert!(d < 20, "expander dumbbell should have small diameter, got {d}");
+        assert!(
+            d < 20,
+            "expander dumbbell should have small diameter, got {d}"
+        );
     }
 
     #[test]
@@ -617,13 +640,16 @@ mod tests {
     fn chung_lu_matches_expected_degrees() {
         let mut r = rng();
         let n = 300;
-        let weights: Vec<f64> =
-            (0..n).map(|i| if i < 10 { 30.0 } else { 5.0 }).collect();
+        let weights: Vec<f64> = (0..n).map(|i| if i < 10 { 30.0 } else { 5.0 }).collect();
         let g = chung_lu(&weights, &mut r).unwrap();
-        let hub_avg: f64 =
-            (0..10usize).map(|i| g.degree(NodeId::from(i)) as f64).sum::<f64>() / 10.0;
-        let leaf_avg: f64 =
-            (10..n as usize).map(|i| g.degree(NodeId::from(i)) as f64).sum::<f64>() / (n - 10) as f64;
+        let hub_avg: f64 = (0..10usize)
+            .map(|i| g.degree(NodeId::from(i)) as f64)
+            .sum::<f64>()
+            / 10.0;
+        let leaf_avg: f64 = (10..n as usize)
+            .map(|i| g.degree(NodeId::from(i)) as f64)
+            .sum::<f64>()
+            / (n - 10) as f64;
         assert!((hub_avg - 30.0).abs() < 10.0, "hub avg {hub_avg}");
         assert!((leaf_avg - 5.0).abs() < 2.0, "leaf avg {leaf_avg}");
         assert!(chung_lu(&[1.0, f64::NAN], &mut r).is_err());

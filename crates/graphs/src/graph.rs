@@ -74,12 +74,18 @@ impl Graph {
 
     /// The maximum degree Δ of the graph, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|v| self.degree(NodeId::from(v))).max().unwrap_or(0)
+        (0..self.len())
+            .map(|v| self.degree(NodeId::from(v)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The minimum degree of the graph, or 0 for the empty graph.
     pub fn min_degree(&self) -> usize {
-        (0..self.len()).map(|v| self.degree(NodeId::from(v))).min().unwrap_or(0)
+        (0..self.len())
+            .map(|v| self.degree(NodeId::from(v)))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Sum of degrees, `2m`; the total volume of the graph.
@@ -213,12 +219,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes and no edges yet.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with pre-allocated capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -261,7 +273,9 @@ impl GraphBuilder {
     /// for generators that must avoid parallel edges on small degree counts).
     pub fn contains_edge(&self, u: usize, v: usize) -> bool {
         let (u, v) = (u as u32, v as u32);
-        self.edges.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        self.edges
+            .iter()
+            .any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
     }
 
     /// Finalizes the CSR representation.
@@ -288,7 +302,11 @@ impl GraphBuilder {
             adjacency[cursor[v as usize]] = (u, e);
             cursor[v as usize] += 1;
         }
-        Graph { offsets, adjacency, endpoints: self.edges }
+        Graph {
+            offsets,
+            adjacency,
+            endpoints: self.edges,
+        }
     }
 }
 
@@ -325,7 +343,10 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
         assert_eq!(g.degree(NodeId(0)), 3);
         assert_eq!(g.volume(), 4);
-        let loops: Vec<_> = g.neighbors(NodeId(0)).filter(|&(w, _)| w == NodeId(0)).collect();
+        let loops: Vec<_> = g
+            .neighbors(NodeId(0))
+            .filter(|&(w, _)| w == NodeId(0))
+            .collect();
         assert_eq!(loops.len(), 2);
         assert_eq!(g.other_endpoint(EdgeId(0), NodeId(0)), NodeId(0));
     }

@@ -81,17 +81,21 @@ fn parse<R: BufRead>(input: R) -> Result<(Vec<(usize, usize, Option<u64>)>, usiz
         }
         if let Some(rest) = trimmed.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("nodes:") {
-                nodes = nodes.max(
-                    n.trim().parse::<usize>().map_err(|_| bad(i + 1, trimmed))?,
-                );
+                nodes = nodes.max(n.trim().parse::<usize>().map_err(|_| bad(i + 1, trimmed))?);
             }
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let u: usize =
-            parts.next().ok_or_else(|| bad(i + 1, trimmed))?.parse().map_err(|_| bad(i + 1, trimmed))?;
-        let v: usize =
-            parts.next().ok_or_else(|| bad(i + 1, trimmed))?.parse().map_err(|_| bad(i + 1, trimmed))?;
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| bad(i + 1, trimmed))?
+            .parse()
+            .map_err(|_| bad(i + 1, trimmed))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| bad(i + 1, trimmed))?
+            .parse()
+            .map_err(|_| bad(i + 1, trimmed))?;
         let w: Option<u64> = match parts.next() {
             Some(tok) => Some(tok.parse().map_err(|_| bad(i + 1, trimmed))?),
             None => None,

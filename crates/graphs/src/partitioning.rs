@@ -64,7 +64,7 @@ pub fn fiedler_sweep_cut(g: &Graph, power_iters: usize) -> Option<SweepCut> {
             continue;
         }
         let phi = cut as f64 / denom as f64;
-        if best.map_or(true, |(b, _)| phi < b) {
+        if best.is_none_or(|(b, _)| phi < b) {
             best = Some((phi, prefix + 1));
         }
     }
@@ -92,7 +92,9 @@ fn fiedler_order(g: &Graph, power_iters: usize) -> Option<Vec<NodeId>> {
     let sqrt_deg: Vec<f64> = g.nodes().map(|v| (g.degree(v) as f64).sqrt()).collect();
     let norm_top: f64 = sqrt_deg.iter().map(|d| d * d).sum::<f64>().sqrt();
     let top: Vec<f64> = sqrt_deg.iter().map(|d| d / norm_top).collect();
-    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.618_033_988 + 0.3).sin()).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.618_033_988 + 0.3).sin())
+        .collect();
     let mut y = vec![0.0f64; n];
     for _ in 0..power_iters {
         // y = ½(I + D^{-1/2} A D^{-1/2}) x, deflated against `top`.

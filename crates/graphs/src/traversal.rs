@@ -40,7 +40,12 @@ pub struct BfsTree {
 impl BfsTree {
     /// Height of the tree: the maximum finite depth.
     pub fn height(&self) -> u32 {
-        self.depth.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The path of nodes from `v` up to the root (inclusive on both ends).
@@ -87,7 +92,11 @@ pub fn bfs_tree(g: &Graph, root: NodeId) -> BfsTree {
             }
         }
     }
-    BfsTree { root, parent, depth }
+    BfsTree {
+        root,
+        parent,
+        depth,
+    }
 }
 
 /// A shortest (minimum-hop) path from `from` to `to` as a node sequence
@@ -104,7 +113,9 @@ pub fn is_connected(g: &Graph) -> bool {
     if g.is_empty() {
         return false;
     }
-    bfs_distances(g, NodeId(0)).iter().all(|&d| d != UNREACHABLE)
+    bfs_distances(g, NodeId(0))
+        .iter()
+        .all(|&d| d != UNREACHABLE)
 }
 
 /// Connected components: returns `(component_id_per_node, component_count)`.
@@ -154,7 +165,11 @@ pub fn diameter_double_sweep(g: &Graph, start: NodeId) -> Option<u32> {
         return None;
     }
     let d1 = bfs_distances(g, start);
-    let far = d1.iter().enumerate().max_by_key(|&(_, d)| *d).map(|(i, _)| NodeId::from(i))?;
+    let far = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, d)| *d)
+        .map(|(i, _)| NodeId::from(i))?;
     let d2 = bfs_distances(g, far);
     d2.into_iter().max()
 }
@@ -191,7 +206,7 @@ pub fn eccentricities(g: &Graph) -> Vec<u32> {
     g.nodes()
         .map(|v| {
             let d = bfs_distances(g, v);
-            if d.iter().any(|&x| x == UNREACHABLE) {
+            if d.contains(&UNREACHABLE) {
                 UNREACHABLE
             } else {
                 d.into_iter().max().unwrap_or(0)
@@ -240,7 +255,10 @@ mod tests {
         let t = bfs_tree(&g, NodeId(1));
         assert_eq!(t.height(), 2);
         assert_eq!(t.parent[0], Some((NodeId(1), EdgeId(0))));
-        assert_eq!(t.path_to_root(NodeId(3)).unwrap(), vec![NodeId(3), NodeId(2), NodeId(1)]);
+        assert_eq!(
+            t.path_to_root(NodeId(3)).unwrap(),
+            vec![NodeId(3), NodeId(2), NodeId(1)]
+        );
         let ch = t.children();
         assert_eq!(ch[1], vec![NodeId(0), NodeId(2)]);
     }
@@ -250,7 +268,10 @@ mod tests {
         let g = path_graph(4);
         let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
-        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+        assert_eq!(
+            shortest_path(&g, NodeId(2), NodeId(2)).unwrap(),
+            vec![NodeId(2)]
+        );
     }
 
     #[test]

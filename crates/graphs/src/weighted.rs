@@ -61,7 +61,9 @@ impl WeightedGraph {
 
     /// Assigns independent uniform weights in `1..=max_weight` to every edge.
     pub fn with_random_weights<R: Rng>(graph: Graph, max_weight: u64, rng: &mut R) -> Self {
-        let weights = (0..graph.edge_count()).map(|_| rng.random_range(1..=max_weight)).collect();
+        let weights = (0..graph.edge_count())
+            .map(|_| rng.random_range(1..=max_weight))
+            .collect();
         WeightedGraph { graph, weights }
     }
 
@@ -123,7 +125,7 @@ impl WeightedGraph {
         for (w, e) in self.graph.neighbors(v) {
             if w != v && pred(w) {
                 let cw = self.canonical_weight(e);
-                if best.map_or(true, |(b, _)| cw < b) {
+                if best.is_none_or(|(b, _)| cw < b) {
                     best = Some((cw, w));
                 }
             }
@@ -153,7 +155,13 @@ mod tests {
     fn mismatched_weight_count_rejected() {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let err = WeightedGraph::new(g, vec![1, 2]).unwrap_err();
-        assert_eq!(err, GraphError::WeightCountMismatch { edges: 1, weights: 2 });
+        assert_eq!(
+            err,
+            GraphError::WeightCountMismatch {
+                edges: 1,
+                weights: 2
+            }
+        );
     }
 
     #[test]

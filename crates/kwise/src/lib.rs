@@ -154,8 +154,16 @@ impl PartitionHash {
         assert!(levels >= 1, "levels must be at least 1");
         let leaf_count = (0..levels).try_fold(1u64, |acc, _| acc.checked_mul(u64::from(beta)));
         let leaf_count = leaf_count.expect("beta^levels overflows u64");
-        assert!(leaf_count < (1 << 50), "beta^levels too close to field size");
-        PartitionHash { hash: KWiseHash::from_seed(independence, seed), beta, levels, leaf_count }
+        assert!(
+            leaf_count < (1 << 50),
+            "beta^levels too close to field size"
+        );
+        PartitionHash {
+            hash: KWiseHash::from_seed(independence, seed),
+            beta,
+            levels,
+            leaf_count,
+        }
     }
 
     /// Branching factor β.
@@ -189,7 +197,10 @@ impl PartitionHash {
     ///
     /// Panics if `level` is 0 or exceeds `levels`.
     pub fn label_at(&self, id: u64, level: u32) -> u32 {
-        assert!((1..=self.levels).contains(&level), "level {level} out of range");
+        assert!(
+            (1..=self.levels).contains(&level),
+            "level {level} out of range"
+        );
         let leaf = self.leaf(id);
         let shift = self.levels - level;
         let mut v = leaf;
@@ -229,7 +240,10 @@ impl PartitionHash {
 pub fn paper_parameters(n: usize) -> (u32, u32) {
     let n = n.max(4) as f64;
     let log_n = n.log2();
-    let beta_exp = (log_n * log_n.log2().max(1.0)).sqrt().round().clamp(1.0, 16.0);
+    let beta_exp = (log_n * log_n.log2().max(1.0))
+        .sqrt()
+        .round()
+        .clamp(1.0, 16.0);
     let mut beta = 2f64.powf(beta_exp) as u32;
     // Keep a single level meaningful on small inputs: β at most n/8.
     while beta > 2 && f64::from(beta) > n / 8.0 {
@@ -257,7 +271,11 @@ mod tests {
         assert_eq!(add_mod(FIELD_PRIME - 1, 1), 0);
         assert_eq!(mul_mod(0, 12345), 0);
         // Associativity spot check.
-        let (a, b, c) = (0x1234_5678_9abc_u64, 0x0fed_cba9_8765_u64, 0x1111_2222_3333_u64);
+        let (a, b, c) = (
+            0x1234_5678_9abc_u64,
+            0x0fed_cba9_8765_u64,
+            0x1111_2222_3333_u64,
+        );
         assert_eq!(mul_mod(mul_mod(a, b), c), mul_mod(a, mul_mod(b, c)));
     }
 
@@ -322,7 +340,11 @@ mod tests {
                 *counts.entry(p.part_at(id, depth)).or_insert(0) += 1;
             }
             let parts = p.parts_at(depth);
-            assert_eq!(counts.len() as u64, parts, "every part non-empty at depth {depth}");
+            assert_eq!(
+                counts.len() as u64,
+                parts,
+                "every part non-empty at depth {depth}"
+            );
             let expect = m as f64 / parts as f64;
             for (&part, &c) in &counts {
                 assert!(

@@ -78,7 +78,10 @@ mod tests {
         let c = TabulationHash::from_seed(2);
         assert_eq!(a.eval(12345), b.eval(12345));
         let same = (0..64u64).filter(|&x| a.eval(x) == c.eval(x)).count();
-        assert!(same < 4, "different seeds should disagree, {same} collisions");
+        assert!(
+            same < 4,
+            "different seeds should disagree, {same} collisions"
+        );
     }
 
     #[test]

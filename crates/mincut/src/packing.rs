@@ -58,7 +58,9 @@ pub fn tree_packing_min_cut(
 ) -> Result<MinCutResult> {
     g.require_connected()?;
     if trees == 0 {
-        return Err(MinCutError::InvalidParameters { reason: "trees must be ≥ 1".into() });
+        return Err(MinCutError::InvalidParameters {
+            reason: "trees must be ≥ 1".into(),
+        });
     }
     if capacities.len() != g.edge_count() {
         return Err(MinCutError::InvalidParameters {
@@ -77,15 +79,12 @@ pub fn tree_packing_min_cut(
         let weights: Vec<u64> = load
             .iter()
             .zip(capacities)
-            .map(|(&l, &c)| if c == 0 { u64::MAX >> 1 } else { (l << 16) / c })
+            .map(|(&l, &c)| (l << 16).checked_div(c).unwrap_or(u64::MAX >> 1))
             .collect();
         let wg = WeightedGraph::new(g.clone(), weights).expect("validated length");
         let tree = match oracle {
-            MstOracle::Centralized => {
-                reference::kruskal(&wg).ok_or(MinCutError::Graph(
-                    amt_graphs::GraphError::Disconnected,
-                ))?
-            }
+            MstOracle::Centralized => reference::kruskal(&wg)
+                .ok_or(MinCutError::Graph(amt_graphs::GraphError::Disconnected))?,
             MstOracle::AlmostMixing(h, seed) => {
                 let out = AlmostMixingMst::new(h)
                     .run(&wg, seed ^ u64::from(t))
@@ -98,12 +97,17 @@ pub fn tree_packing_min_cut(
             load[e.index()] += 1;
         }
         let (val, side) = best_one_respecting_cut(g, capacities, &tree);
-        if best.as_ref().map_or(true, |(b, _)| val < *b) {
+        if best.as_ref().is_none_or(|(b, _)| val < *b) {
             best = Some((val, side));
         }
     }
     let (value, side) = best.expect("trees ≥ 1");
-    Ok(MinCutResult { value, side, trees_packed: trees, rounds })
+    Ok(MinCutResult {
+        value,
+        side,
+        trees_packed: trees,
+        rounds,
+    })
 }
 
 /// The minimum 1-respecting cut of spanning tree `tree`: for every tree
@@ -113,11 +117,7 @@ pub fn tree_packing_min_cut(
 /// crosses the cut of tree edge `e` iff `e` lies on the tree path `u…v`;
 /// path increments with LCA subtraction and a subtree-sum sweep price all
 /// cuts in `O(m·h + n)`.
-fn best_one_respecting_cut(
-    g: &Graph,
-    capacities: &[u64],
-    tree: &[EdgeId],
-) -> (u64, Vec<NodeId>) {
+fn best_one_respecting_cut(g: &Graph, capacities: &[u64], tree: &[EdgeId]) -> (u64, Vec<NodeId>) {
     let n = g.len();
     // Children/parent structure of the tree, rooted at 0.
     let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (peer, edge)
@@ -314,8 +314,7 @@ mod tests {
         let h = Hierarchy::build(&g, cfg).unwrap();
         let caps = unit(&g);
         let exact = stoer_wagner(&g, &caps).unwrap().0;
-        let r =
-            tree_packing_min_cut(&g, &caps, 3, &MstOracle::AlmostMixing(&h, 7)).unwrap();
+        let r = tree_packing_min_cut(&g, &caps, 3, &MstOracle::AlmostMixing(&h, 7)).unwrap();
         assert!(r.rounds > 0, "distributed packing must cost rounds");
         assert!(r.value >= exact);
         assert!(r.value <= 3 * exact.max(1));

@@ -70,7 +70,12 @@ pub fn karger_estimate<R: Rng>(g: &Graph, epsilon: f64, rng: &mut R) -> Result<S
         // sampling density was sufficient); otherwise λ is smaller than
         // guessed — drop the guess and densify.
         if p >= 1.0 || estimate >= 0.5 * guess {
-            return Ok(SampledCut { estimate, p, skeleton_edges: skeleton.edge_count(), guesses });
+            return Ok(SampledCut {
+                estimate,
+                p,
+                skeleton_edges: skeleton.edge_count(),
+                guesses,
+            });
         }
         guess = (guess / 2.0).max(estimate).max(1.0);
     }
@@ -110,15 +115,17 @@ mod tests {
         for (g, seed) in [
             (generators::complete(48), 2u64),
             (generators::hypercube(7), 3u64),
-            (generators::random_regular(96, 16, &mut StdRng::seed_from_u64(9)).unwrap(), 4u64),
+            (
+                generators::random_regular(96, 16, &mut StdRng::seed_from_u64(9)).unwrap(),
+                4u64,
+            ),
         ] {
             let caps = vec![1u64; g.edge_count()];
             let exact = stoer_wagner(&g, &caps).unwrap().0 as f64;
             let mut rng = StdRng::seed_from_u64(seed);
             let r = karger_estimate(&g, eps, &mut rng).unwrap();
             assert!(
-                r.estimate >= (1.0 - 2.0 * eps) * exact
-                    && r.estimate <= (1.0 + 2.0 * eps) * exact,
+                r.estimate >= (1.0 - 2.0 * eps) * exact && r.estimate <= (1.0 + 2.0 * eps) * exact,
                 "estimate {} vs exact {exact} (n = {})",
                 r.estimate,
                 g.len()
@@ -140,7 +147,11 @@ mod tests {
             g.edge_count()
         );
         let exact = 127.0;
-        assert!((r.estimate - exact).abs() <= 1.0 * exact, "estimate {}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() <= 1.0 * exact,
+            "estimate {}",
+            r.estimate
+        );
     }
 
     #[test]

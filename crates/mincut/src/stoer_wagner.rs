@@ -75,7 +75,7 @@ pub fn stoer_wagner(g: &Graph, capacities: &[u64]) -> Option<(u64, Vec<NodeId>)>
         let s = order[order.len() - 2];
         let cut_of_phase = weight_to_a[t];
         let side: Vec<NodeId> = groups[t].iter().map(|&v| NodeId(v)).collect();
-        if best.as_ref().map_or(true, |(b, _)| cut_of_phase < *b) {
+        if best.as_ref().is_none_or(|(b, _)| cut_of_phase < *b) {
             best = Some((cut_of_phase, side));
         }
         // Contract t into s.
@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(val, 1);
         let mut ids: Vec<u32> = side.iter().map(|v| v.0).collect();
         ids.sort_unstable();
-        assert!(ids == vec![0, 1, 2] || ids == vec![3, 4, 5], "side = {ids:?}");
+        assert!(
+            ids == vec![0, 1, 2] || ids == vec![3, 4, 5],
+            "side = {ids:?}"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl<'h, 'g> AlmostMixingMst<'h, 'g> {
         let n = hierarchy.base().len();
         Self::with_router_config(
             hierarchy,
-            RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+            RouterConfig {
+                emulation: EmulationMode::Exact,
+                ..RouterConfig::for_n(n)
+            },
         )
     }
 
@@ -149,11 +152,16 @@ impl<'h, 'g> AlmostMixingMst<'h, 'g> {
                 break;
             }
             if iterations >= self.iteration_cap {
-                return Err(MstError::TooManyIterations { cap: self.iteration_cap });
+                return Err(MstError::TooManyIterations {
+                    cap: self.iteration_cap,
+                });
             }
             iterations += 1;
             let iter_instances_before = self.instances.get();
-            let mut it = IterationStats { components_before, ..Default::default() };
+            let mut it = IterationStats {
+                components_before,
+                ..Default::default()
+            };
 
             // (1) Fragment-id exchange with all neighbors: one round.
             rounds += 1;
@@ -287,8 +295,14 @@ impl<'h, 'g> AlmostMixingMst<'h, 'g> {
         max_d: u32,
         rng: &mut StdRng,
     ) -> Result<u64> {
-        let mut tokens: Vec<Token> =
-            token_sites.iter().map(|&v| Token { creation: v, pos: v, alive: true }).collect();
+        let mut tokens: Vec<Token> = token_sites
+            .iter()
+            .map(|&v| Token {
+                creation: v,
+                pos: v,
+                alive: true,
+            })
+            .collect();
         let mut rounds = 0u64;
         for s in (1..=max_d).rev() {
             // Tokens sitting at depth s move to their parents.
@@ -352,7 +366,11 @@ impl<'h, 'g> AlmostMixingMst<'h, 'g> {
                 for i in stationary {
                     tokens[i].alive = false;
                 }
-                tokens.push(Token { creation: dest, pos: dest, alive: true });
+                tokens.push(Token {
+                    creation: dest,
+                    pos: dest,
+                    alive: true,
+                });
             }
         }
         Ok(rounds)
@@ -364,9 +382,7 @@ fn level_edges(parent: &[Option<u32>], depth: &[u32], s: u32) -> Vec<(u32, u32)>
     parent
         .iter()
         .enumerate()
-        .filter_map(|(v, p)| {
-            p.filter(|_| depth[v] == s).map(|p| (v as u32, p))
-        })
+        .filter_map(|(v, p)| p.filter(|_| depth[v] == s).map(|p| (v as u32, p)))
         .collect()
 }
 
@@ -375,9 +391,7 @@ fn level_edges_down(parent: &[Option<u32>], depth: &[u32], s: u32) -> Vec<(u32, 
     parent
         .iter()
         .enumerate()
-        .filter_map(|(v, p)| {
-            p.filter(|_| depth[v] == s).map(|p| (p, v as u32))
-        })
+        .filter_map(|(v, p)| p.filter(|_| depth[v] == s).map(|p| (p, v as u32)))
         .collect()
 }
 

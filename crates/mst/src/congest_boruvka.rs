@@ -88,7 +88,10 @@ pub(crate) fn min_flood(
     let mut sim = Simulator::new(g, nodes, seed)?;
     // Candidate values carry (weight, edge id); allow the wider encoding —
     // still O(log n) bits for polynomially bounded weights.
-    let cfg = RunConfig { budget_factor: 24, ..RunConfig::default() };
+    let cfg = RunConfig {
+        budget_factor: 24,
+        ..RunConfig::default()
+    };
     let metrics = sim.run(&cfg)?;
     Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))
 }
@@ -173,7 +176,12 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<CongestMstOutcome> {
 
         // Flood new fragment labels (min node id) over the grown forest.
         let label_init: Vec<u64> = (0..n as u64).collect();
-        let (labels, m2) = min_flood(wg, &forest, &label_init, seed ^ 0xF00D ^ u64::from(iterations))?;
+        let (labels, m2) = min_flood(
+            wg,
+            &forest,
+            &label_init,
+            seed ^ 0xF00D ^ u64::from(iterations),
+        )?;
         metrics = metrics.then(m2);
         comp = labels;
     }

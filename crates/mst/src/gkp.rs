@@ -136,10 +136,11 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
             }
         }
         let mut items: Vec<Vec<u64>> = vec![Vec::new(); n];
-        for (_, &(_, e, v)) in &best {
+        for &(_, e, v) in best.values() {
             items[v.index()].push(u64::from(e.0));
         }
-        let (collected, m_up) = primitives::pipelined_upcast(g, &tree, items, seed ^ u64::from(iters2))?;
+        let (collected, m_up) =
+            primitives::pipelined_upcast(g, &tree, items, seed ^ u64::from(iters2))?;
         phase2 = phase2.then(m_up);
 
         // The root merges centrally (it knows the collected edges).
@@ -161,7 +162,8 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
         }
 
         // Pipelined downcast of the selected edge ids.
-        let (_, m_down) = primitives::pipelined_downcast(g, &tree, selected, seed ^ 0xD0 ^ u64::from(iters2))?;
+        let (_, m_down) =
+            primitives::pipelined_downcast(g, &tree, selected, seed ^ 0xD0 ^ u64::from(iters2))?;
         phase2 = phase2.then(m_down);
 
         // Relabel fragments centrally (nodes learn their fragment from the
@@ -171,8 +173,8 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
             let (u, v) = g.endpoints(e);
             uf2.union(u.index(), v.index());
         }
-        for v in 0..n {
-            comp[v] = uf2.find(v) as u64;
+        for (v, c) in comp.iter_mut().enumerate() {
+            *c = uf2.find(v) as u64;
         }
     }
 

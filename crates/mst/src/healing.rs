@@ -1,0 +1,526 @@
+//! Self-healing Borůvka MST under injected faults.
+//!
+//! The baseline in [`crate::congest_boruvka`] assumes pristine links; this
+//! module runs the same fragment-flooding Borůvka over the fault-injected
+//! simulator and degrades gracefully instead of wedging:
+//!
+//! * every flooding phase rides on the [`ReliableLink`] ARQ sublayer, so
+//!   message drops, single-bit corruption (detected by the frame checksum)
+//!   and bounded delays cost retransmissions and rounds — never a wrong
+//!   fragment minimum;
+//! * crash-stop failures are detected after each phase; since fragment
+//!   labels are minimum node ids, a crashed minimum-id node **is** a lost
+//!   fragment leader. The response is a **phase restart**: dead nodes and
+//!   their forest edges are pruned, labels are re-flooded over the pruned
+//!   forest, and the interrupted Borůvka phase re-runs on the survivors —
+//!   correct-but-slower, with every restart counted in
+//!   [`HealedMstOutcome::phase_restarts`];
+//! * the final tree is the exact MST of the surviving induced subgraph (the
+//!   tests check it against Kruskal on the survivors).
+//!
+//! If the crashes disconnect the survivors, the run fails fast with
+//! [`CongestError::NodeCrashed`] naming the responsible node, round, and
+//! fault seed — an impossible instance, not a hang.
+
+use crate::congest_boruvka::{decode_edge, encode};
+use crate::reference::UnionFind;
+use crate::{MstError, Result};
+use amt_congest::{
+    bits_for_value, CongestError, Ctx, FaultKind, FaultPlan, Metrics, Protocol, Reliable,
+    ReliableLink, RunConfig, Simulator, StopCondition,
+};
+use amt_graphs::{EdgeId, NodeId, WeightedGraph};
+use std::collections::{HashMap, HashSet};
+
+/// "No outgoing candidate" sentinel — the largest value the 34-bit ARQ
+/// payload field can carry, so it loses every `min`.
+const NO_CANDIDATE: u64 = (1 << 34) - 1;
+
+/// Min-flooding over a port subset, carried by per-edge ARQ links.
+struct ReliableMinFlood {
+    link: ReliableLink<u64>,
+    active_ports: Vec<usize>,
+    value: u64,
+    fresh: bool,
+}
+
+impl ReliableMinFlood {
+    fn spread(&mut self) {
+        for p in self.active_ports.clone() {
+            self.link.send(p, self.value);
+        }
+    }
+}
+
+impl Protocol for ReliableMinFlood {
+    type Message = Reliable<u64>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Reliable<u64>>) {
+        if self.fresh {
+            self.fresh = false;
+            self.spread();
+        }
+        self.link.pump(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Reliable<u64>>, inbox: &[(usize, Reliable<u64>)]) {
+        let mut improved = false;
+        for (_, v) in self.link.deliver(inbox) {
+            if v < self.value {
+                self.value = v;
+                improved = true;
+            }
+        }
+        if improved {
+            self.spread();
+        }
+        self.link.pump(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.link.idle()
+    }
+}
+
+/// One reliable flooding phase over `active` forest edges, excluding dead
+/// nodes; returns converged values, metrics, and any *new* crashes the
+/// phase's slice of the fault schedule injected.
+#[allow(clippy::too_many_arguments)]
+fn reliable_min_flood(
+    wg: &WeightedGraph,
+    active: &HashSet<EdgeId>,
+    dead: &[bool],
+    init: &[u64],
+    seed: u64,
+    plan: &FaultPlan,
+    elapsed: u64,
+    crash_rounds: &mut HashMap<u32, u64>,
+) -> Result<(Vec<u64>, Metrics, Vec<NodeId>)> {
+    let g = wg.graph();
+    let timeout = 4 + 2 * plan.max_delay;
+    let nodes = g
+        .nodes()
+        .map(|v| ReliableMinFlood {
+            link: ReliableLink::new(g.degree(v), timeout, 8),
+            active_ports: g
+                .neighbors(v)
+                .enumerate()
+                .filter(|(_, (w, e))| active.contains(e) && !dead[w.index()])
+                .map(|(p, _)| p)
+                .collect(),
+            value: init[v.index()],
+            fresh: !dead[v.index()],
+        })
+        .collect();
+    // This phase sees the tail of the global fault schedule: already-dead
+    // nodes stay crashed from round 0, pending crashes fire once the
+    // computation's global clock (elapsed + local round) reaches them.
+    let mut phase_plan = plan.clone();
+    phase_plan.seed = plan.seed ^ elapsed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for c in &mut phase_plan.crashes {
+        c.round = if dead[c.node.index()] {
+            0
+        } else {
+            c.round.saturating_sub(elapsed)
+        };
+    }
+    let mut sim = Simulator::new(g, nodes, seed)?.with_fault_plan(phase_plan);
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        budget_factor: 32,
+        max_rounds: 500_000,
+    };
+    let metrics = sim.run(&cfg)?;
+    for e in sim.fault_events() {
+        if matches!(e.kind, FaultKind::Crashed) {
+            crash_rounds.entry(e.node.0).or_insert(elapsed + e.round);
+        }
+    }
+    let new_crashes = sim
+        .crashed_nodes()
+        .into_iter()
+        .filter(|v| !dead[v.index()])
+        .collect();
+    Ok((
+        sim.nodes().iter().map(|p| p.value).collect(),
+        metrics,
+        new_crashes,
+    ))
+}
+
+/// Outcome of the self-healing Borůvka run.
+#[derive(Clone, Debug)]
+pub struct HealedMstOutcome {
+    /// MST edges of the **surviving** induced subgraph (sorted).
+    pub tree_edges: Vec<EdgeId>,
+    /// Total weight of those edges.
+    pub total_weight: u64,
+    /// Measured rounds over all phases, restarts included.
+    pub rounds: u64,
+    /// Borůvka iterations completed (restarted phases re-count).
+    pub iterations: u32,
+    /// Phases re-run because a crash landed mid-phase.
+    pub phase_restarts: u32,
+    /// Nodes lost to the fault plan.
+    pub crashed_nodes: Vec<NodeId>,
+    /// Full accumulated metrics (messages, bits, fault counters).
+    pub metrics: Metrics,
+}
+
+/// Runs fault-tolerant Borůvka over `wg` under `plan`.
+///
+/// # Errors
+///
+/// [`MstError::Graph`] on disconnected input, [`MstError::Congest`] on
+/// simulator violations or invalid plans — including
+/// [`CongestError::NodeCrashed`] when the crashes disconnect the surviving
+/// subgraph — and [`MstError::TooManyIterations`] as a bug guard.
+pub fn run_healing(wg: &WeightedGraph, seed: u64, plan: FaultPlan) -> Result<HealedMstOutcome> {
+    let g = wg.graph();
+    g.require_connected()?;
+    let n = g.len();
+    plan.validate(n).map_err(MstError::Congest)?;
+    let bits = bits_for_value(wg.edge_count() as u64) + 1;
+    if let Some(&max_w) = wg.weights().iter().max() {
+        assert!(
+            ((max_w << bits) | ((1 << bits) - 1)) < NO_CANDIDATE,
+            "candidate encoding must fit the 34-bit ARQ payload"
+        );
+    }
+
+    let mut comp: Vec<u64> = (0..n as u64).collect();
+    let mut forest: HashSet<EdgeId> = HashSet::new();
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut metrics = Metrics::default();
+    let mut iterations = 0u32;
+    let mut phase_restarts = 0u32;
+    let mut dead = vec![false; n];
+    let mut crash_rounds: HashMap<u32, u64> = HashMap::new();
+    let mut elapsed = 0u64;
+    let mut labels_stale = false;
+    // Restarts re-run phases, so budget them on top of the usual cap.
+    let cap = 2 * (n.max(2) as f64).log2().ceil() as u32 + 10 + 2 * plan.crashes.len() as u32;
+
+    // Prunes the state after newly detected crashes; errors out if the
+    // survivors are disconnected.
+    let prune = |new_crashes: &[NodeId],
+                 dead: &mut Vec<bool>,
+                 forest: &mut HashSet<EdgeId>,
+                 tree_edges: &mut Vec<EdgeId>,
+                 crash_rounds: &HashMap<u32, u64>|
+     -> Result<()> {
+        for v in new_crashes {
+            dead[v.index()] = true;
+        }
+        forest.retain(|&e| {
+            let (u, v) = g.endpoints(e);
+            !dead[u.index()] && !dead[v.index()]
+        });
+        tree_edges.retain(|e| forest.contains(e));
+        // The survivors must stay connected for an MST to exist.
+        if let Some(first_live) = (0..n).find(|&v| !dead[v]) {
+            let mut seen = vec![false; n];
+            let mut stack = vec![NodeId::from(first_live)];
+            seen[first_live] = true;
+            while let Some(v) = stack.pop() {
+                for (w, _) in g.neighbors(v) {
+                    if !dead[w.index()] && !seen[w.index()] {
+                        seen[w.index()] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            if (0..n).any(|v| !dead[v] && !seen[v]) {
+                let &culprit = new_crashes
+                    .last()
+                    .expect("disconnection implies a new crash");
+                return Err(MstError::Congest(CongestError::NodeCrashed {
+                    node: culprit,
+                    round: crash_rounds.get(&culprit.0).copied().unwrap_or(0),
+                    seed: plan.seed,
+                }));
+            }
+        }
+        Ok(())
+    };
+
+    loop {
+        if labels_stale {
+            // Phase restart: re-establish fragment labels on the pruned
+            // forest before resuming Borůvka.
+            let label_init: Vec<u64> = (0..n as u64).collect();
+            let (labels, m, crashes) = reliable_min_flood(
+                wg,
+                &forest,
+                &dead,
+                &label_init,
+                seed ^ 0xBEEF ^ elapsed,
+                &plan,
+                elapsed,
+                &mut crash_rounds,
+            )?;
+            elapsed += m.rounds;
+            metrics = metrics.then(m);
+            if !crashes.is_empty() {
+                prune(
+                    &crashes,
+                    &mut dead,
+                    &mut forest,
+                    &mut tree_edges,
+                    &crash_rounds,
+                )?;
+                phase_restarts += 1;
+                continue;
+            }
+            comp = labels;
+            labels_stale = false;
+        }
+
+        let live_fragments: HashSet<u64> = (0..n).filter(|&v| !dead[v]).map(|v| comp[v]).collect();
+        if live_fragments.len() <= 1 {
+            break;
+        }
+        if iterations >= cap {
+            return Err(MstError::TooManyIterations { cap });
+        }
+        iterations += 1;
+
+        // Fragment-id exchange with live neighbors (1 round).
+        metrics.rounds += 1;
+        elapsed += 1;
+
+        // Per-node candidate: minimum edge out of the fragment, toward a
+        // live node.
+        let init: Vec<u64> = g
+            .nodes()
+            .map(|v| {
+                if dead[v.index()] {
+                    return NO_CANDIDATE;
+                }
+                wg.min_incident_edge(v, |w| {
+                    !dead[w.index()] && comp[w.index()] != comp[v.index()]
+                })
+                .map_or(NO_CANDIDATE, |(e, _)| encode(wg, e))
+            })
+            .collect();
+        let (vals, m1, crashes) = reliable_min_flood(
+            wg,
+            &forest,
+            &dead,
+            &init,
+            seed ^ u64::from(iterations),
+            &plan,
+            elapsed,
+            &mut crash_rounds,
+        )?;
+        elapsed += m1.rounds;
+        metrics = metrics.then(m1);
+        if !crashes.is_empty() {
+            // A fragment member — possibly the minimum-id leader — died
+            // mid-phase; the partial minima are untrustworthy. Restart.
+            prune(
+                &crashes,
+                &mut dead,
+                &mut forest,
+                &mut tree_edges,
+                &crash_rounds,
+            )?;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+
+        // Merge along every fragment's minimum outgoing edge (central
+        // bookkeeping, as in the baseline harness).
+        let mut uf = UnionFind::new(n);
+        for &e in &forest {
+            let (u, v) = g.endpoints(e);
+            uf.union(u.index(), v.index());
+        }
+        let mut merged = false;
+        for v in 0..n {
+            if dead[v] || vals[v] == NO_CANDIDATE {
+                continue;
+            }
+            let e = decode_edge(wg, vals[v]);
+            let (a, b) = g.endpoints(e);
+            if uf.union(a.index(), b.index()) {
+                forest.insert(e);
+                tree_edges.push(e);
+                merged = true;
+            }
+        }
+        debug_assert!(
+            merged,
+            "a fault-free phase must merge at least one fragment"
+        );
+
+        // Flood the new fragment labels (minimum surviving node id).
+        let label_init: Vec<u64> = (0..n as u64).collect();
+        let (labels, m2, crashes) = reliable_min_flood(
+            wg,
+            &forest,
+            &dead,
+            &label_init,
+            seed ^ 0xF00D ^ u64::from(iterations),
+            &plan,
+            elapsed,
+            &mut crash_rounds,
+        )?;
+        elapsed += m2.rounds;
+        metrics = metrics.then(m2);
+        if !crashes.is_empty() {
+            prune(
+                &crashes,
+                &mut dead,
+                &mut forest,
+                &mut tree_edges,
+                &crash_rounds,
+            )?;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        comp = labels;
+    }
+
+    metrics.crashed = dead.iter().filter(|&&d| d).count() as u64;
+    tree_edges.sort_unstable();
+    Ok(HealedMstOutcome {
+        total_weight: wg.total_weight(&tree_edges),
+        tree_edges,
+        rounds: metrics.rounds,
+        iterations,
+        phase_restarts,
+        crashed_nodes: (0..n).filter(|&v| dead[v]).map(NodeId::from).collect(),
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{congest_boruvka, reference};
+    use amt_graphs::{generators, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Kruskal restricted to the surviving induced subgraph, by canonical
+    /// (weight, edge-id) order — the unique MST the healed run must find.
+    fn kruskal_on_survivors(wg: &WeightedGraph, dead: &[NodeId]) -> Vec<EdgeId> {
+        let g = wg.graph();
+        let gone: HashSet<NodeId> = dead.iter().copied().collect();
+        let mut edges: Vec<EdgeId> = g
+            .edges()
+            .filter(|(_, u, v)| !gone.contains(u) && !gone.contains(v))
+            .map(|(e, _, _)| e)
+            .collect();
+        edges.sort_unstable_by_key(|&e| encode(wg, e));
+        let mut uf = UnionFind::new(g.len());
+        let mut tree = Vec::new();
+        for e in edges {
+            let (u, v) = g.endpoints(e);
+            if uf.union(u.index(), v.index()) {
+                tree.push(e);
+            }
+        }
+        tree.sort_unstable();
+        tree
+    }
+
+    #[test]
+    fn fault_free_healing_matches_the_baseline() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = generators::connected_erdos_renyi(40, 0.15, 50, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 1000, &mut rng);
+        let healed = run_healing(&wg, 7, FaultPlan::none()).unwrap();
+        let baseline = congest_boruvka::run(&wg, 7).unwrap();
+        assert_eq!(healed.tree_edges, baseline.tree_edges);
+        assert_eq!(healed.phase_restarts, 0);
+        assert!(healed.crashed_nodes.is_empty());
+        assert_eq!(healed.metrics.message_faults(), 0);
+        assert!(reference::verify_mst(&wg, &healed.tree_edges));
+    }
+
+    #[test]
+    fn mst_survives_drops_and_corruption() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generators::random_regular(48, 6, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 500, &mut rng);
+        let plan = FaultPlan::none()
+            .seeded(13)
+            .with_drops(0.05)
+            .with_corruption(0.02);
+        let healed = run_healing(&wg, 3, plan).unwrap();
+        assert!(healed.metrics.dropped > 0);
+        assert_eq!(healed.tree_edges, reference::kruskal(&wg).unwrap());
+        // Reliability costs rounds, never correctness.
+        let clean = congest_boruvka::run(&wg, 3).unwrap();
+        assert!(healed.rounds >= clean.rounds);
+    }
+
+    #[test]
+    fn fragment_leader_crash_restarts_the_phase() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = generators::random_regular(48, 6, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 500, &mut rng);
+        // Node 0 is the minimum id — the implicit leader of its fragment
+        // (labels are min ids). Crash it mid-computation.
+        let plan = FaultPlan::none().seeded(5).with_crash(NodeId(0), 10);
+        let healed = run_healing(&wg, 9, plan).unwrap();
+        assert_eq!(healed.crashed_nodes, vec![NodeId(0)]);
+        assert!(healed.phase_restarts >= 1, "a mid-phase crash must restart");
+        assert_eq!(
+            healed.tree_edges,
+            kruskal_on_survivors(&wg, &healed.crashed_nodes),
+            "result must be the exact MST of the survivors"
+        );
+    }
+
+    #[test]
+    fn healing_replays_deterministically() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = generators::random_regular(32, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 200, &mut rng);
+        let plan = FaultPlan::none()
+            .seeded(77)
+            .with_drops(0.1)
+            .with_crash(NodeId(3), 8);
+        let a = run_healing(&wg, 2, plan.clone()).unwrap();
+        let b = run_healing(&wg, 2, plan).unwrap();
+        assert_eq!(a.tree_edges, b.tree_edges);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.phase_restarts, b.phase_restarts);
+    }
+
+    #[test]
+    fn disconnecting_crash_fails_fast_with_context() {
+        // A dumbbell: node 4 bridges two triangles; crashing it disconnects.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 4),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+                (3, 0),
+                (8, 5),
+            ],
+        )
+        .unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 100, &mut StdRng::seed_from_u64(45));
+        let plan = FaultPlan::none().seeded(1).with_crash(NodeId(4), 2);
+        let err = run_healing(&wg, 1, plan).unwrap_err();
+        match err {
+            MstError::Congest(CongestError::NodeCrashed { node, seed, .. }) => {
+                assert_eq!(node, NodeId(4));
+                assert_eq!(seed, 1);
+            }
+            other => panic!("expected NodeCrashed, got {other:?}"),
+        }
+    }
+}

@@ -24,11 +24,13 @@ mod error;
 pub mod almost_mixing;
 pub mod congest_boruvka;
 pub mod gkp;
+pub mod healing;
 pub mod reference;
 pub mod verification;
 
 pub use almost_mixing::{AlmostMixingMst, AmtMstOutcome, IterationStats};
 pub use error::MstError;
+pub use healing::{run_healing, HealedMstOutcome};
 
 /// Result alias for MST operations.
 pub type Result<T> = std::result::Result<T, MstError>;

@@ -17,7 +17,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     /// Representative of `x`'s set.
@@ -36,7 +40,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         self.components -= 1;

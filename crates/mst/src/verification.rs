@@ -18,7 +18,7 @@
 
 use crate::Result;
 use amt_congest::{primitives, Metrics};
-use amt_graphs::{EdgeId, Graph, NodeId};
+use amt_graphs::{EdgeId, Graph};
 use std::collections::HashSet;
 
 /// Outcome of the distributed verification.
@@ -84,14 +84,17 @@ pub fn verify_spanning_tree_distributed(
 
     let claimed_deg: Vec<u64> = g
         .nodes()
-        .map(|v| g.neighbors(v).filter(|(_, e)| claimed_set.contains(e)).count() as u64)
+        .map(|v| {
+            g.neighbors(v)
+                .filter(|(_, e)| claimed_set.contains(e))
+                .count() as u64
+        })
         .collect();
     let (twice_edges, m4) =
         primitives::aggregate_to_all(g, &tree, &claimed_deg, u64::wrapping_add, seed ^ 0x01)?;
     metrics = metrics.then(m4);
 
-    let reps: Vec<u64> =
-        (0..n).map(|v| u64::from(labels[v] == v as u64)).collect();
+    let reps: Vec<u64> = (0..n).map(|v| u64::from(labels[v] == v as u64)).collect();
     let (components, m5) =
         primitives::aggregate_to_all(g, &tree, &reps, u64::wrapping_add, seed ^ 0x02)?;
     metrics = metrics.then(m5);

@@ -20,7 +20,10 @@ fn hierarchy_cfg(g: &Graph, seed: u64) -> HierarchyConfig {
 fn all_three_algorithms_agree_across_families() {
     let mut rng = StdRng::seed_from_u64(11);
     let families: Vec<(&str, Graph)> = vec![
-        ("regular", generators::random_regular(40, 4, &mut rng).unwrap()),
+        (
+            "regular",
+            generators::random_regular(40, 4, &mut rng).unwrap(),
+        ),
         ("hypercube", generators::hypercube(5)),
         ("torus", generators::torus_2d(6, 6)),
         ("barbell", generators::barbell(8, 3).unwrap()),
@@ -33,7 +36,9 @@ fn all_three_algorithms_agree_across_families() {
         let gk = gkp::run(&wg, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(gk.tree_edges, canonical, "{name}: gkp");
         let h = Hierarchy::build(g, hierarchy_cfg(g, 2)).unwrap();
-        let amt = AlmostMixingMst::new(&h).run(&wg, 3).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let amt = AlmostMixingMst::new(&h)
+            .run(&wg, 3)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(amt.tree_edges, canonical, "{name}: amt");
         assert_eq!(amt.total_weight, wg.total_weight(&canonical), "{name}");
     }
@@ -50,7 +55,10 @@ fn equal_weights_resolve_by_canonical_tie_break() {
     assert_eq!(congest_boruvka::run(&wg, 2).unwrap().tree_edges, canonical);
     assert_eq!(gkp::run(&wg, 2).unwrap().tree_edges, canonical);
     let h = Hierarchy::build(&g, hierarchy_cfg(&g, 3)).unwrap();
-    assert_eq!(AlmostMixingMst::new(&h).run(&wg, 4).unwrap().tree_edges, canonical);
+    assert_eq!(
+        AlmostMixingMst::new(&h).run(&wg, 4).unwrap().tree_edges,
+        canonical
+    );
 }
 
 #[test]
@@ -78,7 +86,11 @@ fn per_iteration_stats_are_coherent() {
     let h = Hierarchy::build(&g, hierarchy_cfg(&g, 5)).unwrap();
     let out = AlmostMixingMst::new(&h).run(&wg, 6).unwrap();
     assert_eq!(out.per_iteration.len(), out.iterations as usize);
-    let total_instances: u32 = out.per_iteration.iter().map(|it| it.routing_instances).sum();
+    let total_instances: u32 = out
+        .per_iteration
+        .iter()
+        .map(|it| it.routing_instances)
+        .sum();
     assert_eq!(total_instances, out.routing_instances);
     // Chained component counts: after(i) == before(i+1).
     for w in out.per_iteration.windows(2) {
@@ -87,9 +99,12 @@ fn per_iteration_stats_are_coherent() {
     assert_eq!(out.per_iteration.first().unwrap().components_before, 48);
     assert_eq!(out.per_iteration.last().unwrap().components_after, 1);
     // Rounds decompose into per-iteration routing plus 1 exchange round each.
-    let per_iter: u64 =
-        out.per_iteration.iter().map(|it| it.routing_rounds).sum::<u64>()
-            + u64::from(out.iterations);
+    let per_iter: u64 = out
+        .per_iteration
+        .iter()
+        .map(|it| it.routing_rounds)
+        .sum::<u64>()
+        + u64::from(out.iterations);
     assert_eq!(out.rounds, per_iter);
 }
 

@@ -37,7 +37,9 @@ pub fn shortest_path_route(g: &Graph, requests: &[(NodeId, NodeId)]) -> PathRout
     let mut paths: Vec<Vec<u64>> = Vec::with_capacity(requests.len());
     let mut cache: std::collections::HashMap<u32, traversal::BfsTree> = Default::default();
     for &(s, t) in requests {
-        let tree = cache.entry(s.0).or_insert_with(|| traversal::bfs_tree(g, s));
+        let tree = cache
+            .entry(s.0)
+            .or_insert_with(|| traversal::bfs_tree(g, s));
         let mut node_path = tree
             .path_to_root(t)
             .expect("shortest-path baseline requires connected request pairs");
@@ -82,8 +84,7 @@ pub fn random_walk_route<R: Rng>(
 ) -> WalkRouteOutcome {
     let delta = g.max_degree();
     let mut pos: Vec<NodeId> = requests.iter().map(|&(s, _)| s).collect();
-    let mut arrived: Vec<bool> =
-        requests.iter().map(|&(s, t)| s == t).collect();
+    let mut arrived: Vec<bool> = requests.iter().map(|&(s, t)| s == t).collect();
     let mut loads: std::collections::HashMap<(u32, bool), u32> = Default::default();
     let mut rounds = 0u64;
     let mut steps = 0u32;
@@ -109,7 +110,12 @@ pub fn random_walk_route<R: Rng>(
         rounds += u64::from(max_load.max(1));
     }
     let delivered = arrived.iter().filter(|&&a| a).count();
-    WalkRouteOutcome { rounds, delivered, undelivered: requests.len() - delivered, steps }
+    WalkRouteOutcome {
+        rounds,
+        delivered,
+        undelivered: requests.len() - delivered,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -133,12 +139,17 @@ mod tests {
         let n = 6;
         let edges: Vec<_> = (1..n).map(|i| (0usize, i)).collect();
         let g = Graph::from_edges(n, &edges).unwrap();
-        let reqs: Vec<_> =
-            (1..n as u32).map(|i| (NodeId(i), NodeId(i % (n as u32 - 1) + 1))).collect();
+        let reqs: Vec<_> = (1..n as u32)
+            .map(|i| (NodeId(i), NodeId(i % (n as u32 - 1) + 1)))
+            .collect();
         let stats = shortest_path_route(&g, &reqs);
         // Each path has 2 hops; with distinct leaf pairs, edges are shared
         // by at most 2 packets per direction.
-        assert!(stats.rounds >= 2 && stats.rounds <= 6, "rounds = {}", stats.rounds);
+        assert!(
+            stats.rounds >= 2 && stats.rounds <= 6,
+            "rounds = {}",
+            stats.rounds
+        );
     }
 
     #[test]
@@ -152,7 +163,9 @@ mod tests {
     fn walk_router_eventually_delivers_on_small_graphs() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::complete(8);
-        let reqs: Vec<_> = (0..8u32).map(|i| (NodeId(i), NodeId((i + 1) % 8))).collect();
+        let reqs: Vec<_> = (0..8u32)
+            .map(|i| (NodeId(i), NodeId((i + 1) % 8)))
+            .collect();
         let out = random_walk_route(&g, &reqs, 10_000, &mut rng);
         assert_eq!(out.undelivered, 0);
         assert!(out.rounds >= out.steps as u64 / 2);

@@ -47,7 +47,10 @@ pub fn emulate_clique(hierarchy: &Hierarchy<'_>, seed: u64) -> Result<CliqueOutc
     }
     let router = HierarchicalRouter::with_config(
         hierarchy,
-        RouterConfig { max_phases: 1 << 20, ..RouterConfig::for_n(n) },
+        RouterConfig {
+            max_phases: 1 << 20,
+            ..RouterConfig::for_n(n)
+        },
     );
     let routing = router.route(&requests, seed)?;
     Ok(CliqueOutcome {

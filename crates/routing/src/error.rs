@@ -37,7 +37,10 @@ impl fmt::Display for RouteError {
                 write!(f, "request names node {node}, but the graph has {n} nodes")
             }
             RouteError::LoadTooHigh { needed, allowed } => {
-                write!(f, "instance needs {needed} phases but only {allowed} are allowed")
+                write!(
+                    f,
+                    "instance needs {needed} phases but only {allowed} are allowed"
+                )
             }
             RouteError::Undelivered { count } => {
                 write!(f, "{count} packets undeliverable on this hierarchy")
@@ -54,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_is_specific() {
-        let e = RouteError::LoadTooHigh { needed: 9, allowed: 4 };
+        let e = RouteError::LoadTooHigh {
+            needed: 9,
+            allowed: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
     }

@@ -101,7 +101,10 @@ pub struct HierarchicalRouter<'h, 'g> {
 impl<'h, 'g> HierarchicalRouter<'h, 'g> {
     /// Creates a router with default config for the hierarchy's base graph.
     pub fn new(h: &'h Hierarchy<'g>) -> Self {
-        HierarchicalRouter { h, cfg: RouterConfig::for_n(h.base().len()) }
+        HierarchicalRouter {
+            h,
+            cfg: RouterConfig::for_n(h.base().len()),
+        }
     }
 
     /// Creates a router with an explicit config.
@@ -145,13 +148,19 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
         let mut rng = StdRng::seed_from_u64(seed);
         let phases = self.phases_needed(requests);
         if phases > self.cfg.max_phases {
-            return Err(RouteError::LoadTooHigh { needed: phases, allowed: self.cfg.max_phases });
+            return Err(RouteError::LoadTooHigh {
+                needed: phases,
+                allowed: self.cfg.max_phases,
+            });
         }
         let mut phase_of: Vec<u32> = Vec::with_capacity(requests.len());
         for _ in requests {
             phase_of.push(rng.random_range(0..phases));
         }
-        let mut outcome = RoutingOutcome { phases, ..Default::default() };
+        let mut outcome = RoutingOutcome {
+            phases,
+            ..Default::default()
+        };
         for phase in 0..phases {
             let batch: Vec<(NodeId, NodeId)> = requests
                 .iter()
@@ -166,7 +175,9 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
             outcome.absorb(&phase_out);
         }
         if outcome.undelivered > 0 {
-            return Err(RouteError::Undelivered { count: outcome.undelivered });
+            return Err(RouteError::Undelivered {
+                count: outcome.undelivered,
+            });
         }
         Ok(outcome)
     }
@@ -205,7 +216,10 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
         let (starts, prep_rounds): (Vec<u32>, u64) = if self.cfg.prepare {
             let specs: Vec<WalkSpec> = batch
                 .iter()
-                .map(|&(s, _)| WalkSpec { start: s, steps: self.h.cfg().tau_mix })
+                .map(|&(s, _)| WalkSpec {
+                    start: s,
+                    steps: self.h.cfg().tau_mix,
+                })
                 .collect();
             let run = parallel::run_parallel_walks(g, WalkKind::Lazy, &specs, rng);
             let starts = run
@@ -229,7 +243,11 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
             .iter()
             .zip(&goals)
             .enumerate()
-            .map(|(id, (&cur, &goal))| Pkt { id: id as u32, cur, goal })
+            .map(|(id, (&cur, &goal))| Pkt {
+                id: id as u32,
+                cur,
+                goal,
+            })
             .collect();
         let mut acc = Accum {
             hop_rounds: vec![0; self.h.depth() as usize],
@@ -241,12 +259,14 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
         for (id, pos) in finals {
             final_pos[id as usize] = pos;
         }
-        let delivered = final_pos.iter().zip(&goals).filter(|&(&p, &g0)| p == g0).count();
+        let delivered = final_pos
+            .iter()
+            .zip(&goals)
+            .filter(|&(&p, &g0)| p == g0)
+            .count();
         RoutingOutcome {
             phases: 1,
-            total_base_rounds: prep_rounds
-                + acc.hop_rounds.iter().sum::<u64>()
-                + acc.bottom_rounds,
+            total_base_rounds: prep_rounds + acc.hop_rounds.iter().sum::<u64>() + acc.bottom_rounds,
             prep_rounds,
             hop_rounds_per_depth: acc.hop_rounds,
             bottom_rounds: acc.bottom_rounds,
@@ -308,14 +328,21 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
             let j = self.h.label_at(VirtualId(p.goal), child);
             match self.h.portal(child, VirtualId(p.cur), j) {
                 Some(&entry) => {
-                    leg1.push(Pkt { id: p.id, cur: p.cur, goal: entry.portal.0 });
+                    leg1.push(Pkt {
+                        id: p.id,
+                        cur: p.cur,
+                        goal: entry.portal.0,
+                    });
                     pend.insert(p.id, (entry, p.goal));
                 }
                 None => {
                     // No portal: deliver the whole journey by a BFS path on
                     // this depth's overlay (counted as a miss).
                     acc.portal_misses += 1;
-                    match self.h.bfs_overlay_path(d, VirtualId(p.cur), VirtualId(p.goal)) {
+                    match self
+                        .h
+                        .bfs_overlay_path(d, VirtualId(p.cur), VirtualId(p.goal))
+                    {
                         Some(path) => {
                             fallback_paths.push(path);
                             results.push((p.id, p.goal));
@@ -341,7 +368,11 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
                 Some((entry, goal)) => {
                     if pos == entry.portal.0 {
                         hop_paths.push(vec![(entry.edge, entry.forward)]);
-                        leg2.push(Pkt { id, cur: entry.target.0, goal });
+                        leg2.push(Pkt {
+                            id,
+                            cur: entry.target.0,
+                            goal,
+                        });
                     } else {
                         // Failed to reach the portal; report where it ended.
                         results.push((id, pos));
@@ -389,8 +420,9 @@ mod tests {
         let router = HierarchicalRouter::new(&h);
         let n = g.len() as u32;
         // A random-looking permutation: i → 5i + 3 mod n (n=64, gcd(5,64)=1).
-        let reqs: Vec<_> =
-            (0..n).map(|i| (NodeId(i), NodeId((5 * i + 3) % n))).collect();
+        let reqs: Vec<_> = (0..n)
+            .map(|i| (NodeId(i), NodeId((5 * i + 3) % n)))
+            .collect();
         let out = router.route(&reqs, 7).unwrap();
         assert_eq!(out.delivered, 64);
         assert_eq!(out.undelivered, 0);
@@ -424,7 +456,11 @@ mod tests {
             }
         }
         let out = router.route(&reqs, 3).unwrap();
-        assert!(out.phases > 1, "expected phase splitting, got {}", out.phases);
+        assert!(
+            out.phases > 1,
+            "expected phase splitting, got {}",
+            out.phases
+        );
         assert_eq!(out.delivered, reqs.len());
     }
 
@@ -441,7 +477,11 @@ mod tests {
     fn phase_cap_enforced() {
         let (g, cfg) = build_case(48, 4, 4, 1, 59);
         let h = Hierarchy::build(&g, cfg).unwrap();
-        let rc = RouterConfig { load_per_degree: 0.1, max_phases: 2, ..RouterConfig::for_n(48) };
+        let rc = RouterConfig {
+            load_per_degree: 0.1,
+            max_phases: 2,
+            ..RouterConfig::for_n(48)
+        };
         let router = HierarchicalRouter::with_config(&h, rc);
         let mut reqs = Vec::new();
         for i in 0..48u32 {
@@ -449,7 +489,10 @@ mod tests {
                 reqs.push((NodeId(i), NodeId(0)));
             }
         }
-        assert!(matches!(router.route(&reqs, 0), Err(RouteError::LoadTooHigh { .. })));
+        assert!(matches!(
+            router.route(&reqs, 0),
+            Err(RouteError::LoadTooHigh { .. })
+        ));
     }
 
     #[test]
@@ -469,7 +512,10 @@ mod tests {
     fn routing_without_preparation_still_works() {
         let (g, cfg) = build_case(48, 4, 4, 1, 67);
         let h = Hierarchy::build(&g, cfg).unwrap();
-        let rc = RouterConfig { prepare: false, ..RouterConfig::for_n(48) };
+        let rc = RouterConfig {
+            prepare: false,
+            ..RouterConfig::for_n(48)
+        };
         let router = HierarchicalRouter::with_config(&h, rc);
         let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId(47 - i))).collect();
         let out = router.route(&reqs, 13).unwrap();
@@ -482,7 +528,9 @@ mod tests {
         let (g, cfg) = build_case(48, 4, 4, 1, 71);
         let h = Hierarchy::build(&g, cfg).unwrap();
         let router = HierarchicalRouter::new(&h);
-        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId((i + 5) % 48))).collect();
+        let reqs: Vec<_> = (0..48u32)
+            .map(|i| (NodeId(i), NodeId((i + 5) % 48)))
+            .collect();
         let a = router.route(&reqs, 5).unwrap();
         let b = router.route(&reqs, 5).unwrap();
         assert_eq!(a, b);

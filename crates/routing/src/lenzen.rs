@@ -24,7 +24,13 @@ fn key(n: usize, from: u32, to: u32) -> u64 {
 pub fn clique_direct(n: usize, requests: &[(NodeId, NodeId)]) -> PathRouteStats {
     let paths: Vec<Vec<u64>> = requests
         .iter()
-        .map(|&(s, t)| if s == t { Vec::new() } else { vec![key(n, s.0, t.0)] })
+        .map(|&(s, t)| {
+            if s == t {
+                Vec::new()
+            } else {
+                vec![key(n, s.0, t.0)]
+            }
+        })
         .collect();
     route_paths(&paths, 1)
 }

@@ -50,9 +50,14 @@ impl RoutingOutcome {
         self.total_base_rounds += later.total_base_rounds;
         self.prep_rounds += later.prep_rounds;
         if self.hop_rounds_per_depth.len() < later.hop_rounds_per_depth.len() {
-            self.hop_rounds_per_depth.resize(later.hop_rounds_per_depth.len(), 0);
+            self.hop_rounds_per_depth
+                .resize(later.hop_rounds_per_depth.len(), 0);
         }
-        for (a, b) in self.hop_rounds_per_depth.iter_mut().zip(&later.hop_rounds_per_depth) {
+        for (a, b) in self
+            .hop_rounds_per_depth
+            .iter_mut()
+            .zip(&later.hop_rounds_per_depth)
+        {
             *a += *b;
         }
         self.bottom_rounds += later.bottom_rounds;

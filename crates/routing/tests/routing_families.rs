@@ -20,17 +20,27 @@ fn build(g: &Graph, seed: u64) -> Hierarchy<'_> {
 fn permutations_deliver_on_all_families() {
     let mut rng = StdRng::seed_from_u64(3);
     let families: Vec<(&str, Graph)> = vec![
-        ("regular", generators::random_regular(48, 6, &mut rng).unwrap()),
+        (
+            "regular",
+            generators::random_regular(48, 6, &mut rng).unwrap(),
+        ),
         ("hypercube", generators::hypercube(6)),
         ("torus", generators::torus_2d(8, 8)),
-        ("er", generators::connected_erdos_renyi(48, 0.15, 100, &mut rng).unwrap()),
+        (
+            "er",
+            generators::connected_erdos_renyi(48, 0.15, 100, &mut rng).unwrap(),
+        ),
     ];
     for (name, g) in &families {
         let h = build(g, 5);
         let router = HierarchicalRouter::new(&h);
         let n = g.len() as u32;
-        let reqs: Vec<_> = (0..n).map(|i| (NodeId(i), NodeId((i * 7 + 3) % n))).collect();
-        let out = router.route(&reqs, 9).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reqs: Vec<_> = (0..n)
+            .map(|i| (NodeId(i), NodeId((i * 7 + 3) % n)))
+            .collect();
+        let out = router
+            .route(&reqs, 9)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(out.delivered as u32, n, "{name}");
         // Outcome bookkeeping must be internally consistent.
         assert_eq!(
@@ -46,11 +56,16 @@ fn exact_pricing_never_exceeds_factored() {
     let mut rng = StdRng::seed_from_u64(4);
     let g = generators::random_regular(64, 6, &mut rng).unwrap();
     let h = build(&g, 6);
-    let reqs: Vec<_> = (0..64u32).map(|i| (NodeId(i), NodeId((i + 9) % 64))).collect();
+    let reqs: Vec<_> = (0..64u32)
+        .map(|i| (NodeId(i), NodeId((i + 9) % 64)))
+        .collect();
     let factored = HierarchicalRouter::new(&h).route(&reqs, 2).unwrap();
     let exact = HierarchicalRouter::with_config(
         &h,
-        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(64) },
+        RouterConfig {
+            emulation: EmulationMode::Exact,
+            ..RouterConfig::for_n(64)
+        },
     )
     .route(&reqs, 2)
     .unwrap();
@@ -73,7 +88,9 @@ fn empty_and_degenerate_requests() {
     assert_eq!(out.delivered, 0);
     assert_eq!(out.total_base_rounds, 0);
     // Duplicated identical requests are fine (two packets, same pair).
-    let out = router.route(&[(NodeId(3), NodeId(9)), (NodeId(3), NodeId(9))], 1).unwrap();
+    let out = router
+        .route(&[(NodeId(3), NodeId(9)), (NodeId(3), NodeId(9))], 1)
+        .unwrap();
     assert_eq!(out.delivered, 2);
 }
 
@@ -137,7 +154,10 @@ fn routed_packets_respect_load_promise_per_phase() {
     let mut rng = StdRng::seed_from_u64(9);
     let g = generators::random_regular(32, 4, &mut rng).unwrap();
     let h = build(&g, 10);
-    let rc = RouterConfig { load_per_degree: 2.0, ..RouterConfig::for_n(32) };
+    let rc = RouterConfig {
+        load_per_degree: 2.0,
+        ..RouterConfig::for_n(32)
+    };
     let router = HierarchicalRouter::with_config(&h, rc);
     let mut reqs = Vec::new();
     for i in 0..32u32 {

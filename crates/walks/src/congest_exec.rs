@@ -157,7 +157,10 @@ pub fn run_walks_in_congest(
         if spec.steps == 0 {
             continue;
         }
-        initial[spec.start.index()].push_back(Token { walk: i as u32, left: spec.steps });
+        initial[spec.start.index()].push_back(Token {
+            walk: i as u32,
+            left: spec.steps,
+        });
     }
     let nodes: Vec<WalkProtocol> = g
         .nodes()
@@ -174,7 +177,10 @@ pub fn run_walks_in_congest(
         })
         .collect();
     let mut sim = Simulator::new(g, nodes, seed)?;
-    let cfg = RunConfig { stop: StopCondition::AllDone, ..RunConfig::default() };
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    };
     let metrics = sim.run(&cfg)?;
     let mut endpoints = vec![NodeId(0); specs.len()];
     for (v, p) in sim.nodes().iter().enumerate() {
@@ -216,8 +222,7 @@ mod tests {
         let g = generators::random_regular(128, 6, &mut StdRng::seed_from_u64(1)).unwrap();
         let specs = degree_proportional_specs(&g, 2, 20);
         let congest = run_walks_in_congest(&g, WalkKind::Lazy, &specs, 5).unwrap();
-        let sched =
-            run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        let sched = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
         let (a, b) = (congest.metrics.rounds as f64, sched.stats.rounds as f64);
         let ratio = a.max(b) / a.min(b);
         assert!(
@@ -247,7 +252,10 @@ mod tests {
     #[test]
     fn zero_step_specs_stay_home() {
         let g = generators::ring(6);
-        let specs = vec![WalkSpec { start: NodeId(3), steps: 0 }];
+        let specs = vec![WalkSpec {
+            start: NodeId(3),
+            steps: 0,
+        }];
         let run = run_walks_in_congest(&g, WalkKind::Lazy, &specs, 1).unwrap();
         assert_eq!(run.endpoints[0], NodeId(3));
     }

@@ -1,0 +1,540 @@
+//! Self-healing walk execution under injected faults.
+//!
+//! [`crate::congest_exec`] executes walk tokens over a pristine network;
+//! this module runs the same workload on the fault-injected simulator and
+//! keeps every walk alive through drops, corruption, bounded delays, and
+//! crash-stop failures:
+//!
+//! * **custody transfer** — a node keeps a copy of every token it forwards
+//!   until the receiver acknowledges it; unacknowledged tokens are
+//!   retransmitted with exponential backoff. A checksum in the wire format
+//!   turns any single-bit corruption into a detected loss, so corrupted
+//!   tokens are retransmitted rather than mutated.
+//! * **crash detection via missing acks** — a port whose peer never
+//!   acknowledges within the attempt budget is marked suspect; the sender
+//!   still holds custody, so the token is re-routed through the remaining
+//!   live ports instead of vanishing.
+//! * **epoch re-issue** — tokens resident *at* a node when it crashes are
+//!   unrecoverable in-protocol; the driver detects the missing walks after
+//!   termination and re-issues them from their original start with their
+//!   full step budget, up to [`MAX_EPOCHS`] times.
+//!
+//! The degradation is correct-but-slower: every walk whose start survives
+//! finishes (re-routed walks take a perturbed kernel past suspect ports,
+//! re-issued walks restart), rounds and messages grow with the fault rate,
+//! and the protocol never wedges — termination is by acked quiescence, with
+//! crashed nodes excluded.
+
+use crate::{WalkKind, WalkSpec};
+use amt_congest::{
+    CongestError, CongestMessage, Ctx, FaultPlan, Metrics, Protocol, RunConfig, Simulator,
+    StopCondition,
+};
+use amt_graphs::{Graph, NodeId};
+use rand::RngExt;
+use std::collections::{HashMap, VecDeque};
+
+/// Epoch budget for re-issuing walks lost to crashes.
+pub const MAX_EPOCHS: u32 = 5;
+
+/// Wire format of the healing walk protocol.
+///
+/// Layout (low bits first): `[tag:1][walk:16][left:16][check:4]` — 37 bits,
+/// with a 4-bit XOR-fold checksum over the rest of the frame so any
+/// single-bit flip is detected (and repaired by retransmission).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HealMsg {
+    /// A walk token hopping one edge: `(walk id, steps remaining)`.
+    Token { walk: u32, left: u32 },
+    /// Custody acknowledgement of exactly that token.
+    Ack { walk: u32, left: u32 },
+}
+
+fn fold4(mut x: u64) -> u64 {
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x ^= x >> 4;
+    x & 0xF
+}
+
+impl CongestMessage for HealMsg {
+    fn bit_width(&self) -> usize {
+        37
+    }
+
+    fn encode_bits(&self) -> Option<u64> {
+        let (tag, walk, left) = match *self {
+            HealMsg::Token { walk, left } => (0u64, walk, left),
+            HealMsg::Ack { walk, left } => (1u64, walk, left),
+        };
+        if walk >= 1 << 16 || left >= 1 << 16 {
+            return None;
+        }
+        let mut bits = tag | (u64::from(walk) << 1) | (u64::from(left) << 17);
+        bits |= fold4(bits) << 33;
+        Some(bits)
+    }
+
+    fn decode_bits(bits: u64) -> Option<Self> {
+        if bits >> 37 != 0 {
+            return None;
+        }
+        let check = (bits >> 33) & 0xF;
+        let cleared = bits & !(0xFu64 << 33);
+        if fold4(cleared) != check {
+            return None;
+        }
+        let walk = ((bits >> 1) & 0xFFFF) as u32;
+        let left = ((bits >> 17) & 0xFFFF) as u32;
+        Some(if bits & 1 == 0 {
+            HealMsg::Token { walk, left }
+        } else {
+            HealMsg::Ack { walk, left }
+        })
+    }
+}
+
+/// A token awaiting its custody ack on one port.
+struct Inflight {
+    walk: u32,
+    left: u32,
+    next_retry: u64,
+    attempts: u32,
+}
+
+/// Per-node state of the healing walk protocol.
+struct HealNode {
+    /// Tokens ready to sample their next transition.
+    ready: VecDeque<(u32, u32)>,
+    /// Tokens that consumed this round as a lazy "stay".
+    stayed: Vec<(u32, u32)>,
+    /// Tokens waiting for their sampled port to free up.
+    port_queue: Vec<VecDeque<(u32, u32)>>,
+    /// One unacked token per port (stop-and-wait custody).
+    inflight: Vec<Option<Inflight>>,
+    /// Custody acks owed, per port (sent with priority).
+    ack_queue: Vec<VecDeque<(u32, u32)>>,
+    /// Ports whose peer exhausted the retry budget (presumed crashed).
+    suspect: Vec<bool>,
+    /// Smallest `left` accepted per walk — `left` strictly decreases along
+    /// a walk, so anything ≥ the recorded value is a retransmit duplicate.
+    seen: HashMap<u32, u32>,
+    /// Tokens that finished here.
+    finished: Vec<u32>,
+    /// Tokens this node re-routed after a custody give-up.
+    rerouted: u64,
+    degree: usize,
+    delta: usize,
+    kind: WalkKind,
+    timeout: u64,
+    max_attempts: u32,
+}
+
+impl HealNode {
+    fn live_ports(&self) -> Vec<usize> {
+        (0..self.degree).filter(|&p| !self.suspect[p]).collect()
+    }
+
+    /// Samples one transition per ready token; movers join a live port's
+    /// FIFO queue, stays (and tokens with no live exit) burn one step.
+    fn drain_ready(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
+        let live = self.live_ports();
+        while let Some((walk, left)) = self.ready.pop_front() {
+            debug_assert!(left > 0);
+            let stay = match self.kind {
+                WalkKind::Lazy => ctx.rng().random_bool(0.5),
+                WalkKind::DeltaRegular => {
+                    let p = self.degree as f64 / (2.0 * self.delta.max(1) as f64);
+                    !ctx.rng().random_bool(p)
+                }
+            };
+            if stay || live.is_empty() {
+                let left = left - 1;
+                if left == 0 {
+                    self.finished.push(walk);
+                } else {
+                    self.stayed.push((walk, left));
+                }
+            } else {
+                let port = live[ctx.rng().random_range(0..live.len())];
+                self.port_queue[port].push_back((walk, left));
+            }
+        }
+    }
+
+    /// Emits at most one frame per port: owed acks first, then a due
+    /// retransmission, then a fresh token if the port's custody slot is
+    /// free. A custody slot that exhausts its budget marks the port
+    /// suspect and re-routes the token.
+    fn emit(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
+        let round = ctx.round();
+        for port in 0..self.degree {
+            if let Some((walk, left)) = self.ack_queue[port].pop_front() {
+                ctx.send(port, HealMsg::Ack { walk, left });
+                continue;
+            }
+            if let Some(f) = &mut self.inflight[port] {
+                if f.next_retry > round {
+                    continue;
+                }
+                if f.attempts >= self.max_attempts {
+                    // Missing acks: presume the peer crashed, take custody
+                    // back, and let the token re-sample among live ports.
+                    let f = self.inflight[port].take().expect("checked above");
+                    self.suspect[port] = true;
+                    self.rerouted += 1;
+                    self.ready.push_back((f.walk, f.left));
+                    continue;
+                }
+                f.attempts += 1;
+                f.next_retry = round + (self.timeout << (f.attempts - 1).min(4));
+                ctx.send(
+                    port,
+                    HealMsg::Token {
+                        walk: f.walk,
+                        left: f.left,
+                    },
+                );
+                continue;
+            }
+            if self.suspect[port] {
+                // Strand nothing behind a dead port.
+                while let Some(tok) = self.port_queue[port].pop_front() {
+                    self.ready.push_back(tok);
+                }
+                continue;
+            }
+            if let Some((walk, left)) = self.port_queue[port].pop_front() {
+                self.inflight[port] = Some(Inflight {
+                    walk,
+                    left,
+                    next_retry: round + self.timeout,
+                    attempts: 1,
+                });
+                ctx.send(port, HealMsg::Token { walk, left });
+            }
+        }
+    }
+}
+
+struct HealProtocol {
+    node: HealNode,
+}
+
+impl Protocol for HealProtocol {
+    type Message = HealMsg;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
+        self.tick(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, HealMsg>, inbox: &[(usize, HealMsg)]) {
+        for &(port, msg) in inbox {
+            match msg {
+                HealMsg::Ack { walk, left } => {
+                    if self.node.inflight[port]
+                        .as_ref()
+                        .is_some_and(|f| f.walk == walk && f.left == left)
+                    {
+                        self.node.inflight[port] = None;
+                    }
+                }
+                HealMsg::Token { walk, left } => {
+                    // Always (re-)ack — a duplicate means our ack was lost.
+                    self.node.ack_queue[port].push_back((walk, left));
+                    let fresh = self
+                        .node
+                        .seen
+                        .get(&walk)
+                        .is_none_or(|&accepted| left < accepted);
+                    if fresh {
+                        self.node.seen.insert(walk, left);
+                        // The traversal that delivered the token is a step.
+                        let left = left - 1;
+                        if left == 0 {
+                            self.node.finished.push(walk);
+                        } else {
+                            self.node.ready.push_back((walk, left));
+                        }
+                    }
+                }
+            }
+        }
+        self.tick(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.node.ready.is_empty()
+            && self.node.stayed.is_empty()
+            && self.node.port_queue.iter().all(VecDeque::is_empty)
+            && self.node.ack_queue.iter().all(VecDeque::is_empty)
+            && self.node.inflight.iter().all(Option::is_none)
+    }
+}
+
+impl HealProtocol {
+    fn tick(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
+        let stayed: Vec<_> = self.node.stayed.drain(..).collect();
+        for tok in stayed {
+            self.node.ready.push_back(tok);
+        }
+        self.node.drain_ready(ctx);
+        self.node.emit(ctx);
+    }
+}
+
+/// Outcome of a self-healing walk execution.
+#[derive(Clone, Debug)]
+pub struct HealedWalkRun {
+    /// Final node per walk; `None` for walks lost for good (start crashed,
+    /// or still missing after [`MAX_EPOCHS`]).
+    pub endpoints: Vec<Option<NodeId>>,
+    /// Accumulated metrics over all epochs (faults included).
+    pub metrics: Metrics,
+    /// Epochs executed (1 = no re-issue was needed).
+    pub epochs: u32,
+    /// Walks re-issued from their start after their carrier crashed.
+    pub reissued: u64,
+    /// Tokens re-routed in-protocol after a custody give-up.
+    pub rerouted: u64,
+}
+
+/// Executes `specs` over the fault-injected simulator with custody-transfer
+/// retransmission and epoch re-issue; see the module docs for the healing
+/// mechanisms.
+///
+/// # Errors
+///
+/// Propagates simulator violations and fault-plan validation errors.
+pub fn run_walks_healing(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    seed: u64,
+    plan: FaultPlan,
+) -> Result<HealedWalkRun, CongestError> {
+    assert!(specs.len() < 1 << 16, "wire format carries 16-bit walk ids");
+    plan.validate(g.len())?;
+    let delta = g.max_degree();
+    let timeout = 4 + 2 * plan.max_delay;
+    let max_attempts = 8;
+
+    let mut endpoints: Vec<Option<NodeId>> = vec![None; specs.len()];
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.steps == 0 {
+            endpoints[i] = Some(spec.start);
+        }
+    }
+    let mut metrics = Metrics::default();
+    let mut reissued = 0u64;
+    let mut rerouted = 0u64;
+    let mut epochs = 0u32;
+    let mut crashed: Vec<bool> = vec![false; g.len()];
+    // Walks still owed an endpoint, re-issued each epoch from the start.
+    let mut pending: Vec<u32> = (0..specs.len() as u32)
+        .filter(|&i| specs[i as usize].steps > 0)
+        .collect();
+
+    while !pending.is_empty() && epochs < MAX_EPOCHS {
+        // Re-issues only target starts that are still alive.
+        pending.retain(|&i| !crashed[specs[i as usize].start.index()]);
+        if pending.is_empty() {
+            break;
+        }
+        let epoch = epochs;
+        epochs += 1;
+
+        let mut initial: Vec<VecDeque<(u32, u32)>> = vec![VecDeque::new(); g.len()];
+        for &i in &pending {
+            let spec = &specs[i as usize];
+            initial[spec.start.index()].push_back((i, spec.steps));
+        }
+        let nodes: Vec<HealProtocol> = g
+            .nodes()
+            .map(|v| HealProtocol {
+                node: HealNode {
+                    ready: initial[v.index()].clone(),
+                    stayed: Vec::new(),
+                    port_queue: vec![VecDeque::new(); g.degree(v)],
+                    inflight: (0..g.degree(v)).map(|_| None).collect(),
+                    ack_queue: vec![VecDeque::new(); g.degree(v)],
+                    suspect: vec![false; g.degree(v)],
+                    seen: HashMap::new(),
+                    finished: Vec::new(),
+                    rerouted: 0,
+                    degree: g.degree(v),
+                    delta,
+                    kind,
+                    timeout,
+                    max_attempts,
+                },
+            })
+            .collect();
+        // Epoch 0 runs the plan as scheduled; crash-stop is permanent, so
+        // later epochs start with every already-fired crash in force at
+        // round 0 and draw fresh message faults from a shifted seed.
+        let epoch_plan = if epoch == 0 {
+            plan.clone()
+        } else {
+            let mut p = plan.clone();
+            p.seed = plan.seed ^ (u64::from(epoch) * 0x9E37_79B9_7F4A_7C15);
+            p.crashes.retain(|c| crashed[c.node.index()]);
+            for c in &mut p.crashes {
+                c.round = 0;
+            }
+            p
+        };
+        let mut sim =
+            Simulator::new(g, nodes, seed ^ u64::from(epoch))?.with_fault_plan(epoch_plan);
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            budget_factor: 16,
+            max_rounds: 500_000,
+        };
+        metrics = metrics.then(sim.run(&cfg)?);
+        for v in sim.crashed_nodes() {
+            crashed[v.index()] = true;
+        }
+        // A finish recorded at a node that later crashed still counts —
+        // the walk completed before the failure.
+        for (v, p) in sim.nodes().iter().enumerate() {
+            rerouted += p.node.rerouted;
+            for &walk in &p.node.finished {
+                endpoints[walk as usize] = Some(NodeId::from(v));
+            }
+        }
+        pending.retain(|&i| endpoints[i as usize].is_none());
+        if !pending.is_empty() && epochs < MAX_EPOCHS {
+            reissued += pending.len() as u64;
+        }
+    }
+
+    // Later epochs re-apply the already-fired crashes at round 0 to keep
+    // crash-stop permanent; count each node once, not once per epoch.
+    metrics.crashed = crashed.iter().filter(|&&c| c).count() as u64;
+
+    Ok(HealedWalkRun {
+        endpoints,
+        metrics,
+        epochs,
+        reissued,
+        rerouted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::degree_proportional_specs;
+    use amt_graphs::generators;
+
+    #[test]
+    fn healmsg_codec_roundtrips_and_detects_flips() {
+        for msg in [
+            HealMsg::Token { walk: 7, left: 300 },
+            HealMsg::Ack {
+                walk: 65_535,
+                left: 1,
+            },
+            HealMsg::Token { walk: 0, left: 1 },
+        ] {
+            let bits = msg.encode_bits().unwrap();
+            assert_eq!(HealMsg::decode_bits(bits), Some(msg));
+            for k in 0..37 {
+                assert_eq!(
+                    HealMsg::decode_bits(bits ^ (1 << k)),
+                    None,
+                    "flip of bit {k} must be detected"
+                );
+            }
+        }
+        assert!(HealMsg::Token {
+            walk: 1 << 16,
+            left: 0
+        }
+        .encode_bits()
+        .is_none());
+    }
+
+    #[test]
+    fn fault_free_healing_matches_plain_walk_semantics() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 2, 8);
+        let run = run_walks_healing(&g, WalkKind::Lazy, &specs, 3, FaultPlan::none()).unwrap();
+        assert_eq!(run.epochs, 1);
+        assert_eq!(run.reissued, 0);
+        assert_eq!(run.rerouted, 0);
+        assert_eq!(run.metrics.message_faults(), 0);
+        assert!(run.endpoints.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn walks_survive_drops_and_corruption() {
+        let g = generators::hypercube(5);
+        let specs = degree_proportional_specs(&g, 1, 12);
+        let plan = FaultPlan::none()
+            .seeded(9)
+            .with_drops(0.1)
+            .with_corruption(0.05);
+        let run = run_walks_healing(&g, WalkKind::Lazy, &specs, 4, plan).unwrap();
+        assert!(run.metrics.dropped > 0);
+        assert!(
+            run.endpoints.iter().all(Option::is_some),
+            "no walk may be lost to message faults"
+        );
+    }
+
+    #[test]
+    fn walks_survive_carrier_crashes() {
+        let g = generators::hypercube(5);
+        let specs = degree_proportional_specs(&g, 1, 15);
+        // Crash two nodes mid-flight (not walk 0's start, which is node 0).
+        let plan = FaultPlan::none()
+            .seeded(2)
+            .with_crash(NodeId(5), 4)
+            .with_crash(NodeId(20), 6);
+        let run = run_walks_healing(&g, WalkKind::Lazy, &specs, 11, plan).unwrap();
+        assert_eq!(run.metrics.crashed, 2);
+        // Every walk whose start survives must finish somewhere.
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.start != NodeId(5) && spec.start != NodeId(20) {
+                assert!(
+                    run.endpoints[i].is_some(),
+                    "walk {i} from live start {:?} was lost",
+                    spec.start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn healing_replays_deterministically() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 10);
+        let plan = FaultPlan::none()
+            .seeded(31)
+            .with_drops(0.15)
+            .with_crash(NodeId(3), 3);
+        let a = run_walks_healing(&g, WalkKind::Lazy, &specs, 8, plan.clone()).unwrap();
+        let b = run_walks_healing(&g, WalkKind::Lazy, &specs, 8, plan).unwrap();
+        assert_eq!(a.endpoints, b.endpoints);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(
+            (a.epochs, a.reissued, a.rerouted),
+            (b.epochs, b.reissued, b.rerouted)
+        );
+    }
+
+    #[test]
+    fn zero_step_walks_finish_at_their_start() {
+        let g = generators::ring(6);
+        let specs = vec![WalkSpec {
+            start: NodeId(3),
+            steps: 0,
+        }];
+        let run = run_walks_healing(&g, WalkKind::Lazy, &specs, 1, FaultPlan::none()).unwrap();
+        assert_eq!(run.endpoints[0], Some(NodeId(3)));
+        assert_eq!(run.epochs, 0, "nothing to execute");
+    }
+}

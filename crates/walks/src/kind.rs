@@ -115,7 +115,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let trials = 20_000;
         let stays = (0..trials)
-            .filter(|_| WalkKind::Lazy.step(&g, NodeId(0), g.max_degree(), &mut rng).is_none())
+            .filter(|_| {
+                WalkKind::Lazy
+                    .step(&g, NodeId(0), g.max_degree(), &mut rng)
+                    .is_none()
+            })
             .count();
         let frac = stays as f64 / trials as f64;
         assert!((frac - 0.5).abs() < 0.02, "stay fraction {frac}");
@@ -131,7 +135,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let trials = 40_000;
         let leaf_moves = (0..trials)
-            .filter(|_| WalkKind::DeltaRegular.step(&g, NodeId(1), delta, &mut rng).is_some())
+            .filter(|_| {
+                WalkKind::DeltaRegular
+                    .step(&g, NodeId(1), delta, &mut rng)
+                    .is_some()
+            })
             .count();
         // Leaf moves w.p. d/(2Δ) = 1/8.
         let frac = leaf_moves as f64 / trials as f64;

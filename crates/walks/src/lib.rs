@@ -26,13 +26,15 @@
 mod kind;
 
 pub mod congest_exec;
+pub mod healing;
 pub mod mixing;
 pub mod parallel;
 pub mod schedule;
 pub mod times;
 
-pub use kind::WalkKind;
-pub use parallel::{ParallelWalkRun, Trajectory, WalkSpec, WalkStats};
-pub use parallel::{run_correlated_walks, run_parallel_walks};
 pub use congest_exec::{run_walks_in_congest, CongestWalkRun};
+pub use healing::{run_walks_healing, HealedWalkRun, MAX_EPOCHS};
+pub use kind::WalkKind;
+pub use parallel::{run_correlated_walks, run_parallel_walks};
+pub use parallel::{ParallelWalkRun, Trajectory, WalkSpec, WalkStats};
 pub use schedule::{route_paths, route_paths_schedule, PathRouteStats};

@@ -34,7 +34,10 @@ pub fn mixing_time_exact(g: &Graph, kind: WalkKind, max_t: u32) -> Option<u32> {
     let mut scratch = vec![0.0; n];
     let within = |rows: &[Vec<f64>]| {
         rows.iter().all(|row| {
-            row.iter().zip(&pi).zip(&tol).all(|((p, s), t)| (p - s).abs() <= *t)
+            row.iter()
+                .zip(&pi)
+                .zip(&tol)
+                .all(|((p, s), t)| (p - s).abs() <= *t)
         })
     };
     if within(&rows) {
@@ -75,8 +78,12 @@ pub fn mixing_time_from_source(
     let mut x = vec![0.0; n];
     x[source.index()] = 1.0;
     let mut scratch = vec![0.0; n];
-    let within =
-        |x: &[f64]| x.iter().zip(&pi).zip(&tol).all(|((p, s), t)| (p - s).abs() <= *t);
+    let within = |x: &[f64]| {
+        x.iter()
+            .zip(&pi)
+            .zip(&tol)
+            .all(|((p, s), t)| (p - s).abs() <= *t)
+    };
     if within(&x) {
         return Some(0);
     }
@@ -220,7 +227,11 @@ mod tests {
     #[test]
     fn cheeger_bound_dominates_regularized_mixing() {
         // Lemma 2.3: τ̄_mix ≤ 8Δ²/h² · ln n, verified exactly on small graphs.
-        for g in [generators::complete(10), generators::hypercube(3), generators::ring(12)] {
+        for g in [
+            generators::complete(10),
+            generators::hypercube(3),
+            generators::ring(12),
+        ] {
             let h = amt_graphs::expansion::edge_expansion_exact(&g).unwrap();
             let bound = cheeger_bound(&g, h);
             let exact = mixing_time_exact(&g, WalkKind::DeltaRegular, 50_000).unwrap();

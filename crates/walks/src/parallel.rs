@@ -42,7 +42,12 @@ impl Trajectory {
 
     /// The walk's final node.
     pub fn end(&self) -> NodeId {
-        NodeId(*self.nodes.last().expect("trajectory has at least the start"))
+        NodeId(
+            *self
+                .nodes
+                .last()
+                .expect("trajectory has at least the start"),
+        )
     }
 
     /// The sequence of `(edge, from, to)` traversals, skipping stay-steps.
@@ -50,7 +55,11 @@ impl Trajectory {
         let mut out = Vec::new();
         for (s, e) in self.edges.iter().enumerate() {
             if let Some(eid) = e {
-                out.push((EdgeId(*eid), NodeId(self.nodes[s]), NodeId(self.nodes[s + 1])));
+                out.push((
+                    EdgeId(*eid),
+                    NodeId(self.nodes[s]),
+                    NodeId(self.nodes[s + 1]),
+                ));
             }
         }
         out
@@ -184,7 +193,8 @@ pub fn run_parallel_walks<R: Rng>(
                     t.edges.push(Some(edge.0));
                     node_tokens[here.index()] -= 1;
                     node_tokens[next.index()] += 1;
-                    node_peaks[next.index()] = node_peaks[next.index()].max(node_tokens[next.index()]);
+                    node_peaks[next.index()] =
+                        node_peaks[next.index()].max(node_tokens[next.index()]);
                     traversals += 1;
                 }
                 None => {
@@ -307,8 +317,7 @@ pub fn run_correlated_walks<R: Rng>(
                 t.edges.push(Some(edge.0));
                 node_tokens[v] -= 1;
                 node_tokens[next.index()] += 1;
-                node_peaks[next.index()] =
-                    node_peaks[next.index()].max(node_tokens[next.index()]);
+                node_peaks[next.index()] = node_peaks[next.index()].max(node_tokens[next.index()]);
                 traversals += 1;
             }
             max_load = max_load.max(list.len().div_ceil(d) as u32);
@@ -356,8 +365,16 @@ mod tests {
     #[test]
     fn trajectories_have_declared_lengths() {
         let g = generators::hypercube(3);
-        let specs =
-            vec![WalkSpec { start: NodeId(0), steps: 5 }, WalkSpec { start: NodeId(3), steps: 2 }];
+        let specs = vec![
+            WalkSpec {
+                start: NodeId(0),
+                steps: 5,
+            },
+            WalkSpec {
+                start: NodeId(3),
+                steps: 2,
+            },
+        ];
         let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
         assert_eq!(run.trajectories[0].nodes.len(), 6);
         assert_eq!(run.trajectories[0].edges.len(), 5);
@@ -436,8 +453,12 @@ mod tests {
         let n = 16;
         let edges: Vec<_> = (1..n).map(|i| (0usize, i)).collect();
         let g = amt_graphs::Graph::from_edges(n, &edges).unwrap();
-        let specs: Vec<_> =
-            (0..2000).map(|i| WalkSpec { start: NodeId((i % n) as u32), steps: 120 }).collect();
+        let specs: Vec<_> = (0..2000)
+            .map(|i| WalkSpec {
+                start: NodeId((i % n) as u32),
+                steps: 120,
+            })
+            .collect();
         let run = run_parallel_walks(&g, WalkKind::DeltaRegular, &specs, &mut rng());
         let mut counts = vec![0usize; n];
         for t in &run.trajectories {

@@ -189,7 +189,7 @@ mod tests {
         let l = 4;
         let paths: Vec<Vec<u64>> = (0..k).map(|_| (0..l).collect()).collect();
         let stats = route_paths(&paths, 1);
-        assert_eq!(stats.rounds, (l + k - 1) as u64);
+        assert_eq!(stats.rounds, l + k - 1);
     }
 
     #[test]

@@ -95,8 +95,10 @@ pub fn tv_mixing_time(g: &Graph, kind: WalkKind, eps: f64, max_t: u32) -> Option
         })
         .collect();
     let mut scratch = vec![0.0; n];
-    let within =
-        |rows: &[Vec<f64>]| rows.iter().all(|row| mixing::total_variation(row, &pi) <= eps);
+    let within = |rows: &[Vec<f64>]| {
+        rows.iter()
+            .all(|row| mixing::total_variation(row, &pi) <= eps)
+    };
     if within(&rows) {
         return Some(0);
     }
@@ -133,11 +135,9 @@ mod tests {
 
     #[test]
     fn hitting_time_grows_on_paths() {
-        let path = amt_graphs::Graph::from_edges(
-            16,
-            &(0..15).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let path =
+            amt_graphs::Graph::from_edges(16, &(0..15).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let near = empirical_hitting_time(&path, NodeId(0), NodeId(1), 200, 100_000, &mut rng);
         let far = empirical_hitting_time(&path, NodeId(0), NodeId(15), 200, 100_000, &mut rng);
@@ -155,10 +155,18 @@ mod tests {
 
     #[test]
     fn tv_mixing_lower_bounds_definition_2_1() {
-        for g in [generators::complete(12), generators::ring(16), generators::hypercube(4)] {
+        for g in [
+            generators::complete(12),
+            generators::ring(16),
+            generators::hypercube(4),
+        ] {
             let tv = tv_mixing_time(&g, WalkKind::Lazy, 0.25, 100_000).unwrap();
             let strict = mixing::mixing_time_exact(&g, WalkKind::Lazy, 100_000).unwrap();
-            assert!(tv <= strict, "TV {tv} must be ≤ strict {strict} (n = {})", g.len());
+            assert!(
+                tv <= strict,
+                "TV {tv} must be ≤ strict {strict} (n = {})",
+                g.len()
+            );
         }
     }
 

@@ -1,9 +1,7 @@
 //! Property-based tests for the walk engine and path scheduler.
 
 use amt_graphs::{generators, GraphBuilder, NodeId};
-use amt_walks::parallel::{
-    degree_proportional_specs, run_correlated_walks, run_parallel_walks,
-};
+use amt_walks::parallel::{degree_proportional_specs, run_correlated_walks, run_parallel_walks};
 use amt_walks::{route_paths, route_paths_schedule, WalkKind, WalkSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

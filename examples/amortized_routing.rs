@@ -21,13 +21,21 @@ fn main() {
         generators::random_regular(n, 6, &mut rng).expect("valid parameters")
     };
 
-    let system = System::builder(&g).seed(seed).beta(4).levels(2).build().expect("expander");
+    let system = System::builder(&g)
+        .seed(seed)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     let build = system.build_rounds();
     println!("one-time hierarchy construction: {build} measured rounds\n");
 
     let router = HierarchicalRouter::with_config(
         system.hierarchy(),
-        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+        RouterConfig {
+            emulation: EmulationMode::Exact,
+            ..RouterConfig::for_n(n)
+        },
     );
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);

@@ -25,7 +25,10 @@ fn main() {
     );
 
     let (exact, exact_side) = stoer_wagner(&g, &caps).expect("n ≥ 2");
-    println!("exact min cut (Stoer–Wagner): {exact} (side of {} nodes)", exact_side.len());
+    println!(
+        "exact min cut (Stoer–Wagner): {exact} (side of {} nodes)",
+        exact_side.len()
+    );
 
     let system = System::builder(&g)
         .seed(seed)
@@ -34,7 +37,10 @@ fn main() {
         .build()
         .expect("dumbbell embeds (bridges give it expansion enough)");
 
-    println!("\n{:>6} {:>10} {:>14} {:>10}", "trees", "cut found", "rounds", "ratio");
+    println!(
+        "\n{:>6} {:>10} {:>14} {:>10}",
+        "trees", "cut found", "rounds", "ratio"
+    );
     for &trees in &[1u32, 2, 4] {
         let r = system.min_cut(&caps, trees, 17).expect("packable");
         println!(

@@ -27,7 +27,10 @@ fn main() {
     // An overlay built the way P2P systems do it: every peer links to a few
     // random others (Law–Siu style), giving an expander.
     let g = generators::random_out_union(n, 4, &mut rng).expect("valid parameters");
-    assert!(g.is_connected(), "random out-union overlays are connected w.h.p.");
+    assert!(
+        g.is_connected(),
+        "random out-union overlays are connected w.h.p."
+    );
     let tau = mixing::mixing_time_spectral(&g, WalkKind::Lazy, 400).expect("connected");
     println!(
         "overlay: n = {n}, m = {}, Δ = {}, τ_mix ≈ {tau}",
@@ -46,10 +49,18 @@ fn main() {
             requests.push((NodeId(src), NodeId(dst)));
         }
     }
-    println!("workload: {} replica-update packets ({replicas} per peer)\n", requests.len());
+    println!(
+        "workload: {} replica-update packets ({replicas} per peer)\n",
+        requests.len()
+    );
 
     // --- Paper router ---
-    let system = System::builder(&g).seed(seed).beta(4).levels(2).build().expect("expander");
+    let system = System::builder(&g)
+        .seed(seed)
+        .beta(4)
+        .levels(2)
+        .build()
+        .expect("expander");
     let hier = system.route(&requests, 3).expect("routable");
     println!(
         "hierarchical router (sequential-emulation pricing): {:>8} rounds  ({} phases)",
@@ -57,7 +68,10 @@ fn main() {
     );
     let exact_router = HierarchicalRouter::with_config(
         system.hierarchy(),
-        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+        RouterConfig {
+            emulation: EmulationMode::Exact,
+            ..RouterConfig::for_n(n)
+        },
     );
     let tight = exact_router.route(&requests, 3).expect("routable");
     println!(

@@ -18,7 +18,10 @@ fn main() {
     //    paper's headline regime (τ_mix = O(log n)).
     let g = generators::random_regular(n, 6, &mut rng).expect("valid parameters");
     let tau = mixing::mixing_time_spectral(&g, WalkKind::Lazy, 400).expect("connected");
-    println!("network: n = {n}, m = {}, τ_mix (spectral est.) = {tau}", g.edge_count());
+    println!(
+        "network: n = {n}, m = {}, τ_mix (spectral est.) = {tau}",
+        g.edge_count()
+    );
 
     // 2. Build the hierarchical embedding once (§3.1 of the paper).
     let system = System::builder(&g)
@@ -51,7 +54,10 @@ fn main() {
         .collect();
     let router = HierarchicalRouter::with_config(
         system.hierarchy(),
-        RouterConfig { emulation: EmulationMode::Exact, ..RouterConfig::for_n(n) },
+        RouterConfig {
+            emulation: EmulationMode::Exact,
+            ..RouterConfig::for_n(n)
+        },
     );
     let routed = router.route(&reqs, 1).expect("routable");
     println!(
@@ -69,7 +75,10 @@ fn main() {
     // 4. MST (Theorem 1.1), verified against Kruskal.
     let wg = WeightedGraph::with_random_weights(g.clone(), 100_000, &mut rng);
     let mst = system.mst(&wg, 2).expect("connected");
-    assert!(reference::verify_mst(&wg, &mst.tree_edges), "must match Kruskal");
+    assert!(
+        reference::verify_mst(&wg, &mst.tree_edges),
+        "must match Kruskal"
+    );
     println!(
         "mst: weight {} over {} edges, {} Boruvka iterations, {} measured rounds \
          (verified against Kruskal)",

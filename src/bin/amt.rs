@@ -70,13 +70,19 @@ impl Opts {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
     }
 }
@@ -110,22 +116,29 @@ fn load_weighted(opts: &Opts) -> Result<WeightedGraph, String> {
 }
 
 fn cmd_gen(opts: &Opts) -> Result<(), String> {
-    let family = opts.positional.first().ok_or("gen: missing family")?.clone();
+    let family = opts
+        .positional
+        .first()
+        .ok_or("gen: missing family")?
+        .clone();
     let seed: u64 = opts.get_parsed("seed", 0)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let num =
-        |i: usize| -> Result<usize, String> {
-            opts.positional
-                .get(i)
-                .ok_or_else(|| format!("gen {family}: missing parameter {i}"))?
-                .parse()
-                .map_err(|_| format!("gen {family}: bad parameter {i}"))
-        };
+    let num = |i: usize| -> Result<usize, String> {
+        opts.positional
+            .get(i)
+            .ok_or_else(|| format!("gen {family}: missing parameter {i}"))?
+            .parse()
+            .map_err(|_| format!("gen {family}: bad parameter {i}"))
+    };
     let g = match family.as_str() {
         "regular" => generators::random_regular(num(1)?, num(2)?, &mut rng),
         "er" => {
             let n = num(1)?;
-            let p: f64 = opts.positional.get(2).ok_or("gen er: missing p")?.parse()
+            let p: f64 = opts
+                .positional
+                .get(2)
+                .ok_or("gen er: missing p")?
+                .parse()
                 .map_err(|_| "gen er: bad p")?;
             generators::connected_erdos_renyi(n, p, 200, &mut rng)
         }
@@ -139,7 +152,12 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
     let mut f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
     amt_core::graphs::io::write_edge_list(&g, &mut f).map_err(|e| format!("{out}: {e}"))?;
     f.flush().map_err(|e| format!("{out}: {e}"))?;
-    println!("wrote {} ({} nodes, {} edges)", out, g.len(), g.edge_count());
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.len(),
+        g.edge_count()
+    );
     Ok(())
 }
 
@@ -147,8 +165,12 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     let g = load_graph(opts)?;
     println!("nodes: {}", g.len());
     println!("edges: {}", g.edge_count());
-    println!("degree: min {} / avg {:.2} / max {}",
-        g.min_degree(), g.volume() as f64 / g.len().max(1) as f64, g.max_degree());
+    println!(
+        "degree: min {} / avg {:.2} / max {}",
+        g.min_degree(),
+        g.volume() as f64 / g.len().max(1) as f64,
+        g.max_degree()
+    );
     println!("connected: {}", g.is_connected());
     if g.is_connected() && g.len() >= 2 {
         let d = amt_core::graphs::traversal::diameter_double_sweep(&g, NodeId(0)).unwrap_or(0);
@@ -193,20 +215,30 @@ fn cmd_mst(opts: &Opts) -> Result<(), String> {
     let canonical = reference::kruskal(&wg).ok_or("graph is disconnected")?;
     match algo {
         "kruskal" => {
-            println!("kruskal: weight {} over {} edges", wg.total_weight(&canonical), canonical.len());
+            println!(
+                "kruskal: weight {} over {} edges",
+                wg.total_weight(&canonical),
+                canonical.len()
+            );
         }
         "boruvka" => {
             let out = congest_boruvka::run(&wg, seed).map_err(|e| e.to_string())?;
             println!(
                 "boruvka (CONGEST): weight {} | {} measured rounds | {} iterations | canonical: {}",
-                out.total_weight, out.rounds, out.iterations, out.tree_edges == canonical
+                out.total_weight,
+                out.rounds,
+                out.iterations,
+                out.tree_edges == canonical
             );
         }
         "gkp" => {
             let out = gkp::run(&wg, seed).map_err(|e| e.to_string())?;
             println!(
                 "gkp (Õ(D+√n)): weight {} | {} measured rounds (p1 {} + p2 {}) | canonical: {}",
-                out.total_weight, out.rounds, out.phase1_rounds, out.phase2_rounds,
+                out.total_weight,
+                out.rounds,
+                out.phase1_rounds,
+                out.phase2_rounds,
                 out.tree_edges == canonical
             );
         }
@@ -217,8 +249,12 @@ fn cmd_mst(opts: &Opts) -> Result<(), String> {
             println!(
                 "amt (Thm 1.1): weight {} | {} measured rounds over {} routing instances | \
                  {} iterations | hierarchy build {} rounds | canonical: {}",
-                out.total_weight, out.rounds, out.routing_instances, out.iterations,
-                out.hierarchy_build_rounds, out.tree_edges == canonical
+                out.total_weight,
+                out.rounds,
+                out.routing_instances,
+                out.iterations,
+                out.hierarchy_build_rounds,
+                out.tree_edges == canonical
             );
         }
         other => return Err(format!("mst: unknown --algo {other:?}")),
@@ -235,13 +271,19 @@ fn cmd_route(opts: &Opts) -> Result<(), String> {
         return Err("empty graph".into());
     }
     let sys = build_system(&g, opts)?;
-    let reqs: Vec<_> = (0..n).map(|i| (NodeId(i), NodeId((i + shift) % n))).collect();
+    let reqs: Vec<_> = (0..n)
+        .map(|i| (NodeId(i), NodeId((i + shift) % n)))
+        .collect();
     let out = sys.route(&reqs, seed).map_err(|e| e.to_string())?;
     println!(
         "routed {} packets (shift-{shift} permutation): {} measured rounds \
          (prep {}, hops {}, bottom {}), {} phases",
-        out.delivered, out.total_base_rounds, out.prep_rounds, out.hop_rounds(),
-        out.bottom_rounds, out.phases
+        out.delivered,
+        out.total_base_rounds,
+        out.prep_rounds,
+        out.hop_rounds(),
+        out.bottom_rounds,
+        out.phases
     );
     Ok(())
 }
@@ -253,14 +295,24 @@ fn cmd_mincut(opts: &Opts) -> Result<(), String> {
     let caps = vec![1u64; g.edge_count()];
     let r = tree_packing_min_cut(&g, &caps, trees, &MstOracle::Centralized)
         .map_err(|e| e.to_string())?;
-    println!("tree packing ({trees} trees): cut {} (side of {} nodes)", r.value, r.side.len());
+    println!(
+        "tree packing ({trees} trees): cut {} (side of {} nodes)",
+        r.value,
+        r.side.len()
+    );
     if g.len() <= 400 {
         let (exact, _) = stoer_wagner(&g, &caps).ok_or("graph too small")?;
-        println!("exact (Stoer–Wagner): {exact} | ratio {:.3}", r.value as f64 / exact.max(1) as f64);
+        println!(
+            "exact (Stoer–Wagner): {exact} | ratio {:.3}",
+            r.value as f64 / exact.max(1) as f64
+        );
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let k = amt_core::mincut::karger_estimate(&g, 0.3, &mut rng).map_err(|e| e.to_string())?;
-    println!("karger sampling (ε = 0.3): estimate {:.1} at p = {:.3}", k.estimate, k.p);
+    println!(
+        "karger sampling (ε = 0.3): estimate {:.1} at p = {:.3}",
+        k.estimate, k.p
+    );
     Ok(())
 }
 

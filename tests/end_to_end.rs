@@ -10,10 +10,19 @@ use rand::SeedableRng;
 fn families(seed: u64) -> Vec<(&'static str, Graph)> {
     let mut rng = StdRng::seed_from_u64(seed);
     vec![
-        ("random-regular", generators::random_regular(64, 6, &mut rng).unwrap()),
+        (
+            "random-regular",
+            generators::random_regular(64, 6, &mut rng).unwrap(),
+        ),
         ("hypercube", generators::hypercube(6)),
-        ("erdos-renyi", generators::connected_erdos_renyi(64, 0.12, 100, &mut rng).unwrap()),
-        ("pref-attach", generators::preferential_attachment(64, 3, &mut rng).unwrap()),
+        (
+            "erdos-renyi",
+            generators::connected_erdos_renyi(64, 0.12, 100, &mut rng).unwrap(),
+        ),
+        (
+            "pref-attach",
+            generators::preferential_attachment(64, 3, &mut rng).unwrap(),
+        ),
         ("torus", generators::torus_2d(8, 8)),
     ]
 }
@@ -32,14 +41,18 @@ fn full_pipeline_on_every_family() {
         // Routing: a cyclic permutation.
         let n = g.len() as u32;
         let reqs: Vec<_> = (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect();
-        let routed = sys.route(&reqs, 3).unwrap_or_else(|e| panic!("{name}: route: {e}"));
+        let routed = sys
+            .route(&reqs, 3)
+            .unwrap_or_else(|e| panic!("{name}: route: {e}"));
         assert_eq!(routed.delivered as u32, n, "{name}");
         assert_eq!(routed.undelivered, 0, "{name}");
 
         // MST, checked against Kruskal and both baselines.
         let mut rng = StdRng::seed_from_u64(11);
         let wg = WeightedGraph::with_random_weights(g.clone(), 100_000, &mut rng);
-        let mst = sys.mst(&wg, 5).unwrap_or_else(|e| panic!("{name}: mst: {e}"));
+        let mst = sys
+            .mst(&wg, 5)
+            .unwrap_or_else(|e| panic!("{name}: mst: {e}"));
         let kruskal = reference::kruskal(&wg).unwrap();
         assert_eq!(mst.tree_edges, kruskal, "{name}: AMT-MST must be canonical");
         let bo = congest_boruvka::run(&wg, 5).unwrap();
@@ -56,10 +69,18 @@ fn min_cut_pipeline_on_bottleneck_graph() {
     let caps = vec![1u64; g.edge_count()];
     let exact = stoer_wagner(&g, &caps).unwrap().0;
     assert_eq!(exact, 2, "two bridges");
-    let sys = System::builder(&g).seed(3).beta(4).levels(1).build().unwrap();
+    let sys = System::builder(&g)
+        .seed(3)
+        .beta(4)
+        .levels(1)
+        .build()
+        .unwrap();
     let cut = sys.min_cut(&caps, 2, 9).unwrap();
     assert!(cut.value >= exact);
-    assert!(cut.value <= 2 * exact, "1-respecting is a 2-approximation here");
+    assert!(
+        cut.value <= 2 * exact,
+        "1-respecting is a 2-approximation here"
+    );
     assert!(cut.rounds > 0);
 }
 
@@ -67,13 +88,25 @@ fn min_cut_pipeline_on_bottleneck_graph() {
 fn whole_pipeline_is_deterministic() {
     let g = amt_bench_free_expander(48, 4, 5);
     let run = |seed_sys: u64, seed_ops: u64| {
-        let sys = System::builder(&g).seed(seed_sys).beta(4).levels(1).build().unwrap();
-        let reqs: Vec<_> = (0..48u32).map(|i| (NodeId(i), NodeId((i + 13) % 48))).collect();
+        let sys = System::builder(&g)
+            .seed(seed_sys)
+            .beta(4)
+            .levels(1)
+            .build()
+            .unwrap();
+        let reqs: Vec<_> = (0..48u32)
+            .map(|i| (NodeId(i), NodeId((i + 13) % 48)))
+            .collect();
         let routed = sys.route(&reqs, seed_ops).unwrap();
         let mut rng = StdRng::seed_from_u64(seed_ops);
         let wg = WeightedGraph::with_random_weights(g.clone(), 1000, &mut rng);
         let mst = sys.mst(&wg, seed_ops).unwrap();
-        (sys.build_rounds(), routed.total_base_rounds, mst.rounds, mst.tree_edges)
+        (
+            sys.build_rounds(),
+            routed.total_base_rounds,
+            mst.rounds,
+            mst.tree_edges,
+        )
     };
     assert_eq!(run(1, 2), run(1, 2));
     // Different seeds give different schedules (but still correct trees).
@@ -85,7 +118,12 @@ fn whole_pipeline_is_deterministic() {
 #[test]
 fn oversubscribed_instances_split_not_fail() {
     let g = amt_bench_free_expander(32, 4, 6);
-    let sys = System::builder(&g).seed(1).beta(4).levels(1).build().unwrap();
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(1)
+        .build()
+        .unwrap();
     // Every node sends 20 packets to node 0.
     let mut reqs = Vec::new();
     for i in 0..32u32 {
@@ -107,8 +145,16 @@ fn failure_injection_surfaces_clean_errors() {
 
     // Bad request on a healthy system.
     let g = amt_bench_free_expander(32, 4, 7);
-    let sys = System::builder(&g).seed(1).beta(4).levels(1).build().unwrap();
-    let err = sys.route(&[(NodeId(0), NodeId(200))], 0).map(|_| ()).unwrap_err();
+    let sys = System::builder(&g)
+        .seed(1)
+        .beta(4)
+        .levels(1)
+        .build()
+        .unwrap();
+    let err = sys
+        .route(&[(NodeId(0), NodeId(200))], 0)
+        .map(|_| ())
+        .unwrap_err();
     assert!(err.to_string().contains("200"), "{err}");
 
     // MST on a graph that does not match the system's base graph.
@@ -121,7 +167,12 @@ fn failure_injection_surfaces_clean_errors() {
 #[test]
 fn clique_emulation_end_to_end() {
     let g = amt_bench_free_expander(24, 4, 8);
-    let sys = System::builder(&g).seed(2).beta(4).levels(1).build().unwrap();
+    let sys = System::builder(&g)
+        .seed(2)
+        .beta(4)
+        .levels(1)
+        .build()
+        .unwrap();
     let out = sys.emulate_clique(6).unwrap();
     assert_eq!(out.messages, 24 * 23);
     assert!(out.cut_lower_bound > 0.0);

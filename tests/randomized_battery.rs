@@ -31,12 +31,7 @@ fn battery_of_random_configurations() {
         let g = random_connected_graph(&mut rng);
         let n = g.len();
         let beta = [2u32, 4][rng.random_range(0..2usize)];
-        let sys = match System::builder(&g)
-            .seed(trial)
-            .beta(beta)
-            .levels(1)
-            .build()
-        {
+        let sys = match System::builder(&g).seed(trial).beta(beta).levels(1).build() {
             Ok(s) => s,
             Err(e) => panic!("trial {trial} (n = {n}, β = {beta}): build failed: {e}"),
         };
@@ -45,7 +40,9 @@ fn battery_of_random_configurations() {
         let reqs: Vec<_> = (0..n as u32)
             .map(|i| (NodeId(i), NodeId(rng.random_range(0..n as u32))))
             .collect();
-        let out = sys.route(&reqs, trial ^ 0xAB).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        let out = sys
+            .route(&reqs, trial ^ 0xAB)
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
         assert_eq!(out.delivered, n, "trial {trial}");
         assert_eq!(
             out.total_base_rounds,
@@ -56,7 +53,9 @@ fn battery_of_random_configurations() {
         // MST with random weights (possibly with heavy ties).
         let max_w = [3u64, 1000][rng.random_range(0..2usize)];
         let wg = WeightedGraph::with_random_weights(g.clone(), max_w, &mut rng);
-        let mst = sys.mst(&wg, trial ^ 0xCD).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        let mst = sys
+            .mst(&wg, trial ^ 0xCD)
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
         assert!(
             reference::verify_mst(&wg, &mst.tree_edges),
             "trial {trial}: non-canonical tree"
@@ -67,7 +66,10 @@ fn battery_of_random_configurations() {
                 f64::from(it.max_tree_depth) <= 4.0 * logn * logn,
                 "trial {trial}: Lemma 4.1 depth"
             );
-            assert!(it.max_degree_ratio <= 4.0 * logn, "trial {trial}: Lemma 4.1 degree");
+            assert!(
+                it.max_degree_ratio <= 4.0 * logn,
+                "trial {trial}: Lemma 4.1 degree"
+            );
         }
 
         // Min cut brackets exact.
