@@ -113,4 +113,46 @@ fn main() {
     }
     println!("\n(paper: rounds scale linearly with τ_mix at fixed n — the amt/tau");
     println!(" column should stay within a constant factor across the three rows)");
+
+    println!("\n## Wall-clock vs simulator threads (Boruvka, largest config n = 256,");
+    println!("## plus a 6-regular n = 1024 stress instance)\n");
+    println!(
+        "hardware: {} core(s) available to this process\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    header(&["n", "threads", "wall_ms", "speedup", "rounds", "identical"]);
+    for &n in &[256usize, 1024] {
+        let g = expander(n, 6, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let wg = WeightedGraph::with_random_weights(g, 1_000_000, &mut rng);
+        let mut baseline: Option<(f64, congest_boruvka::CongestMstOutcome)> = None;
+        for &threads in &[1usize, 2, 4, 8] {
+            let t0 = std::time::Instant::now();
+            let out = congest_boruvka::run_with(&wg, 3, threads).expect("connected");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let (speedup, identical) = match &baseline {
+                None => (1.0, true),
+                Some((base_ms, base_out)) => (
+                    base_ms / ms,
+                    out.tree_edges == base_out.tree_edges
+                        && out.rounds == base_out.rounds
+                        && out.messages == base_out.messages,
+                ),
+            };
+            row(&[
+                n.to_string(),
+                threads.to_string(),
+                format!("{ms:.1}"),
+                format!("{speedup:.2}x"),
+                out.rounds.to_string(),
+                identical.to_string(),
+            ]);
+            if baseline.is_none() {
+                baseline = Some((ms, out));
+            }
+        }
+    }
+    println!("\n(the `identical` column is the determinism contract: outcome and");
+    println!(" metrics are byte-identical for every thread count; speedup tracks");
+    println!(" the hardware parallelism actually available)");
 }

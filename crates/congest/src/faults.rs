@@ -164,6 +164,10 @@ pub enum FaultKind {
         /// Extra rounds waited beyond the normal one-round latency.
         by: u64,
     },
+    /// A previously delayed message was lost because its destination
+    /// crash-stopped before the delay elapsed (the matching `Delayed` event
+    /// precedes this one; the node/port identify the original sender).
+    LostToCrash,
     /// The node crash-stopped.
     Crashed,
 }

@@ -21,8 +21,12 @@
 //!   the simulator between staging and delivery, plus the
 //!   [`ReliableLink`] ack/retransmit sublayer protocols use to survive it.
 //!
-//! Determinism: the simulator owns a seeded RNG handed to protocols through
-//! [`Ctx::rng`], so every run is reproducible from `(graph, seed)`.
+//! Determinism: every node owns a private RNG stream derived from
+//! `(run seed, node id)` and handed to protocols through [`Ctx::rng`], and
+//! staged messages are delivered in `(sender, port)` order — so every run is
+//! reproducible from `(graph, seed)` independently of executor visit order
+//! or the [`RunConfig::threads`] worker count (see the [`sim`](self)
+//! module docs for the full contract).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,7 +7,11 @@
 /// (`budget_factor · ⌈log₂ n⌉` bits). The width should reflect a reasonable
 /// wire encoding — e.g. a node id costs `⌈log₂ n⌉` bits, a tag costs
 /// `⌈log₂ #variants⌉` bits — not Rust's in-memory layout.
-pub trait CongestMessage: Clone + std::fmt::Debug {
+///
+/// Messages are `Send` so the simulator's multi-threaded round executor can
+/// move them between worker shards; plain-data message types get this for
+/// free.
+pub trait CongestMessage: Clone + std::fmt::Debug + Send {
     /// Encoded width in bits.
     fn bit_width(&self) -> usize;
 

@@ -6,6 +6,18 @@
 /// this struct or the analogous scheduler statistics in `amt-walks`; rounds
 /// are always *measured* from the executed schedule, never derived from a
 /// formula.
+///
+/// # Accounting contract
+///
+/// `messages` and `bits` count **delivered** traffic on both the clean and
+/// the faulty execution paths: a message is counted exactly when it is
+/// placed into the destination's next-round inbox. On the clean path every
+/// staged message is delivered, so the totals coincide with send-side
+/// accounting; on the faulty path dropped messages, undecodable corrupted
+/// frames, and messages lost to a crashed destination never inflate the
+/// totals (they are tracked by the fault counters instead). The same
+/// delivery events drive [`Metrics::max_edge_congestion`], so the two views
+/// are always consistent.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Synchronous rounds elapsed until termination.
@@ -16,6 +28,10 @@ pub struct Metrics {
     pub bits: u64,
     /// Maximum number of messages delivered in any single round.
     pub peak_messages_per_round: u64,
+    /// Maximum, over undirected edges, of the total messages delivered
+    /// across that edge (in either direction) during the run. The full
+    /// per-edge breakdown is available from `Simulator::edge_load`.
+    pub max_edge_congestion: u64,
     /// Messages discarded by injected drop faults.
     pub dropped: u64,
     /// Messages whose encoding had a bit flipped by an injected fault
@@ -23,12 +39,17 @@ pub struct Metrics {
     pub corrupted: u64,
     /// Messages whose delivery an injected fault postponed.
     pub delayed: u64,
+    /// Delayed messages that were lost because their destination
+    /// crash-stopped before the injected delay elapsed (each also counts in
+    /// [`Metrics::delayed`] and has a `LostToCrash` fault event).
+    pub lost_to_crash: u64,
     /// Nodes crash-stopped by the fault plan.
     pub crashed: u64,
 }
 
 impl Metrics {
-    /// Merges metrics of two *sequential* executions (rounds add, peaks max).
+    /// Merges metrics of two *sequential* executions (rounds add, peaks —
+    /// including the per-run edge-congestion maximum — take the max).
     pub fn then(self, later: Metrics) -> Metrics {
         Metrics {
             rounds: self.rounds + later.rounds,
@@ -37,9 +58,11 @@ impl Metrics {
             peak_messages_per_round: self
                 .peak_messages_per_round
                 .max(later.peak_messages_per_round),
+            max_edge_congestion: self.max_edge_congestion.max(later.max_edge_congestion),
             dropped: self.dropped + later.dropped,
             corrupted: self.corrupted + later.corrupted,
             delayed: self.delayed + later.delayed,
+            lost_to_crash: self.lost_to_crash + later.lost_to_crash,
             crashed: self.crashed + later.crashed,
         }
     }
@@ -70,6 +93,7 @@ mod tests {
             messages: 10,
             bits: 100,
             peak_messages_per_round: 6,
+            max_edge_congestion: 4,
             dropped: 1,
             ..Default::default()
         };
@@ -78,9 +102,11 @@ mod tests {
             messages: 4,
             bits: 40,
             peak_messages_per_round: 8,
+            max_edge_congestion: 3,
             dropped: 2,
             corrupted: 1,
             delayed: 3,
+            lost_to_crash: 1,
             crashed: 1,
         };
         let c = a.then(b);
@@ -88,9 +114,11 @@ mod tests {
         assert_eq!(c.messages, 14);
         assert_eq!(c.bits, 140);
         assert_eq!(c.peak_messages_per_round, 8);
+        assert_eq!(c.max_edge_congestion, 4);
         assert_eq!(c.dropped, 3);
         assert_eq!(c.corrupted, 1);
         assert_eq!(c.delayed, 3);
+        assert_eq!(c.lost_to_crash, 1);
         assert_eq!(c.crashed, 1);
         assert_eq!(c.message_faults(), 7);
     }

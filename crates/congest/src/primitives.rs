@@ -927,6 +927,7 @@ pub mod reliable {
             budget_factor: 32,
             stop: crate::StopCondition::AllDone,
             max_rounds: 200_000,
+            ..Default::default()
         };
         let metrics = sim.run(&cfg)?;
         Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))

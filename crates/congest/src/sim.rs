@@ -1,10 +1,32 @@
 //! The synchronous round executor.
+//!
+//! # Determinism contract
+//!
+//! Every run is a pure function of `(graph, seed, RunConfig, FaultPlan)`:
+//!
+//! * **Per-node random streams.** Each node owns a dedicated RNG whose seed
+//!   is derived from `(run seed, node id)`, so the bits a protocol draws
+//!   depend only on *which node* draws them and *how many* draws that node
+//!   made before — never on the order in which the executor happens to
+//!   visit nodes within a round.
+//! * **Ordered merge.** Messages staged in a round are delivered into the
+//!   next round's inboxes in `(sender id, port)` order, whatever order (or
+//!   thread) executed the senders.
+//!
+//! Together these make protocol outputs and [`Metrics`] byte-identical for
+//! any visit order and any worker-thread count, which is what lets
+//! [`RunConfig::threads`] parallelize the clean path without changing a
+//! single observable bit. Runs with a non-trivial [`crate::FaultPlan`]
+//! execute sequentially (fault sampling is one global stream in message
+//! order) but use the same per-node protocol streams.
 
 use crate::faults::{Fate, FaultEvent, FaultKind, FaultPlan, FaultState};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::mpsc;
+use std::sync::OnceLock;
 
 /// A per-node state machine executed by the [`Simulator`].
 ///
@@ -12,7 +34,10 @@ use rand::SeedableRng;
 /// [`Protocol::init`]; on every subsequent round it calls
 /// [`Protocol::round`] with the messages delivered this round (sent by
 /// neighbors in the previous round), tagged with the receiving port.
-pub trait Protocol {
+///
+/// Protocols are `Send` so the multi-threaded executor can shard node state
+/// machines across workers; protocols made of plain data get this for free.
+pub trait Protocol: Send {
     /// The message type this protocol sends over edges.
     type Message: CongestMessage;
 
@@ -24,6 +49,9 @@ pub trait Protocol {
     fn round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: &[(usize, Self::Message)]);
 
     /// Local termination flag, consulted by [`StopCondition::AllDone`].
+    ///
+    /// Must be a cheap, side-effect-free read of local state: the executor
+    /// may evaluate it once per node per round, in any order.
     fn is_done(&self) -> bool {
         false
     }
@@ -52,6 +80,13 @@ pub struct RunConfig {
     pub budget_factor: usize,
     /// Termination rule.
     pub stop: StopCondition,
+    /// Worker threads for the clean execution path. `0` (the default)
+    /// resolves to the `AMT_SIM_THREADS` environment variable if set, else
+    /// to the machine's available parallelism; `1` is the classic
+    /// single-threaded loop. Results are byte-identical for every value —
+    /// see the module-level determinism contract. Runs with a non-trivial
+    /// fault plan always execute single-threaded.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -60,6 +95,7 @@ impl Default for RunConfig {
             max_rounds: 1_000_000,
             budget_factor: 8,
             stop: StopCondition::Quiescence,
+            threads: 0,
         }
     }
 }
@@ -72,13 +108,55 @@ impl RunConfig {
             ..Default::default()
         }
     }
+
+    /// Sets the clean-path worker-thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves [`RunConfig::threads`] against the node count: `0` becomes
+    /// the process default, and no more than one worker per node is used.
+    fn effective_threads(&self, n: usize) -> usize {
+        let requested = if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        };
+        requested.clamp(1, n.max(1))
+    }
+}
+
+/// Process-wide default worker count: `AMT_SIM_THREADS` if set to a
+/// positive integer, else the available hardware parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(raw) = std::env::var("AMT_SIM_THREADS") {
+            if let Ok(v) = raw.trim().parse::<usize>() {
+                if v >= 1 {
+                    return v;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// SplitMix64-style finalizer deriving one node's stream seed from the run
+/// seed. Protocol randomness is a function of `(seed, node)` only.
+fn node_stream_seed(run_seed: u64, node: u64) -> u64 {
+    let mut z = run_seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-round, per-node context handed to [`Protocol`] callbacks.
 ///
 /// Provides the node's identity, its local view of the graph (degree,
 /// neighbor ids — learnable in one round and conventionally assumed), the
-/// send operation, and the shared deterministic RNG.
+/// send operation, and the node's private deterministic RNG.
 pub struct Ctx<'a, M> {
     node: NodeId,
     degree: usize,
@@ -153,10 +231,37 @@ impl<M: CongestMessage> Ctx<'_, M> {
         }
     }
 
-    /// The shared deterministic RNG (seeded at simulator construction).
+    /// This node's private deterministic RNG.
+    ///
+    /// The stream is seeded from `(run seed, node id)` at simulator
+    /// construction, so the values drawn here are independent of the order
+    /// in which the executor visits nodes (and of the thread count).
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+}
+
+/// Per-node `(port, message)` buffers for one shard of nodes.
+type ShardBuffers<M> = Vec<Vec<(usize, M)>>;
+
+/// One round's work order sent to a worker shard.
+struct RoundJob<M> {
+    round: u64,
+    /// Inbox per local node of the shard.
+    inbox: Vec<Vec<(usize, M)>>,
+}
+
+/// One round's results reported back by a worker shard.
+struct RoundReply<M> {
+    worker: usize,
+    /// Staged `(port, message)` sends per local node, in port order.
+    outbox: Vec<Vec<(usize, M)>>,
+    /// Conjunction of `is_done` over the shard after this round.
+    all_done: bool,
+    /// First CONGEST violation in the shard, with its global node id.
+    violation: Option<(usize, CongestError)>,
+    /// The job's inbox buffers, cleared, returned for reuse.
+    recycled: Vec<Vec<(usize, M)>>,
 }
 
 /// Executes one [`Protocol`] instance per node of a [`Graph`], enforcing the
@@ -197,7 +302,10 @@ pub struct Simulator<'g, P: Protocol> {
     /// edge behind `(v, p)` is seen from the other side.
     peer_port: Vec<Vec<u32>>,
     adjacency: Vec<Vec<(u32, u32)>>,
-    rng: StdRng,
+    /// One private RNG per node; see the module determinism contract.
+    rngs: Vec<StdRng>,
+    /// Messages delivered per (undirected) edge during the most recent run.
+    edge_load: Vec<u64>,
     /// Optional fault injection; `None` (or a trivial plan) takes the exact
     /// fault-free execution path.
     fault_plan: Option<FaultPlan>,
@@ -245,7 +353,10 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             nodes,
             peer_port,
             adjacency,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: (0..n)
+                .map(|v| StdRng::seed_from_u64(node_stream_seed(seed, v as u64)))
+                .collect(),
+            edge_load: vec![0; graph.edge_count()],
             fault_plan: None,
             fault_events: Vec::new(),
             crashed: vec![false; n],
@@ -286,11 +397,24 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         &mut self.nodes
     }
 
+    /// Messages delivered per (undirected) edge, indexed by edge id, during
+    /// the most recent [`Self::run`]; the maximum entry is reported as
+    /// [`Metrics::max_edge_congestion`].
+    pub fn edge_load(&self) -> &[u64] {
+        &self.edge_load
+    }
+
     /// Runs until the stop condition, returning measured [`Metrics`].
     ///
     /// With a non-trivial [`FaultPlan`] attached, faults are sampled from
     /// the plan's dedicated RNG between staging and delivery; without one
-    /// the execution is exactly the fault-free simulator.
+    /// the execution is exactly the fault-free simulator (parallelized over
+    /// [`RunConfig::threads`] workers, with byte-identical results for any
+    /// thread count).
+    ///
+    /// After a returned error the protocol and RNG states are unspecified
+    /// (the run is aborted mid-round); the error value itself is
+    /// deterministic.
     ///
     /// # Errors
     ///
@@ -306,18 +430,73 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     /// The pristine synchronous CONGEST execution (no fault sampling at all).
     fn run_clean(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+        let threads = cfg.effective_threads(self.graph.len());
+        if threads <= 1 {
+            self.run_clean_seq(cfg, false)
+        } else {
+            self.run_clean_parallel(cfg, threads)
+        }
+    }
+
+    /// Resets the per-edge delivery counters at the start of a run.
+    fn reset_edge_load(&mut self) {
+        self.edge_load.clear();
+        self.edge_load.resize(self.graph.edge_count(), 0);
+    }
+
+    /// Delivers every staged `(port, message)` in `(sender, port)` order
+    /// into `next_inbox`, counting delivered traffic; returns the number of
+    /// messages delivered. The single accounting point shared by the
+    /// sequential and (logically) the parallel clean paths.
+    fn merge_outboxes(
+        &mut self,
+        outbox: &mut [Vec<(usize, P::Message)>],
+        next_inbox: &mut [Vec<(usize, P::Message)>],
+        metrics: &mut Metrics,
+    ) -> u64 {
+        let mut delivered = 0u64;
+        for (v, ob) in outbox.iter_mut().enumerate() {
+            for (port, msg) in ob.drain(..) {
+                let (dst, edge) = self.adjacency[v][port];
+                let dst_port = self.peer_port[v][port] as usize;
+                metrics.bits += msg.bit_width() as u64;
+                self.edge_load[edge as usize] += 1;
+                next_inbox[dst as usize].push((dst_port, msg));
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Single-threaded clean executor. `reverse_visit` runs the per-node
+    /// protocol steps in descending node order — observably identical by
+    /// the determinism contract, and exercised by tests to prove it.
+    pub(crate) fn run_clean_seq(
+        &mut self,
+        cfg: &RunConfig,
+        reverse_visit: bool,
+    ) -> Result<Metrics> {
         let n = self.graph.len();
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
+        self.reset_edge_load();
         let mut metrics = Metrics::default();
         // inbox[v] = (receiving port, message) pairs for this round.
         let mut inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+        let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+        // outbox[v] = (sending port, message) staged by v this round.
+        let mut outbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
         let mut staged: Vec<Option<P::Message>> = Vec::new();
         let mut violation: Option<CongestError> = None;
-        let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
 
         for round in 0..=cfg.max_rounds {
-            let mut sent_this_round = 0u64;
-            for (v, ib) in inbox.iter().enumerate() {
+            let mut visit = 0..n;
+            let mut visit_rev = (0..n).rev();
+            let order: &mut dyn Iterator<Item = usize> = if reverse_visit {
+                &mut visit_rev
+            } else {
+                &mut visit
+            };
+            for v in order {
                 let degree = self.adjacency[v].len();
                 staged.clear();
                 staged.resize_with(degree, || None);
@@ -329,47 +508,239 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         round,
                         budget_bits,
                         staged: &mut staged,
-                        rng: &mut self.rng,
+                        rng: &mut self.rngs[v],
                         violation: &mut violation,
                     };
                     if round == 0 {
                         self.nodes[v].init(&mut ctx);
                     } else {
-                        self.nodes[v].round(&mut ctx, ib);
+                        self.nodes[v].round(&mut ctx, &inbox[v]);
                     }
                 }
                 if let Some(err) = violation.take() {
                     return Err(err);
                 }
+                let ob = &mut outbox[v];
                 for (port, slot) in staged.iter_mut().enumerate() {
                     if let Some(msg) = slot.take() {
-                        let dst = self.adjacency[v][port].0 as usize;
-                        let dst_port = self.peer_port[v][port] as usize;
-                        metrics.bits += msg.bit_width() as u64;
-                        next_inbox[dst].push((dst_port, msg));
-                        sent_this_round += 1;
+                        ob.push((port, msg));
                     }
                 }
             }
-            metrics.messages += sent_this_round;
-            metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(sent_this_round);
+            let delivered = self.merge_outboxes(&mut outbox, &mut next_inbox, &mut metrics);
+            metrics.messages += delivered;
+            metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
             for ib in &mut inbox {
                 ib.clear();
             }
             std::mem::swap(&mut inbox, &mut next_inbox);
-            let in_flight = sent_this_round > 0;
+            let in_flight = delivered > 0;
             metrics.rounds = round;
             let stop = match cfg.stop {
                 StopCondition::AllDone => !in_flight && self.nodes.iter().all(Protocol::is_done),
                 StopCondition::Quiescence => !in_flight && round > 0,
             };
             if stop {
+                metrics.max_edge_congestion = self.edge_load.iter().copied().max().unwrap_or(0);
                 return Ok(metrics);
             }
         }
         Err(CongestError::RoundLimitExceeded {
             max_rounds: cfg.max_rounds,
         })
+    }
+
+    /// Multi-threaded clean executor: nodes are sharded into contiguous
+    /// chunks, one persistent worker per chunk inside a [`std::thread::scope`];
+    /// each round the coordinator ships per-shard inboxes out, workers step
+    /// their nodes against their private RNG streams into per-shard staging
+    /// buffers, and the coordinator merges all outboxes in `(sender, port)`
+    /// order — so delivery order, [`Metrics`], and protocol outputs are
+    /// byte-identical to the single-threaded loop.
+    fn run_clean_parallel(&mut self, cfg: &RunConfig, threads: usize) -> Result<Metrics> {
+        let n = self.graph.len();
+        let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
+        self.reset_edge_load();
+        let chunk = n.div_ceil(threads);
+
+        // Shard node state machines and their RNG streams; workers own the
+        // shards for the duration of the run and hand them back at the end.
+        let mut all_nodes = std::mem::take(&mut self.nodes);
+        let mut all_rngs = std::mem::take(&mut self.rngs);
+        let mut node_chunks: Vec<Vec<P>> = Vec::new();
+        let mut rng_chunks: Vec<Vec<StdRng>> = Vec::new();
+        while !all_nodes.is_empty() {
+            let take = chunk.min(all_nodes.len());
+            node_chunks.push(all_nodes.drain(..take).collect());
+            rng_chunks.push(all_rngs.drain(..take).collect());
+        }
+        let shard_sizes: Vec<usize> = node_chunks.iter().map(Vec::len).collect();
+        let workers = node_chunks.len();
+
+        let adjacency = &self.adjacency;
+        let peer_port = &self.peer_port;
+        let edge_load = &mut self.edge_load;
+
+        let (result, nodes_back, rngs_back) = std::thread::scope(|s| {
+            let (reply_tx, reply_rx) = mpsc::channel::<RoundReply<P::Message>>();
+            let mut job_txs = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for (w, (mut my_nodes, mut my_rngs)) in
+                node_chunks.into_iter().zip(rng_chunks).enumerate()
+            {
+                let (job_tx, job_rx) = mpsc::channel::<RoundJob<P::Message>>();
+                job_txs.push(job_tx);
+                let reply_tx = reply_tx.clone();
+                let base = w * chunk;
+                handles.push(s.spawn(move || {
+                    let mut staged: Vec<Option<P::Message>> = Vec::new();
+                    while let Ok(mut job) = job_rx.recv() {
+                        let mut reply = RoundReply {
+                            worker: w,
+                            outbox: Vec::with_capacity(my_nodes.len()),
+                            all_done: true,
+                            violation: None,
+                            recycled: Vec::new(),
+                        };
+                        for (i, node) in my_nodes.iter_mut().enumerate() {
+                            let v = base + i;
+                            let degree = adjacency[v].len();
+                            staged.clear();
+                            staged.resize_with(degree, || None);
+                            // After a violation the rest of the shard is
+                            // skipped (the run aborts; state after an error
+                            // is unspecified).
+                            if reply.violation.is_none() {
+                                let mut violation = None;
+                                let mut ctx = Ctx {
+                                    node: NodeId::from(v),
+                                    degree,
+                                    neighbors: &adjacency[v],
+                                    round: job.round,
+                                    budget_bits,
+                                    staged: &mut staged,
+                                    rng: &mut my_rngs[i],
+                                    violation: &mut violation,
+                                };
+                                if job.round == 0 {
+                                    node.init(&mut ctx);
+                                } else {
+                                    node.round(&mut ctx, &job.inbox[i]);
+                                }
+                                if let Some(err) = violation {
+                                    reply.violation = Some((v, err));
+                                }
+                            }
+                            reply.outbox.push(
+                                staged
+                                    .iter_mut()
+                                    .enumerate()
+                                    .filter_map(|(p, slot)| slot.take().map(|m| (p, m)))
+                                    .collect(),
+                            );
+                            reply.all_done &= node.is_done();
+                        }
+                        for ib in &mut job.inbox {
+                            ib.clear();
+                        }
+                        reply.recycled = job.inbox;
+                        if reply_tx.send(reply).is_err() {
+                            break;
+                        }
+                    }
+                    (my_nodes, my_rngs)
+                }));
+            }
+            drop(reply_tx);
+
+            let mut metrics = Metrics::default();
+            // Per-shard inbox batches for the upcoming round.
+            let mut batches: Vec<ShardBuffers<P::Message>> = shard_sizes
+                .iter()
+                .map(|&len| vec![Vec::new(); len])
+                .collect();
+            let mut result: Result<Metrics> = Err(CongestError::RoundLimitExceeded {
+                max_rounds: cfg.max_rounds,
+            });
+            'rounds: for round in 0..=cfg.max_rounds {
+                for (w, tx) in job_txs.iter().enumerate() {
+                    let inbox = std::mem::take(&mut batches[w]);
+                    // A send can only fail if the worker panicked; the join
+                    // below propagates the panic.
+                    let _ = tx.send(RoundJob { round, inbox });
+                }
+                let mut outboxes: Vec<ShardBuffers<P::Message>> = Vec::new();
+                outboxes.resize_with(workers, Vec::new);
+                let mut all_done = true;
+                let mut violation: Option<(usize, CongestError)> = None;
+                for _ in 0..workers {
+                    let Ok(reply) = reply_rx.recv() else {
+                        // A worker died; surface its panic via join below.
+                        break 'rounds;
+                    };
+                    all_done &= reply.all_done;
+                    if let Some((v, err)) = reply.violation {
+                        // The deterministic error is the lowest-node one,
+                        // exactly what the sequential visit would hit first.
+                        if violation.as_ref().is_none_or(|&(best, _)| v < best) {
+                            violation = Some((v, err));
+                        }
+                    }
+                    batches[reply.worker] = reply.recycled;
+                    outboxes[reply.worker] = reply.outbox;
+                }
+                if let Some((_, err)) = violation {
+                    result = Err(err);
+                    break 'rounds;
+                }
+                // Ordered merge: shards are contiguous in node order, so
+                // (worker, local index) ascending is (sender id) ascending —
+                // delivery order and accounting match the sequential loop.
+                let mut delivered = 0u64;
+                for (w, ob) in outboxes.into_iter().enumerate() {
+                    for (i, sends) in ob.into_iter().enumerate() {
+                        let v = w * chunk + i;
+                        for (port, msg) in sends {
+                            let (dst, edge) = adjacency[v][port];
+                            let dst_port = peer_port[v][port] as usize;
+                            metrics.bits += msg.bit_width() as u64;
+                            edge_load[edge as usize] += 1;
+                            let dst = dst as usize;
+                            batches[dst / chunk][dst % chunk].push((dst_port, msg));
+                            delivered += 1;
+                        }
+                    }
+                }
+                metrics.messages += delivered;
+                metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
+                metrics.rounds = round;
+                let in_flight = delivered > 0;
+                let stop = match cfg.stop {
+                    StopCondition::AllDone => !in_flight && all_done,
+                    StopCondition::Quiescence => !in_flight && round > 0,
+                };
+                if stop {
+                    metrics.max_edge_congestion = edge_load.iter().copied().max().unwrap_or(0);
+                    result = Ok(metrics);
+                    break 'rounds;
+                }
+            }
+            drop(job_txs);
+            let mut nodes_back = Vec::with_capacity(n);
+            let mut rngs_back = Vec::with_capacity(n);
+            for handle in handles {
+                let (shard_nodes, shard_rngs) = match handle.join() {
+                    Ok(shard) => shard,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                };
+                nodes_back.extend(shard_nodes);
+                rngs_back.extend(shard_rngs);
+            }
+            (result, nodes_back, rngs_back)
+        });
+        self.nodes = nodes_back;
+        self.rngs = rngs_back;
+        result
     }
 
     fn run_faulty(&mut self, cfg: &RunConfig, plan: FaultPlan) -> Result<Metrics> {
@@ -387,18 +758,29 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// each staged message is dropped, corrupted (one flipped bit; an
     /// undecodable frame is discarded), delayed (delivered `by` rounds
     /// late), or delivered intact; `messages`/`bits` count *deliveries*, so
-    /// lost traffic never inflates the totals.
+    /// lost traffic never inflates the totals. Always single-threaded: the
+    /// fault stream is one global sequence in message order.
     fn faulty_loop(&mut self, cfg: &RunConfig, fs: &mut FaultState) -> Result<Metrics> {
         let n = self.graph.len();
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
+        self.reset_edge_load();
         let mut metrics = Metrics::default();
         let mut inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
         let mut staged: Vec<Option<P::Message>> = Vec::new();
         let mut violation: Option<CongestError> = None;
         let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-        // Messages an injected delay is holding back: delivered into
-        // `next_inbox` during the round stored in `.0`.
-        let mut held: Vec<(u64, usize, usize, P::Message)> = Vec::new();
+        // Messages an injected delay is holding back, with the original
+        // sender kept for the loss event if the destination crashes first.
+        struct Held<M> {
+            release_round: u64,
+            src: usize,
+            src_port: usize,
+            dst: usize,
+            dst_port: usize,
+            edge: usize,
+            msg: M,
+        }
+        let mut held: Vec<Held<P::Message>> = Vec::new();
 
         for round in 0..=cfg.max_rounds {
             fs.apply_crashes(round, &mut metrics);
@@ -419,7 +801,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         round,
                         budget_bits,
                         staged: &mut staged,
-                        rng: &mut self.rng,
+                        rng: &mut self.rngs[v],
                         violation: &mut violation,
                     };
                     if round == 0 {
@@ -433,7 +815,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 }
                 for (port, slot) in staged.iter_mut().enumerate() {
                     let Some(msg) = slot.take() else { continue };
-                    let dst = self.adjacency[v][port].0 as usize;
+                    let (dst, edge) = self.adjacency[v][port];
+                    let (dst, edge) = (dst as usize, edge as usize);
                     let dst_port = self.peer_port[v][port] as usize;
                     if fs.is_crashed(dst) {
                         // Lost to the crash; the Crashed event already
@@ -443,6 +826,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     match fs.fate() {
                         Fate::Deliver => {
                             metrics.bits += msg.bit_width() as u64;
+                            self.edge_load[edge] += 1;
                             next_inbox[dst].push((dst_port, msg));
                             delivered_this_round += 1;
                         }
@@ -462,6 +846,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                                         FaultKind::Corrupted { delivered: true },
                                     );
                                     metrics.bits += garbled.bit_width() as u64;
+                                    self.edge_load[edge] += 1;
                                     next_inbox[dst].push((dst_port, garbled));
                                     delivered_this_round += 1;
                                 }
@@ -481,20 +866,34 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         Fate::Delay(by) => {
                             metrics.delayed += 1;
                             fs.record(round, v, port, FaultKind::Delayed { by });
-                            held.push((round + by, dst, dst_port, msg));
+                            held.push(Held {
+                                release_round: round + by,
+                                src: v,
+                                src_port: port,
+                                dst,
+                                dst_port,
+                                edge,
+                                msg,
+                            });
                         }
                     }
                 }
             }
-            // Release held messages whose extra wait has elapsed (crash of
-            // the destination in the meantime loses them).
+            // Release held messages whose extra wait has elapsed; a message
+            // whose destination crashed in the meantime is lost, and the
+            // loss is recorded (it was already counted as delayed, so
+            // without the event it would silently vanish).
             let mut i = 0;
             while i < held.len() {
-                if held[i].0 <= round {
-                    let (_, dst, dst_port, msg) = held.swap_remove(i);
-                    if !fs.is_crashed(dst) {
-                        metrics.bits += msg.bit_width() as u64;
-                        next_inbox[dst].push((dst_port, msg));
+                if held[i].release_round <= round {
+                    let h = held.swap_remove(i);
+                    if fs.is_crashed(h.dst) {
+                        metrics.lost_to_crash += 1;
+                        fs.record(round, h.src, h.src_port, FaultKind::LostToCrash);
+                    } else {
+                        metrics.bits += h.msg.bit_width() as u64;
+                        self.edge_load[h.edge] += 1;
+                        next_inbox[h.dst].push((h.dst_port, h.msg));
                         delivered_this_round += 1;
                     }
                 } else {
@@ -522,6 +921,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 StopCondition::Quiescence => !in_flight && round > 0,
             };
             if stop {
+                metrics.max_edge_congestion = self.edge_load.iter().copied().max().unwrap_or(0);
                 return Ok(metrics);
             }
         }
@@ -534,6 +934,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngExt;
 
     /// Protocol that floods the max of initial values.
     struct MaxFlood {
@@ -696,6 +1097,20 @@ mod tests {
         assert_eq!(err, CongestError::RoundLimitExceeded { max_rounds: 50 });
     }
 
+    #[test]
+    fn round_cap_enforced_in_parallel() {
+        let g = path(8);
+        let nodes = (0..8).map(|_| Chatter).collect();
+        let mut sim = Simulator::new(&g, nodes, 0).unwrap();
+        let cfg = RunConfig {
+            max_rounds: 50,
+            ..Default::default()
+        }
+        .with_threads(4);
+        let err = sim.run(&cfg).unwrap_err();
+        assert_eq!(err, CongestError::RoundLimitExceeded { max_rounds: 50 });
+    }
+
     /// Ping-pong over a self-loop: port pairing must route a self-loop send
     /// to the *other* occurrence of the loop at the same node.
     struct LoopPing {
@@ -743,5 +1158,162 @@ mod tests {
             .run(&RunConfig::default())
             .unwrap();
         assert_eq!(m1, m2);
+    }
+
+    /// A randomized protocol: every node performs a lazy random walk of its
+    /// token, the workload of the paper's constructions. Sensitive to every
+    /// bit of the RNG stream, so it detects any order dependence.
+    struct TokenWalker {
+        tokens: u32,
+        hops_left: u32,
+        trace: u64,
+    }
+
+    impl Protocol for TokenWalker {
+        type Message = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            let degree = ctx.degree();
+            let mut staged: Vec<(usize, u32)> = (0..self.tokens)
+                .map(|_| (ctx.rng().random_range(0..degree), self.hops_left))
+                .collect();
+            staged.sort_by_key(|&(p, _)| p);
+            staged.dedup_by_key(|&mut (p, _)| p);
+            for (port, hops) in staged {
+                ctx.send(port, hops);
+            }
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+            let degree = ctx.degree();
+            let mut staged: Vec<(usize, u32)> = Vec::new();
+            for &(_, hops) in inbox {
+                self.trace = self
+                    .trace
+                    .wrapping_mul(31)
+                    .wrapping_add(u64::from(hops) + 1);
+                if hops > 0 && ctx.rng().random_bool(0.75) {
+                    let port = ctx.rng().random_range(0..degree);
+                    staged.push((port, hops - 1));
+                }
+            }
+            // Collapse duplicate ports (CONGEST allows one message/port).
+            staged.sort_by_key(|&(p, _)| p);
+            staged.dedup_by_key(|&mut (p, _)| p);
+            for (port, hops) in staged {
+                ctx.send(port, hops);
+            }
+        }
+    }
+
+    fn walker_fleet(n: usize) -> Vec<TokenWalker> {
+        (0..n)
+            .map(|v| TokenWalker {
+                tokens: 1 + (v as u32 % 2),
+                hops_left: 12,
+                trace: 0,
+            })
+            .collect()
+    }
+
+    /// The regression test for the order-dependence bug: with the shared
+    /// RNG, reversing the visit order changed every stream; with per-node
+    /// streams and ordered merge it cannot change a single bit.
+    #[test]
+    fn visit_order_cannot_change_outcomes() {
+        let g = amt_graphs::generators::hypercube(5);
+        let cfg = RunConfig::default().with_threads(1);
+        let mut fwd = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+        let m_fwd = fwd.run_clean_seq(&cfg, false).unwrap();
+        let mut rev = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+        let m_rev = rev.run_clean_seq(&cfg, true).unwrap();
+        assert_eq!(m_fwd, m_rev, "metrics must not depend on visit order");
+        let t_fwd: Vec<u64> = fwd.nodes().iter().map(|p| p.trace).collect();
+        let t_rev: Vec<u64> = rev.nodes().iter().map(|p| p.trace).collect();
+        assert_eq!(
+            t_fwd, t_rev,
+            "protocol state must not depend on visit order"
+        );
+        assert_eq!(fwd.edge_load(), rev.edge_load());
+        assert!(
+            m_fwd.messages > 0,
+            "the workload must actually send traffic"
+        );
+    }
+
+    /// Byte-identical metrics, protocol state, and edge loads across thread
+    /// counts, on a randomized workload.
+    #[test]
+    fn thread_count_cannot_change_outcomes() {
+        let g = amt_graphs::generators::hypercube(5);
+        let run = |threads: usize| {
+            let mut sim = Simulator::new(&g, walker_fleet(32), 123).unwrap();
+            let m = sim
+                .run(&RunConfig::default().with_threads(threads))
+                .unwrap();
+            let traces: Vec<u64> = sim.nodes().iter().map(|p| p.trace).collect();
+            (m, traces, sim.edge_load().to_vec())
+        };
+        let baseline = run(1);
+        for threads in [2, 3, 4, 8, 32] {
+            assert_eq!(run(threads), baseline, "threads = {threads} diverged");
+        }
+    }
+
+    /// Per-node streams must differ between nodes and between seeds.
+    #[test]
+    fn node_streams_are_distinct() {
+        let mut seeds: Vec<u64> = (0..64).map(|v| node_stream_seed(7, v)).collect();
+        seeds.push(node_stream_seed(8, 0));
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 65, "stream seeds must not collide");
+    }
+
+    /// Hand-computable congestion: flooding a 4-path from node 0 under
+    /// AllDone-style termination. Each edge carries the value exactly once
+    /// per direction it propagates, so the middle accounting is checkable.
+    #[test]
+    fn edge_congestion_matches_hand_count() {
+        let g = path(4);
+        // Nodes 1..3 start at 0; node 0 floods the max id 9.
+        let nodes = vec![
+            MaxFlood {
+                best: 9,
+                dirty: false,
+            },
+            MaxFlood {
+                best: 0,
+                dirty: false,
+            },
+            MaxFlood {
+                best: 0,
+                dirty: false,
+            },
+            MaxFlood {
+                best: 0,
+                dirty: false,
+            },
+        ];
+        let mut sim = Simulator::new(&g, nodes, 0).unwrap();
+        let m = sim.run(&RunConfig::default()).unwrap();
+        // Round 0: every node sends its value both ways — each edge carries
+        // 2 messages. Afterwards the value 9 travels 0→1→2→3, one more
+        // message per edge; the improved nodes also echo backwards along
+        // their other port. Edge (0,1): init 2 + echo-forward at most once
+        // more... rather than over-specify, check the exact measured loads
+        // against an independent recount from the delivered totals.
+        assert_eq!(sim.edge_load().len(), 3);
+        assert_eq!(
+            sim.edge_load().iter().sum::<u64>(),
+            m.messages,
+            "per-edge loads must partition total deliveries"
+        );
+        assert_eq!(
+            m.max_edge_congestion,
+            *sim.edge_load().iter().max().unwrap(),
+            "metric must equal the max per-edge load"
+        );
+        // The hand count for edge (0,1): both endpoints send in round 0,
+        // then node 1 (improved to 9) echoes back to 0: 3 total.
+        assert_eq!(sim.edge_load()[0], 3);
     }
 }

@@ -353,6 +353,63 @@ fn quiescence_waits_for_held_messages() {
 }
 
 #[test]
+fn delayed_message_to_crashed_destination_is_recorded_as_lost() {
+    // Node 0 sends once to node 1; the plan delays every message and
+    // crashes node 1 before the delay can elapse. The loss must be
+    // observable: a LostToCrash event naming the original sender, a
+    // lost_to_crash count, and no phantom delivery.
+    let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    struct OneShot {
+        id: u64,
+        got: Option<u64>,
+    }
+    impl Protocol for OneShot {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.id == 0 {
+                ctx.send(0, 7);
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+            for &(_, v) in inbox {
+                self.got = Some(v);
+            }
+        }
+    }
+    let plan = FaultPlan::none()
+        .seeded(1)
+        .with_delays(1.0, 5)
+        .with_crash(NodeId(1), 1);
+    let fleet = vec![OneShot { id: 0, got: None }, OneShot { id: 1, got: None }];
+    let mut sim = Simulator::new(&g, fleet, 0).unwrap().with_fault_plan(plan);
+    let m = sim.run(&RunConfig::default()).unwrap();
+    assert_eq!(m.delayed, 1, "the message was delayed");
+    assert_eq!(m.lost_to_crash, 1, "…and then lost to the crash");
+    assert_eq!(m.messages, 0, "a lost message is never counted delivered");
+    assert_eq!(sim.nodes()[1].got, None);
+    let lost: Vec<_> = sim
+        .fault_events()
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::LostToCrash))
+        .collect();
+    assert_eq!(lost.len(), 1);
+    assert_eq!(lost[0].node, NodeId(0), "event names the original sender");
+    assert_eq!(lost[0].port, 0);
+    // The matching Delayed event precedes the loss in the stream.
+    let delayed_pos = sim
+        .fault_events()
+        .iter()
+        .position(|e| matches!(e.kind, FaultKind::Delayed { .. }))
+        .unwrap();
+    let lost_pos = sim
+        .fault_events()
+        .iter()
+        .position(|e| matches!(e.kind, FaultKind::LostToCrash))
+        .unwrap();
+    assert!(delayed_pos < lost_pos);
+}
+
+#[test]
 fn metrics_compose_under_then() {
     let g = expander();
     let plan = FaultPlan::none().seeded(2).with_drops(0.1);

@@ -70,6 +70,7 @@ pub(crate) fn min_flood(
     active: &HashSet<EdgeId>,
     init: &[u64],
     seed: u64,
+    threads: usize,
 ) -> Result<(Vec<u64>, Metrics)> {
     let g = wg.graph();
     let nodes = g
@@ -91,7 +92,8 @@ pub(crate) fn min_flood(
     let cfg = RunConfig {
         budget_factor: 24,
         ..RunConfig::default()
-    };
+    }
+    .with_threads(threads);
     let metrics = sim.run(&cfg)?;
     Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))
 }
@@ -114,6 +116,17 @@ pub(crate) fn decode_edge(wg: &WeightedGraph, v: u64) -> EdgeId {
 /// [`MstError::Graph`] on disconnected input, [`MstError::Congest`] on
 /// simulator violations, [`MstError::TooManyIterations`] as a bug guard.
 pub fn run(wg: &WeightedGraph, seed: u64) -> Result<CongestMstOutcome> {
+    run_with(wg, seed, 0)
+}
+
+/// [`run`] with an explicit simulator worker-thread count (`0` = the
+/// process default). Outcome and metrics are byte-identical for every
+/// `threads` value — the simulator's determinism contract.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<CongestMstOutcome> {
     let g = wg.graph();
     g.require_connected()?;
     let n = g.len();
@@ -148,7 +161,7 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<CongestMstOutcome> {
                     .map_or(u64::MAX, |(e, _)| encode(wg, e))
             })
             .collect();
-        let (vals, m1) = min_flood(wg, &forest, &init, seed ^ u64::from(iterations))?;
+        let (vals, m1) = min_flood(wg, &forest, &init, seed ^ u64::from(iterations), threads)?;
         metrics = metrics.then(m1);
 
         // Merge along every fragment's minimum outgoing edge.
@@ -181,6 +194,7 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<CongestMstOutcome> {
             &forest,
             &label_init,
             seed ^ 0xF00D ^ u64::from(iterations),
+            threads,
         )?;
         metrics = metrics.then(m2);
         comp = labels;

@@ -74,7 +74,7 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
             })
             .collect();
         let (vals, m) =
-            crate::congest_boruvka::min_flood(wg, &forest, &init, seed ^ u64::from(iters))?;
+            crate::congest_boruvka::min_flood(wg, &forest, &init, seed ^ u64::from(iters), 0)?;
         phase1 = phase1.then(m);
 
         let mut uf = UnionFind::new(n);
@@ -98,6 +98,7 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
             &forest,
             &(0..n as u64).collect::<Vec<_>>(),
             seed ^ 0xBEEF ^ u64::from(iters),
+            0,
         )?;
         phase1 = phase1.then(m2);
         comp = labels;

@@ -129,6 +129,7 @@ fn reliable_min_flood(
         stop: StopCondition::AllDone,
         budget_factor: 32,
         max_rounds: 500_000,
+        ..Default::default()
     };
     let metrics = sim.run(&cfg)?;
     for e in sim.fault_events() {

@@ -391,6 +391,7 @@ pub fn run_walks_healing(
             stop: StopCondition::AllDone,
             budget_factor: 16,
             max_rounds: 500_000,
+            ..Default::default()
         };
         metrics = metrics.then(sim.run(&cfg)?);
         for v in sim.crashed_nodes() {

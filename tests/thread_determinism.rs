@@ -1,0 +1,185 @@
+//! Acceptance tests for the simulator's determinism contract: protocol
+//! results and `Metrics` are byte-identical across worker-thread counts
+//! {1, 2, 4, 8} for the same seed, on the repo's real workloads (parallel
+//! walks, Boruvka MST) and a routing-style packet-forwarding protocol.
+
+use amt_core::congest::{Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition};
+use amt_core::mst::congest_boruvka;
+use amt_core::prelude::*;
+use amt_core::walks::congest_exec::run_walks_in_congest_threaded;
+use amt_core::walks::parallel::degree_proportional_specs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn walk_runs_are_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = generators::random_regular(96, 6, &mut rng).unwrap();
+    let specs = degree_proportional_specs(&g, 3, 24);
+    for seed in [0u64, 7, 1234] {
+        let baseline = run_walks_in_congest_threaded(&g, WalkKind::Lazy, &specs, seed, 1).unwrap();
+        for t in &THREADS[1..] {
+            let run = run_walks_in_congest_threaded(&g, WalkKind::Lazy, &specs, seed, *t).unwrap();
+            assert_eq!(
+                run.endpoints, baseline.endpoints,
+                "seed {seed}, threads {t}: endpoints diverged"
+            );
+            assert_eq!(
+                run.metrics, baseline.metrics,
+                "seed {seed}, threads {t}: metrics diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn boruvka_runs_are_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let g = generators::connected_erdos_renyi(64, 0.1, 50, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g, 1000, &mut rng);
+    for seed in [2u64, 99] {
+        let baseline = congest_boruvka::run_with(&wg, seed, 1).unwrap();
+        assert_eq!(
+            baseline.tree_edges,
+            amt_core::mst::reference::kruskal(&wg).unwrap()
+        );
+        for t in &THREADS[1..] {
+            let run = congest_boruvka::run_with(&wg, seed, *t).unwrap();
+            assert_eq!(run.tree_edges, baseline.tree_edges);
+            assert_eq!(run.total_weight, baseline.total_weight);
+            assert_eq!(run.rounds, baseline.rounds, "threads {t}: rounds diverged");
+            assert_eq!(
+                run.messages, baseline.messages,
+                "threads {t}: messages diverged"
+            );
+            assert_eq!(run.iterations, baseline.iterations);
+        }
+    }
+}
+
+/// A routing-style workload: each node holds packets addressed to random
+/// destinations and forwards one per port per round along greedy
+/// hypercube-bit-fixing routes, with randomized tie-breaking — the message
+/// pattern of the paper's permutation-routing experiments.
+struct BitFixRouter {
+    me: u32,
+    /// Packets resident here: destination node ids.
+    packets: Vec<u32>,
+    delivered: u64,
+    checksum: u64,
+}
+
+impl BitFixRouter {
+    fn absorb_or_queue(&mut self, dst: u32) {
+        if dst == self.me {
+            self.delivered += 1;
+            self.checksum = self
+                .checksum
+                .wrapping_mul(131)
+                .wrapping_add(u64::from(dst) + 1);
+        } else {
+            self.packets.push(dst);
+        }
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_, u32>) {
+        use rand::RngExt;
+        // Greedy bit fixing: one packet per port per round; leftovers
+        // wait. Random shuffle makes the schedule RNG-sensitive, so any
+        // order dependence in the executor would show up here.
+        let mut pending = std::mem::take(&mut self.packets);
+        for i in (1..pending.len()).rev() {
+            let j = ctx.rng().random_range(0..=(i as u64)) as usize;
+            pending.swap(i, j);
+        }
+        let mut used = vec![false; ctx.degree()];
+        for dst in pending {
+            if dst == self.me {
+                // A packet born at its own destination.
+                self.absorb_or_queue(dst);
+                continue;
+            }
+            // Correct the lowest differing bit: find the port leading to
+            // me with that bit flipped (port order is generator-defined).
+            let target = self.me ^ (1 << (dst ^ self.me).trailing_zeros());
+            let port = (0..ctx.degree())
+                .find(|&p| ctx.neighbor(p).index() as u32 == target)
+                .expect("hypercube neighbor must exist");
+            if used[port] {
+                self.packets.push(dst);
+            } else {
+                used[port] = true;
+                ctx.send(port, dst);
+            }
+        }
+    }
+}
+
+impl Protocol for BitFixRouter {
+    type Message = u32;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        self.forward(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        for &(_, dst) in inbox {
+            self.absorb_or_queue(dst);
+        }
+        self.forward(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+#[test]
+fn routing_runs_are_identical_across_thread_counts() {
+    let dim = 6;
+    let n = 1usize << dim;
+    let g = generators::hypercube(dim as u32);
+    let run = |seed: u64, threads: usize| -> (Metrics, Vec<(u64, u64)>) {
+        use rand::RngExt;
+        // The workload itself is seed-derived but thread-independent.
+        let mut wl = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let nodes = (0..n)
+            .map(|v| BitFixRouter {
+                me: v as u32,
+                packets: (0..4)
+                    .map(|_| wl.random_range(0..n as u64) as u32)
+                    .collect(),
+                delivered: 0,
+                checksum: 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes, seed).unwrap();
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(threads);
+        let m = sim.run(&cfg).unwrap();
+        let state = sim
+            .nodes()
+            .iter()
+            .map(|p| (p.delivered, p.checksum))
+            .collect();
+        (m, state)
+    };
+    for seed in [3u64, 41] {
+        let (m1, s1) = run(seed, 1);
+        assert_eq!(
+            s1.iter().map(|&(d, _)| d).sum::<u64>(),
+            4 * n as u64,
+            "every packet must arrive"
+        );
+        for t in &THREADS[1..] {
+            let (mt, st) = run(seed, *t);
+            assert_eq!(mt, m1, "seed {seed}, threads {t}: metrics diverged");
+            assert_eq!(st, s1, "seed {seed}, threads {t}: node state diverged");
+        }
+    }
+}
