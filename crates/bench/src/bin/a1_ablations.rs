@@ -9,7 +9,7 @@
 //! 3. **Walk execution** — phase-based accounting (Lemma 2.5) vs actual
 //!    CONGEST protocol execution with per-edge queues.
 
-use amt_bench::{expander, header, row, scaled_levels};
+use amt_bench::{expander, scaled_levels, Report};
 use amt_core::prelude::*;
 use amt_core::routing::{EmulationMode, HierarchicalRouter, RouterConfig};
 use amt_core::walks::congest_exec::run_walks_in_congest;
@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("a1_ablations");
     let n = 128usize;
     let g = expander(n, 6, 1);
     let sys = System::builder(&g)
@@ -37,7 +38,7 @@ fn main() {
             reqs.push((NodeId(s), NodeId((17 * (i as u32 + 1) + 13 * j) % n as u32)));
         }
     }
-    header(&["prepare", "rounds (exact)", "delivered"]);
+    report.header(&["prepare", "rounds (exact)", "delivered"]);
     for prepare in [true, false] {
         let router = HierarchicalRouter::with_config(
             sys.hierarchy(),
@@ -48,7 +49,7 @@ fn main() {
             },
         );
         let out = router.route(&reqs, 3).expect("routable");
-        row(&[
+        report.row(&[
             prepare.to_string(),
             out.total_base_rounds.to_string(),
             format!("{}/{}", out.delivered, reqs.len()),
@@ -60,7 +61,7 @@ fn main() {
     println!(" paper's reason for the redistribution step)\n");
 
     println!("# A1.2 — emulation pricing: exact vs sequential factoring\n");
-    header(&["n", "exact rounds", "factored rounds", "factored/exact"]);
+    report.header(&["n", "exact rounds", "factored rounds", "factored/exact"]);
     for &nn in &[64usize, 128] {
         let g2 = expander(nn, 6, 1);
         let sys2 = System::builder(&g2)
@@ -82,7 +83,7 @@ fn main() {
         .route(&reqs2, 2)
         .expect("routable");
         let factored = sys2.route(&reqs2, 2).expect("routable");
-        row(&[
+        report.row(&[
             nn.to_string(),
             exact.total_base_rounds.to_string(),
             factored.total_base_rounds.to_string(),
@@ -97,12 +98,12 @@ fn main() {
     println!(" upper bound; exact expansion shows the real store-and-forward cost)\n");
 
     println!("# A1.3 — walk accounting vs real protocol execution\n");
-    header(&["k", "scheduler rounds", "CONGEST protocol rounds", "ratio"]);
+    report.header(&["k", "scheduler rounds", "CONGEST protocol rounds", "ratio"]);
     for &k in &[1usize, 4] {
         let specs = degree_proportional_specs(&g, k, 20);
         let sched = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
         let proto = run_walks_in_congest(&g, WalkKind::Lazy, &specs, 5).expect("fits budget");
-        row(&[
+        report.row(&[
             k.to_string(),
             sched.stats.rounds.to_string(),
             proto.metrics.rounds.to_string(),
@@ -116,4 +117,5 @@ fn main() {
     println!(" with a real message-passing execution within a small constant — the");
     println!(" queue-based protocol can even be faster because it pipelines across");
     println!(" walk steps instead of synchronizing phases)");
+    report.finish();
 }

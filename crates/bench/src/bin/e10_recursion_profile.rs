@@ -6,7 +6,7 @@
 //!     the number of packets needing to cross `A_i → A_j` against the
 //!     number of `G₀` edges available between them.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::embedding::VirtualId;
 use amt_core::prelude::*;
 use amt_core::routing::{EmulationMode, HierarchicalRouter, RouterConfig};
@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn main() {
+    let mut report = Report::new("e10_recursion_profile");
     let n = 128usize;
     let g = expander(n, 6, 1);
     let sys = System::builder(&g)
@@ -38,13 +39,13 @@ fn main() {
         },
     );
     let out = router.route(&reqs, 2).expect("routable");
-    header(&["component", "measured rounds"]);
-    row(&["preparation walks".into(), out.prep_rounds.to_string()]);
+    report.header(&["component", "measured rounds"]);
+    report.row(&["preparation walks".into(), out.prep_rounds.to_string()]);
     for (d, r) in out.hop_rounds_per_depth.iter().enumerate() {
-        row(&[format!("hops at depth {d}"), r.to_string()]);
+        report.row(&[format!("hops at depth {d}"), r.to_string()]);
     }
-    row(&["bottom cliques".into(), out.bottom_rounds.to_string()]);
-    row(&["total".into(), out.total_base_rounds.to_string()]);
+    report.row(&["bottom cliques".into(), out.bottom_rounds.to_string()]);
+    report.row(&["total".into(), out.total_base_rounds.to_string()]);
     println!("\n(the recursion's cost concentrates at the deeper levels, whose");
     println!(" emulation stretch is larger — the 2T(m/β)·O(log²n) term; the hop");
     println!(" term itself is the cheap O(log n) part of Lemma 3.4)\n");
@@ -92,11 +93,11 @@ fn main() {
             edges[b][a] += 1;
         }
     }
-    header(&["A_i→A_j", "packets", "G₀ edges between", "edges/packets"]);
+    report.header(&["A_i→A_j", "packets", "G₀ edges between", "edges/packets"]);
     for a in 0..parts {
         for b in 0..parts {
             if a != b && (demand[a][b] > 0 || edges[a][b] > 0) {
-                row(&[
+                report.row(&[
                     format!("{a}→{b}"),
                     demand[a][b].to_string(),
                     edges[a][b].to_string(),
@@ -112,6 +113,7 @@ fn main() {
     println!("\n(Lemma 3.4: both quantities are Θ(m·log n/β²) — the edges/packets");
     println!(" ratio must stay bounded below by a constant, so the hop completes");
     println!(" in O(log n) rounds of G₀)");
+    report.finish();
 }
 
 fn g_ref<'a>(sys: &'a System<'_>) -> &'a Graph {

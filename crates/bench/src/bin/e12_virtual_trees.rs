@@ -3,12 +3,13 @@
 //! (1) depth `O(log² n)`, (2) per-node virtual degree `≤ d_G(v)·O(log n)`,
 //! both witnessed per iteration by the algorithm's own instrumentation.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e12_virtual_trees");
     println!("# E12 — virtual-tree invariants (Lemma 4.1)\n");
     for &n in &[96usize, 192] {
         let g = expander(n, 6, 1);
@@ -27,7 +28,7 @@ fn main() {
             "## n = {n} (log²n = {:.0}, log n = {logn:.1})\n",
             logn * logn
         );
-        header(&[
+        report.header(&[
             "iter",
             "comps",
             "max tree depth",
@@ -44,7 +45,7 @@ fn main() {
                 it.max_degree_ratio <= 4.0 * logn,
                 "degree invariant violated at iteration {i}"
             );
-            row(&[
+            report.row(&[
                 (i + 1).to_string(),
                 format!("{}→{}", it.components_before, it.components_after),
                 it.max_tree_depth.to_string(),
@@ -58,4 +59,5 @@ fn main() {
     println!("(both normalized columns must stay O(1) through all iterations —");
     println!(" the token-wave balancing keeps trees shallow even as components of");
     println!(" wildly different shapes merge)");
+    report.finish();
 }

@@ -4,15 +4,16 @@
 //! Stoer–Wagner across graph families, with the trees-packed sweep and the
 //! measured distributed cost.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::mincut::{stoer_wagner, tree_packing_min_cut, MstOracle};
 use amt_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e13_mincut");
     println!("# E13 — min cut: tree packing vs exact (centralized oracle)\n");
-    header(&["graph", "exact", "packed (8 trees)", "ratio", "side ok"]);
+    report.header(&["graph", "exact", "packed (8 trees)", "ratio", "side ok"]);
     let mut rng = StdRng::seed_from_u64(5);
     let cases: Vec<(&str, Graph)> = vec![
         ("ring n=24", generators::ring(24)),
@@ -49,7 +50,7 @@ fn main() {
             r.value <= 2 * exact.max(1),
             "{name}: beyond the 2-approx guarantee"
         );
-        row(&[
+        report.row(&[
             name.to_string(),
             exact.to_string(),
             r.value.to_string(),
@@ -66,10 +67,10 @@ fn main() {
     let g = generators::dumbbell_expanders(32, 4, 3, &mut rng).unwrap();
     let caps = vec![1u64; g.edge_count()];
     let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
-    header(&["trees", "cut found", "ratio"]);
+    report.header(&["trees", "cut found", "ratio"]);
     for &t in &[1u32, 2, 4, 8, 16] {
         let r = tree_packing_min_cut(&g, &caps, t, &MstOracle::Centralized).expect("connected");
-        row(&[
+        report.row(&[
             t.to_string(),
             r.value.to_string(),
             format!("{:.2}", r.value as f64 / exact as f64),
@@ -87,8 +88,8 @@ fn main() {
         .expect("expander");
     let r = sys.min_cut(&caps, 3, 7).expect("packable");
     let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
-    header(&["trees", "cut", "exact", "measured rounds", "rounds/tree"]);
-    row(&[
+    report.header(&["trees", "cut", "exact", "measured rounds", "rounds/tree"]);
+    report.row(&[
         r.trees_packed.to_string(),
         r.value.to_string(),
         exact.to_string(),
@@ -99,7 +100,7 @@ fn main() {
     println!(" trees × the Theorem 1.1 bound, exactly the paper's black-box claim)\n");
 
     println!("## Karger skeleton sampling (the [32, 57] sparsification step)\n");
-    header(&[
+    report.header(&[
         "graph",
         "exact λ",
         "estimate",
@@ -115,7 +116,7 @@ fn main() {
         let caps = vec![1u64; g.edge_count()];
         let (exact, _) = stoer_wagner(&g, &caps).expect("n ≥ 2");
         let r = amt_core::mincut::karger_estimate(&g, 0.4, &mut rng).expect("connected");
-        row(&[
+        report.row(&[
             name.to_string(),
             exact.to_string(),
             format!("{:.1}", r.estimate),
@@ -126,4 +127,5 @@ fn main() {
     println!("\n(sampling with p = Θ(log n/(ε²λ)) preserves the min cut within");
     println!(" (1±ε) — the estimates bracket the exact values while examining a");
     println!(" fraction of the edges on dense inputs)");
+    report.finish();
 }

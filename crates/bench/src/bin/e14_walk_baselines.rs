@@ -3,7 +3,7 @@
 //! quantitative reason the paper routes over an embedded structure instead
 //! of letting packets wander.
 
-use amt_bench::{expander, header, row, tau_estimate};
+use amt_bench::{expander, tau_estimate, Report};
 use amt_core::prelude::*;
 use amt_core::routing::baseline;
 use amt_core::walks::times;
@@ -11,8 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e14_walk_baselines");
     println!("# E14 — walk-router cost vs hitting time across families\n");
-    header(&[
+    report.header(&[
         "graph",
         "τ est.",
         "mean hit time",
@@ -52,7 +53,7 @@ fn main() {
             .map(|i| (NodeId(i), NodeId((i + n / 2) % n)))
             .collect();
         let out = baseline::random_walk_route(g, &reqs, 2_000_000, &mut rng);
-        row(&[
+        report.row(&[
             name.to_string(),
             tau.to_string(),
             format!("{hit:.0}"),
@@ -64,4 +65,5 @@ fn main() {
     println!(" expanders but Θ(n²) on rings and bottleneck graphs; the paper's");
     println!(" router depends on τ_mix instead, which is exponentially smaller on");
     println!(" the slow-hitting families with good local structure)");
+    report.finish();
 }

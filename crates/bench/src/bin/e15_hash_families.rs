@@ -2,7 +2,7 @@
 //! simple tabulation, on the two axes the partition cares about —
 //! balls-in-bins uniformity and evaluation cost.
 
-use amt_bench::{header, row};
+use amt_bench::Report;
 use amt_core::kwise::{KWiseHash, TabulationHash};
 use std::time::Instant;
 
@@ -12,10 +12,11 @@ fn spread(counts: &[u64]) -> f64 {
 }
 
 fn main() {
+    let mut report = Report::new("e15_hash_families");
     let m = 12_000u64; // ids to place
     let buckets = 64u64;
     println!("# E15 — hash families: {m} ids into {buckets} buckets, 3 seeds each\n");
-    header(&[
+    report.header(&[
         "family",
         "seed",
         "max/avg bucket load",
@@ -30,7 +31,7 @@ fn main() {
             counts[(h.eval(id) % buckets) as usize] += 1;
         }
         let poly_ns = t0.elapsed().as_nanos() as f64 / m as f64;
-        row(&[
+        report.row(&[
             "poly k=16".into(),
             seed.to_string(),
             format!("{:.3}", spread(&counts)),
@@ -44,7 +45,7 @@ fn main() {
             counts[t.bucket(id, buckets) as usize] += 1;
         }
         let tab_ns = t0.elapsed().as_nanos() as f64 / m as f64;
-        row(&[
+        report.row(&[
             "tabulation".into(),
             seed.to_string(),
             format!("{:.3}", spread(&counts)),
@@ -55,4 +56,5 @@ fn main() {
     println!(" tabulation evaluates in a handful of XORs where the degree-15");
     println!(" polynomial pays 16 modular multiplications — the practical swap a");
     println!(" deployment would make, with the broadcast seed unchanged)");
+    report.finish();
 }

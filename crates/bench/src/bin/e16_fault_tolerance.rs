@@ -13,7 +13,7 @@
 //! "fragment-leader loss degrades to a phase restart, not a hang" path is
 //! exercised in every crashing cell.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::mst::{healing as mst_healing, reference, MstError};
 use amt_core::prelude::*;
 use amt_core::walks::{run_walks_healing, WalkKind, WalkSpec};
@@ -57,9 +57,9 @@ fn survivor_mst_weight(wg: &WeightedGraph, dead: &[NodeId]) -> u64 {
     total
 }
 
-fn run_case(name: &str, g: &Graph, walk_steps: u32, seed: u64) {
+fn run_case(report: &mut Report, name: &str, g: &Graph, walk_steps: u32, seed: u64) {
     println!("\n## {name} (n = {}, m = {})\n", g.len(), g.edge_count());
-    header(&[
+    report.header(&[
         "drop",
         "crashes",
         "walk rounds",
@@ -83,6 +83,10 @@ fn run_case(name: &str, g: &Graph, walk_steps: u32, seed: u64) {
         for &crashes in &[0usize, 1, 2] {
             let plan = plan_for(drop, crashes, n, seed ^ (crashes as u64) << 8);
             let walks = run_walks_healing(g, WalkKind::Lazy, &specs, seed, plan.clone()).unwrap();
+            report.metrics(
+                &format!("{name} drop={drop:.2} crashes={crashes} walks"),
+                &walks.metrics,
+            );
             let crashed: HashSet<u32> = plan.crashes.iter().map(|c| c.node.0).collect();
             let live_specs = specs.iter().filter(|s| !crashed.contains(&s.start.0));
             let walks_ok = specs
@@ -110,7 +114,7 @@ fn run_case(name: &str, g: &Graph, walk_steps: u32, seed: u64) {
                     }
                     Err(e) => (format!("FAILED: {e}"), "-".into(), "-".into(), false),
                 };
-            row(&[
+            report.row(&[
                 format!("{drop:.2}"),
                 crashes.to_string(),
                 walks.metrics.rounds.to_string(),
@@ -128,6 +132,7 @@ fn run_case(name: &str, g: &Graph, walk_steps: u32, seed: u64) {
 }
 
 fn main() {
+    let mut report = Report::new("e16_fault_tolerance");
     println!("# E16 — fault injection: drop-rate × crash-count sweep\n");
     println!("Self-healing walks (custody ARQ + epoch re-issue) and Borůvka MST");
     println!("(reliable floods + phase restarts) under the deterministic fault");
@@ -135,8 +140,15 @@ fn main() {
     println!("first scheduled crash.");
 
     let mut rng = StdRng::seed_from_u64(16);
-    run_case("expander n=1024 d=8", &expander(1024, 8, 16), 24, 11);
     run_case(
+        &mut report,
+        "expander n=1024 d=8",
+        &expander(1024, 8, 16),
+        24,
+        11,
+    );
+    run_case(
+        &mut report,
         "barbell 2×128 d=8, 4 bridges",
         &generators::dumbbell_expanders(128, 8, 4, &mut rng).unwrap(),
         24,
@@ -147,4 +159,5 @@ fn main() {
     println!("the healed tree's weight equals Kruskal on the surviving subgraph.");
     println!("Crashing node 0 mid-run forces fragment-leader loss; the restart");
     println!("counter shows it degrades to re-flooding, never a hang.");
+    report.finish();
 }

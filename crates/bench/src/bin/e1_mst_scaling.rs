@@ -5,16 +5,19 @@
 //! plus the τ_mix-dependence on slow-mixing controls at fixed `n`. Every
 //! tree is verified against Kruskal.
 
-use amt_bench::{expander, header, loglog_slope, paper_growth, row, scaled_levels, tau_estimate};
+use amt_bench::{expander, loglog_slope, paper_growth, scaled_levels, tau_estimate, Report};
 use amt_core::mst::{congest_boruvka, gkp};
 use amt_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e1_mst_scaling");
+    report.config("family", "random 6-regular expander");
+    report.config("beta", 4u64);
     println!("# E1 — MST rounds vs n (random 6-regular expanders, seed 1)\n");
     println!("constants: β=4, depth=1–2, overlay_degree=log n, level0_walks=2·log n\n");
-    header(&[
+    report.header(&[
         "n",
         "depth",
         "tau",
@@ -45,12 +48,14 @@ fn main() {
         let ok_amt = reference::verify_mst(&wg, &amt.tree_edges);
         let gk = gkp::run(&wg, 3).expect("connected");
         let bo = congest_boruvka::run(&wg, 3).expect("connected");
+        report.phase_timings(&format!("gkp_n{n}"), &gk.wall);
+        report.phase_timings(&format!("boruvka_n{n}"), &bo.wall);
         let ok = ok_amt && gk.tree_edges == amt.tree_edges && bo.tree_edges == amt.tree_edges;
         let d = amt_core::graphs::traversal::diameter_double_sweep(&g, NodeId(0)).unwrap();
         // Per-instance cost normalized by τ: the Theorem 1.2 quantity the
         // MST multiplies by its polylog number of routing instances.
         let norm = amt.rounds as f64 / f64::from(amt.routing_instances.max(1)) / f64::from(tau);
-        row(&[
+        report.row(&[
             n.to_string(),
             levels.to_string(),
             tau.to_string(),
@@ -77,7 +82,7 @@ fn main() {
     println!(" increments of the partition tree show up as steps in the raw rounds.)\n");
 
     println!("## τ_mix-dependence at n = 128 (expander vs dumbbell controls)\n");
-    header(&["graph", "tau_mix", "amt_rounds", "amt/tau", "ok"]);
+    report.header(&["graph", "tau_mix", "amt_rounds", "amt/tau", "ok"]);
     let mut rng = StdRng::seed_from_u64(4);
     let cases: Vec<(&str, Graph)> = vec![
         ("6-regular expander", expander(128, 6, 1)),
@@ -103,7 +108,7 @@ fn main() {
             .expect("connected");
         let amt = sys.mst(&wg, 6).expect("connected");
         let ok = reference::verify_mst(&wg, &amt.tree_edges);
-        row(&[
+        report.row(&[
             name.to_string(),
             tau.to_string(),
             amt.rounds.to_string(),
@@ -120,7 +125,7 @@ fn main() {
         "hardware: {} core(s) available to this process\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
-    header(&["n", "threads", "wall_ms", "speedup", "rounds", "identical"]);
+    report.header(&["n", "threads", "wall_ms", "speedup", "rounds", "identical"]);
     for &n in &[256usize, 1024] {
         let g = expander(n, 6, 1);
         let mut rng = StdRng::seed_from_u64(2);
@@ -139,7 +144,7 @@ fn main() {
                         && out.messages == base_out.messages,
                 ),
             };
-            row(&[
+            report.row(&[
                 n.to_string(),
                 threads.to_string(),
                 format!("{ms:.1}"),
@@ -155,4 +160,5 @@ fn main() {
     println!("\n(the `identical` column is the determinism contract: outcome and");
     println!(" metrics are byte-identical for every thread count; speedup tracks");
     println!(" the hardware parallelism actually available)");
+    report.finish();
 }

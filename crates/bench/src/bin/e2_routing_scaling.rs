@@ -5,7 +5,7 @@
 //! rounds (both emulation pricings), the baselines, and the per-node-load
 //! sweep of the footnote-3 phase splitting.
 
-use amt_bench::{expander, header, loglog_slope, paper_growth, row, scaled_levels, tau_estimate};
+use amt_bench::{expander, loglog_slope, paper_growth, scaled_levels, tau_estimate, Report};
 use amt_core::prelude::*;
 use amt_core::routing::{baseline, EmulationMode, HierarchicalRouter, RouterConfig};
 use rand::rngs::StdRng;
@@ -19,8 +19,11 @@ fn permutation(n: usize) -> Vec<(NodeId, NodeId)> {
 }
 
 fn main() {
+    let mut report = Report::new("e2_routing_scaling");
+    report.config("family", "random 6-regular expander");
+    report.config("beta", 4u64);
     println!("# E2 — permutation routing rounds vs n (random 6-regular, seed 1)\n");
-    header(&[
+    report.header(&[
         "n",
         "depth",
         "tau",
@@ -54,11 +57,12 @@ fn main() {
             },
         );
         let exact = exact_router.route(&reqs, 2).expect("routable");
+        report.phase_timings(&format!("exact_n{n}"), &exact.wall);
         let sp = baseline::shortest_path_route(&g, &reqs);
         let mut rng = StdRng::seed_from_u64(3);
         let walk = baseline::random_walk_route(&g, &reqs, 200_000, &mut rng);
         let norm = exact.total_base_rounds as f64 / f64::from(tau);
-        row(&[
+        report.row(&[
             n.to_string(),
             levels.to_string(),
             tau.to_string(),
@@ -85,7 +89,7 @@ fn main() {
     println!(" fixed depth the slopes stay far below the 0.5 of a √n algorithm.)\n");
 
     println!("## load sweep at n = 128 (footnote 3: K packets per node split into phases)\n");
-    header(&[
+    report.header(&[
         "packets/node",
         "phases",
         "exact_rounds",
@@ -116,7 +120,7 @@ fn main() {
             },
         );
         let out = router.route(&reqs, 4).expect("routable");
-        row(&[
+        report.row(&[
             per_node.to_string(),
             out.phases.to_string(),
             out.total_base_rounds.to_string(),
@@ -126,4 +130,5 @@ fn main() {
     }
     println!("\n(paper: K packets per node cost K × the single-instance bound — the");
     println!(" rounds/packet column should stay roughly flat as the load grows)");
+    report.finish();
 }

@@ -5,15 +5,16 @@
 //! shape `O(1/p + log n)`, and the Balliu et al. bound `O(min{1/p², np})`
 //! that the paper improves on.
 
-use amt_bench::{header, row};
+use amt_bench::Report;
 use amt_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e3_clique_emulation");
     let n = 48usize;
     println!("# E3 — clique emulation on G(n = {n}, p): one message per ordered pair\n");
-    header(&[
+    report.header(&[
         "p",
         "m",
         "phases",
@@ -42,7 +43,7 @@ fn main() {
             Some(_) => "↑",
             None => "-",
         };
-        row(&[
+        report.row(&[
             format!("{p:.2}"),
             g.edge_count().to_string(),
             out.routing.phases.to_string(),
@@ -60,7 +61,7 @@ fn main() {
     println!(" improvement is exactly that gap.)");
 
     println!("\n## n sweep at p = 0.4\n");
-    header(&["n", "rounds", "rounds/n", "n/h lower bnd"]);
+    report.header(&["n", "rounds", "rounds/n", "n/h lower bnd"]);
     for &n in &[24usize, 32, 48, 64] {
         let mut rng = StdRng::seed_from_u64(13);
         let g = generators::connected_erdos_renyi(n, 0.4, 100, &mut rng).expect("dense");
@@ -71,7 +72,7 @@ fn main() {
             .build()
             .expect("dense ER");
         let out = sys.emulate_clique(5).expect("routable");
-        row(&[
+        report.row(&[
             n.to_string(),
             out.routing.total_base_rounds.to_string(),
             format!("{:.1}", out.routing.total_base_rounds as f64 / n as f64),
@@ -80,4 +81,5 @@ fn main() {
     }
     println!("\n(all-to-all is Θ(n) messages per node, so rounds/n normalizes the");
     println!(" workload growth; the paper's bound is Õ(n/h) = Õ(1/p) per clique round)");
+    report.finish();
 }

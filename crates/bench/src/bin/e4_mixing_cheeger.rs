@@ -1,7 +1,7 @@
 //! E4 — Lemma 2.3: `τ̄_mix ≤ 8·Δ²/h(G)² · ln n`, plus calibration of the
 //! spectral mixing-time estimate against the exact Definition 2.1 value.
 
-use amt_bench::{header, row};
+use amt_bench::Report;
 use amt_core::graphs::expansion;
 use amt_core::prelude::*;
 use amt_core::walks::mixing::{cheeger_bound, mixing_time_exact, mixing_time_spectral};
@@ -9,8 +9,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e4_mixing_cheeger");
     println!("# E4 — Lemma 2.3 Cheeger bound (2Δ-regular walk, exact h by enumeration)\n");
-    header(&[
+    report.header(&[
         "graph",
         "n",
         "Δ",
@@ -40,7 +41,7 @@ fn main() {
             f64::from(exact) <= bound,
             "{name}: Lemma 2.3 violated ({exact} > {bound:.0})"
         );
-        row(&[
+        report.row(&[
             name.to_string(),
             g.len().to_string(),
             g.max_degree().to_string(),
@@ -54,7 +55,7 @@ fn main() {
     println!(" the usual Cheeger quadratic slack, worst on high-conductance graphs)\n");
 
     println!("## spectral estimate vs exact τ_mix (lazy walk, Definition 2.1)\n");
-    header(&["graph", "exact τ_mix", "spectral est.", "est./exact"]);
+    report.header(&["graph", "exact τ_mix", "spectral est.", "est./exact"]);
     let mut rng = StdRng::seed_from_u64(6);
     let cases: Vec<(&str, Graph)> = vec![
         (
@@ -76,7 +77,7 @@ fn main() {
             est >= exact,
             "{name}: spectral estimate must upper-bound exact"
         );
-        row(&[
+        report.row(&[
             name.to_string(),
             exact.to_string(),
             est.to_string(),
@@ -85,4 +86,5 @@ fn main() {
     }
     println!("\n(the spectral estimate — used to size the level-0 walks on large");
     println!(" graphs — upper-bounds the exact value within a small constant)");
+    report.finish();
 }

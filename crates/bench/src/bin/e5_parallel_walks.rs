@@ -4,13 +4,14 @@
 //! must stay `O(k·d(v) + log n)` (Lemma 2.4) and measured scheduling rounds
 //! must stay `O((k + log n)·T)` (Lemma 2.5).
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::prelude::*;
 use amt_core::walks::parallel::{degree_proportional_specs, run_parallel_walks};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut report = Report::new("e5_parallel_walks");
     let n = 256usize;
     let d = 6usize;
     let g = expander(n, d, 1);
@@ -18,7 +19,7 @@ fn main() {
     println!("# E5 — parallel walks on a random {d}-regular graph, n = {n}\n");
 
     println!("## k sweep at T = 30 (Lemma 2.4 + 2.5)\n");
-    header(&[
+    report.header(&[
         "k",
         "walks",
         "rounds",
@@ -39,7 +40,7 @@ fn main() {
             "Lemma 2.5 constant blown"
         );
         assert!(peak <= 5.0 * bound24, "Lemma 2.4 constant blown");
-        row(&[
+        report.row(&[
             k.to_string(),
             specs.len().to_string(),
             run.stats.rounds.to_string(),
@@ -53,12 +54,12 @@ fn main() {
     println!(" the kT lower bound as k passes log n)\n");
 
     println!("## T sweep at k = 4 (cost linear in walk length)\n");
-    header(&["T", "rounds", "rounds/T"]);
+    report.header(&["T", "rounds", "rounds/T"]);
     for &t_len in &[10u32, 20, 40, 80] {
         let mut rng = StdRng::seed_from_u64(8);
         let specs = degree_proportional_specs(&g, 4, t_len);
         let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng);
-        row(&[
+        report.row(&[
             t_len.to_string(),
             run.stats.rounds.to_string(),
             format!("{:.2}", run.stats.rounds as f64 / f64::from(t_len)),
@@ -68,7 +69,7 @@ fn main() {
     println!(" exactly the phase structure of Lemma 2.5)\n");
 
     println!("## correlated walks (the paper's end-of-§2 optimization for k = o(log n))\n");
-    header(&[
+    report.header(&[
         "k",
         "independent rounds",
         "correlated rounds",
@@ -85,7 +86,7 @@ fn main() {
             amt_core::walks::parallel::run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng2);
         // With laziness only ~half the tokens move per step, so the
         // round-robin load is ≈ ⌈k/2⌉ per direction; 2kT normalizes.
-        row(&[
+        report.row(&[
             k.to_string(),
             ind.stats.rounds.to_string(),
             cor.stats.rounds.to_string(),
@@ -101,4 +102,5 @@ fn main() {
     println!(" preserves each token's marginal kernel — removes it, reaching the");
     println!(" k·T lower bound. The speedup is largest at k = 1 and fades once");
     println!(" k ≳ log n, exactly as the paper's remark predicts.)");
+    report.finish();
 }

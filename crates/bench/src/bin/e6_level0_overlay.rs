@@ -5,13 +5,14 @@
 //! expander) and measures the cost of emulating one `G₀` round in base
 //! rounds (the paper claims `τ_mix · poly log n`).
 
-use amt_bench::{expander, header, row, scaled_levels, tau_estimate};
+use amt_bench::{expander, scaled_levels, tau_estimate, Report};
 use amt_core::graphs::expansion;
 use amt_core::prelude::*;
 
 fn main() {
+    let mut report = Report::new("e6_level0_overlay");
     println!("# E6 — level-0 overlay G₀ (walk-embedded ER graph on 2m virtual nodes)\n");
-    header(&[
+    report.header(&[
         "n",
         "vnodes",
         "G0 edges",
@@ -38,7 +39,7 @@ fn main() {
         let gap = expansion::spectral_gap_lazy(og, 400).unwrap_or(0.0);
         let logn = (n as f64).log2();
         let norm = h.full_round_cost(0) as f64 / (f64::from(tau) * logn * logn);
-        row(&[
+        report.row(&[
             n.to_string(),
             h.vnodes().to_string(),
             og.edge_count().to_string(),
@@ -59,7 +60,7 @@ fn main() {
     println!(" normalized column must stay O(1) as n grows)\n");
 
     println!("## walk-path statistics (the embedded edges)\n");
-    header(&["n", "τ est.", "path len avg", "path len max", "avg/τ"]);
+    report.header(&["n", "τ est.", "path len avg", "path len max", "avg/τ"]);
     for &n in &[32usize, 64, 128, 256] {
         let g = expander(n, 6, 1);
         let tau = tau_estimate(&g);
@@ -70,7 +71,7 @@ fn main() {
             .build()
             .expect("expander");
         let (avg, max) = sys.hierarchy().overlay(0).path_length_stats();
-        row(&[
+        report.row(&[
             n.to_string(),
             tau.to_string(),
             format!("{avg:.1}"),
@@ -80,4 +81,5 @@ fn main() {
     }
     println!("\n(every overlay edge is a τ_mix-step lazy walk; about half the steps");
     println!(" are lazy stays, so avg/τ ≈ 0.5)");
+    report.finish();
 }

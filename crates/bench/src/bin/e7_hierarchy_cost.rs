@@ -6,11 +6,12 @@
 //!     to balance per-level cost (∝ β) against depth (∝ log n / log β); we
 //!     sweep β and locate the crossover.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::prelude::*;
 use amt_core::routing::{EmulationMode, HierarchicalRouter, RouterConfig};
 
 fn main() {
+    let mut report = Report::new("e7_hierarchy_cost");
     let n = 128usize;
     let g = expander(n, 6, 1);
     let logn = (n as f64).log2();
@@ -23,7 +24,9 @@ fn main() {
         .build()
         .expect("expander");
     let h = sys.hierarchy();
-    header(&[
+    report.config("n", n as u64);
+    report.phase_timings("hierarchy_build", &h.stats.wall);
+    report.header(&[
         "level",
         "edges",
         "full-round base cost",
@@ -37,7 +40,7 @@ fn main() {
         } else {
             cost as f64 / h.full_round_cost(level - 1) as f64
         };
-        row(&[
+        report.row(&[
             level.to_string(),
             h.overlay(level).graph().edge_count().to_string(),
             cost.to_string(),
@@ -49,7 +52,7 @@ fn main() {
     println!(" rounds of G_(p−1)' — the factor/log²n column must stay O(1))\n");
 
     println!("# E7b — β sweep at n = {n}: construction cost vs routing cost\n");
-    header(&[
+    report.header(&[
         "β",
         "depth",
         "build rounds",
@@ -75,7 +78,7 @@ fn main() {
         {
             Ok(s) => s,
             Err(e) => {
-                row(&[
+                report.row(&[
                     beta.to_string(),
                     levels.to_string(),
                     format!("infeasible: {e}"),
@@ -94,7 +97,7 @@ fn main() {
         );
         let out = router.route(&reqs, 2).expect("routable");
         let amortized = sys.build_rounds() + 32 * out.total_base_rounds;
-        row(&[
+        report.row(&[
             beta.to_string(),
             levels.to_string(),
             sys.build_rounds().to_string(),
@@ -111,4 +114,5 @@ fn main() {
     println!("\n(paper: larger β means fewer levels (cheaper routing stretch) but");
     println!(" more walks per level (costlier construction); the optimum sits at");
     println!(" β = 2^Θ(√(log n log log n)) — a small power of two at this n)");
+    report.finish();
 }

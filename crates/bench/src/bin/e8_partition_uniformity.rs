@@ -1,7 +1,7 @@
 //! E8 — §3.1.2 property (P1): the Θ(log n)-wise independent hash partition
 //! is near-uniform at every level, matching fully random placement.
 
-use amt_bench::{header, row};
+use amt_bench::Report;
 use amt_core::kwise::PartitionHash;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -14,12 +14,13 @@ fn spread(counts: &[u64]) -> (u64, f64, u64) {
 }
 
 fn main() {
+    let mut report = Report::new("e8_partition_uniformity");
     let m = 6000u64; // virtual nodes of a ~1000-node degree-6 network
     let beta = 4u32;
     let levels = 3u32;
     println!("# E8 — partition uniformity: {m} ids into β = {beta}, depth = {levels}\n");
     println!("## k-wise independent hash (k = 16), 3 seeds\n");
-    header(&["seed", "depth", "parts", "part size min/avg/max", "max/avg"]);
+    report.header(&["seed", "depth", "parts", "part size min/avg/max", "max/avg"]);
     for seed in 0..3u64 {
         let p = PartitionHash::new(beta, levels, 16, seed);
         for depth in 1..=levels {
@@ -33,7 +34,7 @@ fn main() {
                 (max as f64) < 2.0 * avg && (min as f64) > 0.4 * avg,
                 "property (P1) violated at seed {seed} depth {depth}"
             );
-            row(&[
+            report.row(&[
                 seed.to_string(),
                 depth.to_string(),
                 parts.to_string(),
@@ -44,7 +45,7 @@ fn main() {
     }
 
     println!("\n## fully random placement baseline (same shape check)\n");
-    header(&["seed", "depth", "part size min/avg/max", "max/avg"]);
+    report.header(&["seed", "depth", "part size min/avg/max", "max/avg"]);
     for seed in 0..3u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let leaves = (0..levels).fold(1u64, |a, _| a * u64::from(beta));
@@ -61,7 +62,7 @@ fn main() {
                 counts[v as usize] += 1;
             }
             let (min, avg, max) = spread(&counts);
-            row(&[
+            report.row(&[
                 seed.to_string(),
                 depth.to_string(),
                 format!("{min}/{avg:.0}/{max}"),
@@ -73,4 +74,5 @@ fn main() {
     println!(" independence Chernoff bounds — the k-wise max/avg spread must match");
     println!(" the fully random baseline row for row, and it does, while costing");
     println!(" only Θ(log² n) shared random bits instead of Θ(m log m))");
+    report.finish();
 }

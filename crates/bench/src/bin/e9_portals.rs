@@ -5,12 +5,13 @@
 //! and the *uniformity property*: the portals assigned to the members of a
 //! part are spread (near-)uniformly over its boundary nodes.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::embedding::VirtualId;
 use amt_core::prelude::*;
 use std::collections::HashMap;
 
 fn main() {
+    let mut report = Report::new("e9_portals");
     let n = 128usize;
     let g = expander(n, 6, 1);
     let sys = System::builder(&g)
@@ -27,7 +28,7 @@ fn main() {
         h.depth()
     );
     println!("## coverage and construction cost\n");
-    header(&[
+    report.header(&[
         "depth",
         "entries needed",
         "filled",
@@ -51,7 +52,7 @@ fn main() {
                 }
             }
         }
-        row(&[
+        report.row(&[
             p.to_string(),
             needed.to_string(),
             filled.to_string(),
@@ -80,7 +81,7 @@ fn main() {
             }
         }
     }
-    header(&[
+    report.header(&[
         "part→label",
         "sources",
         "distinct portals",
@@ -96,7 +97,7 @@ fn main() {
         }
         let distinct = freq.len();
         let max_share = *freq.values().max().unwrap() as f64 / portals.len() as f64;
-        row(&[
+        report.row(&[
             format!("{part}→{j}"),
             portals.len().to_string(),
             distinct.to_string(),
@@ -107,4 +108,5 @@ fn main() {
     println!("\n(paper's uniformity property: each source's portal is an independent");
     println!(" ~uniform boundary node — max share should sit near the uniform share,");
     println!(" never concentrate on one portal)");
+    report.finish();
 }

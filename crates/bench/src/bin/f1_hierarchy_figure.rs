@@ -5,11 +5,12 @@
 //! an actual built structure: the partition tree with per-part sizes, the
 //! per-level random graphs, and the emulation factors between levels.
 
-use amt_bench::{expander, header, row};
+use amt_bench::{expander, Report};
 use amt_core::embedding::VirtualId;
 use amt_core::prelude::*;
 
 fn main() {
+    let mut report = Report::new("f1_hierarchy_figure");
     let n = 96usize;
     let g = expander(n, 6, 1);
     let sys = System::builder(&g)
@@ -42,7 +43,7 @@ fn main() {
     }
 
     println!("\n## one random graph per ball (per-level overlays)\n");
-    header(&[
+    report.header(&[
         "level",
         "graph on",
         "edges",
@@ -64,7 +65,7 @@ fn main() {
             l if l == h.depth() => format!("{} bottom cliques", h.parts_at(l)),
             l => format!("{} balls at depth {l}", h.parts_at(l)),
         };
-        row(&[
+        report.row(&[
             level.to_string(),
             what,
             og.edge_count().to_string(),
@@ -79,7 +80,7 @@ fn main() {
     }
 
     println!("\n## portals (the arrows between sibling balls)\n");
-    header(&["depth", "portal entries", "fallbacks used"]);
+    report.header(&["depth", "portal entries", "fallbacks used"]);
     for p in 1..=h.depth() {
         let mut filled = 0u64;
         for vid in 0..h.vnodes() as u32 {
@@ -89,7 +90,7 @@ fn main() {
                 }
             }
         }
-        row(&[
+        report.row(&[
             p.to_string(),
             filled.to_string(),
             h.stats.portal_fallbacks.to_string(),
@@ -104,4 +105,5 @@ fn main() {
         "total construction: {} measured base rounds",
         h.stats.total_base_rounds
     );
+    report.finish();
 }

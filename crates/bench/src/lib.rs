@@ -8,6 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use report::Report;
+
 use amt_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

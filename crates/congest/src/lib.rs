@@ -20,6 +20,11 @@
 //!   single-bit corruption, bounded delay, crash-stop failures) applied by
 //!   the simulator between staging and delivery, plus the
 //!   [`ReliableLink`] ack/retransmit sublayer protocols use to survive it.
+//! * [`trace`] — opt-in round-level observability ([`RunTrace`]): per-round
+//!   timeline samples, protocol-emitted span events ([`Ctx::trace_event`]),
+//!   striding per-edge load snapshots, and the wall-clock [`PhaseTimings`]
+//!   type shared by the protocol crates. Disabled by default with zero
+//!   overhead; enabling it never changes `Metrics` or protocol outputs.
 //!
 //! Determinism: every node owns a private RNG stream derived from
 //! `(run seed, node id)` and handed to protocols through [`Ctx::rng`], and
@@ -38,6 +43,7 @@ mod sim;
 
 pub mod faults;
 pub mod primitives;
+pub mod trace;
 
 pub use error::CongestError;
 pub use faults::{CrashEvent, FaultEvent, FaultKind, FaultPlan};
@@ -45,6 +51,7 @@ pub use message::{bits_for_count, bits_for_value, CongestMessage};
 pub use metrics::Metrics;
 pub use primitives::reliable::{reliable_broadcast, Reliable, ReliableLink};
 pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
+pub use trace::{PhaseTimings, RoundSample, RunTrace, TraceConfig, TraceEvent};
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, CongestError>;

@@ -86,6 +86,11 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    /// Field-drift guard: both sides and the expected result are exhaustive
+    /// struct literals (no `..Default::default()`), so adding a `Metrics`
+    /// field without deciding how [`Metrics::then`] merges it fails to
+    /// compile here instead of silently dropping the new counter (the
+    /// pre-PR2 `lost_to_crash` failure mode).
     #[test]
     fn sequential_merge_adds_rounds() {
         let a = Metrics {
@@ -95,7 +100,10 @@ mod tests {
             peak_messages_per_round: 6,
             max_edge_congestion: 4,
             dropped: 1,
-            ..Default::default()
+            corrupted: 5,
+            delayed: 2,
+            lost_to_crash: 2,
+            crashed: 3,
         };
         let b = Metrics {
             rounds: 2,
@@ -110,17 +118,22 @@ mod tests {
             crashed: 1,
         };
         let c = a.then(b);
-        assert_eq!(c.rounds, 5);
-        assert_eq!(c.messages, 14);
-        assert_eq!(c.bits, 140);
-        assert_eq!(c.peak_messages_per_round, 8);
-        assert_eq!(c.max_edge_congestion, 4);
-        assert_eq!(c.dropped, 3);
-        assert_eq!(c.corrupted, 1);
-        assert_eq!(c.delayed, 3);
-        assert_eq!(c.lost_to_crash, 1);
-        assert_eq!(c.crashed, 1);
-        assert_eq!(c.message_faults(), 7);
+        assert_eq!(
+            c,
+            Metrics {
+                rounds: 5,
+                messages: 14,
+                bits: 140,
+                peak_messages_per_round: 8,
+                max_edge_congestion: 4,
+                dropped: 3,
+                corrupted: 6,
+                delayed: 5,
+                lost_to_crash: 3,
+                crashed: 4,
+            }
+        );
+        assert_eq!(c.message_faults(), 14);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! order) but use the same per-node protocol streams.
 
 use crate::faults::{Fate, FaultEvent, FaultKind, FaultPlan, FaultState};
+use crate::trace::{EdgeLoadSnapshot, RoundSample, RunTrace, TraceConfig, TraceEvent};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -127,19 +128,50 @@ impl RunConfig {
     }
 }
 
+/// Parses an `AMT_SIM_THREADS` value: a positive integer, surrounding
+/// whitespace allowed. `0` and non-numeric values are rejected with a
+/// message naming the variable — silently falling back to hardware
+/// parallelism would hide a typo (`AMT_SIM_THREADS=four`) behind an
+/// unrelated thread count.
+fn parse_thread_env(raw: &str) -> std::result::Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "AMT_SIM_THREADS must be a positive integer (0 is reserved for \
+             RunConfig::threads, where it means \"auto\"); got {raw:?}"
+        )),
+        Ok(v) => Ok(v),
+        Err(_) => Err(format!(
+            "AMT_SIM_THREADS must be a positive integer, got {raw:?}"
+        )),
+    }
+}
+
 /// Process-wide default worker count: `AMT_SIM_THREADS` if set to a
 /// positive integer, else the available hardware parallelism.
+///
+/// # Panics
+///
+/// Panics on a malformed `AMT_SIM_THREADS` (non-numeric or `0`) instead of
+/// silently ignoring it — the variable exists precisely to pin the
+/// executor, so a typo must not fall through to hardware parallelism.
+///
+/// Note the `OnceLock` caching pitfall: the environment variable is read
+/// **once**, on the first auto-resolved run in the process, and the result
+/// (or the panic-worthy malformation) is cached for the process lifetime.
+/// Changing `AMT_SIM_THREADS` after that first use has no effect; tests
+/// that need a specific worker count should set [`RunConfig::threads`]
+/// explicitly rather than mutate the environment.
 fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
         if let Ok(raw) = std::env::var("AMT_SIM_THREADS") {
-            if let Ok(v) = raw.trim().parse::<usize>() {
-                if v >= 1 {
-                    return v;
-                }
+            match parse_thread_env(&raw) {
+                Ok(v) => v,
+                Err(msg) => panic!("{msg}"),
             }
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     })
 }
 
@@ -166,6 +198,9 @@ pub struct Ctx<'a, M> {
     staged: &'a mut Vec<Option<M>>,
     rng: &'a mut StdRng,
     violation: &'a mut Option<CongestError>,
+    /// Event sink when tracing is enabled (`None` costs one branch per
+    /// [`Ctx::trace_event`] call and nothing else).
+    trace: Option<&'a mut Vec<TraceEvent>>,
 }
 
 impl<M: CongestMessage> Ctx<'_, M> {
@@ -239,6 +274,23 @@ impl<M: CongestMessage> Ctx<'_, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Emits a span/phase marker into the run's [`RunTrace`].
+    ///
+    /// A no-op (one branch) unless tracing was enabled with
+    /// [`Simulator::with_trace`]; emitting events must therefore never be
+    /// the protocol's only side effect. Events are recorded in
+    /// `(round, node)` order independently of the worker-thread count.
+    pub fn trace_event(&mut self, label: &'static str, value: u64) {
+        if let Some(events) = self.trace.as_mut() {
+            events.push(TraceEvent {
+                round: self.round,
+                node: self.node,
+                label,
+                value,
+            });
+        }
+    }
 }
 
 /// Per-node `(port, message)` buffers for one shard of nodes.
@@ -262,6 +314,11 @@ struct RoundReply<M> {
     violation: Option<(usize, CongestError)>,
     /// The job's inbox buffers, cleared, returned for reuse.
     recycled: Vec<Vec<(usize, M)>>,
+    /// Trace events emitted by the shard this round, in local node order
+    /// (empty unless tracing is enabled). The coordinator concatenates the
+    /// shard buffers in worker order — shards are contiguous in node order,
+    /// so the merged stream is exactly the sequential `(round, node)` order.
+    events: Vec<TraceEvent>,
 }
 
 /// Executes one [`Protocol`] instance per node of a [`Graph`], enforcing the
@@ -311,6 +368,11 @@ pub struct Simulator<'g, P: Protocol> {
     fault_plan: Option<FaultPlan>,
     fault_events: Vec<FaultEvent>,
     crashed: Vec<bool>,
+    /// Tracing request; `None` (the default) disables all recording and
+    /// leaves every execution path byte-identical to the untraced build.
+    trace_cfg: Option<TraceConfig>,
+    /// Timeline recorded by the most recent [`Self::run`] (when enabled).
+    trace: Option<RunTrace>,
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -360,7 +422,31 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             fault_plan: None,
             fault_events: Vec::new(),
             crashed: vec![false; n],
+            trace_cfg: None,
+            trace: None,
         })
+    }
+
+    /// Enables round-level tracing for every subsequent [`Self::run`].
+    ///
+    /// Recording never changes observable behavior: `Metrics`, protocol
+    /// state, and RNG streams are byte-identical with tracing on or off,
+    /// on the clean, faulty, and multi-threaded execution paths alike.
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace_cfg = Some(cfg);
+        self
+    }
+
+    /// The timeline recorded by the most recent [`Self::run`], if tracing
+    /// was enabled. A run aborted by an error leaves the rounds recorded up
+    /// to the abort (with an empty `final_edge_load`).
+    pub fn trace(&self) -> Option<&RunTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes ownership of the most recent run's timeline.
+    pub fn take_trace(&mut self) -> Option<RunTrace> {
+        self.trace.take()
     }
 
     /// Attaches a [`FaultPlan`] to apply on every subsequent [`Self::run`].
@@ -422,6 +508,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// [`CongestError::RoundLimitExceeded`], or
     /// [`CongestError::FaultPlanInvalid`].
     pub fn run(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+        self.trace = None;
         match self.fault_plan.clone() {
             Some(plan) if !plan.is_trivial() => self.run_faulty(cfg, plan),
             _ => self.run_clean(cfg),
@@ -487,6 +574,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let mut outbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
         let mut staged: Vec<Option<P::Message>> = Vec::new();
         let mut violation: Option<CongestError> = None;
+        let mut trace = self.trace_cfg.map(|tc| (tc, RunTrace::default()));
 
         for round in 0..=cfg.max_rounds {
             let mut visit = 0..n;
@@ -510,6 +598,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         staged: &mut staged,
                         rng: &mut self.rngs[v],
                         violation: &mut violation,
+                        trace: trace.as_mut().map(|(_, t)| &mut t.events),
                     };
                     if round == 0 {
                         self.nodes[v].init(&mut ctx);
@@ -518,6 +607,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     }
                 }
                 if let Some(err) = violation.take() {
+                    self.trace = trace.map(|(_, t)| t);
                     return Err(err);
                 }
                 let ob = &mut outbox[v];
@@ -527,9 +617,24 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     }
                 }
             }
+            let bits_before = metrics.bits;
             let delivered = self.merge_outboxes(&mut outbox, &mut next_inbox, &mut metrics);
             metrics.messages += delivered;
             metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
+            if let Some((tc, t)) = trace.as_mut() {
+                t.samples.push(RoundSample {
+                    round,
+                    messages: delivered,
+                    bits: metrics.bits - bits_before,
+                    ..RoundSample::default()
+                });
+                if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
+                    t.snapshots.push(EdgeLoadSnapshot {
+                        round,
+                        load: self.edge_load.clone(),
+                    });
+                }
+            }
             for ib in &mut inbox {
                 ib.clear();
             }
@@ -542,9 +647,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             };
             if stop {
                 metrics.max_edge_congestion = self.edge_load.iter().copied().max().unwrap_or(0);
+                if let Some((_, t)) = trace.as_mut() {
+                    t.final_edge_load = self.edge_load.clone();
+                }
+                self.trace = trace.map(|(_, t)| t);
                 return Ok(metrics);
             }
         }
+        self.trace = trace.map(|(_, t)| t);
         Err(CongestError::RoundLimitExceeded {
             max_rounds: cfg.max_rounds,
         })
@@ -580,6 +690,10 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let adjacency = &self.adjacency;
         let peer_port = &self.peer_port;
         let edge_load = &mut self.edge_load;
+        let trace_cfg = self.trace_cfg;
+        let tracing = trace_cfg.is_some();
+        let mut trace = trace_cfg.map(|tc| (tc, RunTrace::default()));
+        let trace_ref = &mut trace;
 
         let (result, nodes_back, rngs_back) = std::thread::scope(|s| {
             let (reply_tx, reply_rx) = mpsc::channel::<RoundReply<P::Message>>();
@@ -601,6 +715,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                             all_done: true,
                             violation: None,
                             recycled: Vec::new(),
+                            events: Vec::new(),
                         };
                         for (i, node) in my_nodes.iter_mut().enumerate() {
                             let v = base + i;
@@ -621,6 +736,11 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                                     staged: &mut staged,
                                     rng: &mut my_rngs[i],
                                     violation: &mut violation,
+                                    trace: if tracing {
+                                        Some(&mut reply.events)
+                                    } else {
+                                        None
+                                    },
                                 };
                                 if job.round == 0 {
                                     node.init(&mut ctx);
@@ -671,6 +791,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 }
                 let mut outboxes: Vec<ShardBuffers<P::Message>> = Vec::new();
                 outboxes.resize_with(workers, Vec::new);
+                let mut shard_events: Vec<Vec<TraceEvent>> = Vec::new();
+                shard_events.resize_with(workers, Vec::new);
                 let mut all_done = true;
                 let mut violation: Option<(usize, CongestError)> = None;
                 for _ in 0..workers {
@@ -688,6 +810,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     }
                     batches[reply.worker] = reply.recycled;
                     outboxes[reply.worker] = reply.outbox;
+                    shard_events[reply.worker] = reply.events;
+                }
+                // Merge shard event buffers in worker (= node) order, so the
+                // stream is identical to the sequential visit's.
+                if let Some((_, t)) = trace_ref.as_mut() {
+                    for events in &mut shard_events {
+                        t.events.append(events);
+                    }
                 }
                 if let Some((_, err)) = violation {
                     result = Err(err);
@@ -696,6 +826,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 // Ordered merge: shards are contiguous in node order, so
                 // (worker, local index) ascending is (sender id) ascending —
                 // delivery order and accounting match the sequential loop.
+                let bits_before = metrics.bits;
                 let mut delivered = 0u64;
                 for (w, ob) in outboxes.into_iter().enumerate() {
                     for (i, sends) in ob.into_iter().enumerate() {
@@ -713,6 +844,20 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 }
                 metrics.messages += delivered;
                 metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
+                if let Some((tc, t)) = trace_ref.as_mut() {
+                    t.samples.push(RoundSample {
+                        round,
+                        messages: delivered,
+                        bits: metrics.bits - bits_before,
+                        ..RoundSample::default()
+                    });
+                    if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
+                        t.snapshots.push(EdgeLoadSnapshot {
+                            round,
+                            load: edge_load.clone(),
+                        });
+                    }
+                }
                 metrics.rounds = round;
                 let in_flight = delivered > 0;
                 let stop = match cfg.stop {
@@ -721,6 +866,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 };
                 if stop {
                     metrics.max_edge_congestion = edge_load.iter().copied().max().unwrap_or(0);
+                    if let Some((_, t)) = trace_ref.as_mut() {
+                        t.final_edge_load = edge_load.clone();
+                    }
                     result = Ok(metrics);
                     break 'rounds;
                 }
@@ -740,6 +888,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         });
         self.nodes = nodes_back;
         self.rngs = rngs_back;
+        self.trace = trace.map(|(_, t)| t);
         result
     }
 
@@ -781,8 +930,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             msg: M,
         }
         let mut held: Vec<Held<P::Message>> = Vec::new();
+        let mut trace = self.trace_cfg.map(|tc| (tc, RunTrace::default()));
 
         for round in 0..=cfg.max_rounds {
+            // Snapshot the counters so the round's sample records deltas
+            // (including crashes applied at the top of this round).
+            let round_start = metrics;
             fs.apply_crashes(round, &mut metrics);
             let mut delivered_this_round = 0u64;
             for (v, ib) in inbox.iter_mut().enumerate() {
@@ -803,6 +956,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         staged: &mut staged,
                         rng: &mut self.rngs[v],
                         violation: &mut violation,
+                        trace: trace.as_mut().map(|(_, t)| &mut t.events),
                     };
                     if round == 0 {
                         self.nodes[v].init(&mut ctx);
@@ -811,6 +965,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     }
                 }
                 if let Some(err) = violation.take() {
+                    self.trace = trace.map(|(_, t)| t);
                     return Err(err);
                 }
                 for (port, slot) in staged.iter_mut().enumerate() {
@@ -903,6 +1058,24 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             metrics.messages += delivered_this_round;
             metrics.peak_messages_per_round =
                 metrics.peak_messages_per_round.max(delivered_this_round);
+            if let Some((tc, t)) = trace.as_mut() {
+                t.samples.push(RoundSample {
+                    round,
+                    messages: delivered_this_round,
+                    bits: metrics.bits - round_start.bits,
+                    dropped: metrics.dropped - round_start.dropped,
+                    corrupted: metrics.corrupted - round_start.corrupted,
+                    delayed: metrics.delayed - round_start.delayed,
+                    lost_to_crash: metrics.lost_to_crash - round_start.lost_to_crash,
+                    crashed: metrics.crashed - round_start.crashed,
+                });
+                if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
+                    t.snapshots.push(EdgeLoadSnapshot {
+                        round,
+                        load: self.edge_load.clone(),
+                    });
+                }
+            }
             for ib in &mut inbox {
                 ib.clear();
             }
@@ -922,9 +1095,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             };
             if stop {
                 metrics.max_edge_congestion = self.edge_load.iter().copied().max().unwrap_or(0);
+                if let Some((_, t)) = trace.as_mut() {
+                    t.final_edge_load = self.edge_load.clone();
+                }
+                self.trace = trace.map(|(_, t)| t);
                 return Ok(metrics);
             }
         }
+        self.trace = trace.map(|(_, t)| t);
         Err(CongestError::RoundLimitExceeded {
             max_rounds: cfg.max_rounds,
         })
@@ -1190,6 +1368,7 @@ mod tests {
                     .trace
                     .wrapping_mul(31)
                     .wrapping_add(u64::from(hops) + 1);
+                ctx.trace_event("token_seen", u64::from(hops));
                 if hops > 0 && ctx.rng().random_bool(0.75) {
                     let port = ctx.rng().random_range(0..degree);
                     staged.push((port, hops - 1));
@@ -1255,6 +1434,83 @@ mod tests {
         let baseline = run(1);
         for threads in [2, 3, 4, 8, 32] {
             assert_eq!(run(threads), baseline, "threads = {threads} diverged");
+        }
+    }
+
+    /// Malformed `AMT_SIM_THREADS` values are rejected loudly; valid ones
+    /// parse (whitespace-tolerant). The panic itself lives behind a
+    /// process-wide `OnceLock` (see [`default_threads`]), so the parser is
+    /// what gets unit-tested.
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_thread_env("4"), Ok(4));
+        assert_eq!(parse_thread_env(" 2 \n"), Ok(2));
+        let err = parse_thread_env("four").unwrap_err();
+        assert!(err.contains("AMT_SIM_THREADS"), "{err}");
+        assert!(err.contains("four"), "{err}");
+        let err = parse_thread_env("0").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        assert!(parse_thread_env("").is_err());
+        assert!(parse_thread_env("-3").is_err());
+        assert!(parse_thread_env("3.5").is_err());
+    }
+
+    /// Enabling tracing must not change a single observable bit, and the
+    /// recorded timeline must reconstruct the run's `Metrics` exactly, on
+    /// both the sequential and the threaded clean path.
+    #[test]
+    fn tracing_is_observably_free_and_replays_metrics() {
+        let g = amt_graphs::generators::hypercube(5);
+        for threads in [1, 4] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let mut plain = Simulator::new(&g, walker_fleet(32), 77).unwrap();
+            let m_plain = plain.run(&cfg).unwrap();
+            assert!(plain.trace().is_none(), "tracing is off by default");
+
+            let mut traced = Simulator::new(&g, walker_fleet(32), 77)
+                .unwrap()
+                .with_trace(TraceConfig::default().with_edge_load_stride(2));
+            let m_traced = traced.run(&cfg).unwrap();
+            assert_eq!(
+                m_plain, m_traced,
+                "threads = {threads}: tracing changed metrics"
+            );
+            let s_plain: Vec<u64> = plain.nodes().iter().map(|p| p.trace).collect();
+            let s_traced: Vec<u64> = traced.nodes().iter().map(|p| p.trace).collect();
+            assert_eq!(s_plain, s_traced, "tracing changed protocol state");
+
+            let trace = traced.take_trace().expect("tracing was enabled");
+            assert_eq!(trace.reconstruct_metrics(), m_traced);
+            assert_eq!(trace.samples.len() as u64, m_traced.rounds + 1);
+            assert!(trace.events.iter().any(|e| e.label == "token_seen"));
+            assert!(!trace.snapshots.is_empty());
+            assert_eq!(trace.final_edge_load, traced.edge_load());
+        }
+    }
+
+    /// The threaded executor's event merge must reproduce the sequential
+    /// `(round, node)` event order exactly.
+    #[test]
+    fn trace_events_merge_in_sequential_order() {
+        let g = amt_graphs::generators::hypercube(5);
+        let run = |threads: usize| {
+            let mut sim = Simulator::new(&g, walker_fleet(32), 5)
+                .unwrap()
+                .with_trace(TraceConfig::default());
+            sim.run(&RunConfig::default().with_threads(threads))
+                .unwrap();
+            sim.take_trace().unwrap()
+        };
+        let baseline = run(1);
+        assert!(!baseline.events.is_empty());
+        for w in baseline.events.windows(2) {
+            assert!(
+                (w[0].round, w[0].node.index()) <= (w[1].round, w[1].node.index()),
+                "sequential events must be (round, node)-ordered"
+            );
+        }
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), baseline, "threads = {threads} trace diverged");
         }
     }
 

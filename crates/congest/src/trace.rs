@@ -1,0 +1,304 @@
+//! Round-level run tracing and wall-clock phase timing.
+//!
+//! The simulator's [`crate::Metrics`] are end-of-run scalars; this module
+//! records *how the run got there*. A [`RunTrace`] holds one
+//! [`RoundSample`] per executed round (messages, bits, per-round fault
+//! counts), the protocol-emitted [`TraceEvent`] stream
+//! ([`crate::Ctx::trace_event`]), optional cumulative per-edge load
+//! snapshots at a configurable stride, and the final per-edge load vector.
+//!
+//! # Contract
+//!
+//! * **Disabled by default, zero overhead.** Tracing is off unless
+//!   [`crate::Simulator::with_trace`] is called; a disabled run takes the
+//!   exact same code path bit for bit — `Metrics`, protocol state, and RNG
+//!   streams are byte-identical with tracing on or off.
+//! * **Deterministic.** Samples are recorded once per round in round order;
+//!   events are recorded in `(round, node)` order whatever the executor's
+//!   thread count (threaded workers buffer events locally and the
+//!   coordinator merges the shard buffers in node order, which is exactly
+//!   the sequential visit order).
+//! * **Lossless accounting.** Summing the timeline reproduces the run's
+//!   `Metrics` exactly — see [`RunTrace::reconstruct_metrics`], which tests
+//!   use to cross-check the simulator's own accounting.
+
+use crate::Metrics;
+use amt_graphs::NodeId;
+use std::time::Duration;
+
+/// What a [`RunTrace`] should record, attached via
+/// [`crate::Simulator::with_trace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record a cumulative per-edge load snapshot every `edge_load_stride`
+    /// rounds (at rounds `0, s, 2s, …`); `0` (the default) records none.
+    /// The final per-edge loads are always captured on successful runs.
+    pub edge_load_stride: u64,
+}
+
+impl TraceConfig {
+    /// Config with per-edge load snapshots every `stride` rounds.
+    pub fn with_edge_load_stride(mut self, stride: u64) -> Self {
+        self.edge_load_stride = stride;
+        self
+    }
+}
+
+/// Aggregate deliveries and faults of one executed round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundSample {
+    /// The round number (0 is the `init` round).
+    pub round: u64,
+    /// Messages delivered into next-round inboxes during this round.
+    pub messages: u64,
+    /// Bits delivered during this round (sum of delivered frame widths,
+    /// including the actual widths of corrupted-but-deliverable frames).
+    pub bits: u64,
+    /// Messages discarded by injected drop faults this round.
+    pub dropped: u64,
+    /// Messages hit by injected corruption this round (delivered or not).
+    pub corrupted: u64,
+    /// Messages postponed by injected delay faults this round.
+    pub delayed: u64,
+    /// Previously delayed messages lost this round to a crashed destination.
+    pub lost_to_crash: u64,
+    /// Nodes crash-stopped at the start of this round.
+    pub crashed: u64,
+}
+
+/// One protocol-emitted span/phase marker (see [`crate::Ctx::trace_event`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round in which the event was emitted.
+    pub round: u64,
+    /// The node that emitted it.
+    pub node: NodeId,
+    /// Static label naming the span or phase (e.g. `"boruvka_iter"`).
+    pub label: &'static str,
+    /// Free-form payload (iteration number, fragment id, …).
+    pub value: u64,
+}
+
+/// Cumulative per-edge delivery counts captured mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeLoadSnapshot {
+    /// Round after which the snapshot was taken.
+    pub round: u64,
+    /// Cumulative messages delivered per (undirected) edge id so far.
+    pub load: Vec<u64>,
+}
+
+/// The recorded timeline of one [`crate::Simulator::run`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunTrace {
+    /// One sample per executed round, in round order.
+    pub samples: Vec<RoundSample>,
+    /// Protocol-emitted events in `(round, node)` order.
+    pub events: Vec<TraceEvent>,
+    /// Cumulative per-edge load snapshots ([`TraceConfig::edge_load_stride`]).
+    pub snapshots: Vec<EdgeLoadSnapshot>,
+    /// Final cumulative per-edge loads (empty if the run aborted early).
+    pub final_edge_load: Vec<u64>,
+}
+
+impl RunTrace {
+    /// Rebuilds the run's [`Metrics`] from the timeline alone.
+    ///
+    /// For a successful run this is *exactly* the value returned by
+    /// [`crate::Simulator::run`]; any divergence is an accounting bug in
+    /// one of the two code paths, which is why the regression tests compare
+    /// them field by field.
+    pub fn reconstruct_metrics(&self) -> Metrics {
+        let mut m = Metrics {
+            rounds: self.samples.last().map_or(0, |s| s.round),
+            max_edge_congestion: self.final_edge_load.iter().copied().max().unwrap_or(0),
+            ..Metrics::default()
+        };
+        for s in &self.samples {
+            m.messages += s.messages;
+            m.bits += s.bits;
+            m.peak_messages_per_round = m.peak_messages_per_round.max(s.messages);
+            m.dropped += s.dropped;
+            m.corrupted += s.corrupted;
+            m.delayed += s.delayed;
+            m.lost_to_crash += s.lost_to_crash;
+            m.crashed += s.crashed;
+        }
+        m
+    }
+
+    /// Events carrying `label`, in emission order.
+    pub fn events_labeled<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+}
+
+/// Named wall-clock durations of an algorithm's phases.
+///
+/// This is *observability metadata*: it reports how long the host machine
+/// took, not anything about the simulated execution. To keep the
+/// simulator's determinism contract testable (`Metrics`, outcome structs,
+/// and stats structs are compared across visit orders, thread counts, and
+/// execution paths), **equality on `PhaseTimings` is always `true`** — two
+/// values compare equal whatever they contain. Assertions about timings
+/// must therefore go through [`PhaseTimings::entries`] explicitly.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimings {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl PhaseTimings {
+    /// An empty set of timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `elapsed` under `label`, accumulating into an existing entry
+    /// with the same label if one exists.
+    pub fn record(&mut self, label: &'static str, elapsed: Duration) {
+        self.record_nanos(label, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records `nanos` nanoseconds under `label` (accumulating).
+    pub fn record_nanos(&mut self, label: &'static str, nanos: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(l, _)| *l == label) {
+            e.1 = e.1.saturating_add(nanos);
+        } else {
+            self.entries.push((label, nanos));
+        }
+    }
+
+    /// The recorded `(label, nanoseconds)` pairs, in first-recorded order.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+
+    /// Total nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.entries.iter().map(|&(_, ns)| ns).sum()
+    }
+
+    /// Nanoseconds recorded under `label` (0 if absent).
+    pub fn nanos(&self, label: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0, |&(_, ns)| ns)
+    }
+
+    /// Accumulates every entry of `later` into this set.
+    pub fn merge(&mut self, later: &PhaseTimings) {
+        for &(label, ns) in &later.entries {
+            self.record_nanos(label, ns);
+        }
+    }
+}
+
+/// Wall-clock timings never participate in semantic equality (see the type
+/// docs); determinism assertions over structs embedding them stay exact.
+impl PartialEq for PhaseTimings {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for PhaseTimings {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruct_sums_and_maxima() {
+        let trace = RunTrace {
+            samples: vec![
+                RoundSample {
+                    round: 0,
+                    messages: 4,
+                    bits: 40,
+                    dropped: 1,
+                    corrupted: 0,
+                    delayed: 2,
+                    lost_to_crash: 0,
+                    crashed: 1,
+                },
+                RoundSample {
+                    round: 1,
+                    messages: 6,
+                    bits: 50,
+                    dropped: 0,
+                    corrupted: 2,
+                    delayed: 0,
+                    lost_to_crash: 1,
+                    crashed: 0,
+                },
+                RoundSample {
+                    round: 2,
+                    messages: 0,
+                    bits: 0,
+                    dropped: 0,
+                    corrupted: 0,
+                    delayed: 0,
+                    lost_to_crash: 0,
+                    crashed: 0,
+                },
+            ],
+            events: Vec::new(),
+            snapshots: Vec::new(),
+            final_edge_load: vec![3, 7, 0],
+        };
+        let m = trace.reconstruct_metrics();
+        assert_eq!(
+            m,
+            Metrics {
+                rounds: 2,
+                messages: 10,
+                bits: 90,
+                peak_messages_per_round: 6,
+                max_edge_congestion: 7,
+                dropped: 1,
+                corrupted: 2,
+                delayed: 2,
+                lost_to_crash: 1,
+                crashed: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn empty_trace_reconstructs_default() {
+        assert_eq!(
+            RunTrace::default().reconstruct_metrics(),
+            Metrics::default()
+        );
+    }
+
+    #[test]
+    fn phase_timings_accumulate_and_merge() {
+        let mut a = PhaseTimings::new();
+        a.record_nanos("prep", 10);
+        a.record_nanos("hops", 5);
+        a.record_nanos("prep", 7);
+        assert_eq!(a.nanos("prep"), 17);
+        assert_eq!(a.total_nanos(), 22);
+        let mut b = PhaseTimings::new();
+        b.record_nanos("hops", 1);
+        b.record_nanos("bottom", 2);
+        a.merge(&b);
+        assert_eq!(a.entries(), &[("prep", 17), ("hops", 6), ("bottom", 2)]);
+    }
+
+    #[test]
+    fn phase_timings_equality_is_vacuous() {
+        let mut a = PhaseTimings::new();
+        a.record_nanos("x", 123);
+        assert_eq!(
+            a,
+            PhaseTimings::new(),
+            "timings never break determinism comparisons"
+        );
+    }
+}

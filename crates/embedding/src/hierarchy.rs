@@ -5,6 +5,7 @@ use crate::{
     dir_key, key_edge, key_is_forward, level0, EmbedError, HierarchyConfig, LevelStats, Overlay,
     PortalEntry, PortalTable, Result, VirtualId, VirtualMap,
 };
+use amt_congest::PhaseTimings;
 use amt_graphs::{traversal, EdgeId, Graph, GraphBuilder, NodeId};
 use amt_kwise::PartitionHash;
 use amt_walks::{parallel, route_paths, route_paths_schedule, WalkKind, WalkSpec};
@@ -12,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// The constructed hierarchy of §3.1: overlays `G₀ … G_k` (the last being
 /// the bottom complete graphs), the Θ(log n)-wise partition, and portals.
@@ -105,11 +107,15 @@ impl<'g> Hierarchy<'g> {
         let seed_broadcast_rounds = diam + seed_words;
 
         // --- Level 0 ---
+        let mut wall = PhaseTimings::new();
+        let mut mark = Instant::now();
         let (ov0, mut st0) = level0::build(base, &vmap, &cfg, &mut rng);
         let mut overlays = vec![ov0];
         let mut full_round = vec![Self::full_round_of(&overlays[0], 0, &[])];
         st0.full_round_base_cost = full_round[0];
         let mut level_stats = vec![st0];
+        wall.record("level0", mark.elapsed());
+        mark = Instant::now();
 
         // --- Walk-built levels 1 .. levels-1 ---
         for p in 1..levels {
@@ -128,6 +134,8 @@ impl<'g> Hierarchy<'g> {
             overlays.push(ov);
             level_stats.push(st);
         }
+        wall.record("walk_levels", mark.elapsed());
+        mark = Instant::now();
 
         // --- Bottom level: complete graphs on the depth-`levels` parts ---
         let (ovb, mut stb) = Self::build_bottom(
@@ -141,6 +149,8 @@ impl<'g> Hierarchy<'g> {
         stb.build_base_rounds = full_round[levels as usize];
         overlays.push(ovb);
         level_stats.push(stb);
+        wall.record("bottom", mark.elapsed());
+        mark = Instant::now();
 
         // --- Portals for depths 1 ..= levels ---
         let mut portals = Vec::with_capacity(levels as usize);
@@ -162,6 +172,7 @@ impl<'g> Hierarchy<'g> {
             portal_base_rounds.push(rounds);
             portal_fallbacks += fallbacks;
         }
+        wall.record("portals", mark.elapsed());
 
         let mut stats = crate::BuildStats {
             levels: level_stats,
@@ -169,6 +180,7 @@ impl<'g> Hierarchy<'g> {
             portal_fallbacks,
             seed_broadcast_rounds,
             total_base_rounds: 0,
+            wall,
         };
         stats.recompute_total();
 

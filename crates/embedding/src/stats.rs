@@ -1,5 +1,7 @@
 //! Measured construction statistics.
 
+use amt_congest::PhaseTimings;
+
 /// Per-level construction measurements.
 #[derive(Clone, Debug, Default)]
 pub struct LevelStats {
@@ -44,6 +46,10 @@ pub struct BuildStats {
     pub seed_broadcast_rounds: u64,
     /// Grand total of measured base rounds for the whole construction.
     pub total_base_rounds: u64,
+    /// Host wall-clock time per construction phase (`"level0"`,
+    /// `"walk_levels"`, `"bottom"`, `"portals"` entries); excluded from
+    /// equality like all [`PhaseTimings`].
+    pub wall: PhaseTimings,
 }
 
 impl BuildStats {

@@ -8,9 +8,10 @@
 //! the almost-mixing-time algorithm on expanders.
 
 use crate::{reference::UnionFind, MstError, Result};
-use amt_congest::{bits_for_value, Ctx, Metrics, Protocol, RunConfig, Simulator};
+use amt_congest::{bits_for_value, Ctx, Metrics, PhaseTimings, Protocol, RunConfig, Simulator};
 use amt_graphs::{EdgeId, WeightedGraph};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Outcome of the CONGEST Boruvka baseline.
 #[derive(Clone, Debug)]
@@ -25,6 +26,9 @@ pub struct CongestMstOutcome {
     pub iterations: u32,
     /// Total messages sent.
     pub messages: u64,
+    /// Host wall-clock time per stage (`"candidate_flood"`,
+    /// `"label_flood"`, `"merge"` entries, accumulated over iterations).
+    pub wall: PhaseTimings,
 }
 
 /// Flooding protocol restricted to a set of active ports: every node floods
@@ -142,6 +146,7 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
     let mut tree_edges: Vec<EdgeId> = Vec::new();
     let mut metrics = Metrics::default();
     let mut iterations = 0u32;
+    let mut wall = PhaseTimings::new();
     let cap = 2 * (n.max(2) as f64).log2().ceil() as u32 + 10;
 
     while comp.iter().collect::<HashSet<_>>().len() > 1 {
@@ -154,6 +159,7 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
         metrics.rounds += 1;
 
         // Each node's candidate: its minimum outgoing edge.
+        let t0 = Instant::now();
         let init: Vec<u64> = g
             .nodes()
             .map(|v| {
@@ -163,8 +169,10 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
             .collect();
         let (vals, m1) = min_flood(wg, &forest, &init, seed ^ u64::from(iterations), threads)?;
         metrics = metrics.then(m1);
+        wall.record("candidate_flood", t0.elapsed());
 
         // Merge along every fragment's minimum outgoing edge.
+        let t0 = Instant::now();
         let mut uf = UnionFind::new(n);
         for &e in &forest {
             let (u, v) = g.endpoints(e);
@@ -186,8 +194,10 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
             }
         }
         debug_assert!(merged, "an iteration must merge at least one fragment");
+        wall.record("merge", t0.elapsed());
 
         // Flood new fragment labels (min node id) over the grown forest.
+        let t0 = Instant::now();
         let label_init: Vec<u64> = (0..n as u64).collect();
         let (labels, m2) = min_flood(
             wg,
@@ -198,6 +208,7 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
         )?;
         metrics = metrics.then(m2);
         comp = labels;
+        wall.record("label_flood", t0.elapsed());
     }
 
     tree_edges.sort_unstable();
@@ -207,6 +218,7 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
         rounds: metrics.rounds,
         iterations,
         messages: metrics.messages,
+        wall,
     })
 }
 

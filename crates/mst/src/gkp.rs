@@ -12,9 +12,10 @@
 //! phase-2 iterations costs `O(D + √n)` measured rounds.
 
 use crate::{reference::UnionFind, MstError, Result};
-use amt_congest::{primitives, Metrics};
+use amt_congest::{primitives, Metrics, PhaseTimings};
 use amt_graphs::{EdgeId, NodeId, WeightedGraph};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Outcome of the GKP-style baseline.
 #[derive(Clone, Debug)]
@@ -31,6 +32,8 @@ pub struct GkpOutcome {
     pub phase2_rounds: u64,
     /// Height of the global BFS tree used in phase 2.
     pub bfs_height: u32,
+    /// Host wall-clock time per stage (`"phase1"`, `"phase2"` entries).
+    pub wall: PhaseTimings,
 }
 
 /// Runs the baseline.
@@ -52,6 +55,8 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
     let cap = 4 * (n.max(2) as f64).log2().ceil() as u32 + 10;
 
     // ---- Phase 1: controlled Boruvka until all fragments reach √n. ----
+    let mut wall = PhaseTimings::new();
+    let mark = Instant::now();
     let mut iters = 0u32;
     while size.values().any(|&s| s < sqrt_n) && size.len() > 1 {
         if iters >= cap {
@@ -108,7 +113,10 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
         }
     }
 
+    wall.record("phase1", mark.elapsed());
+
     // ---- Phase 2: pipelined merging over a global BFS tree. ----
+    let mark = Instant::now();
     let mut phase2 = Metrics::default();
     let (leader, m_elect) = primitives::elect_leader(g, seed ^ 0xE1EC)?;
     phase2 = phase2.then(m_elect);
@@ -179,6 +187,7 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
         }
     }
 
+    wall.record("phase2", mark.elapsed());
     tree_edges.sort_unstable();
     Ok(GkpOutcome {
         total_weight: wg.total_weight(&tree_edges),
@@ -187,6 +196,7 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<GkpOutcome> {
         phase1_rounds: phase1.rounds,
         phase2_rounds: phase2.rounds,
         bfs_height: tree.height(),
+        wall,
     })
 }
 

@@ -1,10 +1,14 @@
 //! Measured routing outcomes.
 
+use amt_congest::PhaseTimings;
+
 /// Measured result of one [`crate::HierarchicalRouter::route`] call.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoutingOutcome {
-    /// Phases the instance was split into (1 unless the load promise was
-    /// exceeded; footnote 3 of the paper).
+    /// Phases the instance was actually routed in (1 unless the load
+    /// promise was exceeded; footnote 3 of the paper). Accumulated by
+    /// [`RoutingOutcome::absorb`] — each executed phase contributes its own
+    /// count, so phases that received no packets are not counted.
     pub phases: u32,
     /// Total measured base-graph rounds (preparation + hops + bottom
     /// deliveries across all phases).
@@ -27,6 +31,10 @@ pub struct RoutingOutcome {
     pub hop_crossings: u64,
     /// Total bottom-clique edge crossings (final deliveries).
     pub bottom_crossings: u64,
+    /// Host wall-clock time per routing stage (`"prep"`, `"hops"`,
+    /// `"bottom"` entries); excluded from equality like all
+    /// [`PhaseTimings`], so determinism comparisons stay exact.
+    pub wall: PhaseTimings,
 }
 
 impl RoutingOutcome {
@@ -47,6 +55,11 @@ impl RoutingOutcome {
 
     /// Merges the outcome of a later phase into this one.
     pub fn absorb(&mut self, later: &RoutingOutcome) {
+        // `phases` must accumulate like every other counter: before the
+        // observability audit it was silently skipped here, so a
+        // multi-phase route reported whatever the caller pre-set instead of
+        // the number of phases actually executed.
+        self.phases += later.phases;
         self.total_base_rounds += later.total_base_rounds;
         self.prep_rounds += later.prep_rounds;
         if self.hop_rounds_per_depth.len() < later.hop_rounds_per_depth.len() {
@@ -66,6 +79,7 @@ impl RoutingOutcome {
         self.portal_misses += later.portal_misses;
         self.hop_crossings += later.hop_crossings;
         self.bottom_crossings += later.bottom_crossings;
+        self.wall.merge(&later.wall);
     }
 }
 
@@ -73,10 +87,17 @@ impl RoutingOutcome {
 mod tests {
     use super::*;
 
+    /// Field-drift guard: both inputs and the expected result are
+    /// exhaustive struct literals (no `..Default::default()`), so adding a
+    /// `RoutingOutcome` field without deciding how [`RoutingOutcome::absorb`]
+    /// merges it fails to compile here instead of silently dropping it —
+    /// exactly the bug `phases` had (absorb ignored it) before this test.
     #[test]
     fn absorb_accumulates() {
+        let mut prep_wall = PhaseTimings::new();
+        prep_wall.record_nanos("prep", 5);
         let mut a = RoutingOutcome {
-            phases: 2,
+            phases: 1,
             total_base_rounds: 10,
             prep_rounds: 3,
             hop_rounds_per_depth: vec![2, 1],
@@ -86,7 +107,11 @@ mod tests {
             portal_misses: 1,
             hop_crossings: 7,
             bottom_crossings: 5,
+            wall: prep_wall,
         };
+        let mut hop_wall = PhaseTimings::new();
+        hop_wall.record_nanos("prep", 2);
+        hop_wall.record_nanos("hops", 3);
         let b = RoutingOutcome {
             phases: 2,
             total_base_rounds: 7,
@@ -98,15 +123,44 @@ mod tests {
             portal_misses: 0,
             hop_crossings: 2,
             bottom_crossings: 3,
+            wall: hop_wall,
         };
         a.absorb(&b);
-        assert_eq!(a.total_base_rounds, 17);
-        assert_eq!(a.hop_rounds_per_depth, vec![3, 2, 1]);
-        assert_eq!(a.delivered, 8);
-        assert_eq!(a.undelivered, 1);
+        assert_eq!(
+            a,
+            RoutingOutcome {
+                phases: 3,
+                total_base_rounds: 17,
+                prep_rounds: 5,
+                hop_rounds_per_depth: vec![3, 2, 1],
+                bottom_rounds: 6,
+                delivered: 8,
+                undelivered: 1,
+                portal_misses: 1,
+                hop_crossings: 9,
+                bottom_crossings: 8,
+                wall: PhaseTimings::new(), // equality on timings is vacuous
+            }
+        );
         assert_eq!(a.hop_rounds(), 6);
-        assert_eq!(a.hop_crossings, 9);
-        assert_eq!(a.bottom_crossings, 8);
         assert!((a.avg_crossings_per_packet() - 17.0 / 8.0).abs() < 1e-12);
+        // Wall-clock entries merged label-wise (checked explicitly because
+        // `PhaseTimings` equality is intentionally vacuous).
+        assert_eq!(a.wall.entries(), &[("prep", 7), ("hops", 3)]);
+    }
+
+    #[test]
+    fn absorb_starts_from_zero_phases() {
+        let mut total = RoutingOutcome::default();
+        assert_eq!(total.phases, 0);
+        for _ in 0..3 {
+            total.absorb(&RoutingOutcome {
+                phases: 1,
+                delivered: 2,
+                ..Default::default()
+            });
+        }
+        assert_eq!(total.phases, 3);
+        assert_eq!(total.delivered, 6);
     }
 }

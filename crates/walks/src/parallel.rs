@@ -8,8 +8,10 @@
 //! is **measured** from the actual token loads, never assumed.
 
 use crate::WalkKind;
+use amt_congest::PhaseTimings;
 use amt_graphs::{EdgeId, Graph, NodeId};
 use rand::{Rng, RngExt};
+use std::time::Instant;
 
 /// Specification of one walk: where it starts and how many steps it takes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +82,9 @@ pub struct WalkStats {
     pub node_token_peaks: Vec<u32>,
     /// Total edge traversals (excludes stay-steps).
     pub traversals: u64,
+    /// Host wall-clock time of the step loop (`"walks"` entry); excluded
+    /// from equality like all [`PhaseTimings`].
+    pub wall: PhaseTimings,
 }
 
 impl WalkStats {
@@ -145,6 +150,7 @@ pub fn run_parallel_walks<R: Rng>(
     specs: &[WalkSpec],
     rng: &mut R,
 ) -> ParallelWalkRun {
+    let started = Instant::now();
     let delta = g.max_degree();
     let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
     let mut trajectories: Vec<Trajectory> = specs
@@ -211,6 +217,8 @@ pub fn run_parallel_walks<R: Rng>(
     }
 
     let rounds = per_step_rounds.iter().map(|&r| u64::from(r)).sum();
+    let mut wall = PhaseTimings::new();
+    wall.record("walks", started.elapsed());
     ParallelWalkRun {
         trajectories,
         stats: WalkStats {
@@ -219,6 +227,7 @@ pub fn run_parallel_walks<R: Rng>(
             per_step_rounds,
             node_token_peaks: node_peaks,
             traversals,
+            wall,
         },
     }
 }
@@ -246,6 +255,7 @@ pub fn run_correlated_walks<R: Rng>(
     rng: &mut R,
 ) -> ParallelWalkRun {
     use rand::seq::SliceRandom;
+    let started = Instant::now();
     let delta = g.max_degree();
     let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
     let mut trajectories: Vec<Trajectory> = specs
@@ -327,6 +337,8 @@ pub fn run_correlated_walks<R: Rng>(
         per_step_rounds.push(max_load.max(1));
     }
     let rounds = per_step_rounds.iter().map(|&r| u64::from(r)).sum();
+    let mut wall = PhaseTimings::new();
+    wall.record("walks", started.elapsed());
     ParallelWalkRun {
         trajectories,
         stats: WalkStats {
@@ -335,6 +347,7 @@ pub fn run_correlated_walks<R: Rng>(
             per_step_rounds,
             node_token_peaks: node_peaks,
             traversals,
+            wall,
         },
     }
 }

@@ -13,7 +13,9 @@
 //! routing and is exactly what a distributed execution with per-edge queues
 //! would do.
 
+use amt_congest::PhaseTimings;
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Measured statistics of one [`route_paths`] schedule.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -28,6 +30,9 @@ pub struct PathRouteStats {
     /// Sum over tokens of path length (equals `traversals`; kept separate
     /// for interface clarity when capacities drop tokens — they never do).
     pub dilation: u64,
+    /// Host wall-clock time of the schedule computation (`"schedule"`
+    /// entry); excluded from equality like all [`PhaseTimings`].
+    pub wall: PhaseTimings,
 }
 
 /// Routes every token along its fixed path under per-key capacity, returning
@@ -64,6 +69,7 @@ pub fn route_paths(paths: &[Vec<u64>], capacity: u32) -> PathRouteStats {
 /// messages, routed (and priced) by the same machinery one level down.
 pub fn route_paths_schedule(paths: &[Vec<u64>], capacity: u32) -> (PathRouteStats, Vec<Vec<u64>>) {
     assert!(capacity > 0, "capacity must be positive");
+    let started = Instant::now();
     let mut queues: HashMap<u64, VecDeque<u32>> = HashMap::new();
     let mut congestion: HashMap<u64, u64> = HashMap::new();
     let mut pos: Vec<u32> = vec![0; paths.len()];
@@ -123,12 +129,15 @@ pub fn route_paths_schedule(paths: &[Vec<u64>], capacity: u32) -> (PathRouteStat
         active = next_active;
         schedule.push(crossed);
     }
+    let mut wall = PhaseTimings::new();
+    wall.record("schedule", started.elapsed());
     (
         PathRouteStats {
             rounds,
             traversals,
             max_key_congestion: congestion.values().copied().max().unwrap_or(0),
             dilation,
+            wall,
         },
         schedule,
     )
