@@ -12,15 +12,21 @@
 //! * **Ordered merge.** Messages staged in a round are delivered into the
 //!   next round's inboxes in `(sender id, port)` order, whatever order (or
 //!   thread) executed the senders.
+//! * **Message-identity fault keying.** Fault verdicts are a counter-based
+//!   PRF of `(fault seed, round, sender, sender port)` — see
+//!   [`crate::faults`] — so which messages drop, corrupt, or delay is
+//!   independent of sampling order.
 //!
-//! Together these make protocol outputs and [`Metrics`] byte-identical for
-//! any visit order and any worker-thread count, which is what lets
-//! [`RunConfig::threads`] parallelize the clean path without changing a
-//! single observable bit. Runs with a non-trivial [`crate::FaultPlan`]
-//! execute sequentially (fault sampling is one global stream in message
-//! order) but use the same per-node protocol streams.
+//! Together these make protocol outputs, [`Metrics`], and the fault-event
+//! log byte-identical for any visit order and any worker-thread count,
+//! which is what lets [`RunConfig::threads`] parallelize both the clean
+//! *and* the faulty path without changing a single observable bit. There is
+//! exactly one round-loop engine ([`round_engine`]); the clean/faulty split
+//! is a [`FaultHook`] type parameter (the inert hook compiles to the
+//! pristine executor) and the sequential/threaded split is a
+//! [`RoundStepper`] type parameter.
 
-use crate::faults::{Fate, FaultEvent, FaultKind, FaultPlan, FaultState};
+use crate::faults::{Fate, FaultEvent, FaultHook, FaultKind, FaultPlan, FaultState, NoFaults};
 use crate::trace::{EdgeLoadSnapshot, RoundSample, RunTrace, TraceConfig, TraceEvent};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::{Graph, NodeId};
@@ -62,7 +68,7 @@ pub trait Protocol: Send {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum StopCondition {
     /// Stop when every node reports [`Protocol::is_done`] and no messages
-    /// are in flight.
+    /// are in flight (crash-stopped nodes count as done).
     AllDone,
     /// Stop when a round passes with no messages sent and none in flight
     /// (useful for flooding-style protocols without explicit termination).
@@ -81,12 +87,11 @@ pub struct RunConfig {
     pub budget_factor: usize,
     /// Termination rule.
     pub stop: StopCondition,
-    /// Worker threads for the clean execution path. `0` (the default)
-    /// resolves to the `AMT_SIM_THREADS` environment variable if set, else
-    /// to the machine's available parallelism; `1` is the classic
-    /// single-threaded loop. Results are byte-identical for every value —
-    /// see the module-level determinism contract. Runs with a non-trivial
-    /// fault plan always execute single-threaded.
+    /// Worker threads for the executor, clean and faulty paths alike. `0`
+    /// (the default) resolves to the `AMT_SIM_THREADS` environment variable
+    /// if set, else to the machine's available parallelism; `1` is the
+    /// classic single-threaded loop. Results are byte-identical for every
+    /// value — see the module-level determinism contract.
     pub threads: usize,
 }
 
@@ -110,7 +115,7 @@ impl RunConfig {
         }
     }
 
-    /// Sets the clean-path worker-thread count (`0` = auto).
+    /// Sets the executor worker-thread count (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -195,7 +200,9 @@ pub struct Ctx<'a, M> {
     neighbors: &'a [(u32, u32)],
     round: u64,
     budget_bits: usize,
-    staged: &'a mut Vec<Option<M>>,
+    /// One staging slot per port, borrowed from the executor's reusable
+    /// slab (sized once to the maximum degree, not per node per round).
+    staged: &'a mut [Option<M>],
     rng: &'a mut StdRng,
     violation: &'a mut Option<CongestError>,
     /// Event sink when tracing is enabled (`None` costs one branch per
@@ -296,29 +303,486 @@ impl<M: CongestMessage> Ctx<'_, M> {
 /// Per-node `(port, message)` buffers for one shard of nodes.
 type ShardBuffers<M> = Vec<Vec<(usize, M)>>;
 
-/// One round's work order sent to a worker shard.
+/// One round's work order sent to a worker shard. Both buffer sets travel
+/// with the job so every allocation is recycled round over round.
 struct RoundJob<M> {
     round: u64,
-    /// Inbox per local node of the shard.
-    inbox: Vec<Vec<(usize, M)>>,
+    /// Inbox per local node of the shard (drained by the worker).
+    inbox: ShardBuffers<M>,
+    /// Outbox per local node of the shard (filled by the worker).
+    outbox: ShardBuffers<M>,
 }
 
 /// One round's results reported back by a worker shard.
 struct RoundReply<M> {
     worker: usize,
+    /// The job's inbox buffers, cleared, returned for reuse.
+    inbox: ShardBuffers<M>,
     /// Staged `(port, message)` sends per local node, in port order.
-    outbox: Vec<Vec<(usize, M)>>,
-    /// Conjunction of `is_done` over the shard after this round.
+    outbox: ShardBuffers<M>,
+    /// Conjunction of `is_done` over the shard after this round (a
+    /// crash-stopped node counts as done).
     all_done: bool,
     /// First CONGEST violation in the shard, with its global node id.
     violation: Option<(usize, CongestError)>,
-    /// The job's inbox buffers, cleared, returned for reuse.
-    recycled: Vec<Vec<(usize, M)>>,
     /// Trace events emitted by the shard this round, in local node order
     /// (empty unless tracing is enabled). The coordinator concatenates the
     /// shard buffers in worker order — shards are contiguous in node order,
     /// so the merged stream is exactly the sequential `(round, node)` order.
     events: Vec<TraceEvent>,
+}
+
+/// A message an injected delay is holding back, with the original sender
+/// kept for the loss event if the destination crashes first.
+struct Held<M> {
+    release_round: u64,
+    src: usize,
+    src_port: usize,
+    dst: usize,
+    dst_port: usize,
+    edge: usize,
+    msg: M,
+}
+
+/// Reusable per-run buffers, hoisted onto the [`Simulator`] so repeated
+/// runs (the healing protocols re-run the simulator per epoch/phase) reuse
+/// allocations instead of building fresh inbox/outbox/staging vectors.
+struct Scratch<M> {
+    /// `inbox[v]` = (receiving port, message) pairs for the current round.
+    inbox: ShardBuffers<M>,
+    /// Delivery target for the upcoming round (swapped with `inbox`).
+    next_inbox: ShardBuffers<M>,
+    /// `outbox[v]` = (sending port, message) staged by `v` this round.
+    outbox: ShardBuffers<M>,
+    /// The single staging slab the sequential stepper slices per node.
+    staged: Vec<Option<M>>,
+    /// Delay queue of the faulty path (always empty on the clean path).
+    held: Vec<Held<M>>,
+    /// Scratch for the stable sweep over `held` (swapped each round).
+    held_next: Vec<Held<M>>,
+}
+
+impl<M> Default for Scratch<M> {
+    fn default() -> Self {
+        Scratch {
+            inbox: Vec::new(),
+            next_inbox: Vec::new(),
+            outbox: Vec::new(),
+            staged: Vec::new(),
+            held: Vec::new(),
+            held_next: Vec::new(),
+        }
+    }
+}
+
+impl<M> Scratch<M> {
+    /// Clears every buffer and (re)sizes the per-node vectors to `n`,
+    /// keeping their allocations.
+    fn reset(&mut self, n: usize) {
+        for buffers in [&mut self.inbox, &mut self.next_inbox, &mut self.outbox] {
+            for b in buffers.iter_mut() {
+                b.clear();
+            }
+            buffers.resize_with(n, Vec::new);
+        }
+        self.held.clear();
+        self.held_next.clear();
+    }
+}
+
+/// What one [`RoundStepper::step`] observed.
+struct StepOutcome {
+    /// Conjunction of [`Protocol::is_done`] over live nodes (crash-stopped
+    /// nodes count as done).
+    all_done: bool,
+    /// Lowest-node CONGEST violation of the round, if any.
+    violation: Option<CongestError>,
+    /// A worker disappeared mid-run (it panicked); the caller joins the
+    /// workers and propagates the panic.
+    aborted: bool,
+}
+
+/// Executes the protocol step of one round for every live node: drains
+/// `inbox[v]`, runs `init`/`round`, and leaves each node's staged sends in
+/// `outbox[v]` in port order. The two implementations — in-place sequential
+/// and sharded threaded — are interchangeable under the determinism
+/// contract; everything else about a round lives in [`round_engine`].
+trait RoundStepper<M> {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &mut [Vec<(usize, M)>],
+        outbox: &mut [Vec<(usize, M)>],
+        events: Option<&mut Vec<TraceEvent>>,
+    ) -> StepOutcome;
+}
+
+/// The single-threaded stepper: protocol calls happen inline on the
+/// caller's thread. `reverse` visits nodes in descending order — observably
+/// identical by the determinism contract, and exercised by tests to prove
+/// it.
+struct InlineStepper<'a, P: Protocol> {
+    nodes: &'a mut [P],
+    rngs: &'a mut [StdRng],
+    adjacency: &'a [Vec<(u32, u32)>],
+    /// Earliest crash round per node (`&[]` on the clean path: no node
+    /// ever crashes).
+    crash_round: &'a [u64],
+    /// One slot per port of the highest-degree node; sliced per node.
+    staged: Vec<Option<P::Message>>,
+    budget_bits: usize,
+    reverse: bool,
+}
+
+impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &mut [Vec<(usize, P::Message)>],
+        outbox: &mut [Vec<(usize, P::Message)>],
+        mut events: Option<&mut Vec<TraceEvent>>,
+    ) -> StepOutcome {
+        let n = self.nodes.len();
+        let mut all_done = true;
+        let mut violation: Option<CongestError> = None;
+        let mut forward = 0..n;
+        let mut backward = (0..n).rev();
+        let order: &mut dyn Iterator<Item = usize> = if self.reverse {
+            &mut backward
+        } else {
+            &mut forward
+        };
+        for v in order {
+            if self.crash_round.get(v).is_some_and(|&r| r <= round) {
+                // Crash-stopped: no step, inbox discarded, counts as done.
+                inbox[v].clear();
+                continue;
+            }
+            // After a violation the rest of the round is skipped (the run
+            // aborts; state after an error is unspecified).
+            if violation.is_some() {
+                continue;
+            }
+            let degree = self.adjacency[v].len();
+            {
+                let mut ctx = Ctx {
+                    node: NodeId::from(v),
+                    degree,
+                    neighbors: &self.adjacency[v],
+                    round,
+                    budget_bits: self.budget_bits,
+                    staged: &mut self.staged[..degree],
+                    rng: &mut self.rngs[v],
+                    violation: &mut violation,
+                    trace: events.as_deref_mut(),
+                };
+                if round == 0 {
+                    self.nodes[v].init(&mut ctx);
+                } else {
+                    self.nodes[v].round(&mut ctx, &inbox[v]);
+                }
+            }
+            // Drain the slab unconditionally so it is clean for the next
+            // node even when this node tripped a violation mid-step.
+            let ob = &mut outbox[v];
+            for (port, slot) in self.staged[..degree].iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    ob.push((port, msg));
+                }
+            }
+            all_done &= self.nodes[v].is_done();
+        }
+        StepOutcome {
+            all_done,
+            violation,
+            aborted: false,
+        }
+    }
+}
+
+/// The multi-threaded stepper: nodes are sharded into contiguous chunks,
+/// one persistent worker per chunk inside a [`std::thread::scope`]; each
+/// round the coordinator ships per-shard inbox/outbox buffers out, workers
+/// step their nodes against their private RNG streams, and the buffers come
+/// back for the engine's ordered merge. The worker side lives in
+/// [`Simulator::run_parallel`]; this type is the coordinator half.
+struct ThreadedStepper<M> {
+    job_txs: Vec<mpsc::Sender<RoundJob<M>>>,
+    reply_rx: mpsc::Receiver<RoundReply<M>>,
+    chunk: usize,
+    shard_sizes: Vec<usize>,
+    tracing: bool,
+}
+
+impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &mut [Vec<(usize, M)>],
+        outbox: &mut [Vec<(usize, M)>],
+        events: Option<&mut Vec<TraceEvent>>,
+    ) -> StepOutcome {
+        let workers = self.job_txs.len();
+        for (w, tx) in self.job_txs.iter().enumerate() {
+            let base = w * self.chunk;
+            let len = self.shard_sizes[w];
+            let job = RoundJob {
+                round,
+                inbox: inbox[base..base + len]
+                    .iter_mut()
+                    .map(std::mem::take)
+                    .collect(),
+                outbox: outbox[base..base + len]
+                    .iter_mut()
+                    .map(std::mem::take)
+                    .collect(),
+            };
+            // A send can only fail if the worker panicked; the recv below
+            // notices and the caller joins to propagate the panic.
+            let _ = tx.send(job);
+        }
+        let mut all_done = true;
+        let mut violation: Option<(usize, CongestError)> = None;
+        let mut shard_events: Vec<Vec<TraceEvent>> = Vec::new();
+        if self.tracing {
+            shard_events.resize_with(workers, Vec::new);
+        }
+        for _ in 0..workers {
+            let Ok(reply) = self.reply_rx.recv() else {
+                return StepOutcome {
+                    all_done: false,
+                    violation: None,
+                    aborted: true,
+                };
+            };
+            all_done &= reply.all_done;
+            if let Some((v, err)) = reply.violation {
+                // The deterministic error is the lowest-node one, exactly
+                // what the sequential visit would hit first.
+                if violation.as_ref().is_none_or(|&(best, _)| v < best) {
+                    violation = Some((v, err));
+                }
+            }
+            let base = reply.worker * self.chunk;
+            for (i, buf) in reply.inbox.into_iter().enumerate() {
+                inbox[base + i] = buf;
+            }
+            for (i, buf) in reply.outbox.into_iter().enumerate() {
+                outbox[base + i] = buf;
+            }
+            if self.tracing {
+                shard_events[reply.worker] = reply.events;
+            }
+        }
+        // Merge shard event buffers in worker (= node) order, so the stream
+        // is identical to the sequential visit's.
+        if let Some(events) = events {
+            for mut shard in shard_events {
+                events.append(&mut shard);
+            }
+        }
+        StepOutcome {
+            all_done,
+            violation: violation.map(|(_, err)| err),
+            aborted: false,
+        }
+    }
+}
+
+/// The one round-loop engine behind every execution path.
+///
+/// Per round: start-of-round fault effects (crashes), the protocol step
+/// (via `stepper`), the ordered `(sender, port)` merge with per-message
+/// fault sampling (via `hook`), the stable release sweep over the delay
+/// queue, delivery accounting, tracing, and the stop check. The clean path
+/// instantiates this with [`NoFaults`] — every hook call inlines away — and
+/// is the exact pristine executor; the faulty path instantiates it with
+/// [`FaultState`].
+///
+/// `messages`/`bits` count *deliveries*, so dropped/lost traffic never
+/// inflates the totals (documented on [`Metrics`]).
+#[allow(clippy::too_many_arguments)]
+fn round_engine<M, S, H>(
+    cfg: &RunConfig,
+    adjacency: &[Vec<(u32, u32)>],
+    peer_port: &[Vec<u32>],
+    edge_load: &mut [u64],
+    scratch: &mut Scratch<M>,
+    stepper: &mut S,
+    hook: &mut H,
+    trace_cfg: Option<TraceConfig>,
+    trace_out: &mut Option<RunTrace>,
+) -> Result<Metrics>
+where
+    M: CongestMessage,
+    S: RoundStepper<M>,
+    H: FaultHook,
+{
+    let n = adjacency.len();
+    scratch.reset(n);
+    let Scratch {
+        inbox,
+        next_inbox,
+        outbox,
+        held,
+        held_next,
+        ..
+    } = scratch;
+    let mut metrics = Metrics::default();
+    let mut trace = trace_cfg.map(|tc| (tc, RunTrace::default()));
+    let mut result: Result<Metrics> = Err(CongestError::RoundLimitExceeded {
+        max_rounds: cfg.max_rounds,
+    });
+
+    'rounds: for round in 0..=cfg.max_rounds {
+        // Snapshot the counters so the round's sample records deltas
+        // (including crashes applied at the top of this round).
+        let round_start = metrics;
+        hook.begin_round(round, &mut metrics);
+        let outcome = stepper.step(
+            round,
+            inbox,
+            outbox,
+            trace.as_mut().map(|(_, t)| &mut t.events),
+        );
+        if outcome.aborted {
+            // The placeholder round-limit error is never observed: the
+            // caller joins its workers and re-raises the panic.
+            break 'rounds;
+        }
+        if let Some(err) = outcome.violation {
+            result = Err(err);
+            break 'rounds;
+        }
+        // Ordered merge with per-message fault sampling: ascending
+        // (sender, port), whatever order or thread staged the sends.
+        let mut delivered = 0u64;
+        for (v, ob) in outbox.iter_mut().enumerate() {
+            for (port, msg) in ob.drain(..) {
+                let (dst, edge) = adjacency[v][port];
+                let (dst, edge) = (dst as usize, edge as usize);
+                let dst_port = peer_port[v][port] as usize;
+                if hook.is_crashed(dst) {
+                    // Lost to the crash; the Crashed event already records
+                    // the cause, so this is not a drop fault.
+                    continue;
+                }
+                match hook.fate(round, v, port) {
+                    Fate::Deliver => {
+                        metrics.bits += msg.bit_width() as u64;
+                        edge_load[edge] += 1;
+                        next_inbox[dst].push((dst_port, msg));
+                        delivered += 1;
+                    }
+                    Fate::Drop => {
+                        metrics.dropped += 1;
+                        hook.record(round, v, port, FaultKind::Dropped);
+                    }
+                    Fate::Corrupt => {
+                        metrics.corrupted += 1;
+                        let mask = hook.flip_mask(round, v, port, msg.bit_width());
+                        match msg.corrupted(mask) {
+                            Some(garbled) => {
+                                hook.record(
+                                    round,
+                                    v,
+                                    port,
+                                    FaultKind::Corrupted { delivered: true },
+                                );
+                                metrics.bits += garbled.bit_width() as u64;
+                                edge_load[edge] += 1;
+                                next_inbox[dst].push((dst_port, garbled));
+                                delivered += 1;
+                            }
+                            None => {
+                                // No canonical encoding, or the flipped
+                                // frame no longer parses: the receiver
+                                // sees nothing.
+                                hook.record(
+                                    round,
+                                    v,
+                                    port,
+                                    FaultKind::Corrupted { delivered: false },
+                                );
+                            }
+                        }
+                    }
+                    Fate::Delay(by) => {
+                        metrics.delayed += 1;
+                        hook.record(round, v, port, FaultKind::Delayed { by });
+                        held.push(Held {
+                            release_round: round + by,
+                            src: v,
+                            src_port: port,
+                            dst,
+                            dst_port,
+                            edge,
+                            msg,
+                        });
+                    }
+                }
+            }
+        }
+        // Release held messages whose extra wait has elapsed — a stable
+        // sweep, so release order is a function of (staging round, sender,
+        // port) only. A message whose destination crashed in the meantime
+        // is lost, and the loss is recorded (it was already counted as
+        // delayed, so without the event it would silently vanish).
+        for h in held.drain(..) {
+            if h.release_round > round {
+                held_next.push(h);
+            } else if hook.is_crashed(h.dst) {
+                metrics.lost_to_crash += 1;
+                hook.record(round, h.src, h.src_port, FaultKind::LostToCrash);
+            } else {
+                metrics.bits += h.msg.bit_width() as u64;
+                edge_load[h.edge] += 1;
+                next_inbox[h.dst].push((h.dst_port, h.msg));
+                delivered += 1;
+            }
+        }
+        std::mem::swap(held, held_next);
+        metrics.messages += delivered;
+        metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
+        if let Some((tc, t)) = trace.as_mut() {
+            t.samples.push(RoundSample {
+                round,
+                messages: delivered,
+                bits: metrics.bits - round_start.bits,
+                dropped: metrics.dropped - round_start.dropped,
+                corrupted: metrics.corrupted - round_start.corrupted,
+                delayed: metrics.delayed - round_start.delayed,
+                lost_to_crash: metrics.lost_to_crash - round_start.lost_to_crash,
+                crashed: metrics.crashed - round_start.crashed,
+            });
+            if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
+                t.snapshots.push(EdgeLoadSnapshot {
+                    round,
+                    load: edge_load.to_vec(),
+                });
+            }
+        }
+        for ib in inbox.iter_mut() {
+            ib.clear();
+        }
+        std::mem::swap(inbox, next_inbox);
+        metrics.rounds = round;
+        let in_flight = delivered > 0 || !held.is_empty();
+        let stop = match cfg.stop {
+            StopCondition::AllDone => !in_flight && outcome.all_done,
+            StopCondition::Quiescence => !in_flight && round > 0,
+        };
+        if stop {
+            metrics.max_edge_congestion = edge_load.iter().copied().max().unwrap_or(0);
+            if let Some((_, t)) = trace.as_mut() {
+                t.final_edge_load = edge_load.to_vec();
+            }
+            result = Ok(metrics);
+            break 'rounds;
+        }
+    }
+    *trace_out = trace.map(|(_, t)| t);
+    result
 }
 
 /// Executes one [`Protocol`] instance per node of a [`Graph`], enforcing the
@@ -363,6 +827,8 @@ pub struct Simulator<'g, P: Protocol> {
     rngs: Vec<StdRng>,
     /// Messages delivered per (undirected) edge during the most recent run.
     edge_load: Vec<u64>,
+    /// Reusable round buffers, kept across runs.
+    scratch: Scratch<P::Message>,
     /// Optional fault injection; `None` (or a trivial plan) takes the exact
     /// fault-free execution path.
     fault_plan: Option<FaultPlan>,
@@ -419,6 +885,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 .map(|v| StdRng::seed_from_u64(node_stream_seed(seed, v as u64)))
                 .collect(),
             edge_load: vec![0; graph.edge_count()],
+            scratch: Scratch::default(),
             fault_plan: None,
             fault_events: Vec::new(),
             crashed: vec![false; n],
@@ -492,11 +959,11 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     /// Runs until the stop condition, returning measured [`Metrics`].
     ///
-    /// With a non-trivial [`FaultPlan`] attached, faults are sampled from
-    /// the plan's dedicated RNG between staging and delivery; without one
-    /// the execution is exactly the fault-free simulator (parallelized over
-    /// [`RunConfig::threads`] workers, with byte-identical results for any
-    /// thread count).
+    /// With a non-trivial [`FaultPlan`] attached, each staged message's
+    /// fate is sampled from the plan's message-identity PRF between staging
+    /// and delivery; without one the execution is exactly the fault-free
+    /// simulator. Both paths parallelize over [`RunConfig::threads`]
+    /// workers, with byte-identical results for any thread count.
     ///
     /// After a returned error the protocol and RNG states are unspecified
     /// (the run is aborted mid-round); the error value itself is
@@ -508,20 +975,67 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// [`CongestError::RoundLimitExceeded`], or
     /// [`CongestError::FaultPlanInvalid`].
     pub fn run(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+        self.run_inner(cfg, false)
+    }
+
+    /// Runs with the per-round node visit order reversed — a test hook for
+    /// the determinism contract: by the contract the result is
+    /// byte-identical to [`Self::run`]. The flag only has meaning for the
+    /// single-threaded stepper (pass `threads = 1`); the sharded stepper
+    /// already interleaves nodes differently and is covered by thread-count
+    /// identity.
+    #[doc(hidden)]
+    pub fn run_reverse_visit(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+        self.run_inner(cfg, true)
+    }
+
+    fn run_inner(&mut self, cfg: &RunConfig, reverse_visit: bool) -> Result<Metrics> {
         self.trace = None;
-        match self.fault_plan.clone() {
-            Some(plan) if !plan.is_trivial() => self.run_faulty(cfg, plan),
-            _ => self.run_clean(cfg),
+        // Take the plan for the duration of the run instead of cloning it
+        // (the crash schedule can be long-lived and big); it is restored
+        // before returning.
+        match self.fault_plan.take() {
+            Some(plan) if !plan.is_trivial() => {
+                let result = self.run_faulty(cfg, &plan, reverse_visit);
+                self.fault_plan = Some(plan);
+                result
+            }
+            plan => {
+                self.fault_plan = plan;
+                self.dispatch(cfg, &mut NoFaults, &[], reverse_visit)
+            }
         }
     }
 
-    /// The pristine synchronous CONGEST execution (no fault sampling at all).
-    fn run_clean(&mut self, cfg: &RunConfig) -> Result<Metrics> {
+    /// The faulty path: same engine, with [`FaultState`] as the hook.
+    fn run_faulty(
+        &mut self,
+        cfg: &RunConfig,
+        plan: &FaultPlan,
+        reverse_visit: bool,
+    ) -> Result<Metrics> {
+        let n = self.graph.len();
+        let mut fs = FaultState::new(plan, n)?;
+        let crash_round = plan.crash_rounds(n);
+        let result = self.dispatch(cfg, &mut fs, &crash_round, reverse_visit);
+        self.fault_events = std::mem::take(&mut fs.events);
+        self.crashed = std::mem::take(&mut fs.crashed);
+        result
+    }
+
+    /// Picks the sequential or threaded stepper for the unified engine.
+    fn dispatch<H: FaultHook>(
+        &mut self,
+        cfg: &RunConfig,
+        hook: &mut H,
+        crash_round: &[u64],
+        reverse_visit: bool,
+    ) -> Result<Metrics> {
         let threads = cfg.effective_threads(self.graph.len());
         if threads <= 1 {
-            self.run_clean_seq(cfg, false)
+            self.run_seq(cfg, hook, crash_round, reverse_visit)
         } else {
-            self.run_clean_parallel(cfg, threads)
+            self.run_parallel(cfg, hook, crash_round, threads)
         }
     }
 
@@ -531,152 +1045,89 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         self.edge_load.resize(self.graph.edge_count(), 0);
     }
 
-    /// Delivers every staged `(port, message)` in `(sender, port)` order
-    /// into `next_inbox`, counting delivered traffic; returns the number of
-    /// messages delivered. The single accounting point shared by the
-    /// sequential and (logically) the parallel clean paths.
-    fn merge_outboxes(
-        &mut self,
-        outbox: &mut [Vec<(usize, P::Message)>],
-        next_inbox: &mut [Vec<(usize, P::Message)>],
-        metrics: &mut Metrics,
-    ) -> u64 {
-        let mut delivered = 0u64;
-        for (v, ob) in outbox.iter_mut().enumerate() {
-            for (port, msg) in ob.drain(..) {
-                let (dst, edge) = self.adjacency[v][port];
-                let dst_port = self.peer_port[v][port] as usize;
-                metrics.bits += msg.bit_width() as u64;
-                self.edge_load[edge as usize] += 1;
-                next_inbox[dst as usize].push((dst_port, msg));
-                delivered += 1;
-            }
-        }
-        delivered
-    }
-
-    /// Single-threaded clean executor. `reverse_visit` runs the per-node
-    /// protocol steps in descending node order — observably identical by
-    /// the determinism contract, and exercised by tests to prove it.
-    pub(crate) fn run_clean_seq(
+    /// Single-threaded execution: the unified engine over [`InlineStepper`].
+    fn run_seq<H: FaultHook>(
         &mut self,
         cfg: &RunConfig,
+        hook: &mut H,
+        crash_round: &[u64],
         reverse_visit: bool,
     ) -> Result<Metrics> {
         let n = self.graph.len();
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
         self.reset_edge_load();
-        let mut metrics = Metrics::default();
-        // inbox[v] = (receiving port, message) pairs for this round.
-        let mut inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-        let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-        // outbox[v] = (sending port, message) staged by v this round.
-        let mut outbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-        let mut staged: Vec<Option<P::Message>> = Vec::new();
-        let mut violation: Option<CongestError> = None;
-        let mut trace = self.trace_cfg.map(|tc| (tc, RunTrace::default()));
-
-        for round in 0..=cfg.max_rounds {
-            let mut visit = 0..n;
-            let mut visit_rev = (0..n).rev();
-            let order: &mut dyn Iterator<Item = usize> = if reverse_visit {
-                &mut visit_rev
-            } else {
-                &mut visit
-            };
-            for v in order {
-                let degree = self.adjacency[v].len();
-                staged.clear();
-                staged.resize_with(degree, || None);
-                {
-                    let mut ctx = Ctx {
-                        node: NodeId::from(v),
-                        degree,
-                        neighbors: &self.adjacency[v],
-                        round,
-                        budget_bits,
-                        staged: &mut staged,
-                        rng: &mut self.rngs[v],
-                        violation: &mut violation,
-                        trace: trace.as_mut().map(|(_, t)| &mut t.events),
-                    };
-                    if round == 0 {
-                        self.nodes[v].init(&mut ctx);
-                    } else {
-                        self.nodes[v].round(&mut ctx, &inbox[v]);
-                    }
-                }
-                if let Some(err) = violation.take() {
-                    self.trace = trace.map(|(_, t)| t);
-                    return Err(err);
-                }
-                let ob = &mut outbox[v];
-                for (port, slot) in staged.iter_mut().enumerate() {
-                    if let Some(msg) = slot.take() {
-                        ob.push((port, msg));
-                    }
-                }
-            }
-            let bits_before = metrics.bits;
-            let delivered = self.merge_outboxes(&mut outbox, &mut next_inbox, &mut metrics);
-            metrics.messages += delivered;
-            metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
-            if let Some((tc, t)) = trace.as_mut() {
-                t.samples.push(RoundSample {
-                    round,
-                    messages: delivered,
-                    bits: metrics.bits - bits_before,
-                    ..RoundSample::default()
-                });
-                if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
-                    t.snapshots.push(EdgeLoadSnapshot {
-                        round,
-                        load: self.edge_load.clone(),
-                    });
-                }
-            }
-            for ib in &mut inbox {
-                ib.clear();
-            }
-            std::mem::swap(&mut inbox, &mut next_inbox);
-            let in_flight = delivered > 0;
-            metrics.rounds = round;
-            let stop = match cfg.stop {
-                StopCondition::AllDone => !in_flight && self.nodes.iter().all(Protocol::is_done),
-                StopCondition::Quiescence => !in_flight && round > 0,
-            };
-            if stop {
-                metrics.max_edge_congestion = self.edge_load.iter().copied().max().unwrap_or(0);
-                if let Some((_, t)) = trace.as_mut() {
-                    t.final_edge_load = self.edge_load.clone();
-                }
-                self.trace = trace.map(|(_, t)| t);
-                return Ok(metrics);
-            }
-        }
-        self.trace = trace.map(|(_, t)| t);
-        Err(CongestError::RoundLimitExceeded {
-            max_rounds: cfg.max_rounds,
-        })
+        let trace_cfg = self.trace_cfg;
+        let Simulator {
+            nodes,
+            rngs,
+            adjacency,
+            peer_port,
+            edge_load,
+            scratch,
+            trace,
+            ..
+        } = self;
+        let adjacency: &[Vec<(u32, u32)>] = adjacency;
+        let mut staged = std::mem::take(&mut scratch.staged);
+        staged.clear();
+        staged.resize_with(adjacency.iter().map(Vec::len).max().unwrap_or(0), || None);
+        let mut stepper = InlineStepper::<P> {
+            nodes,
+            rngs,
+            adjacency,
+            crash_round,
+            staged,
+            budget_bits,
+            reverse: reverse_visit,
+        };
+        let result = round_engine(
+            cfg,
+            adjacency,
+            peer_port,
+            edge_load,
+            scratch,
+            &mut stepper,
+            hook,
+            trace_cfg,
+            trace,
+        );
+        scratch.staged = stepper.staged;
+        result
     }
 
-    /// Multi-threaded clean executor: nodes are sharded into contiguous
-    /// chunks, one persistent worker per chunk inside a [`std::thread::scope`];
-    /// each round the coordinator ships per-shard inboxes out, workers step
-    /// their nodes against their private RNG streams into per-shard staging
-    /// buffers, and the coordinator merges all outboxes in `(sender, port)`
-    /// order — so delivery order, [`Metrics`], and protocol outputs are
-    /// byte-identical to the single-threaded loop.
-    fn run_clean_parallel(&mut self, cfg: &RunConfig, threads: usize) -> Result<Metrics> {
+    /// Multi-threaded execution: the unified engine over [`ThreadedStepper`],
+    /// with this method owning the worker side — contiguous node shards,
+    /// one persistent worker each, job/reply channels, buffer recycling,
+    /// and panic propagation on join.
+    fn run_parallel<H: FaultHook>(
+        &mut self,
+        cfg: &RunConfig,
+        hook: &mut H,
+        crash_round: &[u64],
+        threads: usize,
+    ) -> Result<Metrics> {
         let n = self.graph.len();
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
         self.reset_edge_load();
         let chunk = n.div_ceil(threads);
+        let trace_cfg = self.trace_cfg;
+        let tracing = trace_cfg.is_some();
+        let Simulator {
+            nodes,
+            rngs,
+            adjacency,
+            peer_port,
+            edge_load,
+            scratch,
+            trace,
+            ..
+        } = self;
+        let adjacency: &[Vec<(u32, u32)>] = adjacency;
 
         // Shard node state machines and their RNG streams; workers own the
         // shards for the duration of the run and hand them back at the end.
-        let mut all_nodes = std::mem::take(&mut self.nodes);
-        let mut all_rngs = std::mem::take(&mut self.rngs);
+        let mut all_nodes = std::mem::take(nodes);
+        let mut all_rngs = std::mem::take(rngs);
         let mut node_chunks: Vec<Vec<P>> = Vec::new();
         let mut rng_chunks: Vec<Vec<StdRng>> = Vec::new();
         while !all_nodes.is_empty() {
@@ -686,14 +1137,6 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         }
         let shard_sizes: Vec<usize> = node_chunks.iter().map(Vec::len).collect();
         let workers = node_chunks.len();
-
-        let adjacency = &self.adjacency;
-        let peer_port = &self.peer_port;
-        let edge_load = &mut self.edge_load;
-        let trace_cfg = self.trace_cfg;
-        let tracing = trace_cfg.is_some();
-        let mut trace = trace_cfg.map(|tc| (tc, RunTrace::default()));
-        let trace_ref = &mut trace;
 
         let (result, nodes_back, rngs_back) = std::thread::scope(|s| {
             let (reply_tx, reply_rx) = mpsc::channel::<RoundReply<P::Message>>();
@@ -707,63 +1150,75 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 let reply_tx = reply_tx.clone();
                 let base = w * chunk;
                 handles.push(s.spawn(move || {
+                    let max_degree = adjacency[base..base + my_nodes.len()]
+                        .iter()
+                        .map(Vec::len)
+                        .max()
+                        .unwrap_or(0);
                     let mut staged: Vec<Option<P::Message>> = Vec::new();
+                    staged.resize_with(max_degree, || None);
                     while let Ok(mut job) = job_rx.recv() {
-                        let mut reply = RoundReply {
-                            worker: w,
-                            outbox: Vec::with_capacity(my_nodes.len()),
-                            all_done: true,
-                            violation: None,
-                            recycled: Vec::new(),
-                            events: Vec::new(),
-                        };
+                        let round = job.round;
+                        let mut outbox = job.outbox;
+                        let mut all_done = true;
+                        let mut violation: Option<(usize, CongestError)> = None;
+                        let mut events: Vec<TraceEvent> = Vec::new();
                         for (i, node) in my_nodes.iter_mut().enumerate() {
                             let v = base + i;
-                            let degree = adjacency[v].len();
-                            staged.clear();
-                            staged.resize_with(degree, || None);
+                            if crash_round.get(v).is_some_and(|&r| r <= round) {
+                                // Crash-stopped: no step, inbox discarded,
+                                // counts as done.
+                                job.inbox[i].clear();
+                                continue;
+                            }
                             // After a violation the rest of the shard is
                             // skipped (the run aborts; state after an error
                             // is unspecified).
-                            if reply.violation.is_none() {
-                                let mut violation = None;
+                            if violation.is_some() {
+                                continue;
+                            }
+                            let degree = adjacency[v].len();
+                            let mut local_violation = None;
+                            {
                                 let mut ctx = Ctx {
                                     node: NodeId::from(v),
                                     degree,
                                     neighbors: &adjacency[v],
-                                    round: job.round,
+                                    round,
                                     budget_bits,
-                                    staged: &mut staged,
+                                    staged: &mut staged[..degree],
                                     rng: &mut my_rngs[i],
-                                    violation: &mut violation,
-                                    trace: if tracing {
-                                        Some(&mut reply.events)
-                                    } else {
-                                        None
-                                    },
+                                    violation: &mut local_violation,
+                                    trace: if tracing { Some(&mut events) } else { None },
                                 };
-                                if job.round == 0 {
+                                if round == 0 {
                                     node.init(&mut ctx);
                                 } else {
                                     node.round(&mut ctx, &job.inbox[i]);
                                 }
-                                if let Some(err) = violation {
-                                    reply.violation = Some((v, err));
+                            }
+                            if let Some(err) = local_violation {
+                                violation = Some((v, err));
+                            }
+                            let ob = &mut outbox[i];
+                            for (port, slot) in staged[..degree].iter_mut().enumerate() {
+                                if let Some(msg) = slot.take() {
+                                    ob.push((port, msg));
                                 }
                             }
-                            reply.outbox.push(
-                                staged
-                                    .iter_mut()
-                                    .enumerate()
-                                    .filter_map(|(p, slot)| slot.take().map(|m| (p, m)))
-                                    .collect(),
-                            );
-                            reply.all_done &= node.is_done();
+                            all_done &= node.is_done();
                         }
                         for ib in &mut job.inbox {
                             ib.clear();
                         }
-                        reply.recycled = job.inbox;
+                        let reply = RoundReply {
+                            worker: w,
+                            inbox: job.inbox,
+                            outbox,
+                            all_done,
+                            violation,
+                            events,
+                        };
                         if reply_tx.send(reply).is_err() {
                             break;
                         }
@@ -773,107 +1228,27 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             }
             drop(reply_tx);
 
-            let mut metrics = Metrics::default();
-            // Per-shard inbox batches for the upcoming round.
-            let mut batches: Vec<ShardBuffers<P::Message>> = shard_sizes
-                .iter()
-                .map(|&len| vec![Vec::new(); len])
-                .collect();
-            let mut result: Result<Metrics> = Err(CongestError::RoundLimitExceeded {
-                max_rounds: cfg.max_rounds,
-            });
-            'rounds: for round in 0..=cfg.max_rounds {
-                for (w, tx) in job_txs.iter().enumerate() {
-                    let inbox = std::mem::take(&mut batches[w]);
-                    // A send can only fail if the worker panicked; the join
-                    // below propagates the panic.
-                    let _ = tx.send(RoundJob { round, inbox });
-                }
-                let mut outboxes: Vec<ShardBuffers<P::Message>> = Vec::new();
-                outboxes.resize_with(workers, Vec::new);
-                let mut shard_events: Vec<Vec<TraceEvent>> = Vec::new();
-                shard_events.resize_with(workers, Vec::new);
-                let mut all_done = true;
-                let mut violation: Option<(usize, CongestError)> = None;
-                for _ in 0..workers {
-                    let Ok(reply) = reply_rx.recv() else {
-                        // A worker died; surface its panic via join below.
-                        break 'rounds;
-                    };
-                    all_done &= reply.all_done;
-                    if let Some((v, err)) = reply.violation {
-                        // The deterministic error is the lowest-node one,
-                        // exactly what the sequential visit would hit first.
-                        if violation.as_ref().is_none_or(|&(best, _)| v < best) {
-                            violation = Some((v, err));
-                        }
-                    }
-                    batches[reply.worker] = reply.recycled;
-                    outboxes[reply.worker] = reply.outbox;
-                    shard_events[reply.worker] = reply.events;
-                }
-                // Merge shard event buffers in worker (= node) order, so the
-                // stream is identical to the sequential visit's.
-                if let Some((_, t)) = trace_ref.as_mut() {
-                    for events in &mut shard_events {
-                        t.events.append(events);
-                    }
-                }
-                if let Some((_, err)) = violation {
-                    result = Err(err);
-                    break 'rounds;
-                }
-                // Ordered merge: shards are contiguous in node order, so
-                // (worker, local index) ascending is (sender id) ascending —
-                // delivery order and accounting match the sequential loop.
-                let bits_before = metrics.bits;
-                let mut delivered = 0u64;
-                for (w, ob) in outboxes.into_iter().enumerate() {
-                    for (i, sends) in ob.into_iter().enumerate() {
-                        let v = w * chunk + i;
-                        for (port, msg) in sends {
-                            let (dst, edge) = adjacency[v][port];
-                            let dst_port = peer_port[v][port] as usize;
-                            metrics.bits += msg.bit_width() as u64;
-                            edge_load[edge as usize] += 1;
-                            let dst = dst as usize;
-                            batches[dst / chunk][dst % chunk].push((dst_port, msg));
-                            delivered += 1;
-                        }
-                    }
-                }
-                metrics.messages += delivered;
-                metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
-                if let Some((tc, t)) = trace_ref.as_mut() {
-                    t.samples.push(RoundSample {
-                        round,
-                        messages: delivered,
-                        bits: metrics.bits - bits_before,
-                        ..RoundSample::default()
-                    });
-                    if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
-                        t.snapshots.push(EdgeLoadSnapshot {
-                            round,
-                            load: edge_load.clone(),
-                        });
-                    }
-                }
-                metrics.rounds = round;
-                let in_flight = delivered > 0;
-                let stop = match cfg.stop {
-                    StopCondition::AllDone => !in_flight && all_done,
-                    StopCondition::Quiescence => !in_flight && round > 0,
-                };
-                if stop {
-                    metrics.max_edge_congestion = edge_load.iter().copied().max().unwrap_or(0);
-                    if let Some((_, t)) = trace_ref.as_mut() {
-                        t.final_edge_load = edge_load.clone();
-                    }
-                    result = Ok(metrics);
-                    break 'rounds;
-                }
-            }
-            drop(job_txs);
+            let mut stepper = ThreadedStepper::<P::Message> {
+                job_txs,
+                reply_rx,
+                chunk,
+                shard_sizes,
+                tracing,
+            };
+            let result = round_engine(
+                cfg,
+                adjacency,
+                peer_port,
+                edge_load,
+                scratch,
+                &mut stepper,
+                hook,
+                trace_cfg,
+                trace,
+            );
+            // Dropping the stepper closes the job channels; workers drain
+            // and exit, handing their shards back.
+            drop(stepper);
             let mut nodes_back = Vec::with_capacity(n);
             let mut rngs_back = Vec::with_capacity(n);
             for handle in handles {
@@ -886,226 +1261,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             }
             (result, nodes_back, rngs_back)
         });
-        self.nodes = nodes_back;
-        self.rngs = rngs_back;
-        self.trace = trace.map(|(_, t)| t);
+        *nodes = nodes_back;
+        *rngs = rngs_back;
         result
-    }
-
-    fn run_faulty(&mut self, cfg: &RunConfig, plan: FaultPlan) -> Result<Metrics> {
-        let mut fs = FaultState::new(plan, self.graph.len())?;
-        let result = self.faulty_loop(cfg, &mut fs);
-        self.fault_events = std::mem::take(&mut fs.events);
-        self.crashed = std::mem::take(&mut fs.crashed);
-        result
-    }
-
-    /// The executor with fault sampling between staging and delivery.
-    ///
-    /// Differences from [`Self::run_clean`], all driven by `fs`:
-    /// crash-stopped nodes execute no steps and their inboxes are discarded;
-    /// each staged message is dropped, corrupted (one flipped bit; an
-    /// undecodable frame is discarded), delayed (delivered `by` rounds
-    /// late), or delivered intact; `messages`/`bits` count *deliveries*, so
-    /// lost traffic never inflates the totals. Always single-threaded: the
-    /// fault stream is one global sequence in message order.
-    fn faulty_loop(&mut self, cfg: &RunConfig, fs: &mut FaultState) -> Result<Metrics> {
-        let n = self.graph.len();
-        let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
-        self.reset_edge_load();
-        let mut metrics = Metrics::default();
-        let mut inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-        let mut staged: Vec<Option<P::Message>> = Vec::new();
-        let mut violation: Option<CongestError> = None;
-        let mut next_inbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-        // Messages an injected delay is holding back, with the original
-        // sender kept for the loss event if the destination crashes first.
-        struct Held<M> {
-            release_round: u64,
-            src: usize,
-            src_port: usize,
-            dst: usize,
-            dst_port: usize,
-            edge: usize,
-            msg: M,
-        }
-        let mut held: Vec<Held<P::Message>> = Vec::new();
-        let mut trace = self.trace_cfg.map(|tc| (tc, RunTrace::default()));
-
-        for round in 0..=cfg.max_rounds {
-            // Snapshot the counters so the round's sample records deltas
-            // (including crashes applied at the top of this round).
-            let round_start = metrics;
-            fs.apply_crashes(round, &mut metrics);
-            let mut delivered_this_round = 0u64;
-            for (v, ib) in inbox.iter_mut().enumerate() {
-                if fs.is_crashed(v) {
-                    ib.clear();
-                    continue;
-                }
-                let degree = self.adjacency[v].len();
-                staged.clear();
-                staged.resize_with(degree, || None);
-                {
-                    let mut ctx = Ctx {
-                        node: NodeId::from(v),
-                        degree,
-                        neighbors: &self.adjacency[v],
-                        round,
-                        budget_bits,
-                        staged: &mut staged,
-                        rng: &mut self.rngs[v],
-                        violation: &mut violation,
-                        trace: trace.as_mut().map(|(_, t)| &mut t.events),
-                    };
-                    if round == 0 {
-                        self.nodes[v].init(&mut ctx);
-                    } else {
-                        self.nodes[v].round(&mut ctx, ib);
-                    }
-                }
-                if let Some(err) = violation.take() {
-                    self.trace = trace.map(|(_, t)| t);
-                    return Err(err);
-                }
-                for (port, slot) in staged.iter_mut().enumerate() {
-                    let Some(msg) = slot.take() else { continue };
-                    let (dst, edge) = self.adjacency[v][port];
-                    let (dst, edge) = (dst as usize, edge as usize);
-                    let dst_port = self.peer_port[v][port] as usize;
-                    if fs.is_crashed(dst) {
-                        // Lost to the crash; the Crashed event already
-                        // records the cause, so this is not a drop fault.
-                        continue;
-                    }
-                    match fs.fate() {
-                        Fate::Deliver => {
-                            metrics.bits += msg.bit_width() as u64;
-                            self.edge_load[edge] += 1;
-                            next_inbox[dst].push((dst_port, msg));
-                            delivered_this_round += 1;
-                        }
-                        Fate::Drop => {
-                            metrics.dropped += 1;
-                            fs.record(round, v, port, FaultKind::Dropped);
-                        }
-                        Fate::Corrupt => {
-                            metrics.corrupted += 1;
-                            let mask = fs.flip_mask(msg.bit_width());
-                            match msg.corrupted(mask) {
-                                Some(garbled) => {
-                                    fs.record(
-                                        round,
-                                        v,
-                                        port,
-                                        FaultKind::Corrupted { delivered: true },
-                                    );
-                                    metrics.bits += garbled.bit_width() as u64;
-                                    self.edge_load[edge] += 1;
-                                    next_inbox[dst].push((dst_port, garbled));
-                                    delivered_this_round += 1;
-                                }
-                                None => {
-                                    // No canonical encoding, or the flipped
-                                    // frame no longer parses: the receiver
-                                    // sees nothing.
-                                    fs.record(
-                                        round,
-                                        v,
-                                        port,
-                                        FaultKind::Corrupted { delivered: false },
-                                    );
-                                }
-                            }
-                        }
-                        Fate::Delay(by) => {
-                            metrics.delayed += 1;
-                            fs.record(round, v, port, FaultKind::Delayed { by });
-                            held.push(Held {
-                                release_round: round + by,
-                                src: v,
-                                src_port: port,
-                                dst,
-                                dst_port,
-                                edge,
-                                msg,
-                            });
-                        }
-                    }
-                }
-            }
-            // Release held messages whose extra wait has elapsed; a message
-            // whose destination crashed in the meantime is lost, and the
-            // loss is recorded (it was already counted as delayed, so
-            // without the event it would silently vanish).
-            let mut i = 0;
-            while i < held.len() {
-                if held[i].release_round <= round {
-                    let h = held.swap_remove(i);
-                    if fs.is_crashed(h.dst) {
-                        metrics.lost_to_crash += 1;
-                        fs.record(round, h.src, h.src_port, FaultKind::LostToCrash);
-                    } else {
-                        metrics.bits += h.msg.bit_width() as u64;
-                        self.edge_load[h.edge] += 1;
-                        next_inbox[h.dst].push((h.dst_port, h.msg));
-                        delivered_this_round += 1;
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            metrics.messages += delivered_this_round;
-            metrics.peak_messages_per_round =
-                metrics.peak_messages_per_round.max(delivered_this_round);
-            if let Some((tc, t)) = trace.as_mut() {
-                t.samples.push(RoundSample {
-                    round,
-                    messages: delivered_this_round,
-                    bits: metrics.bits - round_start.bits,
-                    dropped: metrics.dropped - round_start.dropped,
-                    corrupted: metrics.corrupted - round_start.corrupted,
-                    delayed: metrics.delayed - round_start.delayed,
-                    lost_to_crash: metrics.lost_to_crash - round_start.lost_to_crash,
-                    crashed: metrics.crashed - round_start.crashed,
-                });
-                if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
-                    t.snapshots.push(EdgeLoadSnapshot {
-                        round,
-                        load: self.edge_load.clone(),
-                    });
-                }
-            }
-            for ib in &mut inbox {
-                ib.clear();
-            }
-            std::mem::swap(&mut inbox, &mut next_inbox);
-            let in_flight = delivered_this_round > 0 || !held.is_empty();
-            metrics.rounds = round;
-            let stop = match cfg.stop {
-                StopCondition::AllDone => {
-                    !in_flight
-                        && self
-                            .nodes
-                            .iter()
-                            .enumerate()
-                            .all(|(v, node)| fs.is_crashed(v) || node.is_done())
-                }
-                StopCondition::Quiescence => !in_flight && round > 0,
-            };
-            if stop {
-                metrics.max_edge_congestion = self.edge_load.iter().copied().max().unwrap_or(0);
-                if let Some((_, t)) = trace.as_mut() {
-                    t.final_edge_load = self.edge_load.clone();
-                }
-                self.trace = trace.map(|(_, t)| t);
-                return Ok(metrics);
-            }
-        }
-        self.trace = trace.map(|(_, t)| t);
-        Err(CongestError::RoundLimitExceeded {
-            max_rounds: cfg.max_rounds,
-        })
     }
 }
 
@@ -1401,9 +1559,9 @@ mod tests {
         let g = amt_graphs::generators::hypercube(5);
         let cfg = RunConfig::default().with_threads(1);
         let mut fwd = Simulator::new(&g, walker_fleet(32), 9).unwrap();
-        let m_fwd = fwd.run_clean_seq(&cfg, false).unwrap();
+        let m_fwd = fwd.run(&cfg).unwrap();
         let mut rev = Simulator::new(&g, walker_fleet(32), 9).unwrap();
-        let m_rev = rev.run_clean_seq(&cfg, true).unwrap();
+        let m_rev = rev.run_reverse_visit(&cfg).unwrap();
         assert_eq!(m_fwd, m_rev, "metrics must not depend on visit order");
         let t_fwd: Vec<u64> = fwd.nodes().iter().map(|p| p.trace).collect();
         let t_rev: Vec<u64> = rev.nodes().iter().map(|p| p.trace).collect();
@@ -1434,6 +1592,83 @@ mod tests {
         let baseline = run(1);
         for threads in [2, 3, 4, 8, 32] {
             assert_eq!(run(threads), baseline, "threads = {threads} diverged");
+        }
+    }
+
+    /// The tentpole property end to end: with message-identity fault
+    /// keying, the faulty path is byte-identical — `Metrics`, the
+    /// fault-event log, crashed sets, protocol state, and edge loads —
+    /// across visit-order reversal and every thread count.
+    #[test]
+    fn fault_stream_is_independent_of_visit_order_and_threads() {
+        let g = amt_graphs::generators::hypercube(5);
+        let plan = FaultPlan::none()
+            .seeded(11)
+            .with_drops(0.05)
+            .with_corruption(0.05)
+            .with_delays(0.1, 3)
+            .with_crash(NodeId(3), 6);
+        let run = |threads: usize, reverse: bool| {
+            let mut sim = Simulator::new(&g, walker_fleet(32), 123)
+                .unwrap()
+                .with_fault_plan(plan.clone());
+            let cfg = RunConfig::default().with_threads(threads);
+            let m = if reverse {
+                sim.run_reverse_visit(&cfg)
+            } else {
+                sim.run(&cfg)
+            }
+            .unwrap();
+            let traces: Vec<u64> = sim.nodes().iter().map(|p| p.trace).collect();
+            (
+                m,
+                sim.fault_events().to_vec(),
+                sim.crashed_nodes(),
+                traces,
+                sim.edge_load().to_vec(),
+            )
+        };
+        let baseline = run(1, false);
+        assert!(
+            baseline.0.message_faults() > 0,
+            "the plan must actually inject faults"
+        );
+        assert_eq!(baseline.2, vec![NodeId(3)]);
+        assert_eq!(run(1, true), baseline, "visit-order reversal diverged");
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run(threads, false),
+                baseline,
+                "threads = {threads} diverged"
+            );
+        }
+    }
+
+    /// Satellite regression: a normalized-trivial plan *forced through the
+    /// faulty engine* stays byte-identical to the clean path. (The public
+    /// dispatch routes trivial plans to the clean hook; this pins down that
+    /// the guarantee does not depend on that routing.)
+    #[test]
+    fn trivial_plan_through_faulty_engine_matches_clean_path() {
+        let g = amt_graphs::generators::hypercube(5);
+        for threads in [1usize, 4] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let mut clean = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+            let m_clean = clean.run(&cfg).unwrap();
+
+            // with_delays(0.9, 0) normalizes to no-delay: nothing can fire.
+            let plan = FaultPlan::none().seeded(99).with_delays(0.9, 0);
+            assert!(plan.is_trivial());
+            let mut forced = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+            let m_forced = forced.run_faulty(&cfg, &plan, false).unwrap();
+
+            assert_eq!(m_clean, m_forced, "threads = {threads}: metrics diverged");
+            let t_clean: Vec<u64> = clean.nodes().iter().map(|p| p.trace).collect();
+            let t_forced: Vec<u64> = forced.nodes().iter().map(|p| p.trace).collect();
+            assert_eq!(t_clean, t_forced, "threads = {threads}: state diverged");
+            assert_eq!(clean.edge_load(), forced.edge_load());
+            assert!(forced.fault_events().is_empty());
+            assert!(forced.crashed_nodes().is_empty());
         }
     }
 

@@ -95,6 +95,7 @@ fn reliable_min_flood(
     plan: &FaultPlan,
     elapsed: u64,
     crash_rounds: &mut HashMap<u32, u64>,
+    threads: usize,
 ) -> Result<(Vec<u64>, Metrics, Vec<NodeId>)> {
     let g = wg.graph();
     let timeout = 4 + 2 * plan.max_delay;
@@ -129,7 +130,7 @@ fn reliable_min_flood(
         stop: StopCondition::AllDone,
         budget_factor: 32,
         max_rounds: 500_000,
-        ..Default::default()
+        threads,
     };
     let metrics = sim.run(&cfg)?;
     for e in sim.fault_events() {
@@ -177,6 +178,24 @@ pub struct HealedMstOutcome {
 /// [`CongestError::NodeCrashed`] when the crashes disconnect the surviving
 /// subgraph — and [`MstError::TooManyIterations`] as a bug guard.
 pub fn run_healing(wg: &WeightedGraph, seed: u64, plan: FaultPlan) -> Result<HealedMstOutcome> {
+    run_healing_with(wg, seed, plan, 0)
+}
+
+/// [`run_healing`] with an explicit simulator thread count (0 = auto).
+///
+/// Message-identity fault keying makes the faulty path byte-identical at
+/// every thread count, so `threads` only changes wall-clock — the outcome,
+/// metrics, and fault-event log are invariant.
+///
+/// # Errors
+///
+/// Same as [`run_healing`].
+pub fn run_healing_with(
+    wg: &WeightedGraph,
+    seed: u64,
+    plan: FaultPlan,
+    threads: usize,
+) -> Result<HealedMstOutcome> {
     let g = wg.graph();
     g.require_connected()?;
     let n = g.len();
@@ -259,6 +278,7 @@ pub fn run_healing(wg: &WeightedGraph, seed: u64, plan: FaultPlan) -> Result<Hea
                 &plan,
                 elapsed,
                 &mut crash_rounds,
+                threads,
             )?;
             elapsed += m.rounds;
             metrics = metrics.then(m);
@@ -313,6 +333,7 @@ pub fn run_healing(wg: &WeightedGraph, seed: u64, plan: FaultPlan) -> Result<Hea
             &plan,
             elapsed,
             &mut crash_rounds,
+            threads,
         )?;
         elapsed += m1.rounds;
         metrics = metrics.then(m1);
@@ -367,6 +388,7 @@ pub fn run_healing(wg: &WeightedGraph, seed: u64, plan: FaultPlan) -> Result<Hea
             &plan,
             elapsed,
             &mut crash_rounds,
+            threads,
         )?;
         elapsed += m2.rounds;
         metrics = metrics.then(m2);

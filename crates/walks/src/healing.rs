@@ -302,7 +302,8 @@ pub struct HealedWalkRun {
 
 /// Executes `specs` over the fault-injected simulator with custody-transfer
 /// retransmission and epoch re-issue; see the module docs for the healing
-/// mechanisms.
+/// mechanisms. Uses the auto-resolved executor thread count; see
+/// [`run_walks_healing_threaded`] to pin it.
 ///
 /// # Errors
 ///
@@ -313,6 +314,24 @@ pub fn run_walks_healing(
     specs: &[WalkSpec],
     seed: u64,
     plan: FaultPlan,
+) -> Result<HealedWalkRun, CongestError> {
+    run_walks_healing_threaded(g, kind, specs, seed, plan, 0)
+}
+
+/// [`run_walks_healing`] with an explicit executor worker-thread count
+/// (`0` = auto). Message-identity fault keying makes the faulty path
+/// byte-identical at every thread count, so this only changes wall-clock.
+///
+/// # Errors
+///
+/// Propagates simulator violations and fault-plan validation errors.
+pub fn run_walks_healing_threaded(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    seed: u64,
+    plan: FaultPlan,
+    threads: usize,
 ) -> Result<HealedWalkRun, CongestError> {
     assert!(specs.len() < 1 << 16, "wire format carries 16-bit walk ids");
     plan.validate(g.len())?;
@@ -391,7 +410,7 @@ pub fn run_walks_healing(
             stop: StopCondition::AllDone,
             budget_factor: 16,
             max_rounds: 500_000,
-            ..Default::default()
+            threads,
         };
         metrics = metrics.then(sim.run(&cfg)?);
         for v in sim.crashed_nodes() {

@@ -1,0 +1,194 @@
+//! Acceptance tests for the faulty path's determinism contract: fault
+//! sampling is keyed on message identity `(fault_seed, round, src,
+//! src_port)`, so the same `(graph, seed, plan)` yields identical
+//! `Metrics`, fault-event logs, and crashed sets across worker-thread
+//! counts {1, 2, 4, 8} and across node-visit-order reversal — for a raw
+//! simulator workload and for both self-healing protocols (walks and
+//! Borůvka MST).
+
+use amt_core::congest::{Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition};
+use amt_core::mst::run_healing_with;
+use amt_core::prelude::*;
+use amt_core::walks::parallel::degree_proportional_specs;
+use amt_core::walks::run_walks_healing_threaded;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A chatty fixed-horizon workload: every node floods a running checksum
+/// for a set number of rounds, folding whatever arrives (corrupted bits
+/// included) into its state, with an RNG-jittered payload so any visit- or
+/// thread-order dependence in the executor or the fault stream would skew
+/// the checksums.
+struct Chatter {
+    rounds_left: u32,
+    checksum: u64,
+}
+
+impl Chatter {
+    fn spray(&mut self, ctx: &mut Ctx<'_, u32>) {
+        use rand::RngExt;
+        for p in 0..ctx.degree() {
+            let jitter = ctx.rng().random_range(0..1024u32);
+            ctx.send(p, ((self.checksum as u32) & 0x3FF) ^ jitter);
+        }
+    }
+}
+
+impl Protocol for Chatter {
+    type Message = u32;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        self.spray(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        for &(p, v) in inbox {
+            self.checksum = self
+                .checksum
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(v) ^ p as u64);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            self.spray(ctx);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+fn chatter_run(
+    g: &Graph,
+    plan: &FaultPlan,
+    threads: usize,
+    reverse: bool,
+) -> (Metrics, Vec<FaultEvent>, Vec<NodeId>, Vec<u64>) {
+    let nodes = (0..g.len())
+        .map(|_| Chatter {
+            rounds_left: 30,
+            checksum: 0,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, 17)
+        .unwrap()
+        .with_fault_plan(plan.clone());
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    }
+    .with_threads(threads);
+    let metrics = if reverse {
+        sim.run_reverse_visit(&cfg).unwrap()
+    } else {
+        sim.run(&cfg).unwrap()
+    };
+    let checksums = sim.nodes().iter().map(|c| c.checksum).collect();
+    (
+        metrics,
+        sim.fault_events().to_vec(),
+        sim.crashed_nodes(),
+        checksums,
+    )
+}
+
+#[test]
+fn faulty_sim_runs_are_identical_across_threads_and_visit_order() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let g = generators::random_regular(64, 6, &mut rng).unwrap();
+    let plan = FaultPlan::none()
+        .seeded(23)
+        .with_drops(0.05)
+        .with_corruption(0.03)
+        .with_delays(0.1, 3)
+        .with_crash(NodeId(5), 4);
+    let baseline = chatter_run(&g, &plan, 1, false);
+    assert!(
+        baseline.0.message_faults() > 0,
+        "the plan must actually fire"
+    );
+    assert_eq!(baseline.2, vec![NodeId(5)]);
+
+    // Reversing the node-visit order must not move a single fault: the
+    // verdicts are functions of message identity, not of arrival order.
+    assert_eq!(
+        chatter_run(&g, &plan, 1, true),
+        baseline,
+        "visit-order reversal changed the faulty run"
+    );
+    for t in &THREADS[1..] {
+        assert_eq!(
+            chatter_run(&g, &plan, *t, false),
+            baseline,
+            "threads {t}: faulty run diverged"
+        );
+    }
+}
+
+#[test]
+fn healing_walks_are_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(62);
+    let g = generators::random_regular(48, 6, &mut rng).unwrap();
+    let specs = degree_proportional_specs(&g, 2, 16);
+    let plan = FaultPlan::none()
+        .seeded(19)
+        .with_drops(0.05)
+        .with_corruption(0.02)
+        .with_crash(NodeId(7), 9);
+    let baseline =
+        run_walks_healing_threaded(&g, WalkKind::Lazy, &specs, 5, plan.clone(), 1).unwrap();
+    assert!(baseline.metrics.message_faults() > 0);
+    assert_eq!(baseline.metrics.crashed, 1);
+    for t in &THREADS[1..] {
+        let run =
+            run_walks_healing_threaded(&g, WalkKind::Lazy, &specs, 5, plan.clone(), *t).unwrap();
+        assert_eq!(
+            run.endpoints, baseline.endpoints,
+            "threads {t}: endpoints diverged"
+        );
+        assert_eq!(
+            run.metrics, baseline.metrics,
+            "threads {t}: metrics (incl. fault counters) diverged"
+        );
+        assert_eq!(run.epochs, baseline.epochs, "threads {t}: epochs diverged");
+        assert_eq!(run.reissued, baseline.reissued);
+        assert_eq!(run.rerouted, baseline.rerouted);
+    }
+}
+
+#[test]
+fn healing_boruvka_is_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let g = generators::random_regular(48, 6, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g, 500, &mut rng);
+    let plan = FaultPlan::none()
+        .seeded(29)
+        .with_drops(0.05)
+        .with_corruption(0.02)
+        .with_crash(NodeId(11), 12);
+    let baseline = run_healing_with(&wg, 3, plan.clone(), 1).unwrap();
+    assert!(baseline.metrics.message_faults() > 0);
+    assert_eq!(baseline.crashed_nodes, vec![NodeId(11)]);
+    for t in &THREADS[1..] {
+        let run = run_healing_with(&wg, 3, plan.clone(), *t).unwrap();
+        assert_eq!(
+            run.tree_edges, baseline.tree_edges,
+            "threads {t}: tree diverged"
+        );
+        assert_eq!(run.total_weight, baseline.total_weight);
+        assert_eq!(run.rounds, baseline.rounds, "threads {t}: rounds diverged");
+        assert_eq!(run.iterations, baseline.iterations);
+        assert_eq!(
+            run.phase_restarts, baseline.phase_restarts,
+            "threads {t}: restart schedule diverged"
+        );
+        assert_eq!(run.crashed_nodes, baseline.crashed_nodes);
+        assert_eq!(
+            run.metrics, baseline.metrics,
+            "threads {t}: metrics (incl. fault counters) diverged"
+        );
+    }
+}
