@@ -1,0 +1,160 @@
+//! Regression gate over two `bench_suite` reports.
+//!
+//! Usage: `bench_compare <baseline.json> <candidate.json> [--skip-wall]
+//! [--wall-tolerance PCT]`
+//!
+//! Compares every bench the baseline recorded:
+//!
+//! * **exact** — all `metrics.<bench>` counters (rounds, messages, bits,
+//!   max edge congestion, fault counters) and all
+//!   `profiles.<bench>.<class>` per-class totals must be identical: the
+//!   simulator is deterministic, so *any* drift is a behavior change;
+//! * **wall-clock** — `phase_timings.wall.<bench>` may regress by at most
+//!   the tolerance (default 25%). `--skip-wall` disables this check for
+//!   cross-machine comparisons (CI compares a committed baseline produced
+//!   on different hardware, where wall-clock is not meaningful).
+//!
+//! Exits nonzero on the first report that cannot be read and after listing
+//! every drifted value; prints `ok` per bench otherwise. Benches only
+//! present in the candidate are reported informationally and do not fail
+//! the gate (the next baseline refresh picks them up).
+
+use amt_bench::report::{parse, validate, Json};
+use std::process::ExitCode;
+
+/// Flattens `section.<name>.<key>` (and one level deeper for profiles)
+/// into `(path, value)` pairs.
+fn scalars(doc: &Json, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(Json::Obj(entries)) = doc.get(section) else {
+        return out;
+    };
+    for (name, entry) in entries {
+        let Json::Obj(fields) = entry else { continue };
+        for (k, v) in fields {
+            match v {
+                Json::Num(x) => out.push((format!("{section}.{name}.{k}"), *x)),
+                Json::Obj(inner) => {
+                    for (ik, iv) in inner {
+                        if let Json::Num(x) = iv {
+                            out.push((format!("{section}.{name}.{k}.{ik}"), *x));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn lookup(pairs: &[(String, f64)], path: &str) -> Option<f64> {
+    pairs.iter().find(|(p, _)| p == path).map(|&(_, v)| v)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    validate(&doc).map_err(|e| format!("{path}: schema violation: {e}"))?;
+    Ok(doc)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut skip_wall = false;
+    let mut tolerance = 25.0f64;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--skip-wall" => skip_wall = true,
+            "--wall-tolerance" => match iter.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--wall-tolerance needs a non-negative percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => files.push(a.clone()),
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--skip-wall] [--wall-tolerance PCT]");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0u32;
+
+    // Deterministic counters: exact equality, baseline drives the key set.
+    for section in ["metrics", "profiles"] {
+        let base = scalars(&baseline, section);
+        let cand = scalars(&candidate, section);
+        for (path, want) in &base {
+            match lookup(&cand, path) {
+                Some(got) if got == *want => {}
+                Some(got) => {
+                    eprintln!("DRIFT {path}: baseline {want}, candidate {got}");
+                    failures += 1;
+                }
+                None => {
+                    eprintln!("DRIFT {path}: missing from candidate");
+                    failures += 1;
+                }
+            }
+        }
+        for (path, _) in &cand {
+            if lookup(&base, path).is_none() {
+                println!("note: {path} is new in the candidate (not gated)");
+            }
+        }
+    }
+
+    // Wall-clock: per-bench nanoseconds under phase_timings.wall.
+    if skip_wall {
+        println!("wall-clock check skipped (--skip-wall)");
+    } else {
+        let base = scalars(&baseline, "phase_timings");
+        let cand = scalars(&candidate, "phase_timings");
+        for (path, want) in base
+            .iter()
+            .filter(|(p, _)| p.starts_with("phase_timings.wall."))
+        {
+            let Some(got) = lookup(&cand, path) else {
+                eprintln!("DRIFT {path}: missing from candidate");
+                failures += 1;
+                continue;
+            };
+            let limit = want * (1.0 + tolerance / 100.0);
+            if got > limit {
+                eprintln!(
+                    "SLOWER {path}: {:.1}ms -> {:.1}ms (> {tolerance}% regression)",
+                    want / 1e6,
+                    got / 1e6
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_compare: {failures} regression(s)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_compare: ok ({} vs {})",
+            baseline_path, candidate_path
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,198 @@
+//! Canonical bench suite: pinned configurations of the flagship runs,
+//! written as a single schema-v2 report for the regression gate.
+//!
+//! Runs, with fully pinned seeds (so every counter is deterministic):
+//!
+//! * **e1 MST** — simulator-executed Borůvka on the canonical random
+//!   6-regular expander (seed 1, weights seed 2), `n ∈ {256, 1024}`;
+//! * **e2 routing** — the `i → 5i+3 mod n` permutation: hierarchical
+//!   routing on the n = 256 expander, plus the CONGEST-executed Valiant
+//!   bit-fix router on the dim-8 hypercube;
+//! * **e16 faulty walk** — 256 healing walks on the n = 1024, d = 8
+//!   expander under the e16 drop-0.05 / 2-crash plan.
+//!
+//! Output: `experiments_out/BENCH_<git-describe>.json` (override the stem
+//! with a CLI argument, e.g. `bench_suite BENCH_baseline`) carrying rounds,
+//! messages, max edge congestion, wall-clock, and per-class totals for
+//! every bench. `bench_compare` diffs two such files and exits nonzero on
+//! drift.
+
+use amt_bench::{expander, report::git_describe, scaled_levels, Report};
+use amt_core::congest::{Metrics, PhaseTimings, ProfileConfig, TrafficProfile};
+use amt_core::mst::congest_boruvka;
+use amt_core::prelude::*;
+use amt_core::routing::route_bitfix_instrumented;
+use amt_core::walks::healing::run_walks_healing_instrumented;
+use amt_core::walks::WalkSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The e16 crash schedule: node 0 (the minimum-id fragment leader) first,
+/// then high-id nodes, staggered so crashes land mid-run.
+fn plan_for(drop: f64, crashes: usize, n: usize, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::none().seeded(seed).with_drops(drop);
+    for c in 0..crashes {
+        let node = if c == 0 {
+            NodeId(0)
+        } else {
+            NodeId((n - c) as u32)
+        };
+        plan = plan.with_crash(node, 5 + 7 * c as u64);
+    }
+    plan
+}
+
+struct Bench {
+    report: Report,
+    wall: PhaseTimings,
+}
+
+impl Bench {
+    /// Records one bench: its metrics, per-class totals, wall-clock, and a
+    /// summary row.
+    fn record(
+        &mut self,
+        name: &'static str,
+        metrics: &Metrics,
+        profile: Option<&TrafficProfile>,
+        wall: std::time::Duration,
+    ) {
+        self.report.metrics(name, metrics);
+        if let Some(p) = profile {
+            assert_eq!(p.total_messages(), metrics.messages, "{name}: class sums");
+            self.report.profile(name, p);
+        }
+        self.wall.record_nanos(name, wall.as_nanos() as u64);
+        self.report.row(&[
+            name.to_string(),
+            metrics.rounds.to_string(),
+            metrics.messages.to_string(),
+            metrics.max_edge_congestion.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ]);
+    }
+}
+
+fn main() {
+    let stem = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("BENCH_{}", git_describe()));
+    let mut bench = Bench {
+        report: Report::new(&stem),
+        wall: PhaseTimings::new(),
+    };
+    let profile_cfg = Some(ProfileConfig::default());
+    println!("# Canonical bench suite ({stem})\n");
+    bench.report.config("threads", 4u64);
+    bench.report.header(&[
+        "bench",
+        "rounds",
+        "messages",
+        "max_edge_congestion",
+        "wall_ms",
+    ]);
+
+    // e1 MST: Borůvka on the canonical expander, n ∈ {256, 1024}.
+    for &n in &[256usize, 1024] {
+        let g = expander(n, 6, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let wg = WeightedGraph::with_random_weights(g, 1_000_000, &mut rng);
+        let t0 = Instant::now();
+        let (out, profile) =
+            congest_boruvka::run_instrumented(&wg, 3, 4, profile_cfg).expect("connected");
+        let wall = t0.elapsed();
+        let profile = profile.expect("profiling on");
+        // `CongestMstOutcome` has no `Metrics`; reconstruct the comparable
+        // counters from the run and its exact profile.
+        let metrics = Metrics {
+            rounds: out.rounds,
+            messages: out.messages,
+            bits: profile.total_bits(),
+            max_edge_congestion: profile.analyze(1).max_edge_congestion,
+            ..Metrics::default()
+        };
+        let name = if n == 256 {
+            "e1_mst_n256"
+        } else {
+            "e1_mst_n1024"
+        };
+        bench.record(name, &metrics, Some(&profile), wall);
+    }
+
+    // e2 routing, hierarchical: the canonical permutation at n = 256.
+    {
+        let n = 256usize;
+        let g = expander(n, 6, 1);
+        let levels = scaled_levels(g.volume(), 4);
+        let sys = System::builder(&g)
+            .seed(1)
+            .beta(4)
+            .levels(levels)
+            .build()
+            .expect("expander");
+        let reqs: Vec<(NodeId, NodeId)> = (0..n as u32)
+            .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+            .collect();
+        let t0 = Instant::now();
+        let out = sys.route(&reqs, 2).expect("routable");
+        let wall = t0.elapsed();
+        assert_eq!(out.delivered, reqs.len(), "e2: every packet must arrive");
+        // The hierarchy prices rounds by emulation (no simulator run, so no
+        // message metrics or profile); rounds is the regression-gated value.
+        let metrics = Metrics {
+            rounds: out.total_base_rounds,
+            ..Metrics::default()
+        };
+        bench.record("e2_route_hierarchy_n256", &metrics, None, wall);
+    }
+
+    // e2 routing, simulator-executed: bit-fix on the dim-8 hypercube.
+    {
+        let dim = 8u32;
+        let n = 1usize << dim;
+        let g = generators::hypercube(dim);
+        let reqs: Vec<(NodeId, NodeId)> = (0..n as u32)
+            .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+            .collect();
+        let t0 = Instant::now();
+        let (out, profile) =
+            route_bitfix_instrumented(&g, &reqs, 12, 4, profile_cfg).expect("hypercube");
+        let wall = t0.elapsed();
+        bench.record("e2_route_bitfix_dim8", &out.metrics, profile.as_ref(), wall);
+    }
+
+    // e16 faulty walk: the e16 threads-table configuration.
+    {
+        let g = expander(1024, 8, 16);
+        let n = g.len();
+        let specs: Vec<WalkSpec> = (0..256)
+            .map(|i| WalkSpec {
+                start: NodeId((i * 3 % n) as u32),
+                steps: 24,
+            })
+            .collect();
+        let plan = plan_for(0.05, 2, n, 11 ^ (2u64) << 8);
+        let t0 = Instant::now();
+        let (out, _, profile) = run_walks_healing_instrumented(
+            &g,
+            WalkKind::Lazy,
+            &specs,
+            11,
+            plan,
+            4,
+            None,
+            profile_cfg,
+        )
+        .expect("valid plan");
+        let wall = t0.elapsed();
+        bench.record("e16_faulty_walk", &out.metrics, profile.as_ref(), wall);
+    }
+
+    let Bench { mut report, wall } = bench;
+    report.phase_timings("wall", &wall);
+    println!("\n(all counters are deterministic: compare two suite reports with");
+    println!(" `bench_compare <baseline> <candidate>` — exact on rounds/messages/");
+    println!(" congestion/per-class totals, 25% tolerance on wall-clock)");
+    report.finish();
+}

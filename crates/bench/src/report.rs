@@ -15,13 +15,23 @@
 //! validator can check *files on disk* — what CI consumes — rather than
 //! in-memory values that never saw the encoder.
 
-use amt_congest::{Metrics, PhaseTimings, RunTrace};
+use amt_congest::{Metrics, PhaseTimings, RunTrace, TrafficProfile};
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-/// Schema version written to and required in every report file. Bump when
-/// a required key is added, removed, or changes shape.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version written to every report file. Bump when a required key is
+/// added, removed, or changes shape.
+///
+/// Version history:
+/// * **1** — config / tables / metrics / phase_timings / timelines.
+/// * **2** — adds the required `profiles` section: per-run traffic-class
+///   totals (`profiles.<name>.<class>.{messages,bits}`) recorded with
+///   [`Report::profile`].
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`validate`] still accepts; committed version-1
+/// artifacts stay valid (they simply predate the `profiles` section).
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A JSON value (object keys keep insertion order for stable diffs).
 #[derive(Clone, Debug, PartialEq)]
@@ -373,8 +383,9 @@ impl Parser<'_> {
 // Schema validation
 // ---------------------------------------------------------------------------
 
-/// Structurally validates a parsed report against schema version
-/// [`SCHEMA_VERSION`].
+/// Structurally validates a parsed report against the schema. Every version
+/// in [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`] is accepted; the
+/// `profiles` section is required (and checked) from version 2 on.
 ///
 /// # Errors
 ///
@@ -383,15 +394,21 @@ pub fn validate(root: &Json) -> Result<(), String> {
     let Json::Obj(_) = root else {
         return Err("root must be an object".to_string());
     };
-    match root.get("schema_version") {
-        Some(Json::Num(v)) if *v == SCHEMA_VERSION as f64 => {}
+    let version = match root.get("schema_version") {
+        Some(Json::Num(v))
+            if *v >= MIN_SCHEMA_VERSION as f64
+                && *v <= SCHEMA_VERSION as f64
+                && *v == v.trunc() =>
+        {
+            *v as u64
+        }
         Some(other) => {
             return Err(format!(
-                "schema_version must be {SCHEMA_VERSION}, got {other:?}"
+                "schema_version must be in {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}, got {other:?}"
             ))
         }
         None => return Err("missing schema_version".to_string()),
-    }
+    };
     match root.get("experiment") {
         Some(Json::Str(s)) if !s.is_empty() => {}
         _ => return Err("experiment must be a non-empty string".to_string()),
@@ -463,6 +480,26 @@ pub fn validate(root: &Json) -> Result<(), String> {
             }
         }
     }
+    if version >= 2 {
+        let Some(Json::Obj(profiles)) = root.get("profiles") else {
+            return Err("profiles must be an object (required from schema 2)".to_string());
+        };
+        for (name, entry) in profiles {
+            let Json::Obj(classes) = entry else {
+                return Err(format!("profiles.{name} must be an object"));
+            };
+            for (class, totals) in classes {
+                let Json::Obj(fields) = totals else {
+                    return Err(format!("profiles.{name}.{class} must be an object"));
+                };
+                for (k, v) in fields {
+                    if !matches!(v, Json::Num(_)) {
+                        return Err(format!("profiles.{name}.{class}.{k} must be a number"));
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -492,6 +529,7 @@ pub struct Report {
     metrics: Vec<(String, Json)>,
     phase_timings: Vec<(String, Json)>,
     timelines: Vec<(String, Json)>,
+    profiles: Vec<(String, Json)>,
 }
 
 impl Report {
@@ -507,6 +545,7 @@ impl Report {
             metrics: Vec::new(),
             phase_timings: Vec::new(),
             timelines: Vec::new(),
+            profiles: Vec::new(),
         }
     }
 
@@ -619,6 +658,28 @@ impl Report {
         ));
     }
 
+    /// Records a named [`TrafficProfile`] as per-class message/bit totals
+    /// (the `profiles` section, schema version 2).
+    pub fn profile(&mut self, name: &str, p: &TrafficProfile) {
+        self.profiles.push((
+            name.to_string(),
+            Json::Obj(
+                p.per_class
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.class.to_string(),
+                            Json::Obj(vec![
+                                ("messages".into(), s.messages.into()),
+                                ("bits".into(), s.bits.into()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+
     fn to_json(&self) -> Json {
         let created = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -669,6 +730,7 @@ impl Report {
                 Json::Obj(self.phase_timings.clone()),
             ),
             ("timelines".into(), Json::Obj(self.timelines.clone())),
+            ("profiles".into(), Json::Obj(self.profiles.clone())),
         ])
     }
 
@@ -697,7 +759,10 @@ impl Report {
     }
 }
 
-fn git_describe() -> String {
+/// `git describe --always --dirty --tags` of the working tree, or
+/// `"unknown"` outside a repository. Stamped into every report; the bench
+/// suite also uses it to name its `BENCH_<describe>.json` artifact.
+pub fn git_describe() -> String {
     std::process::Command::new("git")
         .args(["describe", "--always", "--dirty", "--tags"])
         .output()
@@ -735,6 +800,16 @@ mod tests {
         t.record_nanos("prep", 1234);
         r.phase_timings("router", &t);
         r.timeline("run", &RunTrace::default());
+        let mut tp = TrafficProfile::empty(2);
+        tp.per_class.push(amt_congest::ClassStats {
+            class: amt_congest::class::WALK_TOKEN,
+            messages: 3,
+            bits: 30,
+            timeline: Vec::new(),
+            edge_messages: vec![2, 1],
+            edge_bits: vec![20, 10],
+        });
+        r.profile("run", &tp);
         r
     }
 
@@ -756,6 +831,52 @@ mod tests {
         };
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].get("title"), Some(&Json::Str("sweep".into())));
+        let totals = parsed
+            .get("profiles")
+            .and_then(|p| p.get("run"))
+            .and_then(|r| r.get("walk/token"))
+            .expect("profiles section survives the round trip");
+        assert_eq!(totals.get("messages"), Some(&Json::Num(3.0)));
+        assert_eq!(totals.get("bits"), Some(&Json::Num(30.0)));
+    }
+
+    #[test]
+    fn validator_is_version_aware_about_profiles() {
+        let good = sample_report().to_json();
+        let Json::Obj(pairs) = &good else {
+            unreachable!()
+        };
+
+        // A version-1 document legitimately has no profiles section.
+        let mut v1: Vec<_> = pairs
+            .iter()
+            .filter(|(k, _)| k != "profiles")
+            .cloned()
+            .collect();
+        v1[0].1 = Json::Num(1.0);
+        validate(&Json::Obj(v1.clone())).expect("v1 without profiles is valid");
+
+        // The same document claiming version 2 must carry the section.
+        let mut v2_missing = v1;
+        v2_missing[0].1 = Json::Num(2.0);
+        assert!(validate(&Json::Obj(v2_missing)).is_err());
+
+        // Future versions are rejected until the validator learns them.
+        let mut future = pairs.clone();
+        future[0].1 = Json::Num((SCHEMA_VERSION + 1) as f64);
+        assert!(validate(&Json::Obj(future)).is_err());
+
+        // A malformed class entry is caught.
+        let mut bad = pairs.clone();
+        for (k, v) in &mut bad {
+            if k == "profiles" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![("walk/token".into(), "lots".into())]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(bad)).is_err());
     }
 
     #[test]

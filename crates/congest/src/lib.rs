@@ -25,6 +25,12 @@
 //!   striding per-edge load snapshots, and the wall-clock [`PhaseTimings`]
 //!   type shared by the protocol crates. Disabled by default with zero
 //!   overhead; enabling it never changes `Metrics` or protocol outputs.
+//! * [`profile`] — opt-in traffic-class attribution ([`TrafficProfile`]):
+//!   every delivery is tagged with a [`TrafficClass`] (protocol default or
+//!   per-send via [`Ctx::send_classed`]) and aggregated per `(class, round)`
+//!   and `(class, edge)`, with hot-edge analysis ([`CongestionProfile`]).
+//!   Same zero-cost-when-off contract as [`trace`]; per-class totals sum
+//!   exactly to the run's [`Metrics`] and per-edge loads.
 //!
 //! Determinism: every node owns a private RNG stream derived from
 //! `(run seed, node id)` and handed to protocols through [`Ctx::rng`], and
@@ -43,6 +49,7 @@ mod sim;
 
 pub mod faults;
 pub mod primitives;
+pub mod profile;
 pub mod trace;
 
 pub use error::CongestError;
@@ -50,8 +57,11 @@ pub use faults::{CrashEvent, FaultEvent, FaultKind, FaultPlan};
 pub use message::{bits_for_count, bits_for_value, CongestMessage};
 pub use metrics::Metrics;
 pub use primitives::reliable::{reliable_broadcast, Reliable, ReliableLink};
+pub use profile::{
+    class, ClassStats, CongestionProfile, HotEdge, ProfileConfig, TrafficClass, TrafficProfile,
+};
 pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
-pub use trace::{PhaseTimings, RoundSample, RunTrace, TraceConfig, TraceEvent};
+pub use trace::{Distribution, PhaseTimings, RoundSample, RunTrace, TraceConfig, TraceEvent};
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, CongestError>;

@@ -574,6 +574,7 @@ pub mod reliable {
 
     use super::{Ctx, Graph, Metrics, NodeId, Protocol, Result, RunConfig, Simulator};
     use crate::faults::FaultPlan;
+    use crate::profile::{class, TrafficClass};
     use crate::CongestMessage;
     use std::collections::VecDeque;
 
@@ -715,6 +716,10 @@ pub mod reliable {
         timeout: u64,
         /// Transmissions per frame before the port is declared failed.
         max_attempts: u32,
+        /// Traffic class first transmissions of data frames are tagged
+        /// with; retransmissions and bare acks use the shared
+        /// [`class::REL_RETRANSMIT`] / [`class::REL_ACK`] classes.
+        payload_class: TrafficClass,
     }
 
     impl<M: CongestMessage> ReliableLink<M> {
@@ -726,7 +731,18 @@ pub mod reliable {
                 ports: (0..degree).map(|_| PortState::new()).collect(),
                 timeout: timeout.max(1),
                 max_attempts: max_attempts.max(1),
+                payload_class: class::REL_PAYLOAD,
             }
+        }
+
+        /// Tags first transmissions of data frames with `class` instead of
+        /// the default [`class::REL_PAYLOAD`], so the wrapping protocol's
+        /// traffic shows up under its own name in a [`TrafficProfile`].
+        ///
+        /// [`TrafficProfile`]: crate::profile::TrafficProfile
+        pub fn with_payload_class(mut self, class: TrafficClass) -> Self {
+            self.payload_class = class;
+            self
         }
 
         /// Queues `msg` for reliable delivery over `port`.
@@ -803,7 +819,7 @@ pub mod reliable {
                             ack: st.pending_ack.take(),
                             payload: f.msg.clone(),
                         };
-                        ctx.send(port, frame);
+                        ctx.send_classed(port, frame, class::REL_RETRANSMIT);
                         continue;
                     }
                 } else if let Some(msg) = st.queue.pop_front() {
@@ -820,11 +836,11 @@ pub mod reliable {
                         ack: st.pending_ack.take(),
                         payload: msg,
                     };
-                    ctx.send(port, frame);
+                    ctx.send_classed(port, frame, self.payload_class);
                     continue;
                 }
                 if let Some(seq) = st.pending_ack.take() {
-                    ctx.send(port, Reliable::Ack { seq });
+                    ctx.send_classed(port, Reliable::Ack { seq }, class::REL_ACK);
                 }
             }
         }

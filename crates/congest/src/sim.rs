@@ -27,6 +27,7 @@
 //! [`RoundStepper`] type parameter.
 
 use crate::faults::{Fate, FaultEvent, FaultHook, FaultKind, FaultPlan, FaultState, NoFaults};
+use crate::profile::{class, ProfileConfig, TrafficClass, TrafficProfile};
 use crate::trace::{EdgeLoadSnapshot, RoundSample, RunTrace, TraceConfig, TraceEvent};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::{Graph, NodeId};
@@ -47,6 +48,11 @@ use std::sync::OnceLock;
 pub trait Protocol: Send {
     /// The message type this protocol sends over edges.
     type Message: CongestMessage;
+
+    /// The [`TrafficClass`] attributed to plain [`Ctx::send`] calls when
+    /// profiling is on. Protocols whose sends fall into several classes
+    /// override individual sends with [`Ctx::send_classed`].
+    const TRAFFIC_CLASS: TrafficClass = class::DEFAULT;
 
     /// Called once before the first communication round; may send messages.
     fn init(&mut self, ctx: &mut Ctx<'_, Self::Message>);
@@ -202,7 +208,12 @@ pub struct Ctx<'a, M> {
     budget_bits: usize,
     /// One staging slot per port, borrowed from the executor's reusable
     /// slab (sized once to the maximum degree, not per node per round).
-    staged: &'a mut [Option<M>],
+    /// Each staged message carries its [`TrafficClass`] to the engine's
+    /// merge, where the profiler (if any) attributes the delivery.
+    staged: &'a mut [Option<(TrafficClass, M)>],
+    /// Class attributed to plain [`Ctx::send`] calls
+    /// ([`Protocol::TRAFFIC_CLASS`]).
+    default_class: TrafficClass,
     rng: &'a mut StdRng,
     violation: &'a mut Option<CongestError>,
     /// Event sink when tracing is enabled (`None` costs one branch per
@@ -236,7 +247,19 @@ impl<M: CongestMessage> Ctx<'_, M> {
     /// Records a model violation (duplicate send on a port, port out of
     /// range, over-wide message) which aborts the run; the violation is
     /// returned from [`Simulator::run`].
+    ///
+    /// When profiling is on the message is attributed to the protocol's
+    /// [`Protocol::TRAFFIC_CLASS`]; use [`Ctx::send_classed`] to refine.
     pub fn send(&mut self, port: usize, msg: M) {
+        self.send_classed(port, msg, self.default_class);
+    }
+
+    /// [`Ctx::send`] with an explicit [`TrafficClass`] attribution.
+    ///
+    /// The class changes nothing about delivery — it only labels the
+    /// message for the traffic profiler (and is ignored entirely when
+    /// profiling is off).
+    pub fn send_classed(&mut self, port: usize, msg: M, class: TrafficClass) {
         if self.violation.is_some() {
             return;
         }
@@ -263,7 +286,7 @@ impl<M: CongestMessage> Ctx<'_, M> {
             });
             return;
         }
-        self.staged[port] = Some(msg);
+        self.staged[port] = Some((class, msg));
     }
 
     /// Sends `msg` to every port (standard "broadcast to neighbors").
@@ -303,6 +326,10 @@ impl<M: CongestMessage> Ctx<'_, M> {
 /// Per-node `(port, message)` buffers for one shard of nodes.
 type ShardBuffers<M> = Vec<Vec<(usize, M)>>;
 
+/// Per-node `(port, class, message)` outbox buffers: staged sends carry
+/// their [`TrafficClass`] to the engine's merge for profile attribution.
+type ShardOutbox<M> = Vec<Vec<(usize, TrafficClass, M)>>;
+
 /// One round's work order sent to a worker shard. Both buffer sets travel
 /// with the job so every allocation is recycled round over round.
 struct RoundJob<M> {
@@ -310,7 +337,7 @@ struct RoundJob<M> {
     /// Inbox per local node of the shard (drained by the worker).
     inbox: ShardBuffers<M>,
     /// Outbox per local node of the shard (filled by the worker).
-    outbox: ShardBuffers<M>,
+    outbox: ShardOutbox<M>,
 }
 
 /// One round's results reported back by a worker shard.
@@ -318,8 +345,8 @@ struct RoundReply<M> {
     worker: usize,
     /// The job's inbox buffers, cleared, returned for reuse.
     inbox: ShardBuffers<M>,
-    /// Staged `(port, message)` sends per local node, in port order.
-    outbox: ShardBuffers<M>,
+    /// Staged `(port, class, message)` sends per local node, in port order.
+    outbox: ShardOutbox<M>,
     /// Conjunction of `is_done` over the shard after this round (a
     /// crash-stopped node counts as done).
     all_done: bool,
@@ -341,6 +368,7 @@ struct Held<M> {
     dst: usize,
     dst_port: usize,
     edge: usize,
+    class: TrafficClass,
     msg: M,
 }
 
@@ -352,10 +380,10 @@ struct Scratch<M> {
     inbox: ShardBuffers<M>,
     /// Delivery target for the upcoming round (swapped with `inbox`).
     next_inbox: ShardBuffers<M>,
-    /// `outbox[v]` = (sending port, message) staged by `v` this round.
-    outbox: ShardBuffers<M>,
+    /// `outbox[v]` = (sending port, class, message) staged by `v` this round.
+    outbox: ShardOutbox<M>,
     /// The single staging slab the sequential stepper slices per node.
-    staged: Vec<Option<M>>,
+    staged: Vec<Option<(TrafficClass, M)>>,
     /// Delay queue of the faulty path (always empty on the clean path).
     held: Vec<Held<M>>,
     /// Scratch for the stable sweep over `held` (swapped each round).
@@ -379,12 +407,16 @@ impl<M> Scratch<M> {
     /// Clears every buffer and (re)sizes the per-node vectors to `n`,
     /// keeping their allocations.
     fn reset(&mut self, n: usize) {
-        for buffers in [&mut self.inbox, &mut self.next_inbox, &mut self.outbox] {
+        for buffers in [&mut self.inbox, &mut self.next_inbox] {
             for b in buffers.iter_mut() {
                 b.clear();
             }
             buffers.resize_with(n, Vec::new);
         }
+        for b in self.outbox.iter_mut() {
+            b.clear();
+        }
+        self.outbox.resize_with(n, Vec::new);
         self.held.clear();
         self.held_next.clear();
     }
@@ -412,7 +444,7 @@ trait RoundStepper<M> {
         &mut self,
         round: u64,
         inbox: &mut [Vec<(usize, M)>],
-        outbox: &mut [Vec<(usize, M)>],
+        outbox: &mut [Vec<(usize, TrafficClass, M)>],
         events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome;
 }
@@ -429,7 +461,7 @@ struct InlineStepper<'a, P: Protocol> {
     /// ever crashes).
     crash_round: &'a [u64],
     /// One slot per port of the highest-degree node; sliced per node.
-    staged: Vec<Option<P::Message>>,
+    staged: Vec<Option<(TrafficClass, P::Message)>>,
     budget_bits: usize,
     reverse: bool,
 }
@@ -439,7 +471,7 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
         &mut self,
         round: u64,
         inbox: &mut [Vec<(usize, P::Message)>],
-        outbox: &mut [Vec<(usize, P::Message)>],
+        outbox: &mut [Vec<(usize, TrafficClass, P::Message)>],
         mut events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome {
         let n = self.nodes.len();
@@ -472,6 +504,7 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
                     round,
                     budget_bits: self.budget_bits,
                     staged: &mut self.staged[..degree],
+                    default_class: P::TRAFFIC_CLASS,
                     rng: &mut self.rngs[v],
                     violation: &mut violation,
                     trace: events.as_deref_mut(),
@@ -486,8 +519,8 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
             // node even when this node tripped a violation mid-step.
             let ob = &mut outbox[v];
             for (port, slot) in self.staged[..degree].iter_mut().enumerate() {
-                if let Some(msg) = slot.take() {
-                    ob.push((port, msg));
+                if let Some((cls, msg)) = slot.take() {
+                    ob.push((port, cls, msg));
                 }
             }
             all_done &= self.nodes[v].is_done();
@@ -519,7 +552,7 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
         &mut self,
         round: u64,
         inbox: &mut [Vec<(usize, M)>],
-        outbox: &mut [Vec<(usize, M)>],
+        outbox: &mut [Vec<(usize, TrafficClass, M)>],
         events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome {
         let workers = self.job_txs.len();
@@ -612,6 +645,8 @@ fn round_engine<M, S, H>(
     hook: &mut H,
     trace_cfg: Option<TraceConfig>,
     trace_out: &mut Option<RunTrace>,
+    profile_cfg: Option<ProfileConfig>,
+    profile_out: &mut Option<TrafficProfile>,
 ) -> Result<Metrics>
 where
     M: CongestMessage,
@@ -630,6 +665,10 @@ where
     } = scratch;
     let mut metrics = Metrics::default();
     let mut trace = trace_cfg.map(|tc| (tc, RunTrace::default()));
+    // The profiler records at the delivery points below — the same events
+    // that drive `metrics.messages`/`bits` and `edge_load` — so per-class
+    // totals sum exactly to the undifferentiated counters.
+    let mut profile = profile_cfg.map(|_| TrafficProfile::new(edge_load.len()));
     let mut result: Result<Metrics> = Err(CongestError::RoundLimitExceeded {
         max_rounds: cfg.max_rounds,
     });
@@ -658,7 +697,7 @@ where
         // (sender, port), whatever order or thread staged the sends.
         let mut delivered = 0u64;
         for (v, ob) in outbox.iter_mut().enumerate() {
-            for (port, msg) in ob.drain(..) {
+            for (port, cls, msg) in ob.drain(..) {
                 let (dst, edge) = adjacency[v][port];
                 let (dst, edge) = (dst as usize, edge as usize);
                 let dst_port = peer_port[v][port] as usize;
@@ -669,8 +708,12 @@ where
                 }
                 match hook.fate(round, v, port) {
                     Fate::Deliver => {
-                        metrics.bits += msg.bit_width() as u64;
+                        let width = msg.bit_width() as u64;
+                        metrics.bits += width;
                         edge_load[edge] += 1;
+                        if let Some(p) = profile.as_mut() {
+                            p.record(cls, round, edge, width);
+                        }
                         next_inbox[dst].push((dst_port, msg));
                         delivered += 1;
                     }
@@ -689,8 +732,12 @@ where
                                     port,
                                     FaultKind::Corrupted { delivered: true },
                                 );
-                                metrics.bits += garbled.bit_width() as u64;
+                                let width = garbled.bit_width() as u64;
+                                metrics.bits += width;
                                 edge_load[edge] += 1;
+                                if let Some(p) = profile.as_mut() {
+                                    p.record(cls, round, edge, width);
+                                }
                                 next_inbox[dst].push((dst_port, garbled));
                                 delivered += 1;
                             }
@@ -717,6 +764,7 @@ where
                             dst,
                             dst_port,
                             edge,
+                            class: cls,
                             msg,
                         });
                     }
@@ -735,8 +783,12 @@ where
                 metrics.lost_to_crash += 1;
                 hook.record(round, h.src, h.src_port, FaultKind::LostToCrash);
             } else {
-                metrics.bits += h.msg.bit_width() as u64;
+                let width = h.msg.bit_width() as u64;
+                metrics.bits += width;
                 edge_load[h.edge] += 1;
+                if let Some(p) = profile.as_mut() {
+                    p.record(h.class, round, h.edge, width);
+                }
                 next_inbox[h.dst].push((h.dst_port, h.msg));
                 delivered += 1;
             }
@@ -774,14 +826,28 @@ where
         };
         if stop {
             metrics.max_edge_congestion = edge_load.iter().copied().max().unwrap_or(0);
-            if let Some((_, t)) = trace.as_mut() {
+            if let Some((tc, t)) = trace.as_mut() {
                 t.final_edge_load = edge_load.to_vec();
+                // Strided snapshots always include the final round: without
+                // this, a stride that does not divide the stopping round
+                // would leave the series ending mid-run (the in-loop push
+                // above already covered the stride-aligned case).
+                if tc.edge_load_stride > 0 && t.snapshots.last().map(|s| s.round) != Some(round) {
+                    t.snapshots.push(EdgeLoadSnapshot {
+                        round,
+                        load: edge_load.to_vec(),
+                    });
+                }
             }
             result = Ok(metrics);
             break 'rounds;
         }
     }
+    if let (Some(t), Some(p)) = (trace.as_mut(), profile.as_ref()) {
+        t.1.profile = Some(p.clone());
+    }
     *trace_out = trace.map(|(_, t)| t);
+    *profile_out = profile;
     result
 }
 
@@ -839,6 +905,11 @@ pub struct Simulator<'g, P: Protocol> {
     trace_cfg: Option<TraceConfig>,
     /// Timeline recorded by the most recent [`Self::run`] (when enabled).
     trace: Option<RunTrace>,
+    /// Traffic-class profiling request; `None` (the default) records
+    /// nothing and leaves every path byte-identical to an unprofiled run.
+    profile_cfg: Option<ProfileConfig>,
+    /// Profile recorded by the most recent [`Self::run`] (when enabled).
+    profile: Option<TrafficProfile>,
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -891,6 +962,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             crashed: vec![false; n],
             trace_cfg: None,
             trace: None,
+            profile_cfg: None,
+            profile: None,
         })
     }
 
@@ -914,6 +987,29 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// Takes ownership of the most recent run's timeline.
     pub fn take_trace(&mut self) -> Option<RunTrace> {
         self.trace.take()
+    }
+
+    /// Enables traffic-class profiling for every subsequent [`Self::run`].
+    ///
+    /// Like tracing, profiling never changes observable behavior: `Metrics`,
+    /// `RunTrace`, protocol state, and RNG streams are byte-identical with
+    /// profiling on or off, on every execution path. When tracing is also
+    /// enabled the profile is additionally attached to the run's
+    /// [`RunTrace::profile`].
+    pub fn with_profile(mut self, cfg: ProfileConfig) -> Self {
+        self.profile_cfg = Some(cfg);
+        self
+    }
+
+    /// The traffic profile recorded by the most recent [`Self::run`], if
+    /// profiling was enabled.
+    pub fn profile(&self) -> Option<&TrafficProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Takes ownership of the most recent run's traffic profile.
+    pub fn take_profile(&mut self) -> Option<TrafficProfile> {
+        self.profile.take()
     }
 
     /// Attaches a [`FaultPlan`] to apply on every subsequent [`Self::run`].
@@ -991,6 +1087,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     fn run_inner(&mut self, cfg: &RunConfig, reverse_visit: bool) -> Result<Metrics> {
         self.trace = None;
+        self.profile = None;
         // Take the plan for the duration of the run instead of cloning it
         // (the crash schedule can be long-lived and big); it is restored
         // before returning.
@@ -1057,6 +1154,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
         self.reset_edge_load();
         let trace_cfg = self.trace_cfg;
+        let profile_cfg = self.profile_cfg;
         let Simulator {
             nodes,
             rngs,
@@ -1065,6 +1163,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             edge_load,
             scratch,
             trace,
+            profile,
             ..
         } = self;
         let adjacency: &[Vec<(u32, u32)>] = adjacency;
@@ -1090,6 +1189,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             hook,
             trace_cfg,
             trace,
+            profile_cfg,
+            profile,
         );
         scratch.staged = stepper.staged;
         result
@@ -1112,6 +1213,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let chunk = n.div_ceil(threads);
         let trace_cfg = self.trace_cfg;
         let tracing = trace_cfg.is_some();
+        let profile_cfg = self.profile_cfg;
         let Simulator {
             nodes,
             rngs,
@@ -1120,6 +1222,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             edge_load,
             scratch,
             trace,
+            profile,
             ..
         } = self;
         let adjacency: &[Vec<(u32, u32)>] = adjacency;
@@ -1155,7 +1258,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         .map(Vec::len)
                         .max()
                         .unwrap_or(0);
-                    let mut staged: Vec<Option<P::Message>> = Vec::new();
+                    let mut staged: Vec<Option<(TrafficClass, P::Message)>> = Vec::new();
                     staged.resize_with(max_degree, || None);
                     while let Ok(mut job) = job_rx.recv() {
                         let round = job.round;
@@ -1187,6 +1290,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                                     round,
                                     budget_bits,
                                     staged: &mut staged[..degree],
+                                    default_class: P::TRAFFIC_CLASS,
                                     rng: &mut my_rngs[i],
                                     violation: &mut local_violation,
                                     trace: if tracing { Some(&mut events) } else { None },
@@ -1202,8 +1306,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                             }
                             let ob = &mut outbox[i];
                             for (port, slot) in staged[..degree].iter_mut().enumerate() {
-                                if let Some(msg) = slot.take() {
-                                    ob.push((port, msg));
+                                if let Some((cls, msg)) = slot.take() {
+                                    ob.push((port, cls, msg));
                                 }
                             }
                             all_done &= node.is_done();
@@ -1245,6 +1349,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 hook,
                 trace_cfg,
                 trace,
+                profile_cfg,
+                profile,
             );
             // Dropping the stepper closes the job channels; workers drain
             // and exit, handing their shards back.
@@ -1670,6 +1776,64 @@ mod tests {
             assert!(forced.fault_events().is_empty());
             assert!(forced.crashed_nodes().is_empty());
         }
+    }
+
+    /// Profiling must be observably free (byte-identical `Metrics`, state,
+    /// and edge loads) and exact: per-class totals sum to the run's
+    /// `Metrics` and per-edge loads, at every thread count.
+    #[test]
+    fn profiling_is_observably_free_and_sums_exactly() {
+        let g = amt_graphs::generators::hypercube(5);
+        for threads in [1, 4] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let mut plain = Simulator::new(&g, walker_fleet(32), 77).unwrap();
+            let m_plain = plain.run(&cfg).unwrap();
+            assert!(plain.profile().is_none(), "profiling is off by default");
+
+            let mut profiled = Simulator::new(&g, walker_fleet(32), 77)
+                .unwrap()
+                .with_profile(ProfileConfig::default());
+            let m_profiled = profiled.run(&cfg).unwrap();
+            assert_eq!(
+                m_plain, m_profiled,
+                "threads = {threads}: profiling changed metrics"
+            );
+            let s_plain: Vec<u64> = plain.nodes().iter().map(|p| p.trace).collect();
+            let s_profiled: Vec<u64> = profiled.nodes().iter().map(|p| p.trace).collect();
+            assert_eq!(s_plain, s_profiled, "profiling changed protocol state");
+            assert_eq!(plain.edge_load(), profiled.edge_load());
+
+            let profile = profiled.take_profile().expect("profiling was enabled");
+            assert_eq!(profile.total_messages(), m_profiled.messages);
+            assert_eq!(profile.total_bits(), m_profiled.bits);
+            assert_eq!(profile.edge_messages_total(), profiled.edge_load());
+            // TokenWalker never picks a class, so everything is DEFAULT.
+            assert_eq!(profile.per_class.len(), 1);
+            assert_eq!(profile.per_class[0].class, class::DEFAULT);
+            let a = profile.analyze(10);
+            assert_eq!(a.max_edge_congestion, m_profiled.max_edge_congestion);
+        }
+    }
+
+    /// With tracing and profiling both on, the profile rides on the
+    /// `RunTrace` and matches the one taken from the simulator.
+    #[test]
+    fn profile_is_attached_to_the_trace() {
+        let g = amt_graphs::generators::hypercube(4);
+        let mut sim = Simulator::new(&g, walker_fleet(16), 5)
+            .unwrap()
+            .with_trace(TraceConfig::default())
+            .with_profile(ProfileConfig::default());
+        sim.run(&RunConfig::default()).unwrap();
+        let trace = sim.take_trace().unwrap();
+        let profile = sim.take_profile().unwrap();
+        assert_eq!(trace.profile.as_ref(), Some(&profile));
+        // Tracing alone leaves `RunTrace::profile` empty.
+        let mut untraced = Simulator::new(&g, walker_fleet(16), 5)
+            .unwrap()
+            .with_trace(TraceConfig::default());
+        untraced.run(&RunConfig::default()).unwrap();
+        assert!(untraced.take_trace().unwrap().profile.is_none());
     }
 
     /// Malformed `AMT_SIM_THREADS` values are rejected loudly; valid ones

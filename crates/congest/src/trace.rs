@@ -22,6 +22,7 @@
 //!   `Metrics` exactly — see [`RunTrace::reconstruct_metrics`], which tests
 //!   use to cross-check the simulator's own accounting.
 
+use crate::profile::TrafficProfile;
 use crate::Metrics;
 use amt_graphs::NodeId;
 use std::time::Duration;
@@ -96,9 +97,15 @@ pub struct RunTrace {
     /// Protocol-emitted events in `(round, node)` order.
     pub events: Vec<TraceEvent>,
     /// Cumulative per-edge load snapshots ([`TraceConfig::edge_load_stride`]).
+    /// When the stride is non-zero the series always ends with a final-round
+    /// snapshot, whether or not the stride divides the stopping round.
     pub snapshots: Vec<EdgeLoadSnapshot>,
     /// Final cumulative per-edge loads (empty if the run aborted early).
     pub final_edge_load: Vec<u64>,
+    /// Traffic-class profile of the run, when profiling was enabled
+    /// alongside tracing ([`crate::Simulator::with_profile`]); `None`
+    /// otherwise, so untraced comparisons are unaffected.
+    pub profile: Option<TrafficProfile>,
 }
 
 impl RunTrace {
@@ -133,6 +140,49 @@ impl RunTrace {
         label: &'a str,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
         self.events.iter().filter(move |e| e.label == label)
+    }
+
+    /// Distribution of messages delivered per round (p50/p95/max over the
+    /// recorded samples; all zero for an empty trace).
+    pub fn messages_per_round_distribution(&self) -> Distribution {
+        Distribution::of(self.samples.iter().map(|s| s.messages))
+    }
+
+    /// Distribution of bits delivered per round.
+    pub fn bits_per_round_distribution(&self) -> Distribution {
+        Distribution::of(self.samples.iter().map(|s| s.bits))
+    }
+}
+
+/// Order statistics of a per-round series — the round-level detail the
+/// scalar [`Metrics`] averages hide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Distribution {
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Distribution {
+    /// Computes nearest-rank percentiles over `values`: the q-th percentile
+    /// of `n` sorted values is the `⌈q/100 · n⌉`-th smallest (1-indexed), so
+    /// p50 of [1, 2, 3, 4] is 2 and p95 of 100 values is the 95th.
+    pub fn of(values: impl Iterator<Item = u64>) -> Distribution {
+        let mut sorted: Vec<u64> = values.collect();
+        if sorted.is_empty() {
+            return Distribution::default();
+        }
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = |q: usize| sorted[((q * n).div_ceil(100)).clamp(1, n) - 1];
+        Distribution {
+            p50: rank(50),
+            p95: rank(95),
+            max: sorted[n - 1],
+        }
     }
 }
 
@@ -249,6 +299,7 @@ mod tests {
             events: Vec::new(),
             snapshots: Vec::new(),
             final_edge_load: vec![3, 7, 0],
+            profile: None,
         };
         let m = trace.reconstruct_metrics();
         assert_eq!(
@@ -273,6 +324,73 @@ mod tests {
         assert_eq!(
             RunTrace::default().reconstruct_metrics(),
             Metrics::default()
+        );
+    }
+
+    #[test]
+    fn distributions_use_nearest_rank() {
+        // Hand-computed: sorted [1, 2, 3, 4] → p50 = 2nd = 2, p95 = ⌈3.8⌉ =
+        // 4th = 4, max = 4.
+        let d = Distribution::of([4, 1, 3, 2].into_iter());
+        assert_eq!(
+            d,
+            Distribution {
+                p50: 2,
+                p95: 4,
+                max: 4
+            }
+        );
+        // Singleton: every statistic is the value itself.
+        assert_eq!(
+            Distribution::of([7].into_iter()),
+            Distribution {
+                p50: 7,
+                p95: 7,
+                max: 7
+            }
+        );
+        // Empty: all zero.
+        assert_eq!(Distribution::of([].into_iter()), Distribution::default());
+        // 100 values 1..=100: p50 = 50, p95 = 95.
+        let d = Distribution::of(1..=100u64);
+        assert_eq!(
+            d,
+            Distribution {
+                p50: 50,
+                p95: 95,
+                max: 100
+            }
+        );
+    }
+
+    #[test]
+    fn trace_distributions_read_the_samples() {
+        let mk = |round, messages, bits| RoundSample {
+            round,
+            messages,
+            bits,
+            ..RoundSample::default()
+        };
+        let trace = RunTrace {
+            samples: vec![mk(0, 6, 60), mk(1, 2, 10), mk(2, 4, 20)],
+            ..RunTrace::default()
+        };
+        // messages sorted [2, 4, 6]: p50 = 2nd = 4, p95 = ⌈2.85⌉ = 3rd = 6.
+        assert_eq!(
+            trace.messages_per_round_distribution(),
+            Distribution {
+                p50: 4,
+                p95: 6,
+                max: 6
+            }
+        );
+        assert_eq!(
+            trace.bits_per_round_distribution(),
+            Distribution {
+                p50: 20,
+                p95: 60,
+                max: 60
+            }
         );
     }
 

@@ -232,6 +232,37 @@ fn corrupted_frame_bits_count_delivered_widths() {
     assert_eq!(trace.reconstruct_metrics(), m);
 }
 
+/// The strided per-edge snapshot series must always end with a final-round
+/// snapshot — whether the stride divides the stopping round (no duplicate),
+/// exceeds the run length (only rounds 0 and the end), or anything between.
+#[test]
+fn strided_snapshots_always_include_the_final_round() {
+    let g = amt_graphs::generators::hypercube(4);
+    let probe = |stride| {
+        let mut sim = Simulator::new(&g, fleet(16), 7)
+            .unwrap()
+            .with_trace(TraceConfig::default().with_edge_load_stride(stride));
+        let m = sim.run(&RunConfig::default()).unwrap();
+        (m, sim.take_trace().unwrap())
+    };
+    let (baseline, _) = probe(1);
+    let run_len = baseline.rounds;
+    assert!(run_len > 3, "workload long enough to exercise the strides");
+    for stride in [1, 3, run_len, run_len + 7] {
+        let (m, trace) = probe(stride);
+        assert_eq!(m, baseline, "the stride must never change the run");
+        let last = trace.snapshots.last().expect("at least one snapshot");
+        assert_eq!(last.round, m.rounds, "stride {stride} missed the end");
+        assert_eq!(last.load, trace.final_edge_load);
+        let finals = trace
+            .snapshots
+            .iter()
+            .filter(|s| s.round == m.rounds)
+            .count();
+        assert_eq!(finals, 1, "stride {stride} duplicated the final snapshot");
+    }
+}
+
 /// A genuinely faulty run (drops, corruption, delays, a mid-run crash)
 /// must be reconstructible from its timeline alone, field for field.
 #[test]

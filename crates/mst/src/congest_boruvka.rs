@@ -8,7 +8,10 @@
 //! the almost-mixing-time algorithm on expanders.
 
 use crate::{reference::UnionFind, MstError, Result};
-use amt_congest::{bits_for_value, Ctx, Metrics, PhaseTimings, Protocol, RunConfig, Simulator};
+use amt_congest::{
+    bits_for_value, class, Ctx, Metrics, PhaseTimings, ProfileConfig, Protocol, RunConfig,
+    Simulator, TrafficClass, TrafficProfile,
+};
 use amt_graphs::{EdgeId, WeightedGraph};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -37,6 +40,9 @@ struct MinFlood {
     active_ports: Vec<usize>,
     value: u64,
     fresh: bool,
+    /// Traffic class this flood's messages are attributed to (candidate
+    /// floods vs. label floods).
+    class: TrafficClass,
 }
 
 impl Protocol for MinFlood {
@@ -46,7 +52,7 @@ impl Protocol for MinFlood {
         if self.fresh {
             self.fresh = false;
             for p in self.active_ports.clone() {
-                ctx.send(p, self.value);
+                ctx.send_classed(p, self.value, self.class);
             }
         }
     }
@@ -61,21 +67,25 @@ impl Protocol for MinFlood {
         }
         if improved {
             for p in self.active_ports.clone() {
-                ctx.send(p, self.value);
+                ctx.send_classed(p, self.value, self.class);
             }
         }
     }
 }
 
 /// Floods per-node initial `u64` values to minima over the subgraph whose
-/// edges are in `active`, returning the converged values and metrics.
+/// edges are in `active`, returning the converged values, metrics, and —
+/// when `profile` is set — the flood's traffic profile. Messages are
+/// attributed to `class`.
 pub(crate) fn min_flood(
     wg: &WeightedGraph,
     active: &HashSet<EdgeId>,
     init: &[u64],
     seed: u64,
     threads: usize,
-) -> Result<(Vec<u64>, Metrics)> {
+    class: TrafficClass,
+    profile: Option<ProfileConfig>,
+) -> Result<(Vec<u64>, Metrics, Option<TrafficProfile>)> {
     let g = wg.graph();
     let nodes = g
         .nodes()
@@ -88,9 +98,13 @@ pub(crate) fn min_flood(
                 .collect(),
             value: init[v.index()],
             fresh: true,
+            class,
         })
         .collect();
     let mut sim = Simulator::new(g, nodes, seed)?;
+    if let Some(pc) = profile {
+        sim = sim.with_profile(pc);
+    }
     // Candidate values carry (weight, edge id); allow the wider encoding —
     // still O(log n) bits for polynomially bounded weights.
     let cfg = RunConfig {
@@ -99,7 +113,8 @@ pub(crate) fn min_flood(
     }
     .with_threads(threads);
     let metrics = sim.run(&cfg)?;
-    Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics))
+    let prof = sim.take_profile();
+    Ok((sim.nodes().iter().map(|p| p.value).collect(), metrics, prof))
 }
 
 /// Encodes a `(canonical weight, edge)` candidate as one orderable `u64`.
@@ -131,6 +146,25 @@ pub fn run(wg: &WeightedGraph, seed: u64) -> Result<CongestMstOutcome> {
 ///
 /// As [`run`].
 pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<CongestMstOutcome> {
+    let (out, _) = run_instrumented(wg, seed, threads, None)?;
+    Ok(out)
+}
+
+/// [`run_with`] with opt-in traffic profiling: when `profile` is set, the
+/// returned [`TrafficProfile`] accumulates every flood's traffic across
+/// iterations (candidate floods under [`class::MST_FLOOD`], label floods
+/// under [`class::MST_LABEL`]), with totals summing exactly to the
+/// outcome's message count. Profiling never changes the outcome.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_instrumented(
+    wg: &WeightedGraph,
+    seed: u64,
+    threads: usize,
+    profile: Option<ProfileConfig>,
+) -> Result<(CongestMstOutcome, Option<TrafficProfile>)> {
     let g = wg.graph();
     g.require_connected()?;
     let n = g.len();
@@ -147,6 +181,14 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
     let mut metrics = Metrics::default();
     let mut iterations = 0u32;
     let mut wall = PhaseTimings::new();
+    let mut total_profile: Option<TrafficProfile> = None;
+    let absorb = |total: &mut Option<TrafficProfile>, p: Option<TrafficProfile>, at: u64| {
+        if let Some(p) = p {
+            total
+                .get_or_insert_with(|| TrafficProfile::empty(p.edge_count()))
+                .absorb(&p, at);
+        }
+    };
     let cap = 2 * (n.max(2) as f64).log2().ceil() as u32 + 10;
 
     while comp.iter().collect::<HashSet<_>>().len() > 1 {
@@ -167,8 +209,18 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
                     .map_or(u64::MAX, |(e, _)| encode(wg, e))
             })
             .collect();
-        let (vals, m1) = min_flood(wg, &forest, &init, seed ^ u64::from(iterations), threads)?;
+        let at = metrics.rounds;
+        let (vals, m1, p1) = min_flood(
+            wg,
+            &forest,
+            &init,
+            seed ^ u64::from(iterations),
+            threads,
+            class::MST_FLOOD,
+            profile,
+        )?;
         metrics = metrics.then(m1);
+        absorb(&mut total_profile, p1, at);
         wall.record("candidate_flood", t0.elapsed());
 
         // Merge along every fragment's minimum outgoing edge.
@@ -199,27 +251,34 @@ pub fn run_with(wg: &WeightedGraph, seed: u64, threads: usize) -> Result<Congest
         // Flood new fragment labels (min node id) over the grown forest.
         let t0 = Instant::now();
         let label_init: Vec<u64> = (0..n as u64).collect();
-        let (labels, m2) = min_flood(
+        let at = metrics.rounds;
+        let (labels, m2, p2) = min_flood(
             wg,
             &forest,
             &label_init,
             seed ^ 0xF00D ^ u64::from(iterations),
             threads,
+            class::MST_LABEL,
+            profile,
         )?;
         metrics = metrics.then(m2);
+        absorb(&mut total_profile, p2, at);
         comp = labels;
         wall.record("label_flood", t0.elapsed());
     }
 
     tree_edges.sort_unstable();
-    Ok(CongestMstOutcome {
-        total_weight: wg.total_weight(&tree_edges),
-        tree_edges,
-        rounds: metrics.rounds,
-        iterations,
-        messages: metrics.messages,
-        wall,
-    })
+    Ok((
+        CongestMstOutcome {
+            total_weight: wg.total_weight(&tree_edges),
+            tree_edges,
+            rounds: metrics.rounds,
+            iterations,
+            messages: metrics.messages,
+            wall,
+        },
+        total_profile,
+    ))
 }
 
 #[cfg(test)]

@@ -26,8 +26,9 @@ use crate::congest_boruvka::{decode_edge, encode};
 use crate::reference::UnionFind;
 use crate::{MstError, Result};
 use amt_congest::{
-    bits_for_value, CongestError, Ctx, FaultKind, FaultPlan, Metrics, Protocol, Reliable,
-    ReliableLink, RunConfig, Simulator, StopCondition,
+    bits_for_value, class, CongestError, Ctx, FaultKind, FaultPlan, Metrics, ProfileConfig,
+    Protocol, Reliable, ReliableLink, RunConfig, RunTrace, Simulator, StopCondition, TraceConfig,
+    TrafficClass, TrafficProfile,
 };
 use amt_graphs::{EdgeId, NodeId, WeightedGraph};
 use std::collections::{HashMap, HashSet};
@@ -42,6 +43,9 @@ struct ReliableMinFlood {
     active_ports: Vec<usize>,
     value: u64,
     fresh: bool,
+    /// Global phase number of the healing run this flood executes, emitted
+    /// as an `"mst_phase"` span by every live node at phase start.
+    phase: u64,
 }
 
 impl ReliableMinFlood {
@@ -58,6 +62,7 @@ impl Protocol for ReliableMinFlood {
     fn init(&mut self, ctx: &mut Ctx<'_, Reliable<u64>>) {
         if self.fresh {
             self.fresh = false;
+            ctx.trace_event("mst_phase", self.phase);
             self.spread();
         }
         self.link.pump(ctx);
@@ -82,9 +87,44 @@ impl Protocol for ReliableMinFlood {
     }
 }
 
+/// Observability knobs and outputs of one healing phase — threaded through
+/// [`reliable_min_flood`] so the per-phase simulators can be traced and
+/// profiled without widening every return tuple.
+struct PhaseObs {
+    trace: Option<TraceConfig>,
+    profile: Option<ProfileConfig>,
+    traces: Vec<RunTrace>,
+    total_profile: Option<TrafficProfile>,
+}
+
+impl PhaseObs {
+    fn new(trace: Option<TraceConfig>, profile: Option<ProfileConfig>) -> Self {
+        PhaseObs {
+            trace,
+            profile,
+            traces: Vec::new(),
+            total_profile: None,
+        }
+    }
+
+    /// Collects one finished phase's trace/profile from `sim`, folding the
+    /// profile in at cumulative round offset `at`.
+    fn collect(&mut self, sim: &mut Simulator<'_, ReliableMinFlood>, at: u64) {
+        if let Some(t) = sim.take_trace() {
+            self.traces.push(t);
+        }
+        if let Some(p) = sim.take_profile() {
+            self.total_profile
+                .get_or_insert_with(|| TrafficProfile::empty(p.edge_count()))
+                .absorb(&p, at);
+        }
+    }
+}
+
 /// One reliable flooding phase over `active` forest edges, excluding dead
 /// nodes; returns converged values, metrics, and any *new* crashes the
-/// phase's slice of the fault schedule injected.
+/// phase's slice of the fault schedule injected. Data frames are attributed
+/// to `class`; `phase` is the global phase number for `"mst_phase"` spans.
 #[allow(clippy::too_many_arguments)]
 fn reliable_min_flood(
     wg: &WeightedGraph,
@@ -96,13 +136,17 @@ fn reliable_min_flood(
     elapsed: u64,
     crash_rounds: &mut HashMap<u32, u64>,
     threads: usize,
+    class: TrafficClass,
+    phase: u64,
+    obs: &mut PhaseObs,
+    rounds_so_far: u64,
 ) -> Result<(Vec<u64>, Metrics, Vec<NodeId>)> {
     let g = wg.graph();
     let timeout = 4 + 2 * plan.max_delay;
     let nodes = g
         .nodes()
         .map(|v| ReliableMinFlood {
-            link: ReliableLink::new(g.degree(v), timeout, 8),
+            link: ReliableLink::new(g.degree(v), timeout, 8).with_payload_class(class),
             active_ports: g
                 .neighbors(v)
                 .enumerate()
@@ -111,6 +155,7 @@ fn reliable_min_flood(
                 .collect(),
             value: init[v.index()],
             fresh: !dead[v.index()],
+            phase,
         })
         .collect();
     // This phase sees the tail of the global fault schedule: already-dead
@@ -126,6 +171,12 @@ fn reliable_min_flood(
         };
     }
     let mut sim = Simulator::new(g, nodes, seed)?.with_fault_plan(phase_plan);
+    if let Some(tc) = obs.trace {
+        sim = sim.with_trace(tc);
+    }
+    if let Some(pc) = obs.profile {
+        sim = sim.with_profile(pc);
+    }
     let cfg = RunConfig {
         stop: StopCondition::AllDone,
         budget_factor: 32,
@@ -133,6 +184,7 @@ fn reliable_min_flood(
         threads,
     };
     let metrics = sim.run(&cfg)?;
+    obs.collect(&mut sim, rounds_so_far);
     for e in sim.fault_events() {
         if matches!(e.kind, FaultKind::Crashed) {
             crash_rounds.entry(e.node.0).or_insert(elapsed + e.round);
@@ -196,6 +248,29 @@ pub fn run_healing_with(
     plan: FaultPlan,
     threads: usize,
 ) -> Result<HealedMstOutcome> {
+    let (out, _, _) = run_healing_instrumented(wg, seed, plan, threads, None, None)?;
+    Ok(out)
+}
+
+/// [`run_healing_with`] with opt-in observability: when `trace` is set,
+/// returns one [`RunTrace`] per flooding phase (phase starts appear as
+/// `"mst_phase"` span events carrying the global phase number); when
+/// `profile` is set, returns a [`TrafficProfile`] accumulated across all
+/// phases — candidate floods under [`class::MST_FLOOD`], label floods under
+/// [`class::MST_LABEL`], plus the ARQ sublayer's [`class::REL_ACK`] /
+/// [`class::REL_RETRANSMIT`] overhead. Neither changes the outcome.
+///
+/// # Errors
+///
+/// Same as [`run_healing`].
+pub fn run_healing_instrumented(
+    wg: &WeightedGraph,
+    seed: u64,
+    plan: FaultPlan,
+    threads: usize,
+    trace: Option<TraceConfig>,
+    profile: Option<ProfileConfig>,
+) -> Result<(HealedMstOutcome, Vec<RunTrace>, Option<TrafficProfile>)> {
     let g = wg.graph();
     g.require_connected()?;
     let n = g.len();
@@ -218,6 +293,8 @@ pub fn run_healing_with(
     let mut crash_rounds: HashMap<u32, u64> = HashMap::new();
     let mut elapsed = 0u64;
     let mut labels_stale = false;
+    let mut obs = PhaseObs::new(trace, profile);
+    let mut phase = 0u64;
     // Restarts re-run phases, so budget them on top of the usual cap.
     let cap = 2 * (n.max(2) as f64).log2().ceil() as u32 + 10 + 2 * plan.crashes.len() as u32;
 
@@ -269,6 +346,7 @@ pub fn run_healing_with(
             // Phase restart: re-establish fragment labels on the pruned
             // forest before resuming Borůvka.
             let label_init: Vec<u64> = (0..n as u64).collect();
+            phase += 1;
             let (labels, m, crashes) = reliable_min_flood(
                 wg,
                 &forest,
@@ -279,6 +357,10 @@ pub fn run_healing_with(
                 elapsed,
                 &mut crash_rounds,
                 threads,
+                class::MST_LABEL,
+                phase,
+                &mut obs,
+                metrics.rounds,
             )?;
             elapsed += m.rounds;
             metrics = metrics.then(m);
@@ -324,6 +406,7 @@ pub fn run_healing_with(
                 .map_or(NO_CANDIDATE, |(e, _)| encode(wg, e))
             })
             .collect();
+        phase += 1;
         let (vals, m1, crashes) = reliable_min_flood(
             wg,
             &forest,
@@ -334,6 +417,10 @@ pub fn run_healing_with(
             elapsed,
             &mut crash_rounds,
             threads,
+            class::MST_FLOOD,
+            phase,
+            &mut obs,
+            metrics.rounds,
         )?;
         elapsed += m1.rounds;
         metrics = metrics.then(m1);
@@ -379,6 +466,7 @@ pub fn run_healing_with(
 
         // Flood the new fragment labels (minimum surviving node id).
         let label_init: Vec<u64> = (0..n as u64).collect();
+        phase += 1;
         let (labels, m2, crashes) = reliable_min_flood(
             wg,
             &forest,
@@ -389,6 +477,10 @@ pub fn run_healing_with(
             elapsed,
             &mut crash_rounds,
             threads,
+            class::MST_LABEL,
+            phase,
+            &mut obs,
+            metrics.rounds,
         )?;
         elapsed += m2.rounds;
         metrics = metrics.then(m2);
@@ -409,15 +501,19 @@ pub fn run_healing_with(
 
     metrics.crashed = dead.iter().filter(|&&d| d).count() as u64;
     tree_edges.sort_unstable();
-    Ok(HealedMstOutcome {
-        total_weight: wg.total_weight(&tree_edges),
-        tree_edges,
-        rounds: metrics.rounds,
-        iterations,
-        phase_restarts,
-        crashed_nodes: (0..n).filter(|&v| dead[v]).map(NodeId::from).collect(),
-        metrics,
-    })
+    Ok((
+        HealedMstOutcome {
+            total_weight: wg.total_weight(&tree_edges),
+            tree_edges,
+            rounds: metrics.rounds,
+            iterations,
+            phase_restarts,
+            crashed_nodes: (0..n).filter(|&v| dead[v]).map(NodeId::from).collect(),
+            metrics,
+        },
+        obs.traces,
+        obs.total_profile,
+    ))
 }
 
 #[cfg(test)]

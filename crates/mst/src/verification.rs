@@ -69,7 +69,15 @@ pub fn verify_spanning_tree_distributed(
     let shim =
         amt_graphs::WeightedGraph::new(g.clone(), vec![1; g.edge_count()]).expect("lengths match");
     let init: Vec<u64> = (0..n as u64).collect();
-    let (labels, m1) = crate::congest_boruvka::min_flood(&shim, &claimed_set, &init, seed, 0)?;
+    let (labels, m1, _) = crate::congest_boruvka::min_flood(
+        &shim,
+        &claimed_set,
+        &init,
+        seed,
+        0,
+        amt_congest::class::MST_LABEL,
+        None,
+    )?;
     metrics = metrics.then(m1);
 
     // (b) Global aggregates over a BFS tree: claimed-edge count (each node

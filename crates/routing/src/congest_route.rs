@@ -1,0 +1,349 @@
+//! Valiant two-phase bit-fix routing executed in the CONGEST simulator.
+//!
+//! The hierarchical router in [`crate::HierarchicalRouter`] *accounts* its
+//! rounds through the emulation layers; this module *executes* a permutation
+//! routing workload as a real message-passing protocol so its congestion can
+//! be measured edge by edge and attributed per traffic class.
+//!
+//! The topology is the `d`-dimensional hypercube and the algorithm is the
+//! classic Valiant trick: every packet first routes to a uniformly random
+//! intermediate node (phase 1 — the distributed analogue of the paper's
+//! *preparation step*, which redistributes packets before the real
+//! delivery), then bit-fix routes from the intermediate to its true
+//! destination (phase 2). Bit-fixing corrects the lowest differing
+//! dimension first, so each hop is a deterministic function of the packet's
+//! current position and target. Randomizing the midpoint is what defeats
+//! worst-case permutations: both phases are then random routes, and the
+//! expected per-edge load stays `O(requests / n)`.
+//!
+//! Traffic attribution: phase-1 hops (to the random intermediate) are
+//! tagged [`class::ROUTE_PORTAL`] — detour traffic whose only job is
+//! redistribution, like portal forwarding in the hierarchy — and phase-2
+//! hops (toward the real destination) are tagged
+//! [`class::ROUTE_PAYLOAD`]. The profiler can then separate the
+//! redistribution tax from the payload delivery exactly.
+
+use crate::{Result, RouteError};
+use amt_congest::{
+    bits_for_count, class, Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator,
+    StopCondition, TrafficClass, TrafficProfile,
+};
+use amt_graphs::{Graph, NodeId};
+use rand::RngExt;
+use std::collections::VecDeque;
+
+/// One packet in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Packet {
+    /// Request index (for endpoint bookkeeping).
+    id: u32,
+    /// Random intermediate of the Valiant detour.
+    via: u32,
+    /// Final destination node id.
+    dest: u32,
+    /// `false` while heading to `via` (phase 1), `true` afterwards.
+    payload_phase: bool,
+}
+
+impl amt_congest::CongestMessage for Packet {
+    fn bit_width(&self) -> usize {
+        // id + via + dest + phase bit.
+        bits_for_count(self.id as usize + 2)
+            + 2 * bits_for_count(self.dest.max(self.via) as usize + 2)
+            + 1
+    }
+}
+
+/// Per-node bit-fix router state.
+struct RouteNode {
+    /// This node's id (hypercube coordinates).
+    id: u32,
+    /// Port carrying dimension `k` (neighbor `id ^ (1 << k)`).
+    port_for_dim: Vec<usize>,
+    /// Outgoing FIFO queue per port.
+    port_queue: Vec<VecDeque<Packet>>,
+    /// Packets delivered here.
+    arrived: Vec<Packet>,
+    /// Packets injected at this node at round 0: `(request id, dest)`.
+    sources: Vec<(u32, u32)>,
+    /// Number of hypercube dimensions.
+    dims: u32,
+}
+
+impl RouteNode {
+    /// Advances `p` from this node: flips phases at the intermediate,
+    /// absorbs arrivals, and queues the packet on the port fixing its
+    /// lowest differing dimension.
+    fn route(&mut self, mut p: Packet) {
+        if !p.payload_phase && p.via == self.id {
+            p.payload_phase = true;
+        }
+        let target = if p.payload_phase { p.dest } else { p.via };
+        if target == self.id {
+            debug_assert!(p.payload_phase);
+            self.arrived.push(p);
+            return;
+        }
+        let dim = (target ^ self.id).trailing_zeros();
+        debug_assert!(dim < self.dims);
+        self.port_queue[self.port_for_dim[dim as usize]].push_back(p);
+    }
+}
+
+impl Protocol for RouteNode {
+    type Message = Packet;
+
+    const TRAFFIC_CLASS: TrafficClass = class::ROUTE_PAYLOAD;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        let n = 1u32 << self.dims;
+        let sources: Vec<(u32, u32)> = self.sources.drain(..).collect();
+        for (id, dest) in sources {
+            // The random midpoint comes from this node's private stream, so
+            // the choice is deterministic per (run seed, source, order).
+            let via = ctx.rng().random_range(0..n);
+            self.route(Packet {
+                id,
+                via,
+                dest,
+                payload_phase: false,
+            });
+        }
+        self.pump(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[(usize, Packet)]) {
+        for &(_, p) in inbox {
+            self.route(p);
+        }
+        self.pump(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.port_queue.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl RouteNode {
+    /// Sends at most one queued packet per port (the CONGEST constraint),
+    /// classing each hop by its phase.
+    fn pump(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        for port in 0..self.port_queue.len() {
+            if let Some(p) = self.port_queue[port].pop_front() {
+                let cls = if p.payload_phase {
+                    class::ROUTE_PAYLOAD
+                } else {
+                    class::ROUTE_PORTAL
+                };
+                ctx.send_classed(port, p, cls);
+            }
+        }
+    }
+}
+
+/// Outcome of a CONGEST bit-fix routing execution.
+#[derive(Clone, Debug)]
+pub struct CongestRouteOutcome {
+    /// Node at which each request's packet arrived — always its requested
+    /// destination (asserted).
+    pub endpoints: Vec<NodeId>,
+    /// Measured simulator metrics (rounds, messages, per-edge congestion).
+    pub metrics: Metrics,
+}
+
+/// Maps each hypercube dimension to the port carrying it, or fails if `g`
+/// is not a hypercube with node ids as coordinates.
+fn hypercube_ports(g: &Graph) -> Result<Vec<Vec<usize>>> {
+    let n = g.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(RouteError::NotHypercube { n });
+    }
+    let dims = n.trailing_zeros() as usize;
+    let mut ports = Vec::with_capacity(n);
+    for v in g.nodes() {
+        if g.degree(v) != dims {
+            return Err(RouteError::NotHypercube { n });
+        }
+        let mut port_for_dim = vec![usize::MAX; dims];
+        for (port, (w, _)) in g.neighbors(v).enumerate() {
+            let diff = v.0 ^ w.0;
+            if diff.count_ones() != 1 {
+                return Err(RouteError::NotHypercube { n });
+            }
+            port_for_dim[diff.trailing_zeros() as usize] = port;
+        }
+        if port_for_dim.contains(&usize::MAX) {
+            return Err(RouteError::NotHypercube { n });
+        }
+        ports.push(port_for_dim);
+    }
+    Ok(ports)
+}
+
+/// Routes `requests` over the hypercube `g` by Valiant two-phase bit-fixing
+/// in the CONGEST simulator.
+///
+/// # Errors
+///
+/// [`RouteError::NotHypercube`] when `g` is not a hypercube,
+/// [`RouteError::BadRequest`] on out-of-range endpoints, and
+/// [`RouteError::Congest`] on simulator violations.
+pub fn route_bitfix(
+    g: &Graph,
+    requests: &[(NodeId, NodeId)],
+    seed: u64,
+) -> Result<CongestRouteOutcome> {
+    let (out, _) = route_bitfix_instrumented(g, requests, seed, 0, None)?;
+    Ok(out)
+}
+
+/// [`route_bitfix`] with an explicit simulator worker-thread count (`0` =
+/// auto) and opt-in traffic profiling. When `profile` is set, the returned
+/// [`TrafficProfile`] splits the run into [`class::ROUTE_PORTAL`]
+/// (phase-1 detour hops) and [`class::ROUTE_PAYLOAD`] (phase-2 delivery
+/// hops), with totals summing exactly to the outcome's metrics. The
+/// outcome is byte-identical for every `threads` value and whether or not
+/// profiling is on.
+///
+/// # Errors
+///
+/// As [`route_bitfix`].
+pub fn route_bitfix_instrumented(
+    g: &Graph,
+    requests: &[(NodeId, NodeId)],
+    seed: u64,
+    threads: usize,
+    profile: Option<ProfileConfig>,
+) -> Result<(CongestRouteOutcome, Option<TrafficProfile>)> {
+    let n = g.len();
+    let ports = hypercube_ports(g)?;
+    let dims = n.trailing_zeros();
+    for &(s, t) in requests {
+        if s.index() >= n || t.index() >= n {
+            return Err(RouteError::BadRequest {
+                node: s.index().max(t.index()),
+                n,
+            });
+        }
+    }
+    let mut sources: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for (i, &(s, t)) in requests.iter().enumerate() {
+        sources[s.index()].push((i as u32, t.0));
+    }
+    let nodes: Vec<RouteNode> = g
+        .nodes()
+        .zip(ports)
+        .map(|(v, port_for_dim)| RouteNode {
+            id: v.0,
+            port_for_dim,
+            port_queue: vec![VecDeque::new(); g.degree(v)],
+            arrived: Vec::new(),
+            sources: std::mem::take(&mut sources[v.index()]),
+            dims,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, seed)?;
+    if let Some(pc) = profile {
+        sim = sim.with_profile(pc);
+    }
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    }
+    .with_threads(threads);
+    let metrics = sim.run(&cfg)?;
+    let prof = sim.take_profile();
+    let mut endpoints = vec![NodeId(0); requests.len()];
+    let mut delivered = 0usize;
+    for (v, node) in sim.nodes().iter().enumerate() {
+        for p in &node.arrived {
+            assert_eq!(
+                p.dest as usize, v,
+                "bit-fix must deliver to the destination"
+            );
+            endpoints[p.id as usize] = NodeId::from(v);
+            delivered += 1;
+        }
+    }
+    if delivered != requests.len() {
+        return Err(RouteError::Undelivered {
+            count: requests.len() - delivered,
+        });
+    }
+    Ok((CongestRouteOutcome { endpoints, metrics }, prof))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt_graphs::generators;
+
+    fn shift_permutation(n: u32, k: u32) -> Vec<(NodeId, NodeId)> {
+        (0..n).map(|i| (NodeId(i), NodeId((i + k) % n))).collect()
+    }
+
+    #[test]
+    fn every_packet_reaches_its_destination() {
+        let g = generators::hypercube(5);
+        let reqs = shift_permutation(32, 7);
+        let out = route_bitfix(&g, &reqs, 3).unwrap();
+        for (i, &(_, t)) in reqs.iter().enumerate() {
+            assert_eq!(out.endpoints[i], t);
+        }
+        assert!(out.metrics.rounds >= 5, "cross-cube packets take ≥ d hops");
+    }
+
+    #[test]
+    fn profile_splits_portal_from_payload_and_sums_exactly() {
+        let g = generators::hypercube(4);
+        let reqs = shift_permutation(16, 5);
+        let (out, prof) =
+            route_bitfix_instrumented(&g, &reqs, 9, 0, Some(ProfileConfig::default())).unwrap();
+        let prof = prof.unwrap();
+        assert_eq!(prof.total_messages(), out.metrics.messages);
+        assert_eq!(prof.total_bits(), out.metrics.bits);
+        assert!(prof.stats(class::ROUTE_PORTAL).is_some());
+        assert!(prof.stats(class::ROUTE_PAYLOAD).is_some());
+        // Profiling must not change the run.
+        let plain = route_bitfix(&g, &reqs, 9).unwrap();
+        assert_eq!(plain.metrics, out.metrics);
+        assert_eq!(plain.endpoints, out.endpoints);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = generators::hypercube(6);
+        let reqs = shift_permutation(64, 13);
+        let a = route_bitfix_instrumented(&g, &reqs, 4, 1, Some(ProfileConfig::default())).unwrap();
+        let b = route_bitfix_instrumented(&g, &reqs, 4, 4, Some(ProfileConfig::default())).unwrap();
+        assert_eq!(a.0.endpoints, b.0.endpoints);
+        assert_eq!(a.0.metrics, b.0.metrics);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn rejects_non_hypercubes_and_bad_requests() {
+        let ring = generators::ring(8);
+        assert!(matches!(
+            route_bitfix(&ring, &[], 0),
+            Err(RouteError::NotHypercube { n: 8 })
+        ));
+        let g = generators::hypercube(3);
+        let bad = vec![(NodeId(0), NodeId(64))];
+        assert!(matches!(
+            route_bitfix(&g, &bad, 0),
+            Err(RouteError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn self_requests_arrive_without_leaving_phase_one_detour() {
+        // A self-request still takes the Valiant detour (via a random
+        // intermediate) unless the midpoint happens to be the source; either
+        // way it must come home.
+        let g = generators::hypercube(3);
+        let reqs = vec![(NodeId(5), NodeId(5)); 4];
+        let out = route_bitfix(&g, &reqs, 2).unwrap();
+        assert!(out.endpoints.iter().all(|&e| e == NodeId(5)));
+    }
+}

@@ -28,6 +28,14 @@ pub enum RouteError {
         /// Number of undelivered packets.
         count: usize,
     },
+    /// The bit-fix router requires a hypercube topology and the graph is
+    /// not one.
+    NotHypercube {
+        /// Number of nodes in the offending graph.
+        n: usize,
+    },
+    /// The underlying CONGEST simulation failed.
+    Congest(amt_congest::CongestError),
 }
 
 impl fmt::Display for RouteError {
@@ -45,11 +53,21 @@ impl fmt::Display for RouteError {
             RouteError::Undelivered { count } => {
                 write!(f, "{count} packets undeliverable on this hierarchy")
             }
+            RouteError::NotHypercube { n } => {
+                write!(f, "bit-fix routing requires a hypercube; got {n} nodes")
+            }
+            RouteError::Congest(e) => write!(f, "CONGEST simulation failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for RouteError {}
+
+impl From<amt_congest::CongestError> for RouteError {
+    fn from(e: amt_congest::CongestError) -> Self {
+        RouteError::Congest(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -29,8 +29,10 @@ mod outcome;
 
 pub mod baseline;
 pub mod clique;
+pub mod congest_route;
 pub mod lenzen;
 
+pub use congest_route::{route_bitfix, route_bitfix_instrumented, CongestRouteOutcome};
 pub use error::RouteError;
 pub use hierarchical::{EmulationMode, HierarchicalRouter, RouterConfig};
 pub use outcome::RoutingOutcome;

@@ -17,7 +17,8 @@
 
 use crate::{WalkKind, WalkSpec};
 use amt_congest::{
-    bits_for_count, CongestError, Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition,
+    bits_for_count, class, CongestError, Ctx, Metrics, Protocol, RunConfig, Simulator,
+    StopCondition, TrafficClass,
 };
 use amt_graphs::{Graph, NodeId};
 use rand::RngExt;
@@ -87,6 +88,8 @@ struct WalkProtocol {
 
 impl Protocol for WalkProtocol {
     type Message = Token;
+
+    const TRAFFIC_CLASS: TrafficClass = class::WALK_TOKEN;
 
     fn init(&mut self, ctx: &mut Ctx<'_, Token>) {
         self.tick(ctx);

@@ -27,8 +27,8 @@
 
 use crate::{WalkKind, WalkSpec};
 use amt_congest::{
-    CongestError, CongestMessage, Ctx, FaultPlan, Metrics, Protocol, RunConfig, Simulator,
-    StopCondition,
+    class, CongestError, CongestMessage, Ctx, FaultPlan, Metrics, ProfileConfig, Protocol,
+    RunConfig, RunTrace, Simulator, StopCondition, TraceConfig, TrafficClass, TrafficProfile,
 };
 use amt_graphs::{Graph, NodeId};
 use rand::RngExt;
@@ -129,6 +129,8 @@ struct HealNode {
     kind: WalkKind,
     timeout: u64,
     max_attempts: u32,
+    /// Which re-issue epoch this node is executing (0 = first attempt).
+    epoch: u32,
 }
 
 impl HealNode {
@@ -171,7 +173,7 @@ impl HealNode {
         let round = ctx.round();
         for port in 0..self.degree {
             if let Some((walk, left)) = self.ack_queue[port].pop_front() {
-                ctx.send(port, HealMsg::Ack { walk, left });
+                ctx.send_classed(port, HealMsg::Ack { walk, left }, class::WALK_CUSTODY);
                 continue;
             }
             if let Some(f) = &mut self.inflight[port] {
@@ -189,12 +191,13 @@ impl HealNode {
                 }
                 f.attempts += 1;
                 f.next_retry = round + (self.timeout << (f.attempts - 1).min(4));
-                ctx.send(
+                ctx.send_classed(
                     port,
                     HealMsg::Token {
                         walk: f.walk,
                         left: f.left,
                     },
+                    class::WALK_RETRANSMIT,
                 );
                 continue;
             }
@@ -212,7 +215,7 @@ impl HealNode {
                     next_retry: round + self.timeout,
                     attempts: 1,
                 });
-                ctx.send(port, HealMsg::Token { walk, left });
+                ctx.send_classed(port, HealMsg::Token { walk, left }, class::WALK_TOKEN);
             }
         }
     }
@@ -225,7 +228,17 @@ struct HealProtocol {
 impl Protocol for HealProtocol {
     type Message = HealMsg;
 
+    const TRAFFIC_CLASS: TrafficClass = class::WALK_TOKEN;
+
     fn init(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
+        // Walks resident here at the start of a re-issue epoch were lost to
+        // a carrier crash and restart from scratch; mark each one in the
+        // trace so epoch recovery is observable.
+        if self.node.epoch > 0 {
+            for &(walk, _) in &self.node.ready {
+                ctx.trace_event("walk_epoch_reissue", u64::from(walk));
+            }
+        }
         self.tick(ctx);
     }
 
@@ -333,6 +346,32 @@ pub fn run_walks_healing_threaded(
     plan: FaultPlan,
     threads: usize,
 ) -> Result<HealedWalkRun, CongestError> {
+    let (run, _, _) =
+        run_walks_healing_instrumented(g, kind, specs, seed, plan, threads, None, None)?;
+    Ok(run)
+}
+
+/// [`run_walks_healing_threaded`] with opt-in observability: when `trace`
+/// is set, returns one [`RunTrace`] per executed epoch (epoch re-issues
+/// appear as `"walk_epoch_reissue"` events); when `profile` is set, returns
+/// a single [`TrafficProfile`] accumulated across epochs whose per-class
+/// totals sum exactly to the run's [`Metrics`]. Both are `None`-cost when
+/// off and never change results — the simulator's observability contract.
+///
+/// # Errors
+///
+/// Propagates simulator violations and fault-plan validation errors.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_walks_healing_instrumented(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    seed: u64,
+    plan: FaultPlan,
+    threads: usize,
+    trace: Option<TraceConfig>,
+    profile: Option<ProfileConfig>,
+) -> Result<(HealedWalkRun, Vec<RunTrace>, Option<TrafficProfile>), CongestError> {
     assert!(specs.len() < 1 << 16, "wire format carries 16-bit walk ids");
     plan.validate(g.len())?;
     let delta = g.max_degree();
@@ -349,6 +388,8 @@ pub fn run_walks_healing_threaded(
     let mut reissued = 0u64;
     let mut rerouted = 0u64;
     let mut epochs = 0u32;
+    let mut traces: Vec<RunTrace> = Vec::new();
+    let mut total_profile: Option<TrafficProfile> = None;
     let mut crashed: Vec<bool> = vec![false; g.len()];
     // Walks still owed an endpoint, re-issued each epoch from the start.
     let mut pending: Vec<u32> = (0..specs.len() as u32)
@@ -387,6 +428,7 @@ pub fn run_walks_healing_threaded(
                     kind,
                     timeout,
                     max_attempts,
+                    epoch,
                 },
             })
             .collect();
@@ -406,13 +448,29 @@ pub fn run_walks_healing_threaded(
         };
         let mut sim =
             Simulator::new(g, nodes, seed ^ u64::from(epoch))?.with_fault_plan(epoch_plan);
+        if let Some(tc) = trace {
+            sim = sim.with_trace(tc);
+        }
+        if let Some(pc) = profile {
+            sim = sim.with_profile(pc);
+        }
         let cfg = RunConfig {
             stop: StopCondition::AllDone,
             budget_factor: 16,
             max_rounds: 500_000,
             threads,
         };
+        let round_offset = metrics.rounds;
         metrics = metrics.then(sim.run(&cfg)?);
+        if let Some(t) = sim.take_trace() {
+            traces.push(t);
+        }
+        if let Some(p) = sim.take_profile() {
+            match total_profile.as_mut() {
+                Some(tp) => tp.absorb(&p, round_offset),
+                None => total_profile = Some(p),
+            }
+        }
         for v in sim.crashed_nodes() {
             crashed[v.index()] = true;
         }
@@ -434,13 +492,17 @@ pub fn run_walks_healing_threaded(
     // crash-stop permanent; count each node once, not once per epoch.
     metrics.crashed = crashed.iter().filter(|&&c| c).count() as u64;
 
-    Ok(HealedWalkRun {
-        endpoints,
-        metrics,
-        epochs,
-        reissued,
-        rerouted,
-    })
+    Ok((
+        HealedWalkRun {
+            endpoints,
+            metrics,
+            epochs,
+            reissued,
+            rerouted,
+        },
+        traces,
+        total_profile,
+    ))
 }
 
 #[cfg(test)]

@@ -6,8 +6,10 @@
 //! simulator workload and for both self-healing protocols (walks and
 //! Borůvka MST).
 
-use amt_core::congest::{Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition};
-use amt_core::mst::run_healing_with;
+use amt_core::congest::{
+    Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition, TrafficProfile,
+};
+use amt_core::mst::{run_healing_instrumented, run_healing_with};
 use amt_core::prelude::*;
 use amt_core::walks::parallel::degree_proportional_specs;
 use amt_core::walks::run_walks_healing_threaded;
@@ -95,6 +97,53 @@ fn chatter_run(
     )
 }
 
+/// `chatter_run` with traffic profiling enabled; additionally returns the
+/// profile and the simulator's final per-edge load vector.
+#[allow(clippy::type_complexity)]
+fn profiled_chatter_run(
+    g: &Graph,
+    plan: &FaultPlan,
+    threads: usize,
+    reverse: bool,
+) -> (
+    (Metrics, Vec<FaultEvent>, Vec<NodeId>, Vec<u64>),
+    TrafficProfile,
+    Vec<u64>,
+) {
+    let nodes = (0..g.len())
+        .map(|_| Chatter {
+            rounds_left: 30,
+            checksum: 0,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, 17)
+        .unwrap()
+        .with_fault_plan(plan.clone())
+        .with_profile(ProfileConfig::default());
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    }
+    .with_threads(threads);
+    let metrics = if reverse {
+        sim.run_reverse_visit(&cfg).unwrap()
+    } else {
+        sim.run(&cfg).unwrap()
+    };
+    let checksums = sim.nodes().iter().map(|c| c.checksum).collect();
+    let loads = sim.edge_load().to_vec();
+    (
+        (
+            metrics,
+            sim.fault_events().to_vec(),
+            sim.crashed_nodes(),
+            checksums,
+        ),
+        sim.take_profile().unwrap(),
+        loads,
+    )
+}
+
 #[test]
 fn faulty_sim_runs_are_identical_across_threads_and_visit_order() {
     let mut rng = StdRng::seed_from_u64(61);
@@ -125,6 +174,51 @@ fn faulty_sim_runs_are_identical_across_threads_and_visit_order() {
             baseline,
             "threads {t}: faulty run diverged"
         );
+    }
+}
+
+/// Profiler determinism on the faulty path: per-class totals account for
+/// exactly the delivered traffic in `Metrics` and the per-edge loads, the
+/// profile is byte-identical across thread counts and under node-visit-order
+/// reversal, and enabling profiling does not perturb the faulty run.
+#[test]
+fn faulty_profile_sums_exactly_and_survives_threads_and_visit_order() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let g = generators::random_regular(64, 6, &mut rng).unwrap();
+    let plan = FaultPlan::none()
+        .seeded(23)
+        .with_drops(0.05)
+        .with_corruption(0.03)
+        .with_delays(0.1, 3)
+        .with_crash(NodeId(5), 4);
+
+    let (run, profile, loads) = profiled_chatter_run(&g, &plan, 1, false);
+    assert!(run.0.message_faults() > 0, "the plan must actually fire");
+
+    // Exact attribution even with drops/corruption/delays/crashes in play:
+    // the profiler counts precisely what the metrics count — delivered
+    // frames at their delivered widths.
+    assert_eq!(profile.total_messages(), run.0.messages);
+    assert_eq!(profile.total_bits(), run.0.bits);
+    assert_eq!(profile.edge_messages_total(), loads);
+
+    // Profiling off ⇒ the run itself is byte-identical.
+    assert_eq!(
+        chatter_run(&g, &plan, 1, false),
+        run,
+        "enabling the profiler changed the faulty run"
+    );
+
+    // Visit-order reversal and every thread count reproduce the profile.
+    let (run_rev, profile_rev, loads_rev) = profiled_chatter_run(&g, &plan, 1, true);
+    assert_eq!(run_rev, run, "visit-order reversal changed the run");
+    assert_eq!(profile_rev, profile, "visit-order reversal moved a class");
+    assert_eq!(loads_rev, loads);
+    for t in &THREADS[1..] {
+        let (run_t, profile_t, loads_t) = profiled_chatter_run(&g, &plan, *t, false);
+        assert_eq!(run_t, run, "threads {t}: faulty run diverged");
+        assert_eq!(profile_t, profile, "threads {t}: profile diverged");
+        assert_eq!(loads_t, loads, "threads {t}: edge loads diverged");
     }
 }
 
@@ -189,6 +283,52 @@ fn healing_boruvka_is_identical_across_thread_counts() {
         assert_eq!(
             run.metrics, baseline.metrics,
             "threads {t}: metrics (incl. fault counters) diverged"
+        );
+    }
+}
+
+/// Profiler determinism on the healing Borůvka path: the profile accumulated
+/// across all ARQ phases sums exactly to the outcome's accumulated metrics
+/// and is byte-identical across thread counts {1, 2, 4, 8}.
+#[test]
+fn healing_boruvka_profile_sums_exactly_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let g = generators::random_regular(48, 6, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g, 500, &mut rng);
+    let plan = FaultPlan::none()
+        .seeded(29)
+        .with_drops(0.05)
+        .with_corruption(0.02)
+        .with_crash(NodeId(11), 12);
+    let run = |threads| {
+        run_healing_instrumented(
+            &wg,
+            3,
+            plan.clone(),
+            threads,
+            None,
+            Some(ProfileConfig::default()),
+        )
+        .unwrap()
+    };
+    let (out, _, profile) = run(1);
+    let profile = profile.expect("profiling was enabled");
+    assert_eq!(profile.total_messages(), out.metrics.messages);
+    assert_eq!(profile.total_bits(), out.metrics.bits);
+
+    // Profiling must not perturb the healing run itself.
+    let plain = run_healing_with(&wg, 3, plan.clone(), 1).unwrap();
+    assert_eq!(plain.tree_edges, out.tree_edges);
+    assert_eq!(plain.metrics, out.metrics);
+
+    for t in &THREADS[1..] {
+        let (out_t, _, profile_t) = run(*t);
+        assert_eq!(out_t.tree_edges, out.tree_edges);
+        assert_eq!(out_t.metrics, out.metrics, "threads {t}: metrics diverged");
+        assert_eq!(
+            profile_t.as_ref(),
+            Some(&profile),
+            "threads {t}: profile diverged"
         );
     }
 }

@@ -3,7 +3,9 @@
 //! {1, 2, 4, 8} for the same seed, on the repo's real workloads (parallel
 //! walks, Boruvka MST) and a routing-style packet-forwarding protocol.
 
-use amt_core::congest::{Ctx, Metrics, Protocol, RunConfig, Simulator, StopCondition};
+use amt_core::congest::{
+    class, Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
+};
 use amt_core::mst::congest_boruvka;
 use amt_core::prelude::*;
 use amt_core::walks::congest_exec::run_walks_in_congest_threaded;
@@ -181,5 +183,102 @@ fn routing_runs_are_identical_across_thread_counts() {
             assert_eq!(mt, m1, "seed {seed}, threads {t}: metrics diverged");
             assert_eq!(st, s1, "seed {seed}, threads {t}: node state diverged");
         }
+    }
+}
+
+/// Traffic profiling on the clean paths: per-class totals sum exactly to
+/// the run's `Metrics` and per-edge loads, the profile is byte-identical
+/// across thread counts {1, 2, 4, 8}, and turning profiling on never
+/// changes the run itself.
+#[test]
+fn profiled_runs_sum_exactly_and_are_identical_across_thread_counts() {
+    let dim = 5;
+    let n = 1usize << dim;
+    let g = generators::hypercube(dim as u32);
+    let mk_nodes = |seed: u64| {
+        use rand::RngExt;
+        let mut wl = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        (0..n)
+            .map(|v| BitFixRouter {
+                me: v as u32,
+                packets: (0..3)
+                    .map(|_| wl.random_range(0..n as u64) as u32)
+                    .collect(),
+                delivered: 0,
+                checksum: 0,
+            })
+            .collect::<Vec<_>>()
+    };
+    let cfg = |threads| {
+        RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(threads)
+    };
+    let run_profiled = |threads: usize| {
+        let mut sim = Simulator::new(&g, mk_nodes(8), 8)
+            .unwrap()
+            .with_profile(ProfileConfig::default());
+        let m = sim.run(&cfg(threads)).unwrap();
+        let loads = sim.edge_load().to_vec();
+        (m, sim.take_profile().unwrap(), loads)
+    };
+    let (m, profile, loads) = run_profiled(1);
+
+    // Exact attribution: the per-class sums ARE the metrics totals.
+    assert_eq!(profile.total_messages(), m.messages);
+    assert_eq!(profile.total_bits(), m.bits);
+    assert_eq!(profile.edge_messages_total(), loads);
+    // This workload uses only plain `send`, so everything lands in the
+    // protocol's default class.
+    assert_eq!(profile.stats(class::DEFAULT).unwrap().messages, m.messages);
+
+    // Profiling off ⇒ byte-identical metrics and state.
+    let mut plain = Simulator::new(&g, mk_nodes(8), 8).unwrap();
+    let m_plain = plain.run(&cfg(1)).unwrap();
+    assert_eq!(m_plain, m, "profiling changed the run");
+    assert_eq!(plain.edge_load(), &loads[..]);
+
+    for t in &THREADS[1..] {
+        let (mt, pt, lt) = run_profiled(*t);
+        assert_eq!(mt, m, "threads {t}: metrics diverged");
+        assert_eq!(pt, profile, "threads {t}: profile diverged");
+        assert_eq!(lt, loads, "threads {t}: edge loads diverged");
+    }
+}
+
+/// Traffic profiling across a whole multi-simulator driver (clean Borůvka):
+/// the accumulated profile splits candidate from label floods, sums exactly
+/// to the outcome's message count, and is identical across thread counts.
+#[test]
+fn profiled_boruvka_accumulates_exactly_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let g = generators::connected_erdos_renyi(48, 0.12, 50, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g, 1000, &mut rng);
+    let run = |threads: usize| {
+        congest_boruvka::run_instrumented(&wg, 4, threads, Some(ProfileConfig::default())).unwrap()
+    };
+    let (out, profile) = run(1);
+    let profile = profile.expect("profiling was enabled");
+    assert_eq!(profile.total_messages(), out.messages);
+    assert!(profile.stats(class::MST_FLOOD).is_some());
+    assert!(profile.stats(class::MST_LABEL).is_some());
+
+    // Profiling must not perturb the outcome.
+    let plain = congest_boruvka::run_with(&wg, 4, 1).unwrap();
+    assert_eq!(plain.tree_edges, out.tree_edges);
+    assert_eq!(plain.rounds, out.rounds);
+    assert_eq!(plain.messages, out.messages);
+
+    for t in &THREADS[1..] {
+        let (out_t, profile_t) = run(*t);
+        assert_eq!(out_t.tree_edges, out.tree_edges);
+        assert_eq!(out_t.rounds, out.rounds, "threads {t}: rounds diverged");
+        assert_eq!(
+            profile_t.as_ref(),
+            Some(&profile),
+            "threads {t}: profile diverged"
+        );
     }
 }
