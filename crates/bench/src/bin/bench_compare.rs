@@ -6,9 +6,11 @@
 //! Compares every bench the baseline recorded:
 //!
 //! * **exact** — all `metrics.<bench>` counters (rounds, messages, bits,
-//!   max edge congestion, fault counters) and all
-//!   `profiles.<bench>.<class>` per-class totals must be identical: the
-//!   simulator is deterministic, so *any* drift is a behavior change;
+//!   max edge congestion, fault counters), all
+//!   `profiles.<bench>.<class>` per-class totals, and all
+//!   `recovery.<bench>` reconvergence statistics (span counts,
+//!   time-to-reconverge percentiles) must be identical: the simulator is
+//!   deterministic, so *any* drift is a behavior change;
 //! * **wall-clock** — `phase_timings.wall.<bench>` may regress by at most
 //!   the tolerance (default 25%). `--skip-wall` disables this check for
 //!   cross-machine comparisons (CI compares a committed baseline produced
@@ -97,7 +99,7 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
 
     // Deterministic counters: exact equality, baseline drives the key set.
-    for section in ["metrics", "profiles"] {
+    for section in ["metrics", "profiles", "recovery"] {
         let base = scalars(&baseline, section);
         let cand = scalars(&candidate, section);
         for (path, want) in &base {

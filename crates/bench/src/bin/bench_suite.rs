@@ -1,5 +1,5 @@
 //! Canonical bench suite: pinned configurations of the flagship runs,
-//! written as a single schema-v2 report for the regression gate.
+//! written as a single schema-v3 report for the regression gate.
 //!
 //! Runs, with fully pinned seeds (so every counter is deterministic):
 //!
@@ -9,20 +9,27 @@
 //!   routing on the n = 256 expander, plus the CONGEST-executed Valiant
 //!   bit-fix router on the dim-8 hypercube;
 //! * **e16 faulty walk** — 256 healing walks on the n = 1024, d = 8
-//!   expander under the e16 drop-0.05 / 2-crash plan.
+//!   expander under the e16 drop-0.05 / 2-crash plan;
+//! * **e17 churn tier** — the same three protocol families under a pinned
+//!   nontrivial [`ChurnPlan`] (link flaps plus a crash-restart): churned
+//!   healing walks, churned healing Borůvka, and the churned bit-fix
+//!   router. Each records a `recovery` section (damage spans and
+//!   time-to-reconverge percentiles) alongside the usual counters.
 //!
 //! Output: `experiments_out/BENCH_<git-describe>.json` (override the stem
 //! with a CLI argument, e.g. `bench_suite BENCH_baseline`) carrying rounds,
-//! messages, max edge congestion, wall-clock, and per-class totals for
-//! every bench. `bench_compare` diffs two such files and exits nonzero on
-//! drift.
+//! messages, max edge congestion, wall-clock, per-class totals, and
+//! recovery statistics for every bench. `bench_compare` diffs two such
+//! files and exits nonzero on drift.
 
 use amt_bench::{expander, report::git_describe, scaled_levels, Report};
 use amt_core::congest::{Metrics, PhaseTimings, ProfileConfig, TrafficProfile};
 use amt_core::mst::congest_boruvka;
 use amt_core::prelude::*;
-use amt_core::routing::route_bitfix_instrumented;
-use amt_core::walks::healing::run_walks_healing_instrumented;
+use amt_core::routing::{route_bitfix_churned_instrumented, route_bitfix_instrumented};
+use amt_core::walks::healing::{
+    run_walks_healing_churned_instrumented, run_walks_healing_instrumented,
+};
 use amt_core::walks::WalkSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -187,6 +194,95 @@ fn main() {
         .expect("valid plan");
         let wall = t0.elapsed();
         bench.record("e16_faulty_walk", &out.metrics, profile.as_ref(), wall);
+    }
+
+    // e17 churn tier: the pinned flap + crash-restart schedule. Every
+    // counter *and* the recovery timeline are deterministic, so the gate
+    // pins reconvergence behaviour, not just message counts.
+
+    // e17 churned walks: flapping links + one restarting node.
+    {
+        let g = expander(1024, 8, 16);
+        let n = g.len();
+        let specs: Vec<WalkSpec> = (0..128)
+            .map(|i| WalkSpec {
+                start: NodeId((i * 3 % n) as u32),
+                steps: 24,
+            })
+            .collect();
+        let plan = FaultPlan::none().seeded(21).with_drops(0.01);
+        let churn = ChurnPlan::none()
+            .seeded(21)
+            .with_flaps(0.05, 4)
+            .with_restart(NodeId(7), 6, 5);
+        let t0 = Instant::now();
+        let (out, _, profile) = run_walks_healing_churned_instrumented(
+            &g,
+            WalkKind::Lazy,
+            &specs,
+            21,
+            plan,
+            churn,
+            4,
+            None,
+            profile_cfg,
+        )
+        .expect("valid plans");
+        let wall = t0.elapsed();
+        bench.record("e17_churned_walk", &out.metrics, profile.as_ref(), wall);
+        bench.report.recovery("e17_churned_walk", &out.timeline);
+    }
+
+    // e17 churned MST: healing Borůvka through the same churn family.
+    {
+        let g = expander(256, 6, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let wg = WeightedGraph::with_random_weights(g, 1_000_000, &mut rng);
+        let plan = FaultPlan::none().seeded(9).with_drops(0.01);
+        let churn = ChurnPlan::none()
+            .seeded(33)
+            .with_flaps(0.05, 4)
+            .with_restart(NodeId(5), 3, 5);
+        let t0 = Instant::now();
+        let (out, _, profile) = amt_core::mst::healing::run_healing_churned_instrumented(
+            &wg,
+            17,
+            plan,
+            churn,
+            4,
+            None,
+            profile_cfg,
+        )
+        .expect("survivors stay connected");
+        let wall = t0.elapsed();
+        bench.record("e17_churned_mst", &out.metrics, profile.as_ref(), wall);
+        bench.report.recovery("e17_churned_mst", &out.timeline);
+    }
+
+    // e17 churned routing: bit-fix on the dim-8 hypercube with flapping
+    // links and a restarting node; lost packets re-inject across epochs.
+    {
+        let dim = 8u32;
+        let n = 1usize << dim;
+        let g = generators::hypercube(dim);
+        let reqs: Vec<(NodeId, NodeId)> = (0..n as u32)
+            .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+            .collect();
+        let churn = ChurnPlan::none()
+            .seeded(17)
+            .with_flaps(0.05, 3)
+            .with_restart(NodeId(6), 1, 4);
+        let t0 = Instant::now();
+        let (out, _, profile) =
+            route_bitfix_churned_instrumented(&g, &reqs, 12, churn, 4, None, profile_cfg)
+                .expect("hypercube");
+        let wall = t0.elapsed();
+        assert!(
+            out.undelivered.is_empty(),
+            "e17: flaps alone never isolate a destination for good"
+        );
+        bench.record("e17_churned_route", &out.metrics, profile.as_ref(), wall);
+        bench.report.recovery("e17_churned_route", &out.timeline);
     }
 
     let Bench { mut report, wall } = bench;

@@ -15,7 +15,7 @@
 //! validator can check *files on disk* — what CI consumes — rather than
 //! in-memory values that never saw the encoder.
 
-use amt_congest::{Metrics, PhaseTimings, RunTrace, TrafficProfile};
+use amt_congest::{Metrics, PhaseTimings, RecoveryTimeline, RunTrace, TrafficProfile};
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -27,7 +27,12 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 /// * **2** — adds the required `profiles` section: per-run traffic-class
 ///   totals (`profiles.<name>.<class>.{messages,bits}`) recorded with
 ///   [`Report::profile`].
-pub const SCHEMA_VERSION: u64 = 2;
+/// * **3** — adds the required `recovery` section: per-run recovery-SLO
+///   summaries of a [`RecoveryTimeline`]
+///   (`recovery.<name>.{spans,open,ttr_p50,ttr_p95,ttr_max}`) recorded
+///   with [`Report::recovery`]; `metrics.<name>` additionally carries the
+///   churn counters `lost_to_churn` and `restarts`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`validate`] still accepts; committed version-1
 /// artifacts stay valid (they simply predate the `profiles` section).
@@ -500,6 +505,31 @@ pub fn validate(root: &Json) -> Result<(), String> {
             }
         }
     }
+    if version >= 3 {
+        let Some(Json::Obj(recovery)) = root.get("recovery") else {
+            return Err("recovery must be an object (required from schema 3)".to_string());
+        };
+        for (name, entry) in recovery {
+            let Json::Obj(fields) = entry else {
+                return Err(format!("recovery.{name} must be an object"));
+            };
+            for key in ["spans", "open", "ttr_p50", "ttr_p95", "ttr_max"] {
+                match entry.get(key) {
+                    Some(Json::Num(v)) if *v >= 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "recovery.{name}.{key} must be a non-negative number"
+                        ))
+                    }
+                }
+            }
+            for (k, v) in fields {
+                if !matches!(v, Json::Num(_)) {
+                    return Err(format!("recovery.{name}.{k} must be a number"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -530,6 +560,7 @@ pub struct Report {
     phase_timings: Vec<(String, Json)>,
     timelines: Vec<(String, Json)>,
     profiles: Vec<(String, Json)>,
+    recovery: Vec<(String, Json)>,
 }
 
 impl Report {
@@ -546,6 +577,7 @@ impl Report {
             phase_timings: Vec::new(),
             timelines: Vec::new(),
             profiles: Vec::new(),
+            recovery: Vec::new(),
         }
     }
 
@@ -619,6 +651,8 @@ impl Report {
                 ("delayed".into(), m.delayed.into()),
                 ("lost_to_crash".into(), m.lost_to_crash.into()),
                 ("crashed".into(), m.crashed.into()),
+                ("lost_to_churn".into(), m.lost_to_churn.into()),
+                ("restarts".into(), m.restarts.into()),
             ]),
         ));
     }
@@ -680,6 +714,24 @@ impl Report {
         ));
     }
 
+    /// Records a named [`RecoveryTimeline`] as recovery-SLO scalars: closed
+    /// span count, spans still open at run end, and the nearest-rank
+    /// time-to-reconverge percentiles (the `recovery` section, schema
+    /// version 3).
+    pub fn recovery(&mut self, name: &str, t: &RecoveryTimeline) {
+        let ttr = t.time_to_reconverge();
+        self.recovery.push((
+            name.to_string(),
+            Json::Obj(vec![
+                ("spans".into(), t.spans().len().into()),
+                ("open".into(), t.open_count().into()),
+                ("ttr_p50".into(), ttr.p50.into()),
+                ("ttr_p95".into(), ttr.p95.into()),
+                ("ttr_max".into(), ttr.max.into()),
+            ]),
+        ));
+    }
+
     fn to_json(&self) -> Json {
         let created = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -731,6 +783,7 @@ impl Report {
             ),
             ("timelines".into(), Json::Obj(self.timelines.clone())),
             ("profiles".into(), Json::Obj(self.profiles.clone())),
+            ("recovery".into(), Json::Obj(self.recovery.clone())),
         ])
     }
 
@@ -810,6 +863,11 @@ mod tests {
             edge_bits: vec![20, 10],
         });
         r.profile("run", &tp);
+        let mut tl = RecoveryTimeline::new();
+        tl.record_damage(3);
+        tl.record_recovery(10);
+        tl.record_damage(20);
+        r.recovery("run", &tl);
         r
     }
 
@@ -838,6 +896,13 @@ mod tests {
             .expect("profiles section survives the round trip");
         assert_eq!(totals.get("messages"), Some(&Json::Num(3.0)));
         assert_eq!(totals.get("bits"), Some(&Json::Num(30.0)));
+        let rec = parsed
+            .get("recovery")
+            .and_then(|r| r.get("run"))
+            .expect("recovery section survives the round trip");
+        assert_eq!(rec.get("spans"), Some(&Json::Num(1.0)));
+        assert_eq!(rec.get("open"), Some(&Json::Num(1.0)));
+        assert_eq!(rec.get("ttr_max"), Some(&Json::Num(7.0)));
     }
 
     #[test]
@@ -850,7 +915,7 @@ mod tests {
         // A version-1 document legitimately has no profiles section.
         let mut v1: Vec<_> = pairs
             .iter()
-            .filter(|(k, _)| k != "profiles")
+            .filter(|(k, _)| k != "profiles" && k != "recovery")
             .cloned()
             .collect();
         v1[0].1 = Json::Num(1.0);
@@ -873,6 +938,40 @@ mod tests {
                 *v = Json::Obj(vec![(
                     "run".into(),
                     Json::Obj(vec![("walk/token".into(), "lots".into())]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(bad)).is_err());
+    }
+
+    #[test]
+    fn validator_is_version_aware_about_recovery() {
+        let good = sample_report().to_json();
+        let Json::Obj(pairs) = &good else {
+            unreachable!()
+        };
+
+        // A version-2 document legitimately has no recovery section.
+        let mut v2: Vec<_> = pairs
+            .iter()
+            .filter(|(k, _)| k != "recovery")
+            .cloned()
+            .collect();
+        v2[0].1 = Json::Num(2.0);
+        validate(&Json::Obj(v2.clone())).expect("v2 without recovery is valid");
+
+        // The same document claiming version 3 must carry the section.
+        let mut v3_missing = v2;
+        v3_missing[0].1 = Json::Num(3.0);
+        assert!(validate(&Json::Obj(v3_missing)).is_err());
+
+        // A recovery entry missing a required percentile is caught.
+        let mut bad = pairs.clone();
+        for (k, v) in &mut bad {
+            if k == "recovery" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![("spans".into(), 1u64.into())]),
                 )]);
             }
         }

@@ -1,0 +1,786 @@
+//! Deterministic topology churn for the simulator.
+//!
+//! Where [`crate::faults`] perturbs individual *messages*, a [`ChurnPlan`]
+//! perturbs the *topology itself* over time: edges go down and come back on
+//! per-edge schedules (explicit intervals, periodic outages, or
+//! Poisson-like flapping driven by a counter PRF), and nodes crash-*restart*
+//! — they go offline for a bounded number of rounds, lose their volatile
+//! state, and rejoin (see [`crate::Protocol::on_restart`]).
+//!
+//! The same determinism discipline as the fault layer applies, and for the
+//! same reason (the multi-threaded executor): every churn verdict is a pure
+//! function of `(churn seed, round, edge)` or `(plan, round, node)` —
+//! whether an edge is up in round `r` never depends on sampling order,
+//! thread count, or node-visit order. A trivial plan (see
+//! [`ChurnPlan::is_trivial`]) leaves every run bit-for-bit identical to a
+//! churn-free run.
+//!
+//! Churn semantics, applied at the coordinator's merge alongside fault
+//! sampling:
+//!
+//! * a message staged over a **down edge** is lost ([`Metrics::lost_to_churn`],
+//!   with a [`ChurnKind::MessageLost`] event);
+//! * a message whose **destination is offline** in the staging round is
+//!   lost the same way (its crash-restart loses the inbox anyway);
+//! * a fault-**delayed** message whose destination or edge is down when the
+//!   delay elapses is lost;
+//! * an **offline node** executes no protocol steps and counts as done; at
+//!   the first round after the outage the executor calls
+//!   [`crate::Protocol::on_restart`] instead of `round` so the protocol can
+//!   model state loss. The node's RNG stream survives the outage
+//!   (determinism: draws stay a function of `(seed, node, draw index)`).
+//!
+//! Protocols observe link state through [`crate::Ctx::link_up`] and route
+//! around dead edges; the healing drivers in `amt-walks` / `amt-mst` use
+//! epoch- and phase-level retry with capped exponential backoff on top.
+
+use amt_graphs::{EdgeId, NodeId};
+
+use crate::faults::{splitmix, unit};
+use crate::{CongestError, Metrics, Result};
+
+/// One explicit edge-outage schedule.
+///
+/// The edge is down in `[first_down, first_down + down_for)` and, when
+/// `period > 0`, again in every later window shifted by a multiple of
+/// `period`. `down_for == u64::MAX` with `period == 0` is a permanent cut
+/// from `first_down` on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeOutage {
+    /// The edge this schedule applies to.
+    pub edge: EdgeId,
+    /// First round (global clock, see [`ChurnPlan::round_offset`]) in which
+    /// the edge is down.
+    pub first_down: u64,
+    /// Rounds per outage (`u64::MAX` = never comes back).
+    pub down_for: u64,
+    /// Repetition period (`0` = a single outage).
+    pub period: u64,
+}
+
+/// One scheduled crash-restart: `node` goes offline at the start of
+/// `round`, stays down for `down_for` rounds, and rejoins with state loss
+/// at `round + down_for`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartEvent {
+    /// The node that restarts.
+    pub node: NodeId,
+    /// First round (global clock) of the outage.
+    pub round: u64,
+    /// Rounds offline (≥ 1).
+    pub down_for: u64,
+}
+
+/// Declarative topology-churn configuration for one simulator run.
+///
+/// Constructed with [`ChurnPlan::none`] plus the `with_*` builders; an
+/// all-zero plan is treated exactly like no plan at all. All schedules are
+/// expressed on a *global clock*: multi-phase drivers re-run the simulator
+/// with [`ChurnPlan::at_offset`] so the same plan describes one continuous
+/// timeline across epochs and phases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnPlan {
+    /// Seed of the churn PRF (independent of the protocol RNG and of the
+    /// fault PRF).
+    pub seed: u64,
+    /// Per-window probability that any given edge is down for a whole flap
+    /// window (Poisson-like flapping; `0` disables).
+    pub flap_prob: f64,
+    /// Flap window length in rounds (each edge resamples its up/down state
+    /// once per window; `0` disables flapping).
+    pub flap_len: u64,
+    /// Explicit per-edge outage schedules.
+    pub outages: Vec<EdgeOutage>,
+    /// Scheduled crash-restarts.
+    pub restarts: Vec<RestartEvent>,
+    /// Added to the executor's local round number before every verdict, so
+    /// a driver that re-runs the simulator per phase keeps the plan's
+    /// global timeline (mirrors the fault layer's per-phase seed shifting).
+    pub round_offset: u64,
+}
+
+impl ChurnPlan {
+    /// The empty plan: no churn, costs nothing observable.
+    pub fn none() -> Self {
+        ChurnPlan {
+            seed: 0,
+            flap_prob: 0.0,
+            flap_len: 0,
+            outages: Vec::new(),
+            restarts: Vec::new(),
+            round_offset: 0,
+        }
+    }
+
+    /// Sets the churn PRF seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables PRF-driven flapping: every edge is down with probability `p`
+    /// in each window of `window` rounds.
+    ///
+    /// A combination that can never fire (`p == 0` or `window == 0`) is
+    /// normalized to `(0.0, 0)` so equivalent plans compare equal and pick
+    /// the same executor path (the [`crate::FaultPlan::with_delays`]
+    /// convention).
+    pub fn with_flaps(mut self, p: f64, window: u64) -> Self {
+        if p == 0.0 || window == 0 {
+            self.flap_prob = 0.0;
+            self.flap_len = 0;
+        } else {
+            self.flap_prob = p;
+            self.flap_len = window;
+        }
+        self
+    }
+
+    /// Schedules an explicit edge outage (see [`EdgeOutage`]).
+    pub fn with_edge_outage(mut self, edge: EdgeId, first_down: u64, down_for: u64) -> Self {
+        self.outages.push(EdgeOutage {
+            edge,
+            first_down,
+            down_for,
+            period: 0,
+        });
+        self
+    }
+
+    /// Schedules a periodic edge outage: down for `down_for` rounds out of
+    /// every `period`, starting at `first_down`.
+    pub fn with_periodic_outage(
+        mut self,
+        edge: EdgeId,
+        first_down: u64,
+        down_for: u64,
+        period: u64,
+    ) -> Self {
+        self.outages.push(EdgeOutage {
+            edge,
+            first_down,
+            down_for,
+            period,
+        });
+        self
+    }
+
+    /// Cuts `edge` permanently from round `from` on.
+    pub fn with_edge_cut(mut self, edge: EdgeId, from: u64) -> Self {
+        self.outages.push(EdgeOutage {
+            edge,
+            first_down: from,
+            down_for: u64::MAX,
+            period: 0,
+        });
+        self
+    }
+
+    /// Schedules a crash-restart of `node` at `round`, offline for
+    /// `down_for` rounds.
+    pub fn with_restart(mut self, node: NodeId, round: u64, down_for: u64) -> Self {
+        self.restarts.push(RestartEvent {
+            node,
+            round,
+            down_for,
+        });
+        self
+    }
+
+    /// The same plan with its global clock advanced by `offset` rounds:
+    /// every verdict for local round `r` is taken at `r + offset`.
+    pub fn at_offset(mut self, offset: u64) -> Self {
+        self.round_offset = offset;
+        self
+    }
+
+    /// `true` when the plan can never change the topology (treated as no
+    /// plan at all).
+    ///
+    /// The `flap_len` guard covers plans whose fields were set directly,
+    /// bypassing the normalizing [`ChurnPlan::with_flaps`] builder.
+    pub fn is_trivial(&self) -> bool {
+        (self.flap_prob == 0.0 || self.flap_len == 0)
+            && self.outages.is_empty()
+            && self.restarts.is_empty()
+    }
+
+    /// The round from which `edge` is *permanently* down, if any schedule
+    /// cuts it for good (periodic and PRF-flapped outages are transient).
+    /// Drivers use this to distinguish "route around it later" from
+    /// "partitioned for good".
+    pub fn edge_cut_round(&self, edge: EdgeId) -> Option<u64> {
+        self.outages
+            .iter()
+            .filter(|o| o.edge == edge && o.period == 0 && o.down_for == u64::MAX)
+            .map(|o| o.first_down)
+            .min()
+    }
+
+    /// Checks probabilities and schedule targets against a graph with `n`
+    /// nodes and `m` edges.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::FaultPlanInvalid`] naming the offending field.
+    pub fn validate(&self, n: usize, m: usize) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.flap_prob) {
+            return Err(CongestError::FaultPlanInvalid {
+                reason: format!("flap_prob = {} is not a probability", self.flap_prob),
+            });
+        }
+        if self.flap_prob > 0.0 && self.flap_len == 0 {
+            return Err(CongestError::FaultPlanInvalid {
+                reason: "flap_prob > 0 requires flap_len >= 1".into(),
+            });
+        }
+        for o in &self.outages {
+            if o.edge.index() >= m {
+                return Err(CongestError::FaultPlanInvalid {
+                    reason: format!("outage edge {} out of range for {m} edges", o.edge),
+                });
+            }
+            if o.down_for == 0 {
+                return Err(CongestError::FaultPlanInvalid {
+                    reason: format!("outage on edge {} has down_for = 0", o.edge),
+                });
+            }
+            if o.period > 0 && o.down_for >= o.period {
+                return Err(CongestError::FaultPlanInvalid {
+                    reason: format!(
+                        "periodic outage on edge {} never comes up (down_for {} >= period {})",
+                        o.edge, o.down_for, o.period
+                    ),
+                });
+            }
+        }
+        for r in &self.restarts {
+            if r.node.index() >= n {
+                return Err(CongestError::FaultPlanInvalid {
+                    reason: format!("restart target {} out of range for {n} nodes", r.node),
+                });
+            }
+            if r.down_for == 0 {
+                return Err(CongestError::FaultPlanInvalid {
+                    reason: format!("restart of node {} has down_for = 0", r.node),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Precomputes the per-run schedule tables (the churn analogue of
+    /// [`crate::FaultPlan`]'s `crash_rounds` normalization): per-edge
+    /// explicit outage lists and per-node merged offline intervals, computed
+    /// once and shared read-only with the executor's workers.
+    pub(crate) fn normalize(&self, n: usize, m: usize) -> ChurnSchedule {
+        let mut per_edge: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); m];
+        for o in &self.outages {
+            per_edge[o.edge.index()].push((o.first_down, o.down_for, o.period));
+        }
+        for entries in &mut per_edge {
+            entries.sort_unstable();
+        }
+        // Merge overlapping node outages so "rejoins at r" is unambiguous.
+        let mut raw: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        for r in &self.restarts {
+            raw[r.node.index()].push((r.round, r.round.saturating_add(r.down_for)));
+        }
+        let node_outages = raw
+            .into_iter()
+            .map(|mut iv| {
+                iv.sort_unstable();
+                let mut merged: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+                for (d, u) in iv {
+                    match merged.last_mut() {
+                        Some(last) if d <= last.1 => last.1 = last.1.max(u),
+                        _ => merged.push((d, u)),
+                    }
+                }
+                merged
+            })
+            .collect();
+        ChurnSchedule {
+            seed: self.seed,
+            flap_prob: self.flap_prob,
+            flap_len: self.flap_len,
+            offset: self.round_offset,
+            per_edge,
+            node_outages,
+        }
+    }
+}
+
+/// One PRF word as a pure function of `(churn seed, flap window, edge)` —
+/// the same splitmix-chain construction as the fault layer's
+/// `message_draw`, with its own odd multipliers so the two streams never
+/// collide even under equal seeds.
+fn flap_draw(seed: u64, window: u64, edge: u64) -> u64 {
+    let mut z = splitmix(seed ^ 0xD6E8_FEB8_6659_FD93);
+    z = splitmix(z ^ window.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    splitmix(z ^ edge.wrapping_mul(0x9E6C_63D0_876A_339B))
+}
+
+/// The normalized, read-only schedule one run consults. All methods are
+/// pure functions of `(schedule, round, id)`; the executor's workers share
+/// it by reference.
+#[derive(Debug)]
+pub(crate) struct ChurnSchedule {
+    seed: u64,
+    flap_prob: f64,
+    flap_len: u64,
+    offset: u64,
+    /// `(first_down, down_for, period)` entries per edge id, sorted.
+    per_edge: Vec<Vec<(u64, u64, u64)>>,
+    /// Merged, sorted `[down, up)` offline intervals per node id.
+    node_outages: Vec<Vec<(u64, u64)>>,
+}
+
+impl ChurnSchedule {
+    /// Whether `edge` is down in local round `round`.
+    pub(crate) fn edge_down(&self, round: u64, edge: usize) -> bool {
+        let g = round + self.offset;
+        if self.flap_len > 0
+            && unit(flap_draw(self.seed, g / self.flap_len, edge as u64)) < self.flap_prob
+        {
+            return true;
+        }
+        self.per_edge[edge]
+            .iter()
+            .any(|&(first, down_for, period)| {
+                if g < first {
+                    return false;
+                }
+                let rel = g - first;
+                if period == 0 {
+                    rel < down_for
+                } else {
+                    rel % period < down_for
+                }
+            })
+    }
+
+    /// Whether `v` is offline in local round `round`.
+    pub(crate) fn node_down(&self, round: u64, v: usize) -> bool {
+        let g = round + self.offset;
+        self.node_outages[v].iter().any(|&(d, u)| d <= g && g < u)
+    }
+
+    /// Whether `v` rejoins exactly at local round `round` (its outage ended
+    /// at the global round `round` maps to). The executor calls
+    /// [`crate::Protocol::on_restart`] in this round.
+    pub(crate) fn rejoining(&self, round: u64, v: usize) -> bool {
+        let g = round + self.offset;
+        g > 0 && self.node_outages[v].iter().any(|&(_, u)| u == g)
+    }
+
+    /// Nodes offline in local round `round`.
+    pub(crate) fn down_count(&self, round: u64) -> u64 {
+        (0..self.node_outages.len())
+            .filter(|&v| self.node_down(round, v))
+            .count() as u64
+    }
+
+    /// Edge ids whose up/down state can ever change (all edges when
+    /// flapping is on, else just the explicitly scheduled ones).
+    fn tracked_edges(&self) -> Vec<u32> {
+        if self.flap_len > 0 {
+            (0..self.per_edge.len() as u32).collect()
+        } else {
+            (0..self.per_edge.len() as u32)
+                .filter(|&e| !self.per_edge[e as usize].is_empty())
+                .collect()
+        }
+    }
+
+    /// Node ids with at least one scheduled outage.
+    fn tracked_nodes(&self) -> Vec<u32> {
+        (0..self.node_outages.len() as u32)
+            .filter(|&v| !self.node_outages[v as usize].is_empty())
+            .collect()
+    }
+}
+
+/// What one churn transition or loss did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// An edge went down at the start of this round.
+    EdgeDown {
+        /// The edge that went down.
+        edge: EdgeId,
+    },
+    /// An edge came back up at the start of this round.
+    EdgeUp {
+        /// The edge that recovered.
+        edge: EdgeId,
+    },
+    /// A node went offline (crash-restart outage began).
+    NodeDown {
+        /// The node that went offline.
+        node: NodeId,
+    },
+    /// A node rejoined after an outage (with state loss; counted in
+    /// [`Metrics::restarts`]).
+    NodeRejoin {
+        /// The node that rejoined.
+        node: NodeId,
+    },
+    /// A staged or delay-released message was lost to a down edge or an
+    /// offline destination; `node`/`port` identify the sender.
+    MessageLost {
+        /// The sending node.
+        node: NodeId,
+        /// The sending port.
+        port: usize,
+    },
+}
+
+/// One churn transition or loss, for the run's churn-event log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Round in which the transition took effect (local clock).
+    pub round: u64,
+    /// What happened.
+    pub kind: ChurnKind,
+}
+
+/// How the executor consults topology churn, round by round and message by
+/// message. The churn-free path uses the inert [`NoChurn`] implementation,
+/// which monomorphizes every hook call away; the churned path uses
+/// [`ChurnState`]. Verdict methods take `&self`: pure functions of the
+/// plan's timeline, never of sampling order.
+pub(crate) trait ChurnHook {
+    /// Emits up/down transition events for this round and accounts node
+    /// rejoins in `metrics.restarts`.
+    fn begin_round(&mut self, round: u64, metrics: &mut Metrics);
+
+    /// Whether `v` is offline in `round`.
+    fn node_down(&self, round: u64, v: usize) -> bool;
+
+    /// Whether `edge` is down in `round`.
+    fn edge_down(&self, round: u64, edge: usize) -> bool;
+
+    /// Accounts one message lost to churn and logs the event.
+    fn record_loss(&mut self, round: u64, src: usize, port: usize, metrics: &mut Metrics);
+
+    /// Nodes offline in `round` (for the availability timeline).
+    fn down_count(&self, round: u64) -> u64;
+}
+
+/// The churn hook of the churn-free path: the topology never changes. All
+/// methods are trivially inlinable, so the unified engine compiled against
+/// `NoChurn` is the exact static-topology executor.
+pub(crate) struct NoChurn;
+
+impl ChurnHook for NoChurn {
+    fn begin_round(&mut self, _round: u64, _metrics: &mut Metrics) {}
+
+    fn node_down(&self, _round: u64, _v: usize) -> bool {
+        false
+    }
+
+    fn edge_down(&self, _round: u64, _edge: usize) -> bool {
+        false
+    }
+
+    fn record_loss(&mut self, _round: u64, _src: usize, _port: usize, _metrics: &mut Metrics) {
+        unreachable!("NoChurn never loses a message")
+    }
+
+    fn down_count(&self, _round: u64) -> u64 {
+        0
+    }
+}
+
+/// Runtime churn state borrowed by one `Simulator::run` invocation: the
+/// normalized schedule, the previous round's up/down view (for transition
+/// events), and the event log. The verdicts themselves are stateless
+/// schedule lookups.
+pub(crate) struct ChurnState<'p> {
+    sched: &'p ChurnSchedule,
+    /// Edges that can ever change state, in id order.
+    tracked_edges: Vec<u32>,
+    /// Nodes with scheduled outages, in id order.
+    tracked_nodes: Vec<u32>,
+    edge_was_down: Vec<bool>,
+    node_was_down: Vec<bool>,
+    pub(crate) events: Vec<ChurnEvent>,
+}
+
+impl<'p> ChurnState<'p> {
+    pub(crate) fn new(sched: &'p ChurnSchedule) -> Self {
+        let tracked_edges = sched.tracked_edges();
+        let tracked_nodes = sched.tracked_nodes();
+        ChurnState {
+            edge_was_down: vec![false; tracked_edges.len()],
+            node_was_down: vec![false; tracked_nodes.len()],
+            tracked_edges,
+            tracked_nodes,
+            sched,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl ChurnHook for ChurnState<'_> {
+    /// Diffs this round's topology against the previous round's, logging
+    /// every transition in (edges, then nodes, ascending id) order — a
+    /// deterministic stream whatever the worker-thread count.
+    fn begin_round(&mut self, round: u64, metrics: &mut Metrics) {
+        for (i, &e) in self.tracked_edges.iter().enumerate() {
+            let down = self.sched.edge_down(round, e as usize);
+            if down != self.edge_was_down[i] {
+                self.edge_was_down[i] = down;
+                let edge = EdgeId(e);
+                self.events.push(ChurnEvent {
+                    round,
+                    kind: if down {
+                        ChurnKind::EdgeDown { edge }
+                    } else {
+                        ChurnKind::EdgeUp { edge }
+                    },
+                });
+            }
+        }
+        for (i, &v) in self.tracked_nodes.iter().enumerate() {
+            let down = self.sched.node_down(round, v as usize);
+            if down != self.node_was_down[i] {
+                self.node_was_down[i] = down;
+                let node = NodeId(v);
+                if down {
+                    self.events.push(ChurnEvent {
+                        round,
+                        kind: ChurnKind::NodeDown { node },
+                    });
+                } else {
+                    metrics.restarts += 1;
+                    self.events.push(ChurnEvent {
+                        round,
+                        kind: ChurnKind::NodeRejoin { node },
+                    });
+                }
+            }
+        }
+    }
+
+    fn node_down(&self, round: u64, v: usize) -> bool {
+        self.sched.node_down(round, v)
+    }
+
+    fn edge_down(&self, round: u64, edge: usize) -> bool {
+        self.sched.edge_down(round, edge)
+    }
+
+    fn record_loss(&mut self, round: u64, src: usize, port: usize, metrics: &mut Metrics) {
+        metrics.lost_to_churn += 1;
+        self.events.push(ChurnEvent {
+            round,
+            kind: ChurnKind::MessageLost {
+                node: NodeId::from(src),
+                port,
+            },
+        });
+    }
+
+    fn down_count(&self, round: u64) -> u64 {
+        self.sched.down_count(round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan_detection() {
+        assert!(ChurnPlan::none().is_trivial());
+        assert!(ChurnPlan::none().seeded(9).is_trivial());
+        // Flapping without a window (or probability) can never fire.
+        assert!(ChurnPlan::none().with_flaps(0.5, 0).is_trivial());
+        assert!(ChurnPlan::none().with_flaps(0.0, 10).is_trivial());
+        assert!(!ChurnPlan::none().with_flaps(0.5, 10).is_trivial());
+        assert!(!ChurnPlan::none()
+            .with_edge_outage(EdgeId(0), 3, 2)
+            .is_trivial());
+        assert!(!ChurnPlan::none().with_restart(NodeId(1), 5, 4).is_trivial());
+    }
+
+    #[test]
+    fn builders_normalize_zero_effect_flaps() {
+        assert_eq!(ChurnPlan::none().with_flaps(0.5, 0), ChurnPlan::none());
+        assert_eq!(ChurnPlan::none().with_flaps(0.0, 9), ChurnPlan::none());
+        let live = ChurnPlan::none().with_flaps(0.25, 8);
+        assert_eq!((live.flap_prob, live.flap_len), (0.25, 8));
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let e = ChurnPlan::none()
+            .with_flaps(1.5, 4)
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(e.to_string().contains("flap_prob"));
+        let e = ChurnPlan::none()
+            .with_edge_outage(EdgeId(9), 0, 1)
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+        let e = ChurnPlan::none()
+            .with_periodic_outage(EdgeId(0), 0, 5, 5)
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(e.to_string().contains("never comes up"));
+        let e = ChurnPlan::none()
+            .with_restart(NodeId(9), 0, 2)
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+        let e = ChurnPlan::none()
+            .with_restart(NodeId(0), 0, 0)
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(e.to_string().contains("down_for = 0"));
+        // Direct field assignment bypasses the normalizing builder; the
+        // validator still rejects the inconsistent combination.
+        let mut p = ChurnPlan::none();
+        p.flap_prob = 0.5;
+        assert!(p.validate(4, 4).is_err());
+    }
+
+    #[test]
+    fn explicit_outages_follow_their_schedule() {
+        let plan = ChurnPlan::none()
+            .with_edge_outage(EdgeId(1), 5, 3)
+            .with_periodic_outage(EdgeId(2), 2, 2, 10);
+        let s = plan.normalize(4, 4);
+        // One-shot: down exactly in [5, 8).
+        let downs: Vec<u64> = (0..12).filter(|&r| s.edge_down(r, 1)).collect();
+        assert_eq!(downs, vec![5, 6, 7]);
+        // Periodic: down in [2, 4), [12, 14), ...
+        let downs: Vec<u64> = (0..25).filter(|&r| s.edge_down(r, 2)).collect();
+        assert_eq!(downs, vec![2, 3, 12, 13, 22, 23]);
+        // Unscheduled edges never move.
+        assert!((0..25).all(|r| !s.edge_down(r, 0)));
+    }
+
+    #[test]
+    fn permanent_cuts_never_recover() {
+        let plan = ChurnPlan::none().with_edge_cut(EdgeId(3), 7);
+        assert_eq!(plan.edge_cut_round(EdgeId(3)), Some(7));
+        assert_eq!(plan.edge_cut_round(EdgeId(0)), None);
+        // Periodic/transient schedules are not cuts.
+        let transient = ChurnPlan::none().with_edge_outage(EdgeId(3), 7, 100);
+        assert_eq!(transient.edge_cut_round(EdgeId(3)), None);
+        let s = plan.normalize(4, 4);
+        assert!(!s.edge_down(6, 3));
+        assert!((7..1000).all(|r| s.edge_down(r, 3)));
+    }
+
+    #[test]
+    fn node_outages_merge_and_rejoin_once() {
+        let plan = ChurnPlan::none()
+            .with_restart(NodeId(2), 4, 3)
+            .with_restart(NodeId(2), 6, 4); // overlaps: merged to [4, 10)
+        let s = plan.normalize(4, 2);
+        let downs: Vec<u64> = (0..14).filter(|&r| s.node_down(r, 2)).collect();
+        assert_eq!(downs, (4..10).collect::<Vec<_>>());
+        let rejoins: Vec<u64> = (0..14).filter(|&r| s.rejoining(r, 2)).collect();
+        assert_eq!(rejoins, vec![10]);
+        assert_eq!(s.down_count(5), 1);
+        assert_eq!(s.down_count(11), 0);
+    }
+
+    #[test]
+    fn flap_verdicts_are_pure_functions_of_identity() {
+        let plan = ChurnPlan::none().seeded(11).with_flaps(0.3, 5);
+        let s = plan.normalize(8, 16);
+        let keys: Vec<(u64, usize)> = (0..60).flat_map(|r| (0..16).map(move |e| (r, e))).collect();
+        let forward: Vec<bool> = keys.iter().map(|&(r, e)| s.edge_down(r, e)).collect();
+        let reversed: Vec<bool> = keys.iter().rev().map(|&(r, e)| s.edge_down(r, e)).collect();
+        assert_eq!(
+            forward,
+            reversed.into_iter().rev().collect::<Vec<_>>(),
+            "verdicts must not depend on sampling order"
+        );
+        // Non-degenerate: both states occur across 960 samples.
+        assert!(forward.contains(&true));
+        assert!(forward.contains(&false));
+        // State is constant within a window and keyed by the window index.
+        for e in 0..16 {
+            for w in 0..12u64 {
+                let states: Vec<bool> = (w * 5..(w + 1) * 5).map(|r| s.edge_down(r, e)).collect();
+                assert!(states.windows(2).all(|p| p[0] == p[1]));
+            }
+        }
+        // Distinct seeds give distinct flap streams.
+        let other = ChurnPlan::none()
+            .seeded(12)
+            .with_flaps(0.3, 5)
+            .normalize(8, 16);
+        assert!(keys
+            .iter()
+            .any(|&(r, e)| s.edge_down(r, e) != other.edge_down(r, e)));
+    }
+
+    #[test]
+    fn offset_shifts_the_global_clock() {
+        let plan = ChurnPlan::none().with_edge_outage(EdgeId(0), 10, 2);
+        let shifted = plan.clone().at_offset(9).normalize(2, 1);
+        let plain = plan.normalize(2, 1);
+        for r in 0..8 {
+            assert_eq!(shifted.edge_down(r, 0), plain.edge_down(r + 9, 0));
+        }
+        let restart = ChurnPlan::none().with_restart(NodeId(1), 10, 2);
+        let shifted = restart.at_offset(9).normalize(2, 1);
+        assert!(shifted.node_down(1, 1) && shifted.node_down(2, 1));
+        assert!(shifted.rejoining(3, 1));
+    }
+
+    #[test]
+    fn churn_state_logs_transitions_in_id_order() {
+        let plan = ChurnPlan::none()
+            .with_edge_outage(EdgeId(1), 2, 2)
+            .with_restart(NodeId(0), 2, 3);
+        let sched = plan.normalize(3, 3);
+        let mut st = ChurnState::new(&sched);
+        let mut m = Metrics::default();
+        for r in 0..7 {
+            st.begin_round(r, &mut m);
+        }
+        assert_eq!(
+            st.events,
+            vec![
+                ChurnEvent {
+                    round: 2,
+                    kind: ChurnKind::EdgeDown { edge: EdgeId(1) }
+                },
+                ChurnEvent {
+                    round: 2,
+                    kind: ChurnKind::NodeDown { node: NodeId(0) }
+                },
+                ChurnEvent {
+                    round: 4,
+                    kind: ChurnKind::EdgeUp { edge: EdgeId(1) }
+                },
+                ChurnEvent {
+                    round: 5,
+                    kind: ChurnKind::NodeRejoin { node: NodeId(0) }
+                },
+            ]
+        );
+        assert_eq!(m.restarts, 1);
+        assert_eq!(m.lost_to_churn, 0);
+        st.record_loss(3, 2, 1, &mut m);
+        assert_eq!(m.lost_to_churn, 1);
+        assert_eq!(
+            st.events.last(),
+            Some(&ChurnEvent {
+                round: 3,
+                kind: ChurnKind::MessageLost {
+                    node: NodeId(2),
+                    port: 1
+                }
+            })
+        );
+    }
+}

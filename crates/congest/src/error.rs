@@ -69,6 +69,15 @@ pub enum CongestError {
         /// Human-readable description of the offending field.
         reason: String,
     },
+    /// Sustained damage (crashes plus permanent edge cuts) disconnected the
+    /// surviving graph; the protocol terminated gracefully instead of
+    /// retrying toward an unreachable component until the round cap.
+    Partitioned {
+        /// Connected components of the surviving graph (≥ 2).
+        components: usize,
+        /// Accumulated round at which the partition was detected.
+        round: u64,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -117,6 +126,12 @@ impl fmt::Display for CongestError {
             CongestError::FaultPlanInvalid { reason } => {
                 write!(f, "invalid fault plan: {reason}")
             }
+            CongestError::Partitioned { components, round } => {
+                write!(
+                    f,
+                    "surviving graph split into {components} components by round {round}"
+                )
+            }
         }
     }
 }
@@ -155,5 +170,15 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("8 attempts") && s.contains("round 30") && s.contains("seed 7"));
+    }
+
+    #[test]
+    fn partitioned_names_components_and_round() {
+        let e = CongestError::Partitioned {
+            components: 2,
+            round: 44,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 components") && s.contains("round 44"));
     }
 }

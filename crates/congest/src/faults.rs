@@ -227,8 +227,9 @@ pub(crate) enum Fate {
 }
 
 /// SplitMix64 finalizer: the bijective avalanche at the heart of the fault
-/// PRF (and of the per-node protocol stream seeds in [`crate::sim`]).
-fn splitmix(mut z: u64) -> u64 {
+/// PRF (and of the per-node protocol stream seeds in [`crate::sim`], and of
+/// the churn PRF in [`crate::churn`]).
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -260,7 +261,7 @@ fn message_draw(seed: u64, round: u64, src: u64, port: u64, purpose: u64) -> u64
 
 /// Maps a PRF word to a uniform `f64` in `[0, 1)` (top 53 bits, the same
 /// construction every mainstream generator uses).
-fn unit(word: u64) -> f64 {
+pub(crate) fn unit(word: u64) -> f64 {
     (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

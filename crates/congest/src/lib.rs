@@ -20,6 +20,11 @@
 //!   single-bit corruption, bounded delay, crash-stop failures) applied by
 //!   the simulator between staging and delivery, plus the
 //!   [`ReliableLink`] ack/retransmit sublayer protocols use to survive it.
+//! * [`churn`] — deterministic topology churn ([`ChurnPlan`]): edges that
+//!   flap up/down on per-edge schedules or a seeded PRF, and nodes that
+//!   crash-*restart* with state loss ([`Protocol::on_restart`]) — the
+//!   sustained-damage counterpart to the fault layer's one-shot failures.
+//!   Protocols observe link state through [`Ctx::link_up`].
 //! * [`trace`] — opt-in round-level observability ([`RunTrace`]): per-round
 //!   timeline samples, protocol-emitted span events ([`Ctx::trace_event`]),
 //!   striding per-edge load snapshots, and the wall-clock [`PhaseTimings`]
@@ -47,11 +52,13 @@ mod message;
 mod metrics;
 mod sim;
 
+pub mod churn;
 pub mod faults;
 pub mod primitives;
 pub mod profile;
 pub mod trace;
 
+pub use churn::{ChurnEvent, ChurnKind, ChurnPlan, EdgeOutage, RestartEvent};
 pub use error::CongestError;
 pub use faults::{CrashEvent, FaultEvent, FaultKind, FaultPlan};
 pub use message::{bits_for_count, bits_for_value, CongestMessage};
@@ -61,7 +68,9 @@ pub use profile::{
     class, ClassStats, CongestionProfile, HotEdge, ProfileConfig, TrafficClass, TrafficProfile,
 };
 pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
-pub use trace::{Distribution, PhaseTimings, RoundSample, RunTrace, TraceConfig, TraceEvent};
+pub use trace::{
+    Distribution, PhaseTimings, RecoveryTimeline, RoundSample, RunTrace, TraceConfig, TraceEvent,
+};
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, CongestError>;

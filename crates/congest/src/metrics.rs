@@ -45,6 +45,13 @@ pub struct Metrics {
     pub lost_to_crash: u64,
     /// Nodes crash-stopped by the fault plan.
     pub crashed: u64,
+    /// Messages lost to topology churn: staged over an edge that was down,
+    /// or addressed to a node that was offline, in the delivery round (each
+    /// has a `MessageLost` churn event).
+    pub lost_to_churn: u64,
+    /// Node rejoins completed by the churn plan (each crash-restart counts
+    /// once, at the round the node comes back).
+    pub restarts: u64,
 }
 
 impl Metrics {
@@ -64,6 +71,8 @@ impl Metrics {
             delayed: self.delayed + later.delayed,
             lost_to_crash: self.lost_to_crash + later.lost_to_crash,
             crashed: self.crashed + later.crashed,
+            lost_to_churn: self.lost_to_churn + later.lost_to_churn,
+            restarts: self.restarts + later.restarts,
         }
     }
 
@@ -104,6 +113,8 @@ mod tests {
             delayed: 2,
             lost_to_crash: 2,
             crashed: 3,
+            lost_to_churn: 4,
+            restarts: 1,
         };
         let b = Metrics {
             rounds: 2,
@@ -116,6 +127,8 @@ mod tests {
             delayed: 3,
             lost_to_crash: 1,
             crashed: 1,
+            lost_to_churn: 2,
+            restarts: 2,
         };
         let c = a.then(b);
         assert_eq!(
@@ -131,6 +144,8 @@ mod tests {
                 delayed: 5,
                 lost_to_crash: 3,
                 crashed: 4,
+                lost_to_churn: 6,
+                restarts: 3,
             }
         );
         assert_eq!(c.message_faults(), 14);

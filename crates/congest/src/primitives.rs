@@ -724,8 +724,26 @@ pub mod reliable {
 
     impl<M: CongestMessage> ReliableLink<M> {
         /// A link over `degree` ports with the given base `timeout` (rounds
-        /// before the first retransmission; doubles each attempt) and
-        /// `max_attempts` transmission budget per frame.
+        /// before the first retransmission; doubles each attempt, capped at
+        /// 16× the base) and `max_attempts` transmission budget per frame.
+        ///
+        /// # Give-up latency bound
+        ///
+        /// With effective base timeout `t = timeout.max(1)` and budget
+        /// `A = max_attempts.max(1)`, the wait after the `a`-th
+        /// transmission is `t << (a − 1).min(4)`, so a frame whose peer
+        /// never acks is declared failed (visible through
+        /// [`Self::failures`]) **exactly**
+        ///
+        /// ```text
+        /// t · (2^min(A,5) − 1  +  16 · max(A − 5, 0))
+        /// ```
+        ///
+        /// rounds after its first transmission: geometric up to the 16×
+        /// backoff cap, then linear in `A` — never exponential. Healing
+        /// drivers size their phase budgets against this bound; the
+        /// `give_up_latency_is_exactly_the_documented_bound` test pins it
+        /// for a grid of `(t, A)`.
         pub fn new(degree: usize, timeout: u64, max_attempts: u32) -> Self {
             ReliableLink {
                 ports: (0..degree).map(|_| PortState::new()).collect(),
@@ -1078,5 +1096,87 @@ mod tests {
             "star upcast should parallelize, rounds = {}",
             m.rounds
         );
+    }
+
+    /// One [`reliable::ReliableLink`] frame against a peer that never
+    /// acks: records the round the port is declared failed.
+    struct GiveUpProbe {
+        link: reliable::ReliableLink<u64>,
+        fail_round: Option<u64>,
+        fail_attempts: u32,
+    }
+
+    impl Protocol for GiveUpProbe {
+        type Message = reliable::Reliable<u64>;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, reliable::Reliable<u64>>) {
+            self.link.send(0, 7);
+            self.link.pump(ctx);
+        }
+
+        fn round(
+            &mut self,
+            ctx: &mut Ctx<'_, reliable::Reliable<u64>>,
+            inbox: &[(usize, reliable::Reliable<u64>)],
+        ) {
+            self.link.deliver(inbox);
+            self.link.pump(ctx);
+            if self.fail_round.is_none() {
+                if let Some(&(_, a)) = self.link.failures().first() {
+                    self.fail_round = Some(ctx.round());
+                    self.fail_attempts = a;
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.fail_round.is_some()
+        }
+    }
+
+    /// The give-up-latency bound documented on [`reliable::ReliableLink::new`],
+    /// pinned as an exact property over a `(timeout, max_attempts)` grid:
+    /// with every message dropped, the port fails precisely
+    /// `t · (2^min(A,5) − 1 + 16·max(A−5, 0))` rounds after the first
+    /// transmission — the capped exponential backoff schedule, summed.
+    #[test]
+    fn give_up_latency_is_exactly_the_documented_bound() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        for &t in &[1u64, 2, 5] {
+            for &a in &[1u32, 2, 3, 5, 6, 8, 12] {
+                // The schedule sum…
+                let schedule: u64 = (1..=a).map(|k| t << (k - 1).min(4)).sum();
+                // …and its closed form from the `new` docs.
+                let closed = t * ((1u64 << a.min(5)) - 1 + 16 * u64::from(a.saturating_sub(5)));
+                assert_eq!(schedule, closed, "closed form mismatch at t={t} A={a}");
+
+                let nodes = (0..2)
+                    .map(|_| GiveUpProbe {
+                        link: reliable::ReliableLink::new(1, t, a),
+                        fail_round: None,
+                        fail_attempts: 0,
+                    })
+                    .collect();
+                let mut sim = Simulator::new(&g, nodes, 1)
+                    .unwrap()
+                    .with_fault_plan(crate::FaultPlan::none().seeded(1).with_drops(1.0));
+                let cfg = RunConfig {
+                    stop: crate::StopCondition::AllDone,
+                    // ARQ frames don't fit a 2-node default word budget.
+                    budget_factor: 64,
+                    ..RunConfig::default()
+                }
+                .with_threads(1);
+                sim.run(&cfg).unwrap();
+                for p in sim.nodes() {
+                    assert_eq!(
+                        p.fail_round,
+                        Some(closed),
+                        "give-up latency drifted from the bound at t={t} A={a}"
+                    );
+                    assert_eq!(p.fail_attempts, a, "attempt count at t={t} A={a}");
+                }
+            }
+        }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! # Determinism contract
 //!
-//! Every run is a pure function of `(graph, seed, RunConfig, FaultPlan)`:
+//! Every run is a pure function of
+//! `(graph, seed, RunConfig, FaultPlan, ChurnPlan)`:
 //!
 //! * **Per-node random streams.** Each node owns a dedicated RNG whose seed
 //!   is derived from `(run seed, node id)`, so the bits a protocol draws
@@ -16,16 +17,21 @@
 //!   PRF of `(fault seed, round, sender, sender port)` — see
 //!   [`crate::faults`] — so which messages drop, corrupt, or delay is
 //!   independent of sampling order.
+//! * **Schedule-keyed churn.** Topology-churn verdicts (edge up/down, node
+//!   offline) are pure functions of `(churn seed/schedule, round, id)` —
+//!   see [`crate::churn`] — never of sampling order.
 //!
-//! Together these make protocol outputs, [`Metrics`], and the fault-event
-//! log byte-identical for any visit order and any worker-thread count,
-//! which is what lets [`RunConfig::threads`] parallelize both the clean
-//! *and* the faulty path without changing a single observable bit. There is
-//! exactly one round-loop engine ([`round_engine`]); the clean/faulty split
-//! is a [`FaultHook`] type parameter (the inert hook compiles to the
-//! pristine executor) and the sequential/threaded split is a
-//! [`RoundStepper`] type parameter.
+//! Together these make protocol outputs, [`Metrics`], the fault-event log,
+//! and the churn-event log byte-identical for any visit order and any
+//! worker-thread count, which is what lets [`RunConfig::threads`]
+//! parallelize the clean, faulty, *and* churned paths without changing a
+//! single observable bit. There is exactly one round-loop engine
+//! ([`round_engine`]); the clean/faulty split is a [`FaultHook`] type
+//! parameter (the inert hook compiles to the pristine executor), the
+//! static/churned split is an independent [`ChurnHook`] type parameter,
+//! and the sequential/threaded split is a [`RoundStepper`] type parameter.
 
+use crate::churn::{ChurnEvent, ChurnHook, ChurnPlan, ChurnSchedule, ChurnState, NoChurn};
 use crate::faults::{Fate, FaultEvent, FaultHook, FaultKind, FaultPlan, FaultState, NoFaults};
 use crate::profile::{class, ProfileConfig, TrafficClass, TrafficProfile};
 use crate::trace::{EdgeLoadSnapshot, RoundSample, RunTrace, TraceConfig, TraceEvent};
@@ -67,6 +73,21 @@ pub trait Protocol: Send {
     /// may evaluate it once per node per round, in any order.
     fn is_done(&self) -> bool {
         false
+    }
+
+    /// Called instead of [`Protocol::round`] in the round a
+    /// [`crate::ChurnPlan`] crash-restart brings this node back online
+    /// (its inbox is necessarily empty: in-flight messages were lost while
+    /// it was down).
+    ///
+    /// The default keeps all state and simply takes an empty round —
+    /// appropriate for protocols whose state is monotone. Churn-aware
+    /// protocols override this to model volatile-state loss (reset fields,
+    /// re-announce to neighbors). Either way the node's RNG stream is
+    /// preserved across the outage, so runs stay a pure function of
+    /// `(graph, seed, plans)`.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Self::Message>) {
+        self.round(ctx, &[]);
     }
 }
 
@@ -219,6 +240,10 @@ pub struct Ctx<'a, M> {
     /// Event sink when tracing is enabled (`None` costs one branch per
     /// [`Ctx::trace_event`] call and nothing else).
     trace: Option<&'a mut Vec<TraceEvent>>,
+    /// Churn schedule when a non-trivial [`crate::ChurnPlan`] is attached
+    /// (`None` on the static-topology paths, where [`Ctx::link_up`] is
+    /// constantly `true`).
+    churn: Option<&'a ChurnSchedule>,
 }
 
 impl<M: CongestMessage> Ctx<'_, M> {
@@ -240,6 +265,23 @@ impl<M: CongestMessage> Ctx<'_, M> {
     /// The current round number (0 during `init`).
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Whether the link behind `port` is usable this round: the edge is up
+    /// and the neighbor is online under the attached [`crate::ChurnPlan`]
+    /// (always `true` without one, or under a trivial plan).
+    ///
+    /// A message sent over a down link this round is lost (counted in
+    /// [`crate::Metrics::lost_to_churn`]), so routing protocols consult
+    /// this to reroute instead. Like every churn verdict it is a pure
+    /// function of `(churn seed, round, edge)` — reading it never perturbs
+    /// determinism. This models the standard port-numbered assumption that
+    /// a node can locally detect which of its links are live.
+    pub fn link_up(&self, port: usize) -> bool {
+        self.churn.is_none_or(|ch| {
+            let (peer, edge) = self.neighbors[port];
+            !ch.edge_down(self.round, edge as usize) && !ch.node_down(self.round, peer as usize)
+        })
     }
 
     /// Sends `msg` over `port`, to be delivered next round.
@@ -460,6 +502,8 @@ struct InlineStepper<'a, P: Protocol> {
     /// Earliest crash round per node (`&[]` on the clean path: no node
     /// ever crashes).
     crash_round: &'a [u64],
+    /// Churn schedule (`None` on the static-topology paths).
+    churn: Option<&'a ChurnSchedule>,
     /// One slot per port of the highest-degree node; sliced per node.
     staged: Vec<Option<(TrafficClass, P::Message)>>,
     budget_bits: usize,
@@ -490,6 +534,12 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
                 inbox[v].clear();
                 continue;
             }
+            if self.churn.is_some_and(|ch| ch.node_down(round, v)) {
+                // Churn outage: like a crash, but temporary — the node
+                // steps again (via `on_restart`) when the outage ends.
+                inbox[v].clear();
+                continue;
+            }
             // After a violation the rest of the round is skipped (the run
             // aborts; state after an error is unspecified).
             if violation.is_some() {
@@ -508,9 +558,12 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
                     rng: &mut self.rngs[v],
                     violation: &mut violation,
                     trace: events.as_deref_mut(),
+                    churn: self.churn,
                 };
                 if round == 0 {
                     self.nodes[v].init(&mut ctx);
+                } else if self.churn.is_some_and(|ch| ch.rejoining(round, v)) {
+                    self.nodes[v].on_restart(&mut ctx);
                 } else {
                     self.nodes[v].round(&mut ctx, &inbox[v]);
                 }
@@ -635,7 +688,7 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
 /// `messages`/`bits` count *deliveries*, so dropped/lost traffic never
 /// inflates the totals (documented on [`Metrics`]).
 #[allow(clippy::too_many_arguments)]
-fn round_engine<M, S, H>(
+fn round_engine<M, S, H, C>(
     cfg: &RunConfig,
     adjacency: &[Vec<(u32, u32)>],
     peer_port: &[Vec<u32>],
@@ -643,6 +696,7 @@ fn round_engine<M, S, H>(
     scratch: &mut Scratch<M>,
     stepper: &mut S,
     hook: &mut H,
+    churn: &mut C,
     trace_cfg: Option<TraceConfig>,
     trace_out: &mut Option<RunTrace>,
     profile_cfg: Option<ProfileConfig>,
@@ -652,6 +706,7 @@ where
     M: CongestMessage,
     S: RoundStepper<M>,
     H: FaultHook,
+    C: ChurnHook,
 {
     let n = adjacency.len();
     scratch.reset(n);
@@ -678,6 +733,7 @@ where
         // (including crashes applied at the top of this round).
         let round_start = metrics;
         hook.begin_round(round, &mut metrics);
+        churn.begin_round(round, &mut metrics);
         let outcome = stepper.step(
             round,
             inbox,
@@ -704,6 +760,14 @@ where
                 if hook.is_crashed(dst) {
                     // Lost to the crash; the Crashed event already records
                     // the cause, so this is not a drop fault.
+                    continue;
+                }
+                if churn.edge_down(round, edge) || churn.node_down(round, dst) {
+                    // The link was down (or the destination offline) in the
+                    // round the message was staged: lost to churn. Verdicts
+                    // use the staging round, matching what the sender's
+                    // `Ctx::link_up` reported when it chose to send.
+                    churn.record_loss(round, v, port, &mut metrics);
                     continue;
                 }
                 match hook.fate(round, v, port) {
@@ -782,6 +846,10 @@ where
             } else if hook.is_crashed(h.dst) {
                 metrics.lost_to_crash += 1;
                 hook.record(round, h.src, h.src_port, FaultKind::LostToCrash);
+            } else if churn.edge_down(round, h.edge) || churn.node_down(round, h.dst) {
+                // The delay outlived the link (or the destination's
+                // uptime): the release round's topology decides.
+                churn.record_loss(round, h.src, h.src_port, &mut metrics);
             } else {
                 let width = h.msg.bit_width() as u64;
                 metrics.bits += width;
@@ -806,6 +874,12 @@ where
                 delayed: metrics.delayed - round_start.delayed,
                 lost_to_crash: metrics.lost_to_crash - round_start.lost_to_crash,
                 crashed: metrics.crashed - round_start.crashed,
+                lost_to_churn: metrics.lost_to_churn - round_start.lost_to_churn,
+                restarts: metrics.restarts - round_start.restarts,
+                // Availability gauge: fault crash-stops are permanent, so
+                // the cumulative count is exactly "down now"; churn outages
+                // are read off the schedule for this round.
+                nodes_down: metrics.crashed + churn.down_count(round),
             });
             if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
                 t.snapshots.push(EdgeLoadSnapshot {
@@ -900,6 +974,10 @@ pub struct Simulator<'g, P: Protocol> {
     fault_plan: Option<FaultPlan>,
     fault_events: Vec<FaultEvent>,
     crashed: Vec<bool>,
+    /// Optional topology churn; `None` (or a trivial plan) takes the exact
+    /// static-topology execution path.
+    churn_plan: Option<ChurnPlan>,
+    churn_events: Vec<ChurnEvent>,
     /// Tracing request; `None` (the default) disables all recording and
     /// leaves every execution path byte-identical to the untraced build.
     trace_cfg: Option<TraceConfig>,
@@ -960,6 +1038,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             fault_plan: None,
             fault_events: Vec::new(),
             crashed: vec![false; n],
+            churn_plan: None,
+            churn_events: Vec::new(),
             trace_cfg: None,
             trace: None,
             profile_cfg: None,
@@ -1026,6 +1106,25 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         &self.fault_events
     }
 
+    /// Attaches a [`ChurnPlan`] to apply on every subsequent [`Self::run`].
+    ///
+    /// A trivial plan (see [`ChurnPlan::is_trivial`]) is equivalent to no
+    /// plan at all: the run is bit-for-bit identical to the static-topology
+    /// path. Composes with [`Self::with_fault_plan`]: fault verdicts apply
+    /// to messages that survive churn.
+    pub fn with_churn_plan(mut self, plan: ChurnPlan) -> Self {
+        self.churn_plan = Some(plan);
+        self
+    }
+
+    /// Topology transitions and churn losses of the most recent
+    /// [`Self::run`], in `(round, edges-before-nodes, id)` order for
+    /// transitions, interleaved with losses in delivery order — fully
+    /// deterministic (empty without a non-trivial [`ChurnPlan`]).
+    pub fn churn_events(&self) -> &[ChurnEvent] {
+        &self.churn_events
+    }
+
     /// Nodes crash-stopped during the most recent [`Self::run`].
     pub fn crashed_nodes(&self) -> Vec<NodeId> {
         self.crashed
@@ -1088,51 +1187,100 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     fn run_inner(&mut self, cfg: &RunConfig, reverse_visit: bool) -> Result<Metrics> {
         self.trace = None;
         self.profile = None;
-        // Take the plan for the duration of the run instead of cloning it
-        // (the crash schedule can be long-lived and big); it is restored
+        self.churn_events.clear();
+        // Take both plans for the duration of the run instead of cloning
+        // them (schedules can be long-lived and big); they are restored
         // before returning.
-        match self.fault_plan.take() {
-            Some(plan) if !plan.is_trivial() => {
-                let result = self.run_faulty(cfg, &plan, reverse_visit);
-                self.fault_plan = Some(plan);
+        let fault_plan = self.fault_plan.take();
+        let churn_plan = self.churn_plan.take();
+        let result = self.run_planned(cfg, fault_plan.as_ref(), churn_plan.as_ref(), reverse_visit);
+        self.fault_plan = fault_plan;
+        self.churn_plan = churn_plan;
+        result
+    }
+
+    /// Resolves the 2×2 (faulty?, churned?) split into engine
+    /// instantiations. Trivial plans take the exact clean hooks, so
+    /// attaching them is observably free; each non-trivial axis swaps in
+    /// its stateful hook ([`FaultState`] / [`ChurnState`]) independently.
+    fn run_planned(
+        &mut self,
+        cfg: &RunConfig,
+        fault_plan: Option<&FaultPlan>,
+        churn_plan: Option<&ChurnPlan>,
+        reverse_visit: bool,
+    ) -> Result<Metrics> {
+        let n = self.graph.len();
+        let faulty = fault_plan.filter(|p| !p.is_trivial());
+        let churned = churn_plan.filter(|p| !p.is_trivial());
+        let sched = match churned {
+            Some(plan) => {
+                plan.validate(n, self.graph.edge_count())?;
+                Some(plan.normalize(n, self.graph.edge_count()))
+            }
+            None => None,
+        };
+        match (faulty, &sched) {
+            (None, None) => {
+                self.dispatch(cfg, &mut NoFaults, &mut NoChurn, None, &[], reverse_visit)
+            }
+            (Some(plan), None) => {
+                let mut fs = FaultState::new(plan, n)?;
+                let crash_round = plan.crash_rounds(n);
+                let result = self.dispatch(
+                    cfg,
+                    &mut fs,
+                    &mut NoChurn,
+                    None,
+                    &crash_round,
+                    reverse_visit,
+                );
+                self.fault_events = std::mem::take(&mut fs.events);
+                self.crashed = std::mem::take(&mut fs.crashed);
                 result
             }
-            plan => {
-                self.fault_plan = plan;
-                self.dispatch(cfg, &mut NoFaults, &[], reverse_visit)
+            (None, Some(sched)) => {
+                let mut cs = ChurnState::new(sched);
+                let result =
+                    self.dispatch(cfg, &mut NoFaults, &mut cs, Some(sched), &[], reverse_visit);
+                self.churn_events = std::mem::take(&mut cs.events);
+                result
+            }
+            (Some(plan), Some(sched)) => {
+                let mut fs = FaultState::new(plan, n)?;
+                let crash_round = plan.crash_rounds(n);
+                let mut cs = ChurnState::new(sched);
+                let result = self.dispatch(
+                    cfg,
+                    &mut fs,
+                    &mut cs,
+                    Some(sched),
+                    &crash_round,
+                    reverse_visit,
+                );
+                self.fault_events = std::mem::take(&mut fs.events);
+                self.crashed = std::mem::take(&mut fs.crashed);
+                self.churn_events = std::mem::take(&mut cs.events);
+                result
             }
         }
     }
 
-    /// The faulty path: same engine, with [`FaultState`] as the hook.
-    fn run_faulty(
-        &mut self,
-        cfg: &RunConfig,
-        plan: &FaultPlan,
-        reverse_visit: bool,
-    ) -> Result<Metrics> {
-        let n = self.graph.len();
-        let mut fs = FaultState::new(plan, n)?;
-        let crash_round = plan.crash_rounds(n);
-        let result = self.dispatch(cfg, &mut fs, &crash_round, reverse_visit);
-        self.fault_events = std::mem::take(&mut fs.events);
-        self.crashed = std::mem::take(&mut fs.crashed);
-        result
-    }
-
     /// Picks the sequential or threaded stepper for the unified engine.
-    fn dispatch<H: FaultHook>(
+    fn dispatch<H: FaultHook, C: ChurnHook>(
         &mut self,
         cfg: &RunConfig,
         hook: &mut H,
+        churn: &mut C,
+        sched: Option<&ChurnSchedule>,
         crash_round: &[u64],
         reverse_visit: bool,
     ) -> Result<Metrics> {
         let threads = cfg.effective_threads(self.graph.len());
         if threads <= 1 {
-            self.run_seq(cfg, hook, crash_round, reverse_visit)
+            self.run_seq(cfg, hook, churn, sched, crash_round, reverse_visit)
         } else {
-            self.run_parallel(cfg, hook, crash_round, threads)
+            self.run_parallel(cfg, hook, churn, sched, crash_round, threads)
         }
     }
 
@@ -1143,10 +1291,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     }
 
     /// Single-threaded execution: the unified engine over [`InlineStepper`].
-    fn run_seq<H: FaultHook>(
+    fn run_seq<H: FaultHook, C: ChurnHook>(
         &mut self,
         cfg: &RunConfig,
         hook: &mut H,
+        churn: &mut C,
+        sched: Option<&ChurnSchedule>,
         crash_round: &[u64],
         reverse_visit: bool,
     ) -> Result<Metrics> {
@@ -1175,6 +1325,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             rngs,
             adjacency,
             crash_round,
+            churn: sched,
             staged,
             budget_bits,
             reverse: reverse_visit,
@@ -1187,6 +1338,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             scratch,
             &mut stepper,
             hook,
+            churn,
             trace_cfg,
             trace,
             profile_cfg,
@@ -1200,10 +1352,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// with this method owning the worker side — contiguous node shards,
     /// one persistent worker each, job/reply channels, buffer recycling,
     /// and panic propagation on join.
-    fn run_parallel<H: FaultHook>(
+    fn run_parallel<H: FaultHook, C: ChurnHook>(
         &mut self,
         cfg: &RunConfig,
         hook: &mut H,
+        churn: &mut C,
+        sched: Option<&ChurnSchedule>,
         crash_round: &[u64],
         threads: usize,
     ) -> Result<Metrics> {
@@ -1274,6 +1428,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                                 job.inbox[i].clear();
                                 continue;
                             }
+                            if sched.is_some_and(|ch| ch.node_down(round, v)) {
+                                // Churn outage: like a crash, but temporary
+                                // (see the inline stepper).
+                                job.inbox[i].clear();
+                                continue;
+                            }
                             // After a violation the rest of the shard is
                             // skipped (the run aborts; state after an error
                             // is unspecified).
@@ -1294,9 +1454,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                                     rng: &mut my_rngs[i],
                                     violation: &mut local_violation,
                                     trace: if tracing { Some(&mut events) } else { None },
+                                    churn: sched,
                                 };
                                 if round == 0 {
                                     node.init(&mut ctx);
+                                } else if sched.is_some_and(|ch| ch.rejoining(round, v)) {
+                                    node.on_restart(&mut ctx);
                                 } else {
                                     node.round(&mut ctx, &job.inbox[i]);
                                 }
@@ -1347,6 +1510,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 scratch,
                 &mut stepper,
                 hook,
+                churn,
                 trace_cfg,
                 trace,
                 profile_cfg,
@@ -1376,6 +1540,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amt_graphs::EdgeId;
     use rand::RngExt;
 
     /// Protocol that floods the max of initial values.
@@ -1766,15 +1931,62 @@ mod tests {
             let plan = FaultPlan::none().seeded(99).with_delays(0.9, 0);
             assert!(plan.is_trivial());
             let mut forced = Simulator::new(&g, walker_fleet(32), 9).unwrap();
-            let m_forced = forced.run_faulty(&cfg, &plan, false).unwrap();
+            let mut fs = FaultState::new(&plan, g.len()).unwrap();
+            let crash_round = plan.crash_rounds(g.len());
+            let m_forced = forced
+                .dispatch(&cfg, &mut fs, &mut NoChurn, None, &crash_round, false)
+                .unwrap();
 
             assert_eq!(m_clean, m_forced, "threads = {threads}: metrics diverged");
             let t_clean: Vec<u64> = clean.nodes().iter().map(|p| p.trace).collect();
             let t_forced: Vec<u64> = forced.nodes().iter().map(|p| p.trace).collect();
             assert_eq!(t_clean, t_forced, "threads = {threads}: state diverged");
             assert_eq!(clean.edge_load(), forced.edge_load());
-            assert!(forced.fault_events().is_empty());
+            assert!(fs.events.is_empty());
             assert!(forced.crashed_nodes().is_empty());
+        }
+    }
+
+    /// Satellite regression (churn analogue): a normalized-trivial
+    /// `ChurnPlan` *forced through the churn-aware engine* stays
+    /// byte-identical to the clean path, and the public dispatch routes
+    /// trivial churn plans to the clean hook in the first place.
+    #[test]
+    fn trivial_churn_plan_through_churned_engine_matches_clean_path() {
+        let g = amt_graphs::generators::hypercube(5);
+        for threads in [1usize, 4] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let mut clean = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+            let m_clean = clean.run(&cfg).unwrap();
+
+            // with_flaps(0.9, 0) normalizes to no-flap: nothing can fire.
+            let plan = ChurnPlan::none().seeded(99).with_flaps(0.9, 0);
+            assert!(plan.is_trivial());
+
+            // Attached via the public API: routed to the clean hooks.
+            let mut routed = Simulator::new(&g, walker_fleet(32), 9)
+                .unwrap()
+                .with_churn_plan(plan.clone());
+            let m_routed = routed.run(&cfg).unwrap();
+            assert_eq!(
+                m_clean, m_routed,
+                "threads = {threads}: trivial-plan run diverged"
+            );
+            assert!(routed.churn_events().is_empty());
+
+            // Forced through the churn-aware engine: still byte-identical.
+            let mut forced = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+            let sched = plan.normalize(g.len(), g.edge_count());
+            let mut cs = ChurnState::new(&sched);
+            let m_forced = forced
+                .dispatch(&cfg, &mut NoFaults, &mut cs, Some(&sched), &[], false)
+                .unwrap();
+            assert_eq!(m_clean, m_forced, "threads = {threads}: metrics diverged");
+            let t_clean: Vec<u64> = clean.nodes().iter().map(|p| p.trace).collect();
+            let t_forced: Vec<u64> = forced.nodes().iter().map(|p| p.trace).collect();
+            assert_eq!(t_clean, t_forced, "threads = {threads}: state diverged");
+            assert_eq!(clean.edge_load(), forced.edge_load());
+            assert!(cs.events.is_empty());
         }
     }
 
@@ -1970,5 +2182,191 @@ mod tests {
         // The hand count for edge (0,1): both endpoints send in round 0,
         // then node 1 (improved to 9) echoes back to 0: 3 total.
         assert_eq!(sim.edge_load()[0], 3);
+    }
+
+    /// Fixed-horizon beacon: sends the round number on every port each
+    /// round, records arrivals, and models full state loss on restart.
+    struct Pinger {
+        rounds_left: u32,
+        got: Vec<u64>,
+        restarts: u32,
+    }
+
+    impl Protocol for Pinger {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send_all(0);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+            for &(_, v) in inbox {
+                self.got.push(v);
+            }
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                let r = ctx.round();
+                ctx.send_all(r);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.rounds_left == 0
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx<'_, u64>) {
+            self.restarts += 1;
+            self.got.clear();
+            self.round(ctx, &[]);
+        }
+    }
+
+    fn pinger_pair(horizon: u32) -> Vec<Pinger> {
+        (0..2)
+            .map(|_| Pinger {
+                rounds_left: horizon,
+                got: Vec::new(),
+                restarts: 0,
+            })
+            .collect()
+    }
+
+    /// Churn semantics, edge axis: messages staged over a down edge are
+    /// lost (counted in `lost_to_churn`, logged as `MessageLost`), the
+    /// transition log brackets the outage, and the trace timeline carries
+    /// the per-round loss deltas.
+    #[test]
+    fn edge_outage_loses_messages_and_logs_events() {
+        use crate::churn::ChurnKind;
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let plan = ChurnPlan::none().with_edge_outage(EdgeId(0), 2, 2);
+        let mut sim = Simulator::new(&g, pinger_pair(8), 5)
+            .unwrap()
+            .with_churn_plan(plan)
+            .with_trace(TraceConfig::default());
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(1);
+        let m = sim.run(&cfg).unwrap();
+        // Both endpoints send every round; rounds 2 and 3 are eaten by the
+        // outage in both directions.
+        assert_eq!(m.lost_to_churn, 4);
+        assert_eq!(m.restarts, 0);
+        let events = sim.churn_events();
+        assert_eq!(
+            events[0],
+            ChurnEvent {
+                round: 2,
+                kind: ChurnKind::EdgeDown { edge: EdgeId(0) }
+            }
+        );
+        assert!(events.contains(&ChurnEvent {
+            round: 4,
+            kind: ChurnKind::EdgeUp { edge: EdgeId(0) }
+        }));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, ChurnKind::MessageLost { .. }))
+                .count(),
+            4
+        );
+        // The per-round timeline carries the losses and sums back to the
+        // run's metrics (the reconstruct contract extends to churn).
+        let trace = sim.take_trace().unwrap();
+        assert_eq!(trace.samples[2].lost_to_churn, 2);
+        assert_eq!(trace.samples[3].lost_to_churn, 2);
+        assert_eq!(trace.samples[2].nodes_down, 0);
+        assert_eq!(trace.reconstruct_metrics(), m);
+        // Deliveries in a loss round: none (the only edge was down).
+        assert_eq!(trace.samples[2].messages, 0);
+    }
+
+    /// Churn semantics, node axis: an offline node steps in no round of
+    /// the outage, messages addressed to it are lost, and at rejoin the
+    /// executor calls `on_restart` exactly once (state loss is the
+    /// protocol's move; the default keeps state).
+    #[test]
+    fn node_restart_loses_state_and_calls_on_restart() {
+        use crate::churn::ChurnKind;
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let plan = ChurnPlan::none().with_restart(NodeId(1), 2, 2);
+        let mut sim = Simulator::new(&g, pinger_pair(8), 5)
+            .unwrap()
+            .with_churn_plan(plan);
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(1);
+        let m = sim.run(&cfg).unwrap();
+        // Node 0's beacons of rounds 2 and 3 die against the offline node;
+        // node 1, being down, stages nothing those rounds.
+        assert_eq!(m.lost_to_churn, 2);
+        assert_eq!(m.restarts, 1);
+        assert_eq!(m.crashed, 0);
+        assert_eq!(sim.nodes()[1].restarts, 1, "on_restart ran exactly once");
+        assert_eq!(sim.nodes()[0].restarts, 0);
+        // State loss: node 1 cleared `got` at round 4; everything it holds
+        // arrived after the rejoin.
+        assert!(sim.nodes()[1].got.iter().all(|&r| r >= 4));
+        assert!(
+            !sim.nodes()[1].got.is_empty(),
+            "traffic resumed after rejoin"
+        );
+        let events = sim.churn_events();
+        assert!(events.contains(&ChurnEvent {
+            round: 2,
+            kind: ChurnKind::NodeDown { node: NodeId(1) }
+        }));
+        assert!(events.contains(&ChurnEvent {
+            round: 4,
+            kind: ChurnKind::NodeRejoin { node: NodeId(1) }
+        }));
+    }
+
+    /// Engine-level churn determinism: a plan mixing PRF flaps, a periodic
+    /// outage, and a restart produces byte-identical metrics, churn-event
+    /// logs, protocol state, and edge loads across thread counts and under
+    /// visit-order reversal.
+    #[test]
+    fn churned_runs_are_identical_across_threads_and_visit_order() {
+        let g = amt_graphs::generators::hypercube(5);
+        let plan = ChurnPlan::none()
+            .seeded(41)
+            .with_flaps(0.08, 6)
+            .with_periodic_outage(EdgeId(3), 4, 3, 11)
+            .with_restart(NodeId(7), 5, 4);
+        let run = |threads: usize, reverse: bool| {
+            let mut sim = Simulator::new(&g, walker_fleet(32), 9)
+                .unwrap()
+                .with_churn_plan(plan.clone());
+            let cfg = RunConfig::default().with_threads(threads);
+            let m = if reverse {
+                sim.run_reverse_visit(&cfg).unwrap()
+            } else {
+                sim.run(&cfg).unwrap()
+            };
+            let state: Vec<u64> = sim.nodes().iter().map(|p| p.trace).collect();
+            (
+                m,
+                sim.churn_events().to_vec(),
+                state,
+                sim.edge_load().to_vec(),
+            )
+        };
+        let baseline = run(1, false);
+        assert!(
+            baseline.0.lost_to_churn > 0,
+            "the plan must actually bite: {:?}",
+            baseline.0
+        );
+        assert_eq!(baseline.0.restarts, 1);
+        assert_eq!(run(1, true), baseline, "visit-order reversal diverged");
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run(threads, false),
+                baseline,
+                "threads = {threads} diverged"
+            );
+        }
     }
 }

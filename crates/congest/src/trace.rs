@@ -65,6 +65,15 @@ pub struct RoundSample {
     pub lost_to_crash: u64,
     /// Nodes crash-stopped at the start of this round.
     pub crashed: u64,
+    /// Messages lost this round to a down edge or offline destination
+    /// (topology churn).
+    pub lost_to_churn: u64,
+    /// Churn rejoins completed at the start of this round.
+    pub restarts: u64,
+    /// **Gauge**, not a delta: nodes unavailable during this round — fault
+    /// crash-stops plus churn outages. This is the per-round availability
+    /// timeline ISSUE 6 asks for; [`RunTrace::availability`] reads it.
+    pub nodes_down: u64,
 }
 
 /// One protocol-emitted span/phase marker (see [`crate::Ctx::trace_event`]).
@@ -130,8 +139,23 @@ impl RunTrace {
             m.delayed += s.delayed;
             m.lost_to_crash += s.lost_to_crash;
             m.crashed += s.crashed;
+            m.lost_to_churn += s.lost_to_churn;
+            m.restarts += s.restarts;
         }
         m
+    }
+
+    /// Per-round availability: for each recorded round, the fraction of `n`
+    /// nodes that were up (1.0 when nothing was down). Empty for an empty
+    /// trace or `n == 0`.
+    pub fn availability(&self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.samples
+            .iter()
+            .map(|s| (n as u64).saturating_sub(s.nodes_down) as f64 / n as f64)
+            .collect()
     }
 
     /// Events carrying `label`, in emission order.
@@ -183,6 +207,60 @@ impl Distribution {
             p95: rank(95),
             max: sorted[n - 1],
         }
+    }
+}
+
+/// Time-to-reconverge bookkeeping for self-healing drivers under sustained
+/// damage.
+///
+/// A *damage* mark opens a recovery span at the global round the topology
+/// changed (crash, restart, edge cut, flap window); a *recovery* mark closes
+/// **every** open span at the round the driver next reached a
+/// verified-correct state (a delivered walk batch, a completed and verified
+/// Borůvka iteration). Spans that never close — damage the run ended still
+/// digesting — stay in [`RecoveryTimeline::open_count`]. All rounds are
+/// simulated rounds, so the timeline is as deterministic as the run itself.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryTimeline {
+    /// Rounds of damage events not yet recovered from, in record order.
+    open: Vec<u64>,
+    /// Closed `(damage_round, recovery_round)` spans, in recovery order.
+    closed: Vec<(u64, u64)>,
+}
+
+impl RecoveryTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a recovery span: damage landed at `round`.
+    pub fn record_damage(&mut self, round: u64) {
+        self.open.push(round);
+    }
+
+    /// Closes every open span: the protocol re-reached a verified-correct
+    /// state at `round`.
+    pub fn record_recovery(&mut self, round: u64) {
+        for d in self.open.drain(..) {
+            self.closed.push((d, round.max(d)));
+        }
+    }
+
+    /// Closed `(damage_round, recovery_round)` spans, in recovery order.
+    pub fn spans(&self) -> &[(u64, u64)] {
+        &self.closed
+    }
+
+    /// Damage events the run ended without recovering from.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Order statistics of `recovery_round - damage_round` over the closed
+    /// spans — the run's time-to-reconverge distribution.
+    pub fn time_to_reconverge(&self) -> Distribution {
+        Distribution::of(self.closed.iter().map(|&(d, r)| r - d))
     }
 }
 
@@ -274,6 +352,9 @@ mod tests {
                     delayed: 2,
                     lost_to_crash: 0,
                     crashed: 1,
+                    lost_to_churn: 0,
+                    restarts: 0,
+                    nodes_down: 1,
                 },
                 RoundSample {
                     round: 1,
@@ -284,6 +365,9 @@ mod tests {
                     delayed: 0,
                     lost_to_crash: 1,
                     crashed: 0,
+                    lost_to_churn: 3,
+                    restarts: 1,
+                    nodes_down: 2,
                 },
                 RoundSample {
                     round: 2,
@@ -294,6 +378,9 @@ mod tests {
                     delayed: 0,
                     lost_to_crash: 0,
                     crashed: 0,
+                    lost_to_churn: 0,
+                    restarts: 0,
+                    nodes_down: 1,
                 },
             ],
             events: Vec::new(),
@@ -315,8 +402,13 @@ mod tests {
                 delayed: 2,
                 lost_to_crash: 1,
                 crashed: 1,
+                lost_to_churn: 3,
+                restarts: 1,
             }
         );
+        // The gauge never feeds reconstruction; it feeds availability.
+        assert_eq!(trace.availability(4), vec![0.75, 0.5, 0.75]);
+        assert_eq!(trace.availability(0), Vec::<f64>::new());
     }
 
     #[test]
@@ -390,6 +482,34 @@ mod tests {
                 p50: 20,
                 p95: 60,
                 max: 60
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_timeline_spans_and_distribution() {
+        let mut t = RecoveryTimeline::new();
+        assert_eq!(t.time_to_reconverge(), Distribution::default());
+        t.record_damage(10);
+        t.record_damage(12);
+        assert_eq!(t.open_count(), 2);
+        // One recovery closes every open span.
+        t.record_recovery(20);
+        assert_eq!(t.spans(), &[(10, 20), (12, 20)]);
+        assert_eq!(t.open_count(), 0);
+        t.record_damage(30);
+        // Recovery in the damage round itself clamps to a zero-length span.
+        t.record_recovery(30);
+        t.record_damage(40);
+        assert_eq!(t.spans(), &[(10, 20), (12, 20), (30, 30)]);
+        assert_eq!(t.open_count(), 1, "unrecovered damage stays open");
+        // Durations [10, 8, 0] sorted [0, 8, 10]: p50 = 2nd = 8.
+        assert_eq!(
+            t.time_to_reconverge(),
+            Distribution {
+                p50: 8,
+                p95: 10,
+                max: 10
             }
         );
     }

@@ -63,7 +63,10 @@ pub use system::{Error, System, SystemBuilder};
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use crate::{Error, System, SystemBuilder};
-    pub use amt_congest::{CrashEvent, FaultEvent, FaultKind, FaultPlan};
+    pub use amt_congest::{
+        ChurnEvent, ChurnKind, ChurnPlan, CrashEvent, FaultEvent, FaultKind, FaultPlan,
+        RecoveryTimeline,
+    };
     pub use amt_embedding::{Hierarchy, HierarchyConfig};
     pub use amt_graphs::{generators, EdgeId, Graph, GraphBuilder, NodeId, WeightedGraph};
     pub use amt_mincut::{karger_estimate, stoer_wagner, tree_packing_min_cut, MstOracle};

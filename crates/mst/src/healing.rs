@@ -21,17 +21,50 @@
 //! If the crashes disconnect the survivors, the run fails fast with
 //! [`CongestError::NodeCrashed`] naming the responsible node, round, and
 //! fault seed — an impossible instance, not a hang.
+//!
+//! Under *topology churn* ([`run_healing_churned`]) the same machinery
+//! rides a [`ChurnPlan`] and hardens further:
+//!
+//! * transient edge flaps and node restarts cost ARQ retransmissions;
+//!   phase restarts back off exponentially (capped, with deterministic
+//!   jitter) so sustained flapping is ridden out, not retried into;
+//! * edges *permanently cut* by the plan are excluded from candidate
+//!   selection, and an adopted tree edge that is later cut is pruned with a
+//!   label re-flood — surviving adoptions stay MST edges (they were each a
+//!   fragment's minimum over a superset of the final edge set);
+//! * when the cuts disconnect the survivors the run terminates with
+//!   [`CongestError::Partitioned`] naming the component count, instead of
+//!   retrying toward an unreachable component until the round cap;
+//! * an ARQ give-up toward a peer that is *alive* (a link flapping past the
+//!   retransmission budget) restarts the phase; the same link giving up
+//!   repeatedly surfaces [`CongestError::RetryExhausted`];
+//! * damage and re-convergence are recorded in a [`RecoveryTimeline`]: a
+//!   span opens at every crash, outage, or cut and closes at the end of the
+//!   next completed Borůvka iteration.
 
 use crate::congest_boruvka::{decode_edge, encode};
 use crate::reference::UnionFind;
 use crate::{MstError, Result};
 use amt_congest::{
-    bits_for_value, class, CongestError, Ctx, FaultKind, FaultPlan, Metrics, ProfileConfig,
-    Protocol, Reliable, ReliableLink, RunConfig, RunTrace, Simulator, StopCondition, TraceConfig,
-    TrafficClass, TrafficProfile,
+    bits_for_value, class, ChurnKind, ChurnPlan, CongestError, Ctx, FaultKind, FaultPlan, Metrics,
+    ProfileConfig, Protocol, RecoveryTimeline, Reliable, ReliableLink, RunConfig, RunTrace,
+    Simulator, StopCondition, TraceConfig, TrafficClass, TrafficProfile,
 };
-use amt_graphs::{EdgeId, NodeId, WeightedGraph};
+use amt_graphs::{EdgeId, Graph, NodeId, WeightedGraph};
 use std::collections::{HashMap, HashSet};
+
+/// Consecutive phase-level ARQ give-ups on the same live link before the
+/// run surfaces [`CongestError::RetryExhausted`].
+const MAX_LINK_RETRIES: u32 = 3;
+
+/// Deterministic backoff jitter for phase restarts — a splitmix64 step
+/// keyed by `(seed, streak)`.
+fn backoff_jitter(seed: u64, streak: u32) -> u64 {
+    let mut z = seed ^ u64::from(streak).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// "No outgoing candidate" sentinel — the largest value the 34-bit ARQ
 /// payload field can carry, so it loses every `min`.
@@ -69,6 +102,15 @@ impl Protocol for ReliableMinFlood {
     }
 
     fn round(&mut self, ctx: &mut Ctx<'_, Reliable<u64>>, inbox: &[(usize, Reliable<u64>)]) {
+        // A node offline in round 0 (churn outage) never ran `init`; its
+        // first executed round spreads instead, so its value still enters
+        // the flood. (On the churn-free path `init` always consumes the
+        // flag, so this never fires.)
+        if self.fresh {
+            self.fresh = false;
+            ctx.trace_event("mst_phase", self.phase);
+            self.spread();
+        }
         let mut improved = false;
         for (_, v) in self.link.deliver(inbox) {
             if v < self.value {
@@ -121,10 +163,24 @@ impl PhaseObs {
     }
 }
 
+/// What one flooding phase observed besides its converged values.
+struct PhaseDamage {
+    /// Nodes newly crash-stopped by the fault plan this phase.
+    new_crashes: Vec<NodeId>,
+    /// ARQ give-ups `(node, port, attempts)` toward peers still alive
+    /// afterwards.
+    giveups: Vec<(NodeId, usize, u32)>,
+    /// Live nodes that were offline (churn outage) at any point this phase
+    /// — their contribution may be missing, so the flood is suspect.
+    outaged: Vec<NodeId>,
+}
+
 /// One reliable flooding phase over `active` forest edges, excluding dead
-/// nodes; returns converged values, metrics, and any *new* crashes the
-/// phase's slice of the fault schedule injected. Data frames are attributed
-/// to `class`; `phase` is the global phase number for `"mst_phase"` spans.
+/// nodes; returns converged values, metrics, and the damage the phase
+/// observed ([`PhaseDamage`]). Data frames are attributed to `class`;
+/// `phase` is the global phase number for `"mst_phase"` spans. Damage
+/// events (crashes, outages, cuts) open spans in `timeline` on the global
+/// clock.
 #[allow(clippy::too_many_arguments)]
 fn reliable_min_flood(
     wg: &WeightedGraph,
@@ -133,16 +189,18 @@ fn reliable_min_flood(
     init: &[u64],
     seed: u64,
     plan: &FaultPlan,
+    churn: &ChurnPlan,
+    timeout: u64,
     elapsed: u64,
     crash_rounds: &mut HashMap<u32, u64>,
+    timeline: &mut RecoveryTimeline,
     threads: usize,
     class: TrafficClass,
     phase: u64,
     obs: &mut PhaseObs,
     rounds_so_far: u64,
-) -> Result<(Vec<u64>, Metrics, Vec<NodeId>)> {
+) -> Result<(Vec<u64>, Metrics, PhaseDamage)> {
     let g = wg.graph();
-    let timeout = 4 + 2 * plan.max_delay;
     let nodes = g
         .nodes()
         .map(|v| ReliableMinFlood {
@@ -160,7 +218,9 @@ fn reliable_min_flood(
         .collect();
     // This phase sees the tail of the global fault schedule: already-dead
     // nodes stay crashed from round 0, pending crashes fire once the
-    // computation's global clock (elapsed + local round) reaches them.
+    // computation's global clock (elapsed + local round) reaches them. The
+    // churn plan needs no such surgery — its schedules are expressed on the
+    // global clock and shifted wholesale via `at_offset`.
     let mut phase_plan = plan.clone();
     phase_plan.seed = plan.seed ^ elapsed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     for c in &mut phase_plan.crashes {
@@ -170,7 +230,9 @@ fn reliable_min_flood(
             c.round.saturating_sub(elapsed)
         };
     }
-    let mut sim = Simulator::new(g, nodes, seed)?.with_fault_plan(phase_plan);
+    let mut sim = Simulator::new(g, nodes, seed)?
+        .with_fault_plan(phase_plan)
+        .with_churn_plan(churn.clone().at_offset(churn.round_offset + elapsed));
     if let Some(tc) = obs.trace {
         sim = sim.with_trace(tc);
     }
@@ -188,22 +250,136 @@ fn reliable_min_flood(
     for e in sim.fault_events() {
         if matches!(e.kind, FaultKind::Crashed) {
             crash_rounds.entry(e.node.0).or_insert(elapsed + e.round);
+            // Re-applied crashes of already-dead nodes are no new damage.
+            if !dead[e.node.index()] {
+                timeline.record_damage(elapsed + e.round);
+            }
         }
     }
-    let new_crashes = sim
+    for ev in sim.churn_events() {
+        // Outages touching only already-dead nodes are immaterial — the
+        // healed tree no longer depends on them, so they open no span.
+        let counts = match ev.kind {
+            ChurnKind::EdgeDown { edge } => {
+                let (u, v) = g.endpoints(edge);
+                !dead[u.index()] && !dead[v.index()]
+            }
+            ChurnKind::NodeDown { node } => !dead[node.index()],
+            _ => false,
+        };
+        if counts {
+            timeline.record_damage(elapsed + ev.round);
+        }
+    }
+    let new_crashes: Vec<NodeId> = sim
         .crashed_nodes()
         .into_iter()
         .filter(|v| !dead[v.index()])
         .collect();
+    let dead_now = |v: NodeId| dead[v.index()] || new_crashes.contains(&v);
+    let giveups = sim
+        .nodes()
+        .iter()
+        .enumerate()
+        .flat_map(|(v, p)| {
+            let v = NodeId::from(v);
+            p.link
+                .failures()
+                .into_iter()
+                .filter(move |&(port, _)| {
+                    let (peer, _) = g.neighbors(v).nth(port).expect("port within degree");
+                    !dead_now(peer)
+                })
+                .map(move |(port, attempts)| (v, port, attempts))
+        })
+        .collect();
+    // Live nodes offline at any point this phase: the executor counts them
+    // as done while they are down, so the flood may have terminated without
+    // their contribution — the caller must treat the values as suspect.
+    let mut outaged: Vec<NodeId> = sim
+        .churn_events()
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            ChurnKind::NodeDown { node } if !dead_now(node) => Some(node),
+            _ => None,
+        })
+        .collect();
+    outaged.sort_unstable();
+    outaged.dedup();
     Ok((
         sim.nodes().iter().map(|p| p.value).collect(),
         metrics,
-        new_crashes,
+        PhaseDamage {
+            new_crashes,
+            giveups,
+            outaged,
+        },
     ))
 }
 
+/// Removes forest/tree edges the churn plan has permanently cut; returns
+/// whether anything was pruned (labels must re-flood before Borůvka
+/// resumes). Surviving adoptions stay MST edges of the reduced graph: each
+/// was its fragment's minimum outgoing edge over a superset of the final
+/// edge set.
+fn prune_cut_forest(
+    forest: &mut HashSet<EdgeId>,
+    tree_edges: &mut Vec<EdgeId>,
+    cut_tree_edges: &mut Vec<EdgeId>,
+    is_cut: impl Fn(EdgeId) -> bool,
+) -> bool {
+    let newly_cut: Vec<EdgeId> = forest.iter().copied().filter(|&e| is_cut(e)).collect();
+    if newly_cut.is_empty() {
+        return false;
+    }
+    for e in &newly_cut {
+        forest.remove(e);
+    }
+    tree_edges.retain(|e| forest.contains(e));
+    cut_tree_edges.extend(newly_cut);
+    true
+}
+
+/// Accounts this phase's ARQ give-ups toward live peers over non-cut edges
+/// into `streaks`. Returns `Ok(true)` when the phase's flood values are
+/// suspect and the phase must restart; errors with
+/// [`CongestError::RetryExhausted`] once one link has given up
+/// [`MAX_LINK_RETRIES`] phases straight — sustained damage the retry
+/// budget cannot outwait.
+fn check_giveups(
+    g: &Graph,
+    giveups: &[(NodeId, usize, u32)],
+    is_cut: impl Fn(EdgeId) -> bool,
+    streaks: &mut HashMap<(u32, usize), u32>,
+    elapsed: u64,
+    seed: u64,
+) -> Result<bool> {
+    let mut restart = false;
+    for &(v, port, attempts) in giveups {
+        let (_, e) = g.neighbors(v).nth(port).expect("port within degree");
+        if is_cut(e) {
+            // An expected give-up: the edge is gone for good, and the
+            // cut-forest prune reroutes around it.
+            continue;
+        }
+        restart = true;
+        let s = streaks.entry((v.0, port)).or_insert(0);
+        *s += 1;
+        if *s >= MAX_LINK_RETRIES {
+            return Err(MstError::Congest(CongestError::RetryExhausted {
+                node: v,
+                port,
+                attempts,
+                round: elapsed,
+                seed,
+            }));
+        }
+    }
+    Ok(restart)
+}
+
 /// Outcome of the self-healing Borůvka run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HealedMstOutcome {
     /// MST edges of the **surviving** induced subgraph (sorted).
     pub tree_edges: Vec<EdgeId>,
@@ -217,8 +393,16 @@ pub struct HealedMstOutcome {
     pub phase_restarts: u32,
     /// Nodes lost to the fault plan.
     pub crashed_nodes: Vec<NodeId>,
-    /// Full accumulated metrics (messages, bits, fault counters).
+    /// Tree edges adopted and later *permanently cut* by the churn plan,
+    /// pruned with a label re-flood (empty without churn).
+    pub cut_tree_edges: Vec<EdgeId>,
+    /// Full accumulated metrics (messages, bits, fault and churn counters).
     pub metrics: Metrics,
+    /// Damage-to-reconvergence spans on the accumulated round clock: a span
+    /// opens at every crash, node outage, or edge outage and closes at the
+    /// end of the next completed Borůvka iteration. Empty for damage-free
+    /// runs.
+    pub timeline: RecoveryTimeline,
 }
 
 /// Runs fault-tolerant Borůvka over `wg` under `plan`.
@@ -271,10 +455,55 @@ pub fn run_healing_instrumented(
     trace: Option<TraceConfig>,
     profile: Option<ProfileConfig>,
 ) -> Result<(HealedMstOutcome, Vec<RunTrace>, Option<TrafficProfile>)> {
+    run_healing_churned_instrumented(wg, seed, plan, ChurnPlan::none(), threads, trace, profile)
+}
+
+/// [`run_healing_with`] under topology churn: fault-tolerant Borůvka
+/// executed against `churn`, with cut-aware candidate selection, pruning of
+/// cut tree edges, capped-backoff phase restarts, and a
+/// [`RecoveryTimeline`] in the outcome (see the module docs). The churn
+/// plan's global clock spans all phases.
+///
+/// # Errors
+///
+/// Same as [`run_healing`], plus [`CongestError::Partitioned`] when
+/// permanent cuts (with any crashes) disconnect the survivors, and
+/// [`CongestError::RetryExhausted`] when one live link's ARQ gives up in
+/// [`MAX_LINK_RETRIES`] phases straight.
+pub fn run_healing_churned(
+    wg: &WeightedGraph,
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+    threads: usize,
+) -> Result<HealedMstOutcome> {
+    let (out, _, _) = run_healing_churned_instrumented(wg, seed, plan, churn, threads, None, None)?;
+    Ok(out)
+}
+
+/// The full healing driver: faults, churn, and opt-in observability in one
+/// signature ([`run_healing_instrumented`] is this with a trivial churn
+/// plan).
+///
+/// # Errors
+///
+/// Same as [`run_healing_churned`].
+pub fn run_healing_churned_instrumented(
+    wg: &WeightedGraph,
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+    threads: usize,
+    trace: Option<TraceConfig>,
+    profile: Option<ProfileConfig>,
+) -> Result<(HealedMstOutcome, Vec<RunTrace>, Option<TrafficProfile>)> {
     let g = wg.graph();
     g.require_connected()?;
     let n = g.len();
     plan.validate(n).map_err(MstError::Congest)?;
+    churn
+        .validate(n, g.edge_count())
+        .map_err(MstError::Congest)?;
     let bits = bits_for_value(wg.edge_count() as u64) + 1;
     if let Some(&max_w) = wg.weights().iter().max() {
         assert!(
@@ -295,8 +524,60 @@ pub fn run_healing_instrumented(
     let mut labels_stale = false;
     let mut obs = PhaseObs::new(trace, profile);
     let mut phase = 0u64;
+    let mut timeline = RecoveryTimeline::new();
+    let mut cut_tree_edges: Vec<EdgeId> = Vec::new();
+    // Consecutive phase restarts without a completed iteration; drives the
+    // capped-backoff ARQ timeout below.
+    let mut restart_streak = 0u32;
+    // Phase-level ARQ give-up streak per directed link `(node, port)`.
+    let mut giveup_streaks: HashMap<(u32, usize), u32> = HashMap::new();
+    // Consecutive suspect phases per node in churn outage; a node offline
+    // [`MAX_LINK_RETRIES`] phases straight is pruned as dead — an
+    // effectively-permanent outage the restart budget must not chase.
+    let mut outage_streaks: HashMap<u32, u32> = HashMap::new();
+    let base_timeout = 4 + 2 * plan.max_delay;
+    // Jitter key: a *trivial* churn plan must leave the run byte-identical
+    // to the churn-free path whatever its seed, so its seed drops out.
+    let jitter_seed = if churn.is_trivial() {
+        plan.seed
+    } else {
+        plan.seed ^ churn.seed
+    };
+    // Rounds (on the churn plan's global clock) from which each edge is
+    // permanently cut, precomputed once.
+    let cut_round: Vec<Option<u64>> = (0..g.edge_count())
+        .map(|e| churn.edge_cut_round(EdgeId(e as u32)))
+        .collect();
+    let is_cut = |e: EdgeId, at: u64| cut_round[e.index()].is_some_and(|r| r <= at);
     // Restarts re-run phases, so budget them on top of the usual cap.
-    let cap = 2 * (n.max(2) as f64).log2().ceil() as u32 + 10 + 2 * plan.crashes.len() as u32;
+    let cap = 2 * (n.max(2) as f64).log2().ceil() as u32
+        + 10
+        + 2 * plan.crashes.len() as u32
+        + 2 * (churn.outages.len() + churn.restarts.len()) as u32;
+
+    // Components of the live nodes over edges not permanently cut by `at`
+    // (transient outages count as connectivity — they come back).
+    let survivor_components = |dead: &[bool], at: u64| -> usize {
+        let mut seen = vec![false; n];
+        let mut comps = 0usize;
+        for s in 0..n {
+            if dead[s] || seen[s] {
+                continue;
+            }
+            comps += 1;
+            seen[s] = true;
+            let mut stack = vec![NodeId::from(s)];
+            while let Some(v) = stack.pop() {
+                for (w, e) in g.neighbors(v) {
+                    if !dead[w.index()] && !seen[w.index()] && !is_cut(e, at) {
+                        seen[w.index()] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        comps
+    };
 
     // Prunes the state after newly detected crashes; errors out if the
     // survivors are disconnected.
@@ -341,21 +622,57 @@ pub fn run_healing_instrumented(
         Ok(())
     };
 
+    // Bumps each outaged node's patience streak; nodes offline
+    // `MAX_LINK_RETRIES` suspect phases straight are pruned as dead.
+    let handle_outages = |outaged: &[NodeId],
+                          streaks: &mut HashMap<u32, u32>,
+                          dead: &mut Vec<bool>,
+                          forest: &mut HashSet<EdgeId>,
+                          tree_edges: &mut Vec<EdgeId>,
+                          crash_rounds: &HashMap<u32, u64>|
+     -> Result<()> {
+        let mut expired: Vec<NodeId> = Vec::new();
+        for &v in outaged {
+            let s = streaks.entry(v.0).or_insert(0);
+            *s += 1;
+            if *s >= MAX_LINK_RETRIES {
+                expired.push(v);
+            }
+        }
+        if !expired.is_empty() {
+            prune(&expired, dead, forest, tree_edges, crash_rounds)?;
+        }
+        Ok(())
+    };
+
     loop {
+        // Capped exponential backoff with deterministic jitter on the ARQ
+        // timeout: consecutive phase restarts wait longer for acks, so
+        // sustained flapping is ridden out instead of retried into.
+        let phase_timeout = if restart_streak == 0 {
+            base_timeout
+        } else {
+            (base_timeout << restart_streak.min(4))
+                + backoff_jitter(jitter_seed, restart_streak) % base_timeout
+        };
+
         if labels_stale {
             // Phase restart: re-establish fragment labels on the pruned
             // forest before resuming Borůvka.
             let label_init: Vec<u64> = (0..n as u64).collect();
             phase += 1;
-            let (labels, m, crashes) = reliable_min_flood(
+            let (labels, m, damage) = reliable_min_flood(
                 wg,
                 &forest,
                 &dead,
                 &label_init,
                 seed ^ 0xBEEF ^ elapsed,
                 &plan,
+                &churn,
+                phase_timeout,
                 elapsed,
                 &mut crash_rounds,
+                &mut timeline,
                 threads,
                 class::MST_LABEL,
                 phase,
@@ -364,19 +681,65 @@ pub fn run_healing_instrumented(
             )?;
             elapsed += m.rounds;
             metrics = metrics.then(m);
-            if !crashes.is_empty() {
+            if !damage.new_crashes.is_empty() {
                 prune(
-                    &crashes,
+                    &damage.new_crashes,
                     &mut dead,
                     &mut forest,
                     &mut tree_edges,
                     &crash_rounds,
                 )?;
+                restart_streak += 1;
+                phase_restarts += 1;
+                continue;
+            }
+            if !damage.outaged.is_empty() {
+                // A live node was offline mid-flood: the executor counts it
+                // as done while down, so its value may be missing. Restart.
+                handle_outages(
+                    &damage.outaged,
+                    &mut outage_streaks,
+                    &mut dead,
+                    &mut forest,
+                    &mut tree_edges,
+                    &crash_rounds,
+                )?;
+                restart_streak += 1;
+                phase_restarts += 1;
+                continue;
+            }
+            if prune_cut_forest(&mut forest, &mut tree_edges, &mut cut_tree_edges, |e| {
+                is_cut(e, elapsed)
+            }) {
+                restart_streak += 1;
+                phase_restarts += 1;
+                continue;
+            }
+            if check_giveups(
+                g,
+                &damage.giveups,
+                |e| is_cut(e, elapsed),
+                &mut giveup_streaks,
+                elapsed,
+                plan.seed,
+            )? {
+                restart_streak += 1;
                 phase_restarts += 1;
                 continue;
             }
             comp = labels;
             labels_stale = false;
+        }
+
+        // Permanent cuts may have disconnected the survivors: terminate
+        // with the component count instead of retrying toward an
+        // unreachable fragment until the iteration cap.
+        let comps = survivor_components(&dead, elapsed);
+        if comps > 1 {
+            return Err(MstError::Congest(CongestError::Partitioned {
+                components: comps,
+                round: elapsed,
+            }));
         }
 
         let live_fragments: HashSet<u64> = (0..n).filter(|&v| !dead[v]).map(|v| comp[v]).collect();
@@ -393,29 +756,39 @@ pub fn run_healing_instrumented(
         elapsed += 1;
 
         // Per-node candidate: minimum edge out of the fragment, toward a
-        // live node.
+        // live node, over an edge not permanently cut by now (transiently
+        // down edges stay candidates — they come back).
         let init: Vec<u64> = g
             .nodes()
             .map(|v| {
                 if dead[v.index()] {
                     return NO_CANDIDATE;
                 }
-                wg.min_incident_edge(v, |w| {
-                    !dead[w.index()] && comp[w.index()] != comp[v.index()]
-                })
-                .map_or(NO_CANDIDATE, |(e, _)| encode(wg, e))
+                g.neighbors(v)
+                    .filter(|&(w, e)| {
+                        w != v
+                            && !dead[w.index()]
+                            && comp[w.index()] != comp[v.index()]
+                            && !is_cut(e, elapsed)
+                    })
+                    .map(|(_, e)| encode(wg, e))
+                    .min()
+                    .unwrap_or(NO_CANDIDATE)
             })
             .collect();
         phase += 1;
-        let (vals, m1, crashes) = reliable_min_flood(
+        let (vals, m1, damage) = reliable_min_flood(
             wg,
             &forest,
             &dead,
             &init,
             seed ^ u64::from(iterations),
             &plan,
+            &churn,
+            phase_timeout,
             elapsed,
             &mut crash_rounds,
+            &mut timeline,
             threads,
             class::MST_FLOOD,
             phase,
@@ -424,16 +797,52 @@ pub fn run_healing_instrumented(
         )?;
         elapsed += m1.rounds;
         metrics = metrics.then(m1);
-        if !crashes.is_empty() {
+        if !damage.new_crashes.is_empty() {
             // A fragment member — possibly the minimum-id leader — died
             // mid-phase; the partial minima are untrustworthy. Restart.
             prune(
-                &crashes,
+                &damage.new_crashes,
                 &mut dead,
                 &mut forest,
                 &mut tree_edges,
                 &crash_rounds,
             )?;
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        if !damage.outaged.is_empty() {
+            handle_outages(
+                &damage.outaged,
+                &mut outage_streaks,
+                &mut dead,
+                &mut forest,
+                &mut tree_edges,
+                &crash_rounds,
+            )?;
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        if prune_cut_forest(&mut forest, &mut tree_edges, &mut cut_tree_edges, |e| {
+            is_cut(e, elapsed)
+        }) {
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        if check_giveups(
+            g,
+            &damage.giveups,
+            |e| is_cut(e, elapsed),
+            &mut giveup_streaks,
+            elapsed,
+            plan.seed,
+        )? {
+            restart_streak += 1;
             phase_restarts += 1;
             labels_stale = true;
             continue;
@@ -460,22 +869,33 @@ pub fn run_healing_instrumented(
             }
         }
         debug_assert!(
-            merged,
+            merged || !churn.is_trivial(),
             "a fault-free phase must merge at least one fragment"
         );
+        if !merged {
+            // Every candidate went stale (e.g. cut mid-flood); re-label
+            // and retry rather than looping on an empty merge.
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
 
         // Flood the new fragment labels (minimum surviving node id).
         let label_init: Vec<u64> = (0..n as u64).collect();
         phase += 1;
-        let (labels, m2, crashes) = reliable_min_flood(
+        let (labels, m2, damage) = reliable_min_flood(
             wg,
             &forest,
             &dead,
             &label_init,
             seed ^ 0xF00D ^ u64::from(iterations),
             &plan,
+            &churn,
+            phase_timeout,
             elapsed,
             &mut crash_rounds,
+            &mut timeline,
             threads,
             class::MST_LABEL,
             phase,
@@ -484,23 +904,66 @@ pub fn run_healing_instrumented(
         )?;
         elapsed += m2.rounds;
         metrics = metrics.then(m2);
-        if !crashes.is_empty() {
+        if !damage.new_crashes.is_empty() {
             prune(
-                &crashes,
+                &damage.new_crashes,
                 &mut dead,
                 &mut forest,
                 &mut tree_edges,
                 &crash_rounds,
             )?;
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        if !damage.outaged.is_empty() {
+            handle_outages(
+                &damage.outaged,
+                &mut outage_streaks,
+                &mut dead,
+                &mut forest,
+                &mut tree_edges,
+                &crash_rounds,
+            )?;
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        if prune_cut_forest(&mut forest, &mut tree_edges, &mut cut_tree_edges, |e| {
+            is_cut(e, elapsed)
+        }) {
+            restart_streak += 1;
+            phase_restarts += 1;
+            labels_stale = true;
+            continue;
+        }
+        if check_giveups(
+            g,
+            &damage.giveups,
+            |e| is_cut(e, elapsed),
+            &mut giveup_streaks,
+            elapsed,
+            plan.seed,
+        )? {
+            restart_streak += 1;
             phase_restarts += 1;
             labels_stale = true;
             continue;
         }
         comp = labels;
+        // One Borůvka iteration completed on trustworthy floods: the tree
+        // state is re-converged, closing every open damage span.
+        restart_streak = 0;
+        giveup_streaks.clear();
+        outage_streaks.clear();
+        timeline.record_recovery(elapsed);
     }
 
     metrics.crashed = dead.iter().filter(|&&d| d).count() as u64;
     tree_edges.sort_unstable();
+    cut_tree_edges.sort_unstable();
     Ok((
         HealedMstOutcome {
             total_weight: wg.total_weight(&tree_edges),
@@ -509,7 +972,9 @@ pub fn run_healing_instrumented(
             iterations,
             phase_restarts,
             crashed_nodes: (0..n).filter(|&v| dead[v]).map(NodeId::from).collect(),
+            cut_tree_edges,
             metrics,
+            timeline,
         },
         obs.traces,
         obs.total_profile,
@@ -524,14 +989,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Kruskal restricted to the surviving induced subgraph, by canonical
-    /// (weight, edge-id) order — the unique MST the healed run must find.
-    fn kruskal_on_survivors(wg: &WeightedGraph, dead: &[NodeId]) -> Vec<EdgeId> {
+    /// Kruskal restricted to the surviving induced subgraph minus
+    /// permanently cut edges, by canonical (weight, edge-id) order — the
+    /// unique MST the healed run must find.
+    fn kruskal_excluding(wg: &WeightedGraph, dead: &[NodeId], cut: &[EdgeId]) -> Vec<EdgeId> {
         let g = wg.graph();
         let gone: HashSet<NodeId> = dead.iter().copied().collect();
+        let cut: HashSet<EdgeId> = cut.iter().copied().collect();
         let mut edges: Vec<EdgeId> = g
             .edges()
-            .filter(|(_, u, v)| !gone.contains(u) && !gone.contains(v))
+            .filter(|(e, u, v)| !gone.contains(u) && !gone.contains(v) && !cut.contains(e))
             .map(|(e, _, _)| e)
             .collect();
         edges.sort_unstable_by_key(|&e| encode(wg, e));
@@ -545,6 +1012,10 @@ mod tests {
         }
         tree.sort_unstable();
         tree
+    }
+
+    fn kruskal_on_survivors(wg: &WeightedGraph, dead: &[NodeId]) -> Vec<EdgeId> {
+        kruskal_excluding(wg, dead, &[])
     }
 
     #[test]
@@ -641,5 +1112,194 @@ mod tests {
             }
             other => panic!("expected NodeCrashed, got {other:?}"),
         }
+    }
+
+    /// Dropping every message makes each live link's ARQ give up in phase
+    /// after phase without any node dying; after [`MAX_LINK_RETRIES`]
+    /// consecutive give-ups on the same link the driver must surface
+    /// [`CongestError::RetryExhausted`] naming that link — not hang, and
+    /// not misclassify the damage as a crash.
+    #[test]
+    fn total_link_failure_surfaces_retry_exhausted() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let g = generators::random_regular(16, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 100, &mut rng);
+        let plan = FaultPlan::none().seeded(2).with_drops(1.0);
+        let err = run_healing(&wg, 1, plan).unwrap_err();
+        match err {
+            MstError::Congest(CongestError::RetryExhausted { node, attempts, .. }) => {
+                assert!(node.index() < 16);
+                assert!(attempts >= 1, "the ARQ must have actually retried");
+            }
+            other => panic!("expected RetryExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mst_survives_edge_flapping() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let g = generators::random_regular(32, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 300, &mut rng);
+        let churn = ChurnPlan::none().seeded(23).with_flaps(0.1, 4);
+        let healed = run_healing_churned(&wg, 3, FaultPlan::none(), churn, 0).unwrap();
+        assert!(
+            healed.metrics.lost_to_churn > 0,
+            "flaps this dense must cost at least one frame"
+        );
+        assert_eq!(healed.tree_edges, reference::kruskal(&wg).unwrap());
+        assert!(healed.cut_tree_edges.is_empty());
+        assert!(reference::verify_mst(&wg, &healed.tree_edges));
+    }
+
+    #[test]
+    fn mst_survives_node_restart_and_cut() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let g = generators::random_regular(32, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 300, &mut rng);
+        let churn = ChurnPlan::none()
+            .seeded(9)
+            .with_restart(NodeId(5), 3, 5)
+            .with_edge_cut(EdgeId(0), 0);
+        let healed = run_healing_churned(&wg, 2, FaultPlan::none(), churn, 0).unwrap();
+        assert_eq!(healed.metrics.restarts, 1, "node 5 rejoins exactly once");
+        assert!(healed.crashed_nodes.is_empty(), "a restart is not a crash");
+        assert_eq!(
+            healed.tree_edges,
+            kruskal_excluding(&wg, &[], &[EdgeId(0)]),
+            "tree must be the exact MST of the graph minus the cut edge"
+        );
+        assert!(!healed.timeline.spans().is_empty());
+        assert_eq!(healed.timeline.open_count(), 0);
+        assert!(healed.timeline.time_to_reconverge().max >= 1);
+    }
+
+    #[test]
+    fn cut_tree_edge_is_pruned_and_rehealed() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let g = generators::random_regular(24, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 200, &mut rng);
+        // The globally minimum edge is adopted in the first merge; cutting
+        // it near the end of the clean run guarantees the
+        // adopted-then-pruned path runs (the churned run is byte-identical
+        // to the clean one until the cut fires).
+        let clean = run_healing(&wg, 2, FaultPlan::none()).unwrap();
+        let min_edge = (0..wg.graph().edge_count() as u32)
+            .map(EdgeId)
+            .min_by_key(|&e| encode(&wg, e))
+            .unwrap();
+        assert!(clean.tree_edges.contains(&min_edge));
+        let churn = ChurnPlan::none()
+            .seeded(11)
+            .with_edge_cut(min_edge, clean.rounds.saturating_sub(2));
+        let healed = run_healing_churned(&wg, 2, FaultPlan::none(), churn, 0).unwrap();
+        assert_eq!(
+            healed.cut_tree_edges,
+            vec![min_edge],
+            "the adopted minimum edge must be detected as cut and pruned"
+        );
+        assert!(healed.phase_restarts >= 1);
+        assert_eq!(
+            healed.tree_edges,
+            kruskal_excluding(&wg, &[], &[min_edge]),
+            "after the prune the run must re-heal to the reduced graph's MST"
+        );
+    }
+
+    #[test]
+    fn cut_bridges_partition_gracefully() {
+        // The dumbbell of `disconnecting_crash_fails_fast_with_context`:
+        // cutting both of node 4's bridge edges (2,4) and (4,6) splits the
+        // graph into {0,1,2,3}, {4}, {5,6,7,8}.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 4),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+                (3, 0),
+                (8, 5),
+            ],
+        )
+        .unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 100, &mut StdRng::seed_from_u64(49));
+        let churn = ChurnPlan::none()
+            .seeded(4)
+            .with_edge_cut(EdgeId(3), 2)
+            .with_edge_cut(EdgeId(4), 2);
+        let err = run_healing_churned(&wg, 1, FaultPlan::none(), churn, 0).unwrap_err();
+        match err {
+            MstError::Congest(CongestError::Partitioned { components, .. }) => {
+                assert_eq!(components, 3);
+            }
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sustained_outage_prunes_node_to_survivors() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let g = generators::random_regular(24, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 200, &mut rng);
+        // Node 3 goes dark at round 2 and effectively never returns: after
+        // MAX_LINK_RETRIES suspect phases its patience expires and it is
+        // pruned as dead instead of being retried forever.
+        let churn = ChurnPlan::none()
+            .seeded(3)
+            .with_restart(NodeId(3), 2, 1_000_000);
+        let healed = run_healing_churned(&wg, 5, FaultPlan::none(), churn, 0).unwrap();
+        assert_eq!(healed.crashed_nodes, vec![NodeId(3)]);
+        assert!(healed.phase_restarts >= MAX_LINK_RETRIES);
+        assert_eq!(
+            healed.tree_edges,
+            kruskal_on_survivors(&wg, &[NodeId(3)]),
+            "result must be the exact MST of the survivors"
+        );
+        assert_eq!(healed.timeline.open_count(), 0);
+    }
+
+    #[test]
+    fn churned_healing_replays_deterministically() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let g = generators::random_regular(32, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 200, &mut rng);
+        let plan = FaultPlan::none().seeded(77).with_drops(0.05);
+        let churn = ChurnPlan::none()
+            .seeded(5)
+            .with_flaps(0.08, 5)
+            .with_restart(NodeId(4), 10, 6);
+        let a = run_healing_churned(&wg, 2, plan.clone(), churn.clone(), 1).unwrap();
+        let b = run_healing_churned(&wg, 2, plan, churn, 4).unwrap();
+        assert_eq!(a.tree_edges, b.tree_edges);
+        assert_eq!(a.cut_tree_edges, b.cut_tree_edges);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.phase_restarts, b.phase_restarts);
+        assert_eq!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn trivial_churn_plan_changes_nothing() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = generators::random_regular(32, 4, &mut rng).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 200, &mut rng);
+        let plan = FaultPlan::none()
+            .seeded(7)
+            .with_drops(0.05)
+            .with_crash(NodeId(6), 12);
+        let plain = run_healing(&wg, 2, plan.clone()).unwrap();
+        let churned = run_healing_churned(&wg, 2, plan, ChurnPlan::none().seeded(99), 0).unwrap();
+        assert_eq!(plain.tree_edges, churned.tree_edges);
+        assert_eq!(plain.metrics, churned.metrics);
+        assert_eq!(plain.phase_restarts, churned.phase_restarts);
+        assert_eq!(plain.timeline, churned.timeline);
+        assert!(churned.cut_tree_edges.is_empty());
+        // Fault-free and churn-free means damage-free.
+        let calm = run_healing_churned(&wg, 2, FaultPlan::none(), ChurnPlan::none(), 0).unwrap();
+        assert!(calm.timeline.spans().is_empty());
+        assert_eq!(calm.timeline.open_count(), 0);
     }
 }

@@ -22,15 +22,38 @@
 //! hops (toward the real destination) are tagged
 //! [`class::ROUTE_PAYLOAD`]. The profiler can then separate the
 //! redistribution tax from the payload delivery exactly.
+//!
+//! Under *topology churn* ([`route_bitfix_churned`]) the same protocol
+//! degrades gracefully instead of wedging: a hop blocked by a down link is
+//! **rerouted** through any other differing-dimension port that is up (any
+//! differing-dimension hop is strict bit-fix progress, so detours never
+//! loop); a packet whose every useful dimension stays dark for
+//! [`STALL_LIMIT`] consecutive rounds is parked instead of spinning; a
+//! crash-restarted node loses custody of everything it queued. The driver
+//! then re-injects every undelivered request in a fresh epoch on the same
+//! global churn clock, up to [`MAX_ROUTE_EPOCHS`] times, and finally
+//! reports the survivors as an explicit **degraded** outcome
+//! ([`ChurnedRouteOutcome::undelivered`]) — routable packets are all
+//! delivered, unroutable ones are named, and nothing livelocks.
 
 use crate::{Result, RouteError};
 use amt_congest::{
-    bits_for_count, class, Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator,
-    StopCondition, TrafficClass, TrafficProfile,
+    bits_for_count, class, ChurnKind, ChurnPlan, Ctx, Metrics, ProfileConfig, Protocol,
+    RecoveryTimeline, RunConfig, RunTrace, Simulator, StopCondition, TraceConfig, TrafficClass,
+    TrafficProfile,
 };
 use amt_graphs::{Graph, NodeId};
 use rand::RngExt;
 use std::collections::VecDeque;
+
+/// Consecutive blocked rounds a queued packet tolerates (every
+/// differing-dimension link down) before it is parked as stuck for the
+/// epoch instead of livelocking in place.
+pub const STALL_LIMIT: u32 = 64;
+
+/// Delivery epochs a churned routing run attempts before reporting the
+/// remaining requests as undeliverable.
+pub const MAX_ROUTE_EPOCHS: u32 = 5;
 
 /// One packet in flight.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +91,15 @@ struct RouteNode {
     sources: Vec<(u32, u32)>,
     /// Number of hypercube dimensions.
     dims: u32,
+    /// Consecutive rounds each port's head packet has been blocked with no
+    /// live alternative dimension.
+    stall: Vec<u32>,
+    /// Packets parked after [`STALL_LIMIT`] blocked rounds — undelivered
+    /// this epoch, re-injected by the churned driver.
+    stuck: Vec<Packet>,
+    /// Hops redirected through an alternative dimension because the bit-fix
+    /// port was down.
+    rerouted: u64,
 }
 
 impl RouteNode {
@@ -96,6 +128,51 @@ impl Protocol for RouteNode {
     const TRAFFIC_CLASS: TrafficClass = class::ROUTE_PAYLOAD;
 
     fn init(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        self.inject(ctx);
+        self.pump(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[(usize, Packet)]) {
+        // A node offline at round 0 (churn outage) never ran `init`; its
+        // first executed round injects instead, so its requests still
+        // enter the network. (Churn-free, `init` always drains `sources`.)
+        self.inject(ctx);
+        for &(_, p) in inbox {
+            self.route(p);
+        }
+        self.pump(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.port_queue.iter().all(VecDeque::is_empty)
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        // A crash-restart loses custody of everything queued or parked
+        // here; the churned driver re-injects undelivered requests next
+        // epoch. Delivered packets (`arrived`) are durable — they were
+        // already handed to the application.
+        let lost = self.port_queue.iter().map(VecDeque::len).sum::<usize>() + self.stuck.len();
+        if lost > 0 {
+            ctx.trace_event("route_restart_lost", lost as u64);
+        }
+        for q in &mut self.port_queue {
+            q.clear();
+        }
+        self.stuck.clear();
+        self.stall.fill(0);
+        self.round(ctx, &[]);
+    }
+}
+
+impl RouteNode {
+    /// Turns pending source requests into packets with a random Valiant
+    /// midpoint. Called from `init` and, for nodes offline at round 0,
+    /// from their first executed round.
+    fn inject(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        if self.sources.is_empty() {
+            return;
+        }
         let n = 1u32 << self.dims;
         let sources: Vec<(u32, u32)> = self.sources.drain(..).collect();
         for (id, dest) in sources {
@@ -109,33 +186,58 @@ impl Protocol for RouteNode {
                 payload_phase: false,
             });
         }
-        self.pump(ctx);
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[(usize, Packet)]) {
-        for &(_, p) in inbox {
-            self.route(p);
-        }
-        self.pump(ctx);
-    }
-
-    fn is_done(&self) -> bool {
-        self.port_queue.iter().all(VecDeque::is_empty)
-    }
-}
-
-impl RouteNode {
     /// Sends at most one queued packet per port (the CONGEST constraint),
-    /// classing each hop by its phase.
+    /// classing each hop by its phase. A blocked head packet (link down)
+    /// is rerouted through any live differing-dimension port — strict
+    /// bit-fix progress either way — or parked after [`STALL_LIMIT`]
+    /// blocked rounds. Churn-free, every link is up and this is the plain
+    /// one-packet-per-port pump.
     fn pump(&mut self, ctx: &mut Ctx<'_, Packet>) {
         for port in 0..self.port_queue.len() {
-            if let Some(p) = self.port_queue[port].pop_front() {
+            if self.port_queue[port].is_empty() {
+                continue;
+            }
+            if ctx.link_up(port) {
+                self.stall[port] = 0;
+                let p = self.port_queue[port]
+                    .pop_front()
+                    .expect("checked non-empty");
                 let cls = if p.payload_phase {
                     class::ROUTE_PAYLOAD
                 } else {
                     class::ROUTE_PORTAL
                 };
                 ctx.send_classed(port, p, cls);
+                continue;
+            }
+            // Reroute the head through another dimension it still has to
+            // fix; flipping any differing dimension reduces the Hamming
+            // distance by one, so detours cost nothing and cannot loop.
+            let p = *self.port_queue[port].front().expect("checked non-empty");
+            let target = if p.payload_phase { p.dest } else { p.via };
+            let alt = (0..self.dims)
+                .filter(|&d| (target ^ self.id) >> d & 1 == 1)
+                .map(|d| self.port_for_dim[d as usize])
+                .find(|&q| q != port && ctx.link_up(q));
+            if let Some(q) = alt {
+                self.port_queue[port].pop_front();
+                self.port_queue[q].push_back(p);
+                self.stall[port] = 0;
+                self.rerouted += 1;
+            } else {
+                self.stall[port] += 1;
+                if self.stall[port] >= STALL_LIMIT {
+                    // Every useful dimension has been dark for STALL_LIMIT
+                    // rounds: park the packet instead of spinning on it.
+                    self.stuck.push(
+                        self.port_queue[port]
+                            .pop_front()
+                            .expect("checked non-empty"),
+                    );
+                    self.stall[port] = 0;
+                }
             }
         }
     }
@@ -149,6 +251,29 @@ pub struct CongestRouteOutcome {
     pub endpoints: Vec<NodeId>,
     /// Measured simulator metrics (rounds, messages, per-edge congestion).
     pub metrics: Metrics,
+}
+
+/// Builds the per-node router fleet, draining `sources` into the nodes.
+fn route_nodes(
+    g: &Graph,
+    ports: Vec<Vec<usize>>,
+    sources: &mut [Vec<(u32, u32)>],
+    dims: u32,
+) -> Vec<RouteNode> {
+    g.nodes()
+        .zip(ports)
+        .map(|(v, port_for_dim)| RouteNode {
+            id: v.0,
+            port_for_dim,
+            port_queue: vec![VecDeque::new(); g.degree(v)],
+            arrived: Vec::new(),
+            sources: std::mem::take(&mut sources[v.index()]),
+            dims,
+            stall: vec![0; g.degree(v)],
+            stuck: Vec::new(),
+            rerouted: 0,
+        })
+        .collect()
 }
 
 /// Maps each hypercube dimension to the port carrying it, or fails if `g`
@@ -230,18 +355,7 @@ pub fn route_bitfix_instrumented(
     for (i, &(s, t)) in requests.iter().enumerate() {
         sources[s.index()].push((i as u32, t.0));
     }
-    let nodes: Vec<RouteNode> = g
-        .nodes()
-        .zip(ports)
-        .map(|(v, port_for_dim)| RouteNode {
-            id: v.0,
-            port_for_dim,
-            port_queue: vec![VecDeque::new(); g.degree(v)],
-            arrived: Vec::new(),
-            sources: std::mem::take(&mut sources[v.index()]),
-            dims,
-        })
-        .collect();
+    let nodes = route_nodes(g, ports, &mut sources, dims);
     let mut sim = Simulator::new(g, nodes, seed)?;
     if let Some(pc) = profile {
         sim = sim.with_profile(pc);
@@ -271,6 +385,175 @@ pub fn route_bitfix_instrumented(
         });
     }
     Ok((CongestRouteOutcome { endpoints, metrics }, prof))
+}
+
+/// Outcome of a churned bit-fix routing run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnedRouteOutcome {
+    /// Node at which each request's packet arrived — its requested
+    /// destination (asserted) — or `None` if it was never delivered.
+    pub endpoints: Vec<Option<NodeId>>,
+    /// Request ids (ascending) still undelivered when the epoch budget ran
+    /// out — the explicit degraded result; empty means full delivery.
+    pub undelivered: Vec<u32>,
+    /// Delivery epochs executed (1 when the first attempt delivered all).
+    pub epochs: u32,
+    /// Hops redirected through an alternative dimension because the
+    /// bit-fix port was down.
+    pub rerouted: u64,
+    /// Accumulated metrics over all epochs (includes churn counters).
+    pub metrics: Metrics,
+    /// Damage-to-reconvergence spans on the accumulated round clock: a
+    /// span opens at every outage and closes when every request has been
+    /// delivered. Spans still open at the end mean a degraded run.
+    pub timeline: RecoveryTimeline,
+}
+
+impl ChurnedRouteOutcome {
+    /// Whether the run ended with undelivered requests.
+    pub fn degraded(&self) -> bool {
+        !self.undelivered.is_empty()
+    }
+}
+
+/// [`route_bitfix`] under topology churn: blocked hops reroute through
+/// live dimensions, stalled packets park after [`STALL_LIMIT`] rounds, and
+/// undelivered requests are re-injected in fresh epochs (same global churn
+/// clock) up to [`MAX_ROUTE_EPOCHS`] times. Requests that still cannot be
+/// delivered are reported in [`ChurnedRouteOutcome::undelivered`] rather
+/// than looping forever — graceful degradation, not an error.
+///
+/// # Errors
+///
+/// As [`route_bitfix`], plus churn plan validation failures. Undelivered
+/// requests are **not** an error.
+pub fn route_bitfix_churned(
+    g: &Graph,
+    requests: &[(NodeId, NodeId)],
+    seed: u64,
+    churn: ChurnPlan,
+    threads: usize,
+) -> Result<ChurnedRouteOutcome> {
+    let (out, _, _) =
+        route_bitfix_churned_instrumented(g, requests, seed, churn, threads, None, None)?;
+    Ok(out)
+}
+
+/// [`route_bitfix_churned`] with opt-in tracing (one [`RunTrace`] per
+/// epoch) and traffic profiling accumulated across epochs. Neither changes
+/// the outcome, which is byte-identical at every thread count.
+///
+/// # Errors
+///
+/// As [`route_bitfix_churned`].
+pub fn route_bitfix_churned_instrumented(
+    g: &Graph,
+    requests: &[(NodeId, NodeId)],
+    seed: u64,
+    churn: ChurnPlan,
+    threads: usize,
+    trace: Option<TraceConfig>,
+    profile: Option<ProfileConfig>,
+) -> Result<(ChurnedRouteOutcome, Vec<RunTrace>, Option<TrafficProfile>)> {
+    let n = g.len();
+    let base_ports = hypercube_ports(g)?;
+    let dims = n.trailing_zeros();
+    churn.validate(n, g.edge_count())?;
+    for &(s, t) in requests {
+        if s.index() >= n || t.index() >= n {
+            return Err(RouteError::BadRequest {
+                node: s.index().max(t.index()),
+                n,
+            });
+        }
+    }
+    let mut endpoints: Vec<Option<NodeId>> = vec![None; requests.len()];
+    let mut pending: Vec<u32> = (0..requests.len() as u32).collect();
+    let mut metrics = Metrics::default();
+    let mut timeline = RecoveryTimeline::new();
+    let mut traces: Vec<RunTrace> = Vec::new();
+    let mut total_profile: Option<TrafficProfile> = None;
+    let mut rerouted = 0u64;
+    let mut elapsed = 0u64;
+    let mut epochs = 0u32;
+
+    while !pending.is_empty() && epochs < MAX_ROUTE_EPOCHS {
+        let epoch = epochs;
+        epochs += 1;
+        let mut sources: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &i in &pending {
+            let (s, t) = requests[i as usize];
+            sources[s.index()].push((i, t.0));
+        }
+        let nodes = route_nodes(g, base_ports.clone(), &mut sources, dims);
+        // Fresh midpoint draws per epoch; the churn plan stays on its
+        // global clock across epochs via the offset.
+        let mut sim = Simulator::new(
+            g,
+            nodes,
+            seed ^ u64::from(epoch).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )?
+        .with_churn_plan(churn.clone().at_offset(churn.round_offset + elapsed));
+        if let Some(tc) = trace {
+            sim = sim.with_trace(tc);
+        }
+        if let Some(pc) = profile {
+            sim = sim.with_profile(pc);
+        }
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(threads);
+        let m = sim.run(&cfg)?;
+        if let Some(t) = sim.take_trace() {
+            traces.push(t);
+        }
+        if let Some(p) = sim.take_profile() {
+            total_profile
+                .get_or_insert_with(|| TrafficProfile::empty(p.edge_count()))
+                .absorb(&p, elapsed);
+        }
+        for ev in sim.churn_events() {
+            if matches!(
+                ev.kind,
+                ChurnKind::EdgeDown { .. } | ChurnKind::NodeDown { .. }
+            ) {
+                timeline.record_damage(elapsed + ev.round);
+            }
+        }
+        elapsed += m.rounds;
+        metrics = metrics.then(m);
+        for (v, node) in sim.nodes().iter().enumerate() {
+            rerouted += node.rerouted;
+            for p in &node.arrived {
+                assert_eq!(
+                    p.dest as usize, v,
+                    "bit-fix must deliver to the destination"
+                );
+                endpoints[p.id as usize] = Some(NodeId::from(v));
+            }
+        }
+        pending.retain(|&i| endpoints[i as usize].is_none());
+        if pending.is_empty() {
+            // Every request delivered: the workload has re-converged,
+            // closing all open damage spans.
+            timeline.record_recovery(elapsed);
+        }
+    }
+
+    Ok((
+        ChurnedRouteOutcome {
+            endpoints,
+            undelivered: pending,
+            epochs,
+            rerouted,
+            metrics,
+            timeline,
+        },
+        traces,
+        total_profile,
+    ))
 }
 
 #[cfg(test)]
@@ -345,5 +628,105 @@ mod tests {
         let reqs = vec![(NodeId(5), NodeId(5)); 4];
         let out = route_bitfix(&g, &reqs, 2).unwrap();
         assert!(out.endpoints.iter().all(|&e| e == NodeId(5)));
+    }
+
+    #[test]
+    fn trivial_churn_routes_identically_to_the_clean_path() {
+        let g = generators::hypercube(5);
+        let reqs = shift_permutation(32, 7);
+        let clean = route_bitfix(&g, &reqs, 3).unwrap();
+        let churned = route_bitfix_churned(&g, &reqs, 3, ChurnPlan::none().seeded(42), 0).unwrap();
+        assert_eq!(churned.epochs, 1);
+        assert_eq!(churned.rerouted, 0);
+        assert!(!churned.degraded());
+        assert_eq!(churned.metrics, clean.metrics);
+        for (i, &e) in clean.endpoints.iter().enumerate() {
+            assert_eq!(churned.endpoints[i], Some(e));
+        }
+    }
+
+    #[test]
+    fn packets_reroute_around_flapping_links() {
+        let g = generators::hypercube(5);
+        let reqs = shift_permutation(32, 11);
+        let churn = ChurnPlan::none().seeded(17).with_flaps(0.15, 3);
+        let out = route_bitfix_churned(&g, &reqs, 5, churn, 0).unwrap();
+        assert!(!out.degraded(), "flaps must not cost deliveries");
+        assert!(
+            out.rerouted > 0,
+            "flaps this dense must force at least one detour"
+        );
+        for (i, &(_, t)) in reqs.iter().enumerate() {
+            assert_eq!(out.endpoints[i], Some(t));
+        }
+    }
+
+    #[test]
+    fn lost_packets_are_reinjected_after_a_node_restart() {
+        let g = generators::hypercube(4);
+        let reqs = shift_permutation(16, 5);
+        // Node 6 crashes at round 1 and returns at round 5: its queued and
+        // in-flight packets are lost mid-epoch and must be re-issued.
+        let churn = ChurnPlan::none().seeded(8).with_restart(NodeId(6), 1, 4);
+        let out = route_bitfix_churned(&g, &reqs, 7, churn, 0).unwrap();
+        assert!(
+            !out.degraded(),
+            "a transient restart must not cost deliveries"
+        );
+        assert!(out.metrics.restarts >= 1);
+        for (i, &(_, t)) in reqs.iter().enumerate() {
+            assert_eq!(out.endpoints[i], Some(t));
+        }
+        if out.epochs > 1 {
+            assert!(!out.timeline.spans().is_empty());
+        }
+    }
+
+    #[test]
+    fn isolated_destination_degrades_instead_of_livelocking() {
+        // Cut every edge of node 0 from round 0: requests into (or out of)
+        // it are unroutable. The run must terminate with those requests
+        // named undelivered, not spin until the round cap.
+        let g = generators::hypercube(3);
+        let mut churn = ChurnPlan::none().seeded(2);
+        for (e, u, v) in g.edges() {
+            if u == NodeId(0) || v == NodeId(0) {
+                churn = churn.with_edge_cut(e, 0);
+            }
+        }
+        let reqs: Vec<(NodeId, NodeId)> = (1..8).map(|i| (NodeId(i), NodeId(i % 2))).collect();
+        let out = route_bitfix_churned(&g, &reqs, 4, churn, 0).unwrap();
+        assert!(out.degraded());
+        assert_eq!(out.epochs, MAX_ROUTE_EPOCHS);
+        for (i, &(_, t)) in reqs.iter().enumerate() {
+            if t == NodeId(0) {
+                assert_eq!(out.endpoints[i], None, "request {i} into the cut node");
+                assert!(out.undelivered.contains(&(i as u32)));
+            } else {
+                assert_eq!(out.endpoints[i], Some(t), "request {i} avoids the cut node");
+            }
+        }
+        assert!(
+            out.timeline.open_count() > 0,
+            "degradation leaves open spans"
+        );
+    }
+
+    #[test]
+    fn churned_routing_replays_deterministically() {
+        let g = generators::hypercube(5);
+        let reqs = shift_permutation(32, 9);
+        let churn = ChurnPlan::none()
+            .seeded(31)
+            .with_flaps(0.1, 4)
+            .with_restart(NodeId(12), 3, 5);
+        let a = route_bitfix_churned(&g, &reqs, 6, churn.clone(), 1).unwrap();
+        let b = route_bitfix_churned(&g, &reqs, 6, churn, 4).unwrap();
+        assert_eq!(a.endpoints, b.endpoints);
+        assert_eq!(a.undelivered, b.undelivered);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.rerouted, b.rerouted);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.timeline, b.timeline);
     }
 }

@@ -17,18 +17,36 @@
 //! * **epoch re-issue** — tokens resident *at* a node when it crashes are
 //!   unrecoverable in-protocol; the driver detects the missing walks after
 //!   termination and re-issues them from their original start with their
-//!   full step budget, up to [`MAX_EPOCHS`] times.
+//!   full step budget, up to [`MAX_EPOCHS`] times. Re-issue epochs back off
+//!   exponentially (capped) with deterministic jitter on the custody
+//!   timeout, so sustained damage is met with patience instead of
+//!   retransmit storms.
+//!
+//! Under *topology churn* ([`run_walks_healing_churned`]) the same
+//! machinery rides a [`ChurnPlan`]: tokens sample their next hop among
+//! ports whose link is up this round ([`amt_congest::Ctx::link_up`]),
+//! retransmissions into a known-down link are deferred (the attempt still
+//! counts, so a permanently cut port is eventually marked suspect and
+//! rerouted around), and a crash-*restarted* node loses its volatile token
+//! state but keeps its dedup/finish records, modeling stable storage. The
+//! driver threads one global churn clock across epochs via
+//! [`ChurnPlan::at_offset`] and reports a [`RecoveryTimeline`] of
+//! damage-to-redelivery spans.
 //!
 //! The degradation is correct-but-slower: every walk whose start survives
 //! finishes (re-routed walks take a perturbed kernel past suspect ports,
 //! re-issued walks restart), rounds and messages grow with the fault rate,
 //! and the protocol never wedges — termination is by acked quiescence, with
-//! crashed nodes excluded.
+//! crashed nodes excluded. If [`MAX_EPOCHS`] re-issues still leave walks
+//! with live starts undelivered (sustained churn outpacing the retry
+//! budget), the driver surfaces [`CongestError::RetryExhausted`] instead of
+//! silently dropping them.
 
 use crate::{WalkKind, WalkSpec};
 use amt_congest::{
-    class, CongestError, CongestMessage, Ctx, FaultPlan, Metrics, ProfileConfig, Protocol,
-    RunConfig, RunTrace, Simulator, StopCondition, TraceConfig, TrafficClass, TrafficProfile,
+    class, ChurnKind, ChurnPlan, CongestError, CongestMessage, Ctx, FaultKind, FaultPlan, Metrics,
+    ProfileConfig, Protocol, RecoveryTimeline, RunConfig, RunTrace, Simulator, StopCondition,
+    TraceConfig, TrafficClass, TrafficProfile,
 };
 use amt_graphs::{Graph, NodeId};
 use rand::RngExt;
@@ -134,14 +152,16 @@ struct HealNode {
 }
 
 impl HealNode {
-    fn live_ports(&self) -> Vec<usize> {
-        (0..self.degree).filter(|&p| !self.suspect[p]).collect()
-    }
-
     /// Samples one transition per ready token; movers join a live port's
-    /// FIFO queue, stays (and tokens with no live exit) burn one step.
+    /// FIFO queue, stays (and tokens with no live exit) burn one step. A
+    /// port is live when its peer is not suspect *and* its link is up this
+    /// round — the reroute-around-dead-edges half of churn healing. Both
+    /// predicates are pure per `(round, port)`, so filtering keeps the
+    /// executor's determinism contract.
     fn drain_ready(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
-        let live = self.live_ports();
+        let live: Vec<usize> = (0..self.degree)
+            .filter(|&p| !self.suspect[p] && ctx.link_up(p))
+            .collect();
         while let Some((walk, left)) = self.ready.pop_front() {
             debug_assert!(left > 0);
             let stay = match self.kind {
@@ -191,14 +211,20 @@ impl HealNode {
                 }
                 f.attempts += 1;
                 f.next_retry = round + (self.timeout << (f.attempts - 1).min(4));
-                ctx.send_classed(
-                    port,
-                    HealMsg::Token {
-                        walk: f.walk,
-                        left: f.left,
-                    },
-                    class::WALK_RETRANSMIT,
-                );
+                // Defer (but still charge) retransmissions into a link that
+                // is down this round: the frame would be lost anyway, and
+                // charging the attempt keeps the give-up bound intact, so a
+                // permanently cut port still goes suspect and reroutes.
+                if ctx.link_up(port) {
+                    ctx.send_classed(
+                        port,
+                        HealMsg::Token {
+                            walk: f.walk,
+                            left: f.left,
+                        },
+                        class::WALK_RETRANSMIT,
+                    );
+                }
                 continue;
             }
             if self.suspect[port] {
@@ -215,7 +241,12 @@ impl HealNode {
                     next_retry: round + self.timeout,
                     attempts: 1,
                 });
-                ctx.send_classed(port, HealMsg::Token { walk, left }, class::WALK_TOKEN);
+                // Same deferral as retransmissions: custody is taken (so the
+                // retry/give-up clock runs) but no frame is burned into a
+                // link that is down this round.
+                if ctx.link_up(port) {
+                    ctx.send_classed(port, HealMsg::Token { walk, left }, class::WALK_TOKEN);
+                }
             }
         }
     }
@@ -277,6 +308,39 @@ impl Protocol for HealProtocol {
         self.tick(ctx);
     }
 
+    /// Crash-restart with state loss: every volatile token — ready, stayed,
+    /// port-queued, and unacked custody copies — is gone, along with owed
+    /// acks and the suspect view (the topology may have changed while we
+    /// were away). The dedup map and finish records survive: they are
+    /// routing-table-sized and model stable storage, so a retransmitted
+    /// token the pre-restart node already accepted is not double-counted.
+    /// Lost walks are detected at epoch end and re-issued by the driver.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, HealMsg>) {
+        let n = &mut self.node;
+        let lost = n.ready.len()
+            + n.stayed.len()
+            + n.port_queue.iter().map(VecDeque::len).sum::<usize>()
+            + n.inflight.iter().flatten().count();
+        if lost > 0 {
+            ctx.trace_event("walk_restart_lost", lost as u64);
+        }
+        n.ready.clear();
+        n.stayed.clear();
+        for q in &mut n.port_queue {
+            q.clear();
+        }
+        for f in &mut n.inflight {
+            *f = None;
+        }
+        for q in &mut n.ack_queue {
+            q.clear();
+        }
+        for s in &mut n.suspect {
+            *s = false;
+        }
+        self.tick(ctx);
+    }
+
     fn is_done(&self) -> bool {
         self.node.ready.is_empty()
             && self.node.stayed.is_empty()
@@ -298,19 +362,36 @@ impl HealProtocol {
 }
 
 /// Outcome of a self-healing walk execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HealedWalkRun {
-    /// Final node per walk; `None` for walks lost for good (start crashed,
-    /// or still missing after [`MAX_EPOCHS`]).
+    /// Final node per walk; `None` only for walks whose start crash-stopped
+    /// (walks with live starts either finish or the run errors with
+    /// [`CongestError::RetryExhausted`]).
     pub endpoints: Vec<Option<NodeId>>,
-    /// Accumulated metrics over all epochs (faults included).
+    /// Accumulated metrics over all epochs (faults and churn included).
     pub metrics: Metrics,
     /// Epochs executed (1 = no re-issue was needed).
     pub epochs: u32,
-    /// Walks re-issued from their start after their carrier crashed.
+    /// Walks re-issued from their start after their carrier crashed or
+    /// restarted.
     pub reissued: u64,
     /// Tokens re-routed in-protocol after a custody give-up.
     pub rerouted: u64,
+    /// Damage-to-redelivery spans on the accumulated round clock: a span
+    /// opens at every crash, node outage, or edge outage and closes at the
+    /// end of the first epoch with no deliverable walk missing. Empty for
+    /// damage-free runs.
+    pub timeline: RecoveryTimeline,
+}
+
+/// Deterministic backoff jitter for re-issue epochs — a splitmix64 step
+/// keyed by `(seed, epoch)` (the congest crate's PRF helpers are
+/// crate-private, so the three-line finalizer is restated here).
+fn backoff_jitter(seed: u64, epoch: u32) -> u64 {
+    let mut z = seed ^ u64::from(epoch).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Executes `specs` over the fault-injected simulator with custody-transfer
@@ -372,11 +453,81 @@ pub fn run_walks_healing_instrumented(
     trace: Option<TraceConfig>,
     profile: Option<ProfileConfig>,
 ) -> Result<(HealedWalkRun, Vec<RunTrace>, Option<TrafficProfile>), CongestError> {
+    run_walks_healing_churned_instrumented(
+        g,
+        kind,
+        specs,
+        seed,
+        plan,
+        ChurnPlan::none(),
+        threads,
+        trace,
+        profile,
+    )
+}
+
+/// [`run_walks_healing_threaded`] under topology churn: the same
+/// custody-transfer / epoch-re-issue machinery executed against `churn`,
+/// with link-aware rerouting, restart state loss, and a
+/// [`RecoveryTimeline`] in the outcome (see the module docs). The churn
+/// plan's global clock spans all epochs — an edge scheduled down in rounds
+/// `[a, b)` is down in those *accumulated* rounds wherever the epoch
+/// boundaries fall.
+///
+/// # Errors
+///
+/// Propagates simulator violations and plan validation errors;
+/// [`CongestError::RetryExhausted`] when [`MAX_EPOCHS`] re-issues leave
+/// walks with live starts undelivered.
+pub fn run_walks_healing_churned(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+    threads: usize,
+) -> Result<HealedWalkRun, CongestError> {
+    let (run, _, _) = run_walks_healing_churned_instrumented(
+        g, kind, specs, seed, plan, churn, threads, None, None,
+    )?;
+    Ok(run)
+}
+
+/// The full healing driver: faults, churn, and opt-in observability in one
+/// signature ([`run_walks_healing_instrumented`] is this with a trivial
+/// churn plan).
+///
+/// # Errors
+///
+/// Propagates simulator violations and plan validation errors;
+/// [`CongestError::RetryExhausted`] when [`MAX_EPOCHS`] re-issues leave
+/// walks with live starts undelivered.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_walks_healing_churned_instrumented(
+    g: &Graph,
+    kind: WalkKind,
+    specs: &[WalkSpec],
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+    threads: usize,
+    trace: Option<TraceConfig>,
+    profile: Option<ProfileConfig>,
+) -> Result<(HealedWalkRun, Vec<RunTrace>, Option<TrafficProfile>), CongestError> {
     assert!(specs.len() < 1 << 16, "wire format carries 16-bit walk ids");
     plan.validate(g.len())?;
+    churn.validate(g.len(), g.edge_count())?;
     let delta = g.max_degree();
     let timeout = 4 + 2 * plan.max_delay;
     let max_attempts = 8;
+    // Jitter key: a *trivial* churn plan must leave the run byte-identical
+    // to the churn-free path whatever its seed, so its seed drops out.
+    let jitter_seed = if churn.is_trivial() {
+        plan.seed
+    } else {
+        plan.seed ^ churn.seed
+    };
 
     let mut endpoints: Vec<Option<NodeId>> = vec![None; specs.len()];
     for (i, spec) in specs.iter().enumerate() {
@@ -388,6 +539,7 @@ pub fn run_walks_healing_instrumented(
     let mut reissued = 0u64;
     let mut rerouted = 0u64;
     let mut epochs = 0u32;
+    let mut timeline = RecoveryTimeline::new();
     let mut traces: Vec<RunTrace> = Vec::new();
     let mut total_profile: Option<TrafficProfile> = None;
     let mut crashed: Vec<bool> = vec![false; g.len()];
@@ -404,6 +556,15 @@ pub fn run_walks_healing_instrumented(
         }
         let epoch = epochs;
         epochs += 1;
+        // Capped exponential backoff with deterministic jitter: later
+        // re-issue epochs wait longer for custody acks before presuming a
+        // peer dead, so walks ride out sustained flapping instead of
+        // burning their attempt budget into a link that is about to return.
+        let epoch_timeout = if epoch == 0 {
+            timeout
+        } else {
+            (timeout << epoch.min(4)) + backoff_jitter(jitter_seed, epoch) % timeout.max(1)
+        };
 
         let mut initial: Vec<VecDeque<(u32, u32)>> = vec![VecDeque::new(); g.len()];
         for &i in &pending {
@@ -426,7 +587,7 @@ pub fn run_walks_healing_instrumented(
                     degree: g.degree(v),
                     delta,
                     kind,
-                    timeout,
+                    timeout: epoch_timeout,
                     max_attempts,
                     epoch,
                 },
@@ -439,15 +600,22 @@ pub fn run_walks_healing_instrumented(
             plan.clone()
         } else {
             let mut p = plan.clone();
-            p.seed = plan.seed ^ (u64::from(epoch) * 0x9E37_79B9_7F4A_7C15);
+            p.seed = plan.seed ^ u64::from(epoch).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             p.crashes.retain(|c| crashed[c.node.index()]);
             for c in &mut p.crashes {
                 c.round = 0;
             }
             p
         };
-        let mut sim =
-            Simulator::new(g, nodes, seed ^ u64::from(epoch))?.with_fault_plan(epoch_plan);
+        // One churn clock spans all epochs: shift the plan by the rounds
+        // already consumed (plus any offset the caller threaded in), the
+        // exact mechanism multi-phase drivers use for faults via seed
+        // shifting.
+        let round_offset = metrics.rounds;
+        let epoch_churn = churn.clone().at_offset(churn.round_offset + round_offset);
+        let mut sim = Simulator::new(g, nodes, seed ^ u64::from(epoch))?
+            .with_fault_plan(epoch_plan)
+            .with_churn_plan(epoch_churn);
         if let Some(tc) = trace {
             sim = sim.with_trace(tc);
         }
@@ -460,7 +628,6 @@ pub fn run_walks_healing_instrumented(
             max_rounds: 500_000,
             threads,
         };
-        let round_offset = metrics.rounds;
         metrics = metrics.then(sim.run(&cfg)?);
         if let Some(t) = sim.take_trace() {
             traces.push(t);
@@ -474,6 +641,24 @@ pub fn run_walks_healing_instrumented(
         for v in sim.crashed_nodes() {
             crashed[v.index()] = true;
         }
+        // Damage events open recovery spans on the accumulated clock. Fault
+        // crashes only count in epoch 0: later epochs re-apply the already
+        // fired ones at their round 0, which is no new damage.
+        for ev in sim.churn_events() {
+            if matches!(
+                ev.kind,
+                ChurnKind::EdgeDown { .. } | ChurnKind::NodeDown { .. }
+            ) {
+                timeline.record_damage(round_offset + ev.round);
+            }
+        }
+        if epoch == 0 {
+            for ev in sim.fault_events() {
+                if matches!(ev.kind, FaultKind::Crashed) {
+                    timeline.record_damage(round_offset + ev.round);
+                }
+            }
+        }
         // A finish recorded at a node that later crashed still counts —
         // the walk completed before the failure.
         for (v, p) in sim.nodes().iter().enumerate() {
@@ -483,9 +668,32 @@ pub fn run_walks_healing_instrumented(
             }
         }
         pending.retain(|&i| endpoints[i as usize].is_none());
+        // The batch is re-delivered once no walk with a live start is
+        // missing; that closes every open recovery span at this epoch's
+        // accumulated end round.
+        if pending
+            .iter()
+            .all(|&i| crashed[specs[i as usize].start.index()])
+        {
+            timeline.record_recovery(metrics.rounds);
+        }
         if !pending.is_empty() && epochs < MAX_EPOCHS {
             reissued += pending.len() as u64;
         }
+    }
+
+    // Walks whose start is alive but that sustained damage kept losing for
+    // MAX_EPOCHS straight are an explicit give-up, not a silent `None`
+    // (`port` is 0 by convention: the give-up is walk-level, not per-link).
+    pending.retain(|&i| !crashed[specs[i as usize].start.index()]);
+    if let Some(&lost) = pending.first() {
+        return Err(CongestError::RetryExhausted {
+            node: specs[lost as usize].start,
+            port: 0,
+            attempts: epochs,
+            round: metrics.rounds,
+            seed: plan.seed,
+        });
     }
 
     // Later epochs re-apply the already-fired crashes at round 0 to keep
@@ -499,6 +707,7 @@ pub fn run_walks_healing_instrumented(
             epochs,
             reissued,
             rerouted,
+            timeline,
         },
         traces,
         total_profile,
@@ -606,6 +815,116 @@ mod tests {
             (a.epochs, a.reissued, a.rerouted),
             (b.epochs, b.reissued, b.rerouted)
         );
+    }
+
+    #[test]
+    fn walks_survive_edge_flapping() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 10);
+        let churn = ChurnPlan::none().seeded(23).with_flaps(0.15, 5);
+        let run =
+            run_walks_healing_churned(&g, WalkKind::Lazy, &specs, 7, FaultPlan::none(), churn, 1)
+                .unwrap();
+        assert!(run.metrics.lost_to_churn > 0, "flaps must bite");
+        assert!(
+            run.endpoints.iter().all(Option::is_some),
+            "no walk may be lost to transient link flapping"
+        );
+    }
+
+    #[test]
+    fn walks_survive_node_restarts_with_state_loss() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 12);
+        let churn = ChurnPlan::none()
+            .with_restart(NodeId(3), 4, 6)
+            .with_restart(NodeId(9), 8, 4);
+        let run =
+            run_walks_healing_churned(&g, WalkKind::Lazy, &specs, 5, FaultPlan::none(), churn, 1)
+                .unwrap();
+        assert_eq!(run.metrics.crashed, 0, "restarts are not crash-stops");
+        assert!(run.metrics.restarts >= 2, "both outages must complete");
+        assert!(
+            run.endpoints.iter().all(Option::is_some),
+            "restarted starts stay eligible for re-issue"
+        );
+        // Restarts are damage; redelivery closes the spans.
+        assert!(!run.timeline.spans().is_empty());
+        assert_eq!(run.timeline.open_count(), 0);
+        assert!(run.timeline.time_to_reconverge().max >= 1);
+    }
+
+    #[test]
+    fn churned_healing_replays_deterministically() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 10);
+        let plan = FaultPlan::none().seeded(13).with_drops(0.05);
+        let churn = ChurnPlan::none()
+            .seeded(29)
+            .with_flaps(0.1, 4)
+            .with_restart(NodeId(6), 5, 5);
+        let a = run_walks_healing_churned(
+            &g,
+            WalkKind::Lazy,
+            &specs,
+            8,
+            plan.clone(),
+            churn.clone(),
+            1,
+        )
+        .unwrap();
+        let b = run_walks_healing_churned(&g, WalkKind::Lazy, &specs, 8, plan, churn, 4).unwrap();
+        assert_eq!(a.endpoints, b.endpoints);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(
+            (a.epochs, a.reissued, a.rerouted),
+            (b.epochs, b.reissued, b.rerouted)
+        );
+    }
+
+    #[test]
+    fn trivial_churn_plan_changes_nothing() {
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 10);
+        let plan = FaultPlan::none().seeded(31).with_drops(0.1);
+        let plain = run_walks_healing(&g, WalkKind::Lazy, &specs, 8, plan.clone()).unwrap();
+        let churned = run_walks_healing_churned(
+            &g,
+            WalkKind::Lazy,
+            &specs,
+            8,
+            plan,
+            ChurnPlan::none().seeded(99),
+            0,
+        )
+        .unwrap();
+        assert_eq!(plain.endpoints, churned.endpoints);
+        assert_eq!(plain.metrics, churned.metrics);
+        assert_eq!(churned.timeline, RecoveryTimeline::new());
+    }
+
+    #[test]
+    fn sustained_start_outage_surfaces_retry_exhausted() {
+        // Node 0's walk can never be issued: its start is offline for the
+        // whole run, every epoch. The driver must give up explicitly
+        // instead of silently returning `None`.
+        let g = generators::ring(4);
+        let specs = vec![WalkSpec {
+            start: NodeId(0),
+            steps: 5,
+        }];
+        let churn = ChurnPlan::none().with_restart(NodeId(0), 0, 1_000_000);
+        let err =
+            run_walks_healing_churned(&g, WalkKind::Lazy, &specs, 3, FaultPlan::none(), churn, 1)
+                .unwrap_err();
+        match err {
+            CongestError::RetryExhausted { node, attempts, .. } => {
+                assert_eq!(node, NodeId(0));
+                assert_eq!(attempts, MAX_EPOCHS);
+            }
+            other => panic!("expected RetryExhausted, got {other:?}"),
+        }
     }
 
     #[test]

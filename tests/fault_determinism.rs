@@ -1,18 +1,21 @@
 //! Acceptance tests for the faulty path's determinism contract: fault
 //! sampling is keyed on message identity `(fault_seed, round, src,
-//! src_port)`, so the same `(graph, seed, plan)` yields identical
-//! `Metrics`, fault-event logs, and crashed sets across worker-thread
-//! counts {1, 2, 4, 8} and across node-visit-order reversal — for a raw
-//! simulator workload and for both self-healing protocols (walks and
-//! Borůvka MST).
+//! src_port)` and churn verdicts on `(churn_seed, round, edge)`, so the
+//! same `(graph, seed, plan, churn)` yields identical `Metrics`,
+//! fault/churn-event logs, crashed sets, and recovery timelines across
+//! worker-thread counts {1, 2, 4, 8} and across node-visit-order
+//! reversal — for a raw simulator workload, both self-healing protocols
+//! (walks and Borůvka MST), and the churned bit-fix router.
 
 use amt_core::congest::{
     Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition, TrafficProfile,
 };
+use amt_core::mst::healing::run_healing_churned;
 use amt_core::mst::{run_healing_instrumented, run_healing_with};
 use amt_core::prelude::*;
+use amt_core::routing::route_bitfix_churned;
 use amt_core::walks::parallel::degree_proportional_specs;
-use amt_core::walks::run_walks_healing_threaded;
+use amt_core::walks::{run_walks_healing_churned, run_walks_healing_threaded};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -330,5 +333,176 @@ fn healing_boruvka_profile_sums_exactly_across_thread_counts() {
             Some(&profile),
             "threads {t}: profile diverged"
         );
+    }
+}
+
+/// `chatter_run` with a topology-churn plan stacked on the fault plan;
+/// additionally returns the churn-event log.
+#[allow(clippy::type_complexity)]
+fn churned_chatter_run(
+    g: &Graph,
+    plan: &FaultPlan,
+    churn: &ChurnPlan,
+    threads: usize,
+    reverse: bool,
+) -> (
+    Metrics,
+    Vec<FaultEvent>,
+    Vec<ChurnEvent>,
+    Vec<NodeId>,
+    Vec<u64>,
+) {
+    let nodes = (0..g.len())
+        .map(|_| Chatter {
+            rounds_left: 30,
+            checksum: 0,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, 17)
+        .unwrap()
+        .with_fault_plan(plan.clone())
+        .with_churn_plan(churn.clone());
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    }
+    .with_threads(threads);
+    let metrics = if reverse {
+        sim.run_reverse_visit(&cfg).unwrap()
+    } else {
+        sim.run(&cfg).unwrap()
+    };
+    let checksums = sim.nodes().iter().map(|c| c.checksum).collect();
+    (
+        metrics,
+        sim.fault_events().to_vec(),
+        sim.churn_events().to_vec(),
+        sim.crashed_nodes(),
+        checksums,
+    )
+}
+
+/// The churned raw-simulator contract: churn verdicts are keyed on
+/// `(churn_seed, round, edge)` exactly as fault verdicts are keyed on
+/// message identity, so stacking flaps, an outage, and a crash-restart on
+/// top of the full fault plan moves nothing across thread counts or under
+/// node-visit-order reversal — metrics, both event logs, and every node's
+/// RNG-sensitive checksum included.
+#[test]
+fn churned_sim_runs_are_identical_across_threads_and_visit_order() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let g = generators::random_regular(64, 6, &mut rng).unwrap();
+    let plan = FaultPlan::none()
+        .seeded(23)
+        .with_drops(0.05)
+        .with_corruption(0.03)
+        .with_delays(0.1, 3)
+        .with_crash(NodeId(5), 4);
+    let churn = ChurnPlan::none()
+        .seeded(47)
+        .with_flaps(0.05, 4)
+        .with_edge_outage(EdgeId(2), 3, 6)
+        .with_restart(NodeId(9), 6, 4);
+    let baseline = churned_chatter_run(&g, &plan, &churn, 1, false);
+    assert!(
+        baseline.0.lost_to_churn > 0 && baseline.0.restarts == 1,
+        "the churn plan must actually bite: {:?}",
+        baseline.0
+    );
+    assert!(baseline.0.message_faults() > 0, "faults must fire too");
+    assert!(!baseline.2.is_empty(), "churn events must be logged");
+
+    assert_eq!(
+        churned_chatter_run(&g, &plan, &churn, 1, true),
+        baseline,
+        "visit-order reversal changed the churned run"
+    );
+    for t in &THREADS[1..] {
+        assert_eq!(
+            churned_chatter_run(&g, &plan, &churn, *t, false),
+            baseline,
+            "threads {t}: churned run diverged"
+        );
+    }
+}
+
+/// The churned healing walks replay byte-identically — the full outcome
+/// struct (endpoints, metrics with churn counters, epochs, healing work,
+/// and the recovery timeline) — at thread counts {1, 2, 4, 8}.
+#[test]
+fn churned_healing_walks_are_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(62);
+    let g = generators::random_regular(48, 6, &mut rng).unwrap();
+    let specs = degree_proportional_specs(&g, 2, 16);
+    let plan = FaultPlan::none().seeded(19).with_drops(0.03);
+    let churn = ChurnPlan::none()
+        .seeded(53)
+        .with_flaps(0.05, 4)
+        .with_restart(NodeId(7), 5, 4);
+    let baseline = run_walks_healing_churned(
+        &g,
+        WalkKind::Lazy,
+        &specs,
+        5,
+        plan.clone(),
+        churn.clone(),
+        1,
+    )
+    .unwrap();
+    assert!(baseline.metrics.lost_to_churn > 0 || baseline.metrics.restarts > 0);
+    for t in &THREADS[1..] {
+        let run = run_walks_healing_churned(
+            &g,
+            WalkKind::Lazy,
+            &specs,
+            5,
+            plan.clone(),
+            churn.clone(),
+            *t,
+        )
+        .unwrap();
+        assert_eq!(run, baseline, "threads {t}: churned walks diverged");
+    }
+}
+
+/// The churned healing Borůvka replays byte-identically — tree, cut-edge
+/// bookkeeping, metrics, and the recovery timeline — at thread counts
+/// {1, 2, 4, 8}.
+#[test]
+fn churned_healing_boruvka_is_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let g = generators::random_regular(48, 6, &mut rng).unwrap();
+    let wg = WeightedGraph::with_random_weights(g, 500, &mut rng);
+    let plan = FaultPlan::none().seeded(29).with_drops(0.03);
+    let churn = ChurnPlan::none()
+        .seeded(59)
+        .with_flaps(0.05, 4)
+        .with_restart(NodeId(11), 4, 5);
+    let baseline = run_healing_churned(&wg, 3, plan.clone(), churn.clone(), 1).unwrap();
+    assert!(baseline.metrics.lost_to_churn > 0 || baseline.metrics.restarts > 0);
+    for t in &THREADS[1..] {
+        let run = run_healing_churned(&wg, 3, plan.clone(), churn.clone(), *t).unwrap();
+        assert_eq!(run, baseline, "threads {t}: churned boruvka diverged");
+    }
+}
+
+/// The churned bit-fix router replays byte-identically — endpoints,
+/// reroute counter, epoch count, metrics, and the recovery timeline — at
+/// thread counts {1, 2, 4, 8}.
+#[test]
+fn churned_bitfix_routing_is_identical_across_thread_counts() {
+    let g = generators::hypercube(6);
+    let reqs: Vec<(NodeId, NodeId)> = (0..64u32)
+        .map(|i| (NodeId(i), NodeId((5 * i + 3) % 64)))
+        .collect();
+    let churn = ChurnPlan::none()
+        .seeded(67)
+        .with_flaps(0.08, 3)
+        .with_restart(NodeId(6), 1, 4);
+    let baseline = route_bitfix_churned(&g, &reqs, 12, churn.clone(), 1).unwrap();
+    assert!(baseline.rerouted > 0 || baseline.metrics.lost_to_churn > 0);
+    for t in &THREADS[1..] {
+        let run = route_bitfix_churned(&g, &reqs, 12, churn.clone(), *t).unwrap();
+        assert_eq!(run, baseline, "threads {t}: churned routing diverged");
     }
 }

@@ -1,7 +1,9 @@
 //! Acceptance tests for the simulator's determinism contract: protocol
 //! results and `Metrics` are byte-identical across worker-thread counts
 //! {1, 2, 4, 8} for the same seed, on the repo's real workloads (parallel
-//! walks, Boruvka MST) and a routing-style packet-forwarding protocol.
+//! walks, Boruvka MST) and a routing-style packet-forwarding protocol —
+//! including that workload under a pure topology-churn plan, where the
+//! loss pattern itself is part of the contract.
 
 use amt_core::congest::{
     class, Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
@@ -245,6 +247,73 @@ fn profiled_runs_sum_exactly_and_are_identical_across_thread_counts() {
         assert_eq!(mt, m, "threads {t}: metrics diverged");
         assert_eq!(pt, profile, "threads {t}: profile diverged");
         assert_eq!(lt, loads, "threads {t}: edge loads diverged");
+    }
+}
+
+/// The routing-style workload under pure topology churn (no fault plan):
+/// flaps and a crash-restart lose some packets, but the loss pattern is a
+/// pure function of `(churn_seed, round, edge)`, so metrics, the
+/// churn-event log, and every node's delivery checksum are byte-identical
+/// across thread counts {1, 2, 4, 8} and under node-visit-order reversal.
+#[test]
+fn churned_routing_workload_is_identical_across_threads_and_visit_order() {
+    let dim = 6;
+    let n = 1usize << dim;
+    let g = generators::hypercube(dim as u32);
+    let churn = ChurnPlan::none()
+        .seeded(71)
+        .with_flaps(0.06, 4)
+        .with_restart(NodeId(9), 3, 5);
+    let run = |threads: usize, reverse: bool| {
+        use rand::RngExt;
+        let mut wl = StdRng::seed_from_u64(0xD1CE);
+        let nodes = (0..n)
+            .map(|v| BitFixRouter {
+                me: v as u32,
+                packets: (0..4)
+                    .map(|_| wl.random_range(0..n as u64) as u32)
+                    .collect(),
+                delivered: 0,
+                checksum: 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes, 3)
+            .unwrap()
+            .with_churn_plan(churn.clone());
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(threads);
+        let m = if reverse {
+            sim.run_reverse_visit(&cfg).unwrap()
+        } else {
+            sim.run(&cfg).unwrap()
+        };
+        let state: Vec<(u64, u64)> = sim
+            .nodes()
+            .iter()
+            .map(|p| (p.delivered, p.checksum))
+            .collect();
+        (m, sim.churn_events().to_vec(), state)
+    };
+    let baseline = run(1, false);
+    assert!(
+        baseline.0.lost_to_churn > 0 && baseline.0.restarts == 1,
+        "the churn plan must actually bite: {:?}",
+        baseline.0
+    );
+    assert_eq!(
+        run(1, true),
+        baseline,
+        "visit-order reversal changed the churned routing workload"
+    );
+    for t in &THREADS[1..] {
+        assert_eq!(
+            run(*t, false),
+            baseline,
+            "threads {t}: churned routing workload diverged"
+        );
     }
 }
 
