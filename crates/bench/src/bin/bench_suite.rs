@@ -169,6 +169,34 @@ fn main() {
         bench.record("e2_route_bitfix_dim8", &out.metrics, profile.as_ref(), wall);
     }
 
+    // e2 walk engine: the hierarchy build's walk phase in isolation at
+    // n = 4096 — the Lemma 2.5 workload (`k·d(v)` walks per node) through
+    // the batched engine, plus the reverse and kept-subset replays the
+    // embedding pays for (level0's `2·rounds + replay(kept)` pattern).
+    // Full builds at this size take minutes; the walk phase alone is what
+    // the engine refactors move, so it is what the gate pins.
+    {
+        let g = expander(4096, 6, 1);
+        let specs = amt_core::walks::parallel::degree_proportional_specs(&g, 2, 64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t0 = Instant::now();
+        let run =
+            amt_core::walks::parallel::run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng);
+        let kept: Vec<usize> = (0..specs.len()).step_by(3).collect();
+        let replay = run.replay_rounds(&kept);
+        let wall = t0.elapsed();
+        let metrics = Metrics {
+            rounds: run.stats.rounds + run.reverse_rounds() + replay,
+            messages: run.stats.traversals,
+            max_edge_congestion: u64::from(
+                run.stats.per_step_rounds.iter().copied().max().unwrap_or(0),
+            ),
+            peak_messages_per_round: u64::from(run.stats.max_node_tokens()),
+            ..Metrics::default()
+        };
+        bench.record("e2_walk_phase_n4096", &metrics, None, wall);
+    }
+
     // e16 faulty walk: the e16 threads-table configuration.
     {
         let g = expander(1024, 8, 16);

@@ -64,8 +64,7 @@ fn main() {
     let run = run_parallel_walks(g_ref(&sys), WalkKind::Lazy, &specs, &mut rng);
     let vmap = h.vmap();
     let starts: Vec<u32> = run
-        .trajectories
-        .iter()
+        .trajectories()
         .map(|t| {
             let node = t.end();
             vmap.vid(node, rng.random_range(0..vmap.slot_count(node))).0

@@ -333,9 +333,13 @@ impl<M: CongestMessage> Ctx<'_, M> {
 
     /// Sends `msg` to every port (standard "broadcast to neighbors").
     pub fn send_all(&mut self, msg: M) {
-        for port in 0..self.degree {
+        if self.degree == 0 {
+            return;
+        }
+        for port in 0..self.degree - 1 {
             self.send(port, msg.clone());
         }
+        self.send(self.degree - 1, msg);
     }
 
     /// This node's private deterministic RNG.

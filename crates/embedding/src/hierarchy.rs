@@ -257,14 +257,14 @@ impl<'g> Hierarchy<'g> {
                     break;
                 }
                 let idx = vid as usize * wpv + w;
-                let t = &run.trajectories[idx];
+                let t = run.trajectory(idx);
                 let end = t.end().0;
                 if end == vid || part_of(end, p) != my_part || chosen.contains(&end) {
                     continue;
                 }
                 chosen.push(end);
                 builder.add_edge(vid as usize, end as usize);
-                edge_paths.push(trajectory_keys(gp, t));
+                edge_paths.push(t.dir_keys().collect());
                 kept.push(idx);
             }
             if chosen.is_empty() {
@@ -440,7 +440,7 @@ impl<'g> Hierarchy<'g> {
                 // First successful walk endpoint with a boundary edge to j.
                 let mut portal: Option<u32> = None;
                 for w in 0..wpv {
-                    let end = run.trajectories[vid as usize * wpv + w].end().0;
+                    let end = run.trajectory(vid as usize * wpv + w).end().0;
                     if mask[end as usize] & (1u64 << j) != 0 && part_of(end, p) == my_part {
                         portal = Some(end);
                         break;
@@ -673,18 +673,6 @@ impl<'g> Hierarchy<'g> {
                 .collect()
         })
     }
-}
-
-/// Directed-key path of a trajectory on an overlay/base graph (stay-steps
-/// skipped).
-fn trajectory_keys(g: &Graph, t: &parallel::Trajectory) -> Vec<u64> {
-    t.edge_path()
-        .iter()
-        .map(|&(e, from, _)| {
-            let (a, _) = g.endpoints(e);
-            dir_key(e, a == from)
-        })
-        .collect()
 }
 
 /// BFS path from `from` to `to` as directed keys, or `None` if unreachable.

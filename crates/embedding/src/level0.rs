@@ -2,7 +2,7 @@
 //! random graph `G₀` on the virtual nodes via parallel lazy walks of length
 //! `τ_mix`.
 
-use crate::{dir_key, HierarchyConfig, LevelStats, Overlay, VirtualId, VirtualMap};
+use crate::{HierarchyConfig, LevelStats, Overlay, VirtualId, VirtualMap};
 use amt_graphs::{Graph, GraphBuilder};
 use amt_walks::{parallel, WalkKind, WalkSpec};
 use rand::{Rng, RngExt};
@@ -48,7 +48,7 @@ pub fn build<R: Rng>(
                 break;
             }
             let idx = vid * walks + w;
-            let t = &run.trajectories[idx];
+            let t = run.trajectory(idx);
             let end_node = t.end();
             // The token lands on a uniformly random virtual slot of the node
             // it stopped at.
@@ -59,15 +59,9 @@ pub fn build<R: Rng>(
             }
             chosen.push(target);
             builder.add_edge(vid, target as usize);
-            edge_paths.push(
-                t.edge_path()
-                    .iter()
-                    .map(|&(e, from, _)| {
-                        let (a, _) = g.endpoints(e);
-                        dir_key(e, a == from)
-                    })
-                    .collect(),
-            );
+            // The arena's directed edge keys are bit-compatible with
+            // `dir_key`, so the embedded path is a direct copy of the log.
+            edge_paths.push(t.dir_keys().collect());
             kept_walks.push(idx);
         }
     }

@@ -227,8 +227,7 @@ impl<'h, 'g> HierarchicalRouter<'h, 'g> {
                 .collect();
             let run = parallel::run_parallel_walks(g, WalkKind::Lazy, &specs, rng);
             let starts = run
-                .trajectories
-                .iter()
+                .trajectories()
                 .map(|t| {
                     let node = t.end();
                     vmap.vid(node, rng.random_range(0..vmap.slot_count(node))).0

@@ -186,7 +186,7 @@ pub fn run_walks_in_congest_threaded(
         .nodes()
         .map(|v| WalkProtocol {
             node: WalkNode {
-                ready: initial[v.index()].clone(),
+                ready: std::mem::take(&mut initial[v.index()]),
                 port_queue: vec![VecDeque::new(); g.degree(v)],
                 finished: Vec::new(),
                 degree: g.degree(v),

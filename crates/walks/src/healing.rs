@@ -575,7 +575,7 @@ pub fn run_walks_healing_churned_instrumented(
             .nodes()
             .map(|v| HealProtocol {
                 node: HealNode {
-                    ready: initial[v.index()].clone(),
+                    ready: std::mem::take(&mut initial[v.index()]),
                     stayed: Vec::new(),
                     port_queue: vec![VecDeque::new(); g.degree(v)],
                     inflight: (0..g.degree(v)).map(|_| None).collect(),

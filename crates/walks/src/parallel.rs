@@ -6,10 +6,55 @@
 //! `max(1, max directed-edge load)` rounds. Lemma 2.5 proves this is
 //! `O(k + log n)` w.h.p. when each node starts `k·d(v)` walks; here the cost
 //! is **measured** from the actual token loads, never assumed.
+//!
+//! # Batched stepping
+//!
+//! The engine steps *per node*, not per token, exactly as the distributed
+//! model does (Das Sarma et al.: a node schedules all the tokens resident
+//! on it each round). Per step it
+//!
+//! 1. **groups** the active tokens by current node with a counting sort
+//!    over a flat arena (a prefix-sum pass computes the group offsets — no
+//!    per-token `Vec` pushes),
+//! 2. **draws** the destinations of each node's group as one batch (draws
+//!    depend only on the node, so the batch is one RNG run per node),
+//! 3. **admits** the movers against directed-edge capacity — the flat
+//!    `loads`/`touched` counting pass whose maximum is the phase cost — and
+//!    commits every move into the arena, and
+//! 4. **recomputes** per-node token occupancy at the step boundary, *after*
+//!    all moves have committed.
+//!
+//! Step 4 is what makes [`WalkStats::node_token_peaks`] a pure function of
+//! the walk set: peaks are synchronous step-boundary occupancies, invariant
+//! under any permutation of the input specs. (A per-token stepper observes
+//! transient occupancies mid-step — whether a peak is recorded then depends
+//! on whether an arriving token is processed before or after a departing
+//! one, i.e. on spec order.)
+//!
+//! Grouping iterates occupied nodes in ascending id order and orders each
+//! group longest-remaining-walk first; tokens that tie are exchangeable, so
+//! the multiset of `(position, remaining)` pairs — and with it every
+//! statistic — evolves identically under spec permutation, while the full
+//! run stays byte-deterministic for a fixed spec order and seed.
+//!
+//! # Arena layout
+//!
+//! Trajectories live in two flat arenas keyed by `(walk, step)`:
+//! `nodes` with stride `steps + 1` (positions after each step, including
+//! the start) and `keys` with stride `steps` holding *directed edge keys*
+//! `edge·2 + dir` (`dir = 0` iff the traversal leaves the edge's first
+//! endpoint), with [`STAY_KEY`] marking stay-steps. Walks shorter than the
+//! longest spec are padded with their final position (and `STAY_KEY`), so
+//! `position(walk, b)` is total: the node where the walk sits at boundary
+//! `b`. [`Trajectory`] is a zero-copy view into the arenas, and the
+//! Lemma 2.5 reverse/replay accounting ([`ParallelWalkRun::replay_rounds`],
+//! [`ParallelWalkRun::reverse_rounds`]) is a view over the forward log —
+//! the same flat `loads`/`touched` counting pass, no per-step hash maps.
 
 use crate::WalkKind;
 use amt_congest::PhaseTimings;
 use amt_graphs::{EdgeId, Graph, NodeId};
+use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
 use std::time::Instant;
 
@@ -22,21 +67,100 @@ pub struct WalkSpec {
     pub steps: u32,
 }
 
-/// The recorded trajectory of one walk.
+/// Sentinel in the directed-edge-key arena: the walk stayed put that step.
+pub const STAY_KEY: u32 = u32::MAX;
+
+/// Flat trajectory storage of a parallel-walk run.
 ///
-/// `nodes` has `steps + 1` entries (positions after each step, including the
-/// start); `edges[s]` is the edge traversed at step `s`, or `None` if the
-/// walk stayed put. Trajectories are what the paper's constructions "run
-/// backwards": the reverse traversal visits the same edges in reverse order.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Trajectory {
-    /// Node positions, length `steps + 1`.
-    pub nodes: Vec<u32>,
-    /// Traversed edge per step (`None` = stayed), length `steps`.
-    pub edges: Vec<Option<u32>>,
+/// Positions and traversals for all walks live in two contiguous arenas
+/// (see the module docs for the layout); [`WalkArena::traj`] hands out
+/// zero-copy [`Trajectory`] views. Equality is byte-equality of the
+/// recorded walks, which the determinism suites pin across engines and
+/// thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalkArena {
+    /// Positions, stride `steps + 1` per walk; finished walks are padded
+    /// with their final position.
+    nodes: Vec<u32>,
+    /// Directed edge key per step (`edge·2 + dir`), stride `steps`;
+    /// [`STAY_KEY`] for stay-steps and padding.
+    keys: Vec<u32>,
+    /// Global synchronous step count (the longest spec).
+    steps: u32,
+    /// Declared steps per walk, in spec order.
+    walk_steps: Vec<u32>,
+    /// Size of the directed-edge key space (`2 · edge_count`).
+    directed_keys: usize,
 }
 
-impl Trajectory {
+impl WalkArena {
+    fn with_specs(g: &Graph, specs: &[WalkSpec]) -> Self {
+        let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
+        let ns = steps as usize + 1;
+        let mut nodes = vec![0u32; specs.len() * ns];
+        for (i, s) in specs.iter().enumerate() {
+            nodes[i * ns] = s.start.0;
+        }
+        WalkArena {
+            nodes,
+            keys: vec![STAY_KEY; specs.len() * steps as usize],
+            steps,
+            walk_steps: specs.iter().map(|s| s.steps).collect(),
+            directed_keys: 2 * g.edge_count(),
+        }
+    }
+
+    /// Number of recorded walks.
+    pub fn walk_count(&self) -> usize {
+        self.walk_steps.len()
+    }
+
+    /// The global synchronous step count (the longest spec).
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// The node where `walk` sits at step boundary `b ∈ 0..=steps()`
+    /// (finished walks report their final position — the padding makes
+    /// this total, so synchronous occupancy recounts need no per-walk
+    /// length checks).
+    pub fn position(&self, walk: usize, b: usize) -> u32 {
+        self.nodes[walk * (self.steps as usize + 1) + b]
+    }
+
+    /// The directed edge key `walk` traversed at step `s`, or [`STAY_KEY`].
+    pub fn edge_key(&self, walk: usize, s: usize) -> u32 {
+        self.keys[walk * self.steps as usize + s]
+    }
+
+    /// Zero-copy view of one walk, trimmed to its declared length.
+    pub fn traj(&self, walk: usize) -> Trajectory<'_> {
+        let ws = self.walk_steps[walk] as usize;
+        let ns = self.steps as usize + 1;
+        let es = self.steps as usize;
+        Trajectory {
+            nodes: &self.nodes[walk * ns..walk * ns + ws + 1],
+            keys: &self.keys[walk * es..walk * es + ws],
+        }
+    }
+}
+
+/// A zero-copy view of one recorded walk inside a [`WalkArena`].
+///
+/// `nodes` has `steps + 1` entries (positions after each step, including
+/// the start). Traversals are exposed per step as [`Trajectory::edge`]
+/// (`None` = the walk stayed put) or as directed keys compatible with the
+/// embedding crate's `dir_key` convention. Trajectories are what the
+/// paper's constructions "run backwards": the reverse traversal visits the
+/// same edges in reverse order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trajectory<'a> {
+    /// Node positions, length `steps + 1`.
+    pub nodes: &'a [u32],
+    keys: &'a [u32],
+}
+
+impl<'a> Trajectory<'a> {
     /// The walk's starting node.
     pub fn start(&self) -> NodeId {
         NodeId(self.nodes[0])
@@ -52,13 +176,43 @@ impl Trajectory {
         )
     }
 
+    /// Number of steps this walk declared.
+    pub fn steps(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The edge traversed at step `s`, or `None` if the walk stayed put.
+    pub fn edge(&self, s: usize) -> Option<EdgeId> {
+        let k = self.keys[s];
+        (k != STAY_KEY).then_some(EdgeId(k >> 1))
+    }
+
+    /// Per-step traversed edges (`None` = stayed), length [`steps`].
+    ///
+    /// [`steps`]: Trajectory::steps
+    pub fn edges(&self) -> impl Iterator<Item = Option<EdgeId>> + 'a {
+        self.keys
+            .iter()
+            .map(|&k| (k != STAY_KEY).then_some(EdgeId(k >> 1)))
+    }
+
+    /// The walk as directed edge keys `(edge << 1) | dir`, skipping
+    /// stay-steps, where `dir = 0` iff the traversal leaves the edge's
+    /// first endpoint — bit-compatible with `amt_embedding::dir_key`.
+    pub fn dir_keys(&self) -> impl Iterator<Item = u64> + 'a {
+        self.keys
+            .iter()
+            .filter(|&&k| k != STAY_KEY)
+            .map(|&k| u64::from(k))
+    }
+
     /// The sequence of `(edge, from, to)` traversals, skipping stay-steps.
     pub fn edge_path(&self) -> Vec<(EdgeId, NodeId, NodeId)> {
         let mut out = Vec::new();
-        for (s, e) in self.edges.iter().enumerate() {
-            if let Some(eid) = e {
+        for (s, k) in self.keys.iter().enumerate() {
+            if *k != STAY_KEY {
                 out.push((
-                    EdgeId(*eid),
+                    EdgeId(k >> 1),
                     NodeId(self.nodes[s]),
                     NodeId(self.nodes[s + 1]),
                 ));
@@ -77,8 +231,11 @@ pub struct WalkStats {
     pub rounds: u64,
     /// Per-step phase costs (each `max(1, max directed-edge load)`).
     pub per_step_rounds: Vec<u32>,
-    /// Peak number of tokens resident at each node over all steps
-    /// (the quantity bounded by Lemma 2.4 as `O(k·d(v) + log n)`).
+    /// Peak number of tokens resident at each node over all step
+    /// boundaries (the quantity bounded by Lemma 2.4 as
+    /// `O(k·d(v) + log n)`). Occupancy is counted *synchronously*, after
+    /// every token of a step has moved, so the peaks are a pure function
+    /// of the walk set — invariant under permutation of the input specs.
     pub node_token_peaks: Vec<u32>,
     /// Total edge traversals (excludes stay-steps).
     pub traversals: u64,
@@ -94,16 +251,37 @@ impl WalkStats {
     }
 }
 
-/// A completed parallel-walk execution: all trajectories plus measured costs.
+/// A completed parallel-walk execution: all trajectories plus measured
+/// costs.
 #[derive(Clone, Debug)]
 pub struct ParallelWalkRun {
-    /// One trajectory per input spec, in order.
-    pub trajectories: Vec<Trajectory>,
+    /// Flat trajectory storage, one walk per input spec, in order.
+    pub arena: WalkArena,
     /// Measured scheduling statistics.
     pub stats: WalkStats,
 }
 
 impl ParallelWalkRun {
+    /// Number of walks (== number of input specs).
+    pub fn len(&self) -> usize {
+        self.arena.walk_count()
+    }
+
+    /// Whether the run recorded no walks.
+    pub fn is_empty(&self) -> bool {
+        self.arena.walk_count() == 0
+    }
+
+    /// Zero-copy view of walk `i`'s trajectory.
+    pub fn trajectory(&self, i: usize) -> Trajectory<'_> {
+        self.arena.traj(i)
+    }
+
+    /// Zero-copy views of all trajectories, in spec order.
+    pub fn trajectories(&self) -> impl ExactSizeIterator<Item = Trajectory<'_>> + '_ {
+        (0..self.len()).map(|i| self.arena.traj(i))
+    }
+
     /// Round cost of running all the walks backwards to their sources
     /// (identical loads traversed in reverse order, hence identical cost).
     pub fn reverse_rounds(&self) -> u64 {
@@ -113,37 +291,202 @@ impl ParallelWalkRun {
     /// Measured round cost of re-running only `subset` of the walks
     /// (forward or backward): per step, the max directed-edge load induced
     /// by the chosen trajectories; idle steps cost nothing.
+    ///
+    /// A view over the forward log: the arena stores the same directed
+    /// keys the forward pass admitted against, so replaying everything
+    /// reproduces [`WalkStats::rounds`] exactly.
     pub fn replay_rounds(&self, subset: &[usize]) -> u64 {
         let steps = self.stats.steps as usize;
+        let mut loads = vec![0u32; self.arena.directed_keys];
+        let mut touched: Vec<u32> = Vec::new();
         let mut rounds = 0u64;
-        let mut loads: std::collections::HashMap<(u32, bool), u32> = Default::default();
         for s in 0..steps {
-            loads.clear();
             let mut max_load = 0u32;
             for &i in subset {
-                let t = &self.trajectories[i];
-                if let Some(e) = t.edges[s] {
-                    let fwd = t.nodes[s] <= t.nodes[s + 1];
-                    let c = loads.entry((e, fwd)).or_insert(0);
-                    *c += 1;
-                    max_load = max_load.max(*c);
+                let key = self.arena.edge_key(i, s);
+                if key != STAY_KEY {
+                    let k = key as usize;
+                    if loads[k] == 0 {
+                        touched.push(key);
+                    }
+                    loads[k] += 1;
+                    max_load = max_load.max(loads[k]);
                 }
             }
+            for &k in &touched {
+                loads[k as usize] = 0;
+            }
+            touched.clear();
             rounds += u64::from(max_load.max(1));
         }
         rounds
     }
 }
 
-/// Runs all `specs` as independent walks of kind `kind`, step-synchronously,
-/// recording trajectories and measured round costs.
+/// Reusable per-step state of the batched stepper (module docs): the
+/// counting-sort grouping, the directed-edge admission counters, and the
+/// step-boundary occupancy.
+struct BatchScratch {
+    /// Walk ids ordered longest-spec-first (stable), so the active set at
+    /// any step is a prefix and groups order longest-remaining first.
+    by_steps: Vec<u32>,
+    /// Number of active walks at step `s` (a prefix length of `by_steps`).
+    active_at: Vec<u32>,
+    /// Per-node counter, then placement cursor, of the counting sort;
+    /// zeroed again after every step via `occupied`.
+    counts: Vec<u32>,
+    /// Occupied nodes this step, ascending after the sort.
+    occupied: Vec<u32>,
+    /// Prefix-sum group offsets into `order`, one per occupied node + 1.
+    group_start: Vec<u32>,
+    /// Active walk ids grouped by current node.
+    order: Vec<u32>,
+    /// Token occupancy per node (all walks; finished walks stay counted
+    /// at their final position, as resident tokens).
+    node_tokens: Vec<u32>,
+    /// Running step-boundary maxima of `node_tokens`.
+    node_peaks: Vec<u32>,
+    /// Nodes that gained tokens this step (duplicates allowed).
+    arrivals: Vec<u32>,
+    /// Directed-edge loads of the current step.
+    loads: Vec<u32>,
+    /// Keys with nonzero load, for sparse reset.
+    touched: Vec<u32>,
+}
+
+impl BatchScratch {
+    fn new(g: &Graph, specs: &[WalkSpec], steps: u32) -> Self {
+        let mut by_steps: Vec<u32> = (0..specs.len() as u32).collect();
+        by_steps.sort_by_key(|&i| std::cmp::Reverse(specs[i as usize].steps));
+        let active_at = (0..steps)
+            .map(|s| by_steps.partition_point(|&i| specs[i as usize].steps > s) as u32)
+            .collect();
+        let mut node_tokens = vec![0u32; g.len()];
+        for s in specs {
+            node_tokens[s.start.index()] += 1;
+        }
+        BatchScratch {
+            by_steps,
+            active_at,
+            counts: vec![0u32; g.len()],
+            occupied: Vec::new(),
+            group_start: Vec::new(),
+            order: vec![0u32; specs.len()],
+            node_peaks: node_tokens.clone(),
+            node_tokens,
+            arrivals: Vec::new(),
+            loads: vec![0u32; 2 * g.edge_count()],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Groups the step's active tokens by current node: one counting pass
+    /// over the arena, a prefix-sum pass for the group offsets, one
+    /// placement pass. Afterwards `occupied` lists the occupied nodes in
+    /// ascending order and `order[group_start[j]..group_start[j+1]]` holds
+    /// the walks at `occupied[j]`, longest-remaining first.
+    fn group(&mut self, arena: &WalkArena, s: u32) -> usize {
+        let ns = arena.steps as usize + 1;
+        let active = self.active_at[s as usize] as usize;
+        self.occupied.clear();
+        for &wid in &self.by_steps[..active] {
+            let v = arena.nodes[wid as usize * ns + s as usize] as usize;
+            if self.counts[v] == 0 {
+                self.occupied.push(v as u32);
+            }
+            self.counts[v] += 1;
+        }
+        self.occupied.sort_unstable();
+        self.group_start.clear();
+        self.group_start.push(0);
+        let mut cursor = 0u32;
+        for &v in &self.occupied {
+            let c = self.counts[v as usize];
+            self.counts[v as usize] = cursor;
+            cursor += c;
+            self.group_start.push(cursor);
+        }
+        for &wid in &self.by_steps[..active] {
+            let v = arena.nodes[wid as usize * ns + s as usize] as usize;
+            self.order[self.counts[v] as usize] = wid;
+            self.counts[v] += 1;
+        }
+        for &v in &self.occupied {
+            self.counts[v as usize] = 0;
+        }
+        active
+    }
+
+    /// Copies finished walks' positions forward (the arena padding that
+    /// keeps synchronous occupancy total).
+    fn pad_finished(&self, arena: &mut WalkArena, s: u32, active: usize) {
+        let ns = arena.steps as usize + 1;
+        for &wid in &self.by_steps[active..] {
+            let base = wid as usize * ns + s as usize;
+            arena.nodes[base + 1] = arena.nodes[base];
+        }
+    }
+
+    /// Records one committed traversal into the arena and the occupancy /
+    /// admission counters; returns the directed-edge load after admission.
+    #[inline]
+    fn commit_move(
+        &mut self,
+        arena: &mut WalkArena,
+        s: u32,
+        wid: u32,
+        from: u32,
+        next: NodeId,
+        key: usize,
+    ) -> u32 {
+        if self.loads[key] == 0 {
+            self.touched.push(key as u32);
+        }
+        self.loads[key] += 1;
+        let ns = arena.steps as usize + 1;
+        let es = arena.steps as usize;
+        arena.nodes[wid as usize * ns + s as usize + 1] = next.0;
+        arena.keys[wid as usize * es + s as usize] = key as u32;
+        self.node_tokens[from as usize] -= 1;
+        self.node_tokens[next.index()] += 1;
+        self.arrivals.push(next.0);
+        self.loads[key]
+    }
+
+    /// Step-boundary accounting: folds this step's arrivals into the
+    /// peaks *after* every move committed (order-independent), and resets
+    /// the admission counters.
+    fn commit_boundary(&mut self) {
+        for &a in &self.arrivals {
+            let a = a as usize;
+            if self.node_tokens[a] > self.node_peaks[a] {
+                self.node_peaks[a] = self.node_tokens[a];
+            }
+        }
+        self.arrivals.clear();
+        for &k in &self.touched {
+            self.loads[k as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Directed key of `edge` traversed out of `from`: `edge·2 + dir` with
+/// `dir = 0` iff `from` is the edge's first endpoint (self-loops always
+/// key direction 0 — both half-edges leave the same node).
+#[inline]
+fn directed_key(g: &Graph, edge: EdgeId, from: NodeId) -> usize {
+    edge.index() * 2 + usize::from(g.endpoints(edge).0 != from)
+}
+
+/// Runs all `specs` as independent walks of kind `kind`, step-synchronously
+/// and batched per node, recording trajectories and measured round costs.
 ///
-/// # Panics
-///
-/// Panics if a spec starts at an isolated node with `steps > 0` under
-/// [`WalkKind::Lazy`] semantics that would require moving (isolated nodes
-/// simply stay put, so this does not panic in practice; the caller should
-/// still avoid isolated starts).
+/// Within a step, each occupied node (ascending id order) draws the
+/// transitions of its resident active tokens as one batch; all moves
+/// commit before occupancy is recounted at the step boundary. Statistics
+/// are therefore invariant under permutation of `specs`, and the whole run
+/// is byte-deterministic given the spec order and RNG state.
 pub fn run_parallel_walks<R: Rng>(
     g: &Graph,
     kind: WalkKind,
@@ -152,67 +495,35 @@ pub fn run_parallel_walks<R: Rng>(
 ) -> ParallelWalkRun {
     let started = Instant::now();
     let delta = g.max_degree();
-    let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
-    let mut trajectories: Vec<Trajectory> = specs
-        .iter()
-        .map(|s| Trajectory {
-            nodes: {
-                let mut v = Vec::with_capacity(s.steps as usize + 1);
-                v.push(s.start.0);
-                v
-            },
-            edges: Vec::with_capacity(s.steps as usize),
-        })
-        .collect();
-
-    // Directed-edge loads for the current step: key = edge·2 + direction.
-    let mut loads = vec![0u32; 2 * g.edge_count()];
-    let mut touched: Vec<usize> = Vec::new();
-    // Tokens per node, tracked incrementally.
-    let mut node_tokens = vec![0u32; g.len()];
-    for t in &trajectories {
-        node_tokens[t.start().index()] += 1;
-    }
-    let mut node_peaks = node_tokens.clone();
-
+    let mut arena = WalkArena::with_specs(g, specs);
+    let steps = arena.steps;
+    let mut sc = BatchScratch::new(g, specs, steps);
     let mut per_step_rounds = Vec::with_capacity(steps as usize);
     let mut traversals = 0u64;
     for s in 0..steps {
+        let active = sc.group(&arena, s);
         let mut max_load = 0u32;
-        for (i, spec) in specs.iter().enumerate() {
-            if s >= spec.steps {
-                continue;
-            }
-            let t = &mut trajectories[i];
-            let here = NodeId(*t.nodes.last().expect("nonempty"));
-            match kind.step(g, here, delta, rng) {
-                Some((next, edge)) => {
-                    let (a, _) = g.endpoints(edge);
-                    let dir = usize::from(a != here); // 0 = from endpoint .0
-                    let key = edge.index() * 2 + dir;
-                    if loads[key] == 0 {
-                        touched.push(key);
+        for j in 0..sc.occupied.len() {
+            let here = NodeId(sc.occupied[j]);
+            let (lo, hi) = (sc.group_start[j] as usize, sc.group_start[j + 1] as usize);
+            for t in lo..hi {
+                let wid = sc.order[t];
+                match kind.step(g, here, delta, rng) {
+                    Some((next, edge)) => {
+                        let key = directed_key(g, edge, here);
+                        let load = sc.commit_move(&mut arena, s, wid, here.0, next, key);
+                        max_load = max_load.max(load);
+                        traversals += 1;
                     }
-                    loads[key] += 1;
-                    max_load = max_load.max(loads[key]);
-                    t.nodes.push(next.0);
-                    t.edges.push(Some(edge.0));
-                    node_tokens[here.index()] -= 1;
-                    node_tokens[next.index()] += 1;
-                    node_peaks[next.index()] =
-                        node_peaks[next.index()].max(node_tokens[next.index()]);
-                    traversals += 1;
-                }
-                None => {
-                    t.nodes.push(here.0);
-                    t.edges.push(None);
+                    None => {
+                        let ns = steps as usize + 1;
+                        arena.nodes[wid as usize * ns + s as usize + 1] = here.0;
+                    }
                 }
             }
         }
-        for &k in &touched {
-            loads[k] = 0;
-        }
-        touched.clear();
+        sc.pad_finished(&mut arena, s, active);
+        sc.commit_boundary();
         per_step_rounds.push(max_load.max(1));
     }
 
@@ -220,12 +531,12 @@ pub fn run_parallel_walks<R: Rng>(
     let mut wall = PhaseTimings::new();
     wall.record("walks", started.elapsed());
     ParallelWalkRun {
-        trajectories,
+        arena,
         stats: WalkStats {
             steps,
             rounds,
             per_step_rounds,
-            node_token_peaks: node_peaks,
+            node_token_peaks: sc.node_peaks,
             traversals,
             wall,
         },
@@ -246,48 +557,30 @@ pub fn run_parallel_walks<R: Rng>(
 /// paper's constructions (they only need per-token marginals plus load
 /// bounds).
 ///
-/// Returned statistics and trajectories have the same shape as
-/// [`run_parallel_walks`].
+/// Batched like [`run_parallel_walks`] (same grouping, same step-boundary
+/// accounting, same invariances), with the per-node batch split into the
+/// stay/move draws and the round-robin deal.
 pub fn run_correlated_walks<R: Rng>(
     g: &Graph,
     kind: WalkKind,
     specs: &[WalkSpec],
     rng: &mut R,
 ) -> ParallelWalkRun {
-    use rand::seq::SliceRandom;
     let started = Instant::now();
     let delta = g.max_degree();
-    let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
-    let mut trajectories: Vec<Trajectory> = specs
-        .iter()
-        .map(|s| Trajectory {
-            nodes: {
-                let mut v = Vec::with_capacity(s.steps as usize + 1);
-                v.push(s.start.0);
-                v
-            },
-            edges: Vec::with_capacity(s.steps as usize),
-        })
-        .collect();
-    let mut node_tokens = vec![0u32; g.len()];
-    for t in &trajectories {
-        node_tokens[t.start().index()] += 1;
-    }
-    let mut node_peaks = node_tokens.clone();
+    let mut arena = WalkArena::with_specs(g, specs);
+    let steps = arena.steps;
+    let mut sc = BatchScratch::new(g, specs, steps);
     let mut per_step_rounds = Vec::with_capacity(steps as usize);
     let mut traversals = 0u64;
-    // movers[v] = indices of tokens leaving v this step.
-    let mut movers: Vec<Vec<u32>> = vec![Vec::new(); g.len()];
-    let mut touched_nodes: Vec<usize> = Vec::new();
+    let mut movers: Vec<u32> = Vec::new();
     for s in 0..steps {
-        // Phase 1: each active token decides to stay or move (marginal
-        // stay-probability of its kind), independently.
-        for (i, spec) in specs.iter().enumerate() {
-            if s >= spec.steps {
-                continue;
-            }
-            let here = trajectories[i].nodes[s as usize] as usize;
-            let d = g.degree(NodeId(here as u32));
+        let active = sc.group(&arena, s);
+        let mut max_load = 0u32;
+        for j in 0..sc.occupied.len() {
+            let here = NodeId(sc.occupied[j]);
+            let (lo, hi) = (sc.group_start[j] as usize, sc.group_start[j + 1] as usize);
+            let d = g.degree(here);
             let move_prob = match kind {
                 WalkKind::Lazy => {
                     if d == 0 {
@@ -298,54 +591,47 @@ pub fn run_correlated_walks<R: Rng>(
                 }
                 WalkKind::DeltaRegular => d as f64 / (2.0 * delta.max(1) as f64),
             };
-            if move_prob > 0.0 && rng.random_bool(move_prob) {
-                if movers[here].is_empty() {
-                    touched_nodes.push(here);
+            // Stay/move draws for the whole group, then the round-robin
+            // deal of the movers over a shuffled slot order.
+            movers.clear();
+            for t in lo..hi {
+                let wid = sc.order[t];
+                if move_prob > 0.0 && rng.random_bool(move_prob) {
+                    movers.push(wid);
+                } else {
+                    let ns = steps as usize + 1;
+                    arena.nodes[wid as usize * ns + s as usize + 1] = here.0;
                 }
-                movers[here].push(i as u32);
-            } else {
-                let t = &mut trajectories[i];
-                t.nodes.push(here as u32);
-                t.edges.push(None);
             }
-        }
-        // Phase 2: per node, movers are shuffled and dealt round-robin over
-        // the incident edges (symmetric ⇒ uniform marginal per token), so
-        // the per-edge load is ⌈movers/d⌉.
-        let mut max_load = 0u32;
-        for &v in &touched_nodes {
-            let list = &mut movers[v];
-            list.shuffle(rng);
-            let d = g.degree(NodeId(v as u32));
+            if movers.is_empty() {
+                continue;
+            }
+            movers.shuffle(rng);
             // Randomize which edges take the remainder tokens.
             let offset = rng.random_range(0..d);
-            for (slot, &tok) in list.iter().enumerate() {
+            for (slot, &wid) in movers.iter().enumerate() {
                 let port = (slot + offset) % d;
-                let (next, edge) = g.neighbor_at(NodeId(v as u32), port);
-                let t = &mut trajectories[tok as usize];
-                t.nodes.push(next.0);
-                t.edges.push(Some(edge.0));
-                node_tokens[v] -= 1;
-                node_tokens[next.index()] += 1;
-                node_peaks[next.index()] = node_peaks[next.index()].max(node_tokens[next.index()]);
+                let (next, edge) = g.neighbor_at(here, port);
+                let key = directed_key(g, edge, here);
+                let load = sc.commit_move(&mut arena, s, wid, here.0, next, key);
+                max_load = max_load.max(load);
                 traversals += 1;
             }
-            max_load = max_load.max(list.len().div_ceil(d) as u32);
-            list.clear();
         }
-        touched_nodes.clear();
+        sc.pad_finished(&mut arena, s, active);
+        sc.commit_boundary();
         per_step_rounds.push(max_load.max(1));
     }
     let rounds = per_step_rounds.iter().map(|&r| u64::from(r)).sum();
     let mut wall = PhaseTimings::new();
     wall.record("walks", started.elapsed());
     ParallelWalkRun {
-        trajectories,
+        arena,
         stats: WalkStats {
             steps,
             rounds,
             per_step_rounds,
-            node_token_peaks: node_peaks,
+            node_token_peaks: sc.node_peaks,
             traversals,
             wall,
         },
@@ -353,9 +639,10 @@ pub fn run_correlated_walks<R: Rng>(
 }
 
 /// Builds the standard spec set of Lemma 2.5: `k · d(v)` walks of `steps`
-/// steps starting at every node `v`.
+/// steps starting at every node `v` — `k · Σ_v d(v) = k · volume` specs in
+/// total.
 pub fn degree_proportional_specs(g: &Graph, k: usize, steps: u32) -> Vec<WalkSpec> {
-    let mut specs = Vec::with_capacity(k * g.volume() / 2);
+    let mut specs = Vec::with_capacity(k * g.volume());
     for v in g.nodes() {
         for _ in 0..(k * g.degree(v)) {
             specs.push(WalkSpec { start: v, steps });
@@ -375,6 +662,26 @@ mod tests {
         StdRng::seed_from_u64(77)
     }
 
+    /// Synchronous occupancy recount straight from the trajectories: the
+    /// specification `node_token_peaks` must satisfy.
+    fn brute_force_peaks(n: usize, run: &ParallelWalkRun) -> Vec<u32> {
+        let mut occ = vec![0u32; n];
+        for w in 0..run.len() {
+            occ[run.arena.position(w, 0) as usize] += 1;
+        }
+        let mut peaks = occ.clone();
+        for b in 1..=run.stats.steps as usize {
+            occ.fill(0);
+            for w in 0..run.len() {
+                occ[run.arena.position(w, b) as usize] += 1;
+            }
+            for (p, &o) in peaks.iter_mut().zip(&occ) {
+                *p = (*p).max(o);
+            }
+        }
+        peaks
+    }
+
     #[test]
     fn trajectories_have_declared_lengths() {
         let g = generators::hypercube(3);
@@ -389,9 +696,9 @@ mod tests {
             },
         ];
         let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
-        assert_eq!(run.trajectories[0].nodes.len(), 6);
-        assert_eq!(run.trajectories[0].edges.len(), 5);
-        assert_eq!(run.trajectories[1].nodes.len(), 3);
+        assert_eq!(run.trajectory(0).nodes.len(), 6);
+        assert_eq!(run.trajectory(0).steps(), 5);
+        assert_eq!(run.trajectory(1).nodes.len(), 3);
         assert_eq!(run.stats.steps, 5);
     }
 
@@ -400,11 +707,11 @@ mod tests {
         let g = generators::torus_2d(4, 4);
         let specs = degree_proportional_specs(&g, 1, 8);
         let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
-        for t in &run.trajectories {
-            for s in 0..t.edges.len() {
-                match t.edges[s] {
+        for t in run.trajectories() {
+            for s in 0..t.steps() {
+                match t.edge(s) {
                     Some(e) => {
-                        let (a, b) = g.endpoints(EdgeId(e));
+                        let (a, b) = g.endpoints(e);
                         let (x, y) = (NodeId(t.nodes[s]), NodeId(t.nodes[s + 1]));
                         assert!((a, b) == (x, y) || (a, b) == (y, x));
                     }
@@ -419,11 +726,14 @@ mod tests {
         let g = generators::ring(12);
         let specs = degree_proportional_specs(&g, 2, 10);
         let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng());
-        assert_eq!(run.trajectories.len(), specs.len());
+        assert_eq!(run.len(), specs.len());
         // Every trajectory ends somewhere on the graph.
-        for t in &run.trajectories {
+        for t in run.trajectories() {
             assert!((t.end().index()) < g.len());
         }
+        // Total occupancy at every boundary is the number of walks.
+        let total: u32 = run.stats.node_token_peaks.iter().sum();
+        assert!(total >= specs.len() as u32);
     }
 
     #[test]
@@ -460,6 +770,42 @@ mod tests {
     }
 
     #[test]
+    fn node_token_peaks_are_synchronous_occupancy() {
+        let g = generators::random_regular(64, 4, &mut rng()).unwrap();
+        let mut specs = degree_proportional_specs(&g, 2, 12);
+        // Heterogeneous lengths exercise the padding path too.
+        for (i, s) in specs.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                s.steps = 5;
+            }
+        }
+        for run in [
+            run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng()),
+            run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng()),
+        ] {
+            assert_eq!(run.stats.node_token_peaks, brute_force_peaks(g.len(), &run));
+        }
+    }
+
+    #[test]
+    fn node_token_peaks_invariant_under_spec_permutation() {
+        let g = generators::random_regular(48, 4, &mut rng()).unwrap();
+        let mut specs = degree_proportional_specs(&g, 2, 10);
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.steps = 4 + (i % 7) as u32;
+        }
+        let fwd = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(3));
+        let mut permuted = specs.clone();
+        permuted.reverse();
+        permuted.rotate_left(11);
+        let rev = run_parallel_walks(&g, WalkKind::Lazy, &permuted, &mut StdRng::seed_from_u64(3));
+        assert_eq!(fwd.stats.node_token_peaks, rev.stats.node_token_peaks);
+        assert_eq!(fwd.stats.per_step_rounds, rev.stats.per_step_rounds);
+        assert_eq!(fwd.stats.rounds, rev.stats.rounds);
+        assert_eq!(fwd.stats.traversals, rev.stats.traversals);
+    }
+
+    #[test]
     fn delta_regular_walks_uniformize_endpoints() {
         // On a star, lazy-walk endpoints pile on the center; 2Δ-regular
         // endpoints approach uniform.
@@ -474,7 +820,7 @@ mod tests {
             .collect();
         let run = run_parallel_walks(&g, WalkKind::DeltaRegular, &specs, &mut rng());
         let mut counts = vec![0usize; n];
-        for t in &run.trajectories {
+        for t in run.trajectories() {
             counts[t.end().index()] += 1;
         }
         let expect = 2000.0 / n as f64;
@@ -494,7 +840,17 @@ mod tests {
         let all: Vec<usize> = (0..specs.len()).collect();
         let some: Vec<usize> = (0..specs.len()).step_by(10).collect();
         assert!(run.replay_rounds(&some) <= run.replay_rounds(&all));
+        assert_eq!(run.replay_rounds(&all), run.stats.rounds);
         assert_eq!(run.reverse_rounds(), run.stats.rounds);
+    }
+
+    #[test]
+    fn replay_of_everything_matches_for_correlated_walks_too() {
+        let g = generators::random_regular(64, 4, &mut rng()).unwrap();
+        let specs = degree_proportional_specs(&g, 2, 14);
+        let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
+        let all: Vec<usize> = (0..specs.len()).collect();
+        assert_eq!(run.replay_rounds(&all), run.stats.rounds);
     }
 
     #[test]
@@ -502,12 +858,12 @@ mod tests {
         let g = generators::torus_2d(5, 5);
         let specs = degree_proportional_specs(&g, 2, 10);
         let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
-        for t in &run.trajectories {
+        for t in run.trajectories() {
             assert_eq!(t.nodes.len(), 11);
-            for s in 0..t.edges.len() {
-                match t.edges[s] {
+            for s in 0..t.steps() {
+                match t.edge(s) {
                     Some(e) => {
-                        let (a, b) = g.endpoints(EdgeId(e));
+                        let (a, b) = g.endpoints(e);
                         let (x, y) = (NodeId(t.nodes[s]), NodeId(t.nodes[s + 1]));
                         assert!((a, b) == (x, y) || (a, b) == (y, x));
                     }
@@ -544,7 +900,7 @@ mod tests {
         let specs = degree_proportional_specs(&g, 8, 60);
         let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
         let mut counts = vec![0usize; g.len()];
-        for t in &run.trajectories {
+        for t in run.trajectories() {
             counts[t.end().index()] += 1;
         }
         let expect = specs.len() as f64 / g.len() as f64;
@@ -562,11 +918,10 @@ mod tests {
         let specs = degree_proportional_specs(&g, 4, 40);
         let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng());
         let stays: usize = run
-            .trajectories
-            .iter()
-            .map(|t| t.edges.iter().filter(|e| e.is_none()).count())
+            .trajectories()
+            .map(|t| t.edges().filter(Option::is_none).count())
             .sum();
-        let total: usize = run.trajectories.iter().map(|t| t.edges.len()).sum();
+        let total: usize = run.trajectories().map(|t| t.steps()).sum();
         let frac = stays as f64 / total as f64;
         assert!((frac - 0.5).abs() < 0.03, "lazy stay fraction {frac}");
     }
@@ -576,7 +931,7 @@ mod tests {
         let g = generators::ring(4);
         let run = run_parallel_walks(&g, WalkKind::Lazy, &[], &mut rng());
         assert_eq!(run.stats.rounds, 0);
-        assert!(run.trajectories.is_empty());
+        assert!(run.is_empty());
     }
 
     #[test]
@@ -585,7 +940,49 @@ mod tests {
         let specs = degree_proportional_specs(&g, 1, 6);
         let a = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
         let b = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
-        assert_eq!(a.trajectories, b.trajectories);
+        assert_eq!(a.arena, b.arena);
         assert_eq!(a.stats.rounds, b.stats.rounds);
+        assert_eq!(a.stats.node_token_peaks, b.stats.node_token_peaks);
     }
+
+    /// Order-insensitive fold of an arena (FNV over sorted-by-walk data is
+    /// already canonical: arenas are keyed by `(walk, step)`).
+    fn arena_checksum(run: &ParallelWalkRun) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for w in 0..run.len() {
+            for b in 0..=run.stats.steps as usize {
+                mix(u64::from(run.arena.position(w, b)));
+            }
+            for s in 0..run.stats.steps as usize {
+                mix(u64::from(run.arena.edge_key(w, s)));
+            }
+        }
+        mix(run.stats.rounds);
+        h
+    }
+
+    #[test]
+    fn pinned_golden_run() {
+        // Byte-identical trajectories and rounds for a fixed RNG draw
+        // order: any change to the batch pipeline's draw order shows up
+        // here before it silently shifts every downstream experiment.
+        let g = generators::hypercube(4);
+        let specs = degree_proportional_specs(&g, 1, 6);
+        let ind = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        let cor = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+        assert_eq!(
+            (arena_checksum(&ind), arena_checksum(&cor)),
+            (PINNED_INDEPENDENT, PINNED_CORRELATED),
+            "pinned walk-engine goldens drifted (rounds: ind {} cor {})",
+            ind.stats.rounds,
+            cor.stats.rounds,
+        );
+    }
+
+    const PINNED_INDEPENDENT: u64 = 8989026196319132395;
+    const PINNED_CORRELATED: u64 = 10561238337262314686;
 }

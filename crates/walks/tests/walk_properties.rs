@@ -72,6 +72,66 @@ proptest! {
     }
 
     #[test]
+    fn replay_of_everything_reproduces_correlated_runs(
+        g in arb_connected(), seed in any::<u64>(),
+    ) {
+        let specs = degree_proportional_specs(&g, 1, 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut rng);
+        let all: Vec<usize> = (0..specs.len()).collect();
+        prop_assert_eq!(run.replay_rounds(&all), run.stats.rounds);
+    }
+
+    #[test]
+    fn peaks_are_invariant_under_spec_permutation(
+        g in arb_connected(), seed in any::<u64>(), perm_seed in any::<u64>(),
+    ) {
+        // The Lemma 2.4 witness must be a pure function of the walk *set*:
+        // reordering the specs may permute trajectories but never the
+        // occupancy statistics.
+        use rand::seq::SliceRandom;
+        let mut specs = degree_proportional_specs(&g, 1, 6);
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.steps = 2 + (i % 5) as u32;
+        }
+        let mut permuted = specs.clone();
+        permuted.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        for engine in [run_parallel_walks::<StdRng>, run_correlated_walks::<StdRng>] {
+            let a = engine(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(seed));
+            let b = engine(&g, WalkKind::Lazy, &permuted, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(&a.stats.node_token_peaks, &b.stats.node_token_peaks);
+            prop_assert_eq!(&a.stats.per_step_rounds, &b.stats.per_step_rounds);
+            prop_assert_eq!(a.stats.rounds, b.stats.rounds);
+            prop_assert_eq!(a.stats.traversals, b.stats.traversals);
+        }
+    }
+
+    #[test]
+    fn peaks_equal_brute_force_synchronous_recount(
+        g in arb_connected(), seed in any::<u64>(),
+    ) {
+        let mut specs = degree_proportional_specs(&g, 1, 7);
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.steps = 1 + (i % 7) as u32;
+        }
+        for engine in [run_parallel_walks::<StdRng>, run_correlated_walks::<StdRng>] {
+            let run = engine(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(seed));
+            let mut occ = vec![0u32; g.len()];
+            let mut peaks = vec![0u32; g.len()];
+            for b in 0..=run.stats.steps as usize {
+                occ.fill(0);
+                for w in 0..run.len() {
+                    occ[run.arena.position(w, b) as usize] += 1;
+                }
+                for (p, &o) in peaks.iter_mut().zip(&occ) {
+                    *p = (*p).max(o);
+                }
+            }
+            prop_assert_eq!(&run.stats.node_token_peaks, &peaks);
+        }
+    }
+
+    #[test]
     fn correlated_and_independent_agree_on_structure(
         g in arb_connected(), seed in any::<u64>(), steps in 1u32..10,
     ) {
@@ -81,14 +141,14 @@ proptest! {
             run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(seed)),
             run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(seed)),
         ] {
-            prop_assert_eq!(run.trajectories.len(), specs.len());
-            for (t, spec) in run.trajectories.iter().zip(&specs) {
+            prop_assert_eq!(run.len(), specs.len());
+            for (t, spec) in run.trajectories().zip(&specs) {
                 prop_assert_eq!(t.start(), spec.start);
                 prop_assert_eq!(t.nodes.len() as u32, steps + 1);
                 // Every hop is a real edge.
-                for s in 0..t.edges.len() {
-                    if let Some(e) = t.edges[s] {
-                        let (a, b) = g.endpoints(amt_graphs::EdgeId(e));
+                for s in 0..t.steps() {
+                    if let Some(e) = t.edge(s) {
+                        let (a, b) = g.endpoints(e);
                         let (x, y) = (NodeId(t.nodes[s]), NodeId(t.nodes[s + 1]));
                         prop_assert!((a, b) == (x, y) || (a, b) == (y, x));
                     }

@@ -104,12 +104,12 @@ proptest! {
         let specs: Vec<_> =
             (0..24u32).map(|i| WalkSpec { start: NodeId(i), steps }).collect();
         let run = run_parallel_walks(&g, WalkKind::Lazy, &specs, &mut rng);
-        for t in &run.trajectories {
+        for t in run.trajectories() {
             prop_assert_eq!(t.nodes.len(), steps as usize + 1);
-            for s in 0..t.edges.len() {
-                match t.edges[s] {
+            for s in 0..t.steps() {
+                match t.edge(s) {
                     Some(e) => {
-                        let (a, b) = g.endpoints(amt_core::graphs::EdgeId(e));
+                        let (a, b) = g.endpoints(e);
                         let (x, y) = (t.nodes[s], t.nodes[s + 1]);
                         prop_assert!(
                             (a.0, b.0) == (x, y) || (a.0, b.0) == (y, x),

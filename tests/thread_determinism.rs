@@ -63,6 +63,184 @@ fn boruvka_runs_are_identical_across_thread_counts() {
     }
 }
 
+/// A transparent per-token reference stepper for the batched walk engine:
+/// same canonical draw order (occupied nodes ascending, tokens within a
+/// node longest-remaining-walk first, ties in spec order), same directed
+/// edge keys, but stepped one token at a time with plain `Vec`s and
+/// brute-force synchronous accounting at each step boundary.
+mod walk_reference {
+    use amt_core::graphs::Graph;
+    use amt_core::prelude::WalkKind;
+    use amt_core::walks::parallel::WalkSpec;
+    use rand::Rng;
+
+    pub const STAY: u32 = u32::MAX;
+
+    pub struct RefRun {
+        /// Per walk: node positions, length `steps + 1`.
+        pub nodes: Vec<Vec<u32>>,
+        /// Per walk: directed edge key per step (`STAY` = stayed).
+        pub keys: Vec<Vec<u32>>,
+        pub rounds: u64,
+        pub per_step_rounds: Vec<u32>,
+        pub node_token_peaks: Vec<u32>,
+        pub traversals: u64,
+    }
+
+    pub fn run<R: Rng>(g: &Graph, kind: WalkKind, specs: &[WalkSpec], rng: &mut R) -> RefRun {
+        let steps = specs.iter().map(|s| s.steps).max().unwrap_or(0);
+        let delta = g.max_degree();
+        let mut nodes: Vec<Vec<u32>> = specs.iter().map(|s| vec![s.start.0]).collect();
+        let mut keys: Vec<Vec<u32>> = specs.iter().map(|_| Vec::new()).collect();
+        let occupancy = |nodes: &[Vec<u32>], b: usize| {
+            let mut occ = vec![0u32; g.len()];
+            for (w, path) in nodes.iter().enumerate() {
+                let b = b.min(specs[w].steps as usize);
+                occ[path[b] as usize] += 1;
+            }
+            occ
+        };
+        let mut peaks = occupancy(&nodes, 0);
+        let mut per_step_rounds = Vec::new();
+        let mut traversals = 0u64;
+        for s in 0..steps {
+            // Canonical order: stable sort of the active walks by
+            // (current node, remaining steps descending).
+            let mut active: Vec<usize> = (0..specs.len()).filter(|&w| specs[w].steps > s).collect();
+            active.sort_by_key(|&w| (nodes[w][s as usize], std::cmp::Reverse(specs[w].steps)));
+            let mut loads = vec![0u32; 2 * g.edge_count()];
+            let mut max_load = 0u32;
+            for w in active {
+                let here = amt_core::graphs::NodeId(nodes[w][s as usize]);
+                match kind.step(g, here, delta, rng) {
+                    Some((next, edge)) => {
+                        let (a, _) = g.endpoints(edge);
+                        let key = edge.index() * 2 + usize::from(a != here);
+                        loads[key] += 1;
+                        max_load = max_load.max(loads[key]);
+                        nodes[w].push(next.0);
+                        keys[w].push(key as u32);
+                        traversals += 1;
+                    }
+                    None => {
+                        nodes[w].push(here.0);
+                        keys[w].push(STAY);
+                    }
+                }
+            }
+            per_step_rounds.push(max_load.max(1));
+            let occ = occupancy(&nodes, s as usize + 1);
+            for (p, &o) in peaks.iter_mut().zip(&occ) {
+                *p = (*p).max(o);
+            }
+        }
+        RefRun {
+            nodes,
+            keys,
+            rounds: per_step_rounds.iter().map(|&r| u64::from(r)).sum(),
+            per_step_rounds,
+            node_token_peaks: peaks,
+            traversals,
+        }
+    }
+}
+
+/// The batched, arena-backed engine is byte-identical — trajectories,
+/// directed keys, rounds, peaks — to the per-token reference stepper for
+/// the same seed, across walk kinds and heterogeneous walk lengths.
+#[test]
+fn batched_engine_matches_per_token_reference() {
+    use amt_core::walks::parallel::run_parallel_walks;
+    let mut rng = StdRng::seed_from_u64(19);
+    let g = generators::random_regular(64, 6, &mut rng).unwrap();
+    let mut specs = degree_proportional_specs(&g, 2, 18);
+    for (i, s) in specs.iter_mut().enumerate() {
+        s.steps = 3 + (i % 16) as u32;
+    }
+    for kind in [WalkKind::Lazy, WalkKind::DeltaRegular] {
+        for seed in [0u64, 41, 9000] {
+            let run = run_parallel_walks(&g, kind, &specs, &mut StdRng::seed_from_u64(seed));
+            let reference = walk_reference::run(&g, kind, &specs, &mut StdRng::seed_from_u64(seed));
+            for (w, spec) in specs.iter().enumerate() {
+                let t = run.trajectory(w);
+                assert_eq!(
+                    t.nodes,
+                    &reference.nodes[w][..],
+                    "{kind:?} seed {seed} walk {w}: positions diverged"
+                );
+                for s in 0..spec.steps as usize {
+                    assert_eq!(
+                        run.arena.edge_key(w, s),
+                        reference.keys[w][s],
+                        "{kind:?} seed {seed} walk {w} step {s}: keys diverged"
+                    );
+                }
+            }
+            assert_eq!(run.stats.rounds, reference.rounds, "{kind:?} seed {seed}");
+            assert_eq!(run.stats.per_step_rounds, reference.per_step_rounds);
+            assert_eq!(run.stats.node_token_peaks, reference.node_token_peaks);
+            assert_eq!(run.stats.traversals, reference.traversals);
+        }
+    }
+}
+
+/// The correlated engine's claimed statistics all re-derive exactly from
+/// its own trajectory log: rounds from the per-step directed-key loads,
+/// peaks from synchronous occupancy recounts, traversals from the non-stay
+/// steps — and repeated runs are byte-identical.
+#[test]
+fn correlated_engine_stats_re_derive_from_the_log() {
+    use amt_core::walks::parallel::{run_correlated_walks, STAY_KEY};
+    let mut rng = StdRng::seed_from_u64(23);
+    let g = generators::random_regular(96, 4, &mut rng).unwrap();
+    let mut specs = degree_proportional_specs(&g, 2, 20);
+    for (i, s) in specs.iter_mut().enumerate() {
+        s.steps = 2 + (i % 19) as u32;
+    }
+    let run = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+    let again = run_correlated_walks(&g, WalkKind::Lazy, &specs, &mut StdRng::seed_from_u64(5));
+    assert_eq!(
+        run.arena, again.arena,
+        "correlated runs must be deterministic"
+    );
+
+    let steps = run.stats.steps as usize;
+    let mut traversals = 0u64;
+    let mut per_step = Vec::with_capacity(steps);
+    for s in 0..steps {
+        let mut loads = vec![0u32; 2 * g.edge_count()];
+        let mut max_load = 0u32;
+        for w in 0..run.len() {
+            let key = run.arena.edge_key(w, s);
+            if key != STAY_KEY {
+                loads[key as usize] += 1;
+                max_load = max_load.max(loads[key as usize]);
+                traversals += 1;
+            }
+        }
+        per_step.push(max_load.max(1));
+    }
+    assert_eq!(run.stats.per_step_rounds, per_step);
+    assert_eq!(
+        run.stats.rounds,
+        per_step.iter().map(|&r| u64::from(r)).sum::<u64>()
+    );
+    assert_eq!(run.stats.traversals, traversals);
+
+    let mut peaks = vec![0u32; g.len()];
+    let mut occ = vec![0u32; g.len()];
+    for b in 0..=steps {
+        occ.fill(0);
+        for w in 0..run.len() {
+            occ[run.arena.position(w, b) as usize] += 1;
+        }
+        for (p, &o) in peaks.iter_mut().zip(&occ) {
+            *p = (*p).max(o);
+        }
+    }
+    assert_eq!(run.stats.node_token_peaks, peaks);
+}
+
 /// A routing-style workload: each node holds packets addressed to random
 /// destinations and forwards one per port per round along greedy
 /// hypercube-bit-fixing routes, with randomized tie-breaking — the message
