@@ -8,6 +8,15 @@
 //! * **e2 routing** — the `i → 5i+3 mod n` permutation: hierarchical
 //!   routing on the n = 256 expander, plus the CONGEST-executed Valiant
 //!   bit-fix router on the dim-8 hypercube;
+//! * **large tiers** — MST (Borůvka) on the dim-17 hypercube
+//!   (n = 131072) and the Margulis–Gabber–Galil expander at m = 316
+//!   (n = 99856), plus bit-fix routing of the full permutation on the
+//!   dim-17 hypercube — the n ≈ 10⁵ ceiling the active-set engine pays
+//!   for, always on and CI-gated. `AMT_BENCH_XL=1` additionally runs the
+//!   n ≈ 10⁶ versions (hypercube dim 20, MGG m = 1000, bit-fix dim 20);
+//!   those are *not* part of the committed baseline — `bench_compare`
+//!   reports candidate-only benches informationally — so the flag can stay
+//!   off in CI and the baseline refresh;
 //! * **e16 faulty walk** — 256 healing walks on the n = 1024, d = 8
 //!   expander under the e16 drop-0.05 / 2-crash plan;
 //! * **e17 churn tier** — the same three protocol families under a pinned
@@ -18,9 +27,9 @@
 //!
 //! Output: `experiments_out/BENCH_<git-describe>.json` (override the stem
 //! with a CLI argument, e.g. `bench_suite BENCH_baseline`) carrying rounds,
-//! messages, max edge congestion, wall-clock, per-class totals, and
-//! recovery statistics for every bench. `bench_compare` diffs two such
-//! files and exits nonzero on drift.
+//! messages, max edge congestion, wall-clock, messages/sec throughput,
+//! per-class totals, and recovery statistics for every bench.
+//! `bench_compare` diffs two such files and exits nonzero on drift.
 
 use amt_bench::{expander, report::git_describe, scaled_levels, Report};
 use amt_core::congest::{Metrics, PhaseTimings, ProfileConfig, TrafficProfile};
@@ -53,11 +62,12 @@ fn plan_for(drop: f64, crashes: usize, n: usize, seed: u64) -> FaultPlan {
 struct Bench {
     report: Report,
     wall: PhaseTimings,
+    throughput: PhaseTimings,
 }
 
 impl Bench {
-    /// Records one bench: its metrics, per-class totals, wall-clock, and a
-    /// summary row.
+    /// Records one bench: its metrics, per-class totals, wall-clock,
+    /// messages/sec throughput, and a summary row.
     fn record(
         &mut self,
         name: &'static str,
@@ -71,12 +81,24 @@ impl Bench {
             self.report.profile(name, p);
         }
         self.wall.record_nanos(name, wall.as_nanos() as u64);
+        // Messages/sec, recorded as a second `phase_timings` group.
+        // `bench_compare` gates it as a lower bound for benches whose wall
+        // clears the noise floor — the tentpole's simulated-throughput
+        // number, pinned so the round engine can't quietly regress.
+        let secs = wall.as_secs_f64();
+        let msgs_per_sec = if secs > 0.0 {
+            (metrics.messages as f64 / secs) as u64
+        } else {
+            0
+        };
+        self.throughput.record_nanos(name, msgs_per_sec);
         self.report.row(&[
             name.to_string(),
             metrics.rounds.to_string(),
             metrics.messages.to_string(),
             metrics.max_edge_congestion.to_string(),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
+            msgs_per_sec.to_string(),
         ]);
     }
 }
@@ -88,6 +110,7 @@ fn main() {
     let mut bench = Bench {
         report: Report::new(&stem),
         wall: PhaseTimings::new(),
+        throughput: PhaseTimings::new(),
     };
     let profile_cfg = Some(ProfileConfig::default());
     println!("# Canonical bench suite ({stem})\n");
@@ -98,6 +121,7 @@ fn main() {
         "messages",
         "max_edge_congestion",
         "wall_ms",
+        "msgs_per_sec",
     ]);
 
     // e1 MST: Borůvka on the canonical expander, n ∈ {256, 1024}.
@@ -195,6 +219,62 @@ fn main() {
             ..Metrics::default()
         };
         bench.record("e2_walk_phase_n4096", &metrics, None, wall);
+    }
+
+    // Large tiers (ROADMAP item 1): the n ≈ 10⁵ ceiling the active-set
+    // engine lifts, always on. AMT_BENCH_XL=1 adds the n ≈ 10⁶ versions,
+    // which stay out of the committed baseline (candidate-only benches are
+    // informational in `bench_compare`), so the flag is off in CI.
+    let xl = std::env::var("AMT_BENCH_XL").is_ok_and(|v| v == "1");
+
+    // Large MST: Borůvka on the dim-17 hypercube and the
+    // Margulis–Gabber–Galil expander. Profiling is off here — per-class
+    // per-edge attribution over millions of edges would dominate the
+    // wall-clock these tiers exist to measure.
+    let mut mst_tiers: Vec<(&'static str, Graph)> = vec![
+        ("e1_mst_hypercube_n131072", generators::hypercube(17)),
+        (
+            "e1_mst_margulis_n99856",
+            generators::margulis_expander(316).expect("m >= 2"),
+        ),
+    ];
+    if xl {
+        mst_tiers.push(("e1_mst_hypercube_n1048576", generators::hypercube(20)));
+        mst_tiers.push((
+            "e1_mst_margulis_n1000000",
+            generators::margulis_expander(1000).expect("m >= 2"),
+        ));
+    }
+    for (name, g) in mst_tiers {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wg = WeightedGraph::with_random_weights(g, 1_000_000, &mut rng);
+        let t0 = Instant::now();
+        let (out, _) = congest_boruvka::run_instrumented(&wg, 3, 4, None).expect("connected");
+        let wall = t0.elapsed();
+        let metrics = Metrics {
+            rounds: out.rounds,
+            messages: out.messages,
+            ..Metrics::default()
+        };
+        bench.record(name, &metrics, None, wall);
+    }
+
+    // Large routing: the full `i → 5i+3 mod n` permutation, bit-fixed on
+    // the dim-17 (and, under XL, dim-20) hypercube — one packet per node.
+    let mut route_tiers: Vec<(&'static str, u32)> = vec![("e2_route_bitfix_dim17", 17)];
+    if xl {
+        route_tiers.push(("e2_route_bitfix_dim20", 20));
+    }
+    for (name, dim) in route_tiers {
+        let n = 1usize << dim;
+        let g = generators::hypercube(dim);
+        let reqs: Vec<(NodeId, NodeId)> = (0..n as u32)
+            .map(|i| (NodeId(i), NodeId((5 * i + 3) % n as u32)))
+            .collect();
+        let t0 = Instant::now();
+        let (out, _) = route_bitfix_instrumented(&g, &reqs, 12, 4, None).expect("hypercube");
+        let wall = t0.elapsed();
+        bench.record(name, &out.metrics, None, wall);
     }
 
     // e16 faulty walk: the e16 threads-table configuration.
@@ -313,10 +393,16 @@ fn main() {
         bench.report.recovery("e17_churned_route", &out.timeline);
     }
 
-    let Bench { mut report, wall } = bench;
+    let Bench {
+        mut report,
+        wall,
+        throughput,
+    } = bench;
     report.phase_timings("wall", &wall);
+    report.phase_timings("throughput", &throughput);
     println!("\n(all counters are deterministic: compare two suite reports with");
     println!(" `bench_compare <baseline> <candidate>` — exact on rounds/messages/");
-    println!(" congestion/per-class totals, 25% tolerance on wall-clock)");
+    println!(" congestion/per-class totals, 25% tolerance with a 5 ms floor on");
+    println!(" wall-clock, and a lower bound on messages/sec for the long tiers)");
     report.finish();
 }

@@ -188,8 +188,15 @@ fn round_distribution_table(report: &mut Report) {
             e.0 += t.messages;
             e.1 += t.bits;
         }
-        let msgs = Distribution::of(s.timeline.iter().map(|t| t.messages));
-        let bits = Distribution::of(s.timeline.iter().map(|t| t.bits));
+        // A class that registered but was never active has an empty
+        // timeline and therefore no order statistics: skip its row rather
+        // than print fabricated zeros.
+        let (Some(msgs), Some(bits)) = (
+            Distribution::try_of(s.timeline.iter().map(|t| t.messages)),
+            Distribution::try_of(s.timeline.iter().map(|t| t.bits)),
+        ) else {
+            continue;
+        };
         report.row(&[
             s.class.to_string(),
             msgs.p50.to_string(),
@@ -200,17 +207,20 @@ fn round_distribution_table(report: &mut Report) {
             bits.max.to_string(),
         ]);
     }
-    let msgs = Distribution::of(per_round.values().map(|&(m, _)| m));
-    let bits = Distribution::of(per_round.values().map(|&(_, b)| b));
-    report.row(&[
-        "(total)".to_string(),
-        msgs.p50.to_string(),
-        msgs.p95.to_string(),
-        msgs.max.to_string(),
-        bits.p50.to_string(),
-        bits.p95.to_string(),
-        bits.max.to_string(),
-    ]);
+    if let (Some(msgs), Some(bits)) = (
+        Distribution::try_of(per_round.values().map(|&(m, _)| m)),
+        Distribution::try_of(per_round.values().map(|&(_, b)| b)),
+    ) {
+        report.row(&[
+            "(total)".to_string(),
+            msgs.p50.to_string(),
+            msgs.p95.to_string(),
+            msgs.max.to_string(),
+            bits.p50.to_string(),
+            bits.p95.to_string(),
+            bits.max.to_string(),
+        ]);
+    }
     report.profile("boruvka_n256", &profile);
     println!("\n(nearest-rank percentiles over the rounds each class was active in;");
     println!(" the p95/max spread shows the bursty flood fronts a mean would hide)");

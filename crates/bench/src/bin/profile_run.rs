@@ -80,8 +80,14 @@ fn hot_edge_rows(report: &mut Report, run: &str, p: &TrafficProfile, top_k: usiz
 /// Per-class round distributions from the profile's own timelines.
 fn distribution_rows(report: &mut Report, run: &str, p: &TrafficProfile) {
     for s in &p.per_class {
-        let msgs = Distribution::of(s.timeline.iter().map(|t| t.messages));
-        let bits = Distribution::of(s.timeline.iter().map(|t| t.bits));
+        // No statistics for an empty timeline (class registered but never
+        // active): skip the row instead of printing fabricated zeros.
+        let (Some(msgs), Some(bits)) = (
+            Distribution::try_of(s.timeline.iter().map(|t| t.messages)),
+            Distribution::try_of(s.timeline.iter().map(|t| t.bits)),
+        ) else {
+            continue;
+        };
         report.row(&[
             run.to_string(),
             s.class.to_string(),

@@ -399,6 +399,44 @@ impl ChurnSchedule {
             .filter(|&v| !self.node_outages[v as usize].is_empty())
             .collect()
     }
+
+    /// `(local_round, node)` pairs at which a node *enters* an outage —
+    /// i.e. the first local round `r` with [`Self::node_down`]`(r, v)` true
+    /// for that interval. Used by the active-set engine to retire offline
+    /// nodes from its liveness counter without polling every node each
+    /// round. Outages already in progress at local round 0 report round 0;
+    /// intervals entirely before local time (or empty) are dropped.
+    pub(crate) fn down_events(&self) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for (v, outages) in self.node_outages.iter().enumerate() {
+            for &(d, u) in outages {
+                if u <= self.offset || d >= u {
+                    continue;
+                }
+                out.push((d.saturating_sub(self.offset), v as u32));
+            }
+        }
+        out
+    }
+
+    /// `(local_round, node)` pairs at which [`Self::rejoining`] fires —
+    /// exactly the rounds where the executor runs
+    /// [`crate::Protocol::on_restart`]. Used by the active-set engine to
+    /// wake rejoining nodes. Mirrors `rejoining` precisely: an interval
+    /// whose `up` lands at or before local round 0 never fires (round 0 is
+    /// `init`'s, in both engines).
+    pub(crate) fn rejoin_events(&self) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for (v, outages) in self.node_outages.iter().enumerate() {
+            for &(_, u) in outages {
+                if u <= self.offset {
+                    continue;
+                }
+                out.push((u - self.offset, v as u32));
+            }
+        }
+        out
+    }
 }
 
 /// What one churn transition or loss did.
@@ -688,6 +726,68 @@ mod tests {
         assert_eq!(rejoins, vec![10]);
         assert_eq!(s.down_count(5), 1);
         assert_eq!(s.down_count(11), 0);
+    }
+
+    #[test]
+    fn down_and_rejoin_events_mirror_the_predicates() {
+        let plan = ChurnPlan::none()
+            .with_restart(NodeId(2), 4, 3)
+            .with_restart(NodeId(2), 6, 4) // merged with the above to [4, 10)
+            .with_restart(NodeId(0), 1, 2);
+        let s = plan.normalize(4, 2);
+        assert_eq!(s.down_events(), vec![(1, 0), (4, 2)]);
+        assert_eq!(s.rejoin_events(), vec![(3, 0), (10, 2)]);
+        // The events are exactly the predicates' firing rounds.
+        for v in 0..4usize {
+            for r in 0..16u64 {
+                assert_eq!(
+                    s.rejoin_events().contains(&(r, v as u32)),
+                    s.rejoining(r, v),
+                    "rejoin mismatch at round {r}, node {v}"
+                );
+                assert_eq!(
+                    s.down_events().contains(&(r, v as u32)),
+                    s.node_down(r, v) && (r == 0 || !s.node_down(r - 1, v)),
+                    "down-entry mismatch at round {r}, node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn down_and_rejoin_events_respect_the_offset() {
+        // [10, 12) seen from offset 9: down in local rounds 1–2, rejoin 3.
+        let s = ChurnPlan::none()
+            .with_restart(NodeId(1), 10, 2)
+            .at_offset(9)
+            .normalize(2, 1);
+        assert_eq!(s.down_events(), vec![(1, 1)]);
+        assert_eq!(s.rejoin_events(), vec![(3, 1)]);
+        // An outage already in progress at local round 0 enters at round 0.
+        let s = ChurnPlan::none()
+            .with_restart(NodeId(0), 2, 10)
+            .at_offset(5)
+            .normalize(2, 1);
+        assert!(s.node_down(0, 0));
+        assert_eq!(s.down_events(), vec![(0, 0)]);
+        assert_eq!(s.rejoin_events(), vec![(7, 0)]);
+        // An outage entirely before local time never fires either event.
+        let s = ChurnPlan::none()
+            .with_restart(NodeId(0), 2, 3)
+            .at_offset(20)
+            .normalize(2, 1);
+        assert!(s.down_events().is_empty());
+        assert!(s.rejoin_events().is_empty());
+        // An outage whose rejoin lands exactly at local round 0: the raw
+        // predicate fires, but round 0 dispatches `init` in every engine
+        // (shadowing `on_restart`), so the event list omits it by design.
+        let s = ChurnPlan::none()
+            .with_restart(NodeId(0), 2, 3)
+            .at_offset(5)
+            .normalize(2, 1);
+        assert!(s.rejoining(0, 0));
+        assert!(s.down_events().is_empty());
+        assert!(s.rejoin_events().is_empty());
     }
 
     #[test]

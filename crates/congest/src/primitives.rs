@@ -23,6 +23,9 @@ struct Flood {
 impl Protocol for Flood {
     type Message = u64;
 
+    // Mail-driven: empty-inbox rounds are no-ops, so skipping is safe.
+    const SPARSE_AWARE: bool = true;
+
     fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
         if let (Some(v), true) = (self.value, self.fresh) {
             ctx.send_all(v);
@@ -125,6 +128,9 @@ struct BfsNode {
 
 impl Protocol for BfsNode {
     type Message = BfsMsg;
+
+    // Mail-driven: empty-inbox rounds are no-ops, so skipping is safe.
+    const SPARSE_AWARE: bool = true;
 
     fn init(&mut self, ctx: &mut Ctx<'_, BfsMsg>) {
         if self.is_root {

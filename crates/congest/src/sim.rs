@@ -20,6 +20,12 @@
 //! * **Schedule-keyed churn.** Topology-churn verdicts (edge up/down, node
 //!   offline) are pure functions of `(churn seed/schedule, round, id)` —
 //!   see [`crate::churn`] — never of sampling order.
+//! * **Executor-strategy independence.** The active-set engine (which only
+//!   steps nodes that received mail, hold a due [`Ctx::wake_in`] timer, or
+//!   are rejoining after a churn outage) and the retained full-sweep
+//!   reference ([`RunConfig::full_sweep`]) produce byte-identical results
+//!   for [`Protocol::SPARSE_AWARE`] protocols; the only observable that
+//!   names the strategy is the `active_nodes` trace gauge.
 //!
 //! Together these make protocol outputs, [`Metrics`], the fault-event log,
 //! and the churn-event log byte-identical for any visit order and any
@@ -30,6 +36,16 @@
 //! parameter (the inert hook compiles to the pristine executor), the
 //! static/churned split is an independent [`ChurnHook`] type parameter,
 //! and the sequential/threaded split is a [`RoundStepper`] type parameter.
+//!
+//! # Data layout
+//!
+//! Round state lives in flat, CSR-indexed arenas (see [`Csr`], the
+//! [`InboxArena`] message slab, and [`StepOut`]): one contiguous slab of
+//! `(port, message)` pairs per round, grouped by receiver with prefix-sum
+//! offsets, instead of per-node `Vec<Vec<_>>` nests. Grouping is a stable
+//! counting sort ([`group_pending`]), so per-receiver delivery order is
+//! exactly the ordered merge's, and per-round cost is proportional to
+//! traffic + activity, not to `n`.
 
 use crate::churn::{ChurnEvent, ChurnHook, ChurnPlan, ChurnSchedule, ChurnState, NoChurn};
 use crate::faults::{Fate, FaultEvent, FaultHook, FaultKind, FaultPlan, FaultState, NoFaults};
@@ -39,6 +55,7 @@ use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::OnceLock;
 
@@ -59,6 +76,25 @@ pub trait Protocol: Send {
     /// profiling is on. Protocols whose sends fall into several classes
     /// override individual sends with [`Ctx::send_classed`].
     const TRAFFIC_CLASS: TrafficClass = class::DEFAULT;
+
+    /// Opt-in flag for the sparse, active-set executor.
+    ///
+    /// When `true`, rounds in which this node received no messages, has no
+    /// due [`Ctx::wake_in`] timer, and is not rejoining from a churn
+    /// outage may be **skipped entirely** — the executor does not call
+    /// [`Protocol::round`]. Opting in is a contract: such a round must be
+    /// a complete no-op — no sends, no RNG draws, no state changes, no
+    /// trace events, and an unchanged [`Protocol::is_done`] — so that
+    /// skipping it is unobservable. Protocols that act on empty inboxes
+    /// (periodic beacons, spontaneous timeouts) must either keep the
+    /// default `false` or schedule their activity with [`Ctx::wake_in`].
+    ///
+    /// The executor choice never changes observable results:
+    /// [`RunConfig::full_sweep`] forces the classic every-node sweep, and
+    /// the two are byte-identical for contract-abiding protocols. Only
+    /// the `active_nodes` field of [`crate::trace::RoundSample`] reveals
+    /// the strategy.
+    const SPARSE_AWARE: bool = false;
 
     /// Called once before the first communication round; may send messages.
     fn init(&mut self, ctx: &mut Ctx<'_, Self::Message>);
@@ -120,6 +156,16 @@ pub struct RunConfig {
     /// classic single-threaded loop. Results are byte-identical for every
     /// value — see the module-level determinism contract.
     pub threads: usize,
+    /// Forces the classic full-sweep executor: every live node steps every
+    /// round, even for [`Protocol::SPARSE_AWARE`] protocols. The default
+    /// (`false`) lets sparse-aware protocols run on the active-set engine,
+    /// which only steps nodes that received mail, hold a due
+    /// [`Ctx::wake_in`] timer, or are rejoining after a churn outage. The
+    /// two engines are byte-identical on every observable (the retained
+    /// full sweep is the equivalence reference in
+    /// `tests/engine_equivalence.rs`); only the `active_nodes` trace gauge
+    /// differs.
+    pub full_sweep: bool,
 }
 
 impl Default for RunConfig {
@@ -129,6 +175,7 @@ impl Default for RunConfig {
             budget_factor: 8,
             stop: StopCondition::Quiescence,
             threads: 0,
+            full_sweep: false,
         }
     }
 }
@@ -145,6 +192,13 @@ impl RunConfig {
     /// Sets the executor worker-thread count (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Forces (or releases) the full-sweep reference executor; see
+    /// [`RunConfig::full_sweep`].
+    pub fn with_full_sweep(mut self, full_sweep: bool) -> Self {
+        self.full_sweep = full_sweep;
         self
     }
 
@@ -237,6 +291,9 @@ pub struct Ctx<'a, M> {
     default_class: TrafficClass,
     rng: &'a mut StdRng,
     violation: &'a mut Option<CongestError>,
+    /// Earliest absolute round this node asked to be re-stepped in via
+    /// [`Ctx::wake_in`] (collected by the executor after the step).
+    wake: &'a mut Option<u64>,
     /// Event sink when tracing is enabled (`None` costs one branch per
     /// [`Ctx::trace_event`] call and nothing else).
     trace: Option<&'a mut Vec<TraceEvent>>,
@@ -288,7 +345,9 @@ impl<M: CongestMessage> Ctx<'_, M> {
     ///
     /// Records a model violation (duplicate send on a port, port out of
     /// range, over-wide message) which aborts the run; the violation is
-    /// returned from [`Simulator::run`].
+    /// returned from [`Simulator::run`]. The **first** violation a node
+    /// trips in a round is the one reported — later `send` calls in the
+    /// same step are ignored.
     ///
     /// When profiling is on the message is attributed to the protocol's
     /// [`Protocol::TRAFFIC_CLASS`]; use [`Ctx::send_classed`] to refine.
@@ -302,6 +361,8 @@ impl<M: CongestMessage> Ctx<'_, M> {
     /// message for the traffic profiler (and is ignored entirely when
     /// profiling is off).
     pub fn send_classed(&mut self, port: usize, msg: M, class: TrafficClass) {
+        // First violation wins: once a step has tripped one, every later
+        // send in the same step is a dead letter (the run aborts anyway).
         if self.violation.is_some() {
             return;
         }
@@ -342,6 +403,30 @@ impl<M: CongestMessage> Ctx<'_, M> {
         self.send(self.degree - 1, msg);
     }
 
+    /// Requests that this node step again no later than `delta` rounds
+    /// from now (i.e. in round `round() + delta`), even if no message
+    /// arrives.
+    ///
+    /// This is the sparse executor's timer: a [`Protocol::SPARSE_AWARE`]
+    /// protocol that wants to act spontaneously — periodic beacons, retry
+    /// timeouts, backoff — must announce the round it next needs, since
+    /// the active-set engine otherwise only steps nodes that received
+    /// mail. Multiple calls in one step keep the earliest round. On the
+    /// full-sweep engine (and for non-sparse protocols) the request is
+    /// recorded and ignored — every node steps every round anyway — so
+    /// calling it is always safe and never changes observable results.
+    ///
+    /// `delta` must be at least 1 (the current round is already
+    /// executing); `0` is treated as `1`.
+    pub fn wake_in(&mut self, delta: u64) {
+        debug_assert!(
+            delta >= 1,
+            "wake_in(0): the current round is already stepping"
+        );
+        let target = self.round + delta.max(1);
+        *self.wake = Some(self.wake.map_or(target, |w| w.min(target)));
+    }
+
     /// This node's private deterministic RNG.
     ///
     /// The stream is seeded from `(run seed, node id)` at simulator
@@ -369,40 +454,292 @@ impl<M: CongestMessage> Ctx<'_, M> {
     }
 }
 
-/// Per-node `(port, message)` buffers for one shard of nodes.
-type ShardBuffers<M> = Vec<Vec<(usize, M)>>;
-
-/// Per-node `(port, class, message)` outbox buffers: staged sends carry
-/// their [`TrafficClass`] to the engine's merge for profile attribution.
-type ShardOutbox<M> = Vec<Vec<(usize, TrafficClass, M)>>;
-
-/// One round's work order sent to a worker shard. Both buffer sets travel
-/// with the job so every allocation is recycled round over round.
-struct RoundJob<M> {
-    round: u64,
-    /// Inbox per local node of the shard (drained by the worker).
-    inbox: ShardBuffers<M>,
-    /// Outbox per local node of the shard (filled by the worker).
-    outbox: ShardOutbox<M>,
+/// The graph in compressed-sparse-row form, plus the peer-port table: the
+/// executor's entire static view, in three flat arrays indexed by `u32`
+/// offsets. `adj[adj_off[v]..adj_off[v+1]]` are `(neighbor, edge)` pairs in
+/// port order; `peer_port` is aligned with `adj` and holds the port index
+/// at the neighbor through which the same edge is seen from the other side.
+struct Csr {
+    adj_off: Vec<u32>,
+    adj: Vec<(u32, u32)>,
+    peer_port: Vec<u32>,
 }
 
-/// One round's results reported back by a worker shard.
-struct RoundReply<M> {
-    worker: usize,
-    /// The job's inbox buffers, cleared, returned for reuse.
-    inbox: ShardBuffers<M>,
-    /// Staged `(port, class, message)` sends per local node, in port order.
-    outbox: ShardOutbox<M>,
-    /// Conjunction of `is_done` over the shard after this round (a
-    /// crash-stopped node counts as done).
-    all_done: bool,
-    /// First CONGEST violation in the shard, with its global node id.
-    violation: Option<(usize, CongestError)>,
-    /// Trace events emitted by the shard this round, in local node order
-    /// (empty unless tracing is enabled). The coordinator concatenates the
-    /// shard buffers in worker order — shards are contiguous in node order,
-    /// so the merged stream is exactly the sequential `(round, node)` order.
-    events: Vec<TraceEvent>,
+impl Csr {
+    /// Builds the CSR adjacency and pairs up ports across each edge. For
+    /// self-loops the two adjacency occurrences pair with each other.
+    fn build(graph: &Graph) -> Csr {
+        let n = graph.len();
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj: Vec<(u32, u32)> = Vec::new();
+        adj_off.push(0u32);
+        for v in graph.nodes() {
+            adj.extend(graph.neighbors(v).map(|(w, e)| (w.0, e.0)));
+            adj_off.push(adj.len() as u32);
+        }
+        let mut ends = vec![[(0u32, 0u32); 2]; graph.edge_count()];
+        let mut cnt = vec![0u8; graph.edge_count()];
+        for v in 0..n {
+            let off = adj_off[v] as usize;
+            let end = adj_off[v + 1] as usize;
+            for (p, &(_, e)) in adj[off..end].iter().enumerate() {
+                let e = e as usize;
+                let c = cnt[e] as usize;
+                debug_assert!(c < 2, "an edge has exactly two adjacency entries");
+                ends[e][c] = (v as u32, p as u32);
+                cnt[e] += 1;
+            }
+        }
+        let mut peer_port = vec![0u32; adj.len()];
+        for (e, pair) in ends.iter().enumerate() {
+            debug_assert_eq!(cnt[e], 2, "an edge has exactly two adjacency entries");
+            let (v0, p0) = pair[0];
+            let (v1, p1) = pair[1];
+            peer_port[adj_off[v0 as usize] as usize + p0 as usize] = p1;
+            peer_port[adj_off[v1 as usize] as usize + p1 as usize] = p0;
+        }
+        Csr {
+            adj_off,
+            adj,
+            peer_port,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.adj_off.len() - 1
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        (self.adj_off[v + 1] - self.adj_off[v]) as usize
+    }
+
+    /// `(neighbor, edge)` pairs of `v`, in port order.
+    fn neighbors(&self, v: usize) -> &[(u32, u32)] {
+        &self.adj[self.adj_off[v] as usize..self.adj_off[v + 1] as usize]
+    }
+
+    /// The port index at the other endpoint of the edge behind `(v, port)`.
+    fn peer_port(&self, v: usize, port: usize) -> u32 {
+        self.peer_port[self.adj_off[v] as usize + port]
+    }
+
+    /// Maximum degree over the node range `[lo, hi)`.
+    fn max_degree(&self, lo: usize, hi: usize) -> usize {
+        (lo..hi).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// One round's delivered messages, grouped by receiver in a single
+/// contiguous slab: `nodes` lists the receivers in ascending id order, and
+/// group `i` is `slab[offsets[i]..offsets[i + 1]]` — `(receiving port,
+/// message)` pairs in the ordered merge's delivery order.
+struct InboxArena<M> {
+    slab: Vec<(usize, M)>,
+    nodes: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl<M> Default for InboxArena<M> {
+    fn default() -> Self {
+        InboxArena {
+            slab: Vec::new(),
+            nodes: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+}
+
+impl<M> InboxArena<M> {
+    fn clear(&mut self) {
+        self.slab.clear();
+        self.nodes.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// The messages of the `i`-th receiver in `nodes`.
+    fn group(&self, i: usize) -> &[(usize, M)] {
+        &self.slab[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Deliveries staged by the merge before grouping: parallel arrays of
+/// destination node and `(receiving port, message)`, in delivery order.
+struct Pending<M> {
+    dst: Vec<u32>,
+    msg: Vec<(usize, M)>,
+}
+
+impl<M> Default for Pending<M> {
+    fn default() -> Self {
+        Pending {
+            dst: Vec::new(),
+            msg: Vec::new(),
+        }
+    }
+}
+
+/// Groups `pend` by destination into `arena` with a **stable** counting
+/// sort: per-destination message order is exactly the staging order (the
+/// ordered merge's), which is what keeps inbox contents byte-identical to
+/// the per-node-buffer layout this replaced. `cnt` and `cursor` are
+/// all-zero length-`n` scratch arrays and are returned all-zero (only
+/// touched entries are cleared, so the pass is O(traffic), not O(n));
+/// `perm` is resizable scratch. The grouped messages end up in
+/// `arena.slab` via a buffer swap — no per-message allocation.
+fn group_pending<M>(
+    pend: &mut Pending<M>,
+    cnt: &mut [u32],
+    cursor: &mut [u32],
+    perm: &mut Vec<u32>,
+    arena: &mut InboxArena<M>,
+) {
+    arena.clear();
+    if pend.dst.is_empty() {
+        pend.msg.clear();
+        std::mem::swap(&mut arena.slab, &mut pend.msg);
+        return;
+    }
+    for &d in &pend.dst {
+        if cnt[d as usize] == 0 {
+            arena.nodes.push(d);
+        }
+        cnt[d as usize] += 1;
+    }
+    arena.nodes.sort_unstable();
+    let mut running = 0u32;
+    for &v in &arena.nodes {
+        cursor[v as usize] = running;
+        running += cnt[v as usize];
+        arena.offsets.push(running);
+    }
+    // perm[j] = final slab position of staged message j (stable: equal
+    // destinations keep their relative order).
+    perm.clear();
+    perm.extend(pend.dst.iter().map(|&d| {
+        let p = cursor[d as usize];
+        cursor[d as usize] = p + 1;
+        p
+    }));
+    // Apply the permutation in place by following cycles.
+    for i in 0..perm.len() {
+        while perm[i] as usize != i {
+            let j = perm[i] as usize;
+            pend.msg.swap(i, j);
+            perm.swap(i, j);
+        }
+    }
+    // Restore the all-zero invariant, touching only grouped entries.
+    for &v in &arena.nodes {
+        cnt[v as usize] = 0;
+        cursor[v as usize] = 0;
+    }
+    pend.dst.clear();
+    std::mem::swap(&mut arena.slab, &mut pend.msg);
+}
+
+/// The active set of one round: a dense epoch-stamped membership array plus
+/// a worklist. Insertion is O(1) with deduplication; `finish` sorts the
+/// worklist so the visit order is canonical (ascending node id) regardless
+/// of insertion order, which is what keeps the sparse engine byte-identical
+/// to the full sweep.
+#[derive(Default)]
+struct ActiveSet {
+    stamp: Vec<u64>,
+    epoch: u64,
+    list: Vec<u32>,
+}
+
+impl ActiveSet {
+    fn reset(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp.clear();
+            self.stamp.resize(n, 0);
+            self.epoch = 0;
+        }
+        self.list.clear();
+    }
+
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.list.clear();
+    }
+
+    fn insert(&mut self, v: u32) {
+        let s = &mut self.stamp[v as usize];
+        if *s != self.epoch {
+            *s = self.epoch;
+            self.list.push(v);
+        }
+    }
+
+    fn finish(&mut self) -> &[u32] {
+        self.list.sort_unstable();
+        &self.list
+    }
+}
+
+/// What the stepper produced in one round, in flat run-length form:
+/// `index` lists `(sender, number of staged sends)` for senders that sent
+/// (ascending), whose `(port, class, message)` triples are consecutive in
+/// `slab`; `done` carries `(node, is_done)` for every node actually
+/// stepped; `wakes` carries `(node, absolute wake round)` requests.
+struct StepOut<M> {
+    slab: Vec<(u32, TrafficClass, M)>,
+    index: Vec<(u32, u32)>,
+    done: Vec<(u32, bool)>,
+    wakes: Vec<(u32, u64)>,
+    /// Number of protocol callbacks that actually ran this round — the
+    /// `active_nodes` trace gauge.
+    stepped: u64,
+}
+
+impl<M> Default for StepOut<M> {
+    fn default() -> Self {
+        StepOut {
+            slab: Vec::new(),
+            index: Vec::new(),
+            done: Vec::new(),
+            wakes: Vec::new(),
+            stepped: 0,
+        }
+    }
+}
+
+impl<M> StepOut<M> {
+    fn clear(&mut self) {
+        self.slab.clear();
+        self.index.clear();
+        self.done.clear();
+        self.wakes.clear();
+        self.stepped = 0;
+    }
+}
+
+impl<M: Clone> StepOut<M> {
+    /// Rewrites a descending-visit fill into the canonical ascending-sender
+    /// layout the merge consumes. Only the reverse-visit test hook pays the
+    /// clone; the forward paths append in ascending order to begin with.
+    fn canonicalize_reversed(&mut self) {
+        if self.index.len() > 1 {
+            let mut run_start = Vec::with_capacity(self.index.len());
+            let mut pos = 0usize;
+            for &(_, len) in &self.index {
+                run_start.push(pos);
+                pos += len as usize;
+            }
+            let mut rebuilt = Vec::with_capacity(self.slab.len());
+            for k in (0..self.index.len()).rev() {
+                let s = run_start[k];
+                let l = self.index[k].1 as usize;
+                rebuilt.extend(self.slab[s..s + l].iter().cloned());
+            }
+            self.slab = rebuilt;
+        }
+        self.index.reverse();
+        self.done.reverse();
+        self.wakes.reverse();
+    }
 }
 
 /// A message an injected delay is holding back, with the original sender
@@ -420,59 +757,85 @@ struct Held<M> {
 
 /// Reusable per-run buffers, hoisted onto the [`Simulator`] so repeated
 /// runs (the healing protocols re-run the simulator per epoch/phase) reuse
-/// allocations instead of building fresh inbox/outbox/staging vectors.
+/// allocations instead of rebuilding arenas every run.
 struct Scratch<M> {
-    /// `inbox[v]` = (receiving port, message) pairs for the current round.
-    inbox: ShardBuffers<M>,
-    /// Delivery target for the upcoming round (swapped with `inbox`).
-    next_inbox: ShardBuffers<M>,
-    /// `outbox[v]` = (sending port, class, message) staged by `v` this round.
-    outbox: ShardOutbox<M>,
+    /// This round's inbox arena (read by the stepper).
+    cur: InboxArena<M>,
+    /// Next round's inbox arena (grouped into at the end of the round,
+    /// then swapped with `cur`).
+    next: InboxArena<M>,
+    /// Merge staging before grouping.
+    pend: Pending<M>,
+    /// Scratch for [`group_pending`] (permutation / counts / cursors; the
+    /// latter two hold an all-zero invariant between rounds).
+    perm: Vec<u32>,
+    cnt: Vec<u32>,
+    cursor: Vec<u32>,
+    /// The stepper's per-round output.
+    out: StepOut<M>,
     /// The single staging slab the sequential stepper slices per node.
     staged: Vec<Option<(TrafficClass, M)>>,
     /// Delay queue of the faulty path (always empty on the clean path).
     held: Vec<Held<M>>,
     /// Scratch for the stable sweep over `held` (swapped each round).
     held_next: Vec<Held<M>>,
+    /// Active-set bitmap + worklist (sparse engine only).
+    active: ActiveSet,
+    /// `0..n`, the full sweep's constant "active" list.
+    all_nodes: Vec<u32>,
+    /// Last reported `is_done` per node (plus forced done for crashed and
+    /// churn-offline nodes), backing the AllDone counter.
+    done: Vec<bool>,
 }
 
 impl<M> Default for Scratch<M> {
     fn default() -> Self {
         Scratch {
-            inbox: Vec::new(),
-            next_inbox: Vec::new(),
-            outbox: Vec::new(),
+            cur: InboxArena::default(),
+            next: InboxArena::default(),
+            pend: Pending::default(),
+            perm: Vec::new(),
+            cnt: Vec::new(),
+            cursor: Vec::new(),
+            out: StepOut::default(),
             staged: Vec::new(),
             held: Vec::new(),
             held_next: Vec::new(),
+            active: ActiveSet::default(),
+            all_nodes: Vec::new(),
+            done: Vec::new(),
         }
     }
 }
 
 impl<M> Scratch<M> {
-    /// Clears every buffer and (re)sizes the per-node vectors to `n`,
+    /// Clears every buffer and (re)sizes the per-node arrays to `n`,
     /// keeping their allocations.
     fn reset(&mut self, n: usize) {
-        for buffers in [&mut self.inbox, &mut self.next_inbox] {
-            for b in buffers.iter_mut() {
-                b.clear();
-            }
-            buffers.resize_with(n, Vec::new);
-        }
-        for b in self.outbox.iter_mut() {
-            b.clear();
-        }
-        self.outbox.resize_with(n, Vec::new);
+        self.cur.clear();
+        self.next.clear();
+        self.pend.dst.clear();
+        self.pend.msg.clear();
+        self.perm.clear();
+        self.cnt.clear();
+        self.cnt.resize(n, 0);
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        self.out.clear();
         self.held.clear();
         self.held_next.clear();
+        self.active.reset(n);
+        if self.all_nodes.len() != n {
+            self.all_nodes.clear();
+            self.all_nodes.extend(0..n as u32);
+        }
+        self.done.clear();
+        self.done.resize(n, false);
     }
 }
 
 /// What one [`RoundStepper::step`] observed.
 struct StepOutcome {
-    /// Conjunction of [`Protocol::is_done`] over live nodes (crash-stopped
-    /// nodes count as done).
-    all_done: bool,
     /// Lowest-node CONGEST violation of the round, if any.
     violation: Option<CongestError>,
     /// A worker disappeared mid-run (it panicked); the caller joins the
@@ -480,172 +843,283 @@ struct StepOutcome {
     aborted: bool,
 }
 
-/// Executes the protocol step of one round for every live node: drains
-/// `inbox[v]`, runs `init`/`round`, and leaves each node's staged sends in
-/// `outbox[v]` in port order. The two implementations — in-place sequential
-/// and sharded threaded — are interchangeable under the determinism
-/// contract; everything else about a round lives in [`round_engine`].
+/// Executes the protocol step of one round for the given active nodes:
+/// pairs each active node with its inbox group (two-pointer merge against
+/// the arena's ascending receiver list), runs `init`/`round`/`on_restart`,
+/// and appends staged sends / done flags / wake requests to `out` in
+/// ascending node order. The two implementations — in-place sequential and
+/// sharded threaded — are interchangeable under the determinism contract;
+/// everything else about a round lives in [`round_engine`].
 trait RoundStepper<M> {
     fn step(
         &mut self,
         round: u64,
-        inbox: &mut [Vec<(usize, M)>],
-        outbox: &mut [Vec<(usize, TrafficClass, M)>],
+        active: &[u32],
+        inbox: &InboxArena<M>,
+        out: &mut StepOut<M>,
         events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome;
 }
 
-/// The single-threaded stepper: protocol calls happen inline on the
-/// caller's thread. `reverse` visits nodes in descending order — observably
-/// identical by the determinism contract, and exercised by tests to prove
-/// it.
+/// The sequential stepper: owns borrowed views of the node state machines
+/// and RNG streams, steps the round's active nodes in place (ascending id;
+/// descending behind the `reverse` test hook), and appends to the engine's
+/// [`StepOut`].
 struct InlineStepper<'a, P: Protocol> {
     nodes: &'a mut [P],
     rngs: &'a mut [StdRng],
-    adjacency: &'a [Vec<(u32, u32)>],
-    /// Earliest crash round per node (`&[]` on the clean path: no node
-    /// ever crashes).
+    csr: &'a Csr,
+    /// Round at which each node crash-stops (`u64::MAX` = never); empty on
+    /// the clean path.
     crash_round: &'a [u64],
-    /// Churn schedule (`None` on the static-topology paths).
     churn: Option<&'a ChurnSchedule>,
-    /// One slot per port of the highest-degree node; sliced per node.
+    /// The reusable staging slab, sized to the maximum degree.
     staged: Vec<Option<(TrafficClass, P::Message)>>,
     budget_bits: usize,
+    /// Test hook: visit nodes in descending order (the determinism
+    /// contract says this must not change any observable).
     reverse: bool,
+}
+
+impl<P: Protocol> InlineStepper<'_, P> {
+    #[allow(clippy::too_many_arguments)]
+    fn step_node(
+        &mut self,
+        v: usize,
+        round: u64,
+        group: &[(usize, P::Message)],
+        out: &mut StepOut<P::Message>,
+        violation: &mut Option<CongestError>,
+        events: &mut Option<&mut Vec<TraceEvent>>,
+    ) {
+        let degree = self.csr.degree(v);
+        let mut wake: Option<u64> = None;
+        {
+            let mut ctx = Ctx {
+                node: NodeId::from(v),
+                degree,
+                neighbors: self.csr.neighbors(v),
+                round,
+                budget_bits: self.budget_bits,
+                staged: &mut self.staged[..degree],
+                default_class: P::TRAFFIC_CLASS,
+                rng: &mut self.rngs[v],
+                violation,
+                wake: &mut wake,
+                trace: events.as_deref_mut(),
+                churn: self.churn,
+            };
+            if round == 0 {
+                self.nodes[v].init(&mut ctx);
+            } else if self.churn.is_some_and(|ch| ch.rejoining(round, v)) {
+                self.nodes[v].on_restart(&mut ctx);
+            } else {
+                self.nodes[v].round(&mut ctx, group);
+            }
+        }
+        // Drain the slab unconditionally so it is clean for the next node
+        // even when this node tripped a violation mid-step.
+        let mut len = 0u32;
+        for (port, slot) in self.staged[..degree].iter_mut().enumerate() {
+            if let Some((cls, msg)) = slot.take() {
+                out.slab.push((port as u32, cls, msg));
+                len += 1;
+            }
+        }
+        if len > 0 {
+            out.index.push((v as u32, len));
+        }
+        out.done.push((v as u32, self.nodes[v].is_done()));
+        if let Some(r) = wake {
+            out.wakes.push((v as u32, r));
+        }
+        out.stepped += 1;
+    }
 }
 
 impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
     fn step(
         &mut self,
         round: u64,
-        inbox: &mut [Vec<(usize, P::Message)>],
-        outbox: &mut [Vec<(usize, TrafficClass, P::Message)>],
+        active: &[u32],
+        inbox: &InboxArena<P::Message>,
+        out: &mut StepOut<P::Message>,
         mut events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome {
-        let n = self.nodes.len();
-        let mut all_done = true;
         let mut violation: Option<CongestError> = None;
-        let mut forward = 0..n;
-        let mut backward = (0..n).rev();
-        let order: &mut dyn Iterator<Item = usize> = if self.reverse {
-            &mut backward
+        if !self.reverse {
+            let mut ri = 0usize;
+            for &vu in active {
+                let v = vu as usize;
+                // Pair the node with its inbox group *before* any skip:
+                // crashed and churn-offline receivers still swallow their
+                // mail (it was lost on arrival, not left queued).
+                let mut group: &[(usize, P::Message)] = &[];
+                if ri < inbox.nodes.len() && inbox.nodes[ri] == vu {
+                    group = inbox.group(ri);
+                    ri += 1;
+                }
+                if self.crash_round.get(v).is_some_and(|&r| r <= round) {
+                    // Crash-stopped: no step, inbox discarded.
+                    continue;
+                }
+                if self.churn.is_some_and(|ch| ch.node_down(round, v)) {
+                    // Churn outage: like a crash, but temporary.
+                    continue;
+                }
+                // After a violation the rest of the sweep is skipped (the
+                // run aborts; state after an error is unspecified).
+                if violation.is_some() {
+                    continue;
+                }
+                self.step_node(v, round, group, out, &mut violation, &mut events);
+            }
+            debug_assert_eq!(
+                ri,
+                inbox.nodes.len(),
+                "every inbox group had an active receiver"
+            );
         } else {
-            &mut forward
-        };
-        for v in order {
-            if self.crash_round.get(v).is_some_and(|&r| r <= round) {
-                // Crash-stopped: no step, inbox discarded, counts as done.
-                inbox[v].clear();
-                continue;
-            }
-            if self.churn.is_some_and(|ch| ch.node_down(round, v)) {
-                // Churn outage: like a crash, but temporary — the node
-                // steps again (via `on_restart`) when the outage ends.
-                inbox[v].clear();
-                continue;
-            }
-            // After a violation the rest of the round is skipped (the run
-            // aborts; state after an error is unspecified).
-            if violation.is_some() {
-                continue;
-            }
-            let degree = self.adjacency[v].len();
-            {
-                let mut ctx = Ctx {
-                    node: NodeId::from(v),
-                    degree,
-                    neighbors: &self.adjacency[v],
-                    round,
-                    budget_bits: self.budget_bits,
-                    staged: &mut self.staged[..degree],
-                    default_class: P::TRAFFIC_CLASS,
-                    rng: &mut self.rngs[v],
-                    violation: &mut violation,
-                    trace: events.as_deref_mut(),
-                    churn: self.churn,
-                };
-                if round == 0 {
-                    self.nodes[v].init(&mut ctx);
-                } else if self.churn.is_some_and(|ch| ch.rejoining(round, v)) {
-                    self.nodes[v].on_restart(&mut ctx);
-                } else {
-                    self.nodes[v].round(&mut ctx, &inbox[v]);
+            // Descending test visit. Unlike the forward sweep this steps
+            // *every* eligible node with a per-node violation slot and lets
+            // descending overwrites land on the lowest violating node —
+            // the forward sweep's canonical error. (Which nodes violate is
+            // visit-order independent because nodes cannot interact
+            // mid-round; protocol state after an error is unspecified,
+            // which covers the extra stepping.)
+            let mut ri = inbox.nodes.len();
+            for &vu in active.iter().rev() {
+                let v = vu as usize;
+                let mut group: &[(usize, P::Message)] = &[];
+                if ri > 0 && inbox.nodes[ri - 1] == vu {
+                    ri -= 1;
+                    group = inbox.group(ri);
+                }
+                if self.crash_round.get(v).is_some_and(|&r| r <= round) {
+                    continue;
+                }
+                if self.churn.is_some_and(|ch| ch.node_down(round, v)) {
+                    continue;
+                }
+                let mut this_violation: Option<CongestError> = None;
+                self.step_node(v, round, group, out, &mut this_violation, &mut events);
+                if this_violation.is_some() {
+                    violation = this_violation;
                 }
             }
-            // Drain the slab unconditionally so it is clean for the next
-            // node even when this node tripped a violation mid-step.
-            let ob = &mut outbox[v];
-            for (port, slot) in self.staged[..degree].iter_mut().enumerate() {
-                if let Some((cls, msg)) = slot.take() {
-                    ob.push((port, cls, msg));
-                }
-            }
-            all_done &= self.nodes[v].is_done();
+            debug_assert_eq!(ri, 0, "every inbox group had an active receiver");
+            out.canonicalize_reversed();
         }
         StepOutcome {
-            all_done,
             violation,
             aborted: false,
         }
     }
 }
 
+/// One round's work order for a sharded worker: the shard's slice of the
+/// active list and inbox arena, plus the output buffers the worker fills.
+/// Jobs shuttle between coordinator and worker and are recycled round over
+/// round, so the per-round cost is copying the shard's slices, not
+/// allocation.
+struct RoundJob<M> {
+    round: u64,
+    active: Vec<u32>,
+    inbox_index: Vec<(u32, u32)>,
+    inbox_slab: Vec<(usize, M)>,
+    out: StepOut<M>,
+    events: Vec<TraceEvent>,
+}
+
+impl<M> Default for RoundJob<M> {
+    fn default() -> Self {
+        RoundJob {
+            round: 0,
+            active: Vec::new(),
+            inbox_index: Vec::new(),
+            inbox_slab: Vec::new(),
+            out: StepOut::default(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A worker's completed round, handing the recycled job back.
+struct RoundReply<M> {
+    worker: usize,
+    job: RoundJob<M>,
+    /// Lowest-node violation of the shard, tagged with the node.
+    violation: Option<(u32, CongestError)>,
+}
+
 /// The multi-threaded stepper: nodes are sharded into contiguous chunks,
 /// one persistent worker per chunk inside a [`std::thread::scope`]; each
-/// round the coordinator ships per-shard inbox/outbox buffers out, workers
-/// step their nodes against their private RNG streams, and the buffers come
-/// back for the engine's ordered merge. The worker side lives in
+/// round the coordinator splits the active list and inbox arena at shard
+/// boundaries (binary search on the ascending node ids), ships the slices
+/// out, and splices the workers' [`StepOut`]s back together in worker (=
+/// node) order for the engine's ordered merge. The worker side lives in
 /// [`Simulator::run_parallel`]; this type is the coordinator half.
 struct ThreadedStepper<M> {
     job_txs: Vec<mpsc::Sender<RoundJob<M>>>,
     reply_rx: mpsc::Receiver<RoundReply<M>>,
     chunk: usize,
     shard_sizes: Vec<usize>,
-    tracing: bool,
+    /// Recycled jobs, indexed by worker, parked here between rounds.
+    stash: Vec<Option<RoundJob<M>>>,
 }
 
 impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
     fn step(
         &mut self,
         round: u64,
-        inbox: &mut [Vec<(usize, M)>],
-        outbox: &mut [Vec<(usize, TrafficClass, M)>],
-        events: Option<&mut Vec<TraceEvent>>,
+        active: &[u32],
+        inbox: &InboxArena<M>,
+        out: &mut StepOut<M>,
+        mut events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome {
         let workers = self.job_txs.len();
-        for (w, tx) in self.job_txs.iter().enumerate() {
-            let base = w * self.chunk;
-            let len = self.shard_sizes[w];
-            let job = RoundJob {
-                round,
-                inbox: inbox[base..base + len]
-                    .iter_mut()
-                    .map(std::mem::take)
-                    .collect(),
-                outbox: outbox[base..base + len]
-                    .iter_mut()
-                    .map(std::mem::take)
-                    .collect(),
-            };
+        let mut alo = 0usize;
+        let mut ilo = 0usize;
+        let mut sent = 0usize;
+        for w in 0..workers {
+            let hi = (w * self.chunk + self.shard_sizes[w]) as u32;
+            let mut job = self.stash[w].take().unwrap_or_default();
+            job.round = round;
+            job.active.clear();
+            job.inbox_index.clear();
+            job.inbox_slab.clear();
+            let ahi = alo + active[alo..].partition_point(|&v| v < hi);
+            job.active.extend_from_slice(&active[alo..ahi]);
+            alo = ahi;
+            let ihi = ilo + inbox.nodes[ilo..].partition_point(|&v| v < hi);
+            for i in ilo..ihi {
+                job.inbox_index
+                    .push((inbox.nodes[i], inbox.offsets[i + 1] - inbox.offsets[i]));
+            }
+            let s = inbox.offsets[ilo] as usize;
+            let e = inbox.offsets[ihi] as usize;
+            job.inbox_slab.extend_from_slice(&inbox.slab[s..e]);
+            ilo = ihi;
             // A send can only fail if the worker panicked; the recv below
             // notices and the caller joins to propagate the panic.
-            let _ = tx.send(job);
+            if self.job_txs[w].send(job).is_ok() {
+                sent += 1;
+            }
         }
-        let mut all_done = true;
-        let mut violation: Option<(usize, CongestError)> = None;
-        let mut shard_events: Vec<Vec<TraceEvent>> = Vec::new();
-        if self.tracing {
-            shard_events.resize_with(workers, Vec::new);
+        debug_assert_eq!(alo, active.len());
+        debug_assert_eq!(ilo, inbox.nodes.len());
+        let aborted = StepOutcome {
+            violation: None,
+            aborted: true,
+        };
+        if sent < workers {
+            return aborted;
         }
+        let mut violation: Option<(u32, CongestError)> = None;
         for _ in 0..workers {
             let Ok(reply) = self.reply_rx.recv() else {
-                return StepOutcome {
-                    all_done: false,
-                    violation: None,
-                    aborted: true,
-                };
+                return aborted;
             };
-            all_done &= reply.all_done;
             if let Some((v, err)) = reply.violation {
                 // The deterministic error is the lowest-node one, exactly
                 // what the sequential visit would hit first.
@@ -653,54 +1127,74 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
                     violation = Some((v, err));
                 }
             }
-            let base = reply.worker * self.chunk;
-            for (i, buf) in reply.inbox.into_iter().enumerate() {
-                inbox[base + i] = buf;
-            }
-            for (i, buf) in reply.outbox.into_iter().enumerate() {
-                outbox[base + i] = buf;
-            }
-            if self.tracing {
-                shard_events[reply.worker] = reply.events;
-            }
+            self.stash[reply.worker] = Some(reply.job);
         }
-        // Merge shard event buffers in worker (= node) order, so the stream
-        // is identical to the sequential visit's.
-        if let Some(events) = events {
-            for mut shard in shard_events {
-                events.append(&mut shard);
+        // Splice shard outputs back in worker (= ascending node) order, so
+        // the stream is identical to the sequential visit's.
+        for slot in &mut self.stash {
+            let job = slot.as_mut().expect("every worker replied");
+            out.slab.append(&mut job.out.slab);
+            out.index.append(&mut job.out.index);
+            out.done.append(&mut job.out.done);
+            out.wakes.append(&mut job.out.wakes);
+            out.stepped += job.out.stepped;
+            job.out.stepped = 0;
+            if let Some(ev) = events.as_mut() {
+                ev.append(&mut job.events);
             }
         }
         StepOutcome {
-            all_done,
             violation: violation.map(|(_, err)| err),
             aborted: false,
         }
     }
 }
 
+/// Precomputed per-run event streams shared by both engines, each sorted
+/// ascending by `(round, node)`:
+///
+/// * `crash_events` / `down_events` drive the AllDone counter's forced-done
+///   bookkeeping (a crashed or churn-offline node counts as done while
+///   down) on the sparse *and* full-sweep paths;
+/// * `rejoin_events` wake restarting nodes on the sparse path (the full
+///   sweep steps them anyway).
+struct Wakeups {
+    /// Whether the active-set engine is in effect
+    /// ([`Protocol::SPARSE_AWARE`] and not [`RunConfig::full_sweep`]).
+    sparse: bool,
+    crash_events: Vec<(u64, u32)>,
+    down_events: Vec<(u64, u32)>,
+    rejoin_events: Vec<(u64, u32)>,
+}
+
 /// The one round-loop engine behind every execution path.
 ///
-/// Per round: start-of-round fault effects (crashes), the protocol step
+/// Per round: start-of-round fault effects (crashes), active-set
+/// construction (sparse path) or the full node list, the protocol step
 /// (via `stepper`), the ordered `(sender, port)` merge with per-message
 /// fault sampling (via `hook`), the stable release sweep over the delay
-/// queue, delivery accounting, tracing, and the stop check. The clean path
-/// instantiates this with [`NoFaults`] — every hook call inlines away — and
-/// is the exact pristine executor; the faulty path instantiates it with
+/// queue, delivery accounting, tracing, inbox grouping
+/// ([`group_pending`]), and the stop check. The clean path instantiates
+/// this with [`NoFaults`] — every hook call inlines away — and is the
+/// exact pristine executor; the faulty path instantiates it with
 /// [`FaultState`].
+///
+/// On the sparse path a round's cost is O(active nodes + traffic), not
+/// O(n): the active set is mail receivers (this round's arena groups), due
+/// [`Ctx::wake_in`] timers, and churn rejoins; round 0 steps everyone.
 ///
 /// `messages`/`bits` count *deliveries*, so dropped/lost traffic never
 /// inflates the totals (documented on [`Metrics`]).
 #[allow(clippy::too_many_arguments)]
 fn round_engine<M, S, H, C>(
     cfg: &RunConfig,
-    adjacency: &[Vec<(u32, u32)>],
-    peer_port: &[Vec<u32>],
+    csr: &Csr,
     edge_load: &mut [u64],
     scratch: &mut Scratch<M>,
     stepper: &mut S,
     hook: &mut H,
     churn: &mut C,
+    wk: &Wakeups,
     trace_cfg: Option<TraceConfig>,
     trace_out: &mut Option<RunTrace>,
     profile_cfg: Option<ProfileConfig>,
@@ -712,14 +1206,21 @@ where
     H: FaultHook,
     C: ChurnHook,
 {
-    let n = adjacency.len();
+    let n = csr.n();
     scratch.reset(n);
     let Scratch {
-        inbox,
-        next_inbox,
-        outbox,
+        cur,
+        next,
+        pend,
+        perm,
+        cnt,
+        cursor,
+        out,
         held,
         held_next,
+        active,
+        all_nodes,
+        done,
         ..
     } = scratch;
     let mut metrics = Metrics::default();
@@ -731,6 +1232,14 @@ where
     let mut result: Result<Metrics> = Err(CongestError::RoundLimitExceeded {
         max_rounds: cfg.max_rounds,
     });
+    // AllDone bookkeeping as an incremental counter: `done` holds each
+    // node's last reported `is_done` (valid because `is_done` is a pure
+    // read of state that only changes when the node steps), with crashed
+    // and churn-offline nodes forced done while down.
+    let mut live_not_done = n;
+    // Sparse wake timers: absolute round -> nodes that asked to step then.
+    let mut timers: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    let (mut crash_i, mut down_i, mut rejoin_i) = (0usize, 0usize, 0usize);
 
     'rounds: for round in 0..=cfg.max_rounds {
         // Snapshot the counters so the round's sample records deltas
@@ -738,10 +1247,65 @@ where
         let round_start = metrics;
         hook.begin_round(round, &mut metrics);
         churn.begin_round(round, &mut metrics);
+        // Nodes leaving the computation this round count as done: fault
+        // crash-stops permanently, churn outages until the rejoin step
+        // re-reports the node's own `is_done`.
+        while crash_i < wk.crash_events.len() && wk.crash_events[crash_i].0 <= round {
+            let v = wk.crash_events[crash_i].1 as usize;
+            crash_i += 1;
+            if !done[v] {
+                done[v] = true;
+                live_not_done -= 1;
+            }
+        }
+        while down_i < wk.down_events.len() && wk.down_events[down_i].0 <= round {
+            let v = wk.down_events[down_i].1 as usize;
+            down_i += 1;
+            if !done[v] {
+                done[v] = true;
+                live_not_done -= 1;
+            }
+        }
+        let active_list: &[u32] = if wk.sparse {
+            active.begin();
+            if round == 0 {
+                // Everyone inits.
+                for v in 0..n as u32 {
+                    active.insert(v);
+                }
+            } else {
+                // Mail receivers...
+                for &v in &cur.nodes {
+                    active.insert(v);
+                }
+                // ...due wake timers...
+                while let Some(entry) = timers.first_entry() {
+                    if *entry.key() > round {
+                        break;
+                    }
+                    for v in entry.remove() {
+                        active.insert(v);
+                    }
+                }
+                // ...and churn rejoins (their `on_restart` must run even
+                // with an empty inbox).
+                while rejoin_i < wk.rejoin_events.len() && wk.rejoin_events[rejoin_i].0 <= round {
+                    if wk.rejoin_events[rejoin_i].0 == round {
+                        active.insert(wk.rejoin_events[rejoin_i].1);
+                    }
+                    rejoin_i += 1;
+                }
+            }
+            active.finish()
+        } else {
+            &all_nodes[..]
+        };
+        out.clear();
         let outcome = stepper.step(
             round,
-            inbox,
-            outbox,
+            active_list,
+            cur,
+            out,
             trace.as_mut().map(|(_, t)| &mut t.events),
         );
         if outcome.aborted {
@@ -753,92 +1317,121 @@ where
             result = Err(err);
             break 'rounds;
         }
-        // Ordered merge with per-message fault sampling: ascending
-        // (sender, port), whatever order or thread staged the sends.
-        let mut delivered = 0u64;
-        for (v, ob) in outbox.iter_mut().enumerate() {
-            for (port, cls, msg) in ob.drain(..) {
-                let (dst, edge) = adjacency[v][port];
-                let (dst, edge) = (dst as usize, edge as usize);
-                let dst_port = peer_port[v][port] as usize;
-                if hook.is_crashed(dst) {
-                    // Lost to the crash; the Crashed event already records
-                    // the cause, so this is not a drop fault.
-                    continue;
-                }
-                if churn.edge_down(round, edge) || churn.node_down(round, dst) {
-                    // The link was down (or the destination offline) in the
-                    // round the message was staged: lost to churn. Verdicts
-                    // use the staging round, matching what the sender's
-                    // `Ctx::link_up` reported when it chose to send.
-                    churn.record_loss(round, v, port, &mut metrics);
-                    continue;
-                }
-                match hook.fate(round, v, port) {
-                    Fate::Deliver => {
-                        let width = msg.bit_width() as u64;
-                        metrics.bits += width;
-                        edge_load[edge] += 1;
-                        if let Some(p) = profile.as_mut() {
-                            p.record(cls, round, edge, width);
-                        }
-                        next_inbox[dst].push((dst_port, msg));
-                        delivered += 1;
-                    }
-                    Fate::Drop => {
-                        metrics.dropped += 1;
-                        hook.record(round, v, port, FaultKind::Dropped);
-                    }
-                    Fate::Corrupt => {
-                        metrics.corrupted += 1;
-                        let mask = hook.flip_mask(round, v, port, msg.bit_width());
-                        match msg.corrupted(mask) {
-                            Some(garbled) => {
-                                hook.record(
-                                    round,
-                                    v,
-                                    port,
-                                    FaultKind::Corrupted { delivered: true },
-                                );
-                                let width = garbled.bit_width() as u64;
-                                metrics.bits += width;
-                                edge_load[edge] += 1;
-                                if let Some(p) = profile.as_mut() {
-                                    p.record(cls, round, edge, width);
-                                }
-                                next_inbox[dst].push((dst_port, garbled));
-                                delivered += 1;
-                            }
-                            None => {
-                                // No canonical encoding, or the flipped
-                                // frame no longer parses: the receiver
-                                // sees nothing.
-                                hook.record(
-                                    round,
-                                    v,
-                                    port,
-                                    FaultKind::Corrupted { delivered: false },
-                                );
-                            }
-                        }
-                    }
-                    Fate::Delay(by) => {
-                        metrics.delayed += 1;
-                        hook.record(round, v, port, FaultKind::Delayed { by });
-                        held.push(Held {
-                            release_round: round + by,
-                            src: v,
-                            src_port: port,
-                            dst,
-                            dst_port,
-                            edge,
-                            class: cls,
-                            msg,
-                        });
-                    }
+        for &(vu, d) in out.done.iter() {
+            let v = vu as usize;
+            if d != done[v] {
+                done[v] = d;
+                if d {
+                    live_not_done -= 1;
+                } else {
+                    live_not_done += 1;
                 }
             }
         }
+        if wk.sparse {
+            for &(v, r) in out.wakes.iter() {
+                timers.entry(r).or_default().push(v);
+            }
+        }
+        // Ordered merge with per-message fault sampling: ascending
+        // (sender, port), whatever order or thread staged the sends.
+        let mut delivered = 0u64;
+        let mut slab = std::mem::take(&mut out.slab);
+        {
+            let mut sends = slab.drain(..);
+            for &(vu, len) in out.index.iter() {
+                let v = vu as usize;
+                let neighbors = csr.neighbors(v);
+                for _ in 0..len {
+                    let (port, cls, msg) = sends.next().expect("slab and index agree");
+                    let port = port as usize;
+                    let (dst, edge) = neighbors[port];
+                    let (dst, edge) = (dst as usize, edge as usize);
+                    let dst_port = csr.peer_port(v, port) as usize;
+                    if hook.is_crashed(dst) {
+                        // Lost to the crash; the Crashed event already
+                        // records the cause, so this is not a drop fault.
+                        continue;
+                    }
+                    if churn.edge_down(round, edge) || churn.node_down(round, dst) {
+                        // The link was down (or the destination offline) in
+                        // the round the message was staged: lost to churn.
+                        // Verdicts use the staging round, matching what the
+                        // sender's `Ctx::link_up` reported when it chose to
+                        // send.
+                        churn.record_loss(round, v, port, &mut metrics);
+                        continue;
+                    }
+                    match hook.fate(round, v, port) {
+                        Fate::Deliver => {
+                            let width = msg.bit_width() as u64;
+                            metrics.bits += width;
+                            edge_load[edge] += 1;
+                            if let Some(p) = profile.as_mut() {
+                                p.record(cls, round, edge, width);
+                            }
+                            pend.dst.push(dst as u32);
+                            pend.msg.push((dst_port, msg));
+                            delivered += 1;
+                        }
+                        Fate::Drop => {
+                            metrics.dropped += 1;
+                            hook.record(round, v, port, FaultKind::Dropped);
+                        }
+                        Fate::Corrupt => {
+                            metrics.corrupted += 1;
+                            let mask = hook.flip_mask(round, v, port, msg.bit_width());
+                            match msg.corrupted(mask) {
+                                Some(garbled) => {
+                                    hook.record(
+                                        round,
+                                        v,
+                                        port,
+                                        FaultKind::Corrupted { delivered: true },
+                                    );
+                                    let width = garbled.bit_width() as u64;
+                                    metrics.bits += width;
+                                    edge_load[edge] += 1;
+                                    if let Some(p) = profile.as_mut() {
+                                        p.record(cls, round, edge, width);
+                                    }
+                                    pend.dst.push(dst as u32);
+                                    pend.msg.push((dst_port, garbled));
+                                    delivered += 1;
+                                }
+                                None => {
+                                    // No canonical encoding, or the flipped
+                                    // frame no longer parses: the receiver
+                                    // sees nothing.
+                                    hook.record(
+                                        round,
+                                        v,
+                                        port,
+                                        FaultKind::Corrupted { delivered: false },
+                                    );
+                                }
+                            }
+                        }
+                        Fate::Delay(by) => {
+                            metrics.delayed += 1;
+                            hook.record(round, v, port, FaultKind::Delayed { by });
+                            held.push(Held {
+                                release_round: round + by,
+                                src: v,
+                                src_port: port,
+                                dst,
+                                dst_port,
+                                edge,
+                                class: cls,
+                                msg,
+                            });
+                        }
+                    }
+                }
+            }
+            debug_assert!(sends.next().is_none(), "slab and index agree");
+        }
+        out.slab = slab;
         // Release held messages whose extra wait has elapsed — a stable
         // sweep, so release order is a function of (staging round, sender,
         // port) only. A message whose destination crashed in the meantime
@@ -861,7 +1454,8 @@ where
                 if let Some(p) = profile.as_mut() {
                     p.record(h.class, round, h.edge, width);
                 }
-                next_inbox[h.dst].push((h.dst_port, h.msg));
+                pend.dst.push(h.dst as u32);
+                pend.msg.push((h.dst_port, h.msg));
                 delivered += 1;
             }
         }
@@ -884,6 +1478,7 @@ where
                 // the cumulative count is exactly "down now"; churn outages
                 // are read off the schedule for this round.
                 nodes_down: metrics.crashed + churn.down_count(round),
+                active_nodes: out.stepped,
             });
             if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
                 t.snapshots.push(EdgeLoadSnapshot {
@@ -892,14 +1487,14 @@ where
                 });
             }
         }
-        for ib in inbox.iter_mut() {
-            ib.clear();
-        }
-        std::mem::swap(inbox, next_inbox);
+        // Group this round's deliveries into next round's inbox arena and
+        // swap it in (the consumed arena becomes the next grouping target).
+        group_pending(pend, cnt, cursor, perm, next);
+        std::mem::swap(cur, next);
         metrics.rounds = round;
         let in_flight = delivered > 0 || !held.is_empty();
         let stop = match cfg.stop {
-            StopCondition::AllDone => !in_flight && outcome.all_done,
+            StopCondition::AllDone => !in_flight && live_not_done == 0,
             StopCondition::Quiescence => !in_flight && round > 0,
         };
         if stop {
@@ -963,10 +1558,9 @@ where
 pub struct Simulator<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
-    /// `peer_port[v][p]` is the port index at the neighbor through which the
-    /// edge behind `(v, p)` is seen from the other side.
-    peer_port: Vec<Vec<u32>>,
-    adjacency: Vec<Vec<(u32, u32)>>,
+    /// The graph in CSR form plus the peer-port table — the executor's
+    /// entire static view, shared read-only with the workers.
+    csr: Csr,
     /// One private RNG per node; see the module determinism contract.
     rngs: Vec<StdRng>,
     /// Messages delivered per (undirected) edge during the most recent run.
@@ -1007,33 +1601,11 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 protocols: nodes.len(),
             });
         }
-        let adjacency: Vec<Vec<(u32, u32)>> = graph
-            .nodes()
-            .map(|v| graph.neighbors(v).map(|(w, e)| (w.0, e.0)).collect())
-            .collect();
-        // Map each (node, port) to the matching port on the other side of
-        // the edge. For self-loops the two adjacency occurrences pair up.
-        let mut port_of_edge: Vec<Vec<(u32, u32)>> = vec![Vec::new(); graph.edge_count()];
-        for (v, adj) in adjacency.iter().enumerate() {
-            for (p, &(_, e)) in adj.iter().enumerate() {
-                port_of_edge[e as usize].push((v as u32, p as u32));
-            }
-        }
-        let mut peer_port: Vec<Vec<u32>> =
-            adjacency.iter().map(|adj| vec![0u32; adj.len()]).collect();
-        for ends in &port_of_edge {
-            debug_assert_eq!(ends.len(), 2);
-            let (v0, p0) = ends[0];
-            let (v1, p1) = ends[1];
-            peer_port[v0 as usize][p0 as usize] = p1;
-            peer_port[v1 as usize][p1 as usize] = p0;
-        }
         let n = nodes.len();
         Ok(Simulator {
             graph,
             nodes,
-            peer_port,
-            adjacency,
+            csr: Csr::build(graph),
             rngs: (0..n)
                 .map(|v| StdRng::seed_from_u64(node_stream_seed(seed, v as u64)))
                 .collect(),
@@ -1270,7 +1842,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         }
     }
 
-    /// Picks the sequential or threaded stepper for the unified engine.
+    /// Picks the engine strategy (active-set vs full sweep) and the
+    /// sequential or threaded stepper, and precomputes the run's
+    /// [`Wakeups`] event streams.
     fn dispatch<H: FaultHook, C: ChurnHook>(
         &mut self,
         cfg: &RunConfig,
@@ -1280,11 +1854,31 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         crash_round: &[u64],
         reverse_visit: bool,
     ) -> Result<Metrics> {
+        let sparse = P::SPARSE_AWARE && !cfg.full_sweep;
+        let mut crash_events: Vec<(u64, u32)> = crash_round
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r != u64::MAX)
+            .map(|(v, &r)| (r, v as u32))
+            .collect();
+        crash_events.sort_unstable();
+        let (mut down_events, mut rejoin_events) = match sched {
+            Some(s) => (s.down_events(), s.rejoin_events()),
+            None => (Vec::new(), Vec::new()),
+        };
+        down_events.sort_unstable();
+        rejoin_events.sort_unstable();
+        let wk = Wakeups {
+            sparse,
+            crash_events,
+            down_events,
+            rejoin_events,
+        };
         let threads = cfg.effective_threads(self.graph.len());
         if threads <= 1 {
-            self.run_seq(cfg, hook, churn, sched, crash_round, reverse_visit)
+            self.run_seq(cfg, hook, churn, sched, crash_round, &wk, reverse_visit)
         } else {
-            self.run_parallel(cfg, hook, churn, sched, crash_round, threads)
+            self.run_parallel(cfg, hook, churn, sched, crash_round, &wk, threads)
         }
     }
 
@@ -1295,6 +1889,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     }
 
     /// Single-threaded execution: the unified engine over [`InlineStepper`].
+    #[allow(clippy::too_many_arguments)]
     fn run_seq<H: FaultHook, C: ChurnHook>(
         &mut self,
         cfg: &RunConfig,
@@ -1302,6 +1897,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         churn: &mut C,
         sched: Option<&ChurnSchedule>,
         crash_round: &[u64],
+        wk: &Wakeups,
         reverse_visit: bool,
     ) -> Result<Metrics> {
         let n = self.graph.len();
@@ -1312,22 +1908,21 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let Simulator {
             nodes,
             rngs,
-            adjacency,
-            peer_port,
+            csr,
             edge_load,
             scratch,
             trace,
             profile,
             ..
         } = self;
-        let adjacency: &[Vec<(u32, u32)>] = adjacency;
+        let csr: &Csr = csr;
         let mut staged = std::mem::take(&mut scratch.staged);
         staged.clear();
-        staged.resize_with(adjacency.iter().map(Vec::len).max().unwrap_or(0), || None);
+        staged.resize_with(csr.max_degree(0, n), || None);
         let mut stepper = InlineStepper::<P> {
             nodes,
             rngs,
-            adjacency,
+            csr,
             crash_round,
             churn: sched,
             staged,
@@ -1336,13 +1931,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         };
         let result = round_engine(
             cfg,
-            adjacency,
-            peer_port,
+            csr,
             edge_load,
             scratch,
             &mut stepper,
             hook,
             churn,
+            wk,
             trace_cfg,
             trace,
             profile_cfg,
@@ -1356,6 +1951,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// with this method owning the worker side — contiguous node shards,
     /// one persistent worker each, job/reply channels, buffer recycling,
     /// and panic propagation on join.
+    #[allow(clippy::too_many_arguments)]
     fn run_parallel<H: FaultHook, C: ChurnHook>(
         &mut self,
         cfg: &RunConfig,
@@ -1363,6 +1959,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         churn: &mut C,
         sched: Option<&ChurnSchedule>,
         crash_round: &[u64],
+        wk: &Wakeups,
         threads: usize,
     ) -> Result<Metrics> {
         let n = self.graph.len();
@@ -1375,15 +1972,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let Simulator {
             nodes,
             rngs,
-            adjacency,
-            peer_port,
+            csr,
             edge_load,
             scratch,
             trace,
             profile,
             ..
         } = self;
-        let adjacency: &[Vec<(u32, u32)>] = adjacency;
+        let csr: &Csr = csr;
 
         // Shard node state machines and their RNG streams; workers own the
         // shards for the duration of the run and hand them back at the end.
@@ -1411,31 +2007,37 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 let reply_tx = reply_tx.clone();
                 let base = w * chunk;
                 handles.push(s.spawn(move || {
-                    let max_degree = adjacency[base..base + my_nodes.len()]
-                        .iter()
-                        .map(Vec::len)
-                        .max()
-                        .unwrap_or(0);
+                    let max_degree = csr.max_degree(base, base + my_nodes.len());
                     let mut staged: Vec<Option<(TrafficClass, P::Message)>> = Vec::new();
                     staged.resize_with(max_degree, || None);
                     while let Ok(mut job) = job_rx.recv() {
                         let round = job.round;
-                        let mut outbox = job.outbox;
-                        let mut all_done = true;
-                        let mut violation: Option<(usize, CongestError)> = None;
-                        let mut events: Vec<TraceEvent> = Vec::new();
-                        for (i, node) in my_nodes.iter_mut().enumerate() {
-                            let v = base + i;
+                        job.out.clear();
+                        job.events.clear();
+                        let mut violation: Option<(u32, CongestError)> = None;
+                        let mut slab_pos = 0usize;
+                        let mut ri = 0usize;
+                        for ai in 0..job.active.len() {
+                            let vu = job.active[ai];
+                            let v = vu as usize;
+                            // Pair the node with its inbox slice *before*
+                            // any skip: crashed and churn-offline receivers
+                            // still swallow their mail.
+                            let mut group_range = slab_pos..slab_pos;
+                            if ri < job.inbox_index.len() && job.inbox_index[ri].0 == vu {
+                                let len = job.inbox_index[ri].1 as usize;
+                                group_range = slab_pos..slab_pos + len;
+                                slab_pos += len;
+                                ri += 1;
+                            }
                             if crash_round.get(v).is_some_and(|&r| r <= round) {
                                 // Crash-stopped: no step, inbox discarded,
                                 // counts as done.
-                                job.inbox[i].clear();
                                 continue;
                             }
                             if sched.is_some_and(|ch| ch.node_down(round, v)) {
                                 // Churn outage: like a crash, but temporary
                                 // (see the inline stepper).
-                                job.inbox[i].clear();
                                 continue;
                             }
                             // After a violation the rest of the shard is
@@ -1444,51 +2046,58 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                             if violation.is_some() {
                                 continue;
                             }
-                            let degree = adjacency[v].len();
+                            let degree = csr.degree(v);
                             let mut local_violation = None;
+                            let mut wake: Option<u64> = None;
                             {
                                 let mut ctx = Ctx {
                                     node: NodeId::from(v),
                                     degree,
-                                    neighbors: &adjacency[v],
+                                    neighbors: csr.neighbors(v),
                                     round,
                                     budget_bits,
                                     staged: &mut staged[..degree],
                                     default_class: P::TRAFFIC_CLASS,
-                                    rng: &mut my_rngs[i],
+                                    rng: &mut my_rngs[v - base],
                                     violation: &mut local_violation,
-                                    trace: if tracing { Some(&mut events) } else { None },
+                                    wake: &mut wake,
+                                    trace: if tracing { Some(&mut job.events) } else { None },
                                     churn: sched,
                                 };
+                                let node = &mut my_nodes[v - base];
                                 if round == 0 {
                                     node.init(&mut ctx);
                                 } else if sched.is_some_and(|ch| ch.rejoining(round, v)) {
                                     node.on_restart(&mut ctx);
                                 } else {
-                                    node.round(&mut ctx, &job.inbox[i]);
+                                    node.round(&mut ctx, &job.inbox_slab[group_range]);
                                 }
                             }
                             if let Some(err) = local_violation {
-                                violation = Some((v, err));
+                                violation = Some((vu, err));
                             }
-                            let ob = &mut outbox[i];
+                            let mut len = 0u32;
                             for (port, slot) in staged[..degree].iter_mut().enumerate() {
                                 if let Some((cls, msg)) = slot.take() {
-                                    ob.push((port, cls, msg));
+                                    job.out.slab.push((port as u32, cls, msg));
+                                    len += 1;
                                 }
                             }
-                            all_done &= node.is_done();
+                            if len > 0 {
+                                job.out.index.push((vu, len));
+                            }
+                            job.out.done.push((vu, my_nodes[v - base].is_done()));
+                            if let Some(r) = wake {
+                                job.out.wakes.push((vu, r));
+                            }
+                            job.out.stepped += 1;
                         }
-                        for ib in &mut job.inbox {
-                            ib.clear();
-                        }
+                        debug_assert_eq!(slab_pos, job.inbox_slab.len());
+                        debug_assert_eq!(ri, job.inbox_index.len());
                         let reply = RoundReply {
                             worker: w,
-                            inbox: job.inbox,
-                            outbox,
-                            all_done,
+                            job,
                             violation,
-                            events,
                         };
                         if reply_tx.send(reply).is_err() {
                             break;
@@ -1504,17 +2113,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 reply_rx,
                 chunk,
                 shard_sizes,
-                tracing,
+                stash: (0..workers).map(|_| None).collect(),
             };
             let result = round_engine(
                 cfg,
-                adjacency,
-                peer_port,
+                csr,
                 edge_load,
                 scratch,
                 &mut stepper,
                 hook,
                 churn,
+                wk,
                 trace_cfg,
                 trace,
                 profile_cfg,
@@ -1547,7 +2156,9 @@ mod tests {
     use amt_graphs::EdgeId;
     use rand::RngExt;
 
-    /// Protocol that floods the max of initial values.
+    /// Protocol that floods the max of initial values. Skip-safe: an empty
+    /// inbox round changes nothing and sends nothing, so it opts into the
+    /// active-set engine.
     struct MaxFlood {
         best: u64,
         dirty: bool,
@@ -1555,6 +2166,7 @@ mod tests {
 
     impl Protocol for MaxFlood {
         type Message = u64;
+        const SPARSE_AWARE: bool = true;
         fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
             ctx.send_all(self.best);
         }
@@ -1684,6 +2296,150 @@ mod tests {
         ));
     }
 
+    /// Satellite regression: a node tripping two model violations in one
+    /// step must report the *first* one, on every engine strategy, thread
+    /// count, and visit order, and across nodes the lowest node's error is
+    /// canonical.
+    struct MixedViolator {
+        wide_first: bool,
+    }
+    impl Protocol for MixedViolator {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.wide_first {
+                ctx.send(0, u64::MAX); // MessageTooWide (64 > 16 bits)...
+                ctx.send(0, 1); // ...then what would be a DuplicateSend
+                ctx.send(0, 1);
+            } else {
+                ctx.send(0, 1);
+                ctx.send(0, 2); // DuplicateSend first...
+                ctx.send(0, u64::MAX); // ...then what would be MessageTooWide
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(usize, u64)]) {}
+    }
+
+    #[test]
+    fn first_violation_wins_within_a_round() {
+        let g = path(4); // n = 4 → ⌈log₂ 4⌉ = 2 bits, factor 8 → budget 16.
+        let mk = |node0_wide_first: bool| -> Vec<MixedViolator> {
+            (0..4)
+                .map(|v| MixedViolator {
+                    wide_first: if v == 0 {
+                        node0_wide_first
+                    } else {
+                        !node0_wide_first
+                    },
+                })
+                .collect()
+        };
+        for threads in [1usize, 2, 4] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let err = Simulator::new(&g, mk(true), 0)
+                .unwrap()
+                .run(&cfg)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                CongestError::MessageTooWide {
+                    bits: 64,
+                    budget: 16
+                },
+                "threads = {threads}: node 0's first violation must win"
+            );
+            let err = Simulator::new(&g, mk(false), 0)
+                .unwrap()
+                .run(&cfg)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                CongestError::DuplicateSend {
+                    node: NodeId(0),
+                    port: 0
+                },
+                "threads = {threads}: node 0's first violation must win"
+            );
+        }
+        // The reverse test visit reports the same canonical error.
+        let cfg = RunConfig::default().with_threads(1);
+        let err = Simulator::new(&g, mk(true), 0)
+            .unwrap()
+            .run_reverse_visit(&cfg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CongestError::MessageTooWide {
+                bits: 64,
+                budget: 16
+            }
+        );
+        let err = Simulator::new(&g, mk(false), 0)
+            .unwrap()
+            .run_reverse_visit(&cfg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CongestError::DuplicateSend {
+                node: NodeId(0),
+                port: 0
+            }
+        );
+    }
+
+    /// The arena grouping pass must be a *stable* counting sort (per-node
+    /// delivery order = staging order), leave its length-n scratch arrays
+    /// all-zero, and be reusable without residue.
+    #[test]
+    fn group_pending_is_a_stable_counting_sort() {
+        let mut pend = Pending::<u64> {
+            dst: vec![3, 1, 3, 0, 1, 3],
+            msg: vec![(0, 30), (0, 10), (1, 31), (0, 0), (1, 11), (2, 32)],
+        };
+        let mut cnt = vec![0u32; 4];
+        let mut cursor = vec![0u32; 4];
+        let mut perm = Vec::new();
+        let mut arena = InboxArena::<u64>::default();
+        group_pending(&mut pend, &mut cnt, &mut cursor, &mut perm, &mut arena);
+        assert_eq!(arena.nodes, vec![0, 1, 3]);
+        assert_eq!(arena.offsets, vec![0, 1, 3, 6]);
+        assert_eq!(arena.group(0).to_vec(), vec![(0usize, 0u64)]);
+        assert_eq!(arena.group(1).to_vec(), vec![(0usize, 10u64), (1, 11)]);
+        assert_eq!(
+            arena.group(2).to_vec(),
+            vec![(0usize, 30u64), (1, 31), (2, 32)]
+        );
+        assert!(cnt.iter().all(|&c| c == 0), "cnt must be returned all-zero");
+        assert!(
+            cursor.iter().all(|&c| c == 0),
+            "cursor must be returned all-zero"
+        );
+        assert!(pend.dst.is_empty() && pend.msg.is_empty());
+        // Reuse with fresh content: no residue from the first grouping.
+        pend.dst = vec![2];
+        pend.msg = vec![(5, 99)];
+        group_pending(&mut pend, &mut cnt, &mut cursor, &mut perm, &mut arena);
+        assert_eq!(arena.nodes, vec![2]);
+        assert_eq!(arena.group(0).to_vec(), vec![(5usize, 99u64)]);
+    }
+
+    /// The active set dedups within an epoch and canonicalizes to ascending
+    /// id order, and a new epoch forgets the previous membership without
+    /// clearing the stamp array.
+    #[test]
+    fn active_set_dedups_and_sorts_per_epoch() {
+        let mut set = ActiveSet::default();
+        set.reset(8);
+        set.begin();
+        for v in [5u32, 2, 5, 7, 2, 0] {
+            set.insert(v);
+        }
+        assert_eq!(set.finish(), &[0, 2, 5, 7]);
+        set.begin();
+        set.insert(3);
+        set.insert(3);
+        assert_eq!(set.finish(), &[3]);
+    }
+
     /// Echoes forever — must trip the round cap.
     struct Chatter;
     impl Protocol for Chatter {
@@ -1773,7 +2529,9 @@ mod tests {
 
     /// A randomized protocol: every node performs a lazy random walk of its
     /// token, the workload of the paper's constructions. Sensitive to every
-    /// bit of the RNG stream, so it detects any order dependence.
+    /// bit of the RNG stream, so it detects any order dependence. RNG draws
+    /// happen only per inbox message, so it is skip-safe and opts into the
+    /// active-set engine.
     struct TokenWalker {
         tokens: u32,
         hops_left: u32,
@@ -1782,6 +2540,7 @@ mod tests {
 
     impl Protocol for TokenWalker {
         type Message = u32;
+        const SPARSE_AWARE: bool = true;
         fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
             let degree = ctx.degree();
             let mut staged: Vec<(usize, u32)> = (0..self.tokens)
@@ -1868,6 +2627,138 @@ mod tests {
         for threads in [2, 3, 4, 8, 32] {
             assert_eq!(run(threads), baseline, "threads = {threads} diverged");
         }
+    }
+
+    /// The determinism contract across engine strategies: the active-set
+    /// engine must be byte-identical to the retained full-sweep reference
+    /// (metrics, protocol state, edge loads), at every thread count and
+    /// under visit-order reversal.
+    #[test]
+    fn sparse_engine_matches_full_sweep_reference() {
+        let g = amt_graphs::generators::hypercube(5);
+        let run = |threads: usize, reverse: bool, full_sweep: bool| {
+            let mut sim = Simulator::new(&g, walker_fleet(32), 9).unwrap();
+            let cfg = RunConfig::default()
+                .with_threads(threads)
+                .with_full_sweep(full_sweep);
+            let m = if reverse {
+                sim.run_reverse_visit(&cfg).unwrap()
+            } else {
+                sim.run(&cfg).unwrap()
+            };
+            let traces: Vec<u64> = sim.nodes().iter().map(|p| p.trace).collect();
+            (m, traces, sim.edge_load().to_vec())
+        };
+        let reference = run(1, false, true);
+        assert!(reference.0.messages > 0);
+        for (threads, reverse) in [(1, false), (1, true), (2, false), (4, false), (8, false)] {
+            assert_eq!(
+                run(threads, reverse, false),
+                reference,
+                "sparse engine diverged at threads = {threads}, reverse = {reverse}"
+            );
+        }
+    }
+
+    /// A sparse protocol that acts purely on `wake_in` timers: node 0
+    /// beacons every 3 rounds, 4 times. The active-set engine must step it
+    /// at exactly the announced rounds (and its listeners on mail), match
+    /// the full sweep bit for bit, and demonstrably step far fewer nodes.
+    struct Ticker {
+        fires_left: u32,
+        next_fire: u64,
+        got: Vec<u64>,
+    }
+
+    impl Protocol for Ticker {
+        type Message = u64;
+        const SPARSE_AWARE: bool = true;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.fires_left > 0 {
+                self.next_fire = ctx.round() + 3;
+                ctx.wake_in(3);
+            }
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(usize, u64)]) {
+            for &(_, v) in inbox {
+                self.got.push(v);
+            }
+            // Gate on the announced round, not on being stepped: the full
+            // sweep steps every round and must behave identically.
+            if self.fires_left > 0 && ctx.round() == self.next_fire {
+                self.fires_left -= 1;
+                let r = ctx.round();
+                ctx.send_all(r);
+                if self.fires_left > 0 {
+                    self.next_fire = r + 3;
+                    ctx.wake_in(3);
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.fires_left == 0
+        }
+    }
+
+    fn ticker_fleet(n: usize) -> Vec<Ticker> {
+        (0..n)
+            .map(|v| Ticker {
+                fires_left: if v == 0 { 4 } else { 0 },
+                next_fire: 0,
+                got: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wake_timers_drive_sparse_stepping() {
+        let g = path(6);
+        // Quiescence would stop at round 1 (nothing in flight until the
+        // first fire); AllDone keeps both engines going until the beacons
+        // are spent, timers included.
+        let run = |threads: usize, full_sweep: bool| {
+            let mut sim = Simulator::new(&g, ticker_fleet(6), 3)
+                .unwrap()
+                .with_trace(TraceConfig::default());
+            let cfg = RunConfig::all_done()
+                .with_threads(threads)
+                .with_full_sweep(full_sweep);
+            let m = sim.run(&cfg).unwrap();
+            let got: Vec<Vec<u64>> = sim.nodes().iter().map(|p| p.got.clone()).collect();
+            let trace = sim.take_trace().unwrap();
+            (m, got, trace)
+        };
+        let strip_active = |mut t: RunTrace| {
+            for s in &mut t.samples {
+                s.active_nodes = 0;
+            }
+            t
+        };
+        let sparse = run(1, false);
+        let full = run(1, true);
+        // Node 1 heard every beacon: rounds 3, 6, 9, 12.
+        assert_eq!(sparse.1[1], vec![3, 6, 9, 12]);
+        assert_eq!(sparse.0, full.0, "metrics diverged across strategies");
+        assert_eq!(sparse.1, full.1, "inboxes diverged across strategies");
+        assert_eq!(
+            strip_active(sparse.2.clone()),
+            strip_active(full.2.clone()),
+            "traces diverged beyond the active_nodes gauge"
+        );
+        let stepped = |t: &RunTrace| t.samples.iter().map(|s| s.active_nodes).sum::<u64>();
+        assert!(
+            stepped(&sparse.2) < stepped(&full.2),
+            "the active-set engine must step fewer nodes ({} vs {})",
+            stepped(&sparse.2),
+            stepped(&full.2)
+        );
+        // Threaded sparse is fully identical to sequential sparse,
+        // active_nodes gauge included.
+        let sparse4 = run(4, false);
+        assert_eq!(sparse4.0, sparse.0);
+        assert_eq!(sparse4.1, sparse.1);
+        assert_eq!(sparse4.2, sparse.2);
+        assert_eq!(run(4, true).0, full.0);
     }
 
     /// The tentpole property end to end: with message-identity fault
@@ -2190,6 +3081,8 @@ mod tests {
 
     /// Fixed-horizon beacon: sends the round number on every port each
     /// round, records arrivals, and models full state loss on restart.
+    /// Deliberately NOT sparse-aware: it sends on empty inboxes, so it
+    /// must keep the default full-sweep contract.
     struct Pinger {
         rounds_left: u32,
         got: Vec<u64>,

@@ -74,6 +74,15 @@ pub struct RoundSample {
     /// crash-stops plus churn outages. This is the per-round availability
     /// timeline ISSUE 6 asks for; [`RunTrace::availability`] reads it.
     pub nodes_down: u64,
+    /// **Gauge**, not a delta: nodes the executor actually stepped this
+    /// round. Under the full-sweep reference engine this is every
+    /// non-skipped node; under the active-set engine it is only the woken
+    /// ones (mail, due [`crate::Ctx::wake_in`] timers, churn rejoins), so
+    /// the ratio to `n` is the round's sparsity. An executor-strategy
+    /// observability gauge: like `nodes_down` it never feeds
+    /// [`RunTrace::reconstruct_metrics`], and cross-engine equivalence
+    /// tests compare traces with this field zeroed.
+    pub active_nodes: u64,
 }
 
 /// One protocol-emitted span/phase marker (see [`crate::Ctx::trace_event`]).
@@ -194,19 +203,32 @@ impl Distribution {
     /// Computes nearest-rank percentiles over `values`: the q-th percentile
     /// of `n` sorted values is the `⌈q/100 · n⌉`-th smallest (1-indexed), so
     /// p50 of [1, 2, 3, 4] is 2 and p95 of 100 values is the 95th.
-    pub fn of(values: impl Iterator<Item = u64>) -> Distribution {
+    ///
+    /// Returns `None` for an empty series — an empty timeline (e.g. a
+    /// traffic class that registered but never sent) has *no* order
+    /// statistics, and reporting zeros would be indistinguishable from a
+    /// series of real zeros. Callers that want the lenient legacy behavior
+    /// use [`Distribution::of`].
+    pub fn try_of(values: impl Iterator<Item = u64>) -> Option<Distribution> {
         let mut sorted: Vec<u64> = values.collect();
         if sorted.is_empty() {
-            return Distribution::default();
+            return None;
         }
         sorted.sort_unstable();
         let n = sorted.len();
         let rank = |q: usize| sorted[((q * n).div_ceil(100)).clamp(1, n) - 1];
-        Distribution {
+        Some(Distribution {
             p50: rank(50),
             p95: rank(95),
             max: sorted[n - 1],
-        }
+        })
+    }
+
+    /// [`Distribution::try_of`], with the empty series collapsed to the
+    /// all-zero default. Only safe where the caller separately knows the
+    /// series is non-empty (or treats all-zero as "nothing to report").
+    pub fn of(values: impl Iterator<Item = u64>) -> Distribution {
+        Distribution::try_of(values).unwrap_or_default()
     }
 }
 
@@ -355,6 +377,7 @@ mod tests {
                     lost_to_churn: 0,
                     restarts: 0,
                     nodes_down: 1,
+                    active_nodes: 4,
                 },
                 RoundSample {
                     round: 1,
@@ -368,6 +391,7 @@ mod tests {
                     lost_to_churn: 3,
                     restarts: 1,
                     nodes_down: 2,
+                    active_nodes: 3,
                 },
                 RoundSample {
                     round: 2,
@@ -381,6 +405,7 @@ mod tests {
                     lost_to_churn: 0,
                     restarts: 0,
                     nodes_down: 1,
+                    active_nodes: 0,
                 },
             ],
             events: Vec::new(),
@@ -443,6 +468,47 @@ mod tests {
         );
         // Empty: all zero.
         assert_eq!(Distribution::of([].into_iter()), Distribution::default());
+        // 100 values 1..=100: p50 = 50, p95 = 95.
+        let d = Distribution::of(1..=100u64);
+        assert_eq!(
+            d,
+            Distribution {
+                p50: 50,
+                p95: 95,
+                max: 100
+            }
+        );
+    }
+
+    #[test]
+    fn empty_timelines_have_no_statistics() {
+        // An empty series has no order statistics: `try_of` says so
+        // explicitly instead of fabricating zeros.
+        assert_eq!(Distribution::try_of([].into_iter()), None);
+        // The lenient wrapper collapses that to the all-zero default.
+        assert_eq!(Distribution::of([].into_iter()), Distribution::default());
+        // Singleton: every statistic is the value itself.
+        assert_eq!(
+            Distribution::try_of([7].into_iter()),
+            Some(Distribution {
+                p50: 7,
+                p95: 7,
+                max: 7
+            })
+        );
+        // Two elements [3, 9]: p50 = ⌈1⌉-st = 3, p95 = ⌈1.9⌉-nd = 9.
+        assert_eq!(
+            Distribution::try_of([9, 3].into_iter()),
+            Some(Distribution {
+                p50: 3,
+                p95: 9,
+                max: 9
+            })
+        );
+    }
+
+    #[test]
+    fn distributions_at_scale_use_nearest_rank() {
         // 100 values 1..=100: p50 = 50, p95 = 95.
         let d = Distribution::of(1..=100u64);
         assert_eq!(

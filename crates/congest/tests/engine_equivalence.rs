@@ -1,0 +1,260 @@
+//! Cross-engine equivalence property test (ISSUE 8 satellite).
+//!
+//! The active-set engine must be **byte-identical** to the retained
+//! full-sweep reference stepper — `Metrics`, fault/churn event logs,
+//! crashed sets, protocol outputs, per-edge loads, traffic profiles, and
+//! round timelines (modulo the `active_nodes` executor gauge) — across
+//! clean, faulty, and churned runs, thread counts {1, 2, 4, 8}, and
+//! visit-order reversal. The workload mixes the two sparse wake sources:
+//! mail-driven random token forwarding and `Ctx::wake_in` beacon timers.
+
+use amt_congest::trace::{RunTrace, TraceConfig};
+use amt_congest::{
+    ChurnEvent, ChurnPlan, Ctx, FaultEvent, FaultPlan, Metrics, ProfileConfig, Protocol, RunConfig,
+    Simulator, TrafficProfile,
+};
+use amt_graphs::{generators, EdgeId, NodeId};
+use rand::RngExt;
+
+/// Mail-driven token walking plus timer-driven beacon bursts.
+///
+/// Tokens (`u32` hop counts) walk randomly: each received token with hops
+/// left is forwarded to a random port with probability 3/4. Beacon nodes
+/// additionally fire every 5 rounds, injecting a fresh 2-hop token on every
+/// port — exercising `wake_in` under every hook combination. An empty-inbox
+/// round outside a fire round is a complete no-op (no RNG draws, no sends,
+/// no state change), so the protocol is skip-safe.
+struct HybridNode {
+    beacons_left: u32,
+    next_fire: u64,
+    digest: u64,
+}
+
+impl Protocol for HybridNode {
+    type Message = u32;
+
+    const SPARSE_AWARE: bool = true;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        // Every third node launches one starting token.
+        if ctx.node().index() % 3 == 0 {
+            let degree = ctx.degree();
+            let port = ctx.rng().random_range(0..degree);
+            ctx.send(port, 8);
+        }
+        if self.beacons_left > 0 {
+            self.next_fire = ctx.round() + 5;
+            ctx.wake_in(5);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        let degree = ctx.degree();
+        let mut staged: Vec<(usize, u32)> = Vec::new();
+        for &(port, hops) in inbox {
+            self.digest = self
+                .digest
+                .wrapping_mul(1_000_003)
+                .wrapping_add(((port as u64) << 32) | (u64::from(hops) + 1));
+            ctx.trace_event("hop", u64::from(hops));
+            if hops > 0 && ctx.rng().random_bool(0.75) {
+                staged.push((ctx.rng().random_range(0..degree), hops - 1));
+            }
+        }
+        // Gate beacons on the announced round, not on being stepped, so the
+        // full sweep (which steps every round) behaves identically.
+        if self.beacons_left > 0 && ctx.round() == self.next_fire {
+            self.beacons_left -= 1;
+            for port in 0..degree {
+                staged.push((port, 2));
+            }
+            if self.beacons_left > 0 {
+                self.next_fire = ctx.round() + 5;
+                ctx.wake_in(5);
+            }
+        }
+        // One message per port: keep the first staged per port.
+        staged.sort_by_key(|&(p, _)| p);
+        staged.dedup_by_key(|&mut (p, _)| p);
+        for (port, hops) in staged {
+            ctx.send(port, hops);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.beacons_left == 0
+    }
+}
+
+fn fleet(n: usize) -> Vec<HybridNode> {
+    (0..n)
+        .map(|v| HybridNode {
+            beacons_left: if v % 16 == 0 { 3 } else { 0 },
+            next_fire: 0,
+            digest: 0,
+        })
+        .collect()
+}
+
+/// Everything observable about one run. `PartialEq` on `RunTrace` includes
+/// the `active_nodes` gauge, which is the one field allowed to differ
+/// between engine strategies, so observations zero it before comparing.
+#[derive(PartialEq, Debug)]
+struct Observation {
+    metrics: Metrics,
+    digests: Vec<u64>,
+    edge_load: Vec<u64>,
+    fault_events: Vec<FaultEvent>,
+    crashed: Vec<NodeId>,
+    churn_events: Vec<ChurnEvent>,
+    profile: TrafficProfile,
+    trace: Option<RunTrace>,
+    active_total: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    Clean,
+    Faulty,
+    Churned,
+}
+
+fn observe(scenario: Scenario, threads: usize, reverse: bool, full_sweep: bool) -> Observation {
+    let g = generators::hypercube(6);
+    let mut sim = Simulator::new(&g, fleet(g.len()), 2024)
+        .unwrap()
+        .with_trace(TraceConfig::default().with_edge_load_stride(2))
+        .with_profile(ProfileConfig::default());
+    match scenario {
+        Scenario::Clean => {}
+        Scenario::Faulty => {
+            sim = sim.with_fault_plan(
+                FaultPlan::none()
+                    .seeded(13)
+                    .with_drops(0.04)
+                    .with_corruption(0.04)
+                    .with_delays(0.08, 3)
+                    .with_crash(NodeId(5), 7),
+            );
+        }
+        Scenario::Churned => {
+            sim = sim.with_churn_plan(
+                ChurnPlan::none()
+                    .seeded(29)
+                    .with_flaps(0.05, 4)
+                    .with_periodic_outage(EdgeId(2), 3, 2, 9)
+                    .with_restart(NodeId(9), 4, 3),
+            );
+        }
+    }
+    let cfg = RunConfig::all_done()
+        .with_threads(threads)
+        .with_full_sweep(full_sweep);
+    let metrics = if reverse {
+        sim.run_reverse_visit(&cfg)
+    } else {
+        sim.run(&cfg)
+    }
+    .unwrap();
+    let mut trace = sim.take_trace().unwrap();
+    let active_total = trace.samples.iter().map(|s| s.active_nodes).sum();
+    for s in &mut trace.samples {
+        s.active_nodes = 0;
+    }
+    Observation {
+        metrics,
+        digests: sim.nodes().iter().map(|p| p.digest).collect(),
+        edge_load: sim.edge_load().to_vec(),
+        fault_events: sim.fault_events().to_vec(),
+        crashed: sim.crashed_nodes(),
+        churn_events: sim.churn_events().to_vec(),
+        profile: sim.take_profile().unwrap(),
+        // Reverse visits keep per-round events in reverse node order by
+        // long-standing contract, so the timeline is only part of the
+        // cross-engine comparison for forward runs.
+        trace: if reverse { None } else { Some(trace) },
+        active_total,
+    }
+}
+
+fn check_scenario(scenario: Scenario) {
+    let reference = observe(scenario, 1, false, true);
+    assert!(reference.metrics.messages > 0, "workload must send traffic");
+    match scenario {
+        Scenario::Clean => {}
+        Scenario::Faulty => {
+            assert!(!reference.fault_events.is_empty(), "faults must fire");
+            assert_eq!(reference.crashed, vec![NodeId(5)]);
+        }
+        Scenario::Churned => {
+            assert!(!reference.churn_events.is_empty(), "churn must fire");
+            assert_eq!(reference.metrics.restarts, 1);
+        }
+    }
+    // The full sweep steps every live node every round; on this workload
+    // the active-set engine must step strictly fewer node-rounds.
+    let sparse_seq = observe(scenario, 1, false, false);
+    assert!(
+        sparse_seq.active_total < reference.active_total,
+        "active-set engine stepped {} node-rounds vs full sweep's {}",
+        sparse_seq.active_total,
+        reference.active_total
+    );
+    for (threads, reverse) in [(1, false), (1, true), (2, false), (4, false), (8, false)] {
+        let got = observe(scenario, threads, reverse, false);
+        // `Observation` comparison skips the timeline on reverse runs and
+        // compares `active_total` separately below.
+        assert_eq!(
+            (
+                &got.metrics,
+                &got.digests,
+                &got.edge_load,
+                &got.fault_events,
+                &got.crashed,
+                &got.churn_events,
+                &got.profile,
+                &got.trace,
+            ),
+            (
+                &reference.metrics,
+                &reference.digests,
+                &reference.edge_load,
+                &reference.fault_events,
+                &reference.crashed,
+                &reference.churn_events,
+                &reference.profile,
+                &if reverse {
+                    None
+                } else {
+                    reference.trace.clone()
+                },
+            ),
+            "sparse engine diverged from full-sweep reference at threads = \
+             {threads}, reverse = {reverse}"
+        );
+        // The active set itself is part of the sparse determinism contract:
+        // every sparse strategy wakes exactly the same node-rounds.
+        assert_eq!(
+            got.active_total, sparse_seq.active_total,
+            "active set diverged at threads = {threads}, reverse = {reverse}"
+        );
+    }
+    // The full-sweep reference is itself strategy-independent.
+    let got = observe(scenario, 4, false, true);
+    assert_eq!(got, reference, "full sweep diverged at threads = 4");
+}
+
+#[test]
+fn clean_runs_match_full_sweep_reference() {
+    check_scenario(Scenario::Clean);
+}
+
+#[test]
+fn faulty_runs_match_full_sweep_reference() {
+    check_scenario(Scenario::Faulty);
+}
+
+#[test]
+fn churned_runs_match_full_sweep_reference() {
+    check_scenario(Scenario::Churned);
+}

@@ -48,6 +48,12 @@ struct MinFlood {
 impl Protocol for MinFlood {
     type Message = u64;
 
+    // Purely mail-driven: an empty-inbox round improves nothing and sends
+    // nothing, so skipped rounds are no-ops and the active-set engine can
+    // step only nodes holding mail (label settling is exactly the sparse
+    // phase ROADMAP item 1 targets).
+    const SPARSE_AWARE: bool = true;
+
     fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
         if self.fresh {
             self.fresh = false;

@@ -244,6 +244,7 @@ fn reliable_min_flood(
         budget_factor: 32,
         max_rounds: 500_000,
         threads,
+        ..RunConfig::default()
     };
     let metrics = sim.run(&cfg)?;
     obs.collect(&mut sim, rounds_so_far);

@@ -127,9 +127,18 @@ impl Protocol for RouteNode {
 
     const TRAFFIC_CLASS: TrafficClass = class::ROUTE_PAYLOAD;
 
+    // With empty queues and no pending sources, `inject` and `pump` are
+    // both no-ops, so skipping an idle node is safe; while packets are
+    // queued (including heads blocked by a down link, which must keep
+    // counting stall rounds) the node re-arms a 1-round timer.
+    const SPARSE_AWARE: bool = true;
+
     fn init(&mut self, ctx: &mut Ctx<'_, Packet>) {
         self.inject(ctx);
         self.pump(ctx);
+        if !self.is_done() {
+            ctx.wake_in(1);
+        }
     }
 
     fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[(usize, Packet)]) {
@@ -141,6 +150,9 @@ impl Protocol for RouteNode {
             self.route(p);
         }
         self.pump(ctx);
+        if !self.is_done() {
+            ctx.wake_in(1);
+        }
     }
 
     fn is_done(&self) -> bool {

@@ -91,6 +91,12 @@ impl Protocol for WalkProtocol {
 
     const TRAFFIC_CLASS: TrafficClass = class::WALK_TOKEN;
 
+    // A node with no resident tokens and no mail does nothing in `tick`
+    // (no RNG draws, no sends), so skipping it is a no-op; while tokens
+    // are resident (`stayed`/queued) the node re-arms a 1-round timer in
+    // `tick`, so walk epochs cost O(active tokens), not O(n), per round.
+    const SPARSE_AWARE: bool = true;
+
     fn init(&mut self, ctx: &mut Ctx<'_, Token>) {
         self.tick(ctx);
     }
@@ -128,6 +134,11 @@ impl WalkProtocol {
             if let Some(tok) = self.node.port_queue[port].pop_front() {
                 ctx.send(port, tok);
             }
+        }
+        // Tokens still resident here (stayed this round, or waiting for a
+        // busy port) need another step even if no mail arrives.
+        if !self.is_done() {
+            ctx.wake_in(1);
         }
     }
 }

@@ -627,6 +627,7 @@ pub fn run_walks_healing_churned_instrumented(
             budget_factor: 16,
             max_rounds: 500_000,
             threads,
+            ..RunConfig::default()
         };
         metrics = metrics.then(sim.run(&cfg)?);
         if let Some(t) = sim.take_trace() {
