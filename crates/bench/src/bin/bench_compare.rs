@@ -7,9 +7,10 @@
 //!
 //! * **exact** — all `metrics.<bench>` counters (rounds, messages, bits,
 //!   max edge congestion, fault counters), all
-//!   `profiles.<bench>.<class>` per-class totals, and all
+//!   `profiles.<bench>.<class>` per-class totals, all
 //!   `recovery.<bench>` reconvergence statistics (span counts,
-//!   time-to-reconverge percentiles) must be identical: the simulator is
+//!   time-to-reconverge percentiles), and all `shards.<bench>` intra/cross
+//!   placement-attribution counters must be identical: the simulator is
 //!   deterministic, so *any* drift is a behavior change;
 //! * **wall-clock** — `phase_timings.wall.<bench>` may regress by at most
 //!   the tolerance (default 25%), **and** a regression only counts when
@@ -98,7 +99,7 @@ fn gate(baseline: &Json, candidate: &Json, opts: &Opts) -> (Vec<String>, Vec<Str
     let mut notes = Vec::new();
 
     // Deterministic counters: exact equality, baseline drives the key set.
-    for section in ["metrics", "profiles", "recovery"] {
+    for section in ["metrics", "profiles", "recovery", "shards"] {
         let base = scalars(baseline, section);
         let cand = scalars(candidate, section);
         for (path, want) in &base {
@@ -271,6 +272,42 @@ mod tests {
         let f = failures(&base, &drift, &Opts::default());
         assert_eq!(f.len(), 1);
         assert!(f[0].contains("metrics.bench_a.rounds"), "{f:?}");
+    }
+
+    #[test]
+    fn shard_counter_drift_is_exact() {
+        let shard_report = |cross: u64| {
+            parse(&format!(
+                r#"{{
+                    "shards": {{
+                        "dumbbell/spectral": {{
+                            "shards": 4,
+                            "intra_messages": 90,
+                            "cross_messages": {cross},
+                            "intra_bits": 900,
+                            "cross_bits": 100,
+                            "walk/token": {{ "cross_messages": {cross} }}
+                        }}
+                    }}
+                }}"#
+            ))
+            .expect("valid synthetic json")
+        };
+        let base = shard_report(10);
+        assert!(failures(&base, &shard_report(10), &Opts::default()).is_empty());
+        let f = failures(&base, &shard_report(11), &Opts::default());
+        // Both the total and the per-class nested counter drift.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(
+            f.iter()
+                .any(|m| m.contains("shards.dumbbell/spectral.cross_messages")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|m| m.contains("shards.dumbbell/spectral.walk/token.cross_messages")),
+            "{f:?}"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Canonical bench suite: pinned configurations of the flagship runs,
-//! written as a single schema-v3 report for the regression gate.
+//! written as a single schema-v4 report for the regression gate.
 //!
 //! Runs, with fully pinned seeds (so every counter is deterministic):
 //!
@@ -23,16 +23,33 @@
 //!   nontrivial [`ChurnPlan`] (link flaps plus a crash-restart): churned
 //!   healing walks, churned healing Borůvka, and the churned bit-fix
 //!   router. Each records a `recovery` section (damage spans and
-//!   time-to-reconverge percentiles) alongside the usual counters.
+//!   time-to-reconverge percentiles) alongside the usual counters;
+//! * **scaling tier** — a sparse two-class token workload on three pinned
+//!   2048-node instances (random 6-regular expander, id-interleaved
+//!   dumbbell of two expander halves, heavy-tailed Chung–Lu), stepped at
+//!   worker counts {1, 2, 4, 8, 16} under both a contiguous and a spectral
+//!   node→shard [`Placement`]. Protocol observables must be byte-identical
+//!   across every (threads, placement) configuration — placement is run
+//!   configuration, not semantics — so metrics/profiles are recorded once
+//!   per instance and wall-clock once per configuration. The recorded
+//!   profile is then attributed to both placements at 4 shards (`shards`
+//!   report section, schema v4); on the dumbbell the spectral placement
+//!   must route a strictly smaller share of messages across shards than
+//!   the contiguous one (hard assert). `AMT_BENCH_SCALE_ONLY=1` runs just
+//!   this tier — CI uses it to re-validate at `AMT_SIM_THREADS` 1 and 4.
 //!
 //! Output: `experiments_out/BENCH_<git-describe>.json` (override the stem
 //! with a CLI argument, e.g. `bench_suite BENCH_baseline`) carrying rounds,
 //! messages, max edge congestion, wall-clock, messages/sec throughput,
-//! per-class totals, and recovery statistics for every bench.
-//! `bench_compare` diffs two such files and exits nonzero on drift.
+//! per-class totals, recovery statistics, and shard-attribution counters
+//! for every bench. `bench_compare` diffs two such files and exits nonzero
+//! on drift.
 
 use amt_bench::{expander, report::git_describe, scaled_levels, Report};
-use amt_core::congest::{Metrics, PhaseTimings, ProfileConfig, TrafficProfile};
+use amt_core::congest::{
+    Ctx, Metrics, PhaseTimings, Placement, ProfileConfig, Protocol, RunConfig, Simulator,
+    TrafficClass, TrafficProfile,
+};
 use amt_core::mst::congest_boruvka;
 use amt_core::prelude::*;
 use amt_core::routing::{route_bitfix_churned_instrumented, route_bitfix_instrumented};
@@ -41,7 +58,7 @@ use amt_core::walks::healing::{
 };
 use amt_core::walks::WalkSpec;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use std::time::Instant;
 
 /// The e16 crash schedule: node 0 (the minimum-id fragment leader) first,
@@ -113,8 +130,10 @@ fn main() {
         throughput: PhaseTimings::new(),
     };
     let profile_cfg = Some(ProfileConfig::default());
+    let scale_only = std::env::var("AMT_BENCH_SCALE_ONLY").is_ok_and(|v| v == "1");
     println!("# Canonical bench suite ({stem})\n");
     bench.report.config("threads", 4u64);
+    bench.report.config("scale_only", scale_only);
     bench.report.header(&[
         "bench",
         "rounds",
@@ -123,6 +142,11 @@ fn main() {
         "wall_ms",
         "msgs_per_sec",
     ]);
+    if scale_only {
+        scaling_tier(&mut bench);
+        finish(bench);
+        return;
+    }
 
     // e1 MST: Borůvka on the canonical expander, n ∈ {256, 1024}.
     for &n in &[256usize, 1024] {
@@ -393,6 +417,11 @@ fn main() {
         bench.report.recovery("e17_churned_route", &out.timeline);
     }
 
+    scaling_tier(&mut bench);
+    finish(bench);
+}
+
+fn finish(bench: Bench) {
     let Bench {
         mut report,
         wall,
@@ -402,7 +431,259 @@ fn main() {
     report.phase_timings("throughput", &throughput);
     println!("\n(all counters are deterministic: compare two suite reports with");
     println!(" `bench_compare <baseline> <candidate>` — exact on rounds/messages/");
-    println!(" congestion/per-class totals, 25% tolerance with a 5 ms floor on");
-    println!(" wall-clock, and a lower bound on messages/sec for the long tiers)");
+    println!(" congestion/per-class totals and shard attribution, 25% tolerance");
+    println!(" with a 5 ms floor on wall-clock, and a lower bound on messages/sec");
+    println!(" for the long tiers)");
     report.finish();
+}
+
+/// Scaling-tier workload: a `SPARSE_AWARE` mix of mail-driven random token
+/// forwarding (class `scale/token`) and timer-driven beacon bursts (class
+/// `scale/beacon`). Only a fraction of nodes is active in any round, so
+/// the threaded stepper's placement decides how much of the traffic
+/// crosses shard boundaries without changing a single observable bit.
+struct ScaleNode {
+    beacons_left: u32,
+    next_fire: u64,
+    digest: u64,
+}
+
+impl Protocol for ScaleNode {
+    type Message = u32;
+
+    const SPARSE_AWARE: bool = true;
+    const TRAFFIC_CLASS: TrafficClass = "scale/token";
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        // Chung–Lu instances may contain isolated nodes — they launch
+        // nothing (and can never receive anything).
+        let degree = ctx.degree();
+        if ctx.node().index() % 5 == 0 && degree > 0 {
+            let port = ctx.rng().random_range(0..degree);
+            ctx.send(port, 12);
+        }
+        if self.beacons_left > 0 {
+            self.next_fire = ctx.round() + 6;
+            ctx.wake_in(6);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        let degree = ctx.degree();
+        // (port, hops, is_beacon); beacons are staged last so a token wins
+        // the one-message-per-port dedup deterministically.
+        let mut staged: Vec<(usize, u32, bool)> = Vec::new();
+        for &(port, hops) in inbox {
+            self.digest = self
+                .digest
+                .wrapping_mul(1_000_003)
+                .wrapping_add(((port as u64) << 32) | (u64::from(hops) + 1));
+            if hops > 0 && ctx.rng().random_bool(0.8) {
+                staged.push((ctx.rng().random_range(0..degree), hops - 1, false));
+            }
+        }
+        if self.beacons_left > 0 && ctx.round() == self.next_fire {
+            self.beacons_left -= 1;
+            for port in 0..degree {
+                staged.push((port, 3, true));
+            }
+            if self.beacons_left > 0 {
+                self.next_fire = ctx.round() + 6;
+                ctx.wake_in(6);
+            }
+        }
+        staged.sort_by_key(|&(p, _, _)| p);
+        staged.dedup_by_key(|&mut (p, _, _)| p);
+        for (port, hops, beacon) in staged {
+            if beacon {
+                ctx.send_classed(port, hops, "scale/beacon");
+            } else {
+                ctx.send(port, hops);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.beacons_left == 0
+    }
+}
+
+fn scale_fleet(n: usize) -> Vec<ScaleNode> {
+    (0..n)
+        .map(|v| ScaleNode {
+            beacons_left: if v % 32 == 0 { 3 } else { 0 },
+            next_fire: 0,
+            digest: 0,
+        })
+        .collect()
+}
+
+/// One scaling run; `threads: None` leaves the worker count to the run
+/// default (`AMT_SIM_THREADS` or available parallelism).
+fn scale_run(
+    g: &Graph,
+    threads: Option<usize>,
+    placement: Option<Placement>,
+) -> (Metrics, Vec<u64>, TrafficProfile, std::time::Duration) {
+    let mut sim = Simulator::new(g, scale_fleet(g.len()), 77)
+        .expect("fleet size matches")
+        .with_profile(ProfileConfig::default());
+    if let Some(p) = placement {
+        sim = sim.with_placement(p);
+    }
+    let mut cfg = RunConfig::all_done();
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let t0 = Instant::now();
+    let metrics = sim.run(&cfg).expect("scaling workload terminates");
+    let wall = t0.elapsed();
+    let digests = sim.nodes().iter().map(|p| p.digest).collect();
+    let profile = sim.take_profile().expect("profiling on");
+    (metrics, digests, profile, wall)
+}
+
+/// The dumbbell generator lays its two expander halves out contiguously
+/// (ids `0..k` and `k..2k`), which a contiguous placement splits for free.
+/// Interleaving the ids (`v < k → 2v`, else `2(v−k)+1`) makes contiguous
+/// sharding the worst case while a spectral placement can still recover
+/// the halves — the shape the tier's acceptance assert is about.
+fn interleaved_dumbbell(k: usize, d: usize, bridges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::dumbbell_expanders(k, d, bridges, &mut rng).expect("valid dumbbell");
+    let relabel = |v: usize| if v < k { 2 * v } else { 2 * (v - k) + 1 };
+    let mut b = GraphBuilder::new(2 * k);
+    for (_, u, v) in g.edges() {
+        b.add_edge(relabel(u.index()), relabel(v.index()));
+    }
+    b.build()
+}
+
+/// The placement-aware scaling tier: three pinned 2048-node instances ×
+/// worker counts {1, 2, 4, 8, 16} × {contiguous, spectral} placements.
+/// Observables are placement- and thread-invariant (asserted), so metrics
+/// and profiles are recorded once per instance; wall-clock is recorded per
+/// configuration, and the instance's profile is attributed to both
+/// placements at 4 shards for the schema-v4 `shards` section.
+fn scaling_tier(bench: &mut Bench) {
+    const SHARDS_FOR_SPLIT: usize = 4;
+    const SPECTRAL_ITERS: usize = 120;
+    let thread_counts = [1usize, 2, 4, 8, 16];
+
+    let chung_lu = {
+        let weights: Vec<f64> = (0..2048).map(|v| 8.0 / ((v + 1) as f64).sqrt()).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        generators::chung_lu(&weights, &mut rng).expect("valid weights")
+    };
+    let instances: Vec<(&'static str, Graph)> = vec![
+        ("scale_expander_n2048", expander(2048, 6, 1)),
+        ("scale_dumbbell_n2048", interleaved_dumbbell(1024, 6, 4, 5)),
+        ("scale_chunglu_n2048", chung_lu),
+    ];
+
+    struct TierResult {
+        name: &'static str,
+        wall_rows: Vec<Vec<String>>,
+        contiguous: amt_core::congest::ShardSplit,
+        spectral: amt_core::congest::ShardSplit,
+    }
+    let mut results: Vec<TierResult> = Vec::new();
+
+    for (name, g) in &instances {
+        // Reference run at the default worker count: the one whose
+        // metrics/profile enter the gated report sections.
+        let (metrics, digests, profile, wall) = scale_run(g, None, None);
+        bench.record(name, &metrics, Some(&profile), wall);
+
+        let mut wall_rows = Vec::new();
+        for &threads in &thread_counts {
+            let placements: Vec<(&'static str, Option<Placement>)> = if threads == 1 {
+                // Single-worker runs never consult the placement.
+                vec![("contiguous", None)]
+            } else {
+                vec![
+                    ("contiguous", Some(Placement::contiguous(g.len(), threads))),
+                    (
+                        "spectral",
+                        Some(Placement::spectral(g, threads, SPECTRAL_ITERS)),
+                    ),
+                ]
+            };
+            for (kind, placement) in placements {
+                let (m, d, p, w) = scale_run(g, Some(threads), placement);
+                assert_eq!(
+                    (&m, &d, &p),
+                    (&metrics, &digests, &profile),
+                    "{name}: observables drifted at threads = {threads}, {kind} placement"
+                );
+                let label: &'static str =
+                    Box::leak(format!("{name}_t{threads}_{kind}").into_boxed_str());
+                bench.wall.record_nanos(label, w.as_nanos() as u64);
+                wall_rows.push(vec![
+                    name.to_string(),
+                    kind.to_string(),
+                    threads.to_string(),
+                    format!("{:.1}", w.as_secs_f64() * 1e3),
+                ]);
+            }
+        }
+
+        // Attribute the (placement-independent) profile to both placements
+        // at a fixed shard count.
+        let contiguous_flags = Placement::contiguous(g.len(), SHARDS_FOR_SPLIT).cross_edge_flags(g);
+        let spectral_flags =
+            Placement::spectral(g, SHARDS_FOR_SPLIT, SPECTRAL_ITERS).cross_edge_flags(g);
+        results.push(TierResult {
+            name,
+            wall_rows,
+            contiguous: profile.shard_split(SHARDS_FOR_SPLIT, &contiguous_flags),
+            spectral: profile.shard_split(SHARDS_FOR_SPLIT, &spectral_flags),
+        });
+    }
+
+    println!("\n## Scaling tier (placement-invariant observables asserted)\n");
+    bench.report.section("scaling wall-clock");
+    bench
+        .report
+        .header(&["instance", "placement", "threads", "wall_ms"]);
+    for r in &results {
+        for row in &r.wall_rows {
+            bench.report.row(row);
+        }
+    }
+
+    println!();
+    bench.report.section("shard attribution (4 shards)");
+    bench.report.header(&[
+        "instance",
+        "placement",
+        "cross_msgs",
+        "intra_msgs",
+        "cross_share_pct",
+    ]);
+    for r in &results {
+        for (kind, split) in [("contiguous", &r.contiguous), ("spectral", &r.spectral)] {
+            let label: &'static str = Box::leak(format!("{}_{kind}", r.name).into_boxed_str());
+            bench.report.shards(label, split);
+            bench.report.row(&[
+                r.name.to_string(),
+                kind.to_string(),
+                split.cross_messages.to_string(),
+                split.intra_messages.to_string(),
+                format!("{:.1}", split.cross_message_share() * 100.0),
+            ]);
+        }
+        if r.name == "scale_dumbbell_n2048" {
+            // The tier's acceptance criterion: on the interleaved dumbbell
+            // the spectral placement recovers the two halves, so strictly
+            // less of the traffic crosses shards than under contiguous
+            // striping.
+            assert!(
+                r.spectral.cross_message_share() < r.contiguous.cross_message_share(),
+                "dumbbell: spectral cross-share {:.4} must beat contiguous {:.4}",
+                r.spectral.cross_message_share(),
+                r.contiguous.cross_message_share()
+            );
+        }
+    }
 }

@@ -15,7 +15,7 @@
 //! validator can check *files on disk* — what CI consumes — rather than
 //! in-memory values that never saw the encoder.
 
-use amt_congest::{Metrics, PhaseTimings, RecoveryTimeline, RunTrace, TrafficProfile};
+use amt_congest::{Metrics, PhaseTimings, RecoveryTimeline, RunTrace, ShardSplit, TrafficProfile};
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -32,7 +32,12 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 ///   (`recovery.<name>.{spans,open,ttr_p50,ttr_p95,ttr_max}`) recorded
 ///   with [`Report::recovery`]; `metrics.<name>` additionally carries the
 ///   churn counters `lost_to_churn` and `restarts`.
-pub const SCHEMA_VERSION: u64 = 3;
+/// * **4** — adds the required `shards` section: per-placement intra/cross
+///   shard traffic attribution of a [`ShardSplit`]
+///   (`shards.<name>.{shards,intra_messages,cross_messages,intra_bits,
+///   cross_bits}` plus one nested `shards.<name>.<class>.{…}` object per
+///   traffic class) recorded with [`Report::shards`].
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version [`validate`] still accepts; committed version-1
 /// artifacts stay valid (they simply predate the `profiles` section).
@@ -505,6 +510,46 @@ pub fn validate(root: &Json) -> Result<(), String> {
             }
         }
     }
+    if version >= 4 {
+        let Some(Json::Obj(shards)) = root.get("shards") else {
+            return Err("shards must be an object (required from schema 4)".to_string());
+        };
+        for (name, entry) in shards {
+            let Json::Obj(fields) = entry else {
+                return Err(format!("shards.{name} must be an object"));
+            };
+            for key in [
+                "shards",
+                "intra_messages",
+                "cross_messages",
+                "intra_bits",
+                "cross_bits",
+            ] {
+                match entry.get(key) {
+                    Some(Json::Num(v)) if *v >= 0.0 => {}
+                    _ => return Err(format!("shards.{name}.{key} must be a non-negative number")),
+                }
+            }
+            for (k, v) in fields {
+                match v {
+                    Json::Num(_) => {}
+                    // Per-traffic-class nested split.
+                    Json::Obj(inner) => {
+                        for (ik, iv) in inner {
+                            if !matches!(iv, Json::Num(_)) {
+                                return Err(format!("shards.{name}.{k}.{ik} must be a number"));
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(format!(
+                            "shards.{name}.{k} must be a number or per-class object"
+                        ))
+                    }
+                }
+            }
+        }
+    }
     if version >= 3 {
         let Some(Json::Obj(recovery)) = root.get("recovery") else {
             return Err("recovery must be an object (required from schema 3)".to_string());
@@ -561,6 +606,7 @@ pub struct Report {
     timelines: Vec<(String, Json)>,
     profiles: Vec<(String, Json)>,
     recovery: Vec<(String, Json)>,
+    shards: Vec<(String, Json)>,
 }
 
 impl Report {
@@ -578,6 +624,7 @@ impl Report {
             timelines: Vec::new(),
             profiles: Vec::new(),
             recovery: Vec::new(),
+            shards: Vec::new(),
         }
     }
 
@@ -732,6 +779,33 @@ impl Report {
         ));
     }
 
+    /// Records a named [`ShardSplit`] — intra- vs cross-shard counters of a
+    /// recorded traffic profile under one node→shard placement, in total
+    /// and per traffic class (the `shards` section, schema version 4).
+    /// Counters only: derived ratios are for readers to compute, so the
+    /// regression gate compares exact integers.
+    pub fn shards(&mut self, name: &str, split: &ShardSplit) {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("shards".into(), split.shards.into()),
+            ("intra_messages".into(), split.intra_messages.into()),
+            ("cross_messages".into(), split.cross_messages.into()),
+            ("intra_bits".into(), split.intra_bits.into()),
+            ("cross_bits".into(), split.cross_bits.into()),
+        ];
+        for c in &split.per_class {
+            fields.push((
+                c.class.to_string(),
+                Json::Obj(vec![
+                    ("intra_messages".into(), c.intra_messages.into()),
+                    ("cross_messages".into(), c.cross_messages.into()),
+                    ("intra_bits".into(), c.intra_bits.into()),
+                    ("cross_bits".into(), c.cross_bits.into()),
+                ]),
+            ));
+        }
+        self.shards.push((name.to_string(), Json::Obj(fields)));
+    }
+
     fn to_json(&self) -> Json {
         let created = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -784,6 +858,7 @@ impl Report {
             ("timelines".into(), Json::Obj(self.timelines.clone())),
             ("profiles".into(), Json::Obj(self.profiles.clone())),
             ("recovery".into(), Json::Obj(self.recovery.clone())),
+            ("shards".into(), Json::Obj(self.shards.clone())),
         ])
     }
 
@@ -863,6 +938,7 @@ mod tests {
             edge_bits: vec![20, 10],
         });
         r.profile("run", &tp);
+        r.shards("run", &tp.shard_split(2, &[true, false]));
         let mut tl = RecoveryTimeline::new();
         tl.record_damage(3);
         tl.record_recovery(10);
@@ -903,6 +979,17 @@ mod tests {
         assert_eq!(rec.get("spans"), Some(&Json::Num(1.0)));
         assert_eq!(rec.get("open"), Some(&Json::Num(1.0)));
         assert_eq!(rec.get("ttr_max"), Some(&Json::Num(7.0)));
+        let sh = parsed
+            .get("shards")
+            .and_then(|s| s.get("run"))
+            .expect("shards section survives the round trip");
+        assert_eq!(sh.get("shards"), Some(&Json::Num(2.0)));
+        assert_eq!(sh.get("cross_messages"), Some(&Json::Num(2.0)));
+        assert_eq!(sh.get("intra_messages"), Some(&Json::Num(1.0)));
+        let class = sh
+            .get("walk/token")
+            .expect("per-class split survives the round trip");
+        assert_eq!(class.get("cross_bits"), Some(&Json::Num(20.0)));
     }
 
     #[test]
@@ -915,7 +1002,7 @@ mod tests {
         // A version-1 document legitimately has no profiles section.
         let mut v1: Vec<_> = pairs
             .iter()
-            .filter(|(k, _)| k != "profiles" && k != "recovery")
+            .filter(|(k, _)| k != "profiles" && k != "recovery" && k != "shards")
             .cloned()
             .collect();
         v1[0].1 = Json::Num(1.0);
@@ -976,6 +1063,62 @@ mod tests {
             }
         }
         assert!(validate(&Json::Obj(bad)).is_err());
+    }
+
+    #[test]
+    fn validator_is_version_aware_about_shards() {
+        let good = sample_report().to_json();
+        let Json::Obj(pairs) = &good else {
+            unreachable!()
+        };
+
+        // A version-3 document legitimately has no shards section.
+        let mut v3: Vec<_> = pairs
+            .iter()
+            .filter(|(k, _)| k != "shards")
+            .cloned()
+            .collect();
+        v3[0].1 = Json::Num(3.0);
+        validate(&Json::Obj(v3.clone())).expect("v3 without shards is valid");
+
+        // The same document claiming version 4 must carry the section.
+        let mut v4_missing = v3;
+        v4_missing[0].1 = Json::Num(4.0);
+        assert!(validate(&Json::Obj(v4_missing)).is_err());
+
+        // A shards entry missing a required counter is caught.
+        let mut bad = pairs.clone();
+        for (k, v) in &mut bad {
+            if k == "shards" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![("shards".into(), 4u64.into())]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(bad)).is_err());
+
+        // A malformed per-class entry is caught.
+        let mut bad_class = pairs.clone();
+        for (k, v) in &mut bad_class {
+            if k == "shards" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![
+                        ("shards".into(), 2u64.into()),
+                        ("intra_messages".into(), 1u64.into()),
+                        ("cross_messages".into(), 2u64.into()),
+                        ("intra_bits".into(), 10u64.into()),
+                        ("cross_bits".into(), 20u64.into()),
+                        (
+                            "walk/token".into(),
+                            Json::Obj(vec![("cross_messages".into(), "lots".into())]),
+                        ),
+                    ]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(bad_class)).is_err());
     }
 
     #[test]

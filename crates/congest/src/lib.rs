@@ -58,6 +58,7 @@ pub mod primitives;
 pub mod profile;
 pub mod trace;
 
+pub use amt_graphs::partitioning::Placement;
 pub use churn::{ChurnEvent, ChurnKind, ChurnPlan, EdgeOutage, RestartEvent};
 pub use error::CongestError;
 pub use faults::{CrashEvent, FaultEvent, FaultKind, FaultPlan};
@@ -65,7 +66,8 @@ pub use message::{bits_for_count, bits_for_value, CongestMessage};
 pub use metrics::Metrics;
 pub use primitives::reliable::{reliable_broadcast, Reliable, ReliableLink};
 pub use profile::{
-    class, ClassStats, CongestionProfile, HotEdge, ProfileConfig, TrafficClass, TrafficProfile,
+    class, ClassStats, CongestionProfile, HotEdge, ProfileConfig, ShardClassSplit, ShardSplit,
+    TrafficClass, TrafficProfile,
 };
 pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
 pub use trace::{

@@ -26,6 +26,12 @@
 //!   reference ([`RunConfig::full_sweep`]) produce byte-identical results
 //!   for [`Protocol::SPARSE_AWARE`] protocols; the only observable that
 //!   names the strategy is the `active_nodes` trace gauge.
+//! * **Placement independence.** The threaded executor assigns nodes to
+//!   worker shards through an explicit [`Placement`] map (contiguous id
+//!   chunks by default, spectral cuts via [`Simulator::with_placement`]).
+//!   The coordinator splices worker outputs back in canonical ascending
+//!   *node* order — never worker order — so the placement changes only
+//!   wall-clock and cross-worker traffic, never an observable bit.
 //!
 //! Together these make protocol outputs, [`Metrics`], the fault-event log,
 //! and the churn-event log byte-identical for any visit order and any
@@ -52,6 +58,7 @@ use crate::faults::{Fate, FaultEvent, FaultHook, FaultKind, FaultPlan, FaultStat
 use crate::profile::{class, ProfileConfig, TrafficClass, TrafficProfile};
 use crate::trace::{EdgeLoadSnapshot, RoundSample, RunTrace, TraceConfig, TraceEvent};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
+use amt_graphs::partitioning::Placement;
 use amt_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -1052,23 +1059,30 @@ struct RoundReply<M> {
     violation: Option<(u32, CongestError)>,
 }
 
-/// The multi-threaded stepper: nodes are sharded into contiguous chunks,
-/// one persistent worker per chunk inside a [`std::thread::scope`]; each
-/// round the coordinator splits the active list and inbox arena at shard
-/// boundaries (binary search on the ascending node ids), ships the slices
-/// out, and splices the workers' [`StepOut`]s back together in worker (=
-/// node) order for the engine's ordered merge. The worker side lives in
+/// The multi-threaded stepper: nodes are assigned to worker shards by an
+/// explicit [`Placement`] map (contiguous chunks by default, spectral
+/// k-way cuts via [`Simulator::with_placement`]), one persistent worker
+/// per shard inside a [`std::thread::scope`]; each round the coordinator
+/// routes the active list and inbox arena through the node→shard map,
+/// ships the per-shard jobs out, and splices the workers' [`StepOut`]s
+/// back in **canonical ascending-node order** — by concatenation when the
+/// placement is id-monotone (every shard a contiguous id range), and by a
+/// cursor merge over the shard streams otherwise. Either way the stream
+/// handed to the engine's ordered merge is byte-identical to the
+/// sequential visit's. The worker side lives in
 /// [`Simulator::run_parallel`]; this type is the coordinator half.
-struct ThreadedStepper<M> {
+struct ThreadedStepper<'p, M> {
     job_txs: Vec<mpsc::Sender<RoundJob<M>>>,
     reply_rx: mpsc::Receiver<RoundReply<M>>,
-    chunk: usize,
-    shard_sizes: Vec<usize>,
+    /// Node id → owning worker shard.
+    shard_of: &'p [u32],
+    /// Shard ids nondecreasing in node id: splice-back may concatenate.
+    monotone: bool,
     /// Recycled jobs, indexed by worker, parked here between rounds.
     stash: Vec<Option<RoundJob<M>>>,
 }
 
-impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
+impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<'_, M> {
     fn step(
         &mut self,
         round: u64,
@@ -1078,36 +1092,38 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
         mut events: Option<&mut Vec<TraceEvent>>,
     ) -> StepOutcome {
         let workers = self.job_txs.len();
-        let mut alo = 0usize;
-        let mut ilo = 0usize;
-        let mut sent = 0usize;
-        for w in 0..workers {
-            let hi = (w * self.chunk + self.shard_sizes[w]) as u32;
-            let mut job = self.stash[w].take().unwrap_or_default();
-            job.round = round;
-            job.active.clear();
-            job.inbox_index.clear();
-            job.inbox_slab.clear();
-            let ahi = alo + active[alo..].partition_point(|&v| v < hi);
-            job.active.extend_from_slice(&active[alo..ahi]);
-            alo = ahi;
-            let ihi = ilo + inbox.nodes[ilo..].partition_point(|&v| v < hi);
-            for i in ilo..ihi {
-                job.inbox_index
-                    .push((inbox.nodes[i], inbox.offsets[i + 1] - inbox.offsets[i]));
-            }
-            let s = inbox.offsets[ilo] as usize;
-            let e = inbox.offsets[ihi] as usize;
+        let mut jobs: Vec<RoundJob<M>> = self
+            .stash
+            .iter_mut()
+            .map(|slot| {
+                let mut job = slot.take().unwrap_or_default();
+                job.round = round;
+                job.active.clear();
+                job.inbox_index.clear();
+                job.inbox_slab.clear();
+                job
+            })
+            .collect();
+        // Route the ascending active list and inbox groups through the
+        // shard map; within each shard both stay ascending by node.
+        for &v in active {
+            jobs[self.shard_of[v as usize] as usize].active.push(v);
+        }
+        for (i, &vu) in inbox.nodes.iter().enumerate() {
+            let job = &mut jobs[self.shard_of[vu as usize] as usize];
+            let s = inbox.offsets[i] as usize;
+            let e = inbox.offsets[i + 1] as usize;
+            job.inbox_index.push((vu, (e - s) as u32));
             job.inbox_slab.extend_from_slice(&inbox.slab[s..e]);
-            ilo = ihi;
+        }
+        let mut sent = 0usize;
+        for (w, job) in jobs.into_iter().enumerate() {
             // A send can only fail if the worker panicked; the recv below
             // notices and the caller joins to propagate the panic.
             if self.job_txs[w].send(job).is_ok() {
                 sent += 1;
             }
         }
-        debug_assert_eq!(alo, active.len());
-        debug_assert_eq!(ilo, inbox.nodes.len());
         let aborted = StepOutcome {
             violation: None,
             aborted: true,
@@ -1129,23 +1145,93 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<M> {
             }
             self.stash[reply.worker] = Some(reply.job);
         }
-        // Splice shard outputs back in worker (= ascending node) order, so
-        // the stream is identical to the sequential visit's.
-        for slot in &mut self.stash {
-            let job = slot.as_mut().expect("every worker replied");
-            out.slab.append(&mut job.out.slab);
-            out.index.append(&mut job.out.index);
-            out.done.append(&mut job.out.done);
-            out.wakes.append(&mut job.out.wakes);
-            out.stepped += job.out.stepped;
-            job.out.stepped = 0;
-            if let Some(ev) = events.as_mut() {
-                ev.append(&mut job.events);
+        if self.monotone {
+            // Worker order IS ascending node order: concatenate.
+            for slot in &mut self.stash {
+                let job = slot.as_mut().expect("every worker replied");
+                out.slab.append(&mut job.out.slab);
+                out.index.append(&mut job.out.index);
+                out.done.append(&mut job.out.done);
+                out.wakes.append(&mut job.out.wakes);
+                out.stepped += job.out.stepped;
+                job.out.stepped = 0;
+                if let Some(ev) = events.as_mut() {
+                    ev.append(&mut job.events);
+                }
             }
+        } else {
+            self.merge_by_node(active, out, events);
         }
         StepOutcome {
             violation: violation.map(|(_, err)| err),
             aborted: false,
+        }
+    }
+}
+
+impl<M: CongestMessage> ThreadedStepper<'_, M> {
+    /// Splices the shard [`StepOut`] streams back in ascending node order
+    /// for a non-monotone placement: walk the global active list and
+    /// consume each shard's streams through per-worker cursors. Every
+    /// stream is ascending by node within its shard, and a node appears in
+    /// its shard's `done` stream iff the worker stepped it, so the merged
+    /// result is exactly the sequential visit's.
+    fn merge_by_node(
+        &mut self,
+        active: &[u32],
+        out: &mut StepOut<M>,
+        mut events: Option<&mut Vec<TraceEvent>>,
+    ) {
+        let workers = self.job_txs.len();
+        let mut jobs: Vec<&mut RoundJob<M>> = self
+            .stash
+            .iter_mut()
+            .map(|slot| slot.as_mut().expect("every worker replied"))
+            .collect();
+        let mut done_at = vec![0usize; workers];
+        let mut index_at = vec![0usize; workers];
+        let mut slab_at = vec![0usize; workers];
+        let mut wake_at = vec![0usize; workers];
+        let mut event_at = vec![0usize; workers];
+        for &v in active {
+            let w = self.shard_of[v as usize] as usize;
+            let job = &mut jobs[w];
+            if job.out.done.get(done_at[w]).is_some_and(|&(u, _)| u == v) {
+                out.done.push(job.out.done[done_at[w]]);
+                done_at[w] += 1;
+                out.stepped += 1;
+                if job.out.index.get(index_at[w]).is_some_and(|&(u, _)| u == v) {
+                    let (_, len) = job.out.index[index_at[w]];
+                    index_at[w] += 1;
+                    out.index.push((v, len));
+                    let s = slab_at[w];
+                    out.slab
+                        .extend_from_slice(&job.out.slab[s..s + len as usize]);
+                    slab_at[w] += len as usize;
+                }
+                if job.out.wakes.get(wake_at[w]).is_some_and(|&(u, _)| u == v) {
+                    out.wakes.push(job.out.wakes[wake_at[w]]);
+                    wake_at[w] += 1;
+                }
+            }
+            if let Some(ev) = events.as_mut() {
+                while job
+                    .events
+                    .get(event_at[w])
+                    .is_some_and(|e| e.node.index() as u32 == v)
+                {
+                    ev.push(job.events[event_at[w]]);
+                    event_at[w] += 1;
+                }
+            }
+        }
+        for (w, job) in jobs.into_iter().enumerate() {
+            debug_assert_eq!(done_at[w], job.out.done.len());
+            debug_assert_eq!(slab_at[w], job.out.slab.len());
+            debug_assert_eq!(event_at[w], job.events.len());
+            job.out.stepped = 0;
+            job.out.clear();
+            job.events.clear();
         }
     }
 }
@@ -1586,6 +1672,9 @@ pub struct Simulator<'g, P: Protocol> {
     profile_cfg: Option<ProfileConfig>,
     /// Profile recorded by the most recent [`Self::run`] (when enabled).
     profile: Option<TrafficProfile>,
+    /// Explicit node→shard placement for the threaded executor; `None`
+    /// (the default) shards into contiguous id chunks.
+    placement: Option<Placement>,
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -1620,7 +1709,27 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             trace: None,
             profile_cfg: None,
             profile: None,
+            placement: None,
         })
+    }
+
+    /// Attaches an explicit node→shard [`Placement`] for the threaded
+    /// executor of every subsequent [`Self::run`].
+    ///
+    /// The placement is part of the run's *configuration*, not its
+    /// semantics: by the determinism contract every observable —
+    /// `Metrics`, protocol state, traces, profiles, fault/churn logs — is
+    /// byte-identical under any placement (and to the sequential path);
+    /// only wall-clock and cross-worker traffic depend on it. Runs that
+    /// resolve to a single thread ignore the placement entirely.
+    ///
+    /// Validated when a threaded run starts: the placement must cover
+    /// exactly the graph's nodes and have exactly as many shards as the
+    /// run's resolved worker count, else the run fails with
+    /// [`CongestError::PlacementInvalid`].
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
     }
 
     /// Enables round-level tracing for every subsequent [`Self::run`].
@@ -1948,9 +2057,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     }
 
     /// Multi-threaded execution: the unified engine over [`ThreadedStepper`],
-    /// with this method owning the worker side — contiguous node shards,
-    /// one persistent worker each, job/reply channels, buffer recycling,
-    /// and panic propagation on join.
+    /// with this method owning the worker side — placement-mapped node
+    /// shards, one persistent worker each, job/reply channels, buffer
+    /// recycling, and panic propagation on join.
     #[allow(clippy::too_many_arguments)]
     fn run_parallel<H: FaultHook, C: ChurnHook>(
         &mut self,
@@ -1965,7 +2074,40 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let n = self.graph.len();
         let budget_bits = cfg.budget_factor * bits_for_count(n.max(2));
         self.reset_edge_load();
-        let chunk = n.div_ceil(threads);
+        // Resolve the node→shard map: an explicit placement when attached
+        // (validated against this run's resolved worker count), else the
+        // default contiguous chunking.
+        let placement = match &self.placement {
+            Some(p) => {
+                if p.len() != n {
+                    return Err(CongestError::PlacementInvalid {
+                        reason: format!("placement covers {} nodes, graph has {n}", p.len()),
+                    });
+                }
+                if p.shards() != threads {
+                    return Err(CongestError::PlacementInvalid {
+                        reason: format!(
+                            "placement has {} shards, run resolved {threads} workers",
+                            p.shards()
+                        ),
+                    });
+                }
+                p.clone()
+            }
+            None => Placement::contiguous(n, threads),
+        };
+        let monotone = placement.is_id_monotone();
+        // Per-node position within its shard's ascending-id node list, and
+        // per-shard max degree (sizes the workers' staging buffers).
+        let mut local_idx = vec![0u32; n];
+        let mut shard_len = vec![0u32; threads];
+        let mut shard_max_degree = vec![0usize; threads];
+        for (v, idx) in local_idx.iter_mut().enumerate() {
+            let s = placement.shard_of()[v] as usize;
+            *idx = shard_len[s];
+            shard_len[s] += 1;
+            shard_max_degree[s] = shard_max_degree[s].max(self.csr.degree(v));
+        }
         let trace_cfg = self.trace_cfg;
         let tracing = trace_cfg.is_some();
         let profile_cfg = self.profile_cfg;
@@ -1980,34 +2122,40 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             ..
         } = self;
         let csr: &Csr = csr;
+        let shard_of: &[u32] = placement.shard_of();
+        let local_idx: &[u32] = &local_idx;
 
         // Shard node state machines and their RNG streams; workers own the
         // shards for the duration of the run and hand them back at the end.
-        let mut all_nodes = std::mem::take(nodes);
-        let mut all_rngs = std::mem::take(rngs);
-        let mut node_chunks: Vec<Vec<P>> = Vec::new();
-        let mut rng_chunks: Vec<Vec<StdRng>> = Vec::new();
-        while !all_nodes.is_empty() {
-            let take = chunk.min(all_nodes.len());
-            node_chunks.push(all_nodes.drain(..take).collect());
-            rng_chunks.push(all_rngs.drain(..take).collect());
+        // Each shard holds its nodes in ascending id order, matching
+        // `local_idx`.
+        let all_nodes = std::mem::take(nodes);
+        let all_rngs = std::mem::take(rngs);
+        let workers = threads;
+        let mut node_shards: Vec<Vec<P>> = (0..workers)
+            .map(|w| Vec::with_capacity(shard_len[w] as usize))
+            .collect();
+        let mut rng_shards: Vec<Vec<StdRng>> = (0..workers)
+            .map(|w| Vec::with_capacity(shard_len[w] as usize))
+            .collect();
+        for (v, (p, r)) in all_nodes.into_iter().zip(all_rngs).enumerate() {
+            let s = shard_of[v] as usize;
+            node_shards[s].push(p);
+            rng_shards[s].push(r);
         }
-        let shard_sizes: Vec<usize> = node_chunks.iter().map(Vec::len).collect();
-        let workers = node_chunks.len();
 
         let (result, nodes_back, rngs_back) = std::thread::scope(|s| {
             let (reply_tx, reply_rx) = mpsc::channel::<RoundReply<P::Message>>();
             let mut job_txs = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
             for (w, (mut my_nodes, mut my_rngs)) in
-                node_chunks.into_iter().zip(rng_chunks).enumerate()
+                node_shards.into_iter().zip(rng_shards).enumerate()
             {
                 let (job_tx, job_rx) = mpsc::channel::<RoundJob<P::Message>>();
                 job_txs.push(job_tx);
                 let reply_tx = reply_tx.clone();
-                let base = w * chunk;
+                let max_degree = shard_max_degree[w];
                 handles.push(s.spawn(move || {
-                    let max_degree = csr.max_degree(base, base + my_nodes.len());
                     let mut staged: Vec<Option<(TrafficClass, P::Message)>> = Vec::new();
                     staged.resize_with(max_degree, || None);
                     while let Ok(mut job) = job_rx.recv() {
@@ -2058,13 +2206,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                                     budget_bits,
                                     staged: &mut staged[..degree],
                                     default_class: P::TRAFFIC_CLASS,
-                                    rng: &mut my_rngs[v - base],
+                                    rng: &mut my_rngs[local_idx[v] as usize],
                                     violation: &mut local_violation,
                                     wake: &mut wake,
                                     trace: if tracing { Some(&mut job.events) } else { None },
                                     churn: sched,
                                 };
-                                let node = &mut my_nodes[v - base];
+                                let node = &mut my_nodes[local_idx[v] as usize];
                                 if round == 0 {
                                     node.init(&mut ctx);
                                 } else if sched.is_some_and(|ch| ch.rejoining(round, v)) {
@@ -2086,7 +2234,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                             if len > 0 {
                                 job.out.index.push((vu, len));
                             }
-                            job.out.done.push((vu, my_nodes[v - base].is_done()));
+                            job.out
+                                .done
+                                .push((vu, my_nodes[local_idx[v] as usize].is_done()));
                             if let Some(r) = wake {
                                 job.out.wakes.push((vu, r));
                             }
@@ -2111,8 +2261,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             let mut stepper = ThreadedStepper::<P::Message> {
                 job_txs,
                 reply_rx,
-                chunk,
-                shard_sizes,
+                shard_of,
+                monotone,
                 stash: (0..workers).map(|_| None).collect(),
             };
             let result = round_engine(
@@ -2132,15 +2282,22 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             // Dropping the stepper closes the job channels; workers drain
             // and exit, handing their shards back.
             drop(stepper);
-            let mut nodes_back = Vec::with_capacity(n);
-            let mut rngs_back = Vec::with_capacity(n);
+            // Reassemble the node and RNG arrays in ascending id order by
+            // interleaving the shards back through the placement map.
+            let mut shard_iters = Vec::with_capacity(workers);
             for handle in handles {
                 let (shard_nodes, shard_rngs) = match handle.join() {
                     Ok(shard) => shard,
                     Err(panic) => std::panic::resume_unwind(panic),
                 };
-                nodes_back.extend(shard_nodes);
-                rngs_back.extend(shard_rngs);
+                shard_iters.push((shard_nodes.into_iter(), shard_rngs.into_iter()));
+            }
+            let mut nodes_back = Vec::with_capacity(n);
+            let mut rngs_back = Vec::with_capacity(n);
+            for &s in shard_of {
+                let (nodes_it, rngs_it) = &mut shard_iters[s as usize];
+                nodes_back.push(nodes_it.next().expect("shard hands back every node"));
+                rngs_back.push(rngs_it.next().expect("shard hands back every rng"));
             }
             (result, nodes_back, rngs_back)
         });

@@ -10,10 +10,10 @@
 
 use amt_congest::trace::{RunTrace, TraceConfig};
 use amt_congest::{
-    ChurnEvent, ChurnPlan, Ctx, FaultEvent, FaultPlan, Metrics, ProfileConfig, Protocol, RunConfig,
-    Simulator, TrafficProfile,
+    ChurnEvent, ChurnPlan, Ctx, FaultEvent, FaultPlan, Metrics, Placement, ProfileConfig, Protocol,
+    RunConfig, Simulator, TrafficProfile,
 };
-use amt_graphs::{generators, EdgeId, NodeId};
+use amt_graphs::{generators, EdgeId, Graph, GraphBuilder, NodeId};
 use rand::RngExt;
 
 /// Mail-driven token walking plus timer-driven beacon bursts.
@@ -120,11 +120,24 @@ enum Scenario {
 }
 
 fn observe(scenario: Scenario, threads: usize, reverse: bool, full_sweep: bool) -> Observation {
+    observe_with(scenario, threads, reverse, full_sweep, None)
+}
+
+fn observe_with(
+    scenario: Scenario,
+    threads: usize,
+    reverse: bool,
+    full_sweep: bool,
+    placement: Option<Placement>,
+) -> Observation {
     let g = generators::hypercube(6);
     let mut sim = Simulator::new(&g, fleet(g.len()), 2024)
         .unwrap()
         .with_trace(TraceConfig::default().with_edge_load_stride(2))
         .with_profile(ProfileConfig::default());
+    if let Some(p) = placement {
+        sim = sim.with_placement(p);
+    }
     match scenario {
         Scenario::Clean => {}
         Scenario::Faulty => {
@@ -200,37 +213,23 @@ fn check_scenario(scenario: Scenario) {
         sparse_seq.active_total,
         reference.active_total
     );
-    for (threads, reverse) in [(1, false), (1, true), (2, false), (4, false), (8, false)] {
+    // Thread counts include non-divisors of n = 64 (3, 7), so shard sizes
+    // are uneven under every placement below.
+    for (threads, reverse) in [
+        (1, false),
+        (1, true),
+        (2, false),
+        (3, false),
+        (4, false),
+        (7, false),
+        (8, false),
+    ] {
         let got = observe(scenario, threads, reverse, false);
-        // `Observation` comparison skips the timeline on reverse runs and
-        // compares `active_total` separately below.
-        assert_eq!(
-            (
-                &got.metrics,
-                &got.digests,
-                &got.edge_load,
-                &got.fault_events,
-                &got.crashed,
-                &got.churn_events,
-                &got.profile,
-                &got.trace,
-            ),
-            (
-                &reference.metrics,
-                &reference.digests,
-                &reference.edge_load,
-                &reference.fault_events,
-                &reference.crashed,
-                &reference.churn_events,
-                &reference.profile,
-                &if reverse {
-                    None
-                } else {
-                    reference.trace.clone()
-                },
-            ),
-            "sparse engine diverged from full-sweep reference at threads = \
-             {threads}, reverse = {reverse}"
+        assert_matches_reference(
+            &got,
+            &reference,
+            reverse,
+            &format!("threads = {threads}, reverse = {reverse}"),
         );
         // The active set itself is part of the sparse determinism contract:
         // every sparse strategy wakes exactly the same node-rounds.
@@ -239,9 +238,98 @@ fn check_scenario(scenario: Scenario) {
             "active set diverged at threads = {threads}, reverse = {reverse}"
         );
     }
+    // Placement independence: a spectral placement changes which worker
+    // owns each node (and the splice order the coordinator must undo), but
+    // never an observable bit.
+    let g = generators::hypercube(6);
+    for threads in [2usize, 3, 4, 7, 8] {
+        let spectral = Placement::spectral(&g, threads, 300);
+        let got = observe_with(scenario, threads, false, false, Some(spectral));
+        assert_matches_reference(
+            &got,
+            &reference,
+            false,
+            &format!("spectral placement, threads = {threads}"),
+        );
+        assert_eq!(
+            got.active_total, sparse_seq.active_total,
+            "active set diverged under spectral placement at threads = {threads}"
+        );
+    }
+    // Adversarial explicit placements at 3 workers: an interior short
+    // shard (regression for the old `w * chunk` bound arithmetic, which
+    // assumed every earlier shard was exactly `chunk` nodes) and a
+    // round-robin striping (non-monotone: exercises the merge-by-node
+    // splice rather than concat-by-worker).
+    let mut short_interior = vec![2u32; 64];
+    short_interior[0] = 0;
+    short_interior[1] = 0;
+    short_interior[2] = 0;
+    short_interior[3] = 1;
+    let stripes: Vec<u32> = (0..64u32).map(|v| v % 3).collect();
+    for (name, shard_of) in [
+        ("short interior shard", short_interior),
+        ("stripes", stripes),
+    ] {
+        let p = Placement::from_shard_of(shard_of, 3).unwrap();
+        let got = observe_with(scenario, 3, false, false, Some(p));
+        assert_matches_reference(&got, &reference, false, name);
+        assert_eq!(
+            got.active_total, sparse_seq.active_total,
+            "active set diverged under {name} placement"
+        );
+    }
     // The full-sweep reference is itself strategy-independent.
     let got = observe(scenario, 4, false, true);
     assert_eq!(got, reference, "full sweep diverged at threads = 4");
+    let got = observe_with(
+        scenario,
+        4,
+        false,
+        true,
+        Some(Placement::spectral(&g, 4, 300)),
+    );
+    assert_eq!(
+        got, reference,
+        "full sweep diverged under spectral placement"
+    );
+}
+
+/// `Observation` comparison modulo the timeline on reverse runs (reverse
+/// visits keep per-round events in reverse node order by contract).
+fn assert_matches_reference(
+    got: &Observation,
+    reference: &Observation,
+    reverse: bool,
+    label: &str,
+) {
+    assert_eq!(
+        (
+            &got.metrics,
+            &got.digests,
+            &got.edge_load,
+            &got.fault_events,
+            &got.crashed,
+            &got.churn_events,
+            &got.profile,
+            &got.trace,
+        ),
+        (
+            &reference.metrics,
+            &reference.digests,
+            &reference.edge_load,
+            &reference.fault_events,
+            &reference.crashed,
+            &reference.churn_events,
+            &reference.profile,
+            &if reverse {
+                None
+            } else {
+                reference.trace.clone()
+            },
+        ),
+        "sparse engine diverged from full-sweep reference at {label}"
+    );
 }
 
 #[test]
@@ -257,4 +345,172 @@ fn faulty_runs_match_full_sweep_reference() {
 #[test]
 fn churned_runs_match_full_sweep_reference() {
     check_scenario(Scenario::Churned);
+}
+
+fn digest_run(g: &Graph, threads: usize, placement: Option<Placement>) -> (Metrics, Vec<u64>) {
+    let mut sim = Simulator::new(g, fleet(g.len()), 2024).unwrap();
+    if let Some(p) = placement {
+        sim = sim.with_placement(p);
+    }
+    let cfg = RunConfig::all_done().with_threads(threads);
+    let m = sim.run(&cfg).unwrap();
+    (m, sim.nodes().iter().map(|p| p.digest).collect())
+}
+
+/// Requesting more workers than nodes clamps to one worker per node; the
+/// run is byte-identical to the sequential one, with and without an
+/// explicit placement at the clamped shard count.
+#[test]
+fn threads_exceeding_node_count_match_inline() {
+    let g = generators::hypercube(3); // n = 8
+    let reference = digest_run(&g, 1, None);
+    assert!(reference.0.messages > 0);
+    for threads in [8, 32, 1000] {
+        assert_eq!(
+            digest_run(&g, threads, None),
+            reference,
+            "threads = {threads} diverged on n = 8"
+        );
+    }
+    // `effective_threads` resolves 1000 requested workers to n = 8, so a
+    // placement must carry exactly 8 shards.
+    let spectral = Placement::spectral(&g, 8, 200);
+    assert_eq!(digest_run(&g, 1000, Some(spectral)), reference);
+}
+
+/// A single-node graph (with a self-loop, so tokens have somewhere to go)
+/// runs identically at every requested thread count.
+#[test]
+fn single_node_graph_matches_inline() {
+    let mut b = GraphBuilder::new(1);
+    b.add_edge(0, 0);
+    let g = b.build();
+    let reference = digest_run(&g, 1, None);
+    for threads in [2, 4, 64] {
+        assert_eq!(
+            digest_run(&g, threads, None),
+            reference,
+            "threads = {threads} diverged on n = 1"
+        );
+    }
+}
+
+/// A placement that doesn't match the graph or the resolved worker count
+/// fails deterministically instead of silently resharding.
+#[test]
+fn mismatched_placements_are_rejected() {
+    let g = generators::hypercube(4); // n = 16
+    let run = |threads: usize, p: Placement| {
+        Simulator::new(&g, fleet(g.len()), 2024)
+            .unwrap()
+            .with_placement(p)
+            .run(&RunConfig::all_done().with_threads(threads))
+    };
+    // Wrong node count.
+    let short = Placement::contiguous(8, 4);
+    assert!(matches!(
+        run(4, short),
+        Err(amt_congest::CongestError::PlacementInvalid { .. })
+    ));
+    // Wrong shard count for the resolved worker count.
+    let wrong_k = Placement::contiguous(16, 8);
+    assert!(matches!(
+        run(4, wrong_k),
+        Err(amt_congest::CongestError::PlacementInvalid { .. })
+    ));
+    // Single-threaded runs never consult the placement.
+    let ignored = Placement::contiguous(8, 4);
+    assert!(run(1, ignored).is_ok());
+}
+
+/// Timer-only protocol with long wake gaps: whole rounds pass with an
+/// empty active set (no mail, no due timers), on every execution strategy.
+struct PulseNode {
+    pulses_left: u32,
+    next_fire: u64,
+    digest: u64,
+}
+
+impl Protocol for PulseNode {
+    type Message = u32;
+
+    const SPARSE_AWARE: bool = true;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.pulses_left > 0 {
+            self.next_fire = ctx.round() + 4;
+            ctx.wake_in(4);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
+        for &(port, x) in inbox {
+            self.digest = self
+                .digest
+                .wrapping_mul(8_191)
+                .wrapping_add(((port as u64) << 32) | u64::from(x));
+        }
+        if self.pulses_left > 0 && ctx.round() == self.next_fire {
+            self.pulses_left -= 1;
+            let degree = ctx.degree();
+            let port = ctx.rng().random_range(0..degree);
+            ctx.send(port, self.pulses_left);
+            if self.pulses_left > 0 {
+                self.next_fire = ctx.round() + 4;
+                ctx.wake_in(4);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.pulses_left == 0
+    }
+}
+
+#[test]
+fn rounds_with_empty_active_sets_match_across_strategies() {
+    let g = generators::hypercube(4); // n = 16
+    let observe = |threads: usize, full_sweep: bool, placement: Option<Placement>| {
+        let nodes: Vec<PulseNode> = (0..g.len())
+            .map(|v| PulseNode {
+                pulses_left: if v % 4 == 0 { 3 } else { 0 },
+                next_fire: 0,
+                digest: 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes, 7)
+            .unwrap()
+            .with_trace(TraceConfig::default());
+        if let Some(p) = placement {
+            sim = sim.with_placement(p);
+        }
+        let cfg = RunConfig::all_done()
+            .with_threads(threads)
+            .with_full_sweep(full_sweep);
+        let m = sim.run(&cfg).unwrap();
+        let trace = sim.take_trace().unwrap();
+        let empty_rounds = trace.samples.iter().filter(|s| s.active_nodes == 0).count();
+        let digests: Vec<u64> = sim.nodes().iter().map(|p| p.digest).collect();
+        (m, digests, empty_rounds)
+    };
+    let (m_ref, d_ref, _) = observe(1, true, None);
+    let (m_seq, d_seq, empty_seq) = observe(1, false, None);
+    assert_eq!((&m_seq, &d_seq), (&m_ref, &d_ref));
+    assert!(
+        empty_seq > 0,
+        "the workload must produce rounds with an empty active set"
+    );
+    for threads in [2usize, 3, 4, 8] {
+        let (m, d, empty) = observe(threads, false, None);
+        assert_eq!((&m, &d), (&m_ref, &d_ref), "threads = {threads} diverged");
+        assert_eq!(empty, empty_seq, "empty-round count diverged");
+        let p = Placement::spectral(&g, threads, 200);
+        let (m, d, empty) = observe(threads, false, Some(p));
+        assert_eq!(
+            (&m, &d),
+            (&m_ref, &d_ref),
+            "spectral placement at threads = {threads} diverged"
+        );
+        assert_eq!(empty, empty_seq);
+    }
 }

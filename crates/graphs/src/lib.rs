@@ -20,7 +20,9 @@
 //!   spectral toolkit (second eigenvalue of the lazy-walk matrix by power
 //!   iteration).
 //! * [`partitioning`] — the Fiedler-vector sweep cut (the constructive side
-//!   of Cheeger's inequality), used to locate sparse cuts.
+//!   of Cheeger's inequality), used to locate sparse cuts, and the k-way
+//!   spectral [`partitioning::Placement`] consumed by the threaded CONGEST
+//!   executor to minimize cross-shard edges.
 //! * [`io`] — plain-text edge-list reading/writing (SNAP-style).
 //!
 //! All randomized constructions take an explicit [`rand::Rng`] so that every

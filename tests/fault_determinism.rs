@@ -8,7 +8,8 @@
 //! (walks and Borůvka MST), and the churned bit-fix router.
 
 use amt_core::congest::{
-    Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition, TrafficProfile,
+    Ctx, Metrics, Placement, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
+    TrafficProfile,
 };
 use amt_core::mst::healing::run_healing_churned;
 use amt_core::mst::{run_healing_instrumented, run_healing_with};
@@ -177,6 +178,49 @@ fn faulty_sim_runs_are_identical_across_threads_and_visit_order() {
             baseline,
             "threads {t}: faulty run diverged"
         );
+    }
+}
+
+/// Faulty runs under an explicit spectral node→shard placement: fault
+/// verdicts are keyed on message identity, so re-sharding the workers must
+/// not move a single fault relative to the single-worker run.
+#[test]
+fn faulty_sim_runs_are_identical_under_spectral_placements() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let g = generators::random_regular(64, 6, &mut rng).unwrap();
+    let plan = FaultPlan::none()
+        .seeded(23)
+        .with_drops(0.05)
+        .with_corruption(0.03)
+        .with_delays(0.1, 3)
+        .with_crash(NodeId(5), 4);
+    let baseline = chatter_run(&g, &plan, 1, false);
+    assert!(baseline.0.message_faults() > 0, "the plan must fire");
+    for t in &THREADS[1..] {
+        let nodes = (0..g.len())
+            .map(|_| Chatter {
+                rounds_left: 30,
+                checksum: 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes, 17)
+            .unwrap()
+            .with_fault_plan(plan.clone())
+            .with_placement(Placement::spectral(&g, *t, 200));
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(*t);
+        let metrics = sim.run(&cfg).unwrap();
+        let checksums: Vec<u64> = sim.nodes().iter().map(|c| c.checksum).collect();
+        let got = (
+            metrics,
+            sim.fault_events().to_vec(),
+            sim.crashed_nodes(),
+            checksums,
+        );
+        assert_eq!(got, baseline, "threads {t}: spectral placement diverged");
     }
 }
 

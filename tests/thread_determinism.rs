@@ -6,7 +6,7 @@
 //! loss pattern itself is part of the contract.
 
 use amt_core::congest::{
-    class, Ctx, Metrics, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
+    class, Ctx, Metrics, Placement, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
 };
 use amt_core::mst::congest_boruvka;
 use amt_core::prelude::*;
@@ -363,6 +363,65 @@ fn routing_runs_are_identical_across_thread_counts() {
             assert_eq!(mt, m1, "seed {seed}, threads {t}: metrics diverged");
             assert_eq!(st, s1, "seed {seed}, threads {t}: node state diverged");
         }
+    }
+}
+
+/// The routing workload under explicit node→shard placements: a spectral
+/// placement (and a deliberately non-monotone round-robin striping) changes
+/// which worker owns each node and the splice order the coordinator must
+/// undo, but placement is run configuration, not semantics — metrics and
+/// node state stay byte-identical to the single-worker run.
+#[test]
+fn routing_runs_are_identical_under_explicit_placements() {
+    let dim = 6;
+    let n = 1usize << dim;
+    let g = generators::hypercube(dim as u32);
+    let run = |seed: u64, threads: usize, placement: Option<Placement>| {
+        use rand::RngExt;
+        let mut wl = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let nodes = (0..n)
+            .map(|v| BitFixRouter {
+                me: v as u32,
+                packets: (0..4)
+                    .map(|_| wl.random_range(0..n as u64) as u32)
+                    .collect(),
+                delivered: 0,
+                checksum: 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes, seed).unwrap();
+        if let Some(p) = placement {
+            sim = sim.with_placement(p);
+        }
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(threads);
+        let m = sim.run(&cfg).unwrap();
+        let state: Vec<(u64, u64)> = sim
+            .nodes()
+            .iter()
+            .map(|p| (p.delivered, p.checksum))
+            .collect();
+        (m, state)
+    };
+    let seed = 3u64;
+    let baseline = run(seed, 1, None);
+    for t in &THREADS[1..] {
+        let spectral = Placement::spectral(&g, *t, 200);
+        assert_eq!(
+            run(seed, *t, Some(spectral)),
+            baseline,
+            "threads {t}: spectral placement diverged"
+        );
+        let stripes: Vec<u32> = (0..n as u32).map(|v| v % *t as u32).collect();
+        let striped = Placement::from_shard_of(stripes, *t).unwrap();
+        assert_eq!(
+            run(seed, *t, Some(striped)),
+            baseline,
+            "threads {t}: striped placement diverged"
+        );
     }
 }
 
