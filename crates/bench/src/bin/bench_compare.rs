@@ -9,9 +9,11 @@
 //!   max edge congestion, fault counters), all
 //!   `profiles.<bench>.<class>` per-class totals, all
 //!   `recovery.<bench>` reconvergence statistics (span counts,
-//!   time-to-reconverge percentiles), and all `shards.<bench>` intra/cross
-//!   placement-attribution counters must be identical: the simulator is
-//!   deterministic, so *any* drift is a behavior change;
+//!   time-to-reconverge percentiles), all `shards.<bench>` intra/cross
+//!   placement-attribution counters, and all `telemetry.<bench>`
+//!   execution-health counters (work totals and gauge high-water marks;
+//!   logical values only, by the telemetry contract) must be identical:
+//!   the simulator is deterministic, so *any* drift is a behavior change;
 //! * **wall-clock** — `phase_timings.wall.<bench>` may regress by at most
 //!   the tolerance (default 25%), **and** a regression only counts when
 //!   the absolute slowdown reaches the floor (default 5 ms): relative
@@ -99,7 +101,7 @@ fn gate(baseline: &Json, candidate: &Json, opts: &Opts) -> (Vec<String>, Vec<Str
     let mut notes = Vec::new();
 
     // Deterministic counters: exact equality, baseline drives the key set.
-    for section in ["metrics", "profiles", "recovery", "shards"] {
+    for section in ["metrics", "profiles", "recovery", "shards", "telemetry"] {
         let base = scalars(baseline, section);
         let cand = scalars(candidate, section);
         for (path, want) in &base {
@@ -306,6 +308,37 @@ mod tests {
         assert!(
             f.iter()
                 .any(|m| m.contains("shards.dumbbell/spectral.walk/token.cross_messages")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_counter_drift_is_exact() {
+        let tel_report = |wake_hwm: u64| {
+            parse(&format!(
+                r#"{{
+                    "telemetry": {{
+                        "mst/contiguous": {{
+                            "rounds": 40,
+                            "nodes_stepped": 5000,
+                            "messages_staged": 9000,
+                            "active_nodes_hwm": 256,
+                            "inbox_queued_hwm": 700,
+                            "staged_sends_hwm": 700,
+                            "wake_queue_hwm": {wake_hwm},
+                            "arena_bytes_hwm": 33600
+                        }}
+                    }}
+                }}"#
+            ))
+            .expect("valid synthetic json")
+        };
+        let base = tel_report(12);
+        assert!(failures(&base, &tel_report(12), &Opts::default()).is_empty());
+        let f = failures(&base, &tel_report(13), &Opts::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].contains("telemetry.mst/contiguous.wake_queue_hwm"),
             "{f:?}"
         );
     }

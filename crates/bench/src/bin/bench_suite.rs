@@ -1,5 +1,5 @@
 //! Canonical bench suite: pinned configurations of the flagship runs,
-//! written as a single schema-v4 report for the regression gate.
+//! written as a single schema-v5 report for the regression gate.
 //!
 //! Runs, with fully pinned seeds (so every counter is deterministic):
 //!
@@ -35,7 +35,13 @@
 //!   profile is then attributed to both placements at 4 shards (`shards`
 //!   report section, schema v4); on the dumbbell the spectral placement
 //!   must route a strictly smaller share of messages across shards than
-//!   the contiguous one (hard assert). `AMT_BENCH_SCALE_ONLY=1` runs just
+//!   the contiguous one (hard assert). Every run in the tier executes
+//!   with [`TelemetryConfig`] attached: the reference run's logical
+//!   execution-health counters (work totals and gauge high-water marks)
+//!   enter the gated `telemetry` report section (schema v5), and every
+//!   (threads, placement) configuration must reproduce them exactly —
+//!   telemetry is thread- and placement-invariant by contract (hard
+//!   assert). `AMT_BENCH_SCALE_ONLY=1` runs just
 //!   this tier — CI uses it to re-validate at `AMT_SIM_THREADS` 1 and 4.
 //!
 //! Output: `experiments_out/BENCH_<git-describe>.json` (override the stem
@@ -45,10 +51,11 @@
 //! for every bench. `bench_compare` diffs two such files and exits nonzero
 //! on drift.
 
+use amt_bench::scale::{scale_fleet, scaling_instances};
 use amt_bench::{expander, report::git_describe, scaled_levels, Report};
 use amt_core::congest::{
-    Ctx, Metrics, PhaseTimings, Placement, ProfileConfig, Protocol, RunConfig, Simulator,
-    TrafficClass, TrafficProfile,
+    Metrics, PhaseTimings, Placement, ProfileConfig, RunConfig, RunTelemetry, Simulator,
+    TelemetryConfig, TrafficProfile,
 };
 use amt_core::mst::congest_boruvka;
 use amt_core::prelude::*;
@@ -58,7 +65,7 @@ use amt_core::walks::healing::{
 };
 use amt_core::walks::WalkSpec;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// The e16 crash schedule: node 0 (the minimum-id fragment leader) first,
@@ -431,91 +438,10 @@ fn finish(bench: Bench) {
     report.phase_timings("throughput", &throughput);
     println!("\n(all counters are deterministic: compare two suite reports with");
     println!(" `bench_compare <baseline> <candidate>` — exact on rounds/messages/");
-    println!(" congestion/per-class totals and shard attribution, 25% tolerance");
-    println!(" with a 5 ms floor on wall-clock, and a lower bound on messages/sec");
-    println!(" for the long tiers)");
+    println!(" congestion/per-class totals, shard attribution, and telemetry");
+    println!(" gauges, 25% tolerance with a 5 ms floor on wall-clock, and a");
+    println!(" lower bound on messages/sec for the long tiers)");
     report.finish();
-}
-
-/// Scaling-tier workload: a `SPARSE_AWARE` mix of mail-driven random token
-/// forwarding (class `scale/token`) and timer-driven beacon bursts (class
-/// `scale/beacon`). Only a fraction of nodes is active in any round, so
-/// the threaded stepper's placement decides how much of the traffic
-/// crosses shard boundaries without changing a single observable bit.
-struct ScaleNode {
-    beacons_left: u32,
-    next_fire: u64,
-    digest: u64,
-}
-
-impl Protocol for ScaleNode {
-    type Message = u32;
-
-    const SPARSE_AWARE: bool = true;
-    const TRAFFIC_CLASS: TrafficClass = "scale/token";
-
-    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
-        // Chung–Lu instances may contain isolated nodes — they launch
-        // nothing (and can never receive anything).
-        let degree = ctx.degree();
-        if ctx.node().index() % 5 == 0 && degree > 0 {
-            let port = ctx.rng().random_range(0..degree);
-            ctx.send(port, 12);
-        }
-        if self.beacons_left > 0 {
-            self.next_fire = ctx.round() + 6;
-            ctx.wake_in(6);
-        }
-    }
-
-    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(usize, u32)]) {
-        let degree = ctx.degree();
-        // (port, hops, is_beacon); beacons are staged last so a token wins
-        // the one-message-per-port dedup deterministically.
-        let mut staged: Vec<(usize, u32, bool)> = Vec::new();
-        for &(port, hops) in inbox {
-            self.digest = self
-                .digest
-                .wrapping_mul(1_000_003)
-                .wrapping_add(((port as u64) << 32) | (u64::from(hops) + 1));
-            if hops > 0 && ctx.rng().random_bool(0.8) {
-                staged.push((ctx.rng().random_range(0..degree), hops - 1, false));
-            }
-        }
-        if self.beacons_left > 0 && ctx.round() == self.next_fire {
-            self.beacons_left -= 1;
-            for port in 0..degree {
-                staged.push((port, 3, true));
-            }
-            if self.beacons_left > 0 {
-                self.next_fire = ctx.round() + 6;
-                ctx.wake_in(6);
-            }
-        }
-        staged.sort_by_key(|&(p, _, _)| p);
-        staged.dedup_by_key(|&mut (p, _, _)| p);
-        for (port, hops, beacon) in staged {
-            if beacon {
-                ctx.send_classed(port, hops, "scale/beacon");
-            } else {
-                ctx.send(port, hops);
-            }
-        }
-    }
-
-    fn is_done(&self) -> bool {
-        self.beacons_left == 0
-    }
-}
-
-fn scale_fleet(n: usize) -> Vec<ScaleNode> {
-    (0..n)
-        .map(|v| ScaleNode {
-            beacons_left: if v % 32 == 0 { 3 } else { 0 },
-            next_fire: 0,
-            digest: 0,
-        })
-        .collect()
 }
 
 /// One scaling run; `threads: None` leaves the worker count to the run
@@ -524,10 +450,19 @@ fn scale_run(
     g: &Graph,
     threads: Option<usize>,
     placement: Option<Placement>,
-) -> (Metrics, Vec<u64>, TrafficProfile, std::time::Duration) {
+) -> (
+    Metrics,
+    Vec<u64>,
+    TrafficProfile,
+    RunTelemetry,
+    std::time::Duration,
+) {
     let mut sim = Simulator::new(g, scale_fleet(g.len()), 77)
         .expect("fleet size matches")
-        .with_profile(ProfileConfig::default());
+        .with_profile(ProfileConfig::default())
+        // Aggregates and high-water marks only: the tier gates the logical
+        // counters, not the per-round series.
+        .with_telemetry(TelemetryConfig::default().without_history());
     if let Some(p) = placement {
         sim = sim.with_placement(p);
     }
@@ -540,23 +475,8 @@ fn scale_run(
     let wall = t0.elapsed();
     let digests = sim.nodes().iter().map(|p| p.digest).collect();
     let profile = sim.take_profile().expect("profiling on");
-    (metrics, digests, profile, wall)
-}
-
-/// The dumbbell generator lays its two expander halves out contiguously
-/// (ids `0..k` and `k..2k`), which a contiguous placement splits for free.
-/// Interleaving the ids (`v < k → 2v`, else `2(v−k)+1`) makes contiguous
-/// sharding the worst case while a spectral placement can still recover
-/// the halves — the shape the tier's acceptance assert is about.
-fn interleaved_dumbbell(k: usize, d: usize, bridges: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let g = generators::dumbbell_expanders(k, d, bridges, &mut rng).expect("valid dumbbell");
-    let relabel = |v: usize| if v < k { 2 * v } else { 2 * (v - k) + 1 };
-    let mut b = GraphBuilder::new(2 * k);
-    for (_, u, v) in g.edges() {
-        b.add_edge(relabel(u.index()), relabel(v.index()));
-    }
-    b.build()
+    let telemetry = sim.take_telemetry().expect("telemetry on");
+    (metrics, digests, profile, telemetry, wall)
 }
 
 /// The placement-aware scaling tier: three pinned 2048-node instances ×
@@ -570,16 +490,7 @@ fn scaling_tier(bench: &mut Bench) {
     const SPECTRAL_ITERS: usize = 120;
     let thread_counts = [1usize, 2, 4, 8, 16];
 
-    let chung_lu = {
-        let weights: Vec<f64> = (0..2048).map(|v| 8.0 / ((v + 1) as f64).sqrt()).collect();
-        let mut rng = StdRng::seed_from_u64(6);
-        generators::chung_lu(&weights, &mut rng).expect("valid weights")
-    };
-    let instances: Vec<(&'static str, Graph)> = vec![
-        ("scale_expander_n2048", expander(2048, 6, 1)),
-        ("scale_dumbbell_n2048", interleaved_dumbbell(1024, 6, 4, 5)),
-        ("scale_chunglu_n2048", chung_lu),
-    ];
+    let instances = scaling_instances();
 
     struct TierResult {
         name: &'static str,
@@ -589,11 +500,24 @@ fn scaling_tier(bench: &mut Bench) {
     }
     let mut results: Vec<TierResult> = Vec::new();
 
+    // The thread- and placement-invariant view of a run's telemetry: the
+    // per-shard vectors legitimately reshape with the worker count, but
+    // their totals and every gauge high-water mark may not move.
+    let invariants = |t: &RunTelemetry| {
+        (
+            t.rounds,
+            t.hwm,
+            t.shard_nodes_stepped.iter().sum::<u64>(),
+            t.shard_messages_staged.iter().sum::<u64>(),
+        )
+    };
+
     for (name, g) in &instances {
         // Reference run at the default worker count: the one whose
-        // metrics/profile enter the gated report sections.
-        let (metrics, digests, profile, wall) = scale_run(g, None, None);
+        // metrics/profile/telemetry enter the gated report sections.
+        let (metrics, digests, profile, telemetry, wall) = scale_run(g, None, None);
         bench.record(name, &metrics, Some(&profile), wall);
+        bench.report.telemetry(name, &telemetry);
 
         let mut wall_rows = Vec::new();
         for &threads in &thread_counts {
@@ -610,11 +534,16 @@ fn scaling_tier(bench: &mut Bench) {
                 ]
             };
             for (kind, placement) in placements {
-                let (m, d, p, w) = scale_run(g, Some(threads), placement);
+                let (m, d, p, t, w) = scale_run(g, Some(threads), placement);
                 assert_eq!(
                     (&m, &d, &p),
                     (&metrics, &digests, &profile),
                     "{name}: observables drifted at threads = {threads}, {kind} placement"
+                );
+                assert_eq!(
+                    invariants(&t),
+                    invariants(&telemetry),
+                    "{name}: telemetry gauges drifted at threads = {threads}, {kind} placement"
                 );
                 let label: &'static str =
                     Box::leak(format!("{name}_t{threads}_{kind}").into_boxed_str());

@@ -14,6 +14,7 @@
 //! exercised in every crashing cell.
 
 use amt_bench::{expander, Report};
+use amt_core::congest::PhaseTimings;
 use amt_core::mst::{healing as mst_healing, reference, MstError};
 use amt_core::prelude::*;
 use amt_core::walks::{run_walks_healing, run_walks_healing_threaded, WalkKind, WalkSpec};
@@ -197,12 +198,22 @@ fn threads_table(report: &mut Report) {
 
     let mut walks_base: Option<(f64, amt_core::walks::HealedWalkRun)> = None;
     let mut mst_base: Option<(f64, mst_healing::HealedMstOutcome)> = None;
+    // Walls from this sweep and a repeat sweep; compared at the end with
+    // the tolerance-based `PhaseTimings::close_to` (its `Eq` is vacuous).
+    let mut sweep = PhaseTimings::new();
+    let mut resweep = PhaseTimings::new();
     for &threads in &[1usize, 2, 4, 8] {
         let t0 = std::time::Instant::now();
         let walks =
             run_walks_healing_threaded(&g, WalkKind::Lazy, &specs, 11, plan.clone(), threads)
                 .unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        run_walks_healing_threaded(&g, WalkKind::Lazy, &specs, 11, plan.clone(), threads).unwrap();
+        let ms2 = t1.elapsed().as_secs_f64() * 1e3;
+        let walks_label: &'static str = Box::leak(format!("walks_t{threads}").into_boxed_str());
+        sweep.record_nanos(walks_label, (ms * 1e6) as u64);
+        resweep.record_nanos(walks_label, (ms2 * 1e6) as u64);
         let (speedup, identical) = match &walks_base {
             None => (1.0, true),
             Some((base_ms, base)) => (
@@ -226,6 +237,12 @@ fn threads_table(report: &mut Report) {
         let t0 = std::time::Instant::now();
         let mst = mst_healing::run_healing_with(&wg, 11 ^ 0xE16, plan.clone(), threads).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        mst_healing::run_healing_with(&wg, 11 ^ 0xE16, plan.clone(), threads).unwrap();
+        let ms2 = t1.elapsed().as_secs_f64() * 1e3;
+        let mst_label: &'static str = Box::leak(format!("mst_t{threads}").into_boxed_str());
+        sweep.record_nanos(mst_label, (ms * 1e6) as u64);
+        resweep.record_nanos(mst_label, (ms2 * 1e6) as u64);
         let (speedup, identical) = match &mst_base {
             None => (1.0, true),
             Some((base_ms, base)) => (
@@ -250,4 +267,10 @@ fn threads_table(report: &mut Report) {
     println!(" outcome, metrics, and fault counters are byte-identical at every");
     println!(" thread count because fault verdicts are keyed on message identity,");
     println!(" not arrival order)");
+    println!(
+        "(wall repeatability: a second identical sweep agrees to within a\n\
+         10x factor on every cell: {} — compared via PhaseTimings::close_to,\n\
+         since `==` on wall timings is intentionally vacuous)",
+        sweep.close_to(&resweep, 0.9)
+    );
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod scale;
 
 pub use report::Report;
 

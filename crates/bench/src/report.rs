@@ -15,7 +15,9 @@
 //! validator can check *files on disk* — what CI consumes — rather than
 //! in-memory values that never saw the encoder.
 
-use amt_congest::{Metrics, PhaseTimings, RecoveryTimeline, RunTrace, ShardSplit, TrafficProfile};
+use amt_congest::{
+    Metrics, PhaseTimings, RecoveryTimeline, RunTelemetry, RunTrace, ShardSplit, TrafficProfile,
+};
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -37,7 +39,15 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 ///   (`shards.<name>.{shards,intra_messages,cross_messages,intra_bits,
 ///   cross_bits}` plus one nested `shards.<name>.<class>.{…}` object per
 ///   traffic class) recorded with [`Report::shards`].
-pub const SCHEMA_VERSION: u64 = 4;
+/// * **5** — adds the required `telemetry` section: execution-health
+///   counters of a [`RunTelemetry`]
+///   (`telemetry.<name>.{rounds,nodes_stepped,messages_staged,
+///   active_nodes_hwm,inbox_queued_hwm,staged_sends_hwm,wake_queue_hwm,
+///   arena_bytes_hwm}`) recorded with [`Report::telemetry`]; timeline
+///   entries additionally carry `edge_load_stride` and, whenever snapshots
+///   were recorded, a `final_snapshot_round` that must equal `rounds` (the
+///   final-round-snapshot guarantee).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`validate`] still accepts; committed version-1
 /// artifacts stay valid (they simply predate the `profiles` section).
@@ -490,6 +500,68 @@ pub fn validate(root: &Json) -> Result<(), String> {
             }
         }
     }
+    if version >= 5 {
+        // Final-round-snapshot guarantee: a timeline that recorded strided
+        // snapshots must say which round closed the series, and it must be
+        // the run's final round.
+        if let Some(Json::Obj(timelines)) = root.get("timelines") {
+            for (name, entry) in timelines {
+                let snapshots = match entry.get("snapshots") {
+                    Some(Json::Num(v)) => *v,
+                    _ => 0.0,
+                };
+                if snapshots > 0.0 {
+                    match (entry.get("final_snapshot_round"), entry.get("rounds")) {
+                        (Some(Json::Num(last)), Some(Json::Num(rounds))) if last == rounds => {}
+                        (Some(Json::Num(last)), Some(Json::Num(rounds))) => {
+                            return Err(format!(
+                                "timelines.{name}: final snapshot at round {last} but the run \
+                                 ended at round {rounds}"
+                            ))
+                        }
+                        _ => {
+                            return Err(format!(
+                                "timelines.{name}: snapshots recorded but no \
+                                 final_snapshot_round (required from schema 5)"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        let Some(Json::Obj(telemetry)) = root.get("telemetry") else {
+            return Err("telemetry must be an object (required from schema 5)".to_string());
+        };
+        for (name, entry) in telemetry {
+            let Json::Obj(fields) = entry else {
+                return Err(format!("telemetry.{name} must be an object"));
+            };
+            for key in [
+                "rounds",
+                "nodes_stepped",
+                "messages_staged",
+                "active_nodes_hwm",
+                "inbox_queued_hwm",
+                "staged_sends_hwm",
+                "wake_queue_hwm",
+                "arena_bytes_hwm",
+            ] {
+                match entry.get(key) {
+                    Some(Json::Num(v)) if *v >= 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "telemetry.{name}.{key} must be a non-negative number"
+                        ))
+                    }
+                }
+            }
+            for (k, v) in fields {
+                if !matches!(v, Json::Num(_)) {
+                    return Err(format!("telemetry.{name}.{k} must be a number"));
+                }
+            }
+        }
+    }
     if version >= 2 {
         let Some(Json::Obj(profiles)) = root.get("profiles") else {
             return Err("profiles must be an object (required from schema 2)".to_string());
@@ -607,6 +679,7 @@ pub struct Report {
     profiles: Vec<(String, Json)>,
     recovery: Vec<(String, Json)>,
     shards: Vec<(String, Json)>,
+    telemetry: Vec<(String, Json)>,
 }
 
 impl Report {
@@ -625,6 +698,7 @@ impl Report {
             profiles: Vec::new(),
             recovery: Vec::new(),
             shards: Vec::new(),
+            telemetry: Vec::new(),
         }
     }
 
@@ -722,21 +796,26 @@ impl Report {
     /// the per-round samples and event/snapshot stream sizes).
     pub fn timeline(&mut self, name: &str, trace: &RunTrace) {
         let m = trace.reconstruct_metrics();
-        self.timelines.push((
-            name.to_string(),
-            Json::Obj(vec![
-                ("rounds".into(), m.rounds.into()),
-                ("samples".into(), trace.samples.len().into()),
-                ("events".into(), trace.events.len().into()),
-                ("snapshots".into(), trace.snapshots.len().into()),
-                ("messages".into(), m.messages.into()),
-                ("bits".into(), m.bits.into()),
-                (
-                    "peak_messages_per_round".into(),
-                    m.peak_messages_per_round.into(),
-                ),
-            ]),
-        ));
+        let mut fields: Vec<(String, Json)> = vec![
+            ("rounds".into(), m.rounds.into()),
+            ("samples".into(), trace.samples.len().into()),
+            ("events".into(), trace.events.len().into()),
+            ("snapshots".into(), trace.snapshots.len().into()),
+            ("edge_load_stride".into(), trace.edge_load_stride.into()),
+            ("messages".into(), m.messages.into()),
+            ("bits".into(), m.bits.into()),
+            (
+                "peak_messages_per_round".into(),
+                m.peak_messages_per_round.into(),
+            ),
+        ];
+        // Schema 5 pins the final-round-snapshot guarantee: when the run
+        // recorded any snapshots, the last one must be at the final round,
+        // and the validator checks `final_snapshot_round == rounds`.
+        if let Some(last) = trace.snapshots.last() {
+            fields.push(("final_snapshot_round".into(), last.round.into()));
+        }
+        self.timelines.push((name.to_string(), Json::Obj(fields)));
     }
 
     /// Records a named [`TrafficProfile`] as per-class message/bit totals
@@ -806,6 +885,36 @@ impl Report {
         self.shards.push((name.to_string(), Json::Obj(fields)));
     }
 
+    /// Records a named [`RunTelemetry`] as execution-health counters (the
+    /// `telemetry` section, schema version 5). Logical counters only — per
+    /// the telemetry contract they are thread-count- and
+    /// placement-invariant, so the regression gate compares exact integers
+    /// across worker counts. Per-shard wall-clock detail (straggler
+    /// attribution, imbalance) is host measurement and deliberately stays
+    /// out of the report; it lives in `sim_health` output, flight-recorder
+    /// dumps, and the NDJSON stream.
+    pub fn telemetry(&mut self, name: &str, t: &RunTelemetry) {
+        self.telemetry.push((
+            name.to_string(),
+            Json::Obj(vec![
+                ("rounds".into(), t.rounds.into()),
+                (
+                    "nodes_stepped".into(),
+                    t.shard_nodes_stepped.iter().sum::<u64>().into(),
+                ),
+                (
+                    "messages_staged".into(),
+                    t.shard_messages_staged.iter().sum::<u64>().into(),
+                ),
+                ("active_nodes_hwm".into(), t.hwm.active_nodes.into()),
+                ("inbox_queued_hwm".into(), t.hwm.inbox_queued.into()),
+                ("staged_sends_hwm".into(), t.hwm.staged_sends.into()),
+                ("wake_queue_hwm".into(), t.hwm.wake_queue.into()),
+                ("arena_bytes_hwm".into(), t.hwm.arena_bytes.into()),
+            ]),
+        ));
+    }
+
     fn to_json(&self) -> Json {
         let created = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -859,6 +968,7 @@ impl Report {
             ("profiles".into(), Json::Obj(self.profiles.clone())),
             ("recovery".into(), Json::Obj(self.recovery.clone())),
             ("shards".into(), Json::Obj(self.shards.clone())),
+            ("telemetry".into(), Json::Obj(self.telemetry.clone())),
         ])
     }
 
@@ -928,6 +1038,25 @@ mod tests {
         t.record_nanos("prep", 1234);
         r.phase_timings("router", &t);
         r.timeline("run", &RunTrace::default());
+        let mut traced = RunTrace {
+            edge_load_stride: 2,
+            ..RunTrace::default()
+        };
+        traced.samples.push(amt_congest::RoundSample {
+            round: 3,
+            messages: 5,
+            bits: 50,
+            ..Default::default()
+        });
+        traced.snapshots.push(amt_congest::trace::EdgeLoadSnapshot {
+            round: 2,
+            load: vec![1, 2],
+        });
+        traced.snapshots.push(amt_congest::trace::EdgeLoadSnapshot {
+            round: 3,
+            load: vec![2, 3],
+        });
+        r.timeline("snapshotted", &traced);
         let mut tp = TrafficProfile::empty(2);
         tp.per_class.push(amt_congest::ClassStats {
             class: amt_congest::class::WALK_TOKEN,
@@ -944,6 +1073,21 @@ mod tests {
         tl.record_recovery(10);
         tl.record_damage(20);
         r.recovery("run", &tl);
+        let telemetry = RunTelemetry {
+            shards: 2,
+            rounds: 10,
+            hwm: amt_congest::GaugeHighWater {
+                active_nodes: 64,
+                inbox_queued: 32,
+                staged_sends: 48,
+                wake_queue: 4,
+                arena_bytes: 4096,
+            },
+            shard_nodes_stepped: vec![30, 34],
+            shard_messages_staged: vec![17, 23],
+            ..RunTelemetry::default()
+        };
+        r.telemetry("run", &telemetry);
         r
     }
 
@@ -990,6 +1134,19 @@ mod tests {
             .get("walk/token")
             .expect("per-class split survives the round trip");
         assert_eq!(class.get("cross_bits"), Some(&Json::Num(20.0)));
+        let tel = parsed
+            .get("telemetry")
+            .and_then(|t| t.get("run"))
+            .expect("telemetry section survives the round trip");
+        assert_eq!(tel.get("nodes_stepped"), Some(&Json::Num(64.0)));
+        assert_eq!(tel.get("messages_staged"), Some(&Json::Num(40.0)));
+        assert_eq!(tel.get("arena_bytes_hwm"), Some(&Json::Num(4096.0)));
+        let snap = parsed
+            .get("timelines")
+            .and_then(|t| t.get("snapshotted"))
+            .expect("snapshotted timeline survives the round trip");
+        assert_eq!(snap.get("edge_load_stride"), Some(&Json::Num(2.0)));
+        assert_eq!(snap.get("final_snapshot_round"), Some(&Json::Num(3.0)));
     }
 
     #[test]
@@ -1002,7 +1159,9 @@ mod tests {
         // A version-1 document legitimately has no profiles section.
         let mut v1: Vec<_> = pairs
             .iter()
-            .filter(|(k, _)| k != "profiles" && k != "recovery" && k != "shards")
+            .filter(|(k, _)| {
+                k != "profiles" && k != "recovery" && k != "shards" && k != "telemetry"
+            })
             .cloned()
             .collect();
         v1[0].1 = Json::Num(1.0);
@@ -1119,6 +1278,88 @@ mod tests {
             }
         }
         assert!(validate(&Json::Obj(bad_class)).is_err());
+    }
+
+    #[test]
+    fn validator_is_version_aware_about_telemetry() {
+        let good = sample_report().to_json();
+        let Json::Obj(pairs) = &good else {
+            unreachable!()
+        };
+
+        // A version-4 document legitimately has no telemetry section.
+        let mut v4: Vec<_> = pairs
+            .iter()
+            .filter(|(k, _)| k != "telemetry")
+            .cloned()
+            .collect();
+        v4[0].1 = Json::Num(4.0);
+        validate(&Json::Obj(v4.clone())).expect("v4 without telemetry is valid");
+
+        // The same document claiming version 5 must carry the section.
+        let mut v5_missing = v4;
+        v5_missing[0].1 = Json::Num(5.0);
+        assert!(validate(&Json::Obj(v5_missing)).is_err());
+
+        // A telemetry entry missing a required gauge is caught.
+        let mut bad = pairs.clone();
+        for (k, v) in &mut bad {
+            if k == "telemetry" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![("rounds".into(), 10u64.into())]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(bad)).is_err());
+    }
+
+    #[test]
+    fn validator_enforces_final_snapshot_round_from_v5() {
+        let good = sample_report().to_json();
+        let Json::Obj(pairs) = &good else {
+            unreachable!()
+        };
+
+        // A snapshotted timeline whose last snapshot is not the final round
+        // violates the PR 5 guarantee — rejected at schema 5...
+        let mut torn = pairs.clone();
+        for (k, v) in &mut torn {
+            if k == "timelines" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![
+                        ("rounds".into(), 10u64.into()),
+                        ("snapshots".into(), 2u64.into()),
+                        ("final_snapshot_round".into(), 8u64.into()),
+                    ]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(torn.clone())).is_err());
+
+        // ...as is one that recorded snapshots but never said where the
+        // series ended.
+        let mut silent = pairs.clone();
+        for (k, v) in &mut silent {
+            if k == "timelines" {
+                *v = Json::Obj(vec![(
+                    "run".into(),
+                    Json::Obj(vec![
+                        ("rounds".into(), 10u64.into()),
+                        ("snapshots".into(), 2u64.into()),
+                    ]),
+                )]);
+            }
+        }
+        assert!(validate(&Json::Obj(silent)).is_err());
+
+        // Pre-5 artifacts predate the key; the same shape claiming v4 is
+        // untouched by the check.
+        let mut v4 = torn;
+        v4[0].1 = Json::Num(4.0);
+        let v4: Vec<_> = v4.into_iter().filter(|(k, _)| k != "telemetry").collect();
+        validate(&Json::Obj(v4)).expect("v4 is exempt from the snapshot check");
     }
 
     #[test]

@@ -36,6 +36,15 @@
 //!   and `(class, edge)`, with hot-edge analysis ([`CongestionProfile`]).
 //!   Same zero-cost-when-off contract as [`trace`]; per-class totals sum
 //!   exactly to the run's [`Metrics`] and per-edge loads.
+//! * [`telemetry`] — opt-in runtime-execution health ([`RunTelemetry`]):
+//!   per-shard step wall-times with straggler attribution (imbalance =
+//!   max/mean shard wall), engine gauges (active-set occupancy, inbox /
+//!   staged-send / wake-queue depth, arena byte high-water marks), a
+//!   fixed-capacity flight recorder holding the last K rounds (dumped to
+//!   `flightrec_<id>.json` when a run errors), and an optional NDJSON
+//!   live-stream sink. Logical counters are thread-count- and
+//!   placement-invariant; wall-times are host measurements outside the
+//!   determinism contract. Same zero-cost-when-off contract as [`trace`].
 //!
 //! Determinism: every node owns a private RNG stream derived from
 //! `(run seed, node id)` and handed to protocols through [`Ctx::rng`], and
@@ -56,6 +65,7 @@ pub mod churn;
 pub mod faults;
 pub mod primitives;
 pub mod profile;
+pub mod telemetry;
 pub mod trace;
 
 pub use amt_graphs::partitioning::Placement;
@@ -70,6 +80,10 @@ pub use profile::{
     TrafficClass, TrafficProfile,
 };
 pub use sim::{Ctx, Protocol, RunConfig, Simulator, StopCondition};
+pub use telemetry::{
+    dump_flight, render_flight_dump, FlightFrame, FlightRecorder, GaugeHighWater, RoundHealth,
+    RunTelemetry, ShardRoundSample, TelemetryConfig,
+};
 pub use trace::{
     Distribution, PhaseTimings, RecoveryTimeline, RoundSample, RunTrace, TraceConfig, TraceEvent,
 };

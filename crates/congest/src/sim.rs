@@ -56,6 +56,9 @@
 use crate::churn::{ChurnEvent, ChurnHook, ChurnPlan, ChurnSchedule, ChurnState, NoChurn};
 use crate::faults::{Fate, FaultEvent, FaultHook, FaultKind, FaultPlan, FaultState, NoFaults};
 use crate::profile::{class, ProfileConfig, TrafficClass, TrafficProfile};
+use crate::telemetry::{
+    RoundHealth, RunTelemetry, ShardRoundSample, TelemetryConfig, TelemetryState,
+};
 use crate::trace::{EdgeLoadSnapshot, RoundSample, RunTrace, TraceConfig, TraceEvent};
 use crate::{bits_for_count, CongestError, CongestMessage, Metrics, Result};
 use amt_graphs::partitioning::Placement;
@@ -857,6 +860,11 @@ struct StepOutcome {
 /// ascending node order. The two implementations — in-place sequential and
 /// sharded threaded — are interchangeable under the determinism contract;
 /// everything else about a round lives in [`round_engine`].
+///
+/// `shards` is the telemetry sample sink: `None` (telemetry off) costs one
+/// branch; when `Some`, the stepper appends one [`ShardRoundSample`] per
+/// executor shard (a single shard 0 for the sequential stepper) with the
+/// shard's step wall-time and work counters.
 trait RoundStepper<M> {
     fn step(
         &mut self,
@@ -865,6 +873,7 @@ trait RoundStepper<M> {
         inbox: &InboxArena<M>,
         out: &mut StepOut<M>,
         events: Option<&mut Vec<TraceEvent>>,
+        shards: Option<&mut Vec<ShardRoundSample>>,
     ) -> StepOutcome;
 }
 
@@ -952,7 +961,11 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
         inbox: &InboxArena<P::Message>,
         out: &mut StepOut<P::Message>,
         mut events: Option<&mut Vec<TraceEvent>>,
+        shards: Option<&mut Vec<ShardRoundSample>>,
     ) -> StepOutcome {
+        // Wall-clock only ticks when telemetry asked for samples; the off
+        // path is byte-identical (one branch).
+        let step_start = shards.as_ref().map(|_| std::time::Instant::now());
         let mut violation: Option<CongestError> = None;
         if !self.reverse {
             let mut ri = 0usize;
@@ -1017,6 +1030,16 @@ impl<P: Protocol> RoundStepper<P::Message> for InlineStepper<'_, P> {
             debug_assert_eq!(ri, 0, "every inbox group had an active receiver");
             out.canonicalize_reversed();
         }
+        if let Some(samples) = shards {
+            samples.push(ShardRoundSample {
+                shard: 0,
+                wall_nanos: step_start.map_or(0, |t| {
+                    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+                }),
+                nodes_stepped: out.stepped,
+                messages_staged: out.slab.len() as u64,
+            });
+        }
         StepOutcome {
             violation,
             aborted: false,
@@ -1036,6 +1059,10 @@ struct RoundJob<M> {
     inbox_slab: Vec<(usize, M)>,
     out: StepOut<M>,
     events: Vec<TraceEvent>,
+    /// Wall-clock nanoseconds the worker spent stepping this job's nodes,
+    /// stamped only when telemetry is on (0 otherwise). Host observability
+    /// metadata — never feeds an observable.
+    wall_nanos: u64,
 }
 
 impl<M> Default for RoundJob<M> {
@@ -1047,6 +1074,7 @@ impl<M> Default for RoundJob<M> {
             inbox_slab: Vec::new(),
             out: StepOut::default(),
             events: Vec::new(),
+            wall_nanos: 0,
         }
     }
 }
@@ -1090,6 +1118,7 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<'_, M> {
         inbox: &InboxArena<M>,
         out: &mut StepOut<M>,
         mut events: Option<&mut Vec<TraceEvent>>,
+        shards: Option<&mut Vec<ShardRoundSample>>,
     ) -> StepOutcome {
         let workers = self.job_txs.len();
         let mut jobs: Vec<RoundJob<M>> = self
@@ -1144,6 +1173,19 @@ impl<M: CongestMessage> RoundStepper<M> for ThreadedStepper<'_, M> {
                 }
             }
             self.stash[reply.worker] = Some(reply.job);
+        }
+        // Telemetry samples must be drawn *before* the splice-back below:
+        // the monotone concat zeroes `stepped` and drains the slabs.
+        if let Some(samples) = shards {
+            for (w, slot) in self.stash.iter().enumerate() {
+                let job = slot.as_ref().expect("every worker replied");
+                samples.push(ShardRoundSample {
+                    shard: w as u32,
+                    wall_nanos: job.wall_nanos,
+                    nodes_stepped: job.out.stepped,
+                    messages_staged: job.out.slab.len() as u64,
+                });
+            }
         }
         if self.monotone {
             // Worker order IS ascending node order: concatenate.
@@ -1285,6 +1327,8 @@ fn round_engine<M, S, H, C>(
     trace_out: &mut Option<RunTrace>,
     profile_cfg: Option<ProfileConfig>,
     profile_out: &mut Option<TrafficProfile>,
+    telemetry_cfg: Option<&TelemetryConfig>,
+    telemetry_out: &mut Option<RunTelemetry>,
 ) -> Result<Metrics>
 where
     M: CongestMessage,
@@ -1310,11 +1354,28 @@ where
         ..
     } = scratch;
     let mut metrics = Metrics::default();
-    let mut trace = trace_cfg.map(|tc| (tc, RunTrace::default()));
+    let mut trace = trace_cfg.map(|tc| {
+        (
+            tc,
+            RunTrace {
+                edge_load_stride: tc.edge_load_stride,
+                ..RunTrace::default()
+            },
+        )
+    });
     // The profiler records at the delivery points below — the same events
     // that drive `metrics.messages`/`bits` and `edge_load` — so per-class
     // totals sum exactly to the undifferentiated counters.
     let mut profile = profile_cfg.map(|_| TrafficProfile::new(edge_load.len()));
+    // Telemetry recording state plus the per-round shard-sample scratch the
+    // stepper fills; `None` (the default) costs a handful of branches per
+    // round and leaves every observable byte-identical.
+    let mut telemetry = telemetry_cfg.map(|tc| {
+        (
+            TelemetryState::new(tc.clone()),
+            Vec::<ShardRoundSample>::new(),
+        )
+    });
     let mut result: Result<Metrics> = Err(CongestError::RoundLimitExceeded {
         max_rounds: cfg.max_rounds,
     });
@@ -1393,6 +1454,7 @@ where
             cur,
             out,
             trace.as_mut().map(|(_, t)| &mut t.events),
+            telemetry.as_mut().map(|(_, samples)| samples),
         );
         if outcome.aborted {
             // The placeholder round-limit error is never observed: the
@@ -1419,6 +1481,22 @@ where
                 timers.entry(r).or_default().push(v);
             }
         }
+        // Gauge sampling point: the inbox arena still holds this round's
+        // mail and the staged sends have not been drained by the merge yet,
+        // so every depth below is the round's true occupancy. All logical
+        // (element counts, not allocator capacities) — identical across
+        // thread counts, placements, and engines.
+        let mut health = telemetry.as_mut().map(|(_, shard_samples)| RoundHealth {
+            round,
+            active_nodes: active_list.len() as u64,
+            inbox_queued: cur.slab.len() as u64,
+            staged_sends: out.slab.len() as u64,
+            wake_queue: timers.values().map(|v| v.len() as u64).sum(),
+            arena_bytes: (cur.slab.len() * std::mem::size_of::<(usize, M)>()
+                + out.slab.len() * std::mem::size_of::<(u32, TrafficClass, M)>()
+                + held.len() * std::mem::size_of::<Held<M>>()) as u64,
+            shards: std::mem::take(shard_samples),
+        });
         // Ordered merge with per-message fault sampling: ascending
         // (sender, port), whatever order or thread staged the sends.
         let mut delivered = 0u64;
@@ -1548,30 +1626,40 @@ where
         std::mem::swap(held, held_next);
         metrics.messages += delivered;
         metrics.peak_messages_per_round = metrics.peak_messages_per_round.max(delivered);
+        // One round sample feeds both the trace timeline and the telemetry
+        // flight recorder; computed iff either consumer is attached.
+        let sample = (trace.is_some() || telemetry.is_some()).then(|| RoundSample {
+            round,
+            messages: delivered,
+            bits: metrics.bits - round_start.bits,
+            dropped: metrics.dropped - round_start.dropped,
+            corrupted: metrics.corrupted - round_start.corrupted,
+            delayed: metrics.delayed - round_start.delayed,
+            lost_to_crash: metrics.lost_to_crash - round_start.lost_to_crash,
+            crashed: metrics.crashed - round_start.crashed,
+            lost_to_churn: metrics.lost_to_churn - round_start.lost_to_churn,
+            restarts: metrics.restarts - round_start.restarts,
+            // Availability gauge: fault crash-stops are permanent, so
+            // the cumulative count is exactly "down now"; churn outages
+            // are read off the schedule for this round.
+            nodes_down: metrics.crashed + churn.down_count(round),
+            active_nodes: out.stepped,
+        });
         if let Some((tc, t)) = trace.as_mut() {
-            t.samples.push(RoundSample {
-                round,
-                messages: delivered,
-                bits: metrics.bits - round_start.bits,
-                dropped: metrics.dropped - round_start.dropped,
-                corrupted: metrics.corrupted - round_start.corrupted,
-                delayed: metrics.delayed - round_start.delayed,
-                lost_to_crash: metrics.lost_to_crash - round_start.lost_to_crash,
-                crashed: metrics.crashed - round_start.crashed,
-                lost_to_churn: metrics.lost_to_churn - round_start.lost_to_churn,
-                restarts: metrics.restarts - round_start.restarts,
-                // Availability gauge: fault crash-stops are permanent, so
-                // the cumulative count is exactly "down now"; churn outages
-                // are read off the schedule for this round.
-                nodes_down: metrics.crashed + churn.down_count(round),
-                active_nodes: out.stepped,
-            });
+            t.samples
+                .push(sample.expect("sample computed when tracing"));
             if tc.edge_load_stride > 0 && round % tc.edge_load_stride == 0 {
                 t.snapshots.push(EdgeLoadSnapshot {
                     round,
                     load: edge_load.to_vec(),
                 });
             }
+        }
+        if let Some((ts, _)) = telemetry.as_mut() {
+            ts.record_round(
+                sample.expect("sample computed when telemetry is on"),
+                health.take().expect("health captured when telemetry is on"),
+            );
         }
         // Group this round's deliveries into next round's inbox arena and
         // swap it in (the consumed arena becomes the next grouping target).
@@ -1607,6 +1695,9 @@ where
     }
     *trace_out = trace.map(|(_, t)| t);
     *profile_out = profile;
+    // Recorded telemetry is handed back even (especially) when the run
+    // errored: the flight recorder's last K rounds are the post-mortem.
+    *telemetry_out = telemetry.map(|(ts, _)| ts.finish());
     result
 }
 
@@ -1672,6 +1763,12 @@ pub struct Simulator<'g, P: Protocol> {
     profile_cfg: Option<ProfileConfig>,
     /// Profile recorded by the most recent [`Self::run`] (when enabled).
     profile: Option<TrafficProfile>,
+    /// Runtime-execution telemetry request; `None` (the default) records
+    /// nothing and leaves every path byte-identical to an uninstrumented
+    /// run.
+    telemetry_cfg: Option<TelemetryConfig>,
+    /// Telemetry recorded by the most recent [`Self::run`] (when enabled).
+    telemetry: Option<RunTelemetry>,
     /// Explicit node→shard placement for the threaded executor; `None`
     /// (the default) shards into contiguous id chunks.
     placement: Option<Placement>,
@@ -1709,6 +1806,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             trace: None,
             profile_cfg: None,
             profile: None,
+            telemetry_cfg: None,
+            telemetry: None,
             placement: None,
         })
     }
@@ -1775,6 +1874,57 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// Takes ownership of the most recent run's traffic profile.
     pub fn take_profile(&mut self) -> Option<TrafficProfile> {
         self.profile.take()
+    }
+
+    /// Enables runtime-execution telemetry for every subsequent
+    /// [`Self::run`]: per-shard step wall-times and work counters, engine
+    /// gauges (active-set occupancy, inbox/staged depths, wake-queue depth,
+    /// arena bytes), a fixed-capacity flight recorder of the last K rounds,
+    /// and optional NDJSON streaming ([`TelemetryConfig::stream_to`]).
+    ///
+    /// Same contract as [`Self::with_trace`] / [`Self::with_profile`]:
+    /// recording never changes observable behavior — `Metrics`, protocol
+    /// state, RNG streams, traces, and profiles are byte-identical with
+    /// telemetry on or off, on every execution path. When a run ends in an
+    /// error the flight recorder is automatically dumped to
+    /// `experiments_out/flightrec_<run_id>.json` (see
+    /// [`crate::telemetry::dump_flight`]); call
+    /// [`Self::dump_flight_recorder`] for degraded-but-successful outcomes.
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry_cfg = Some(cfg);
+        self
+    }
+
+    /// The telemetry recorded by the most recent [`Self::run`], if enabled.
+    /// A run aborted by an error keeps everything recorded up to the abort.
+    pub fn telemetry(&self) -> Option<&RunTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Takes ownership of the most recent run's telemetry.
+    pub fn take_telemetry(&mut self) -> Option<RunTelemetry> {
+        self.telemetry.take()
+    }
+
+    /// Dumps the most recent run's flight recorder (last K rounds plus the
+    /// in-window fault/churn events) to
+    /// `<AMT_REPORT_DIR|experiments_out>/flightrec_<run_id>.json`, returning
+    /// the path. For *degraded* outcomes the simulator cannot judge —
+    /// errored runs dump automatically. `None` if telemetry was off (or the
+    /// dump could not be written; a failed dump never raises).
+    pub fn dump_flight_recorder(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let telemetry = self.telemetry.as_ref()?;
+        let run_id = self
+            .telemetry_cfg
+            .as_ref()
+            .map_or("run", |tc| tc.run_id.as_str());
+        crate::telemetry::dump_flight(
+            telemetry,
+            run_id,
+            reason,
+            &self.fault_events,
+            &self.churn_events,
+        )
     }
 
     /// Attaches a [`FaultPlan`] to apply on every subsequent [`Self::run`].
@@ -1872,6 +2022,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     fn run_inner(&mut self, cfg: &RunConfig, reverse_visit: bool) -> Result<Metrics> {
         self.trace = None;
         self.profile = None;
+        self.telemetry = None;
         self.churn_events.clear();
         // Take both plans for the duration of the run instead of cloning
         // them (schedules can be long-lived and big); they are restored
@@ -1881,6 +2032,15 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let result = self.run_planned(cfg, fault_plan.as_ref(), churn_plan.as_ref(), reverse_visit);
         self.fault_plan = fault_plan;
         self.churn_plan = churn_plan;
+        // A telemetry-enabled run that dies takes its post-mortem with it:
+        // the flight recorder's final K rounds, dumped where the report
+        // artifacts go. Dump failures are swallowed — the run's own error
+        // is the story.
+        if let Err(e) = &result {
+            if self.telemetry.is_some() {
+                self.dump_flight_recorder(&format!("{e}"));
+            }
+        }
         result
     }
 
@@ -2014,6 +2174,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         self.reset_edge_load();
         let trace_cfg = self.trace_cfg;
         let profile_cfg = self.profile_cfg;
+        let telemetry_cfg = self.telemetry_cfg.clone();
         let Simulator {
             nodes,
             rngs,
@@ -2022,6 +2183,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             scratch,
             trace,
             profile,
+            telemetry,
             ..
         } = self;
         let csr: &Csr = csr;
@@ -2051,6 +2213,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             trace,
             profile_cfg,
             profile,
+            telemetry_cfg.as_ref(),
+            telemetry,
         );
         scratch.staged = stepper.staged;
         result
@@ -2111,6 +2275,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let trace_cfg = self.trace_cfg;
         let tracing = trace_cfg.is_some();
         let profile_cfg = self.profile_cfg;
+        let telemetry_cfg = self.telemetry_cfg.clone();
+        // Workers only pay for the wall-clock stamp when telemetry is on.
+        let telem = telemetry_cfg.is_some();
         let Simulator {
             nodes,
             rngs,
@@ -2119,6 +2286,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             scratch,
             trace,
             profile,
+            telemetry,
             ..
         } = self;
         let csr: &Csr = csr;
@@ -2162,6 +2330,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         let round = job.round;
                         job.out.clear();
                         job.events.clear();
+                        let step_start = telem.then(std::time::Instant::now);
                         let mut violation: Option<(u32, CongestError)> = None;
                         let mut slab_pos = 0usize;
                         let mut ri = 0usize;
@@ -2244,6 +2413,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         }
                         debug_assert_eq!(slab_pos, job.inbox_slab.len());
                         debug_assert_eq!(ri, job.inbox_index.len());
+                        job.wall_nanos = step_start.map_or(0, |t| {
+                            t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+                        });
                         let reply = RoundReply {
                             worker: w,
                             job,
@@ -2278,6 +2450,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 trace,
                 profile_cfg,
                 profile,
+                telemetry_cfg.as_ref(),
+                telemetry,
             );
             // Dropping the stepper closes the job channels; workers drain
             // and exit, handing their shards back.
@@ -3076,6 +3250,55 @@ mod tests {
             assert_eq!(profile.per_class[0].class, class::DEFAULT);
             let a = profile.analyze(10);
             assert_eq!(a.max_edge_congestion, m_profiled.max_edge_congestion);
+        }
+    }
+
+    /// Telemetry honours the same contract as tracing and profiling: off by
+    /// default, and enabling it perturbs no observable — while its own
+    /// logical counters reconcile exactly with the run it watched.
+    #[test]
+    fn telemetry_is_observably_free() {
+        let g = amt_graphs::generators::hypercube(5);
+        for threads in [1, 4] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let mut plain = Simulator::new(&g, walker_fleet(32), 77).unwrap();
+            let m_plain = plain.run(&cfg).unwrap();
+            assert!(plain.telemetry().is_none(), "telemetry is off by default");
+
+            let mut watched = Simulator::new(&g, walker_fleet(32), 77)
+                .unwrap()
+                .with_telemetry(TelemetryConfig::default());
+            let m_watched = watched.run(&cfg).unwrap();
+            assert_eq!(
+                m_plain, m_watched,
+                "threads = {threads}: telemetry changed metrics"
+            );
+            let s_plain: Vec<u64> = plain.nodes().iter().map(|p| p.trace).collect();
+            let s_watched: Vec<u64> = watched.nodes().iter().map(|p| p.trace).collect();
+            assert_eq!(s_plain, s_watched, "telemetry changed protocol state");
+            assert_eq!(plain.edge_load(), watched.edge_load());
+
+            let t = watched.take_telemetry().expect("telemetry was enabled");
+            assert_eq!(t.shards, threads, "one shard sample stream per worker");
+            assert_eq!(t.rounds, m_watched.rounds);
+            // Every round stepped at least the nodes that did work, and the
+            // per-shard staging counters reconcile with the message total.
+            let stepped: u64 = t.shard_nodes_stepped.iter().sum();
+            assert!(stepped > 0);
+            assert_eq!(
+                t.shard_messages_staged.iter().sum::<u64>(),
+                m_watched.messages,
+                "threads = {threads}: staged-send attribution must sum to the run's messages"
+            );
+            assert!(t.imbalance() >= 1.0, "imbalance is max/mean, so >= 1");
+            assert_eq!(t.history.len() as u64, m_watched.rounds + 1);
+            assert!(!t.recent.is_empty(), "flight recorder retains rounds");
+            assert_eq!(
+                t.recent.frames().last().map(|f| f.health.round),
+                Some(m_watched.rounds),
+                "flight recorder ends at the final round"
+            );
+            assert!(t.hwm.active_nodes >= 1);
         }
     }
 

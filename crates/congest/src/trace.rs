@@ -118,6 +118,11 @@ pub struct RunTrace {
     /// When the stride is non-zero the series always ends with a final-round
     /// snapshot, whether or not the stride divides the stopping round.
     pub snapshots: Vec<EdgeLoadSnapshot>,
+    /// The snapshot stride the run actually used — a copy of
+    /// [`TraceConfig::edge_load_stride`], stamped by the engine so readers
+    /// of a detached trace don't have to carry the config alongside it
+    /// (0 = snapshots disabled).
+    pub edge_load_stride: u64,
     /// Final cumulative per-edge loads (empty if the run aborted early).
     pub final_edge_load: Vec<u64>,
     /// Traffic-class profile of the run, when profiling was enabled
@@ -293,8 +298,11 @@ impl RecoveryTimeline {
 /// simulator's determinism contract testable (`Metrics`, outcome structs,
 /// and stats structs are compared across visit orders, thread counts, and
 /// execution paths), **equality on `PhaseTimings` is always `true`** — two
-/// values compare equal whatever they contain. Assertions about timings
-/// must therefore go through [`PhaseTimings::entries`] explicitly.
+/// values compare equal whatever they contain. `assert_eq!` on this type
+/// (or on a struct embedding it) therefore says nothing about the timings
+/// themselves. Assertions about timings must go through
+/// [`PhaseTimings::entries`] explicitly, or use the tolerance-based
+/// [`PhaseTimings::close_to`] comparison.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseTimings {
     entries: Vec<(&'static str, u64)>,
@@ -344,6 +352,29 @@ impl PhaseTimings {
         for &(label, ns) in &later.entries {
             self.record_nanos(label, ns);
         }
+    }
+
+    /// True when both sides have the same labels and every per-label total
+    /// is within a relative tolerance: `|a - b| <= tol * max(a, b)`.
+    ///
+    /// This is the *real* comparison `==` deliberately is not (see the type
+    /// docs): wall-clock totals jitter between hosts and runs, so tables
+    /// that sanity-check timings (e1/e16 wall tables) compare with a
+    /// tolerance instead of ad-hoc per-field arithmetic. Labels are matched
+    /// as sets — ordering differences don't fail the comparison. A `tol` of
+    /// `0.25` accepts up to 25% relative drift per phase.
+    pub fn close_to(&self, other: &PhaseTimings, tol: f64) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        self.entries.iter().all(|&(label, a)| {
+            other.entries.iter().any(|&(l, b)| {
+                l == label && {
+                    let hi = a.max(b) as f64;
+                    (a.abs_diff(b) as f64) <= tol * hi
+                }
+            })
+        })
     }
 }
 
@@ -410,6 +441,7 @@ mod tests {
             ],
             events: Vec::new(),
             snapshots: Vec::new(),
+            edge_load_stride: 0,
             final_edge_load: vec![3, 7, 0],
             profile: None,
         };

@@ -11,7 +11,7 @@
 use amt_congest::trace::{RunTrace, TraceConfig};
 use amt_congest::{
     ChurnEvent, ChurnPlan, Ctx, FaultEvent, FaultPlan, Metrics, Placement, ProfileConfig, Protocol,
-    RunConfig, Simulator, TrafficProfile,
+    RunConfig, RunTelemetry, Simulator, TelemetryConfig, TrafficProfile,
 };
 use amt_graphs::{generators, EdgeId, Graph, GraphBuilder, NodeId};
 use rand::RngExt;
@@ -130,11 +130,25 @@ fn observe_with(
     full_sweep: bool,
     placement: Option<Placement>,
 ) -> Observation {
+    observe_full(scenario, threads, reverse, full_sweep, placement, false).0
+}
+
+fn observe_full(
+    scenario: Scenario,
+    threads: usize,
+    reverse: bool,
+    full_sweep: bool,
+    placement: Option<Placement>,
+    telemetry: bool,
+) -> (Observation, Option<RunTelemetry>) {
     let g = generators::hypercube(6);
     let mut sim = Simulator::new(&g, fleet(g.len()), 2024)
         .unwrap()
         .with_trace(TraceConfig::default().with_edge_load_stride(2))
         .with_profile(ProfileConfig::default());
+    if telemetry {
+        sim = sim.with_telemetry(TelemetryConfig::default());
+    }
     if let Some(p) = placement {
         sim = sim.with_placement(p);
     }
@@ -174,20 +188,24 @@ fn observe_with(
     for s in &mut trace.samples {
         s.active_nodes = 0;
     }
-    Observation {
-        metrics,
-        digests: sim.nodes().iter().map(|p| p.digest).collect(),
-        edge_load: sim.edge_load().to_vec(),
-        fault_events: sim.fault_events().to_vec(),
-        crashed: sim.crashed_nodes(),
-        churn_events: sim.churn_events().to_vec(),
-        profile: sim.take_profile().unwrap(),
-        // Reverse visits keep per-round events in reverse node order by
-        // long-standing contract, so the timeline is only part of the
-        // cross-engine comparison for forward runs.
-        trace: if reverse { None } else { Some(trace) },
-        active_total,
-    }
+    let run_telemetry = sim.take_telemetry();
+    (
+        Observation {
+            metrics,
+            digests: sim.nodes().iter().map(|p| p.digest).collect(),
+            edge_load: sim.edge_load().to_vec(),
+            fault_events: sim.fault_events().to_vec(),
+            crashed: sim.crashed_nodes(),
+            churn_events: sim.churn_events().to_vec(),
+            profile: sim.take_profile().unwrap(),
+            // Reverse visits keep per-round events in reverse node order by
+            // long-standing contract, so the timeline is only part of the
+            // cross-engine comparison for forward runs.
+            trace: if reverse { None } else { Some(trace) },
+            active_total,
+        },
+        run_telemetry,
+    )
 }
 
 fn check_scenario(scenario: Scenario) {
@@ -292,6 +310,62 @@ fn check_scenario(scenario: Scenario) {
     assert_eq!(
         got, reference,
         "full sweep diverged under spectral placement"
+    );
+    // Attaching telemetry is observably free: every pre-existing
+    // observable stays byte-identical, and the layer's own logical
+    // counters (rounds, work totals, gauge high-water marks) are
+    // thread-, reversal-, and placement-invariant among sparse runs.
+    let logical = |t: &RunTelemetry| {
+        (
+            t.rounds,
+            t.hwm,
+            t.shard_nodes_stepped.iter().sum::<u64>(),
+            t.shard_messages_staged.iter().sum::<u64>(),
+        )
+    };
+    let mut expected = None;
+    for (threads, reverse, placement) in [
+        (1, false, None),
+        (1, true, None),
+        (4, false, None),
+        (7, false, Some(Placement::spectral(&g, 7, 300))),
+        (
+            3,
+            false,
+            Some(Placement::from_shard_of((0..64u32).map(|v| v % 3).collect(), 3).unwrap()),
+        ),
+    ] {
+        let (got, t) = observe_full(scenario, threads, reverse, false, placement, true);
+        assert_matches_reference(
+            &got,
+            &reference,
+            reverse,
+            &format!("telemetry on, threads = {threads}, reverse = {reverse}"),
+        );
+        assert_eq!(
+            got.active_total, sparse_seq.active_total,
+            "telemetry perturbed the active set at threads = {threads}"
+        );
+        let t = t.expect("telemetry recorded");
+        match &expected {
+            None => expected = Some(logical(&t)),
+            Some(e) => assert_eq!(
+                &logical(&t),
+                e,
+                "telemetry logical counters drifted at threads = {threads}, reverse = {reverse}"
+            ),
+        }
+    }
+    // Full sweep with telemetry: observables still match the reference;
+    // only the occupancy-derived gauges may exceed the sparse runs'.
+    let (got, t) = observe_full(scenario, 4, false, true, None, true);
+    assert_eq!(got, reference, "full sweep with telemetry diverged");
+    let t = t.expect("telemetry recorded");
+    let sparse = expected.expect("sparse telemetry observed");
+    assert_eq!(t.rounds, sparse.0, "round count is engine-independent");
+    assert!(
+        t.shard_nodes_stepped.iter().sum::<u64>() > sparse.2,
+        "the full sweep must step strictly more node-rounds"
     );
 }
 

@@ -239,6 +239,33 @@ impl Placement {
     pub fn cross_edge_count(&self, g: &Graph) -> usize {
         self.cross_edge_flags(g).iter().filter(|&&c| c).count()
     }
+
+    /// Human-readable per-shard labels for telemetry and health tables:
+    /// shard index, node count, and either the covered id span
+    /// (`ids 0..=511`) when the shard is a single contiguous run, or
+    /// `scattered` when its ids interleave with other shards'.
+    pub fn shard_labels(&self) -> Vec<String> {
+        let mut lo = vec![u32::MAX; self.shards];
+        let mut hi = vec![0u32; self.shards];
+        let mut count = vec![0usize; self.shards];
+        for (v, &s) in self.shard_of.iter().enumerate() {
+            let s = s as usize;
+            lo[s] = lo[s].min(v as u32);
+            hi[s] = hi[s].max(v as u32);
+            count[s] += 1;
+        }
+        (0..self.shards)
+            .map(|s| {
+                if count[s] == 0 {
+                    format!("s{s} (empty)")
+                } else if (hi[s] - lo[s]) as usize + 1 == count[s] {
+                    format!("s{s} ({}n, ids {}..={})", count[s], lo[s], hi[s])
+                } else {
+                    format!("s{s} ({}n, scattered)", count[s])
+                }
+            })
+            .collect()
+    }
 }
 
 /// Recursively assigns `k` shard ids to `subset`, consuming exactly `k`
@@ -456,6 +483,22 @@ mod tests {
     use crate::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn shard_labels_report_spans_and_scatter() {
+        let labels = Placement::contiguous(8, 2).shard_labels();
+        assert_eq!(labels, vec!["s0 (4n, ids 0..=3)", "s1 (4n, ids 4..=7)"]);
+        // Interleaved (even/odd) shards have no contiguous span.
+        let interleaved =
+            Placement::from_shard_of(vec![0, 1, 0, 1, 0, 1], 2).expect("valid placement");
+        assert_eq!(
+            interleaved.shard_labels(),
+            vec!["s0 (3n, scattered)", "s1 (3n, scattered)"]
+        );
+        // Empty shards are labelled, not skipped.
+        let sparse = Placement::from_shard_of(vec![0, 0], 2).expect("valid placement");
+        assert_eq!(sparse.shard_labels()[1], "s1 (empty)");
+    }
 
     #[test]
     fn sweep_finds_the_dumbbell_bridge() {

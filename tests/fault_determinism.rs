@@ -8,8 +8,8 @@
 //! (walks and Borůvka MST), and the churned bit-fix router.
 
 use amt_core::congest::{
-    Ctx, Metrics, Placement, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
-    TrafficProfile,
+    Ctx, Metrics, Placement, ProfileConfig, Protocol, RunConfig, RunTelemetry, Simulator,
+    StopCondition, TelemetryConfig, TrafficProfile,
 };
 use amt_core::mst::healing::run_healing_churned;
 use amt_core::mst::{run_healing_instrumented, run_healing_with};
@@ -178,6 +178,98 @@ fn faulty_sim_runs_are_identical_across_threads_and_visit_order() {
             baseline,
             "threads {t}: faulty run diverged"
         );
+    }
+}
+
+/// `chatter_run` with execution-health telemetry attached; additionally
+/// returns the recorded telemetry.
+#[allow(clippy::type_complexity)]
+fn telemetry_chatter_run(
+    g: &Graph,
+    plan: &FaultPlan,
+    threads: usize,
+    reverse: bool,
+) -> (
+    (Metrics, Vec<FaultEvent>, Vec<NodeId>, Vec<u64>),
+    RunTelemetry,
+) {
+    let nodes = (0..g.len())
+        .map(|_| Chatter {
+            rounds_left: 30,
+            checksum: 0,
+        })
+        .collect();
+    let mut sim = Simulator::new(g, nodes, 17)
+        .unwrap()
+        .with_fault_plan(plan.clone())
+        .with_telemetry(TelemetryConfig::default());
+    let cfg = RunConfig {
+        stop: StopCondition::AllDone,
+        ..RunConfig::default()
+    }
+    .with_threads(threads);
+    let metrics = if reverse {
+        sim.run_reverse_visit(&cfg).unwrap()
+    } else {
+        sim.run(&cfg).unwrap()
+    };
+    let checksums = sim.nodes().iter().map(|c| c.checksum).collect();
+    let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+    (
+        (
+            metrics,
+            sim.fault_events().to_vec(),
+            sim.crashed_nodes(),
+            checksums,
+        ),
+        telemetry,
+    )
+}
+
+/// Telemetry on the faulty path: enabling it never moves a fault verdict,
+/// a metric, or a checksum — the telemetry-on run is byte-identical to the
+/// plain faulty run across thread counts {1, 2, 4, 8} and visit-order
+/// reversal — and the layer's logical counters are invariant too.
+#[test]
+fn faulty_telemetry_runs_are_identical_across_threads_and_visit_order() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let g = generators::random_regular(64, 6, &mut rng).unwrap();
+    let plan = FaultPlan::none()
+        .seeded(23)
+        .with_drops(0.05)
+        .with_corruption(0.03)
+        .with_delays(0.1, 3)
+        .with_crash(NodeId(5), 4);
+    let baseline = chatter_run(&g, &plan, 1, false);
+    assert!(baseline.0.message_faults() > 0, "the plan must fire");
+    let logical = |t: &RunTelemetry| {
+        (
+            t.rounds,
+            t.hwm,
+            t.shard_nodes_stepped.iter().sum::<u64>(),
+            t.shard_messages_staged.iter().sum::<u64>(),
+        )
+    };
+    let mut expected = None;
+    for (threads, reverse) in [(1, false), (1, true), (2, false), (4, false), (8, false)] {
+        let (got, tel) = telemetry_chatter_run(&g, &plan, threads, reverse);
+        assert_eq!(
+            got, baseline,
+            "threads {threads}, reverse {reverse}: telemetry perturbed the faulty run"
+        );
+        assert_eq!(
+            tel.history.len() as u64,
+            tel.rounds + 1,
+            "one health record per executed round"
+        );
+        match &expected {
+            None => expected = Some(logical(&tel)),
+            Some(e) => assert_eq!(
+                &logical(&tel),
+                e,
+                "threads {threads}, reverse {reverse}: telemetry counters diverged"
+            ),
+        }
     }
 }
 

@@ -6,7 +6,8 @@
 //! loss pattern itself is part of the contract.
 
 use amt_core::congest::{
-    class, Ctx, Metrics, Placement, ProfileConfig, Protocol, RunConfig, Simulator, StopCondition,
+    class, Ctx, Metrics, Placement, ProfileConfig, Protocol, RunConfig, RunTelemetry, Simulator,
+    StopCondition, TelemetryConfig,
 };
 use amt_core::mst::congest_boruvka;
 use amt_core::prelude::*;
@@ -484,6 +485,84 @@ fn profiled_runs_sum_exactly_and_are_identical_across_thread_counts() {
         assert_eq!(mt, m, "threads {t}: metrics diverged");
         assert_eq!(pt, profile, "threads {t}: profile diverged");
         assert_eq!(lt, loads, "threads {t}: edge loads diverged");
+    }
+}
+
+/// Execution-health telemetry on the routing workload: enabling it never
+/// moves an observable bit — metrics and node state are byte-identical to
+/// the telemetry-off run at every thread count {1, 2, 4, 8} — and the
+/// layer's own logical counters (rounds, work totals, gauge high-water
+/// marks) are thread-invariant. Host wall-times are exempt by contract.
+#[test]
+fn telemetry_runs_are_identical_across_thread_counts() {
+    let dim = 5;
+    let n = 1usize << dim;
+    let g = generators::hypercube(dim as u32);
+    let mk_nodes = |seed: u64| {
+        use rand::RngExt;
+        let mut wl = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        (0..n)
+            .map(|v| BitFixRouter {
+                me: v as u32,
+                packets: (0..3)
+                    .map(|_| wl.random_range(0..n as u64) as u32)
+                    .collect(),
+                delivered: 0,
+                checksum: 0,
+            })
+            .collect::<Vec<_>>()
+    };
+    let run = |threads: usize, telemetry: bool| {
+        let mut sim = Simulator::new(&g, mk_nodes(8), 8).unwrap();
+        if telemetry {
+            sim = sim.with_telemetry(TelemetryConfig::default());
+        }
+        let cfg = RunConfig {
+            stop: StopCondition::AllDone,
+            ..RunConfig::default()
+        }
+        .with_threads(threads);
+        let m = sim.run(&cfg).unwrap();
+        let state: Vec<(u64, u64)> = sim
+            .nodes()
+            .iter()
+            .map(|p| (p.delivered, p.checksum))
+            .collect();
+        (m, state, sim.take_telemetry())
+    };
+    let logical = |t: &RunTelemetry| {
+        (
+            t.rounds,
+            t.hwm,
+            t.shard_nodes_stepped.iter().sum::<u64>(),
+            t.shard_messages_staged.iter().sum::<u64>(),
+        )
+    };
+    let (m_plain, s_plain, none) = run(1, false);
+    assert!(none.is_none(), "telemetry off must record nothing");
+    let mut expected = None;
+    for &t in &THREADS {
+        let (mt, st, tel) = run(t, true);
+        assert_eq!(
+            (&mt, &st),
+            (&m_plain, &s_plain),
+            "threads {t}: telemetry perturbed the run"
+        );
+        let tel = tel.expect("telemetry was enabled");
+        assert_eq!(tel.shards, t.min(n), "threads {t}: shard count");
+        assert_eq!(
+            tel.history.len() as u64,
+            tel.rounds + 1,
+            "one health record per executed round"
+        );
+        match &expected {
+            None => expected = Some(logical(&tel)),
+            Some(e) => assert_eq!(
+                &logical(&tel),
+                e,
+                "threads {t}: telemetry logical counters diverged"
+            ),
+        }
     }
 }
 
